@@ -1,0 +1,131 @@
+// Command acdbench regenerates the paper's evaluation tables and
+// figures (Table 3, Figures 5-8, Figure 10) on the synthetic workloads.
+//
+// Usage:
+//
+//	acdbench [-exp all|table3|fig5|fig6|fig7|fig8|fig10] [-seed N] [-workers 3|5]
+//
+// fig6, fig7 and fig8 share the same runs (one comparison produces the
+// F1, pair-count and iteration series), so requesting any of them prints
+// the full comparison block.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"acd/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table3, fig5, fig6, fig7, fig8, fig10, ablation")
+	seed := flag.Int64("seed", 1, "dataset and crowd seed")
+	workers := flag.Int("workers", 0, "restrict comparisons to one worker setting (3 or 5); 0 = both")
+	chart := flag.Bool("chart", false, "render figure comparisons as bar charts")
+	flag.Parse()
+	chartMode = *chart
+
+	settings := []int{3, 5}
+	switch *workers {
+	case 0:
+	case 3, 5:
+		settings = []int{*workers}
+	default:
+		fmt.Fprintf(os.Stderr, "acdbench: -workers must be 3 or 5\n")
+		os.Exit(2)
+	}
+
+	out := os.Stdout
+	switch *exp {
+	case "all":
+		runTable3(*seed)
+		runFigure5(*seed)
+		runComparison(*seed, settings)
+		runFigure10(*seed)
+	case "table3":
+		runTable3(*seed)
+	case "fig5":
+		runFigure5(*seed)
+	case "fig6", "fig7", "fig8":
+		runComparison(*seed, settings)
+	case "fig10":
+		runFigure10(*seed)
+	case "ablation":
+		runAblations(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "acdbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	_ = out
+}
+
+func runTable3(seed int64) {
+	experiments.RenderTable3(os.Stdout, experiments.Table3(seed))
+	experiments.Rule(os.Stdout)
+}
+
+func runFigure5(seed int64) {
+	for _, name := range experiments.DatasetNames {
+		inst := experiments.MustInstance(name, seed)
+		experiments.RenderFigure5(os.Stdout, experiments.Figure5(inst, 3))
+		experiments.Rule(os.Stdout)
+	}
+}
+
+// chartMode switches figure comparisons to bar-chart rendering.
+var chartMode bool
+
+func runComparison(seed int64, settings []int) {
+	for _, name := range experiments.DatasetNames {
+		inst := experiments.MustInstance(name, seed)
+		for _, w := range settings {
+			rows := experiments.Comparison(inst, w)
+			if chartMode {
+				experiments.RenderComparisonCharts(os.Stdout, name, w, rows)
+			} else {
+				experiments.RenderComparison(os.Stdout, name, w, rows)
+			}
+			experiments.Rule(os.Stdout)
+		}
+	}
+}
+
+func runFigure10(seed int64) {
+	for _, name := range experiments.DatasetNames {
+		inst := experiments.MustInstance(name, seed)
+		experiments.RenderFigure10(os.Stdout, name, experiments.Figure10(inst, 3))
+		experiments.Rule(os.Stdout)
+	}
+}
+
+func runAblations(seed int64) {
+	// The sequential Crowd-Refine and Crowd-BOEM variants are quadratic
+	// in crowd rounds, so the refinement ablation uses the two faster
+	// datasets; the adaptive-allocation ablation runs everywhere.
+	for _, name := range []string{"Restaurant", "Product"} {
+		inst := experiments.MustInstance(name, seed)
+		experiments.RenderRefineVariants(os.Stdout, name, 3, experiments.RefineVariants(inst, 3))
+		experiments.Rule(os.Stdout)
+	}
+	for _, name := range experiments.DatasetNames {
+		inst := experiments.MustInstance(name, seed)
+		experiments.RenderAdaptive(os.Stdout, name, experiments.AdaptiveWorkers(inst, seed))
+		experiments.Rule(os.Stdout)
+	}
+	for _, name := range []string{"Restaurant", "Product"} {
+		inst := experiments.MustInstance(name, seed)
+		experiments.RenderAggregation(os.Stdout, name, experiments.Aggregation(inst, seed))
+		experiments.Rule(os.Stdout)
+	}
+	for _, name := range experiments.DatasetNames {
+		inst := experiments.MustInstance(name, seed)
+		experiments.RenderProcessingTime(os.Stdout, name, experiments.ProcessingTime(inst, 3))
+		experiments.Rule(os.Stdout)
+	}
+	{
+		inst := experiments.MustInstance("Paper", seed)
+		experiments.RenderRobustness(os.Stdout, "Paper", experiments.Robustness(inst, seed))
+		experiments.Rule(os.Stdout)
+	}
+}

@@ -1,0 +1,145 @@
+// Command acdcampaign drives a complete simulated crowdsourcing
+// campaign, end to end: generate (or load) a dataset, prune it, post the
+// candidate pairs to a simulated worker pool under AMT-style
+// qualification rules, aggregate the raw votes (majority or Dawid–Skene
+// weighting), optionally persist the answers for replay, and run ACD on
+// the result.
+//
+// Usage:
+//
+//	acdcampaign [-dataset Restaurant | -in records.csv]
+//	            [-pool 200] [-mean-error 0.25] [-spread 0.15]
+//	            [-qualification none|basic|strict] [-workers 3|5]
+//	            [-aggregate majority|ds] [-save-answers F] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"acd/internal/cluster"
+	"acd/internal/core"
+	"acd/internal/crowd"
+	"acd/internal/dataset"
+	"acd/internal/pruning"
+	"acd/internal/quality"
+	"acd/internal/record"
+)
+
+func main() {
+	name := flag.String("dataset", "Restaurant", "built-in dataset to generate (Paper, Restaurant, Product)")
+	in := flag.String("in", "", "load records from this CSV instead of generating")
+	poolSize := flag.Int("pool", 200, "worker pool size")
+	meanError := flag.Float64("mean-error", 0.25, "mean per-worker error rate")
+	spread := flag.Float64("spread", 0.15, "spread of per-worker error rates")
+	qual := flag.String("qualification", "basic", "worker admission: none, basic (test), strict (test + track record)")
+	workers := flag.Int("workers", 5, "votes per pair (odd)")
+	aggregate := flag.String("aggregate", "ds", "vote aggregation: majority or ds (Dawid-Skene)")
+	saveAnswers := flag.String("save-answers", "", "persist aggregated answers to this file")
+	seed := flag.Int64("seed", 1, "campaign seed")
+	flag.Parse()
+
+	d, err := loadOrGenerate(*in, *name, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "campaign: %d records", len(d.Records))
+	if d.NumEntities > 0 {
+		fmt.Fprintf(os.Stderr, " (%d entities)", d.NumEntities)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	cands := pruning.Prune(d.Records, pruning.Options{})
+	fmt.Fprintf(os.Stderr, "campaign: pruning kept %d candidate pairs\n", len(cands.Pairs))
+
+	q, err := qualificationByName(*qual)
+	if err != nil {
+		fatal(err)
+	}
+	pool := crowd.NewPool(crowd.PoolConfig{
+		Size:                  *poolSize,
+		MeanError:             *meanError,
+		ErrorSpread:           *spread,
+		QualificationPassRate: 0.7,
+		Seed:                  *seed,
+	})
+	fmt.Fprintf(os.Stderr, "campaign: %d of %d workers admitted (mean error %.1f%%)\n",
+		len(pool.Eligible(q)), pool.Size(), 100*pool.MeanEligibleError(q))
+
+	cfg := crowd.Config{Workers: *workers, PairsPerHIT: 10, CentsPerHIT: 2, Seed: *seed + 1}
+	truth := d.TruthFn()
+	votes := crowd.CollectVotes(cands.PairList(), truth, crowd.UniformDifficulty(0.02), pool, q, cfg)
+	fmt.Fprintf(os.Stderr, "campaign: collected %d votes over %d pairs\n", len(votes), len(cands.Pairs))
+
+	var scores map[record.Pair]float64
+	switch *aggregate {
+	case "majority":
+		scores = crowd.MajorityScores(votes)
+	case "ds":
+		model := quality.Estimate(votes, 30)
+		scores = model.Posterior
+		fmt.Fprintf(os.Stderr, "campaign: Dawid-Skene fitted in %d EM rounds (prior %.3f)\n",
+			model.Iterations, model.Prior)
+	default:
+		fatal(fmt.Errorf("unknown aggregation %q", *aggregate))
+	}
+	answers := crowd.FixedAnswers(scores, cfg)
+	fmt.Fprintf(os.Stderr, "campaign: aggregated answer error rate %.2f%% vs ground truth\n",
+		100*quality.ErrorRate(scores, truth))
+
+	if *saveAnswers != "" {
+		f, err := os.Create(*saveAnswers)
+		if err != nil {
+			fatal(err)
+		}
+		if err := crowd.SaveAnswers(f, answers); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "campaign: answers saved to %s\n", *saveAnswers)
+	}
+
+	out := core.ACD(cands, answers, core.Config{Seed: *seed})
+	for _, set := range out.Clusters.Sets() {
+		clusterID := set[0]
+		for _, r := range set {
+			fmt.Printf("%d,%d\n", r, clusterID)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "campaign: ACD produced %d clusters using %d pairs in %d iterations\n",
+		out.Clusters.NumClusters(), out.Stats.Pairs, out.Stats.Iterations)
+	e := cluster.Evaluate(out.Clusters, d.Truth())
+	fmt.Fprintf(os.Stderr, "campaign: precision %.3f, recall %.3f, F1 %.3f\n",
+		e.Precision, e.Recall, e.F1)
+}
+
+func loadOrGenerate(in, name string, seed int64) (*dataset.Dataset, error) {
+	if in == "" {
+		return dataset.ByName(name, seed)
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f, in)
+}
+
+func qualificationByName(name string) (crowd.Qualification, error) {
+	switch name {
+	case "none":
+		return crowd.Qualification{}, nil
+	case "basic":
+		return crowd.BasicQualification, nil
+	case "strict":
+		return crowd.StrictQualification, nil
+	default:
+		return crowd.Qualification{}, fmt.Errorf("unknown qualification %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "acdcampaign: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,34 @@
+package acd_test
+
+import (
+	"fmt"
+
+	"acd"
+)
+
+// ExampleDeduplicate deduplicates four records with a perfect crowd.
+func ExampleDeduplicate() {
+	records := []acd.Record{
+		{Fields: map[string]string{"name": "chevrolet motor division detroit"}},
+		{Fields: map[string]string{"name": "chevy motor division detroit"}},
+		{Fields: map[string]string{"name": "chevron oil corporation california"}},
+		{Fields: map[string]string{"name": "chevron corporation oil california"}},
+	}
+	entity := []int{0, 0, 1, 1}
+	crowdFn := func(i, j int) float64 {
+		if entity[i] == entity[j] {
+			return 1
+		}
+		return 0
+	}
+	res, err := acd.Deduplicate(records, crowdFn, acd.Options{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(res.Clusters), "clusters")
+	_, _, f1 := res.F1(entity)
+	fmt.Printf("F1 %.1f\n", f1)
+	// Output:
+	// 2 clusters
+	// F1 1.0
+}

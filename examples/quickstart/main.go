@@ -1,0 +1,67 @@
+// Quickstart: deduplicate a handful of commercial-brand records with the
+// full ACD pipeline — the paper's motivating Chevrolet/Chevy/Chevron
+// example (Section 1). A small simulated crowd distinguishes the
+// lookalike brands that machine similarity alone confuses.
+package main
+
+import (
+	"fmt"
+
+	"acd/internal/cluster"
+	"acd/internal/core"
+	"acd/internal/crowd"
+	"acd/internal/pruning"
+	"acd/internal/record"
+)
+
+func main() {
+	// Records with ground-truth entities (0 = the General Motors brand,
+	// 1 = the oil company, 2 = an unrelated grocery chain).
+	raw := []struct {
+		text   string
+		entity int
+	}{
+		{"chevrolet motor division detroit michigan usa", 0},
+		{"chevy motor division detroit michigan usa", 0},
+		{"chevrolet motor division of general motors detroit michigan", 0},
+		{"chevron oil corporation san ramon california", 1},
+		{"chevron corporation oil and gas san ramon", 1},
+		{"chewton grocers of san ramon california", 2},
+	}
+	records := make([]record.Record, len(raw))
+	for i, r := range raw {
+		rec := record.New(record.ID(i), map[string]string{"name": r.text})
+		rec.Entity = r.entity
+		records[i] = rec
+	}
+
+	// Phase 1 (machine): prune dissimilar pairs with Jaccard, τ = 0.3.
+	cands := pruning.Prune(records, pruning.Options{})
+	fmt.Printf("pruning kept %d of %d pairs:\n", len(cands.Pairs), len(records)*(len(records)-1)/2)
+	for _, sp := range cands.Pairs {
+		fmt.Printf("  %v  f = %.2f\n", sp.Pair, sp.Score)
+	}
+
+	// Phases 2-3 (crowd): simulate 3 workers per pair with a 10%
+	// per-worker error rate, then run cluster generation + refinement.
+	truth := func(p record.Pair) bool { return records[p.Lo].Entity == records[p.Hi].Entity }
+	answers := crowd.BuildAnswers(cands.PairList(), truth, crowd.UniformDifficulty(0.10), crowd.ThreeWorker(5))
+
+	out := core.ACD(cands, answers, core.Config{Seed: 7})
+
+	fmt.Println("\nclusters:")
+	for _, set := range out.Clusters.Sets() {
+		for _, r := range set {
+			fmt.Printf("  %s\n", records[r].Field("name"))
+		}
+		fmt.Println("  --")
+	}
+	entities := make([]int, len(records))
+	for i, r := range records {
+		entities[i] = r.Entity
+	}
+	e := cluster.Evaluate(out.Clusters, entities)
+	fmt.Printf("precision %.2f, recall %.2f, F1 %.2f\n", e.Precision, e.Recall, e.F1)
+	fmt.Printf("crowd cost: %d pairs in %d iterations (%d HITs, %d cents)\n",
+		out.Stats.Pairs, out.Stats.Iterations, out.Stats.HITs, out.Stats.Cents)
+}

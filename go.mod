@@ -1,0 +1,3 @@
+module acd
+
+go 1.22

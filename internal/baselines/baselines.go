@@ -1,0 +1,353 @@
+// Package baselines implements the four state-of-the-art competitors the
+// paper evaluates ACD against (Section 6.1): CrowdER+ [46]+[48],
+// TransM [47], TransNode [44], and GCER [48]. Each baseline shares the
+// pruning phase's candidate set and reads crowd answers from the same
+// answer set as ACD, mirroring the paper's fairness setup.
+package baselines
+
+import (
+	"sort"
+
+	"acd/internal/cluster"
+	"acd/internal/crowd"
+	"acd/internal/machine"
+	"acd/internal/pruning"
+	"acd/internal/record"
+	"acd/internal/unionfind"
+)
+
+// Result is a baseline run's clustering plus its crowdsourcing
+// accounting.
+type Result struct {
+	Clusters *cluster.Clustering
+	Stats    crowd.Stats
+}
+
+// transMMaxBatch bounds the pairs TransM issues per crowd round.
+const transMMaxBatch = 100
+
+// CrowdERPlus implements CrowdER+ as in Section 6.1: it crowdsources
+// every candidate pair in a single batch (one crowd iteration) and then
+// clusters the answers with a machine algorithm. The paper uses [48]'s
+// sorted-neighborhood step whose pseudo-code is not given; we use
+// average-linkage agglomerative clustering over the complete crowd
+// scores, which reproduces the reported behaviour — the highest accuracy
+// of all methods at the full |S| crowdsourcing cost (see DESIGN.md,
+// substitution 3).
+func CrowdERPlus(cands *pruning.Candidates, answers crowd.Source) Result {
+	sess := crowd.NewSession(answers)
+	pairs := cands.PairList()
+	fc := sess.Ask(pairs)
+	scores := make(cluster.Scores, len(pairs))
+	for i, p := range pairs {
+		scores[p] = fc[i]
+	}
+	c := machine.Agglomerative(cands.N, scores, 0.5)
+	return Result{Clusters: c, Stats: sess.Stats()}
+}
+
+// Naive implements the brute-force approach from the paper's
+// introduction: crowdsource every candidate pair (after pruning — the
+// truly naive variant would ask all O(n²) pairs) and cluster by
+// transitive closure of the positive answers. It pays CrowdER+'s full
+// cost while inheriting the error amplification of Figure 1: one
+// erroneous "duplicate" bridges two entities irrevocably.
+func Naive(cands *pruning.Candidates, answers crowd.Source) Result {
+	sess := crowd.NewSession(answers)
+	pairs := cands.PairList()
+	fc := sess.Ask(pairs)
+	scores := make(cluster.Scores, len(pairs))
+	for i, p := range pairs {
+		scores[p] = fc[i]
+	}
+	c := machine.Components(cands.N, scores, 0.5)
+	return Result{Clusters: c, Stats: sess.Stats()}
+}
+
+// TransM implements the transitivity-based method of [47]: candidate
+// pairs are examined in decreasing machine-similarity order; a pair whose
+// answer is already implied by the positive (duplicate) or negative
+// (distinct-cluster) transitive closure of earlier answers is skipped,
+// and everything else is crowdsourced. Batching follows [47]'s
+// expectation-based strategy: within one batch, the algorithm simulates
+// the closure that would result if every batched pair were answered the
+// way its machine score predicts (f > 0.5 ⇒ duplicate), and defers any
+// pair whose answer that simulated closure already implies. When the
+// crowd answers as predicted, the batch resolves exactly what the
+// sequential algorithm would have; mispredictions only cost extra
+// questions in later batches. The inspection order — and with it TransM's
+// error amplification on misleading high-similarity pairs (Figure 1) —
+// is preserved. Each round issues at most transMMaxBatch pairs, modeling
+// the bounded number of HITs a requester keeps open concurrently.
+func TransM(cands *pruning.Candidates, answers crowd.Source) Result {
+	sess := crowd.NewSession(answers)
+	tc := newTransClosure(cands.N)
+
+	remaining := cands.PairList() // already in descending machine score
+	for len(remaining) > 0 {
+		expected := tc.clone()
+		var batch []record.Pair
+		var next []record.Pair
+		for i, p := range remaining {
+			if len(batch) == transMMaxBatch {
+				next = append(next, remaining[i:]...)
+				break
+			}
+			if tc.decided(p) {
+				continue
+			}
+			if expected.decided(p) {
+				next = append(next, p)
+				continue
+			}
+			batch = append(batch, p)
+			if cands.Score(p) > 0.5 {
+				expected.markSame(p)
+			} else {
+				expected.markDifferent(p)
+			}
+		}
+		if len(batch) == 0 {
+			break
+		}
+		fc := sess.Ask(batch)
+		for i, p := range batch {
+			if fc[i] > 0.5 {
+				tc.markSame(p)
+			} else {
+				tc.markDifferent(p)
+			}
+		}
+		remaining = next
+	}
+
+	var sets [][]record.ID
+	for _, s := range tc.uf.Sets() {
+		ids := make([]record.ID, len(s))
+		for i, v := range s {
+			ids[i] = record.ID(v)
+		}
+		sets = append(sets, ids)
+	}
+	c := setsToClustering(cands.N, sets)
+	return Result{Clusters: c, Stats: sess.Stats()}
+}
+
+// transClosure maintains TransM's positive closure (union-find over
+// crowd-confirmed duplicates) and negative closure (pairs of cluster
+// roots the crowd marked distinct).
+type transClosure struct {
+	uf   *unionfind.UF
+	diff map[int]map[int]struct{} // root -> set of roots known different
+}
+
+func newTransClosure(n int) *transClosure {
+	return &transClosure{uf: unionfind.New(n), diff: make(map[int]map[int]struct{})}
+}
+
+func (t *transClosure) clone() *transClosure {
+	cp := &transClosure{uf: t.uf.Clone(), diff: make(map[int]map[int]struct{}, len(t.diff))}
+	for k, v := range t.diff {
+		m := make(map[int]struct{}, len(v))
+		for d := range v {
+			m[d] = struct{}{}
+		}
+		cp.diff[k] = m
+	}
+	return cp
+}
+
+func (t *transClosure) decided(p record.Pair) bool {
+	ra, rb := t.uf.Find(int(p.Lo)), t.uf.Find(int(p.Hi))
+	if ra == rb {
+		return true
+	}
+	_, d := t.diff[ra][rb]
+	return d
+}
+
+func (t *transClosure) markSame(p record.Pair) {
+	ra, rb := t.uf.Find(int(p.Lo)), t.uf.Find(int(p.Hi))
+	if ra == rb {
+		return
+	}
+	t.uf.Union(ra, rb)
+	root := t.uf.Find(ra)
+	other := ra
+	if root == ra {
+		other = rb
+	}
+	// Fold `other`'s difference set into the surviving root's. A
+	// contradictory answer (crowd merging two clusters earlier marked
+	// different) can make `root` appear in that set; the union wins and
+	// the stale difference edge is dropped.
+	for d := range t.diff[other] {
+		delete(t.diff[d], other)
+		if d != root {
+			t.link(root, d)
+		}
+	}
+	delete(t.diff, other)
+}
+
+func (t *transClosure) markDifferent(p record.Pair) {
+	ra, rb := t.uf.Find(int(p.Lo)), t.uf.Find(int(p.Hi))
+	if ra == rb {
+		return
+	}
+	t.link(ra, rb)
+}
+
+func (t *transClosure) link(a, b int) {
+	if a == b {
+		return
+	}
+	if t.diff[a] == nil {
+		t.diff[a] = make(map[int]struct{})
+	}
+	if t.diff[b] == nil {
+		t.diff[b] = make(map[int]struct{})
+	}
+	t.diff[a][b] = struct{}{}
+	t.diff[b][a] = struct{}{}
+}
+
+// TransNode implements the node-based framework of [44]: records are
+// inserted one at a time; each new record is compared against the
+// already-formed clusters it has candidate edges to, in decreasing order
+// of its best machine similarity into the cluster, joining the first
+// cluster whose probe the crowd confirms. Transitivity answers the rest
+// of the cluster for free. TransNode issues probes individually — the
+// paper notes it "does not incorporate any parallel mechanism" and omits
+// it from the iteration plots.
+func TransNode(cands *pruning.Candidates, answers crowd.Source) Result {
+	sess := crowd.NewSession(answers)
+
+	// Candidate adjacency with machine scores.
+	adj := make(map[record.ID][]record.ID)
+	for _, sp := range cands.Pairs {
+		adj[sp.Pair.Lo] = append(adj[sp.Pair.Lo], sp.Pair.Hi)
+		adj[sp.Pair.Hi] = append(adj[sp.Pair.Hi], sp.Pair.Lo)
+	}
+
+	assign := make([]int, cands.N) // record -> cluster id
+	for i := range assign {
+		assign[i] = -1
+	}
+	var clusters [][]record.ID
+
+	for r := record.ID(0); int(r) < cands.N; r++ {
+		// Rank the clusters of r's already-inserted neighbors by the
+		// best machine similarity edge into them.
+		type cand struct {
+			cluster int
+			best    float64
+			probe   record.ID
+		}
+		byCluster := make(map[int]*cand)
+		for _, nb := range adj[r] {
+			cl := assign[nb]
+			if cl == -1 {
+				continue
+			}
+			f := cands.Score(record.MakePair(r, nb))
+			if c, ok := byCluster[cl]; !ok || f > c.best {
+				byCluster[cl] = &cand{cluster: cl, best: f, probe: nb}
+			}
+		}
+		ranked := make([]*cand, 0, len(byCluster))
+		for _, c := range byCluster {
+			ranked = append(ranked, c)
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].best != ranked[j].best {
+				return ranked[i].best > ranked[j].best
+			}
+			return ranked[i].cluster < ranked[j].cluster
+		})
+
+		joined := -1
+		for _, c := range ranked {
+			if sess.AskOne(record.MakePair(r, c.probe)) > 0.5 {
+				joined = c.cluster
+				break
+			}
+		}
+		if joined == -1 {
+			joined = len(clusters)
+			clusters = append(clusters, nil)
+		}
+		assign[r] = joined
+		clusters[joined] = append(clusters[joined], r)
+	}
+	c := setsToClustering(cands.N, clusters)
+	return Result{Clusters: c, Stats: sess.Stats()}
+}
+
+// GCER implements the question-selection approach of [48] under a fixed
+// crowdsourcing budget (the paper matches it to the number of pairs ACD
+// crowdsources, Section 6.1). It iteratively crowdsources the most
+// uncertain candidate pairs — those whose current estimated crowd score
+// is closest to 0.5 — refining the machine-to-crowd histogram after every
+// batch, and finally clusters with the combined scores (exact crowd
+// scores where known, histogram-adjusted machine scores elsewhere).
+// Because the crowd's answers directly retrain the estimator, crowd
+// errors propagate into unasked pairs — the weakness Section 2.2
+// describes.
+func GCER(cands *pruning.Candidates, answers crowd.Source, budget, batches int) Result {
+	if batches < 1 {
+		batches = 1
+	}
+	sess := crowd.NewSession(answers)
+	est := newEstimator(cands, sess)
+
+	for b := 0; b < batches; b++ {
+		left := budget - sess.Stats().Pairs
+		if left <= 0 {
+			break
+		}
+		size := (budget + batches - 1) / batches
+		if size > left {
+			size = left
+		}
+		batch := est.mostUncertain(size)
+		if len(batch) == 0 {
+			break
+		}
+		sess.Ask(batch)
+		est.refresh()
+	}
+
+	scores := make(cluster.Scores, len(cands.Pairs))
+	for _, sp := range cands.Pairs {
+		scores[sp.Pair] = est.score(sp.Pair)
+	}
+	c := machine.Agglomerative(cands.N, scores, 0.5)
+	return Result{Clusters: c, Stats: sess.Stats()}
+}
+
+// setsToClustering converts member sets over 0..n-1 to a Clustering,
+// adding singletons for any record not covered.
+func setsToClustering(n int, sets [][]record.ID) *cluster.Clustering {
+	covered := make([]bool, n)
+	var all [][]record.ID
+	for _, s := range sets {
+		if len(s) == 0 {
+			continue
+		}
+		for _, r := range s {
+			covered[r] = true
+		}
+		all = append(all, s)
+	}
+	for i := 0; i < n; i++ {
+		if !covered[i] {
+			all = append(all, []record.ID{record.ID(i)})
+		}
+	}
+	c, err := cluster.FromSets(n, all)
+	if err != nil {
+		panic("baselines: non-partition: " + err.Error())
+	}
+	return c
+}

@@ -1,0 +1,282 @@
+package baselines
+
+import (
+	"testing"
+
+	"acd/internal/cluster"
+	"acd/internal/crowd"
+	"acd/internal/dataset"
+	"acd/internal/pruning"
+	"acd/internal/record"
+)
+
+// fixedInstance builds a candidate set with machine scores and a fixed
+// answer set.
+func fixedInstance(n int, machine map[record.Pair]float64, fc map[record.Pair]float64) (*pruning.Candidates, *crowd.AnswerSet) {
+	ms := cluster.Scores{}
+	for p, f := range machine {
+		ms[p] = f
+	}
+	return pruning.FromScores(n, ms, 0.3), crowd.FixedAnswers(fc, crowd.Config{})
+}
+
+func perfectRestaurant(t *testing.T) (*dataset.Dataset, *pruning.Candidates, *crowd.AnswerSet) {
+	t.Helper()
+	d := dataset.Restaurant(4)
+	cands := pruning.Prune(d.Records, pruning.Options{})
+	answers := crowd.BuildAnswers(cands.PairList(), d.TruthFn(), crowd.UniformDifficulty(0), crowd.ThreeWorker(1))
+	return d, cands, answers
+}
+
+func TestCrowdERPlusPerfectCrowd(t *testing.T) {
+	d, cands, answers := perfectRestaurant(t)
+	res := CrowdERPlus(cands, answers)
+	e := cluster.Evaluate(res.Clusters, d.Truth())
+	if e.Precision < 1 || e.Recall < 0.95 {
+		t.Errorf("CrowdER+ perfect-crowd scores: %+v", e)
+	}
+	// Exactly one crowd iteration over all of S.
+	if res.Stats.Iterations != 1 {
+		t.Errorf("iterations = %d, want 1", res.Stats.Iterations)
+	}
+	if res.Stats.Pairs != len(cands.Pairs) {
+		t.Errorf("pairs = %d, want |S| = %d", res.Stats.Pairs, len(cands.Pairs))
+	}
+}
+
+func TestTransMPerfectCrowd(t *testing.T) {
+	d, cands, answers := perfectRestaurant(t)
+	res := TransM(cands, answers)
+	e := cluster.Evaluate(res.Clusters, d.Truth())
+	if e.Precision < 1 || e.Recall < 0.95 {
+		t.Errorf("TransM perfect-crowd scores: %+v", e)
+	}
+	if res.Stats.Pairs > len(cands.Pairs) {
+		t.Errorf("TransM issued more than |S| pairs")
+	}
+}
+
+// TestTransMTransitivitySavings: with perfect answers on a clique of
+// duplicates, TransM asks only a spanning set, not all pairs.
+func TestTransMTransitivitySavings(t *testing.T) {
+	// 4 records, one entity, all 6 pairs candidates, crowd says yes to
+	// everything.
+	machine := map[record.Pair]float64{}
+	fc := map[record.Pair]float64{}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			p := record.MakePair(record.ID(i), record.ID(j))
+			machine[p] = 0.9
+			fc[p] = 1.0
+		}
+	}
+	cands, answers := fixedInstance(4, machine, fc)
+	res := TransM(cands, answers)
+	if res.Stats.Pairs != 3 {
+		t.Errorf("TransM asked %d pairs on a 4-clique, want 3 (spanning tree)", res.Stats.Pairs)
+	}
+	if res.Clusters.NumClusters() != 1 {
+		t.Errorf("clique not merged: %v", res.Clusters.Sets())
+	}
+	// Negative transitivity: two cliques with cross pairs; once one
+	// cross pair is answered no, the rest are inferred.
+	machine2 := map[record.Pair]float64{}
+	fc2 := map[record.Pair]float64{}
+	add := func(a, b record.ID, m, f float64) {
+		p := record.MakePair(a, b)
+		machine2[p] = m
+		fc2[p] = f
+	}
+	add(0, 1, 0.95, 1)
+	add(2, 3, 0.94, 1)
+	add(0, 2, 0.8, 0)
+	add(0, 3, 0.7, 0)
+	add(1, 2, 0.6, 0)
+	add(1, 3, 0.5, 0)
+	cands2, answers2 := fixedInstance(4, machine2, fc2)
+	res2 := TransM(cands2, answers2)
+	// 2 positive pairs + 1 cross question; the other 3 cross pairs are
+	// inferred different.
+	if res2.Stats.Pairs != 3 {
+		t.Errorf("TransM asked %d pairs, want 3 with negative inference", res2.Stats.Pairs)
+	}
+	want := cluster.MustFromSets(4, [][]record.ID{{0, 1}, {2, 3}})
+	if !cluster.Equal(res2.Clusters, want) {
+		t.Errorf("clusters = %v", res2.Clusters.Sets())
+	}
+}
+
+// TestTransMErrorAmplification reproduces Figure 1: two clean groups plus
+// one erroneous cross answer collapse into one cluster under TransM,
+// while CrowdER+ (average linkage over all answers) keeps them apart.
+func TestTransMErrorAmplification(t *testing.T) {
+	machine := map[record.Pair]float64{}
+	fc := map[record.Pair]float64{}
+	add := func(a, b record.ID, m, f float64) {
+		p := record.MakePair(a, b)
+		machine[p] = m
+		fc[p] = f
+	}
+	// Group {0,1,2} and group {3,4,5}, all within-group answers perfect.
+	add(0, 1, 0.95, 1)
+	add(1, 2, 0.94, 1)
+	add(0, 2, 0.93, 1)
+	add(3, 4, 0.92, 1)
+	add(4, 5, 0.91, 1)
+	add(3, 5, 0.90, 1)
+	// Cross pairs: the highest-ranked one gets an erroneous "yes".
+	add(2, 3, 0.85, 1) // crowd error!
+	add(0, 3, 0.4, 0)
+	add(1, 4, 0.4, 0)
+	add(2, 5, 0.4, 0)
+
+	cands, answers := fixedInstance(6, machine, fc)
+	res := TransM(cands, answers)
+	if res.Clusters.NumClusters() != 1 {
+		t.Errorf("TransM should amplify the single error into one big cluster, got %v",
+			res.Clusters.Sets())
+	}
+
+	res2 := CrowdERPlus(cands, answers)
+	want := cluster.MustFromSets(6, [][]record.ID{{0, 1, 2}, {3, 4, 5}})
+	if !cluster.Equal(res2.Clusters, want) {
+		t.Errorf("CrowdER+ should resist the single error, got %v", res2.Clusters.Sets())
+	}
+}
+
+func TestTransNodePerfectCrowd(t *testing.T) {
+	d, cands, answers := perfectRestaurant(t)
+	res := TransNode(cands, answers)
+	e := cluster.Evaluate(res.Clusters, d.Truth())
+	if e.Precision < 1 || e.Recall < 0.95 {
+		t.Errorf("TransNode perfect-crowd scores: %+v", e)
+	}
+	// Node-based: at most one question per (record, adjacent cluster).
+	if res.Stats.Pairs > len(cands.Pairs) {
+		t.Errorf("TransNode issued more than |S| pairs")
+	}
+	// No batching: iterations equal pairs asked.
+	if res.Stats.Iterations != res.Stats.Pairs {
+		t.Errorf("TransNode should ask one pair at a time: %+v", res.Stats)
+	}
+}
+
+func TestTransNodeClusterProbes(t *testing.T) {
+	// Three duplicates 0,1,2 (clique) and a singleton 3 with one
+	// candidate edge to the cluster. Perfect crowd: records 1,2 join via
+	// one probe each; record 3 probes once, is rejected, forms its own
+	// cluster.
+	machine := map[record.Pair]float64{}
+	fc := map[record.Pair]float64{}
+	add := func(a, b record.ID, m, f float64) {
+		p := record.MakePair(a, b)
+		machine[p] = m
+		fc[p] = f
+	}
+	add(0, 1, 0.9, 1)
+	add(0, 2, 0.8, 1)
+	add(1, 2, 0.85, 1)
+	add(2, 3, 0.6, 0)
+	cands, answers := fixedInstance(4, machine, fc)
+	res := TransNode(cands, answers)
+	want := cluster.MustFromSets(4, [][]record.ID{{0, 1, 2}, {3}})
+	if !cluster.Equal(res.Clusters, want) {
+		t.Errorf("clusters = %v", res.Clusters.Sets())
+	}
+	if res.Stats.Pairs != 3 {
+		t.Errorf("asked %d pairs, want 3 (one probe per insertion)", res.Stats.Pairs)
+	}
+}
+
+func TestGCERBudget(t *testing.T) {
+	d, cands, answers := perfectRestaurant(t)
+	budget := len(cands.Pairs) / 4
+	res := GCER(cands, answers, budget, 10)
+	if res.Stats.Pairs > budget {
+		t.Errorf("GCER exceeded budget: %d > %d", res.Stats.Pairs, budget)
+	}
+	e := cluster.Evaluate(res.Clusters, d.Truth())
+	if e.F1 == 0 {
+		t.Errorf("GCER produced a useless clustering: %+v", e)
+	}
+	// Zero budget degenerates to pure machine clustering, still valid.
+	res0 := GCER(cands, answers, 0, 10)
+	if res0.Stats.Pairs != 0 {
+		t.Errorf("zero-budget GCER crowdsourced %d pairs", res0.Stats.Pairs)
+	}
+	if res0.Clusters.Len() != cands.N {
+		t.Errorf("zero-budget GCER lost records")
+	}
+}
+
+func TestGCERIterationsBounded(t *testing.T) {
+	_, cands, answers := perfectRestaurant(t)
+	res := GCER(cands, answers, len(cands.Pairs)/3, 10)
+	if res.Stats.Iterations > 10 {
+		t.Errorf("GCER used %d iterations with 10 batches", res.Stats.Iterations)
+	}
+	if res.Stats.Iterations == 0 {
+		t.Errorf("GCER never crowdsourced")
+	}
+}
+
+// TestNaiveFullCostAndAmplification: the intro's brute-force method pays
+// the full candidate set and still collapses under a single error.
+func TestNaive(t *testing.T) {
+	d, cands, answers := perfectRestaurant(t)
+	res := Naive(cands, answers)
+	if res.Stats.Pairs != len(cands.Pairs) || res.Stats.Iterations != 1 {
+		t.Errorf("naive stats %+v, want full |S| in one batch", res.Stats)
+	}
+	e := cluster.Evaluate(res.Clusters, d.Truth())
+	if e.Precision < 1 || e.Recall < 0.95 {
+		t.Errorf("perfect-crowd naive scored %+v", e)
+	}
+	// Figure 1 amplification: one wrong cross answer merges two
+	// otherwise-clean entities (compare TestTransMErrorAmplification).
+	machineScores := map[record.Pair]float64{}
+	fc := map[record.Pair]float64{}
+	add := func(a, b record.ID, m, f float64) {
+		p := record.MakePair(a, b)
+		machineScores[p] = m
+		fc[p] = f
+	}
+	add(0, 1, 0.95, 1)
+	add(2, 3, 0.94, 1)
+	add(1, 2, 0.6, 1) // the single error
+	cands2, answers2 := fixedInstance(4, machineScores, fc)
+	res2 := Naive(cands2, answers2)
+	if res2.Clusters.NumClusters() != 1 {
+		t.Errorf("naive should amplify: %v", res2.Clusters.Sets())
+	}
+}
+
+// TestAllBaselinesPartition: every baseline returns a disjoint cover on a
+// noisy instance.
+func TestAllBaselinesPartition(t *testing.T) {
+	d := dataset.Product(2)
+	cands := pruning.Prune(d.Records, pruning.Options{})
+	answers := crowd.BuildAnswers(cands.PairList(), d.TruthFn(), crowd.UniformDifficulty(0.2), crowd.FiveWorker(3))
+	runs := map[string]Result{
+		"CrowdER+":  CrowdERPlus(cands, answers),
+		"TransM":    TransM(cands, answers),
+		"TransNode": TransNode(cands, answers),
+		"GCER":      GCER(cands, answers, 1000, 10),
+	}
+	for name, res := range runs {
+		seen := make(map[record.ID]bool)
+		total := 0
+		for _, s := range res.Clusters.Sets() {
+			for _, r := range s {
+				if seen[r] {
+					t.Fatalf("%s: record %d duplicated", name, r)
+				}
+				seen[r] = true
+				total++
+			}
+		}
+		if total != cands.N {
+			t.Errorf("%s: covered %d of %d records", name, total, cands.N)
+		}
+	}
+}

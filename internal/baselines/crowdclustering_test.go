@@ -1,0 +1,73 @@
+package baselines
+
+import (
+	"testing"
+
+	"acd/internal/cluster"
+	"acd/internal/crowd"
+	"acd/internal/dataset"
+	"acd/internal/pruning"
+	"acd/internal/record"
+)
+
+func TestCrowdclusteringRuns(t *testing.T) {
+	d, cands, answers := perfectRestaurant(t)
+	res := Crowdclustering(cands, answers, 20, 10, 1)
+	// Valid partition.
+	seen := map[record.ID]bool{}
+	total := 0
+	for _, s := range res.Clusters.Sets() {
+		for _, r := range s {
+			if seen[r] {
+				t.Fatalf("record %d duplicated", r)
+			}
+			seen[r] = true
+			total++
+		}
+	}
+	if total != cands.N {
+		t.Fatalf("covered %d of %d", total, cands.N)
+	}
+	// One crowd iteration per subset at most.
+	if res.Stats.Iterations > 20 {
+		t.Errorf("iterations = %d with 20 subsets", res.Stats.Iterations)
+	}
+	_ = d
+}
+
+// TestCrowdclusteringUnderperforms reproduces Section 2.2's critique: on
+// a dataset where entities have few duplicates (Restaurant), small
+// random subsets contain almost no duplicate pairs, so the generalized
+// clustering is much worse than CrowdER+ on the same answers.
+func TestCrowdclusteringUnderperforms(t *testing.T) {
+	d := dataset.Restaurant(6)
+	cands := pruning.Prune(d.Records, pruning.Options{})
+	answers := crowd.BuildAnswers(cands.PairList(), d.TruthFn(), crowd.UniformDifficulty(0.02), crowd.ThreeWorker(2))
+
+	cc := Crowdclustering(cands, answers, 20, 10, 1)
+	ce := CrowdERPlus(cands, answers)
+	ccF1 := cluster.Evaluate(cc.Clusters, d.Truth()).F1
+	ceF1 := cluster.Evaluate(ce.Clusters, d.Truth()).F1
+	if ccF1 >= ceF1 {
+		t.Errorf("Crowdclustering (%.3f) should trail CrowdER+ (%.3f) on sparse duplicates", ccF1, ceF1)
+	}
+}
+
+func TestLearnThreshold(t *testing.T) {
+	// Clean separation at 0.6.
+	obs := []labeledPair{
+		{0.2, false}, {0.3, false}, {0.5, false},
+		{0.7, true}, {0.8, true}, {0.9, true},
+	}
+	th := learnThreshold(obs)
+	if th <= 0.5 || th > 0.7 {
+		t.Errorf("threshold = %v, want in (0.5, 0.7]", th)
+	}
+	// No observations or no positives: fall back to 0.5.
+	if learnThreshold(nil) != 0.5 {
+		t.Errorf("empty fallback wrong")
+	}
+	if learnThreshold([]labeledPair{{0.9, false}}) != 0.5 {
+		t.Errorf("no-positive fallback wrong")
+	}
+}

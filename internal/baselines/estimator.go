@@ -1,0 +1,81 @@
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"acd/internal/crowd"
+	"acd/internal/histogram"
+	"acd/internal/pruning"
+	"acd/internal/record"
+)
+
+// estimator is GCER's evolving crowd-score model: exact crowd scores for
+// asked pairs, histogram-mapped machine scores for the rest. With no
+// crowd data yet, the histogram is the identity, so scores start as the
+// raw machine similarities (the "straightforward solution" of
+// Section 5.2).
+type estimator struct {
+	cands *pruning.Candidates
+	sess  *crowd.Session
+	hist  *histogram.Histogram
+}
+
+func newEstimator(cands *pruning.Candidates, sess *crowd.Session) *estimator {
+	e := &estimator{cands: cands, sess: sess}
+	e.refresh()
+	return e
+}
+
+// refresh rebuilds the histogram from everything crowdsourced so far.
+func (e *estimator) refresh() {
+	known := e.sess.KnownPairs()
+	samples := make([]histogram.Sample, 0, len(known))
+	for p, fc := range known {
+		samples = append(samples, histogram.Sample{Machine: e.cands.Score(p), Crowd: fc})
+	}
+	e.hist = histogram.Build(samples, histogram.DefaultBuckets)
+}
+
+// score returns the current best estimate of a candidate pair's crowd
+// score.
+func (e *estimator) score(p record.Pair) float64 {
+	if fc, ok := e.sess.Known(p); ok {
+		return fc
+	}
+	return e.hist.Estimate(e.cands.Score(p))
+}
+
+// mostUncertain returns up to k unasked candidate pairs whose estimated
+// score is closest to the 0.5 decision boundary, ties broken by pair
+// order for determinism.
+func (e *estimator) mostUncertain(k int) []record.Pair {
+	type scored struct {
+		p record.Pair
+		u float64 // |estimate − 0.5|: smaller is more uncertain
+	}
+	var all []scored
+	for _, sp := range e.cands.Pairs {
+		if _, known := e.sess.Known(sp.Pair); known {
+			continue
+		}
+		all = append(all, scored{p: sp.Pair, u: math.Abs(e.score(sp.Pair) - 0.5)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].u != all[j].u {
+			return all[i].u < all[j].u
+		}
+		if all[i].p.Lo != all[j].p.Lo {
+			return all[i].p.Lo < all[j].p.Lo
+		}
+		return all[i].p.Hi < all[j].p.Hi
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]record.Pair, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].p
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+// Package blocking implements candidate-pair generation for the pruning
+// phase: an inverted-index all-pairs Jaccard join with prefix filtering,
+// plus sorted-neighborhood keying (the classic merge/purge discipline
+// [28], also used by [48] to cluster crowd answers).
+//
+// The join avoids the O(n²) pair scan that a naive pruning phase would
+// need: with threshold τ, a pair can reach Jaccard ≥ τ only if the two
+// records share a token in their length-dependent prefixes, so only
+// records colliding in the inverted index over prefixes are verified.
+package blocking
+
+import (
+	"math"
+	"sort"
+
+	"acd/internal/record"
+	"acd/internal/similarity"
+)
+
+// ScoredPair is a candidate pair with its machine similarity score.
+type ScoredPair struct {
+	Pair  record.Pair
+	Score float64
+}
+
+// JaccardJoin returns all pairs of records whose token Jaccard similarity
+// strictly exceeds tau, with their scores. Records are tokenized once;
+// candidates are generated with a prefix-filtered inverted index and then
+// verified exactly. Results are sorted by descending score, ties broken
+// by pair order, so output is deterministic.
+func JaccardJoin(records []record.Record, tau float64) []ScoredPair {
+	n := len(records)
+	tokens := make([][]string, n)
+	for i, r := range records {
+		tokens[i] = record.SortedTokens(r.Text())
+	}
+	return JaccardJoinTokens(tokens, tau)
+}
+
+// JaccardJoinTokens is JaccardJoin over pre-tokenized records. tokens[i]
+// must be sorted and duplicate-free (record.SortedTokens form).
+func JaccardJoinTokens(tokens [][]string, tau float64) []ScoredPair {
+	n := len(tokens)
+
+	// Global token frequency orders prefixes by rarity: rare tokens first
+	// shrink the index postings dramatically.
+	freq := make(map[string]int)
+	for _, ts := range tokens {
+		for _, t := range ts {
+			freq[t]++
+		}
+	}
+	ordered := make([][]string, n)
+	for i, ts := range tokens {
+		o := append([]string(nil), ts...)
+		sort.Slice(o, func(a, b int) bool {
+			fa, fb := freq[o[a]], freq[o[b]]
+			if fa != fb {
+				return fa < fb
+			}
+			return o[a] < o[b]
+		})
+		ordered[i] = o
+	}
+
+	// Prefix length: for Jaccard > tau, two sets of sizes la, lb need
+	// overlap > tau/(1+tau) · (la+lb); a record can skip its last
+	// ceil(tau·la) tokens and still share a prefix token with any
+	// qualifying partner. Prefix = la − floor(tau·la) tokens.
+	prefixLen := func(l int) int {
+		p := l - int(math.Floor(tau*float64(l)))
+		if p < 1 && l > 0 {
+			p = 1
+		}
+		return p
+	}
+
+	index := make(map[string][]int) // token -> record ids (ascending)
+	seen := make(map[record.Pair]struct{})
+	var out []ScoredPair
+
+	for i := 0; i < n; i++ {
+		ts := ordered[i]
+		if len(ts) == 0 {
+			continue
+		}
+		p := prefixLen(len(ts))
+		cands := make(map[int]struct{})
+		for _, t := range ts[:p] {
+			for _, j := range index[t] {
+				cands[j] = struct{}{}
+			}
+		}
+		for j := range cands {
+			pair := record.MakePair(record.ID(i), record.ID(j))
+			if _, dup := seen[pair]; dup {
+				continue
+			}
+			seen[pair] = struct{}{}
+			// Length filter: Jaccard ≤ min/max of the sizes.
+			la, lb := len(tokens[i]), len(tokens[j])
+			lo, hi := la, lb
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if float64(lo)/float64(hi) <= tau {
+				continue
+			}
+			score := similarity.JaccardSorted(tokens[i], tokens[j])
+			if score > tau {
+				out = append(out, ScoredPair{Pair: pair, Score: score})
+			}
+		}
+		for _, t := range ts[:p] {
+			index[t] = append(index[t], i)
+		}
+	}
+	sortScored(out)
+	return out
+}
+
+func sortScored(sp []ScoredPair) {
+	sort.Slice(sp, func(i, j int) bool {
+		if sp[i].Score != sp[j].Score {
+			return sp[i].Score > sp[j].Score
+		}
+		if sp[i].Pair.Lo != sp[j].Pair.Lo {
+			return sp[i].Pair.Lo < sp[j].Pair.Lo
+		}
+		return sp[i].Pair.Hi < sp[j].Pair.Hi
+	})
+}
+
+// NaiveJoin computes the same result as JaccardJoin by scanning all
+// O(n²) pairs with the given metric (nil means token Jaccard). It exists
+// as the correctness oracle for JaccardJoin in tests and as the generic
+// path for non-Jaccard metrics.
+func NaiveJoin(records []record.Record, metric similarity.Metric, tau float64) []ScoredPair {
+	if metric == nil {
+		metric = similarity.Jaccard
+	}
+	var out []ScoredPair
+	for i := range records {
+		for j := i + 1; j < len(records); j++ {
+			score := metric(records[i].Text(), records[j].Text())
+			if score > tau {
+				out = append(out, ScoredPair{
+					Pair:  record.MakePair(records[i].ID, records[j].ID),
+					Score: score,
+				})
+			}
+		}
+	}
+	sortScored(out)
+	return out
+}
+
+// SortedNeighborhoodKey returns the merge/purge sort key of a record: its
+// distinct tokens in sorted order concatenated. Records with similar
+// token sets sort near each other.
+func SortedNeighborhoodKey(r record.Record) string {
+	toks := record.SortedTokens(r.Text())
+	key := ""
+	for _, t := range toks {
+		key += t
+	}
+	return key
+}
+
+// SortedNeighborhood returns the candidate pairs produced by a single
+// sorted-neighborhood pass with the given window size: records are sorted
+// by key and every pair within a sliding window of w records becomes a
+// candidate. Scores are token Jaccard.
+func SortedNeighborhood(records []record.Record, window int) []ScoredPair {
+	n := len(records)
+	type keyed struct {
+		key string
+		idx int
+	}
+	ks := make([]keyed, n)
+	for i, r := range records {
+		ks[i] = keyed{key: SortedNeighborhoodKey(r), idx: i}
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].key != ks[j].key {
+			return ks[i].key < ks[j].key
+		}
+		return ks[i].idx < ks[j].idx
+	})
+	tokens := make([][]string, n)
+	for i, r := range records {
+		tokens[i] = record.SortedTokens(r.Text())
+	}
+	seen := make(map[record.Pair]struct{})
+	var out []ScoredPair
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n && j <= i+window-1; j++ {
+			a, b := ks[i].idx, ks[j].idx
+			pair := record.MakePair(records[a].ID, records[b].ID)
+			if _, dup := seen[pair]; dup {
+				continue
+			}
+			seen[pair] = struct{}{}
+			out = append(out, ScoredPair{
+				Pair:  pair,
+				Score: similarity.JaccardSorted(tokens[a], tokens[b]),
+			})
+		}
+	}
+	sortScored(out)
+	return out
+}

@@ -1,0 +1,168 @@
+package blocking
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"acd/internal/record"
+	"acd/internal/similarity"
+)
+
+func mkRecords(texts []string) []record.Record {
+	out := make([]record.Record, len(texts))
+	for i, s := range texts {
+		out[i] = record.New(record.ID(i), map[string]string{"text": s})
+	}
+	return out
+}
+
+func TestJaccardJoinSmall(t *testing.T) {
+	recs := mkRecords([]string{
+		"apple banana cherry",
+		"apple banana grape",
+		"dog cat",
+		"dog cat mouse",
+		"zebra",
+	})
+	got := JaccardJoin(recs, 0.3)
+	want := NaiveJoin(recs, similarity.Jaccard, 0.3)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("JaccardJoin = %v, want %v", got, want)
+	}
+	// (0,1): 2/4 = 0.5; (2,3): 2/3 ≈ 0.667 — both above 0.3.
+	if len(got) != 2 {
+		t.Fatalf("expected 2 candidate pairs, got %v", got)
+	}
+	// Sorted descending by score: (2,3) first.
+	if got[0].Pair != record.MakePair(2, 3) || got[1].Pair != record.MakePair(0, 1) {
+		t.Errorf("ordering wrong: %v", got)
+	}
+}
+
+func TestJaccardJoinEmptyAndSingle(t *testing.T) {
+	if got := JaccardJoin(nil, 0.3); len(got) != 0 {
+		t.Errorf("empty input produced %v", got)
+	}
+	if got := JaccardJoin(mkRecords([]string{"only one"}), 0.3); len(got) != 0 {
+		t.Errorf("single record produced %v", got)
+	}
+	// Records with empty text never pair (their similarity to anything
+	// non-empty is 0, and pairs need score > tau ≥ 0).
+	got := JaccardJoin(mkRecords([]string{"", "", "a"}), 0.0)
+	if len(got) != 0 {
+		t.Errorf("empty-text records paired: %v", got)
+	}
+}
+
+// Property: the prefix-filtered join returns exactly the same pairs and
+// scores as the naive all-pairs scan, for random vocabularies and
+// thresholds.
+func TestJoinMatchesNaive(t *testing.T) {
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		recs := make([]record.Record, n)
+		for i := range recs {
+			k := 1 + rng.Intn(6)
+			text := ""
+			for w := 0; w < k; w++ {
+				text += vocab[rng.Intn(len(vocab))] + " "
+			}
+			recs[i] = record.New(record.ID(i), map[string]string{"t": text})
+		}
+		tau := []float64{0.1, 0.3, 0.5, 0.8}[rng.Intn(4)]
+		got := JaccardJoin(recs, tau)
+		want := NaiveJoin(recs, similarity.Jaccard, tau)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Pair != want[i].Pair || got[i].Score != want[i].Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNaiveJoinNilMetricDefaultsToJaccard(t *testing.T) {
+	recs := mkRecords([]string{"a b c", "a b d", "x y"})
+	got := NaiveJoin(recs, nil, 0.3)
+	want := NaiveJoin(recs, similarity.Jaccard, 0.3)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("nil metric: %v, want %v", got, want)
+	}
+}
+
+func TestSortedNeighborhoodKey(t *testing.T) {
+	r1 := record.New(0, map[string]string{"t": "banana apple"})
+	r2 := record.New(1, map[string]string{"t": "apple banana"})
+	if SortedNeighborhoodKey(r1) != SortedNeighborhoodKey(r2) {
+		t.Errorf("token order should not affect key")
+	}
+}
+
+func TestSortedNeighborhood(t *testing.T) {
+	recs := mkRecords([]string{
+		"apple pie",
+		"apple pies",
+		"zebra zoo",
+		"zebra zoos",
+	})
+	got := SortedNeighborhood(recs, 2)
+	// With window 2 over sorted keys, adjacent similar records pair up.
+	pairs := map[record.Pair]bool{}
+	for _, sp := range got {
+		pairs[sp.Pair] = true
+	}
+	if !pairs[record.MakePair(0, 1)] || !pairs[record.MakePair(2, 3)] {
+		t.Errorf("expected adjacent pairs, got %v", got)
+	}
+	// Window 1 yields nothing.
+	if got := SortedNeighborhood(recs, 1); len(got) != 0 {
+		t.Errorf("window 1 produced %v", got)
+	}
+	// Window n covers all pairs exactly once.
+	got = SortedNeighborhood(recs, 4)
+	if len(got) != 6 {
+		t.Errorf("full window produced %d pairs, want 6", len(got))
+	}
+}
+
+// Property: sorted-neighborhood pairs are unique and scores match Jaccard.
+func TestSortedNeighborhoodProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		recs := make([]record.Record, n)
+		for i := range recs {
+			recs[i] = record.New(record.ID(i), map[string]string{
+				"t": fmt.Sprintf("tok%d tok%d", rng.Intn(5), rng.Intn(5)),
+			})
+		}
+		w := 2 + rng.Intn(n)
+		got := SortedNeighborhood(recs, w)
+		seen := map[record.Pair]bool{}
+		for _, sp := range got {
+			if seen[sp.Pair] {
+				return false
+			}
+			seen[sp.Pair] = true
+			want := similarity.Jaccard(recs[sp.Pair.Lo].Text(), recs[sp.Pair.Hi].Text())
+			if sp.Score != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

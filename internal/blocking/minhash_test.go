@@ -1,0 +1,120 @@
+package blocking
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"acd/internal/record"
+)
+
+func TestMinHashJoinNoFalsePositives(t *testing.T) {
+	recs := mkRecords([]string{
+		"apple banana cherry date",
+		"apple banana cherry grape",
+		"zebra yak xylophone",
+		"zebra yak xylophone walrus",
+	})
+	got := MinHashJoin(recs, 0.3, MinHashConfig{Seed: 1})
+	exact := map[record.Pair]float64{}
+	for _, sp := range JaccardJoin(recs, 0.3) {
+		exact[sp.Pair] = sp.Score
+	}
+	for _, sp := range got {
+		want, ok := exact[sp.Pair]
+		if !ok {
+			t.Errorf("spurious pair %v (score %v)", sp.Pair, sp.Score)
+		} else if sp.Score != want {
+			t.Errorf("pair %v score %v, exact %v", sp.Pair, sp.Score, want)
+		}
+	}
+}
+
+func TestMinHashJoinRecall(t *testing.T) {
+	// Vocabulary-sharing records: pairs above 0.5 similarity should
+	// almost all be found with the default 16×4 scheme.
+	rng := rand.New(rand.NewSource(9))
+	vocab := make([]string, 40)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("tok%02d", i)
+	}
+	var texts []string
+	for e := 0; e < 60; e++ {
+		base := make([]string, 8)
+		for i := range base {
+			base[i] = vocab[rng.Intn(len(vocab))]
+		}
+		// Two noisy copies per entity.
+		for c := 0; c < 2; c++ {
+			cp := append([]string(nil), base...)
+			cp[rng.Intn(len(cp))] = vocab[rng.Intn(len(vocab))]
+			text := ""
+			for _, w := range cp {
+				text += w + " "
+			}
+			texts = append(texts, text)
+		}
+	}
+	recs := mkRecords(texts)
+
+	exact := JaccardJoin(recs, 0.5)
+	lsh := map[record.Pair]bool{}
+	for _, sp := range MinHashJoin(recs, 0.5, MinHashConfig{Seed: 2}) {
+		lsh[sp.Pair] = true
+	}
+	missed := 0
+	for _, sp := range exact {
+		if !lsh[sp.Pair] {
+			missed++
+		}
+	}
+	if len(exact) == 0 {
+		t.Fatal("test instance produced no exact pairs")
+	}
+	recall := 1 - float64(missed)/float64(len(exact))
+	if recall < 0.95 {
+		t.Errorf("LSH recall %.3f over %d pairs, want ≥ 0.95", recall, len(exact))
+	}
+}
+
+func TestMinHashEmptyRecords(t *testing.T) {
+	recs := mkRecords([]string{"", "a b c", "", "a b d"})
+	got := MinHashJoin(recs, 0.3, MinHashConfig{})
+	for _, sp := range got {
+		if recs[sp.Pair.Lo].Text() == "" || recs[sp.Pair.Hi].Text() == "" {
+			t.Errorf("empty record paired: %v", sp.Pair)
+		}
+	}
+}
+
+func TestMinHashDeterministic(t *testing.T) {
+	recs := mkRecords([]string{"a b c", "a b d", "x y z"})
+	a := MinHashJoin(recs, 0.1, MinHashConfig{Seed: 5})
+	b := MinHashJoin(recs, 0.1, MinHashConfig{Seed: 5})
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestMinHashSignatureProperties(t *testing.T) {
+	// Identical token sets have identical signatures regardless of
+	// input order; signature length is honored.
+	s1 := minhashSignature([]string{"a", "b", "c"}, 32, 7)
+	s2 := minhashSignature([]string{"c", "a", "b"}, 32, 7)
+	if len(s1) != 32 {
+		t.Fatalf("signature length %d", len(s1))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("order-dependent signature at %d", i)
+		}
+	}
+	if minhashSignature(nil, 8, 7) != nil {
+		t.Errorf("empty token set should give nil signature")
+	}
+}

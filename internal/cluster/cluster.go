@@ -1,0 +1,231 @@
+// Package cluster defines clusterings (disjoint covers of a record set),
+// the correlation-clustering objectives Λ(R) and Λ′(R) from Equations 1–2
+// of the paper, and the pairwise precision/recall/F1 evaluation metrics
+// used in Section 6.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"acd/internal/record"
+)
+
+// Clustering is a partition of the dense record universe 0..n-1 into
+// disjoint clusters. Cluster indices are stable across Split and Merge
+// operations; emptied clusters remain as tombstones until Compact is
+// called. Use Assignment to map a record to its current cluster.
+type Clustering struct {
+	assign   []int         // record -> cluster index, -1 if unassigned
+	clusters [][]record.ID // cluster index -> members (unordered)
+	sizes    []int         // cluster index -> live size
+}
+
+// NewSingletons returns the clustering where every record is alone.
+func NewSingletons(n int) *Clustering {
+	c := &Clustering{
+		assign:   make([]int, n),
+		clusters: make([][]record.ID, n),
+		sizes:    make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		c.assign[i] = i
+		c.clusters[i] = []record.ID{record.ID(i)}
+		c.sizes[i] = 1
+	}
+	return c
+}
+
+// FromSets builds a clustering of 0..n-1 from explicit member sets. Every
+// record must appear in exactly one set; FromSets returns an error
+// otherwise.
+func FromSets(n int, sets [][]record.ID) (*Clustering, error) {
+	c := &Clustering{
+		assign: make([]int, n),
+	}
+	for i := range c.assign {
+		c.assign[i] = -1
+	}
+	for _, set := range sets {
+		idx := len(c.clusters)
+		members := make([]record.ID, 0, len(set))
+		for _, r := range set {
+			if r < 0 || int(r) >= n {
+				return nil, fmt.Errorf("cluster: record %d out of range [0,%d)", r, n)
+			}
+			if c.assign[r] != -1 {
+				return nil, fmt.Errorf("cluster: record %d assigned twice", r)
+			}
+			c.assign[r] = idx
+			members = append(members, r)
+		}
+		c.clusters = append(c.clusters, members)
+		c.sizes = append(c.sizes, len(members))
+	}
+	for r, a := range c.assign {
+		if a == -1 {
+			return nil, fmt.Errorf("cluster: record %d unassigned", r)
+		}
+	}
+	return c, nil
+}
+
+// MustFromSets is FromSets that panics on error; for tests and literals.
+func MustFromSets(n int, sets [][]record.ID) *Clustering {
+	c, err := FromSets(n, sets)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Len returns the number of records in the universe.
+func (c *Clustering) Len() int { return len(c.assign) }
+
+// NumClusters returns the number of non-empty clusters.
+func (c *Clustering) NumClusters() int {
+	n := 0
+	for _, s := range c.sizes {
+		if s > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Assignment returns the cluster index of record r.
+func (c *Clustering) Assignment(r record.ID) int { return c.assign[r] }
+
+// Members returns the live members of cluster idx. The returned slice
+// must not be modified.
+func (c *Clustering) Members(idx int) []record.ID { return c.clusters[idx] }
+
+// Size returns the number of records in cluster idx.
+func (c *Clustering) Size(idx int) int { return c.sizes[idx] }
+
+// Same reports whether two records are currently co-clustered.
+func (c *Clustering) Same(a, b record.ID) bool { return c.assign[a] == c.assign[b] }
+
+// Split removes record r from its cluster and places it in a fresh
+// singleton cluster, returning the new cluster's index. Splitting a
+// record that is already a singleton still allocates a new cluster.
+func (c *Clustering) Split(r record.ID) int {
+	old := c.assign[r]
+	members := c.clusters[old]
+	for i, m := range members {
+		if m == r {
+			members[i] = members[len(members)-1]
+			c.clusters[old] = members[:len(members)-1]
+			break
+		}
+	}
+	c.sizes[old]--
+	idx := len(c.clusters)
+	c.clusters = append(c.clusters, []record.ID{r})
+	c.sizes = append(c.sizes, 1)
+	c.assign[r] = idx
+	return idx
+}
+
+// Merge combines clusters a and b, keeping index a and emptying b. It
+// panics if a == b or either cluster is empty.
+func (c *Clustering) Merge(a, b int) {
+	if a == b {
+		panic("cluster: merging a cluster with itself")
+	}
+	if c.sizes[a] == 0 || c.sizes[b] == 0 {
+		panic("cluster: merging an empty cluster")
+	}
+	for _, r := range c.clusters[b] {
+		c.assign[r] = a
+	}
+	c.clusters[a] = append(c.clusters[a], c.clusters[b]...)
+	c.sizes[a] += c.sizes[b]
+	c.clusters[b] = nil
+	c.sizes[b] = 0
+}
+
+// Sets returns the non-empty clusters as sorted member slices, themselves
+// ordered by smallest member. The result is independent of internal
+// cluster indices, so two logically equal clusterings produce equal Sets.
+func (c *Clustering) Sets() [][]record.ID {
+	out := make([][]record.ID, 0, len(c.clusters))
+	for _, members := range c.clusters {
+		if len(members) == 0 {
+			continue
+		}
+		s := make([]record.ID, len(members))
+		copy(s, members)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// Equal reports whether two clusterings induce the same partition.
+func Equal(a, b *Clustering) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	as, bs := a.Sets(), b.Sets()
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if len(as[i]) != len(bs[i]) {
+			return false
+		}
+		for j := range as[i] {
+			if as[i][j] != bs[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the clustering.
+func (c *Clustering) Clone() *Clustering {
+	cp := &Clustering{
+		assign:   append([]int(nil), c.assign...),
+		clusters: make([][]record.ID, len(c.clusters)),
+		sizes:    append([]int(nil), c.sizes...),
+	}
+	for i, m := range c.clusters {
+		if m != nil {
+			cp.clusters[i] = append([]record.ID(nil), m...)
+		}
+	}
+	return cp
+}
+
+// Compact renumbers clusters to remove tombstones left by Merge/Split.
+func (c *Clustering) Compact() {
+	newClusters := c.clusters[:0]
+	newSizes := c.sizes[:0]
+	for _, members := range c.clusters {
+		if len(members) == 0 {
+			continue
+		}
+		idx := len(newClusters)
+		for _, r := range members {
+			c.assign[r] = idx
+		}
+		newClusters = append(newClusters, members)
+		newSizes = append(newSizes, len(members))
+	}
+	c.clusters = newClusters
+	c.sizes = newSizes
+}
+
+// ClusterIndices returns the indices of all non-empty clusters.
+func (c *Clustering) ClusterIndices() []int {
+	out := make([]int, 0, len(c.clusters))
+	for i, s := range c.sizes {
+		if s > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}

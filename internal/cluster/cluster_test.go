@@ -1,0 +1,370 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"acd/internal/record"
+)
+
+func TestNewSingletons(t *testing.T) {
+	c := NewSingletons(4)
+	if c.Len() != 4 || c.NumClusters() != 4 {
+		t.Fatalf("singletons: len=%d clusters=%d", c.Len(), c.NumClusters())
+	}
+	for i := 0; i < 4; i++ {
+		if c.Size(c.Assignment(record.ID(i))) != 1 {
+			t.Errorf("record %d not in singleton", i)
+		}
+	}
+}
+
+func TestFromSetsValidation(t *testing.T) {
+	if _, err := FromSets(3, [][]record.ID{{0, 1}, {2}}); err != nil {
+		t.Errorf("valid sets rejected: %v", err)
+	}
+	if _, err := FromSets(3, [][]record.ID{{0, 1}}); err == nil {
+		t.Errorf("missing record accepted")
+	}
+	if _, err := FromSets(3, [][]record.ID{{0, 1}, {1, 2}}); err == nil {
+		t.Errorf("duplicate record accepted")
+	}
+	if _, err := FromSets(3, [][]record.ID{{0, 1}, {2, 5}}); err == nil {
+		t.Errorf("out-of-range record accepted")
+	}
+}
+
+func TestSplitMerge(t *testing.T) {
+	c := MustFromSets(5, [][]record.ID{{0, 1, 2}, {3, 4}})
+	if !c.Same(0, 2) || c.Same(2, 3) {
+		t.Fatalf("initial Same wrong")
+	}
+	idx := c.Split(2)
+	if c.Same(0, 2) {
+		t.Errorf("split record still co-clustered")
+	}
+	if c.Size(idx) != 1 || c.Members(idx)[0] != 2 {
+		t.Errorf("split cluster malformed")
+	}
+	c.Merge(idx, c.Assignment(3))
+	if !c.Same(2, 3) || !c.Same(2, 4) {
+		t.Errorf("merge failed")
+	}
+	if c.NumClusters() != 2 {
+		t.Errorf("NumClusters = %d, want 2", c.NumClusters())
+	}
+	c.Compact()
+	if got := len(c.ClusterIndices()); got != 2 {
+		t.Errorf("after compact: %d clusters", got)
+	}
+	// Assignments still consistent after compact.
+	for r := record.ID(0); r < 5; r++ {
+		found := false
+		for _, m := range c.Members(c.Assignment(r)) {
+			if m == r {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("record %d lost after compact", r)
+		}
+	}
+}
+
+func TestMergePanics(t *testing.T) {
+	c := NewSingletons(3)
+	for _, fn := range []func(){
+		func() { c.Merge(0, 0) },
+		func() { c2 := NewSingletons(3); c2.Merge(0, 1); c2.Merge(2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := MustFromSets(4, [][]record.ID{{0, 1}, {2, 3}})
+	b := MustFromSets(4, [][]record.ID{{2, 3}, {1, 0}})
+	if !Equal(a, b) {
+		t.Errorf("logically equal clusterings reported unequal")
+	}
+	cp := a.Clone()
+	cp.Split(1)
+	if Equal(a, cp) {
+		t.Errorf("clone mutation affected original or Equal wrong")
+	}
+	if !Equal(a, MustFromSets(4, [][]record.ID{{0, 1}, {2, 3}})) {
+		t.Errorf("original mutated by clone")
+	}
+}
+
+// table2Scores returns the similarity scores of Table 2 / Example 1 with
+// records a..f mapped to IDs 0..5.
+func table2Scores() Scores {
+	s := Scores{}
+	add := func(a, b record.ID, f float64) { s[record.MakePair(a, b)] = f }
+	add(0, 1, 0.81) // (a,b)
+	add(1, 2, 0.75) // (b,c)
+	add(0, 2, 0.73) // (a,c)
+	add(3, 4, 0.72) // (d,e)
+	add(3, 5, 0.70) // (d,f)
+	add(4, 5, 0.69) // (e,f)
+	add(2, 3, 0.45) // (c,d)
+	add(0, 3, 0.43) // (a,d)
+	add(0, 4, 0.37) // (a,e)
+	return s
+}
+
+// partitions enumerates every partition of 0..n-1 (Bell-number many).
+func partitions(n int) [][][]record.ID {
+	var out [][][]record.ID
+	var rec func(i int, cur [][]record.ID)
+	rec = func(i int, cur [][]record.ID) {
+		if i == n {
+			cp := make([][]record.ID, len(cur))
+			for k := range cur {
+				cp[k] = append([]record.ID(nil), cur[k]...)
+			}
+			out = append(out, cp)
+			return
+		}
+		for k := range cur {
+			cur[k] = append(cur[k], record.ID(i))
+			rec(i+1, cur)
+			cur[k] = cur[k][:len(cur[k])-1]
+		}
+		cur = append(cur, []record.ID{record.ID(i)})
+		rec(i+1, cur)
+	}
+	rec(0, nil)
+	return out
+}
+
+// TestExample1 verifies the paper's Example 1: over all 203 partitions of
+// the six records, Λ(R) is minimized by exactly {a,b,c}, {d,e,f}.
+func TestExample1(t *testing.T) {
+	scores := table2Scores()
+	best := math.Inf(1)
+	var bestC *Clustering
+	for _, p := range partitions(6) {
+		c := MustFromSets(6, p)
+		if l := Lambda(c, scores); l < best {
+			best = l
+			bestC = c
+		}
+	}
+	want := MustFromSets(6, [][]record.ID{{0, 1, 2}, {3, 4, 5}})
+	if !Equal(bestC, want) {
+		t.Errorf("Λ minimizer = %v, want {a,b,c},{d,e,f}", bestC.Sets())
+	}
+}
+
+func TestLambdaValues(t *testing.T) {
+	scores := table2Scores()
+	// All singletons: Λ = sum of all f values.
+	c := NewSingletons(6)
+	sum := 0.0
+	for _, f := range scores {
+		sum += f
+	}
+	if got := Lambda(c, scores); math.Abs(got-sum) > 1e-9 {
+		t.Errorf("singleton Λ = %v, want %v", got, sum)
+	}
+	// One big cluster: Λ = Σ(1 − f) over known pairs + 1 per unknown pair.
+	all := MustFromSets(6, [][]record.ID{{0, 1, 2, 3, 4, 5}})
+	want := 0.0
+	for _, f := range scores {
+		want += 1 - f
+	}
+	want += float64(15 - len(scores)) // 6 unknown pairs at f = 0
+	if got := Lambda(all, scores); math.Abs(got-want) > 1e-9 {
+		t.Errorf("one-cluster Λ = %v, want %v", got, want)
+	}
+}
+
+// TestLambdaAgainstBruteForce checks the sparse Λ computation against a
+// direct O(n²) evaluation of Equation 1 on random clusterings and scores.
+func TestLambdaAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		scores := Scores{}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					scores[record.MakePair(record.ID(i), record.ID(j))] = rng.Float64()
+				}
+			}
+		}
+		c := randomClustering(rng, n)
+		got := Lambda(c, scores)
+		want := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				fij := scores.Get(record.MakePair(record.ID(i), record.ID(j)))
+				if c.Same(record.ID(i), record.ID(j)) {
+					want += 1 - fij
+				} else {
+					want += fij
+				}
+			}
+		}
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomClustering(rng *rand.Rand, n int) *Clustering {
+	k := 1 + rng.Intn(n)
+	sets := make([][]record.ID, k)
+	for i := 0; i < n; i++ {
+		c := rng.Intn(k)
+		sets[c] = append(sets[c], record.ID(i))
+	}
+	var nonEmpty [][]record.ID
+	for _, s := range sets {
+		if len(s) > 0 {
+			nonEmpty = append(nonEmpty, s)
+		}
+	}
+	return MustFromSets(n, nonEmpty)
+}
+
+func TestEvaluatePerfect(t *testing.T) {
+	entity := []int{0, 0, 1, 1, 2}
+	c := MustFromSets(5, [][]record.ID{{0, 1}, {2, 3}, {4}})
+	r := Evaluate(c, entity)
+	if r.Precision != 1 || r.Recall != 1 || r.F1 != 1 {
+		t.Errorf("perfect clustering scored %+v", r)
+	}
+}
+
+func TestEvaluateMixed(t *testing.T) {
+	entity := []int{0, 0, 1, 1}
+	// Everything in one cluster: 2 correct pairs of 6 predicted; recall 1.
+	c := MustFromSets(4, [][]record.ID{{0, 1, 2, 3}})
+	r := Evaluate(c, entity)
+	if math.Abs(r.Precision-2.0/6) > 1e-9 || r.Recall != 1 {
+		t.Errorf("got %+v", r)
+	}
+	wantF1 := 2 * (2.0 / 6) * 1 / ((2.0 / 6) + 1)
+	if math.Abs(r.F1-wantF1) > 1e-9 {
+		t.Errorf("F1 = %v, want %v", r.F1, wantF1)
+	}
+	// All singletons: no predicted pairs, recall 0.
+	r = Evaluate(NewSingletons(4), entity)
+	if r.Recall != 0 || r.F1 != 0 {
+		t.Errorf("singletons scored %+v", r)
+	}
+}
+
+func TestEvaluateNoDuplicates(t *testing.T) {
+	entity := []int{0, 1, 2}
+	r := Evaluate(NewSingletons(3), entity)
+	if r.Precision != 1 || r.Recall != 1 || r.F1 != 1 {
+		t.Errorf("no-duplicate dataset with singleton clustering scored %+v", r)
+	}
+}
+
+// TestEvaluateAgainstBruteForce checks the grouped-count implementation
+// against direct pair enumeration.
+func TestEvaluateAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		entity := make([]int, n)
+		for i := range entity {
+			entity[i] = rng.Intn(n/2 + 1)
+		}
+		c := randomClustering(rng, n)
+		got := Evaluate(c, entity)
+		var pred, act, corr float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				same := c.Same(record.ID(i), record.ID(j))
+				truth := entity[i] == entity[j]
+				if same {
+					pred++
+				}
+				if truth {
+					act++
+				}
+				if same && truth {
+					corr++
+				}
+			}
+		}
+		var want PRF1
+		if pred > 0 {
+			want.Precision = corr / pred
+		} else if act == 0 {
+			want.Precision = 1
+		}
+		if act > 0 {
+			want.Recall = corr / act
+		} else {
+			want.Recall = 1
+		}
+		if want.Precision+want.Recall > 0 {
+			want.F1 = 2 * want.Precision * want.Recall / (want.Precision + want.Recall)
+		}
+		return math.Abs(got.Precision-want.Precision) < 1e-9 &&
+			math.Abs(got.Recall-want.Recall) < 1e-9 &&
+			math.Abs(got.F1-want.F1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sets always yields a disjoint cover with sorted members.
+func TestSetsPartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		c := randomClustering(rng, n)
+		// Random walk of splits and merges.
+		for k := 0; k < 10; k++ {
+			if rng.Intn(2) == 0 {
+				c.Split(record.ID(rng.Intn(n)))
+			} else {
+				idxs := c.ClusterIndices()
+				if len(idxs) >= 2 {
+					a := idxs[rng.Intn(len(idxs))]
+					b := idxs[rng.Intn(len(idxs))]
+					if a != b {
+						c.Merge(a, b)
+					}
+				}
+			}
+		}
+		seen := make([]bool, n)
+		total := 0
+		for _, set := range c.Sets() {
+			for i, m := range set {
+				if seen[m] {
+					return false
+				}
+				seen[m] = true
+				if i > 0 && set[i-1] >= m {
+					return false
+				}
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

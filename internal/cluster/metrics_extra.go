@@ -1,0 +1,182 @@
+package cluster
+
+import "acd/internal/record"
+
+// Additional clustering-quality metrics from the duplicate-detection
+// evaluation framework of Hassanzadeh et al. [27], complementing the
+// pairwise F1 the paper reports: the adjusted Rand index, purity /
+// inverse purity, and cluster-level (closest-cluster) F1. The experiment
+// harness reports pairwise F1 only (matching the paper), but the extra
+// metrics are exposed for downstream users and exercised by the test
+// suite.
+
+// AdjustedRandIndex computes the ARI of clustering c against ground
+// truth entity labels: the Rand index corrected for chance agreement.
+// 1 means identical partitions, 0 means chance-level agreement; negative
+// values mean worse than chance. A single-record universe scores 1.
+func AdjustedRandIndex(c *Clustering, entity []int) float64 {
+	n := len(entity)
+	if n < 2 {
+		return 1
+	}
+	pairs2 := func(k int) float64 { return float64(k) * float64(k-1) / 2 }
+
+	// Contingency counts: cluster × entity.
+	var sumComb float64 // Σ_ij C(n_ij, 2)
+	var sumA float64    // Σ_i C(a_i, 2) over clusters
+	var sumB float64    // Σ_j C(b_j, 2) over entities
+
+	entSize := make(map[int]int)
+	for _, e := range entity {
+		entSize[e]++
+	}
+	for _, k := range entSize {
+		sumB += pairs2(k)
+	}
+	for _, idx := range c.ClusterIndices() {
+		members := c.Members(idx)
+		sumA += pairs2(len(members))
+		byEnt := make(map[int]int)
+		for _, r := range members {
+			byEnt[entity[r]]++
+		}
+		for _, k := range byEnt {
+			sumComb += pairs2(k)
+		}
+	}
+	total := pairs2(n)
+	expected := sumA * sumB / total
+	maxIndex := (sumA + sumB) / 2
+	if maxIndex == expected {
+		// Degenerate: both partitions all-singletons or one-cluster in a
+		// way that leaves no room for chance correction.
+		if sumComb == expected {
+			return 1
+		}
+		return 0
+	}
+	return (sumComb - expected) / (maxIndex - expected)
+}
+
+// Purity returns the fraction of records whose cluster's majority entity
+// matches their own — the precision-flavored cluster metric. All
+// singletons give purity 1.
+func Purity(c *Clustering, entity []int) float64 {
+	n := len(entity)
+	if n == 0 {
+		return 1
+	}
+	correct := 0
+	for _, idx := range c.ClusterIndices() {
+		byEnt := make(map[int]int)
+		for _, r := range c.Members(idx) {
+			byEnt[entity[r]]++
+		}
+		max := 0
+		for _, k := range byEnt {
+			if k > max {
+				max = k
+			}
+		}
+		correct += max
+	}
+	return float64(correct) / float64(n)
+}
+
+// InversePurity returns purity computed the other way around: the
+// fraction of records whose entity's majority cluster matches their own
+// cluster — the recall-flavored counterpart (one big cluster gives 1).
+func InversePurity(c *Clustering, entity []int) float64 {
+	n := len(entity)
+	if n == 0 {
+		return 1
+	}
+	byEnt := make(map[int]map[int]int) // entity -> cluster -> count
+	for r, e := range entity {
+		if byEnt[e] == nil {
+			byEnt[e] = make(map[int]int)
+		}
+		byEnt[e][c.Assignment(record.ID(r))]++
+	}
+	correct := 0
+	for _, clusters := range byEnt {
+		max := 0
+		for _, k := range clusters {
+			if k > max {
+				max = k
+			}
+		}
+		correct += max
+	}
+	return float64(correct) / float64(n)
+}
+
+// ClusterF1 computes the cluster-level (closest-cluster) F1 of [27]:
+// precision is the fraction of predicted clusters that exactly equal
+// some ground-truth entity's record set; recall is the fraction of
+// entities whose record set is exactly some predicted cluster; F1 is
+// their harmonic mean. It is a much stricter metric than pairwise F1 —
+// a cluster missing one record counts as fully wrong.
+func ClusterF1(c *Clustering, entity []int) (precision, recall, f1 float64) {
+	// Fingerprint ground-truth entities by sorted member lists.
+	entMembers := make(map[int][]int)
+	for r, e := range entity {
+		entMembers[e] = append(entMembers[e], r)
+	}
+	truthSet := make(map[string]struct{}, len(entMembers))
+	for _, members := range entMembers {
+		truthSet[fingerprint(members)] = struct{}{}
+	}
+
+	exact := 0
+	clusters := c.ClusterIndices()
+	for _, idx := range clusters {
+		members := make([]int, 0, c.Size(idx))
+		for _, r := range c.Members(idx) {
+			members = append(members, int(r))
+		}
+		if _, ok := truthSet[fingerprint(members)]; ok {
+			exact++
+		}
+	}
+	if len(clusters) > 0 {
+		precision = float64(exact) / float64(len(clusters))
+	}
+	if len(entMembers) > 0 {
+		recall = float64(exact) / float64(len(entMembers))
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}
+
+// fingerprint canonicalizes a member list (sorted, delimiter-joined).
+func fingerprint(members []int) string {
+	s := append([]int(nil), members...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	out := make([]byte, 0, len(s)*4)
+	for _, m := range s {
+		out = appendInt(out, m)
+		out = append(out, ',')
+	}
+	return string(out)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"acd/internal/record"
+)
+
+func TestARIPerfectAndDegenerate(t *testing.T) {
+	entity := []int{0, 0, 1, 1, 2}
+	perfect := MustFromSets(5, [][]record.ID{{0, 1}, {2, 3}, {4}})
+	if got := AdjustedRandIndex(perfect, entity); math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect ARI = %v", got)
+	}
+	// Single record.
+	if got := AdjustedRandIndex(NewSingletons(1), []int{0}); got != 1 {
+		t.Errorf("single-record ARI = %v", got)
+	}
+	// Identical all-singleton partitions (degenerate maxIndex == expected).
+	if got := AdjustedRandIndex(NewSingletons(4), []int{0, 1, 2, 3}); got != 1 {
+		t.Errorf("all-singleton identical ARI = %v", got)
+	}
+}
+
+func TestARIKnownValue(t *testing.T) {
+	// Classic example: entity = {0,0,0,1,1,1}, clustering
+	// {0,1},{2,3},{4,5}. Contingency rows: each cluster has one pair
+	// either within one entity or crossing.
+	entity := []int{0, 0, 0, 1, 1, 1}
+	c := MustFromSets(6, [][]record.ID{{0, 1}, {2, 3}, {4, 5}})
+	// sumComb = C(2,2)+ (1,1 split → 0) + C(2,2) = 1+0+1 = 2
+	// sumA = 3·C(2,2) = 3; sumB = 2·C(3,2) = 6; total = C(6,2) = 15.
+	// expected = 3·6/15 = 1.2; max = 4.5; ARI = (2−1.2)/(4.5−1.2) = 0.2424...
+	want := (2.0 - 1.2) / (4.5 - 1.2)
+	if got := AdjustedRandIndex(c, entity); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ARI = %v, want %v", got, want)
+	}
+}
+
+func TestARIRandomIsNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 2000
+	entity := make([]int, n)
+	for i := range entity {
+		entity[i] = rng.Intn(100)
+	}
+	sets := make([][]record.ID, 100)
+	for i := 0; i < n; i++ {
+		k := rng.Intn(100)
+		sets[k] = append(sets[k], record.ID(i))
+	}
+	var nonEmpty [][]record.ID
+	for _, s := range sets {
+		if len(s) > 0 {
+			nonEmpty = append(nonEmpty, s)
+		}
+	}
+	c := MustFromSets(n, nonEmpty)
+	if got := AdjustedRandIndex(c, entity); math.Abs(got) > 0.02 {
+		t.Errorf("random-clustering ARI = %v, want ≈ 0", got)
+	}
+}
+
+func TestPurityAndInversePurity(t *testing.T) {
+	entity := []int{0, 0, 1, 1}
+	// One big cluster: purity = max entity share = 0.5; inverse = 1.
+	big := MustFromSets(4, [][]record.ID{{0, 1, 2, 3}})
+	if got := Purity(big, entity); got != 0.5 {
+		t.Errorf("purity = %v", got)
+	}
+	if got := InversePurity(big, entity); got != 1 {
+		t.Errorf("inverse purity = %v", got)
+	}
+	// Singletons: purity 1, inverse purity 0.5.
+	single := NewSingletons(4)
+	if got := Purity(single, entity); got != 1 {
+		t.Errorf("singleton purity = %v", got)
+	}
+	if got := InversePurity(single, entity); got != 0.5 {
+		t.Errorf("singleton inverse purity = %v", got)
+	}
+}
+
+func TestClusterF1(t *testing.T) {
+	entity := []int{0, 0, 1, 1, 2}
+	perfect := MustFromSets(5, [][]record.ID{{0, 1}, {2, 3}, {4}})
+	p, r, f1 := ClusterF1(perfect, entity)
+	if p != 1 || r != 1 || f1 != 1 {
+		t.Errorf("perfect ClusterF1 = %v/%v/%v", p, r, f1)
+	}
+	// One record misplaced: clusters {0,1,4} and {2,3} — only {2,3}
+	// matches an entity exactly: precision 1/3 (singleton {} no...).
+	off := MustFromSets(5, [][]record.ID{{0, 1, 4}, {2, 3}})
+	p, r, _ = ClusterF1(off, entity)
+	if math.Abs(p-0.5) > 1e-9 { // 1 of 2 clusters exact
+		t.Errorf("precision = %v, want 0.5", p)
+	}
+	if math.Abs(r-1.0/3) > 1e-9 { // 1 of 3 entities matched
+		t.Errorf("recall = %v, want 1/3", r)
+	}
+}
+
+// Property: all extra metrics stay within their ranges and agree with
+// Evaluate on perfect clusterings, across random instances.
+func TestExtraMetricsProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		entity := make([]int, n)
+		for i := range entity {
+			entity[i] = rng.Intn(n/2 + 1)
+		}
+		c := randomClustering(rng, n)
+		ari := AdjustedRandIndex(c, entity)
+		pur := Purity(c, entity)
+		inv := InversePurity(c, entity)
+		if ari < -1-1e-9 || ari > 1+1e-9 {
+			return false
+		}
+		if pur < 0 || pur > 1 || inv < 0 || inv > 1 {
+			return false
+		}
+		p, r, f1 := ClusterF1(c, entity)
+		if p < 0 || p > 1 || r < 0 || r > 1 || f1 < 0 || f1 > 1 {
+			return false
+		}
+		// Perfect clustering scores 1 everywhere.
+		byEnt := map[int][]record.ID{}
+		for i, e := range entity {
+			byEnt[e] = append(byEnt[e], record.ID(i))
+		}
+		var sets [][]record.ID
+		for _, s := range byEnt {
+			sets = append(sets, s)
+		}
+		perfect := MustFromSets(n, sets)
+		if AdjustedRandIndex(perfect, entity) < 1-1e-9 {
+			return false
+		}
+		if Purity(perfect, entity) != 1 || InversePurity(perfect, entity) != 1 {
+			return false
+		}
+		_, _, pf1 := ClusterF1(perfect, entity)
+		return pf1 == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

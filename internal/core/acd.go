@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math/rand"
+
+	"acd/internal/cluster"
+	"acd/internal/crowd"
+	"acd/internal/pruning"
+	"acd/internal/refine"
+)
+
+// Config parameterizes a full ACD run.
+type Config struct {
+	// Epsilon is PC-Pivot's wasted-pair budget (Equation 4). Zero value
+	// means DefaultEpsilon (0.1, the paper's choice after Section 6.2).
+	Epsilon float64
+	// RefineX is the divisor in the refinement budget T = N_m/x. Zero
+	// value means refine.DefaultX (8, the paper's choice after
+	// Appendix C).
+	RefineX int
+	// SkipRefinement disables the cluster refinement phase, producing
+	// the "crippled" PC-Pivot-only variant the paper also evaluates.
+	SkipRefinement bool
+	// Seed drives the random permutation. Runs with equal seeds and
+	// answers are identical.
+	Seed int64
+}
+
+// Output is the result of a full ACD run.
+type Output struct {
+	// Clusters is the final deduplication.
+	Clusters *cluster.Clustering
+	// Stats is the crowdsourcing accounting across both crowd phases.
+	Stats crowd.Stats
+	// Generation reports the cluster generation phase's internals.
+	Generation PCStats
+}
+
+// ACD runs the complete pipeline of Section 3 on a pre-pruned candidate
+// set: cluster generation with PC-Pivot followed by cluster refinement
+// with PC-Refine, all answered from the given answer set. (The pruning
+// phase itself is pruning.Prune; it is machine-only and shared by every
+// method, mirroring the paper's experimental setup.)
+func ACD(cands *pruning.Candidates, answers crowd.Source, cfg Config) Output {
+	eps := cfg.Epsilon
+	if eps == 0 {
+		eps = DefaultEpsilon
+	}
+	x := cfg.RefineX
+	if x == 0 {
+		x = refine.DefaultX
+	}
+	sess := crowd.NewSession(answers)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	clusters, gen := PCPivot(cands, sess, eps, rng)
+	if !cfg.SkipRefinement {
+		clusters = refine.PCRefine(clusters, cands, sess, x)
+	} else {
+		clusters.Compact()
+	}
+	return Output{Clusters: clusters, Stats: sess.Stats(), Generation: gen}
+}

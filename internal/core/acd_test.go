@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"testing"
+
+	"acd/internal/cluster"
+	"acd/internal/core"
+	"acd/internal/crowd"
+	"acd/internal/dataset"
+	"acd/internal/pruning"
+)
+
+// smallInstance builds a small but realistic instance: a Restaurant-style
+// dataset with a perfect crowd.
+func smallInstance(t *testing.T) (*dataset.Dataset, *pruning.Candidates, *crowd.AnswerSet) {
+	t.Helper()
+	d := dataset.Restaurant(3)
+	cands := pruning.Prune(d.Records, pruning.Options{})
+	answers := crowd.BuildAnswers(cands.PairList(), d.TruthFn(), crowd.UniformDifficulty(0), crowd.ThreeWorker(1))
+	return d, cands, answers
+}
+
+func TestACDPerfectCrowd(t *testing.T) {
+	d, cands, answers := smallInstance(t)
+	out := core.ACD(cands, answers, core.Config{Seed: 7})
+	res := cluster.Evaluate(out.Clusters, d.Truth())
+	// With a perfect crowd, precision must be 1 (no false merges can
+	// survive: every issued pair is answered correctly) and recall is
+	// bounded only by pruning (all duplicate pairs are candidates here).
+	if res.Precision < 1 {
+		t.Errorf("precision = %v with a perfect crowd", res.Precision)
+	}
+	if res.Recall < 0.95 {
+		t.Errorf("recall = %v, expected near 1", res.Recall)
+	}
+	if out.Stats.Pairs == 0 || out.Stats.Iterations == 0 {
+		t.Errorf("no crowdsourcing recorded: %+v", out.Stats)
+	}
+	if out.Stats.Pairs > len(cands.Pairs) {
+		t.Errorf("issued %d pairs, more than |S| = %d", out.Stats.Pairs, len(cands.Pairs))
+	}
+}
+
+func TestACDDeterministicForSeed(t *testing.T) {
+	_, cands, answers := smallInstance(t)
+	a := core.ACD(cands, answers, core.Config{Seed: 11})
+	b := core.ACD(cands, answers, core.Config{Seed: 11})
+	if !cluster.Equal(a.Clusters, b.Clusters) || a.Stats != b.Stats {
+		t.Errorf("same seed produced different runs")
+	}
+}
+
+func TestACDSkipRefinement(t *testing.T) {
+	_, cands, answers := smallInstance(t)
+	full := core.ACD(cands, answers, core.Config{Seed: 5})
+	gen := core.ACD(cands, answers, core.Config{Seed: 5, SkipRefinement: true})
+	// The refinement phase can only add crowdsourcing on top of the
+	// generation phase.
+	if gen.Stats.Pairs > full.Stats.Pairs {
+		t.Errorf("PC-Pivot-only issued more pairs (%d) than full ACD (%d)",
+			gen.Stats.Pairs, full.Stats.Pairs)
+	}
+	if gen.Generation != full.Generation {
+		t.Errorf("same seed, different generation stats: %+v vs %+v", gen.Generation, full.Generation)
+	}
+}
+
+// TestACDRefinementRepairsErrors builds an adversarial instance where the
+// crowd is wrong on pairs touching one record, and checks refinement
+// improves Λ′ relative to generation alone.
+func TestACDRefinementImprovesLambda(t *testing.T) {
+	d := dataset.Restaurant(9)
+	cands := pruning.Prune(d.Records, pruning.Options{})
+	// A noisy crowd: 20% per-worker error everywhere.
+	answers := crowd.BuildAnswers(cands.PairList(), d.TruthFn(), crowd.UniformDifficulty(0.2), crowd.ThreeWorker(2))
+
+	scores := cluster.Scores{}
+	for _, p := range cands.PairList() {
+		scores[p] = answers.Score(p)
+	}
+
+	worse := 0
+	for seed := int64(0); seed < 5; seed++ {
+		gen := core.ACD(cands, answers, core.Config{Seed: seed, SkipRefinement: true})
+		full := core.ACD(cands, answers, core.Config{Seed: seed})
+		lGen := cluster.Lambda(gen.Clusters, scores)
+		lFull := cluster.Lambda(full.Clusters, scores)
+		if lFull > lGen+1e-9 {
+			worse++
+		}
+	}
+	if worse > 0 {
+		t.Errorf("refinement increased Λ′ in %d/5 runs", worse)
+	}
+}

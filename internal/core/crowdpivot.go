@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+
+	"acd/internal/cluster"
+	"acd/internal/crowd"
+	"acd/internal/graph"
+	"acd/internal/pruning"
+	"acd/internal/record"
+)
+
+// buildGraph constructs G = (V_R, E_S) from the candidate set (Line 2 of
+// Algorithms 1 and 3).
+func buildGraph(cands *pruning.Candidates) *graph.Graph {
+	g := graph.New(cands.N)
+	for _, sp := range cands.Pairs {
+		g.AddEdge(sp.Pair.Lo, sp.Pair.Hi)
+	}
+	return g
+}
+
+// CrowdPivot runs Algorithm 1, the sequential crowd-based Pivot: in each
+// iteration it picks a random unclustered record as pivot, crowdsources
+// all of the pivot's incident candidate pairs as one batch, and forms a
+// cluster from the pivot and every neighbor the crowd marks a duplicate
+// (f_c > 0.5). By Lemma 1 the result is a 5-approximation of the
+// Λ′(R)-minimizer in expectation.
+func CrowdPivot(cands *pruning.Candidates, s *crowd.Session, rng *rand.Rand) *cluster.Clustering {
+	return CrowdPivotPerm(cands, s, NewPermutation(cands.N, rng))
+}
+
+// CrowdPivotPerm is CrowdPivot with an explicit pivot order: each pivot
+// is the unclustered record with the smallest permutation rank, which is
+// distributionally identical to uniform random pivots when m is uniform
+// (Section 4.2).
+func CrowdPivotPerm(cands *pruning.Candidates, s *crowd.Session, m Permutation) *cluster.Clustering {
+	if m.Len() != cands.N {
+		panic("core: permutation size mismatch")
+	}
+	g := buildGraph(cands)
+	var sets [][]record.ID
+	for i := 0; i < m.Len(); i++ {
+		pivot := m.At(i)
+		if !g.Live(pivot) {
+			continue
+		}
+		nbrs := g.Neighbors(pivot)
+		pairs := make([]record.Pair, len(nbrs))
+		for j, r := range nbrs {
+			pairs[j] = record.MakePair(pivot, r)
+		}
+		scores := s.Ask(pairs)
+		members := []record.ID{pivot}
+		for j, fc := range scores {
+			if fc > 0.5 {
+				members = append(members, nbrs[j])
+			}
+		}
+		for _, r := range members {
+			g.Remove(r)
+		}
+		sets = append(sets, members)
+	}
+	c, err := cluster.FromSets(cands.N, sets)
+	if err != nil {
+		panic("core: Crowd-Pivot produced a non-partition: " + err.Error())
+	}
+	return c
+}

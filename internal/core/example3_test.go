@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"acd/internal/cluster"
+	"acd/internal/pruning"
+	"acd/internal/record"
+)
+
+// example3Instance builds the Appendix B instance: the candidate graph
+// of Figure 9a with machine scores mirroring the crowd scores.
+func example3Instance() (*pruning.Candidates, map[record.Pair]float64) {
+	scores := map[record.Pair]float64{
+		record.MakePair(0, 1): 0.8, // (a,b)
+		record.MakePair(0, 2): 0.7, // (a,c)
+		record.MakePair(1, 2): 0.9, // (b,c)
+		record.MakePair(2, 3): 0.6, // (c,d)
+		record.MakePair(0, 3): 0.4, // (a,d)
+		record.MakePair(0, 4): 0.3, // (a,e)
+		record.MakePair(3, 4): 0.8, // (d,e)
+		record.MakePair(3, 5): 0.8, // (d,f)
+		record.MakePair(4, 5): 0.8, // (e,f)
+	}
+	machine := cluster.Scores{}
+	for p, fc := range scores {
+		f := fc
+		if f <= 0.31 {
+			f = 0.31
+		}
+		machine[p] = f
+	}
+	return pruning.FromScores(6, machine, 0.3), scores
+}
+
+// TestExample3Generation runs the actual PC-Pivot on Example 3's setup:
+// permutation (c,e,b,d,a,f) with ε = 0.4 must select pivots c and e in a
+// single batch, issue exactly the six edges incident to them, and emit
+// the clusters {a,b,c,d}, {e,f} of Figure 9b.
+func TestExample3Generation(t *testing.T) {
+	cands, scores := example3Instance()
+	s := session(scores)
+	m := PermutationOf([]record.ID{2, 4, 1, 3, 0, 5}) // (c,e,b,d,a,f)
+
+	c, stats := PCPivotPerm(cands, s, 0.4, m)
+
+	want := cluster.MustFromSets(6, [][]record.ID{{0, 1, 2, 3}, {4, 5}})
+	if !cluster.Equal(c, want) {
+		t.Errorf("clusters = %v, want {a,b,c,d},{e,f}", c.Sets())
+	}
+	if stats.Batches != 1 {
+		t.Errorf("batches = %d, want 1 (the example finishes in one iteration)", stats.Batches)
+	}
+	if stats.Issued != 6 {
+		t.Errorf("issued = %d, want 6", stats.Issued)
+	}
+	st := s.Stats()
+	if st.Pairs != 6 || st.Iterations != 1 {
+		t.Errorf("session stats %+v, want 6 pairs in 1 iteration", st)
+	}
+	// The six issued pairs are exactly those incident to c and e.
+	wantPairs := []record.Pair{
+		record.MakePair(0, 2), record.MakePair(1, 2), record.MakePair(2, 3),
+		record.MakePair(0, 4), record.MakePair(3, 4), record.MakePair(4, 5),
+	}
+	for _, p := range wantPairs {
+		if _, known := s.Known(p); !known {
+			t.Errorf("pair %v not issued", p)
+		}
+	}
+	for _, p := range []record.Pair{record.MakePair(0, 1), record.MakePair(0, 3), record.MakePair(3, 5)} {
+		if _, known := s.Known(p); known {
+			t.Errorf("pair %v should not be issued during generation", p)
+		}
+	}
+}
+
+// TestExample3ChooseK verifies the k selection itself: with ε = 0.4 the
+// constraint admits pivots c and e (Σw = 2 ≤ 0.4·6) but not b
+// (Σw = 3 > 0.4·7).
+func TestExample3ChooseK(t *testing.T) {
+	cands, _ := example3Instance()
+	g := buildGraph(cands)
+	m := PermutationOf([]record.ID{2, 4, 1, 3, 0, 5})
+	if k := chooseK(g, m, 0.4); k != 2 {
+		t.Errorf("chooseK(0.4) = %d, want 2", k)
+	}
+	// ε = 0: only the first pivot qualifies (w_2 = 2 > 0).
+	if k := chooseK(g, m, 0); k != 1 {
+		t.Errorf("chooseK(0) = %d, want 1", k)
+	}
+	// ε = 1: Σw ≤ |P| always holds here, all pivots fit.
+	if k := chooseK(g, m, 1); k != 6 {
+		t.Errorf("chooseK(1) = %d, want 6", k)
+	}
+}
+
+// TestChooseKDisjointComponents: pivots in disjoint neighborhoods incur
+// no waste, so even ε = 0 batches them together.
+func TestChooseKDisjointComponents(t *testing.T) {
+	machine := cluster.Scores{
+		record.MakePair(0, 1): 0.9,
+		record.MakePair(2, 3): 0.9,
+		record.MakePair(4, 5): 0.9,
+	}
+	cands := pruning.FromScores(6, machine, 0.3)
+	g := buildGraph(cands)
+	m := PermutationOf([]record.ID{0, 2, 4, 1, 3, 5})
+	if k := chooseK(g, m, 0); k != 6 {
+		t.Errorf("chooseK(0) on disjoint stars = %d, want 6", k)
+	}
+}
+
+// TestPCPivotStatsConsistency: the generation stats must agree with the
+// session accounting across random instances.
+func TestPCPivotStatsConsistency(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := newRand(seed)
+		cands, scores := randomInstance(rng)
+		s := session(scores)
+		m := NewPermutation(cands.N, rng)
+		_, stats := PCPivotPerm(cands, s, 0.2, m)
+		if stats.Issued != s.Stats().Pairs {
+			t.Fatalf("seed %d: stats.Issued %d != session pairs %d",
+				seed, stats.Issued, s.Stats().Pairs)
+		}
+		if s.Stats().Iterations > stats.Batches {
+			t.Fatalf("seed %d: %d crowd iterations from %d batches",
+				seed, s.Stats().Iterations, stats.Batches)
+		}
+	}
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"acd/internal/crowd"
+	"acd/internal/graph"
+	"acd/internal/record"
+)
+
+// BatchResult reports one Partial-Pivot invocation: the clusters it
+// formed and its crowdsourcing accounting.
+type BatchResult struct {
+	// Clusters are the member sets formed in this batch, in pivot order.
+	Clusters [][]record.ID
+	// Issued is the number of candidate pairs crowdsourced by the batch.
+	Issued int
+	// Wasted is the number of issued pairs that the sequential
+	// Crowd-Pivot (same permutation, same answers) would not have
+	// issued. Lemma 3 bounds it by Σw_j; Lemma 4 by ε·Issued when the
+	// batch size k is chosen via Equation 4.
+	Wasted int
+}
+
+// PartialPivot runs Algorithm 2: it selects the k live records with the
+// smallest permutation ranks as pivots, crowdsources every edge of g
+// incident to any of them in a single batch, and then forms clusters
+// pivot-by-pivot exactly as the sequential Crowd-Pivot would have
+// (Lemma 2). Clustered vertices are removed from g, so the caller can
+// chain batches; g plays the role of both G_i (input) and G_{i+1}
+// (output).
+func PartialPivot(g *graph.Graph, k int, m Permutation, s *crowd.Session) BatchResult {
+	pivots := lowestRanked(g, k, m)
+
+	// Gather P: all distinct live edges incident to any pivot (Line 3).
+	var pairs []record.Pair
+	seen := make(map[record.Pair]struct{})
+	for _, p := range pivots {
+		for _, nb := range g.Neighbors(p) {
+			pr := record.MakePair(p, nb)
+			if _, dup := seen[pr]; !dup {
+				seen[pr] = struct{}{}
+				pairs = append(pairs, pr)
+			}
+		}
+	}
+
+	// Crowdsource P in one batch (Line 4) and build H_i, the subgraph
+	// induced by the positive edges P′ (Lines 5-6), as adjacency lists.
+	scores := s.Ask(pairs)
+	positive := make(map[record.ID][]record.ID)
+	for i, pr := range pairs {
+		if scores[i] > 0.5 {
+			positive[pr.Lo] = append(positive[pr.Lo], pr.Hi)
+			positive[pr.Hi] = append(positive[pr.Hi], pr.Lo)
+		}
+	}
+
+	// Form clusters pivot-by-pivot (Lines 7-11), tracking which pairs the
+	// sequential algorithm would have issued so the batch's wasted count
+	// is exact: when pivot r_j is still unclustered, sequential
+	// Crowd-Pivot issues r_j's edges to all still-live vertices. (Each
+	// pivot-pivot edge is counted at most once: a pivot is removed at its
+	// own turn with its cluster, so a later pivot never re-counts it.)
+	res := BatchResult{Issued: len(pairs)}
+	removed := make(map[record.ID]bool)
+	seqIssued := 0
+	for _, pivot := range pivots {
+		if removed[pivot] {
+			continue
+		}
+		for _, nb := range g.Neighbors(pivot) {
+			if !removed[nb] {
+				seqIssued++
+			}
+		}
+		members := []record.ID{pivot}
+		for _, nb := range positive[pivot] {
+			if !removed[nb] {
+				members = append(members, nb)
+			}
+		}
+		for _, r := range members {
+			removed[r] = true
+		}
+		res.Clusters = append(res.Clusters, members)
+	}
+	res.Wasted = res.Issued - seqIssued
+
+	for _, members := range res.Clusters {
+		for _, r := range members {
+			g.Remove(r)
+		}
+	}
+	return res
+}
+
+// lowestRanked returns the k live vertices of g with the smallest
+// permutation ranks (fewer if g has fewer live vertices).
+func lowestRanked(g *graph.Graph, k int, m Permutation) []record.ID {
+	out := make([]record.ID, 0, k)
+	for i := 0; i < m.Len() && len(out) < k; i++ {
+		if r := m.At(i); g.Live(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WastedBounds returns w_1..w_k of Equation 3 for the k lowest-ranked
+// live pivots of g: the worst-case number of wasted pairs each pivot can
+// contribute. For pivot r_j,
+//
+//   - if r_j is adjacent (in g) to an earlier pivot, every edge of r_j
+//     may be wasted except those to the earlier pivots themselves;
+//   - otherwise only r_j's edges to vertices that are also adjacent to
+//     an earlier pivot may be wasted.
+func WastedBounds(g *graph.Graph, k int, m Permutation) []int {
+	pivots := lowestRanked(g, k, m)
+	w := make([]int, len(pivots))
+	pivotIndex := make(map[record.ID]int, len(pivots))
+	for j, p := range pivots {
+		pivotIndex[p] = j
+	}
+	// coveredBy[v] = smallest pivot index l such that v is adjacent to
+	// pivots[l]; -1 if none.
+	covered := make(map[record.ID]int)
+	for j, p := range pivots {
+		adjEarlier := false
+		for _, nb := range g.Neighbors(p) {
+			if l, ok := pivotIndex[nb]; ok && l < j {
+				adjEarlier = true
+				break
+			}
+		}
+		if adjEarlier {
+			// All neighbors except earlier pivots.
+			count := 0
+			for _, nb := range g.Neighbors(p) {
+				if l, ok := pivotIndex[nb]; ok && l < j {
+					continue
+				}
+				count++
+			}
+			w[j] = count
+		} else {
+			// Neighbors shared with an earlier pivot.
+			count := 0
+			for _, nb := range g.Neighbors(p) {
+				if l, ok := covered[nb]; ok && l < j {
+					count++
+				}
+			}
+			w[j] = count
+		}
+		for _, nb := range g.Neighbors(p) {
+			if _, ok := covered[nb]; !ok {
+				covered[nb] = j
+			}
+		}
+	}
+	return w
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+
+	"acd/internal/cluster"
+	"acd/internal/crowd"
+	"acd/internal/graph"
+	"acd/internal/pruning"
+	"acd/internal/record"
+)
+
+// DefaultEpsilon is the wasted-pair budget the paper settles on after the
+// tuning experiments of Section 6.2 (Figure 5): ε = 0.1 "strikes a good
+// balance between efficiency and crowdsourcing cost".
+const DefaultEpsilon = 0.1
+
+// PCStats reports the crowdsourcing accounting of a PC-Pivot run.
+type PCStats struct {
+	// Batches is the number of Partial-Pivot invocations, i.e. the
+	// number of crowd iterations the cluster generation phase needs.
+	// (Batches that issue no pairs — all-singleton tails — still count
+	// here as algorithm rounds but cost no crowd iteration.)
+	Batches int
+	// Issued is the total number of candidate pairs crowdsourced.
+	Issued int
+	// Wasted is how many of those the sequential Crowd-Pivot would not
+	// have issued; Lemma 4 guarantees Wasted ≤ ε·Issued.
+	Wasted int
+}
+
+// PCPivot runs Algorithm 3, the parallel Crowd-Pivot: it repeatedly picks
+// the largest pivot batch k satisfying Equation 4 (worst-case wasted
+// pairs at most an ε fraction of the pairs issued) and applies
+// Partial-Pivot, until every record is clustered. It returns the same
+// clustering as CrowdPivotPerm under the same permutation and answers
+// (Lemma 2), so Lemma 1's 5-approximation guarantee carries over.
+func PCPivot(cands *pruning.Candidates, s *crowd.Session, eps float64, rng *rand.Rand) (*cluster.Clustering, PCStats) {
+	return PCPivotPerm(cands, s, eps, NewPermutation(cands.N, rng))
+}
+
+// PCPivotPerm is PCPivot with an explicit permutation.
+func PCPivotPerm(cands *pruning.Candidates, s *crowd.Session, eps float64, m Permutation) (*cluster.Clustering, PCStats) {
+	if m.Len() != cands.N {
+		panic("core: permutation size mismatch")
+	}
+	g := buildGraph(cands)
+	var sets [][]record.ID
+	var stats PCStats
+	for g.LiveCount() > 0 {
+		k := chooseK(g, m, eps)
+		res := PartialPivot(g, k, m, s)
+		sets = append(sets, res.Clusters...)
+		stats.Batches++
+		stats.Issued += res.Issued
+		stats.Wasted += res.Wasted
+	}
+	c, err := cluster.FromSets(cands.N, sets)
+	if err != nil {
+		panic("core: PC-Pivot produced a non-partition: " + err.Error())
+	}
+	return c, stats
+}
+
+// chooseK derives the maximum k satisfying Equation 4 on the current
+// graph: Σ_{j≤k} w_j ≤ ε·|P_k|, where P_k is the set of edges incident to
+// the first k pivots. A linear scan over the live vertices in permutation
+// order maintains both sides incrementally. k = 1 always satisfies the
+// constraint (w_1 = 0), so progress is guaranteed.
+func chooseK(g *graph.Graph, m Permutation, eps float64) int {
+	live := g.LiveCount()
+	w := WastedBounds(g, live, m)
+	pivots := lowestRanked(g, live, m)
+
+	// |P_j| grows by the number of r_j's edges not already incident to an
+	// earlier pivot.
+	isEarlierPivot := make(map[record.ID]bool, len(pivots))
+	sumW := 0
+	edgeCount := 0
+	k := 1
+	for j, p := range pivots {
+		newEdges := 0
+		for _, nb := range g.Neighbors(p) {
+			if !isEarlierPivot[nb] {
+				newEdges++
+			}
+		}
+		edgeCount += newEdges
+		sumW += w[j]
+		if float64(sumW) > eps*float64(edgeCount) {
+			break
+		}
+		k = j + 1
+		isEarlierPivot[p] = true
+	}
+	return k
+}

@@ -1,0 +1,64 @@
+// Package core implements the cluster generation phase of ACD
+// (Section 4): the sequential Crowd-Pivot algorithm (Algorithm 1), the
+// batched Partial-Pivot (Algorithm 2) with its wasted-pair bound
+// (Equation 3, Lemma 3), the parallel PC-Pivot (Algorithm 3, Equation 4),
+// and the full three-phase ACD pipeline that chains pruning, cluster
+// generation, and cluster refinement.
+package core
+
+import (
+	"math/rand"
+
+	"acd/internal/record"
+)
+
+// Permutation is a random order over the records 0..n-1, the ℳ of
+// Section 4.2. Crowd-Pivot picks as each pivot the lowest-ranked
+// unclustered record, which is equivalent to uniform random pivot
+// selection; fixing ℳ makes the sequential and parallel algorithms
+// comparable (Lemma 2).
+type Permutation struct {
+	order []record.ID // order[i] = record with permutation rank i
+	rank  []int       // rank[r] = permutation rank of record r
+}
+
+// NewPermutation draws a uniform random permutation of 0..n-1.
+func NewPermutation(n int, rng *rand.Rand) Permutation {
+	order := make([]record.ID, n)
+	for i := range order {
+		order[i] = record.ID(i)
+	}
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return fromOrder(order)
+}
+
+// PermutationOf builds a Permutation from an explicit order; every record
+// 0..len-1 must appear exactly once. Used by tests that replay the
+// paper's worked examples.
+func PermutationOf(order []record.ID) Permutation {
+	seen := make([]bool, len(order))
+	for _, r := range order {
+		if int(r) >= len(order) || seen[r] {
+			panic("core: invalid permutation")
+		}
+		seen[r] = true
+	}
+	return fromOrder(append([]record.ID(nil), order...))
+}
+
+func fromOrder(order []record.ID) Permutation {
+	rank := make([]int, len(order))
+	for i, r := range order {
+		rank[r] = i
+	}
+	return Permutation{order: order, rank: rank}
+}
+
+// Len returns the permutation's universe size.
+func (m Permutation) Len() int { return len(m.order) }
+
+// Rank returns the permutation rank of record r (0-based).
+func (m Permutation) Rank(r record.ID) int { return m.rank[r] }
+
+// At returns the record with permutation rank i.
+func (m Permutation) At(i int) record.ID { return m.order[i] }

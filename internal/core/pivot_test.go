@@ -1,0 +1,384 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"acd/internal/cluster"
+	"acd/internal/crowd"
+	"acd/internal/graph"
+	"acd/internal/pruning"
+	"acd/internal/record"
+)
+
+// figure2 returns the candidate set and crowd scores of Figure 2a
+// (vertices a..f = 0..5), where every drawn edge has f_c > 0.5.
+func figure2() (*pruning.Candidates, map[record.Pair]float64) {
+	scores := map[record.Pair]float64{
+		record.MakePair(0, 1): 0.8, // (a,b)
+		record.MakePair(1, 2): 0.9, // (b,c)
+		record.MakePair(0, 2): 0.7, // (a,c)
+		record.MakePair(0, 4): 0.6, // (a,e)
+		record.MakePair(3, 4): 0.8, // (d,e)
+		record.MakePair(4, 5): 0.7, // (e,f)
+		record.MakePair(3, 5): 0.9, // (d,f)
+		record.MakePair(2, 3): 0.6, // (c,d)
+	}
+	machine := cluster.Scores{}
+	for p := range scores {
+		machine[p] = 0.5 // any value above tau
+	}
+	return pruning.FromScores(6, machine, 0.3), scores
+}
+
+func session(scores map[record.Pair]float64) *crowd.Session {
+	return crowd.NewSession(crowd.FixedAnswers(scores, crowd.Config{}))
+}
+
+func TestCrowdPivotFigure2Case1(t *testing.T) {
+	// Permutation (b, f, a, c, d, e): pivots b then f; clusters {b,a,c}
+	// and {f,d,e}; 4 pairs issued over 2 iterations.
+	cands, scores := figure2()
+	s := session(scores)
+	m := PermutationOf([]record.ID{1, 5, 0, 2, 3, 4})
+	c := CrowdPivotPerm(cands, s, m)
+	want := cluster.MustFromSets(6, [][]record.ID{{0, 1, 2}, {3, 4, 5}})
+	if !cluster.Equal(c, want) {
+		t.Errorf("clusters = %v", c.Sets())
+	}
+	st := s.Stats()
+	if st.Pairs != 4 || st.Iterations != 2 {
+		t.Errorf("stats = %+v, want 4 pairs in 2 iterations", st)
+	}
+}
+
+func TestPartialPivotFigure2Cases(t *testing.T) {
+	cases := []struct {
+		name       string
+		order      []record.ID
+		wantSets   [][]record.ID
+		wantIssued int
+		wantWasted int
+	}{
+		// Case 1: pivots b, f — disjoint neighborhoods, no waste.
+		{"case1", []record.ID{1, 5, 0, 2, 3, 4}, [][]record.ID{{0, 1, 2}, {3, 4, 5}}, 4, 0},
+		// Case 2: pivots b, e — d(b,e)=2; edge (e,a) is wasted.
+		{"case2", []record.ID{1, 4, 0, 2, 3, 5}, [][]record.ID{{0, 1, 2}, {3, 4, 5}}, 5, 1},
+		// Case 3: pivots b, c — adjacent; c is absorbed into b's cluster.
+		// Sequential Crowd-Pivot issues only (b,a) and (b,c), so both
+		// (c,a) and (c,d) are wasted under the paper's formal definition
+		// (the Case 3 prose mentions only (c,d), but Equation 3 gives
+		// w_2 = 2 and Lemma 3 calls that bound tight).
+		{"case3", []record.ID{1, 2, 0, 5, 3, 4}, [][]record.ID{{0, 1, 2}, {3, 4, 5}}, 4, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cands, scores := figure2()
+			s := session(scores)
+			m := PermutationOf(tc.order)
+			g := buildGraph(cands)
+			res := PartialPivot(g, 2, m, s)
+			if res.Issued != tc.wantIssued {
+				t.Errorf("issued = %d, want %d", res.Issued, tc.wantIssued)
+			}
+			if res.Wasted != tc.wantWasted {
+				t.Errorf("wasted = %d, want %d", res.Wasted, tc.wantWasted)
+			}
+			// Case 3 forms only one cluster in the batch; the others two.
+			if tc.name == "case3" {
+				if len(res.Clusters) != 1 {
+					t.Errorf("case3 formed %d clusters, want 1", len(res.Clusters))
+				}
+				if !reflect.DeepEqual(res.Clusters[0], []record.ID{1, 0, 2}) {
+					t.Errorf("case3 cluster = %v", res.Clusters[0])
+				}
+			} else if len(res.Clusters) != 2 {
+				t.Errorf("%s formed %d clusters, want 2", tc.name, len(res.Clusters))
+			}
+		})
+	}
+}
+
+func TestPartialPivotWastedCase2Detail(t *testing.T) {
+	// In case 2 the wasted pair must be exactly (e,a): batch issues
+	// (b,a),(b,c),(e,a),(e,d),(e,f); sequential issues all but (e,a).
+	cands, scores := figure2()
+	s := session(scores)
+	m := PermutationOf([]record.ID{1, 4, 0, 2, 3, 5})
+	g := buildGraph(cands)
+	res := PartialPivot(g, 2, m, s)
+	if res.Issued != 5 || res.Wasted != 1 {
+		t.Fatalf("issued=%d wasted=%d", res.Issued, res.Wasted)
+	}
+	if s.Stats().Pairs != 5 || s.Stats().Iterations != 1 {
+		t.Errorf("session stats %+v", s.Stats())
+	}
+}
+
+func TestWastedBoundsFigure2(t *testing.T) {
+	cands, _ := figure2()
+	// Case 2: pivots b, e not adjacent; e shares neighbor a with b → w = (0, 1).
+	g := buildGraph(cands)
+	w := WastedBounds(g, 2, PermutationOf([]record.ID{1, 4, 0, 2, 3, 5}))
+	if !reflect.DeepEqual(w, []int{0, 1}) {
+		t.Errorf("case2 bounds = %v, want [0 1]", w)
+	}
+	// Case 3: pivots b, c adjacent; w_2 = neighbors of c except b = {a, d} → 2.
+	w = WastedBounds(g, 2, PermutationOf([]record.ID{1, 2, 0, 5, 3, 4}))
+	if !reflect.DeepEqual(w, []int{0, 2}) {
+		t.Errorf("case3 bounds = %v, want [0 2]", w)
+	}
+	// Case 1: pivots b, f disjoint → no waste possible.
+	w = WastedBounds(g, 2, PermutationOf([]record.ID{1, 5, 0, 2, 3, 4}))
+	if !reflect.DeepEqual(w, []int{0, 0}) {
+		t.Errorf("case1 bounds = %v, want [0 0]", w)
+	}
+}
+
+// randomInstance builds a random candidate set and consistent fixed crowd
+// scores for property tests.
+func randomInstance(rng *rand.Rand) (*pruning.Candidates, map[record.Pair]float64) {
+	n := 2 + rng.Intn(30)
+	machine := cluster.Scores{}
+	scores := map[record.Pair]float64{}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.25 {
+				p := record.MakePair(record.ID(i), record.ID(j))
+				machine[p] = 0.31 + 0.69*rng.Float64()
+				// Crowd score on a 3-worker grid.
+				scores[p] = float64(rng.Intn(4)) / 3
+			}
+		}
+	}
+	return pruning.FromScores(n, machine, 0.3), scores
+}
+
+// TestLemma2Equivalence: PC-Pivot produces exactly the sequential
+// Crowd-Pivot clustering under the same permutation and answers, for
+// random graphs, permutations, and ε values.
+func TestLemma2Equivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cands, scores := randomInstance(rng)
+		m := NewPermutation(cands.N, rng)
+		eps := []float64{0, 0.1, 0.4, 0.8, 1}[rng.Intn(5)]
+
+		seq := CrowdPivotPerm(cands, session(scores), m)
+		par, _ := PCPivotPerm(cands, session(scores), eps, m)
+		return cluster.Equal(seq, par)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma2PartialPivotPrefix: a single Partial-Pivot batch reproduces
+// the prefix of clusters the sequential algorithm forms with pivots
+// ranked no higher than r_k.
+func TestLemma2PartialPivotPrefix(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cands, scores := randomInstance(rng)
+		m := NewPermutation(cands.N, rng)
+		k := 1 + rng.Intn(cands.N)
+
+		g := buildGraph(cands)
+		res := PartialPivot(g, k, m, session(scores))
+
+		// Sequential reference: run Crowd-Pivot until it would pick a
+		// pivot ranked above the k-th smallest in the initial graph.
+		gseq := buildGraph(cands)
+		pivots := lowestRanked(gseq, k, m)
+		if len(pivots) == 0 {
+			return len(res.Clusters) == 0
+		}
+		maxRank := m.Rank(pivots[len(pivots)-1])
+		s := session(scores)
+		var seqClusters [][]record.ID
+		for i := 0; i <= maxRank; i++ {
+			pivot := m.At(i)
+			if !gseq.Live(pivot) {
+				continue
+			}
+			nbrs := gseq.Neighbors(pivot)
+			pairs := make([]record.Pair, len(nbrs))
+			for j, r := range nbrs {
+				pairs[j] = record.MakePair(pivot, r)
+			}
+			sc := s.Ask(pairs)
+			members := []record.ID{pivot}
+			for j, fc := range sc {
+				if fc > 0.5 {
+					members = append(members, nbrs[j])
+				}
+			}
+			for _, r := range members {
+				gseq.Remove(r)
+			}
+			seqClusters = append(seqClusters, members)
+		}
+		return reflect.DeepEqual(normalize(res.Clusters), normalize(seqClusters))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func normalize(sets [][]record.ID) [][]record.ID {
+	out := make([][]record.ID, len(sets))
+	for i, s := range sets {
+		cp := append([]record.ID(nil), s...)
+		for a := 1; a < len(cp); a++ {
+			for b := a; b > 0 && cp[b] < cp[b-1]; b-- {
+				cp[b], cp[b-1] = cp[b-1], cp[b]
+			}
+		}
+		out[i] = cp
+	}
+	return out
+}
+
+// TestLemma3WastedBound: the actual wasted pairs of a Partial-Pivot batch
+// never exceed Σ w_j.
+func TestLemma3WastedBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cands, scores := randomInstance(rng)
+		m := NewPermutation(cands.N, rng)
+		k := 1 + rng.Intn(cands.N)
+		g := buildGraph(cands)
+		bound := 0
+		for _, w := range WastedBounds(g, k, m) {
+			bound += w
+		}
+		res := PartialPivot(g, k, m, session(scores))
+		return res.Wasted <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma4EpsilonGuarantee: in every PC-Pivot run, wasted pairs are at
+// most an ε fraction of issued pairs (the deterministic form implied by
+// choosing k with Equation 4 and Lemma 3's worst-case bound).
+func TestLemma4EpsilonGuarantee(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cands, scores := randomInstance(rng)
+		m := NewPermutation(cands.N, rng)
+		eps := []float64{0, 0.1, 0.3, 0.7}[rng.Intn(4)]
+		_, stats := PCPivotPerm(cands, session(scores), eps, m)
+		return float64(stats.Wasted) <= eps*float64(stats.Issued)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEpsilonZeroNoWaste: with ε = 0, PC-Pivot never issues a wasted pair.
+func TestEpsilonZeroNoWaste(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cands, scores := randomInstance(rng)
+		m := NewPermutation(cands.N, rng)
+		_, stats := PCPivotPerm(cands, session(scores), 0, m)
+		return stats.Wasted == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParallelismMonotone: larger ε can only reduce (or keep) the number
+// of batches, and never increases it below 1.
+func TestParallelismMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 20; trial++ {
+		cands, scores := randomInstance(rng)
+		m := NewPermutation(cands.N, rng)
+		prev := -1
+		for _, eps := range []float64{0, 0.1, 0.4, 1} {
+			_, stats := PCPivotPerm(cands, session(scores), eps, m)
+			if stats.Batches < 1 {
+				t.Fatalf("batches = %d", stats.Batches)
+			}
+			if prev != -1 && stats.Batches > prev {
+				t.Errorf("eps increase raised batches from %d to %d", prev, stats.Batches)
+			}
+			prev = stats.Batches
+		}
+	}
+}
+
+// TestCrowdPivotSingletons: with no candidate pairs, everything becomes a
+// singleton and nothing is crowdsourced.
+func TestCrowdPivotSingletons(t *testing.T) {
+	cands := pruning.FromScores(5, cluster.Scores{}, 0.3)
+	s := session(map[record.Pair]float64{})
+	rng := rand.New(rand.NewSource(1))
+	c := CrowdPivot(cands, s, rng)
+	if c.NumClusters() != 5 {
+		t.Errorf("clusters = %d, want 5", c.NumClusters())
+	}
+	if st := s.Stats(); st.Pairs != 0 || st.Iterations != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// PC-Pivot handles the same case in one batch.
+	s2 := session(map[record.Pair]float64{})
+	c2, stats := PCPivot(cands, s2, 0.1, rng)
+	if c2.NumClusters() != 5 || stats.Batches != 1 || stats.Issued != 0 {
+		t.Errorf("PC-Pivot singleton run: clusters=%d stats=%+v", c2.NumClusters(), stats)
+	}
+}
+
+// TestNegativeAnswersSplitAll: if the crowd rejects every pair, every
+// record ends up alone.
+func TestNegativeAnswersSplitAll(t *testing.T) {
+	cands, scores := figure2()
+	for p := range scores {
+		scores[p] = 0
+	}
+	c := CrowdPivotPerm(cands, session(scores), PermutationOf([]record.ID{0, 1, 2, 3, 4, 5}))
+	if c.NumClusters() != 6 {
+		t.Errorf("clusters = %d, want 6", c.NumClusters())
+	}
+}
+
+// TestPermutationOfValidation ensures invalid permutations panic.
+func TestPermutationOfValidation(t *testing.T) {
+	for _, bad := range [][]record.ID{
+		{0, 0, 1},
+		{0, 1, 5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PermutationOf(%v) should panic", bad)
+				}
+			}()
+			PermutationOf(bad)
+		}()
+	}
+	m := PermutationOf([]record.ID{2, 0, 1})
+	if m.Rank(2) != 0 || m.At(1) != 0 || m.Len() != 3 {
+		t.Errorf("permutation accessors wrong")
+	}
+}
+
+// TestGraphUntouchedByPCPivot: PCPivot must not mutate the caller's
+// candidate set.
+func TestCandidatesUntouched(t *testing.T) {
+	cands, scores := figure2()
+	before := len(cands.Pairs)
+	rng := rand.New(rand.NewSource(2))
+	PCPivot(cands, session(scores), 0.1, rng)
+	if len(cands.Pairs) != before {
+		t.Errorf("candidate set mutated")
+	}
+}
+
+var _ = graph.New // keep graph import if helpers change

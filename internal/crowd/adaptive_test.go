@@ -1,0 +1,141 @@
+package crowd
+
+import (
+	"testing"
+
+	"acd/internal/record"
+)
+
+func adaptivePairs(n int) []record.Pair {
+	out := make([]record.Pair, n)
+	for i := range out {
+		out[i] = record.MakePair(record.ID(i), record.ID(i+n))
+	}
+	return out
+}
+
+func TestAdaptiveEscalatesOnlyNarrowVotes(t *testing.T) {
+	pairs := adaptivePairs(500)
+	truth := func(p record.Pair) bool { return p.Lo%2 == 0 }
+	// Uniform moderate difficulty: some 3-worker votes come out 2-1.
+	a := BuildAdaptiveAnswers(pairs, truth, UniformDifficulty(0.3), ThreeWorker(7), 7)
+	escalated, base := 0, 0
+	for _, p := range pairs {
+		switch a.VoteCount(p) {
+		case 3:
+			base++
+			// A non-escalated 3-vote must be unanimous.
+			fc := a.Score(p)
+			if fc != 0 && fc != 1 {
+				t.Fatalf("non-escalated pair %v has split vote %v", p, fc)
+			}
+		case 7:
+			escalated++
+		default:
+			t.Fatalf("pair %v has %d votes, want 3 or 7", p, a.VoteCount(p))
+		}
+	}
+	if escalated == 0 || base == 0 {
+		t.Errorf("expected a mix of escalated (%d) and base (%d) pairs", escalated, base)
+	}
+}
+
+func TestAdaptiveNoEscalationWhenUnanimous(t *testing.T) {
+	pairs := adaptivePairs(100)
+	truth := func(p record.Pair) bool { return true }
+	a := BuildAdaptiveAnswers(pairs, truth, UniformDifficulty(0), ThreeWorker(1), 9)
+	if a.TotalVotes() != 300 {
+		t.Errorf("perfect workers escalated: %d votes", a.TotalVotes())
+	}
+	if a.ErrorRate() != 0 {
+		t.Errorf("error rate %v", a.ErrorRate())
+	}
+}
+
+// TestAdaptiveBeatsFixedBase: with hard pairs in the mix, adaptive
+// allocation reaches (near-)5-worker accuracy at a fraction of the extra
+// votes.
+func TestAdaptiveAccuracyVsCost(t *testing.T) {
+	pairs := adaptivePairs(20000)
+	truth := func(p record.Pair) bool { return p.Lo%3 == 0 }
+	mix := Mixture{Alpha: 0.2, DHard: 0.45, DEasy: 0.1}
+	diffMap := map[record.Pair]float64{}
+	for i, p := range pairs {
+		if i%5 == 0 {
+			diffMap[p] = mix.DHard
+		} else {
+			diffMap[p] = mix.DEasy
+		}
+	}
+	diff := func(p record.Pair) float64 { return diffMap[p] }
+
+	fixed3 := BuildAnswers(pairs, truth, diff, ThreeWorker(3))
+	fixed5 := BuildAnswers(pairs, truth, diff, FiveWorker(3))
+	adaptive := BuildAdaptiveAnswers(pairs, truth, diff, ThreeWorker(3), 5)
+
+	if adaptive.ErrorRate() >= fixed3.ErrorRate() {
+		t.Errorf("adaptive error %.4f not below fixed-3 %.4f", adaptive.ErrorRate(), fixed3.ErrorRate())
+	}
+	// Votes: fixed3 = 3n, fixed5 = 5n; adaptive must sit strictly
+	// between, well below fixed5.
+	n := len(pairs)
+	if got := adaptive.TotalVotes(); got <= 3*n || got >= 5*n {
+		t.Errorf("adaptive votes %d outside (3n, 5n) = (%d, %d)", got, 3*n, 5*n)
+	}
+	if fixed5.TotalVotes() != 5*n || fixed3.TotalVotes() != 3*n {
+		t.Errorf("fixed vote counts wrong: %d, %d", fixed3.TotalVotes(), fixed5.TotalVotes())
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	cases := []func(){
+		func() { BuildAdaptiveAnswers(nil, nil, nil, Config{Workers: 2, PairsPerHIT: 10}, 5) },
+		func() { BuildAdaptiveAnswers(nil, nil, nil, ThreeWorker(1), 4) }, // even max
+		func() { BuildAdaptiveAnswers(nil, nil, nil, FiveWorker(1), 3) },  // max < base
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSessionVotesAccounting(t *testing.T) {
+	pairs := adaptivePairs(50)
+	truth := func(p record.Pair) bool { return true }
+	// Fixed allocation: votes = pairs × workers.
+	fixed := BuildAnswers(pairs, truth, UniformDifficulty(0.1), ThreeWorker(2))
+	s := NewSession(fixed)
+	s.Ask(pairs[:20])
+	if got := s.Stats().Votes; got != 60 {
+		t.Errorf("fixed votes = %d, want 60", got)
+	}
+	// Adaptive allocation: votes reflect per-pair escalation.
+	adaptive := BuildAdaptiveAnswers(pairs, truth, UniformDifficulty(0.35), ThreeWorker(2), 7)
+	s2 := NewSession(adaptive)
+	s2.Ask(pairs)
+	want := adaptive.TotalVotes()
+	if got := s2.Stats().Votes; got != want {
+		t.Errorf("adaptive votes = %d, want %d", got, want)
+	}
+}
+
+func TestSourceFunc(t *testing.T) {
+	src := SourceFunc{
+		Fn:      func(p record.Pair) float64 { return 0.75 },
+		Setting: FiveWorker(0),
+	}
+	s := NewSession(src)
+	if got := s.AskOne(record.MakePair(1, 2)); got != 0.75 {
+		t.Errorf("SourceFunc score = %v", got)
+	}
+	st := s.Stats()
+	if st.Pairs != 1 || st.Votes != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,60 @@
+package crowd
+
+import (
+	"sync"
+
+	"acd/internal/record"
+)
+
+// BatchSource is an optional extension of Source for crowds that can
+// answer many pairs concurrently. Session.Ask resolves each batch
+// through ScoreBatch when available, so a live platform's per-answer
+// latency is paid once per crowd iteration instead of once per pair —
+// which is the entire point of the paper's batched algorithms.
+type BatchSource interface {
+	Source
+	// ScoreBatch returns f_c for each pair, in order.
+	ScoreBatch(pairs []record.Pair) []float64
+}
+
+// AsyncSource adapts a blocking per-pair answer function (e.g. an HTTP
+// call to a crowdsourcing platform that waits for worker consensus) into
+// a BatchSource with bounded fan-out.
+type AsyncSource struct {
+	// Fn answers one pair; it may block for however long the crowd
+	// takes. It must be safe for concurrent use.
+	Fn func(record.Pair) float64
+	// Concurrency bounds in-flight calls to Fn; values < 1 mean 8.
+	Concurrency int
+	// Setting describes the collection for accounting.
+	Setting Config
+}
+
+// Score implements Source.
+func (s AsyncSource) Score(p record.Pair) float64 { return s.Fn(p) }
+
+// Config implements Source.
+func (s AsyncSource) Config() Config { return s.Setting }
+
+// ScoreBatch implements BatchSource: it answers all pairs with at most
+// Concurrency calls in flight and returns scores in input order.
+func (s AsyncSource) ScoreBatch(pairs []record.Pair) []float64 {
+	limit := s.Concurrency
+	if limit < 1 {
+		limit = 8
+	}
+	out := make([]float64, len(pairs))
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i, p := range pairs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, p record.Pair) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = s.Fn(p)
+		}(i, p)
+	}
+	wg.Wait()
+	return out
+}

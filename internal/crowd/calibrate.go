@@ -1,0 +1,143 @@
+package crowd
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"acd/internal/record"
+)
+
+// MajorityError returns the probability that a majority vote of `workers`
+// independent workers, each wrong with probability d, yields the wrong
+// answer. workers must be odd.
+func MajorityError(d float64, workers int) float64 {
+	need := workers/2 + 1 // wrong votes needed for a wrong majority
+	p := 0.0
+	for k := need; k <= workers; k++ {
+		p += binom(workers, k) * math.Pow(d, float64(k)) * math.Pow(1-d, float64(workers-k))
+	}
+	return p
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	res := 1.0
+	for i := 0; i < k; i++ {
+		res = res * float64(n-i) / float64(i+1)
+	}
+	return res
+}
+
+// Mixture is a two-point per-pair difficulty model: an Alpha fraction of
+// pairs is "hard" with per-worker error DHard, the rest "easy" with
+// per-worker error DEasy. Table 3's Paper dataset requires DHard > 0.5:
+// on such pairs the majority is wrong more often than right regardless of
+// the worker count, which is exactly why its error rate barely drops from
+// the 3-worker to the 5-worker setting.
+type Mixture struct {
+	Alpha float64
+	DHard float64
+	DEasy float64
+}
+
+// ExpectedError returns the mixture's expected majority-vote error rate
+// under the given worker count.
+func (m Mixture) ExpectedError(workers int) float64 {
+	return m.Alpha*MajorityError(m.DHard, workers) + (1-m.Alpha)*MajorityError(m.DEasy, workers)
+}
+
+// Calibrate fits a Mixture whose expected majority error matches target3
+// under 3 workers and target5 under 5 workers, by grid search over
+// (DHard, DEasy) with Alpha solved in closed form from the 3-worker
+// target. The returned mixture minimizes the squared error against both
+// targets; the fit residual is returned alongside.
+func Calibrate(target3, target5 float64) (Mixture, float64) {
+	best := Mixture{DEasy: 0.1}
+	bestErr := math.Inf(1)
+	for dh := 0.50; dh <= 0.901; dh += 0.01 {
+		h3, h5 := MajorityError(dh, 3), MajorityError(dh, 5)
+		for de := 0.0; de <= 0.401; de += 0.005 {
+			e3, e5 := MajorityError(de, 3), MajorityError(de, 5)
+			// Solve alpha from the 3-worker target: a·h3 + (1−a)·e3 = t3.
+			var alpha float64
+			if math.Abs(h3-e3) < 1e-12 {
+				alpha = 0
+			} else {
+				alpha = (target3 - e3) / (h3 - e3)
+			}
+			if alpha < 0 {
+				alpha = 0
+			}
+			if alpha > 1 {
+				alpha = 1
+			}
+			m := Mixture{Alpha: alpha, DHard: dh, DEasy: de}
+			r3 := alpha*h3 + (1-alpha)*e3 - target3
+			r5 := alpha*h5 + (1-alpha)*e5 - target5
+			err := r3*r3 + r5*r5
+			if err < bestErr {
+				bestErr = err
+				best = m
+			}
+		}
+	}
+	return best, bestErr
+}
+
+// DifficultyAssignment maps every candidate pair to a per-worker error
+// probability according to a mixture, choosing the hard pairs by weighted
+// sampling without replacement where a pair's weight is its
+// *misleadingness*: the machine score for non-duplicates, one minus it
+// for duplicates. Genuinely confusing pairs (Chevy/Chevron lookalikes,
+// mangled duplicates) are therefore the most likely to be hard — the
+// systematic error pattern that amplifies through TransM's transitivity —
+// without being deterministically worst-case, matching how real AMT
+// errors concentrate but do not perfectly track machine similarity.
+func DifficultyAssignment(pairs []record.Pair, machine func(record.Pair) float64, truth func(record.Pair) bool, m Mixture) func(record.Pair) float64 {
+	// Efraimidis–Spirakis weighted sampling: the nHard largest values of
+	// u^(1/w) form a weighted sample without replacement. A small weight
+	// floor keeps every pair eligible.
+	type keyed struct {
+		p   record.Pair
+		key float64
+	}
+	all := make([]keyed, len(pairs))
+	for i, p := range pairs {
+		f := machine(p)
+		mis := f
+		if truth(p) {
+			mis = 1 - f
+		}
+		w := mis + 0.05
+		rng := rand.New(rand.NewSource(pairSeed(0x5eed, p)))
+		all[i] = keyed{p: p, key: math.Pow(rng.Float64(), 1/w)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].key != all[j].key {
+			return all[i].key > all[j].key
+		}
+		if all[i].p.Lo != all[j].p.Lo {
+			return all[i].p.Lo < all[j].p.Lo
+		}
+		return all[i].p.Hi < all[j].p.Hi
+	})
+	nHard := int(math.Round(m.Alpha * float64(len(pairs))))
+	diff := make(map[record.Pair]float64, len(pairs))
+	for i, s := range all {
+		if i < nHard {
+			diff[s.p] = m.DHard
+		} else {
+			diff[s.p] = m.DEasy
+		}
+	}
+	return func(p record.Pair) float64 { return diff[p] }
+}
+
+// UniformDifficulty returns a difficulty function assigning the same
+// per-worker error to every pair; useful for tests and ablations.
+func UniformDifficulty(d float64) func(record.Pair) float64 {
+	return func(record.Pair) float64 { return d }
+}

@@ -1,0 +1,320 @@
+// Package crowd simulates the Amazon Mechanical Turk substrate of the
+// paper's experiments (Section 6.1, "AMT Setting").
+//
+// The paper never queries AMT live during algorithm runs: all candidate
+// pairs are posted once, the answers are recorded in a local file F, and
+// every algorithm replays answers from F so that all methods see
+// identical crowd output. This package reproduces that design. An
+// AnswerSet plays the role of F: it holds, for every candidate pair, the
+// crowd score f_c (the fraction of workers marking the pair a duplicate)
+// drawn once from a seeded worker-error model. A Session wraps an
+// AnswerSet for one algorithm run and does the accounting the evaluation
+// reports: distinct pairs crowdsourced, crowd iterations (batches of
+// HITs), HITs, and monetary cost.
+//
+// Worker errors follow a per-pair difficulty d: each worker independently
+// answers the pair incorrectly with probability d. Majority votes over 3
+// or 5 workers then exhibit exactly the paper's observed behaviour —
+// easy pairs are almost always right, while pairs with d > 0.5 are
+// *systematically* wrong no matter how many workers vote (which is why
+// Table 3's Paper dataset barely improves from 3 to 5 workers). See
+// calibrate.go for how difficulties are fit to Table 3's error rates.
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"acd/internal/record"
+)
+
+// Config describes an AMT collection setting.
+type Config struct {
+	// Workers is the number of workers voting on each pair (3 or 5 in
+	// the paper).
+	Workers int
+	// PairsPerHIT is how many record pairs are packed into a single HIT
+	// (20 under the 3-worker setting, 10 under the 5-worker setting).
+	PairsPerHIT int
+	// CentsPerHIT is the reward per completed HIT (2 in the paper).
+	CentsPerHIT int
+	// Seed makes the simulated workers deterministic.
+	Seed int64
+}
+
+// ThreeWorker returns the paper's 3-worker AMT setting.
+func ThreeWorker(seed int64) Config {
+	return Config{Workers: 3, PairsPerHIT: 20, CentsPerHIT: 2, Seed: seed}
+}
+
+// FiveWorker returns the paper's more stringent 5-worker setting.
+func FiveWorker(seed int64) Config {
+	return Config{Workers: 5, PairsPerHIT: 10, CentsPerHIT: 2, Seed: seed}
+}
+
+// AnswerSet is the simulated equivalent of the paper's answer file F: a
+// fixed crowd score f_c for every candidate pair, drawn once.
+type AnswerSet struct {
+	fc     map[record.Pair]float64
+	truth  map[record.Pair]bool
+	votes  map[record.Pair]int // per-pair vote counts; nil = config.Workers
+	config Config
+}
+
+// BuildAnswers simulates the one-time posting of all candidate pairs to
+// the crowd. truth reports ground-truth duplicates; difficulty gives each
+// pair's per-worker error probability. Each pair's vote is drawn from an
+// independent RNG keyed by (seed, pair), so answers do not depend on the
+// iteration order of pairs.
+func BuildAnswers(pairs []record.Pair, truth func(record.Pair) bool, difficulty func(record.Pair) float64, cfg Config) *AnswerSet {
+	if cfg.Workers <= 0 || cfg.Workers%2 == 0 {
+		panic(fmt.Sprintf("crowd: Workers must be odd and positive, got %d", cfg.Workers))
+	}
+	a := &AnswerSet{
+		fc:     make(map[record.Pair]float64, len(pairs)),
+		truth:  make(map[record.Pair]bool, len(pairs)),
+		config: cfg,
+	}
+	for _, p := range pairs {
+		isDup := truth(p)
+		d := difficulty(p)
+		rng := rand.New(rand.NewSource(pairSeed(cfg.Seed, p)))
+		yes := 0
+		for w := 0; w < cfg.Workers; w++ {
+			correct := rng.Float64() >= d
+			if correct == isDup {
+				yes++
+			}
+		}
+		a.fc[p] = float64(yes) / float64(cfg.Workers)
+		a.truth[p] = isDup
+	}
+	return a
+}
+
+// FixedAnswers builds an answer set with prescribed crowd scores, used by
+// tests replaying the paper's worked examples and by ablations that need
+// exact f_c values. Ground truth for ErrorRate purposes is taken as
+// fc > 0.5.
+func FixedAnswers(scores map[record.Pair]float64, cfg Config) *AnswerSet {
+	if cfg.Workers <= 0 {
+		cfg = Config{Workers: 3, PairsPerHIT: 20, CentsPerHIT: 2}
+	}
+	a := &AnswerSet{
+		fc:     make(map[record.Pair]float64, len(scores)),
+		truth:  make(map[record.Pair]bool, len(scores)),
+		config: cfg,
+	}
+	for p, fc := range scores {
+		a.fc[p] = fc
+		a.truth[p] = fc > 0.5
+	}
+	return a
+}
+
+// pairSeed derives a deterministic per-pair RNG seed.
+func pairSeed(seed int64, p record.Pair) int64 {
+	h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(p.Lo)*0xbf58476d1ce4e5b9 + uint64(p.Hi)*0x94d049bb133111eb
+	h ^= h >> 31
+	h *= 0xd6e8feb86659fd93
+	h ^= h >> 29
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// Score returns the crowd score f_c for a pair. Asking about a pair
+// outside the candidate set panics: the algorithms only ever issue
+// candidate pairs, so anything else is a bug.
+func (a *AnswerSet) Score(p record.Pair) float64 {
+	fc, ok := a.fc[p]
+	if !ok {
+		panic(fmt.Sprintf("crowd: pair %v was never posted (not a candidate)", p))
+	}
+	return fc
+}
+
+// Has reports whether p is in the answer set.
+func (a *AnswerSet) Has(p record.Pair) bool {
+	_, ok := a.fc[p]
+	return ok
+}
+
+// Len returns the number of answered pairs.
+func (a *AnswerSet) Len() int { return len(a.fc) }
+
+// Config returns the collection setting the answers were drawn under.
+func (a *AnswerSet) Config() Config { return a.config }
+
+// ErrorRate returns the fraction of pairs whose majority-vote answer
+// (f_c > 0.5) disagrees with ground truth — the "crowd error rate"
+// columns of Table 3.
+func (a *AnswerSet) ErrorRate() float64 {
+	if len(a.fc) == 0 {
+		return 0
+	}
+	wrong := 0
+	for p, fc := range a.fc {
+		if (fc > 0.5) != a.truth[p] {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(a.fc))
+}
+
+// Stats summarizes the crowdsourcing overhead of one algorithm run, the
+// three cost axes reported in Section 6: pairs crowdsourced (Figure 7),
+// crowd iterations (Figures 5, 8), and, additionally, HITs and cents.
+type Stats struct {
+	// Pairs is the number of distinct record pairs issued to the crowd.
+	Pairs int
+	// Iterations is the number of batches (rounds of HITs posted and
+	// waited on).
+	Iterations int
+	// HITs is the number of HITs, packing PairsPerHIT pairs per HIT
+	// within each batch.
+	HITs int
+	// Cents is HITs × CentsPerHIT.
+	Cents int
+	// Votes is the total number of worker votes collected, when the
+	// source tracks them (the VoteCounter interface); with fixed
+	// allocation it equals Pairs × Workers.
+	Votes int
+}
+
+// VoteCounter is implemented by sources that know how many worker votes
+// each pair consumed (the adaptive allocation of BuildAdaptiveAnswers).
+type VoteCounter interface {
+	VoteCount(p record.Pair) int
+}
+
+// Source is anything that can produce a crowd score for a candidate
+// pair: the replayed AnswerSet used throughout the experiments, a live
+// crowdsourcing-platform adapter, or a test double. Score may block (a
+// live crowd takes minutes); Config describes the collection setting for
+// HIT and cost accounting.
+type Source interface {
+	// Score returns f_c for a candidate pair. Implementations may panic
+	// on pairs outside the candidate set; algorithms only issue
+	// candidates.
+	Score(p record.Pair) float64
+	// Config returns the collection setting (worker count, HIT packing,
+	// reward).
+	Config() Config
+}
+
+// SourceFunc adapts a function to the Source interface, for live-crowd
+// adapters and tests.
+type SourceFunc struct {
+	// Fn answers a single pair.
+	Fn func(record.Pair) float64
+	// Setting is returned by Config.
+	Setting Config
+}
+
+// Score implements Source.
+func (s SourceFunc) Score(p record.Pair) float64 { return s.Fn(p) }
+
+// Config implements Source.
+func (s SourceFunc) Config() Config { return s.Setting }
+
+// Session gives one algorithm run access to a crowd source while
+// accounting for everything it asks. It also maintains the set A of
+// already-crowdsourced pairs that the refinement phase consults
+// (Equations 7–8 count exactly the pairs outside A).
+type Session struct {
+	answers Source
+	known   map[record.Pair]float64
+	stats   Stats
+}
+
+// NewSession starts an accounting session over a crowd source.
+func NewSession(answers Source) *Session {
+	return &Session{
+		answers: answers,
+		known:   make(map[record.Pair]float64),
+	}
+}
+
+// Ask issues a batch of pairs to the crowd as one crowd iteration and
+// returns their scores in order. Pairs already known from earlier batches
+// are answered from the session cache for free; duplicates within the
+// batch are charged once. A batch with no new pairs costs nothing — not
+// even an iteration — since no HITs would be posted.
+func (s *Session) Ask(pairs []record.Pair) []float64 {
+	// Identify the distinct pairs this batch actually needs answered.
+	var fresh []record.Pair
+	inBatch := make(map[record.Pair]struct{})
+	for _, p := range pairs {
+		if _, ok := s.known[p]; ok {
+			continue
+		}
+		if _, dup := inBatch[p]; dup {
+			continue
+		}
+		inBatch[p] = struct{}{}
+		fresh = append(fresh, p)
+	}
+
+	if len(fresh) > 0 {
+		// Resolve the whole batch at once when the source supports it
+		// (live crowds pay their latency once per iteration, not per
+		// pair).
+		var scores []float64
+		if bs, ok := s.answers.(BatchSource); ok {
+			scores = bs.ScoreBatch(fresh)
+		} else {
+			scores = make([]float64, len(fresh))
+			for i, p := range fresh {
+				scores[i] = s.answers.Score(p)
+			}
+		}
+		vc, _ := s.answers.(VoteCounter)
+		for i, p := range fresh {
+			s.known[p] = scores[i]
+			if vc != nil {
+				s.stats.Votes += vc.VoteCount(p)
+			} else {
+				s.stats.Votes += s.answers.Config().Workers
+			}
+		}
+		s.stats.Pairs += len(fresh)
+		s.stats.Iterations++
+		cfg := s.answers.Config()
+		hits := (len(fresh) + cfg.PairsPerHIT - 1) / cfg.PairsPerHIT
+		s.stats.HITs += hits
+		s.stats.Cents += hits * cfg.CentsPerHIT
+	}
+
+	out := make([]float64, len(pairs))
+	for i, p := range pairs {
+		out[i] = s.known[p]
+	}
+	return out
+}
+
+// AskOne issues a single pair (a one-pair batch).
+func (s *Session) AskOne(p record.Pair) float64 {
+	return s.Ask([]record.Pair{p})[0]
+}
+
+// Known returns the crowd score of p if this session has already
+// crowdsourced it (membership in the set A).
+func (s *Session) Known(p record.Pair) (float64, bool) {
+	fc, ok := s.known[p]
+	return fc, ok
+}
+
+// KnownCount returns |A| for this session.
+func (s *Session) KnownCount() int { return len(s.known) }
+
+// KnownPairs returns a copy of the session's A as a map. Callers may
+// mutate the returned map freely.
+func (s *Session) KnownPairs() map[record.Pair]float64 {
+	out := make(map[record.Pair]float64, len(s.known))
+	for p, fc := range s.known {
+		out[p] = fc
+	}
+	return out
+}
+
+// Stats returns the accumulated accounting.
+func (s *Session) Stats() Stats { return s.stats }

@@ -1,0 +1,93 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+
+	"acd/internal/record"
+)
+
+func TestFixedAnswers(t *testing.T) {
+	scores := map[record.Pair]float64{
+		record.MakePair(0, 1): 0.9,
+		record.MakePair(2, 3): 0.2,
+	}
+	a := FixedAnswers(scores, Config{})
+	// Zero config defaults to the 3-worker setting shape.
+	if a.Config().Workers != 3 || a.Config().PairsPerHIT != 20 {
+		t.Errorf("default config = %+v", a.Config())
+	}
+	if a.Score(record.MakePair(0, 1)) != 0.9 {
+		t.Errorf("score wrong")
+	}
+	if !a.Has(record.MakePair(2, 3)) || a.Has(record.MakePair(4, 5)) {
+		t.Errorf("Has wrong")
+	}
+	// Implied truth is fc > 0.5, so the error rate is 0 by construction.
+	if a.ErrorRate() != 0 {
+		t.Errorf("fixed answers error rate = %v", a.ErrorRate())
+	}
+	explicit := FixedAnswers(scores, FiveWorker(3))
+	if explicit.Config().Workers != 5 {
+		t.Errorf("explicit config ignored")
+	}
+}
+
+func TestAsyncSourceScoreSingle(t *testing.T) {
+	src := AsyncSource{Fn: func(p record.Pair) float64 { return 0.25 }, Setting: ThreeWorker(0)}
+	if got := src.Score(record.MakePair(1, 2)); got != 0.25 {
+		t.Errorf("Score = %v", got)
+	}
+	if src.Config().Workers != 3 {
+		t.Errorf("Config passthrough wrong")
+	}
+}
+
+// TestCollectVotesConsistentWithPoolAnswers: aggregating the raw votes
+// reproduces BuildAnswersFromPool's scores exactly (same RNG path).
+func TestCollectVotesConsistentWithPoolAnswers(t *testing.T) {
+	pool := testPool()
+	pairs := adaptivePairs(150)
+	truth := func(p record.Pair) bool { return p.Lo%2 == 0 }
+	diff := UniformDifficulty(0.1)
+	cfg := ThreeWorker(9)
+
+	agg := BuildAnswersFromPool(pairs, truth, diff, pool, BasicQualification, cfg)
+	votes := CollectVotes(pairs, truth, diff, pool, BasicQualification, cfg)
+	if len(votes) != len(pairs)*3 {
+		t.Fatalf("%d votes for %d pairs", len(votes), len(pairs))
+	}
+	scores := MajorityScores(votes)
+	for _, p := range pairs {
+		if math.Abs(scores[p]-agg.Score(p)) > 1e-12 {
+			t.Fatalf("vote aggregation differs from pool answers at %v: %v vs %v",
+				p, scores[p], agg.Score(p))
+		}
+	}
+}
+
+func TestMajorityScoresEmpty(t *testing.T) {
+	if got := MajorityScores(nil); len(got) != 0 {
+		t.Errorf("empty votes produced %v", got)
+	}
+}
+
+func TestCollectVotesPanics(t *testing.T) {
+	pool := testPool()
+	for i, fn := range []func(){
+		func() { CollectVotes(nil, nil, nil, pool, Qualification{}, Config{Workers: 2, PairsPerHIT: 5}) },
+		func() {
+			tiny := NewPool(PoolConfig{Size: 1, MeanError: 0.1, QualificationPassRate: 1, Seed: 1})
+			CollectVotes(nil, nil, nil, tiny, Qualification{}, ThreeWorker(1))
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,297 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+
+	"acd/internal/record"
+)
+
+func somePairs(n int) []record.Pair {
+	var out []record.Pair
+	for i := 0; i < n; i++ {
+		out = append(out, record.MakePair(record.ID(i), record.ID(i+1000)))
+	}
+	return out
+}
+
+func TestBuildAnswersDeterministic(t *testing.T) {
+	pairs := somePairs(50)
+	truth := func(p record.Pair) bool { return p.Lo%2 == 0 }
+	diff := UniformDifficulty(0.2)
+	a1 := BuildAnswers(pairs, truth, diff, ThreeWorker(42))
+	a2 := BuildAnswers(pairs, truth, diff, ThreeWorker(42))
+	for _, p := range pairs {
+		if a1.Score(p) != a2.Score(p) {
+			t.Fatalf("answers not deterministic for %v", p)
+		}
+	}
+	// Different seed should (with overwhelming probability) change
+	// something.
+	a3 := BuildAnswers(pairs, truth, diff, ThreeWorker(43))
+	same := true
+	for _, p := range pairs {
+		if a1.Score(p) != a3.Score(p) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical answers")
+	}
+}
+
+func TestBuildAnswersOrderIndependent(t *testing.T) {
+	pairs := somePairs(20)
+	reversed := make([]record.Pair, len(pairs))
+	for i, p := range pairs {
+		reversed[len(pairs)-1-i] = p
+	}
+	truth := func(p record.Pair) bool { return p.Lo%2 == 0 }
+	diff := UniformDifficulty(0.3)
+	a1 := BuildAnswers(pairs, truth, diff, FiveWorker(7))
+	a2 := BuildAnswers(reversed, truth, diff, FiveWorker(7))
+	for _, p := range pairs {
+		if a1.Score(p) != a2.Score(p) {
+			t.Fatalf("answer for %v depends on build order", p)
+		}
+	}
+}
+
+func TestScoreGranularity(t *testing.T) {
+	pairs := somePairs(200)
+	truth := func(p record.Pair) bool { return true }
+	a := BuildAnswers(pairs, truth, UniformDifficulty(0.5), ThreeWorker(1))
+	for _, p := range pairs {
+		fc := a.Score(p)
+		scaled := fc * 3
+		if math.Abs(scaled-math.Round(scaled)) > 1e-9 {
+			t.Fatalf("3-worker score %v is not a multiple of 1/3", fc)
+		}
+	}
+}
+
+func TestPerfectAndAdversarialWorkers(t *testing.T) {
+	pairs := somePairs(30)
+	truth := func(p record.Pair) bool { return p.Lo < 15 }
+	perfect := BuildAnswers(pairs, truth, UniformDifficulty(0), ThreeWorker(5))
+	if perfect.ErrorRate() != 0 {
+		t.Errorf("perfect workers error rate = %v", perfect.ErrorRate())
+	}
+	for _, p := range pairs {
+		want := 0.0
+		if truth(p) {
+			want = 1.0
+		}
+		if perfect.Score(p) != want {
+			t.Errorf("perfect worker score %v for %v", perfect.Score(p), p)
+		}
+	}
+	adversarial := BuildAnswers(pairs, truth, UniformDifficulty(1), ThreeWorker(5))
+	if adversarial.ErrorRate() != 1 {
+		t.Errorf("adversarial workers error rate = %v", adversarial.ErrorRate())
+	}
+}
+
+func TestUnknownPairPanics(t *testing.T) {
+	a := BuildAnswers(somePairs(3), func(record.Pair) bool { return true }, UniformDifficulty(0), ThreeWorker(1))
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for unknown pair")
+		}
+	}()
+	a.Score(record.MakePair(500, 501))
+}
+
+func TestEvenWorkersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for even worker count")
+		}
+	}()
+	BuildAnswers(nil, nil, nil, Config{Workers: 4, PairsPerHIT: 10, CentsPerHIT: 2})
+}
+
+func TestSessionAccounting(t *testing.T) {
+	pairs := somePairs(45)
+	truth := func(p record.Pair) bool { return true }
+	a := BuildAnswers(pairs, truth, UniformDifficulty(0), ThreeWorker(9)) // 20 pairs/HIT
+	s := NewSession(a)
+
+	// Batch of 25 fresh pairs: 1 iteration, 2 HITs (20+5), 4 cents.
+	s.Ask(pairs[:25])
+	st := s.Stats()
+	if st.Pairs != 25 || st.Iterations != 1 || st.HITs != 2 || st.Cents != 4 {
+		t.Fatalf("stats after first batch: %+v", st)
+	}
+
+	// Re-asking known pairs costs nothing.
+	s.Ask(pairs[:10])
+	if st2 := s.Stats(); st2 != st {
+		t.Errorf("re-ask changed stats: %+v -> %+v", st, st2)
+	}
+
+	// Mixed batch charges only the fresh pairs.
+	s.Ask(pairs[20:30]) // 5 fresh
+	st = s.Stats()
+	if st.Pairs != 30 || st.Iterations != 2 || st.HITs != 3 {
+		t.Errorf("stats after mixed batch: %+v", st)
+	}
+
+	// Duplicates within a batch charge once.
+	dup := []record.Pair{pairs[40], pairs[40], pairs[41]}
+	s.Ask(dup)
+	if st = s.Stats(); st.Pairs != 32 {
+		t.Errorf("in-batch duplicate double-charged: %+v", st)
+	}
+
+	if s.KnownCount() != 32 {
+		t.Errorf("KnownCount = %d, want 32", s.KnownCount())
+	}
+	if _, ok := s.Known(pairs[0]); !ok {
+		t.Errorf("pair 0 should be known")
+	}
+	if _, ok := s.Known(pairs[44]); ok {
+		t.Errorf("pair 44 should be unknown")
+	}
+}
+
+func TestSessionAskOne(t *testing.T) {
+	pairs := somePairs(2)
+	a := BuildAnswers(pairs, func(record.Pair) bool { return true }, UniformDifficulty(0), FiveWorker(3))
+	s := NewSession(a)
+	if fc := s.AskOne(pairs[0]); fc != 1 {
+		t.Errorf("AskOne = %v, want 1", fc)
+	}
+	if st := s.Stats(); st.Pairs != 1 || st.Iterations != 1 || st.HITs != 1 || st.Cents != 2 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestKnownPairsCopy(t *testing.T) {
+	pairs := somePairs(3)
+	a := BuildAnswers(pairs, func(record.Pair) bool { return true }, UniformDifficulty(0), ThreeWorker(3))
+	s := NewSession(a)
+	s.Ask(pairs[:2])
+	kp := s.KnownPairs()
+	if len(kp) != 2 {
+		t.Fatalf("KnownPairs len = %d", len(kp))
+	}
+	delete(kp, pairs[0])
+	if s.KnownCount() != 2 {
+		t.Errorf("mutating the copy affected the session")
+	}
+}
+
+func TestMajorityError(t *testing.T) {
+	// Closed forms: M3(d) = d²(3−2d); M5(d) = d⁵+5d⁴(1−d)+10d³(1−d)².
+	for _, d := range []float64{0, 0.1, 0.25, 0.5, 0.65, 1} {
+		m3 := d * d * (3 - 2*d)
+		if got := MajorityError(d, 3); math.Abs(got-m3) > 1e-12 {
+			t.Errorf("M3(%v) = %v, want %v", d, got, m3)
+		}
+		m5 := math.Pow(d, 5) + 5*math.Pow(d, 4)*(1-d) + 10*math.Pow(d, 3)*(1-d)*(1-d)
+		if got := MajorityError(d, 5); math.Abs(got-m5) > 1e-12 {
+			t.Errorf("M5(%v) = %v, want %v", d, got, m5)
+		}
+	}
+	// Majority amplifies: for d < 0.5 more workers help, for d > 0.5 they hurt.
+	if MajorityError(0.3, 5) >= MajorityError(0.3, 3) {
+		t.Errorf("more workers should reduce error below d=0.5")
+	}
+	if MajorityError(0.7, 5) <= MajorityError(0.7, 3) {
+		t.Errorf("more workers should increase error above d=0.5")
+	}
+}
+
+// TestCalibrateTable3 fits mixtures for the three datasets' Table 3 error
+// rates and checks both residuals and empirical behaviour.
+func TestCalibrateTable3(t *testing.T) {
+	cases := []struct {
+		name             string
+		target3, target5 float64
+	}{
+		{"Paper", 0.23, 0.21},
+		{"Restaurant", 0.008, 0.002},
+		{"Product", 0.09, 0.05},
+	}
+	for _, c := range cases {
+		m, residual := Calibrate(c.target3, c.target5)
+		if residual > 1e-3 {
+			t.Errorf("%s: residual %v too large (mixture %+v)", c.name, residual, m)
+		}
+		if got := m.ExpectedError(3); math.Abs(got-c.target3) > 0.02 {
+			t.Errorf("%s: expected 3w error %v, want %v", c.name, got, c.target3)
+		}
+		if got := m.ExpectedError(5); math.Abs(got-c.target5) > 0.02 {
+			t.Errorf("%s: expected 5w error %v, want %v", c.name, got, c.target5)
+		}
+	}
+}
+
+// TestEmpiricalErrorMatchesCalibration draws a large answer set under a
+// calibrated mixture and checks the measured error rate against the
+// analytic expectation.
+func TestEmpiricalErrorMatchesCalibration(t *testing.T) {
+	m, _ := Calibrate(0.23, 0.21)
+	n := 20000
+	pairs := make([]record.Pair, n)
+	for i := range pairs {
+		pairs[i] = record.MakePair(record.ID(i), record.ID(i+n))
+	}
+	truth := func(p record.Pair) bool { return p.Lo%3 == 0 }
+	machine := func(p record.Pair) float64 { return float64(p.Lo%100) / 100 }
+	diff := DifficultyAssignment(pairs, machine, truth, m)
+
+	for _, workers := range []int{3, 5} {
+		cfg := ThreeWorker(11)
+		if workers == 5 {
+			cfg = FiveWorker(11)
+		}
+		a := BuildAnswers(pairs, truth, diff, cfg)
+		want := m.ExpectedError(workers)
+		got := a.ErrorRate()
+		if math.Abs(got-want) > 0.015 {
+			t.Errorf("%dw empirical error %v, expected %v", workers, got, want)
+		}
+	}
+}
+
+// TestDifficultyAssignmentTargetsMisleadingPairs verifies that hard
+// difficulty lands on the misleading pairs (high-f non-duplicates).
+func TestDifficultyAssignmentTargetsMisleadingPairs(t *testing.T) {
+	pairs := []record.Pair{
+		record.MakePair(0, 1), // dup with high f: easy
+		record.MakePair(2, 3), // non-dup with high f: misleading
+		record.MakePair(4, 5), // non-dup with low f: easy
+		record.MakePair(6, 7), // dup with low f: misleading
+	}
+	truth := func(p record.Pair) bool { return p.Lo == 0 || p.Lo == 6 }
+	machine := func(p record.Pair) float64 {
+		if p.Lo <= 3 {
+			return 0.9
+		}
+		return 0.2
+	}
+	m := Mixture{Alpha: 0.5, DHard: 0.7, DEasy: 0.05}
+	diff := DifficultyAssignment(pairs, machine, truth, m)
+	if diff(pairs[1]) != 0.7 {
+		t.Errorf("high-f non-dup should be hard")
+	}
+	if diff(pairs[3]) != 0.7 {
+		t.Errorf("low-f dup should be hard")
+	}
+	if diff(pairs[0]) != 0.05 || diff(pairs[2]) != 0.05 {
+		t.Errorf("consistent pairs should be easy")
+	}
+}
+
+func TestErrorRateEmptySet(t *testing.T) {
+	a := BuildAnswers(nil, func(record.Pair) bool { return true }, UniformDifficulty(0), ThreeWorker(1))
+	if a.ErrorRate() != 0 {
+		t.Errorf("empty answer set error rate = %v", a.ErrorRate())
+	}
+	if a.Len() != 0 {
+		t.Errorf("Len = %d", a.Len())
+	}
+}

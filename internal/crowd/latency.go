@@ -1,0 +1,98 @@
+package crowd
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// LatencyModel converts a run's crowd accounting into simulated
+// wall-clock time. The paper motivates its parallel algorithms with
+// processing time ("the running time of Crowd-Pivot mainly depends on
+// the number of iterations", Section 4.2) but measures iterations as the
+// proxy; this model closes the loop: each crowd iteration posts its HITs
+// concurrently and completes when the slowest HIT's last assignment
+// comes back, so total time ≈ Σ per-iteration max completion times —
+// linear in iterations, nearly independent of batch width.
+type LatencyModel struct {
+	// MeanHIT is the mean time for one worker to pick up and complete
+	// one HIT. AMT studies place this in minutes; default 5 minutes.
+	MeanHIT time.Duration
+	// Spread is the coefficient of variation of completion times
+	// (log-normal-ish long tail). Default 0.5.
+	Spread float64
+	// Seed drives the simulated completion draws.
+	Seed int64
+}
+
+func (m LatencyModel) withDefaults() LatencyModel {
+	if m.MeanHIT == 0 {
+		m.MeanHIT = 5 * time.Minute
+	}
+	if m.Spread == 0 {
+		m.Spread = 0.5
+	}
+	return m
+}
+
+// IterationTime simulates the wall-clock duration of one crowd
+// iteration that posts `hits` HITs, each completed by `workers`
+// assignments: the iteration ends when the slowest assignment finishes.
+func (m LatencyModel) IterationTime(rng *rand.Rand, hits, workers int) time.Duration {
+	m = m.withDefaults()
+	if hits <= 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	var worst time.Duration
+	for h := 0; h < hits*workers; h++ {
+		// Log-normal-ish: exp(N(0, spread)) keeps a long right tail.
+		factor := 1.0
+		if m.Spread > 0 {
+			// Clamp extreme draws so one outlier can't dominate.
+			x := m.Spread * rng.NormFloat64()
+			if x > 3 {
+				x = 3
+			}
+			if x < -3 {
+				x = -3
+			}
+			factor = math.Exp(x)
+		}
+		d := time.Duration(float64(m.MeanHIT) * factor)
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TotalTime simulates the end-to-end crowd time of a run: iterations
+// happen sequentially (each waits for the previous batch's answers), so
+// the total is the sum of per-iteration times. HITs are split evenly
+// across iterations — the accounting in Stats does not retain the
+// per-iteration breakdown, and an even split matches the batched
+// algorithms' behaviour closely.
+func (m LatencyModel) TotalTime(stats Stats, workers int) time.Duration {
+	m = m.withDefaults()
+	if stats.Iterations == 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	perIter := stats.HITs / stats.Iterations
+	extra := stats.HITs % stats.Iterations
+	var total time.Duration
+	for i := 0; i < stats.Iterations; i++ {
+		hits := perIter
+		if i < extra {
+			hits++
+		}
+		if hits == 0 {
+			hits = 1
+		}
+		total += m.IterationTime(rng, hits, workers)
+	}
+	return total
+}

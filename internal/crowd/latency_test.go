@@ -1,0 +1,69 @@
+package crowd
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestIterationTime(t *testing.T) {
+	m := LatencyModel{MeanHIT: time.Minute, Spread: 0.5, Seed: 1}
+	rng := rand.New(rand.NewSource(1))
+	if got := m.IterationTime(rng, 0, 3); got != 0 {
+		t.Errorf("zero HITs took %v", got)
+	}
+	one := m.IterationTime(rng, 1, 1)
+	if one <= 0 {
+		t.Errorf("single HIT took %v", one)
+	}
+	// More assignments can only push the max completion later (in
+	// expectation); check a wide gap deterministically over many draws.
+	var few, many time.Duration
+	for i := 0; i < 50; i++ {
+		few += m.IterationTime(rng, 1, 1)
+		many += m.IterationTime(rng, 100, 5)
+	}
+	if many <= few {
+		t.Errorf("500-assignment iterations (%v) not slower than single (%v)", many, few)
+	}
+}
+
+func TestIterationTimeNoSpread(t *testing.T) {
+	m := LatencyModel{MeanHIT: time.Minute, Spread: -1} // negative: no jitter path
+	rng := rand.New(rand.NewSource(2))
+	if got := m.IterationTime(rng, 5, 3); got != time.Minute {
+		t.Errorf("spread-free iteration = %v, want 1m", got)
+	}
+}
+
+func TestTotalTimeScalesWithIterations(t *testing.T) {
+	m := LatencyModel{MeanHIT: 5 * time.Minute, Spread: 0.5, Seed: 3}
+	// Same number of HITs, very different iteration counts: the
+	// sequential run must take far longer — the paper's core motivation
+	// for PC-Pivot.
+	parallel := m.TotalTime(Stats{Pairs: 2000, Iterations: 10, HITs: 100}, 3)
+	sequential := m.TotalTime(Stats{Pairs: 2000, Iterations: 100, HITs: 100}, 3)
+	if sequential < 5*parallel {
+		t.Errorf("sequential %v not ≫ parallel %v", sequential, parallel)
+	}
+	if m.TotalTime(Stats{}, 3) != 0 {
+		t.Errorf("empty run took time")
+	}
+}
+
+func TestTotalTimeDeterministic(t *testing.T) {
+	m := LatencyModel{Seed: 9}
+	st := Stats{Pairs: 500, Iterations: 7, HITs: 25}
+	if m.TotalTime(st, 3) != m.TotalTime(st, 3) {
+		t.Errorf("latency simulation not deterministic")
+	}
+}
+
+// TestLatencyDefaults exercises the zero-value model.
+func TestLatencyDefaults(t *testing.T) {
+	var m LatencyModel
+	got := m.TotalTime(Stats{Pairs: 10, Iterations: 1, HITs: 1}, 1)
+	if got < time.Minute || got > time.Hour {
+		t.Errorf("default single-HIT time %v implausible", got)
+	}
+}

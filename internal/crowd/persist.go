@@ -1,0 +1,129 @@
+package crowd
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"acd/internal/record"
+)
+
+// This file implements the paper's collection methodology (Section 6.1):
+// "we post all record pairs in the candidate set S to AMT, and record
+// the crowd's answers in local file F. Then, during our experiments,
+// whenever a method requests to crowdsource a record pair, we retrieve
+// the answers from F." SaveAnswers/LoadAnswers are that file F: an
+// answer set serialized as CSV so a collection (simulated or real) can
+// be replayed across runs, tools, and machines.
+
+// SaveAnswers writes an answer set as CSV: a header describing the
+// collection setting (the RNG seed is collection-time state and is not
+// persisted), then one row per pair with its crowd score, vote count,
+// and ground-truth flag. Rows are sorted canonically so output is
+// reproducible.
+func SaveAnswers(w io.Writer, a *AnswerSet) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"lo", "hi", "fc", "votes", "truth",
+		// The collection setting rides along in the header row's tail so
+		// a single file is self-describing.
+		strconv.Itoa(a.config.Workers),
+		strconv.Itoa(a.config.PairsPerHIT),
+		strconv.Itoa(a.config.CentsPerHIT),
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("crowd: writing header: %w", err)
+	}
+	pairs := make([]record.Pair, 0, len(a.fc))
+	for p := range a.fc {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Lo != pairs[j].Lo {
+			return pairs[i].Lo < pairs[j].Lo
+		}
+		return pairs[i].Hi < pairs[j].Hi
+	})
+	for _, p := range pairs {
+		truth := "0"
+		if a.truth[p] {
+			truth = "1"
+		}
+		row := []string{
+			strconv.Itoa(int(p.Lo)),
+			strconv.Itoa(int(p.Hi)),
+			strconv.FormatFloat(a.fc[p], 'g', -1, 64),
+			strconv.Itoa(a.VoteCount(p)),
+			truth,
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("crowd: writing pair %v: %w", p, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadAnswers reads an answer set written by SaveAnswers.
+func LoadAnswers(r io.Reader) (*AnswerSet, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("crowd: reading header: %w", err)
+	}
+	if len(header) != 8 || header[0] != "lo" {
+		return nil, fmt.Errorf("crowd: unrecognized answer-file header %v", header)
+	}
+	cfg := Config{}
+	if cfg.Workers, err = strconv.Atoi(header[5]); err != nil {
+		return nil, fmt.Errorf("crowd: bad workers in header: %w", err)
+	}
+	if cfg.PairsPerHIT, err = strconv.Atoi(header[6]); err != nil {
+		return nil, fmt.Errorf("crowd: bad pairsPerHIT in header: %w", err)
+	}
+	if cfg.CentsPerHIT, err = strconv.Atoi(header[7]); err != nil {
+		return nil, fmt.Errorf("crowd: bad centsPerHIT in header: %w", err)
+	}
+	a := &AnswerSet{
+		fc:     make(map[record.Pair]float64),
+		truth:  make(map[record.Pair]bool),
+		votes:  make(map[record.Pair]int),
+		config: cfg,
+	}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("crowd: line %d: %w", line, err)
+		}
+		if len(row) != 5 {
+			return nil, fmt.Errorf("crowd: line %d: %d fields, want 5", line, len(row))
+		}
+		lo, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("crowd: line %d: bad lo: %w", line, err)
+		}
+		hi, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("crowd: line %d: bad hi: %w", line, err)
+		}
+		fc, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("crowd: line %d: bad fc: %w", line, err)
+		}
+		votes, err := strconv.Atoi(row[3])
+		if err != nil {
+			return nil, fmt.Errorf("crowd: line %d: bad votes: %w", line, err)
+		}
+		p := record.MakePair(record.ID(lo), record.ID(hi))
+		a.fc[p] = fc
+		a.truth[p] = row[4] == "1"
+		a.votes[p] = votes
+	}
+	return a, nil
+}

@@ -1,0 +1,293 @@
+package crowd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"acd/internal/record"
+)
+
+// This file models the worker-level structure of the paper's AMT setting
+// (Section 6.1): a pool of workers with individual reliabilities, a
+// qualification test, and the more stringent requirements of the
+// 5-worker collection ("completed 100 approved HITs and has an approval
+// rate at least 95%", following [24]). HITs pack PairsPerHIT pairs and
+// each HIT is completed by `Workers` distinct workers, so one unreliable
+// worker contaminates a whole HIT's worth of pairs — a correlation the
+// flat per-pair model of BuildAnswers does not capture.
+
+// Worker is one simulated crowd worker.
+type Worker struct {
+	// ID identifies the worker within its pool.
+	ID int
+	// Error is the worker's base probability of answering a pair
+	// incorrectly (before pair difficulty is factored in).
+	Error float64
+	// ApprovedHITs and ApprovalRate are the worker's AMT track record,
+	// used by qualification filters.
+	ApprovedHITs int
+	ApprovalRate float64
+	// PassedQualification reports whether the worker passed the
+	// requester's qualification test.
+	PassedQualification bool
+}
+
+// PoolConfig describes a worker population.
+type PoolConfig struct {
+	// Size is the number of workers in the pool.
+	Size int
+	// MeanError and ErrorSpread shape the per-worker base error rates:
+	// errors are drawn from a Beta-like distribution with the given mean
+	// and spread (clamped to [0, 0.95]).
+	MeanError   float64
+	ErrorSpread float64
+	// QualificationPassRate is the fraction of workers that pass the
+	// qualification test; passing correlates with lower error (the test
+	// screens out the careless).
+	QualificationPassRate float64
+	// Seed drives the population draw.
+	Seed int64
+}
+
+// Pool is a population of simulated workers.
+type Pool struct {
+	workers []Worker
+}
+
+// NewPool draws a worker population. Workers who fail the qualification
+// test are biased toward the high-error end, mirroring what a real
+// qualification test screens for.
+func NewPool(cfg PoolConfig) *Pool {
+	if cfg.Size <= 0 {
+		panic("crowd: pool size must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := &Pool{workers: make([]Worker, cfg.Size)}
+	for i := range p.workers {
+		e := cfg.MeanError + cfg.ErrorSpread*rng.NormFloat64()
+		if e < 0 {
+			e = 0
+		}
+		if e > 0.95 {
+			e = 0.95
+		}
+		// Rank-correlate qualification with reliability: a worker's pass
+		// probability shrinks with its error.
+		passP := cfg.QualificationPassRate * (1 - e) / math.Max(1e-9, 1-cfg.MeanError)
+		if passP > 1 {
+			passP = 1
+		}
+		p.workers[i] = Worker{
+			ID:                  i,
+			Error:               e,
+			ApprovedHITs:        rng.Intn(2000),
+			ApprovalRate:        0.80 + 0.20*rng.Float64()*(1-e), // sloppier workers get rejected more
+			PassedQualification: rng.Float64() < passP,
+		}
+	}
+	return p
+}
+
+// Size returns the population size.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Workers returns a copy of the population.
+func (p *Pool) Workers() []Worker { return append([]Worker(nil), p.workers...) }
+
+// Qualification is a worker admission filter.
+type Qualification struct {
+	// RequireTest admits only workers who passed the qualification test
+	// (both of the paper's settings require this).
+	RequireTest bool
+	// MinApprovedHITs and MinApprovalRate add the 5-worker setting's
+	// stricter requirements (100 and 0.95 in the paper).
+	MinApprovedHITs int
+	MinApprovalRate float64
+}
+
+// BasicQualification is the paper's 3-worker admission rule: pass the
+// qualification test.
+var BasicQualification = Qualification{RequireTest: true}
+
+// StrictQualification is the paper's 5-worker admission rule: pass the
+// test, ≥100 approved HITs, ≥95% approval.
+var StrictQualification = Qualification{RequireTest: true, MinApprovedHITs: 100, MinApprovalRate: 0.95}
+
+// Admits reports whether a worker satisfies the qualification.
+func (q Qualification) Admits(w Worker) bool {
+	if q.RequireTest && !w.PassedQualification {
+		return false
+	}
+	if w.ApprovedHITs < q.MinApprovedHITs {
+		return false
+	}
+	if w.ApprovalRate < q.MinApprovalRate {
+		return false
+	}
+	return true
+}
+
+// Eligible returns the workers admitted by a qualification, in ID order.
+func (p *Pool) Eligible(q Qualification) []Worker {
+	var out []Worker
+	for _, w := range p.workers {
+		if q.Admits(w) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// MeanEligibleError returns the average base error of admitted workers
+// (0 if none) — the quantity qualification requirements exist to reduce.
+func (p *Pool) MeanEligibleError(q Qualification) float64 {
+	sum, n := 0.0, 0
+	for _, w := range p.workers {
+		if q.Admits(w) {
+			sum += w.Error
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// BuildAnswersFromPool simulates a full answer collection with
+// HIT-level structure: pairs are packed into HITs of cfg.PairsPerHIT in
+// the given order; each HIT is assigned to cfg.Workers distinct eligible
+// workers (drawn without replacement per HIT); each worker answers every
+// pair in their HIT, erring with probability 1−(1−e_w)(1−d_p) (wrong if
+// either their own carelessness or the pair's inherent difficulty trips
+// them). Scores are majority fractions as usual.
+//
+// It panics if fewer eligible workers exist than cfg.Workers.
+func BuildAnswersFromPool(pairs []record.Pair, truth func(record.Pair) bool, difficulty func(record.Pair) float64, pool *Pool, q Qualification, cfg Config) *AnswerSet {
+	if cfg.Workers <= 0 || cfg.Workers%2 == 0 {
+		panic(fmt.Sprintf("crowd: Workers must be odd and positive, got %d", cfg.Workers))
+	}
+	eligible := pool.Eligible(q)
+	if len(eligible) < cfg.Workers {
+		panic(fmt.Sprintf("crowd: %d eligible workers, need %d", len(eligible), cfg.Workers))
+	}
+	a := &AnswerSet{
+		fc:     make(map[record.Pair]float64, len(pairs)),
+		truth:  make(map[record.Pair]bool, len(pairs)),
+		config: cfg,
+	}
+	// Deterministic HIT packing: sort pairs canonically so the grouping
+	// does not depend on caller order.
+	sorted := append([]record.Pair(nil), pairs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Lo != sorted[j].Lo {
+			return sorted[i].Lo < sorted[j].Lo
+		}
+		return sorted[i].Hi < sorted[j].Hi
+	})
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for start := 0; start < len(sorted); start += cfg.PairsPerHIT {
+		end := start + cfg.PairsPerHIT
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		hit := sorted[start:end]
+		assignees := sampleWorkers(rng, eligible, cfg.Workers)
+		yes := make([]int, len(hit))
+		for _, w := range assignees {
+			for i, p := range hit {
+				d := difficulty(p)
+				pWrong := 1 - (1-w.Error)*(1-d)
+				correct := rng.Float64() >= pWrong
+				if correct == truth(p) {
+					yes[i]++
+				}
+			}
+		}
+		for i, p := range hit {
+			a.fc[p] = float64(yes[i]) / float64(cfg.Workers)
+			a.truth[p] = truth(p)
+		}
+	}
+	return a
+}
+
+// sampleWorkers draws k distinct workers uniformly from eligible.
+func sampleWorkers(rng *rand.Rand, eligible []Worker, k int) []Worker {
+	idx := rng.Perm(len(eligible))[:k]
+	out := make([]Worker, k)
+	for i, j := range idx {
+		out[i] = eligible[j]
+	}
+	return out
+}
+
+// Vote is one worker's raw answer to one pair — the assignment-level
+// data that worker-quality estimation (internal/quality) consumes.
+type Vote struct {
+	Worker int
+	Pair   record.Pair
+	Yes    bool
+}
+
+// CollectVotes runs the same HIT-level simulation as
+// BuildAnswersFromPool but returns the raw per-worker votes instead of
+// aggregated scores. Votes are emitted in canonical pair order, workers
+// within a HIT in assignment order. The same (pool, qualification, cfg)
+// arguments produce votes consistent with BuildAnswersFromPool's
+// majority scores.
+func CollectVotes(pairs []record.Pair, truth func(record.Pair) bool, difficulty func(record.Pair) float64, pool *Pool, q Qualification, cfg Config) []Vote {
+	if cfg.Workers <= 0 || cfg.Workers%2 == 0 {
+		panic(fmt.Sprintf("crowd: Workers must be odd and positive, got %d", cfg.Workers))
+	}
+	eligible := pool.Eligible(q)
+	if len(eligible) < cfg.Workers {
+		panic(fmt.Sprintf("crowd: %d eligible workers, need %d", len(eligible), cfg.Workers))
+	}
+	sorted := append([]record.Pair(nil), pairs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Lo != sorted[j].Lo {
+			return sorted[i].Lo < sorted[j].Lo
+		}
+		return sorted[i].Hi < sorted[j].Hi
+	})
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var votes []Vote
+	for start := 0; start < len(sorted); start += cfg.PairsPerHIT {
+		end := start + cfg.PairsPerHIT
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		hit := sorted[start:end]
+		assignees := sampleWorkers(rng, eligible, cfg.Workers)
+		for _, w := range assignees {
+			for _, p := range hit {
+				d := difficulty(p)
+				pWrong := 1 - (1-w.Error)*(1-d)
+				correct := rng.Float64() >= pWrong
+				votes = append(votes, Vote{Worker: w.ID, Pair: p, Yes: correct == truth(p)})
+			}
+		}
+	}
+	return votes
+}
+
+// MajorityScores aggregates raw votes into per-pair crowd scores (the
+// fraction of yes votes) — the baseline aggregation the paper uses.
+func MajorityScores(votes []Vote) map[record.Pair]float64 {
+	yes := make(map[record.Pair]int)
+	total := make(map[record.Pair]int)
+	for _, v := range votes {
+		total[v.Pair]++
+		if v.Yes {
+			yes[v.Pair]++
+		}
+	}
+	out := make(map[record.Pair]float64, len(total))
+	for p, t := range total {
+		out[p] = float64(yes[p]) / float64(t)
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package crowd
+
+import (
+	"testing"
+
+	"acd/internal/record"
+)
+
+func testPool() *Pool {
+	return NewPool(PoolConfig{
+		Size:                  500,
+		MeanError:             0.25,
+		ErrorSpread:           0.15,
+		QualificationPassRate: 0.6,
+		Seed:                  7,
+	})
+}
+
+func TestNewPool(t *testing.T) {
+	p := testPool()
+	if p.Size() != 500 {
+		t.Fatalf("size = %d", p.Size())
+	}
+	for _, w := range p.Workers() {
+		if w.Error < 0 || w.Error > 0.95 {
+			t.Fatalf("worker %d error %v out of range", w.ID, w.Error)
+		}
+		if w.ApprovalRate < 0.8 || w.ApprovalRate > 1 {
+			t.Fatalf("worker %d approval %v out of range", w.ID, w.ApprovalRate)
+		}
+	}
+	// Deterministic.
+	q := testPool()
+	for i, w := range p.Workers() {
+		if q.Workers()[i] != w {
+			t.Fatalf("pool not deterministic at worker %d", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("zero-size pool should panic")
+		}
+	}()
+	NewPool(PoolConfig{})
+}
+
+func TestQualificationFiltersImproveQuality(t *testing.T) {
+	p := testPool()
+	none := Qualification{}
+	basic := BasicQualification
+	strict := StrictQualification
+
+	if len(p.Eligible(none)) != p.Size() {
+		t.Errorf("empty qualification should admit everyone")
+	}
+	nBasic, nStrict := len(p.Eligible(basic)), len(p.Eligible(strict))
+	if nBasic >= p.Size() || nStrict > nBasic || nStrict == 0 {
+		t.Errorf("qualification sizes: all=%d basic=%d strict=%d", p.Size(), nBasic, nStrict)
+	}
+	// Each tightening of the requirements must lower mean worker error.
+	eAll := p.MeanEligibleError(none)
+	eBasic := p.MeanEligibleError(basic)
+	eStrict := p.MeanEligibleError(strict)
+	if !(eStrict < eBasic && eBasic < eAll) {
+		t.Errorf("qualification did not improve quality: all=%.3f basic=%.3f strict=%.3f",
+			eAll, eBasic, eStrict)
+	}
+}
+
+func TestQualificationAdmits(t *testing.T) {
+	w := Worker{PassedQualification: true, ApprovedHITs: 150, ApprovalRate: 0.97}
+	if !StrictQualification.Admits(w) {
+		t.Errorf("qualified worker rejected")
+	}
+	for _, bad := range []Worker{
+		{PassedQualification: false, ApprovedHITs: 150, ApprovalRate: 0.97},
+		{PassedQualification: true, ApprovedHITs: 50, ApprovalRate: 0.97},
+		{PassedQualification: true, ApprovedHITs: 150, ApprovalRate: 0.90},
+	} {
+		if StrictQualification.Admits(bad) {
+			t.Errorf("unqualified worker admitted: %+v", bad)
+		}
+	}
+}
+
+func TestBuildAnswersFromPool(t *testing.T) {
+	p := testPool()
+	pairs := adaptivePairs(300)
+	truth := func(pr record.Pair) bool { return pr.Lo%2 == 0 }
+	diff := UniformDifficulty(0.05)
+
+	a := BuildAnswersFromPool(pairs, truth, diff, p, BasicQualification, ThreeWorker(3))
+	if a.Len() != len(pairs) {
+		t.Fatalf("answered %d of %d pairs", a.Len(), len(pairs))
+	}
+	for _, pr := range pairs {
+		fc := a.Score(pr)
+		scaled := fc * 3
+		if scaled != float64(int(scaled)) {
+			t.Fatalf("score %v is not a thirds fraction", fc)
+		}
+	}
+	// Order independence: shuffled input gives identical answers.
+	reversed := make([]record.Pair, len(pairs))
+	for i, pr := range pairs {
+		reversed[len(pairs)-1-i] = pr
+	}
+	b := BuildAnswersFromPool(reversed, truth, diff, p, BasicQualification, ThreeWorker(3))
+	for _, pr := range pairs {
+		if a.Score(pr) != b.Score(pr) {
+			t.Fatalf("pool answers depend on pair order at %v", pr)
+		}
+	}
+}
+
+// TestStricterQualificationLowersErrorRate: the paper's rationale for
+// the 5-worker setting's admission rules — measured end to end.
+func TestStricterQualificationLowersErrorRate(t *testing.T) {
+	p := testPool()
+	pairs := adaptivePairs(4000)
+	truth := func(pr record.Pair) bool { return pr.Lo%3 == 0 }
+	diff := UniformDifficulty(0.05)
+
+	loose := BuildAnswersFromPool(pairs, truth, diff, p, Qualification{}, ThreeWorker(5))
+	strict := BuildAnswersFromPool(pairs, truth, diff, p, StrictQualification, ThreeWorker(5))
+	if strict.ErrorRate() >= loose.ErrorRate() {
+		t.Errorf("strict qualification error %.4f not below open-pool %.4f",
+			strict.ErrorRate(), loose.ErrorRate())
+	}
+}
+
+func TestBuildAnswersFromPoolPanics(t *testing.T) {
+	p := NewPool(PoolConfig{Size: 3, MeanError: 0.1, QualificationPassRate: 0, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic with no eligible workers")
+		}
+	}()
+	BuildAnswersFromPool(nil, nil, nil, p, BasicQualification, ThreeWorker(1))
+}

@@ -1,0 +1,72 @@
+package dataset_test
+
+import (
+	"math"
+	"testing"
+
+	"acd/internal/crowd"
+	"acd/internal/dataset"
+	"acd/internal/pruning"
+)
+
+// TestCandidateCalibration checks that each generator's candidate set
+// under the paper's pruning setting (Jaccard, τ = 0.3) lands within 35%
+// of Table 3's candidate-pair count, and that nearly all true duplicate
+// pairs survive pruning. The measured values are recorded in
+// EXPERIMENTS.md.
+func TestCandidateCalibration(t *testing.T) {
+	for _, name := range []string{"Paper", "Restaurant", "Product"} {
+		d, err := dataset.ByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tgt, _ := dataset.Target(name)
+		c := pruning.Prune(d.Records, pruning.Options{})
+		ratio := float64(len(c.Pairs)) / float64(tgt.CandidatePairs)
+		if ratio < 0.65 || ratio > 1.35 {
+			t.Errorf("%s: %d candidate pairs, target %d (ratio %.2f)",
+				name, len(c.Pairs), tgt.CandidatePairs, ratio)
+		}
+		truth := d.TruthFn()
+		inS := 0
+		for _, sp := range c.Pairs {
+			if truth(sp.Pair) {
+				inS++
+			}
+		}
+		recallBound := float64(inS) / float64(d.DuplicatePairs())
+		if recallBound < 0.9 {
+			t.Errorf("%s: only %.0f%% of duplicate pairs survive pruning", name, 100*recallBound)
+		}
+	}
+}
+
+// TestCrowdCalibration builds answer sets for every dataset under both
+// AMT settings and checks the measured majority-vote error rate against
+// Table 3 within an absolute tolerance of 2.5 percentage points.
+func TestCrowdCalibration(t *testing.T) {
+	for _, name := range []string{"Paper", "Restaurant", "Product"} {
+		d, err := dataset.ByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tgt, _ := dataset.Target(name)
+		c := pruning.Prune(d.Records, pruning.Options{})
+		mix, _ := crowd.Calibrate(tgt.ErrorRate3W, tgt.ErrorRate5W)
+		truth := d.TruthFn()
+		diff := crowd.DifficultyAssignment(c.PairList(), c.Score, truth, mix)
+
+		for _, cfg := range []crowd.Config{crowd.ThreeWorker(11), crowd.FiveWorker(11)} {
+			answers := crowd.BuildAnswers(c.PairList(), truth, diff, cfg)
+			want := tgt.ErrorRate3W
+			if cfg.Workers == 5 {
+				want = tgt.ErrorRate5W
+			}
+			got := answers.ErrorRate()
+			if math.Abs(got-want) > 0.025 {
+				t.Errorf("%s %dw: error rate %.3f, Table 3 says %.3f",
+					name, cfg.Workers, got, want)
+			}
+		}
+	}
+}

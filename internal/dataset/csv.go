@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"acd/internal/record"
+)
+
+// WriteCSV writes a dataset as CSV: the header row is "id,entity" plus
+// the union of field names (sorted); each record follows. Entity is -1
+// when unknown.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	fieldSet := map[string]struct{}{}
+	for _, r := range d.Records {
+		for k := range r.Fields {
+			fieldSet[k] = struct{}{}
+		}
+	}
+	fields := make([]string, 0, len(fieldSet))
+	for k := range fieldSet {
+		fields = append(fields, k)
+	}
+	sort.Strings(fields)
+
+	cw := csv.NewWriter(w)
+	header := append([]string{"id", "entity"}, fields...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing header: %w", err)
+	}
+	for _, r := range d.Records {
+		row := make([]string, 0, len(header))
+		row = append(row, strconv.Itoa(int(r.ID)), strconv.Itoa(r.Entity))
+		for _, f := range fields {
+			row = append(row, r.Fields[f])
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing record %d: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a dataset written by WriteCSV. Records are renumbered
+// densely in file order; the original "id" column is ignored. Entity
+// labels are preserved; a missing or non-numeric entity column value is
+// an error. The dataset name is set by the caller.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) < 2 || header[0] != "id" || header[1] != "entity" {
+		return nil, fmt.Errorf("dataset: header must start with id,entity; got %v", header)
+	}
+	fields := header[2:]
+	d := &Dataset{Name: name}
+	entities := map[int]struct{}{}
+	for i := 0; ; i++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading row %d: %w", i, err)
+		}
+		entity, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d: bad entity %q: %w", i, row[1], err)
+		}
+		fv := make(map[string]string, len(fields))
+		for j, f := range fields {
+			if v := row[2+j]; v != "" {
+				fv[f] = v
+			}
+		}
+		rec := record.New(record.ID(i), fv)
+		rec.Entity = entity
+		d.Records = append(d.Records, rec)
+		if entity >= 0 {
+			entities[entity] = struct{}{}
+		}
+	}
+	d.NumEntities = len(entities)
+	return d, nil
+}

@@ -1,0 +1,232 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"acd/internal/record"
+)
+
+func TestExactCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(int64) *Dataset
+	}{
+		{"Paper", Paper},
+		{"Restaurant", Restaurant},
+		{"Product", Product},
+	}
+	for _, c := range cases {
+		d := c.gen(1)
+		tgt, ok := Target(c.name)
+		if !ok {
+			t.Fatalf("no target for %s", c.name)
+		}
+		if len(d.Records) != tgt.Records {
+			t.Errorf("%s: %d records, want %d", c.name, len(d.Records), tgt.Records)
+		}
+		if d.NumEntities != tgt.Entities {
+			t.Errorf("%s: %d entities, want %d", c.name, d.NumEntities, tgt.Entities)
+		}
+		// Every entity label in range, every entity non-empty.
+		seen := make([]bool, d.NumEntities)
+		for _, r := range d.Records {
+			if r.Entity < 0 || r.Entity >= d.NumEntities {
+				t.Fatalf("%s: record %d has entity %d out of range", c.name, r.ID, r.Entity)
+			}
+			seen[r.Entity] = true
+		}
+		for e, ok := range seen {
+			if !ok {
+				t.Errorf("%s: entity %d has no records", c.name, e)
+			}
+		}
+		// Dense IDs in order.
+		for i, r := range d.Records {
+			if int(r.ID) != i {
+				t.Fatalf("%s: record %d has ID %d", c.name, i, r.ID)
+			}
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, b := Paper(7), Paper(7)
+	for i := range a.Records {
+		if a.Records[i].Text() != b.Records[i].Text() || a.Records[i].Entity != b.Records[i].Entity {
+			t.Fatalf("generation not deterministic at record %d", i)
+		}
+	}
+	c := Paper(8)
+	diff := false
+	for i := range a.Records {
+		if a.Records[i].Text() != c.Records[i].Text() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Errorf("different seeds produced identical datasets")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Paper", "Restaurant", "Product"} {
+		d, err := ByName(name, 3)
+		if err != nil || d.Name != name {
+			t.Errorf("ByName(%s) = %v, %v", name, d, err)
+		}
+	}
+	if _, err := ByName("Nope", 3); err == nil {
+		t.Errorf("unknown dataset accepted")
+	}
+}
+
+func TestTruthAndDuplicatePairs(t *testing.T) {
+	d := Restaurant(2)
+	truth := d.Truth()
+	if len(truth) != len(d.Records) {
+		t.Fatalf("Truth length %d", len(truth))
+	}
+	fn := d.TruthFn()
+	p := record.MakePair(0, 1)
+	if fn(p) != (truth[0] == truth[1]) {
+		t.Errorf("TruthFn inconsistent with Truth")
+	}
+	// Restaurant: 858 records, 752 entities, sizes near-uniform →
+	// 106 duplicate pairs.
+	if got := d.DuplicatePairs(); got != 106 {
+		t.Errorf("Restaurant duplicate pairs = %d, want 106", got)
+	}
+}
+
+func TestEntitySizes(t *testing.T) {
+	for _, skew := range []float64{0, 0.9} {
+		sizes := entitySizes(newTestRNG(), 100, 450, skew)
+		if len(sizes) != 100 {
+			t.Fatalf("len = %d", len(sizes))
+		}
+		sum := 0
+		for _, s := range sizes {
+			if s < 1 {
+				t.Fatalf("entity with %d records", s)
+			}
+			sum += s
+		}
+		if sum != 450 {
+			t.Errorf("skew %v: sizes sum to %d, want 450", skew, sum)
+		}
+	}
+	// Skewed distribution must produce a heavier head than uniform.
+	uni := entitySizes(newTestRNG(), 50, 500, 0)
+	skewed := entitySizes(newTestRNG(), 50, 500, 1.2)
+	maxOf := func(xs []int) int {
+		m := 0
+		for _, x := range xs {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	if maxOf(skewed) <= maxOf(uni) {
+		t.Errorf("skewed max %d not above uniform max %d", maxOf(skewed), maxOf(uni))
+	}
+}
+
+func TestSkewedPaperHead(t *testing.T) {
+	d := Paper(1)
+	bySize := map[int]int{}
+	for _, r := range d.Records {
+		bySize[r.Entity]++
+	}
+	max := 0
+	for _, k := range bySize {
+		if k > max {
+			max = k
+		}
+	}
+	// Cora-like: the head entity should hold a sizable share of records.
+	if max < 15 {
+		t.Errorf("head entity has only %d records; expected heavy skew", max)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := Restaurant(5)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, "Restaurant")
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(got.Records) != len(d.Records) || got.NumEntities != d.NumEntities {
+		t.Fatalf("round trip: %d records %d entities", len(got.Records), got.NumEntities)
+	}
+	for i := range d.Records {
+		if got.Records[i].Text() != d.Records[i].Text() {
+			t.Errorf("record %d text changed: %q -> %q", i, d.Records[i].Text(), got.Records[i].Text())
+		}
+		if got.Records[i].Entity != d.Records[i].Entity {
+			t.Errorf("record %d entity changed", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("nope,header\n"), "x"); err == nil {
+		t.Errorf("bad header accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("id,entity\n0,notanumber\n"), "x"); err == nil {
+		t.Errorf("bad entity accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader(""), "x"); err == nil {
+		t.Errorf("empty input accepted")
+	}
+}
+
+func TestNoiser(t *testing.T) {
+	n := &noiser{rng: newTestRNG()}
+	// typo changes length by at most 1 and never panics on short words.
+	for _, w := range []string{"a", "ab", "abcdef"} {
+		for i := 0; i < 50; i++ {
+			got := n.typo(w)
+			if math.Abs(float64(len(got)-len(w))) > 1 {
+				t.Fatalf("typo(%q) = %q", w, got)
+			}
+		}
+	}
+	if n.abbreviate("john") != "j" || n.abbreviate("") != "" {
+		t.Errorf("abbreviate wrong")
+	}
+	// corruptTokens never returns empty output.
+	for i := 0; i < 50; i++ {
+		out := n.corruptTokens([]string{"only"}, 0, 0, 1)
+		if len(out) == 0 {
+			t.Fatalf("corruptTokens emptied the token list")
+		}
+	}
+	// pickK returns distinct elements.
+	pool := []string{"a", "b", "c", "d"}
+	got := n.pickK(pool, 3)
+	if len(got) != 3 {
+		t.Fatalf("pickK returned %v", got)
+	}
+	seen := map[string]bool{}
+	for _, g := range got {
+		if seen[g] {
+			t.Fatalf("pickK duplicated %q", g)
+		}
+		seen[g] = true
+	}
+	if len(n.pickK(pool, 10)) != len(pool) {
+		t.Errorf("pickK should clamp k to pool size")
+	}
+}
+
+func newTestRNG() *rand.Rand { return rand.New(rand.NewSource(99)) }

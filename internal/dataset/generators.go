@@ -1,0 +1,314 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"acd/internal/record"
+)
+
+// Word pools shared by the generators. They are intentionally small: the
+// candidate-graph density of each dataset is governed by how often
+// unrelated records collide on tokens, and pool sizes are the calibration
+// knobs (see EXPERIMENTS.md for the measured candidate counts).
+var (
+	firstNames = []string{
+		"james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+		"linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+		"joseph", "jessica", "thomas", "sarah", "charles", "karen", "wei",
+		"lei", "hiroshi", "yuki", "anil", "priya", "olga", "ivan", "marta", "luis",
+	}
+	lastNames = []string{
+		"smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+		"davis", "rodriguez", "martinez", "wilson", "anderson", "taylor",
+		"thomas", "moore", "jackson", "martin", "lee", "thompson", "white",
+		"chen", "wang", "kumar", "patel", "tanaka", "sato", "ivanov", "novak",
+		"kim", "nguyen",
+	}
+)
+
+// ---------------------------------------------------------------------------
+// Paper: Cora-like citation records. Dense candidate graph: citations in
+// the same research area share venue strings and topic vocabulary, so a
+// large fraction of same-topic cross-entity pairs clears τ = 0.3.
+
+var paperVenues = []string{
+	"proceedings of the international conference on machine learning",
+	"proceedings of the national conference on artificial intelligence",
+	"advances in neural information processing systems conference",
+	"proceedings of the international joint conference on artificial intelligence",
+	"journal of artificial intelligence research",
+	"machine learning journal",
+	"proceedings of the international conference on knowledge discovery and data mining",
+	"ieee transactions on pattern analysis and machine intelligence",
+}
+
+var paperTopics = [][]string{
+	{"learning", "neural", "network", "backpropagation", "gradient", "training", "hidden", "layers", "weights", "activation", "convergence", "optimization"},
+	{"reinforcement", "learning", "policy", "reward", "markov", "decision", "agent", "exploration", "temporal", "difference", "control", "dynamic"},
+	{"bayesian", "inference", "probabilistic", "networks", "belief", "graphical", "models", "posterior", "prior", "likelihood", "sampling", "estimation"},
+	{"genetic", "algorithms", "evolutionary", "computation", "population", "selection", "crossover", "mutation", "fitness", "search", "adaptive", "operators"},
+	{"inductive", "logic", "programming", "rules", "first", "order", "clauses", "predicates", "knowledge", "representation", "reasoning", "induction"},
+	{"decision", "trees", "classification", "pruning", "attributes", "splits", "ensemble", "boosting", "bagging", "accuracy", "splitting", "features"},
+	{"speech", "recognition", "hidden", "markov", "models", "acoustic", "language", "phoneme", "vocabulary", "continuous", "discrete", "signal"},
+	{"planning", "search", "heuristic", "constraint", "satisfaction", "scheduling", "domains", "operators", "state", "space", "abstraction", "goals"},
+	{"clustering", "unsupervised", "density", "partitioning", "centroids", "hierarchical", "distance", "similarity", "mixture", "expectation", "maximization", "kmeans"},
+	{"vision", "image", "object", "recognition", "segmentation", "edges", "texture", "features", "invariant", "matching", "stereo", "motion"},
+	{"text", "information", "retrieval", "documents", "indexing", "query", "relevance", "ranking", "corpus", "terms", "frequency", "categorization"},
+	{"robotics", "navigation", "localization", "mapping", "sensors", "odometry", "obstacle", "avoidance", "path", "autonomous", "mobile", "control"},
+	{"support", "vector", "machines", "kernel", "margin", "classification", "regularization", "dual", "convex", "hyperplane", "generalization", "risk"},
+	{"case", "based", "reasoning", "retrieval", "adaptation", "memory", "instances", "analogical", "similarity", "indexing", "episodes", "explanation"},
+	{"knowledge", "discovery", "databases", "mining", "association", "rules", "frequent", "itemsets", "patterns", "transactions", "support", "confidence"},
+	{"agents", "multiagent", "coordination", "negotiation", "auctions", "game", "theory", "equilibrium", "strategies", "cooperation", "distributed", "protocols"},
+}
+
+// Paper generates the Cora-like citation workload: 997 records over 191
+// entities, heavy duplication skew, dense candidate graph.
+func Paper(seed int64) *Dataset {
+	const (
+		numRecords  = 997
+		numEntities = 191
+	)
+	rng := rand.New(rand.NewSource(seed))
+	nz := &noiser{rng: rng}
+	sizes := entitySizes(rng, numEntities, numRecords, 0.9)
+
+	type paperEntity struct {
+		authors []string // tokens: first last first last ...
+		title   []string
+		venue   []string
+		year    string
+		topic   int
+	}
+	entities := make([]paperEntity, numEntities)
+	for e := range entities {
+		topic := rng.Intn(len(paperTopics))
+		vocab := paperTopics[topic]
+		nAuthors := 2 + rng.Intn(2)
+		var authors []string
+		for a := 0; a < nAuthors; a++ {
+			authors = append(authors, nz.pick(firstNames), nz.pick(lastNames))
+		}
+		titleLen := 5 + rng.Intn(3)
+		title := nz.pickK(vocab, titleLen)
+		venue := record.Tokens(paperVenues[topic%len(paperVenues)])
+		entities[e] = paperEntity{
+			authors: authors,
+			title:   title,
+			venue:   venue,
+			year:    fmt.Sprintf("%d", 1988+rng.Intn(12)),
+			topic:   topic,
+		}
+	}
+
+	d := &Dataset{Name: "Paper", NumEntities: numEntities}
+	id := record.ID(0)
+	for e, size := range sizes {
+		ent := entities[e]
+		for k := 0; k < size; k++ {
+			// Citations of the same paper differ in formatting: author
+			// first names abbreviated, venue truncated, title typos.
+			authors := nz.corruptTokens(ent.authors, 0.08, 0.25, 0.10)
+			title := nz.corruptTokens(ent.title, 0.10, 0.0, 0.08)
+			venue := ent.venue
+			if rng.Float64() < 0.35 {
+				// Truncated venue ("Proc. ICML" style): keep a prefix.
+				keep := 2 + rng.Intn(len(venue)-1)
+				venue = venue[:keep]
+			}
+			fields := map[string]string{
+				"authors": joinTokens(authors),
+				"title":   joinTokens(title),
+				"venue":   joinTokens(venue),
+				"year":    ent.year,
+			}
+			r := record.New(id, fields)
+			r.Entity = e
+			d.Records = append(d.Records, r)
+			id++
+		}
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Restaurant: Fodors/Zagat-like listings. Mostly singleton entities;
+// duplicates are two near-identical listings of the same restaurant.
+
+var (
+	restaurantNameWords = []string{
+		"golden", "dragon", "palace", "garden", "house", "grill", "kitchen",
+		"cafe", "bistro", "corner", "royal", "little", "blue", "red", "star",
+		"ocean", "harbor", "villa", "casa", "chez", "olive", "basil", "pepper",
+		"ginger", "lotus",
+	}
+	restaurantStreets = []string{
+		"main", "broadway", "sunset", "wilshire", "melrose", "market",
+		"mission", "columbus", "grant", "madison", "park", "fifth", "beach",
+		"hill", "oak",
+	}
+	restaurantCities = []string{
+		"new york", "los angeles", "san francisco", "las vegas", "santa monica", "san diego",
+	}
+	restaurantCuisines = []string{
+		"italian", "french", "chinese", "japanese", "mexican", "thai",
+		"indian", "american", "seafood", "steakhouse", "korean", "greek",
+	}
+	streetSuffixes = []string{"st", "ave", "blvd", "rd", "dr"}
+)
+
+// Restaurant generates the Fodors/Zagat-like workload: 858 records over
+// 752 entities (106 duplicated listings), sparse easy candidate graph.
+func Restaurant(seed int64) *Dataset {
+	const (
+		numRecords  = 858
+		numEntities = 752
+	)
+	rng := rand.New(rand.NewSource(seed))
+	nz := &noiser{rng: rng}
+	sizes := entitySizes(rng, numEntities, numRecords, 0)
+
+	type restEntity struct {
+		name    []string
+		number  string
+		street  string
+		suffix  string
+		city    string
+		cuisine string
+	}
+	entities := make([]restEntity, numEntities)
+	for e := range entities {
+		nameLen := 2 + rng.Intn(2)
+		entities[e] = restEntity{
+			name:    nz.pickK(restaurantNameWords, nameLen),
+			number:  fmt.Sprintf("%d", 10+rng.Intn(990)),
+			street:  nz.pick(restaurantStreets),
+			suffix:  nz.pick(streetSuffixes),
+			city:    nz.pick(restaurantCities),
+			cuisine: nz.pick(restaurantCuisines),
+		}
+	}
+
+	d := &Dataset{Name: "Restaurant", NumEntities: numEntities}
+	id := record.ID(0)
+	for e, size := range sizes {
+		ent := entities[e]
+		for k := 0; k < size; k++ {
+			name := ent.name
+			street := ent.street
+			suffix := ent.suffix
+			if k > 0 {
+				// The duplicate listing differs slightly: occasional typo
+				// in the name, abbreviated or alternate street suffix.
+				name = nz.corruptTokens(ent.name, 0.15, 0.0, 0.0)
+				if rng.Float64() < 0.4 {
+					suffix = nz.pick(streetSuffixes)
+				}
+				if rng.Float64() < 0.15 {
+					street = nz.typo(street)
+				}
+			}
+			fields := map[string]string{
+				"name":    joinTokens(name),
+				"address": ent.number + " " + street + " " + suffix,
+				"city":    ent.city,
+				"cuisine": ent.cuisine,
+			}
+			r := record.New(id, fields)
+			r.Entity = e
+			d.Records = append(d.Records, r)
+			id++
+		}
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Product: Abt-Buy-like product names. Model numbers are distinctive
+// tokens, so cross-entity similarity is low and the candidate set barely
+// exceeds the duplicate set.
+
+var (
+	productBrands = []string{
+		"sony", "samsung", "panasonic", "toshiba", "canon", "nikon", "apple",
+		"dell", "hewlett", "packard", "lenovo", "asus", "acer", "logitech",
+		"philips", "sharp", "sanyo", "jvc", "pioneer", "kenwood", "yamaha",
+		"denon", "onkyo", "bose", "garmin", "tomtom", "motorola", "nokia",
+		"siemens", "whirlpool", "frigidaire", "kitchenaid", "cuisinart",
+		"hamilton", "oster", "braun", "norelco", "remington", "dyson", "hoover",
+	}
+	productCategories = [][]string{
+		{"lcd", "tv", "television", "hdtv", "widescreen", "flat", "panel", "inch", "screen", "plasma", "resolution", "contrast", "hdmi", "tuner", "remote", "wall", "mountable", "progressive", "scan", "aspect", "ratio", "black", "speakers", "integrated"},
+		{"digital", "camera", "zoom", "megapixel", "optical", "compact", "lens", "silver", "stabilization", "viewfinder", "flash", "slr", "shutter", "aperture", "burst", "mode", "face", "detection", "wide", "angle", "macro", "video", "memory", "card"},
+		{"laptop", "notebook", "computer", "processor", "memory", "ghz", "gb", "display", "battery", "dual", "core", "hard", "drive", "graphics", "webcam", "widescreen", "keyboard", "windows", "wireless", "dvd", "burner", "fingerprint", "reader", "slim"},
+		{"speaker", "audio", "stereo", "surround", "sound", "system", "home", "theater", "subwoofer", "channel", "receiver", "amplifier", "bookshelf", "tower", "satellite", "woofer", "tweeter", "dolby", "digital", "watts", "wireless", "dock", "bass", "remote"},
+		{"vacuum", "cleaner", "bagless", "upright", "cyclone", "filter", "cordless", "handheld", "pet", "hepa", "canister", "brush", "attachment", "hose", "suction", "lightweight", "rechargeable", "stick", "carpet", "hardwood", "floor", "allergen", "dust", "bin"},
+		{"printer", "inkjet", "laser", "wireless", "photo", "color", "scanner", "copier", "duplex", "fax", "multifunction", "cartridge", "ppm", "dpi", "ethernet", "usb", "borderless", "tray", "sheet", "feeder", "monochrome", "network", "compact", "office"},
+		{"phone", "cordless", "handset", "answering", "machine", "bluetooth", "caller", "id", "expandable", "dect", "speakerphone", "keypad", "backlit", "voicemail", "conference", "mute", "redial", "wall", "mountable", "battery", "talk", "time", "range", "digital"},
+		{"microwave", "oven", "countertop", "stainless", "steel", "watt", "convection", "grill", "compact", "turntable", "defrost", "sensor", "cooking", "preset", "timer", "child", "lock", "interior", "cubic", "feet", "power", "levels", "door", "handle"},
+	}
+)
+
+// Product generates the Abt-Buy-like workload: 3073 records over 1076
+// entities, very sparse candidate graph dominated by true duplicates.
+func Product(seed int64) *Dataset {
+	const (
+		numRecords  = 3073
+		numEntities = 1076
+	)
+	rng := rand.New(rand.NewSource(seed))
+	nz := &noiser{rng: rng}
+	sizes := entitySizes(rng, numEntities, numRecords, 0)
+
+	type prodEntity struct {
+		brand    string
+		model    string
+		attr     string
+		category int
+		descr    []string
+	}
+	entities := make([]prodEntity, numEntities)
+	for e := range entities {
+		cat := rng.Intn(len(productCategories))
+		// Model numbers like "kdl40v2500": letters + digits, unique-ish.
+		model := fmt.Sprintf("%c%c%d%c%d",
+			'a'+rng.Intn(26), 'a'+rng.Intn(26), 10+rng.Intn(90),
+			'a'+rng.Intn(26), 100+rng.Intn(9900))
+		// A numeric attribute ("42in", "w1200"): shared by listings of
+		// the same product, almost never across products.
+		attr := fmt.Sprintf("%c%d", 'a'+rng.Intn(26), 100+rng.Intn(900))
+		entities[e] = prodEntity{
+			brand:    nz.pick(productBrands),
+			model:    model,
+			attr:     attr,
+			category: cat,
+			descr:    nz.pickK(productCategories[cat], 4+rng.Intn(3)),
+		}
+	}
+
+	d := &Dataset{Name: "Product", NumEntities: numEntities}
+	id := record.ID(0)
+	for e, size := range sizes {
+		ent := entities[e]
+		for k := 0; k < size; k++ {
+			descr := ent.descr
+			model := ent.model
+			if k > 0 {
+				// Vendor listings describe the same product with fewer or
+				// reworded descriptors and occasionally a typo'd model.
+				descr = nz.corruptTokens(ent.descr, 0.10, 0.0, 0.15)
+				if rng.Float64() < 0.10 {
+					model = nz.typo(model)
+				}
+			}
+			fields := map[string]string{
+				"name": ent.brand + " " + joinTokens(descr) + " " + ent.attr + " " + model,
+			}
+			r := record.New(id, fields)
+			r.Entity = e
+			d.Records = append(d.Records, r)
+			id++
+		}
+	}
+	return d
+}

@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// noiser applies the corruption operations that make duplicate records of
+// the same entity differ: typos, abbreviations, token drops, and token
+// swaps. All operations are driven by the supplied RNG for determinism.
+type noiser struct {
+	rng *rand.Rand
+}
+
+// typo corrupts one character of w: delete, duplicate, substitute, or
+// transpose, chosen uniformly. Words of length < 2 are returned
+// unchanged.
+func (n *noiser) typo(w string) string {
+	if len(w) < 2 {
+		return w
+	}
+	i := n.rng.Intn(len(w))
+	switch n.rng.Intn(4) {
+	case 0: // delete
+		return w[:i] + w[i+1:]
+	case 1: // duplicate
+		return w[:i] + w[i:i+1] + w[i:]
+	case 2: // substitute
+		c := byte('a' + n.rng.Intn(26))
+		return w[:i] + string(c) + w[i+1:]
+	default: // transpose
+		if i == len(w)-1 {
+			i--
+		}
+		return w[:i] + w[i+1:i+2] + w[i:i+1] + w[i+2:]
+	}
+}
+
+// abbreviate reduces a word to its initial ("john" -> "j").
+func (n *noiser) abbreviate(w string) string {
+	if len(w) == 0 {
+		return w
+	}
+	return w[:1]
+}
+
+// corruptTokens applies per-token noise to a copy of tokens: each token
+// independently suffers a typo with probability pTypo, abbreviation with
+// probability pAbbrev, and deletion with probability pDrop. At least one
+// token always survives.
+func (n *noiser) corruptTokens(tokens []string, pTypo, pAbbrev, pDrop float64) []string {
+	out := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		r := n.rng.Float64()
+		switch {
+		case r < pDrop:
+			continue
+		case r < pDrop+pAbbrev:
+			out = append(out, n.abbreviate(t))
+		case r < pDrop+pAbbrev+pTypo:
+			out = append(out, n.typo(t))
+		default:
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, tokens[0])
+	}
+	return out
+}
+
+// pick returns a uniformly random element of pool.
+func (n *noiser) pick(pool []string) string {
+	return pool[n.rng.Intn(len(pool))]
+}
+
+// pickK returns k distinct elements of pool (k ≤ len(pool)), preserving a
+// random order.
+func (n *noiser) pickK(pool []string, k int) []string {
+	idx := n.rng.Perm(len(pool))
+	if k > len(pool) {
+		k = len(pool)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = pool[idx[i]]
+	}
+	return out
+}
+
+func joinTokens(tokens []string) string { return strings.Join(tokens, " ") }

@@ -1,0 +1,153 @@
+package dataset
+
+import (
+	"testing"
+)
+
+func TestSyntheticBasics(t *testing.T) {
+	d, err := Synthetic(SyntheticConfig{Entities: 50, Records: 160, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Records) != 160 || d.NumEntities != 50 {
+		t.Fatalf("%d records / %d entities", len(d.Records), d.NumEntities)
+	}
+	seen := make([]bool, 50)
+	for i, r := range d.Records {
+		if int(r.ID) != i {
+			t.Fatalf("IDs not dense")
+		}
+		if r.Entity < 0 || r.Entity >= 50 {
+			t.Fatalf("entity %d out of range", r.Entity)
+		}
+		seen[r.Entity] = true
+		if r.Text() == "" {
+			t.Fatalf("record %d empty", i)
+		}
+	}
+	for e, ok := range seen {
+		if !ok {
+			t.Errorf("entity %d empty", e)
+		}
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	cases := []SyntheticConfig{
+		{Entities: 0, Records: 10},
+		{Entities: 10, Records: 5},
+		{Entities: 5, Records: 10, Noise: 0.95},
+	}
+	for i, cfg := range cases {
+		if _, err := Synthetic(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestSyntheticDeterministicAndSkew(t *testing.T) {
+	cfg := SyntheticConfig{Entities: 30, Records: 200, Skew: 1.2, Seed: 4}
+	a, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Synthetic(cfg)
+	for i := range a.Records {
+		if a.Records[i].Text() != b.Records[i].Text() {
+			t.Fatalf("not deterministic at %d", i)
+		}
+	}
+	// Skew concentrates duplicates.
+	bySize := map[int]int{}
+	for _, r := range a.Records {
+		bySize[r.Entity]++
+	}
+	max := 0
+	for _, k := range bySize {
+		if k > max {
+			max = k
+		}
+	}
+	flat, _ := Synthetic(SyntheticConfig{Entities: 30, Records: 200, Skew: 0, Seed: 4})
+	bySizeFlat := map[int]int{}
+	for _, r := range flat.Records {
+		bySizeFlat[r.Entity]++
+	}
+	maxFlat := 0
+	for _, k := range bySizeFlat {
+		if k > maxFlat {
+			maxFlat = k
+		}
+	}
+	if max <= maxFlat {
+		t.Errorf("skewed head %d not above flat head %d", max, maxFlat)
+	}
+}
+
+// TestSyntheticDuplicatesSurvivePruning: duplicates of the same entity
+// must stay similar enough to be candidates at the paper's τ = 0.3.
+func TestSyntheticDuplicatesStaySimilar(t *testing.T) {
+	d, err := Synthetic(SyntheticConfig{Entities: 40, Records: 120, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check within-entity token overlap via record text equality of
+	// core tokens: every entity's records share most tokens.
+	byEnt := map[int][]string{}
+	for _, r := range d.Records {
+		byEnt[r.Entity] = append(byEnt[r.Entity], r.Text())
+	}
+	low := 0
+	for _, texts := range byEnt {
+		for i := 1; i < len(texts); i++ {
+			if jaccardText(texts[0], texts[i]) <= 0.3 {
+				low++
+			}
+		}
+	}
+	dupPairs := d.DuplicatePairs()
+	if low > dupPairs/10 {
+		t.Errorf("%d of ~%d duplicate links below tau", low, dupPairs)
+	}
+}
+
+func jaccardText(a, b string) float64 {
+	sa := map[string]struct{}{}
+	sb := map[string]struct{}{}
+	for _, t := range splitWords(a) {
+		sa[t] = struct{}{}
+	}
+	for _, t := range splitWords(b) {
+		sb[t] = struct{}{}
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+func splitWords(s string) []string {
+	var out []string
+	cur := ""
+	for _, c := range s {
+		if c == ' ' {
+			if cur != "" {
+				out = append(out, cur)
+				cur = ""
+			}
+		} else {
+			cur += string(c)
+		}
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

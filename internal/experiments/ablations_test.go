@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestRefineVariantsShape asserts the refinement ablation's expected
+// ordering on Product: every refiner improves on the raw generation
+// output; Crowd-BOEM crowdsources the whole candidate set; sequential
+// Crowd-Refine needs (far) more crowd iterations than PC-Refine for the
+// same quality.
+func TestRefineVariantsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ablation")
+	}
+	inst := MustInstance("Product", 1)
+	rows := RefineVariants(inst, 3)
+	get := func(name string) RefineVariantResult {
+		for _, r := range rows {
+			if r.Variant == name {
+				return r
+			}
+		}
+		t.Fatalf("missing variant %s", name)
+		return RefineVariantResult{}
+	}
+	none, pc, seq := get("None"), get("PC-Refine"), get("Crowd-Refine")
+	ident, boem := get("Identity-Est"), get("Crowd-BOEM")
+
+	for _, r := range []RefineVariantResult{pc, seq, ident, boem} {
+		if r.F1 < none.F1 {
+			t.Errorf("%s (F1 %.3f) below unrefined (%.3f)", r.Variant, r.F1, none.F1)
+		}
+	}
+	if boem.Pairs != float64(len(inst.Cands.Pairs)) {
+		t.Errorf("Crowd-BOEM pairs %.0f, want the full |S| = %d", boem.Pairs, len(inst.Cands.Pairs))
+	}
+	if pc.Pairs >= boem.Pairs {
+		t.Errorf("PC-Refine (%.0f pairs) should undercut Crowd-BOEM (%.0f)", pc.Pairs, boem.Pairs)
+	}
+	if seq.Iterations < 2*pc.Iterations {
+		t.Errorf("sequential refinement iterations (%.1f) should dwarf batched (%.1f)",
+			seq.Iterations, pc.Iterations)
+	}
+	if seq.F1 < pc.F1-0.02 {
+		t.Errorf("Crowd-Refine quality (%.3f) should match PC-Refine (%.3f)", seq.F1, pc.F1)
+	}
+}
+
+// TestAdaptiveWorkersShape asserts the future-work proposal's payoff on
+// Product: adaptive 3→5 escalation reaches (near-)fixed-5w error and F1
+// while spending clearly fewer votes per pair.
+func TestAdaptiveWorkersShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ablation")
+	}
+	inst := MustInstance("Product", 1)
+	rows := AdaptiveWorkers(inst, 1)
+	get := func(name string) AdaptiveResult {
+		for _, r := range rows {
+			if r.Allocation == name {
+				return r
+			}
+		}
+		t.Fatalf("missing allocation %s", name)
+		return AdaptiveResult{}
+	}
+	f3, f5, a5 := get("fixed-3w"), get("fixed-5w"), get("adaptive-3to5")
+
+	if f3.VotesPerPair != 3 || f5.VotesPerPair != 5 {
+		t.Fatalf("fixed vote rates wrong: %v, %v", f3.VotesPerPair, f5.VotesPerPair)
+	}
+	if a5.VotesPerPair <= 3 || a5.VotesPerPair >= 5 {
+		t.Errorf("adaptive votes/pair = %.2f, want strictly between 3 and 5", a5.VotesPerPair)
+	}
+	if a5.ErrorRate > f5.ErrorRate+0.005 {
+		t.Errorf("adaptive error %.4f should approach fixed-5w %.4f", a5.ErrorRate, f5.ErrorRate)
+	}
+	if a5.ErrorRate >= f3.ErrorRate {
+		t.Errorf("adaptive error %.4f not below fixed-3w %.4f", a5.ErrorRate, f3.ErrorRate)
+	}
+	if a5.F1 < f5.F1-0.02 {
+		t.Errorf("adaptive F1 %.3f should approach fixed-5w %.3f", a5.F1, f5.F1)
+	}
+}
+
+// TestProcessingTimeShape: simulated wall-clock hours must mirror the
+// iteration structure — sequential Crowd-Pivot far slower than PC-Pivot,
+// CrowdER+'s single batch fastest.
+func TestProcessingTimeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ablation")
+	}
+	inst := MustInstance("Product", 1)
+	rows := ProcessingTime(inst, 3)
+	byName := map[string]TimeResult{}
+	for _, r := range rows {
+		byName[r.Method] = r
+	}
+	seq, par, all := byName["Crowd-Pivot"], byName["PC-Pivot"], byName["CrowdER+"]
+	if seq.Hours < 5*par.Hours {
+		t.Errorf("Crowd-Pivot %.1fh not ≫ PC-Pivot %.1fh", seq.Hours, par.Hours)
+	}
+	if all.Hours >= par.Hours {
+		t.Errorf("CrowdER+ single batch (%.1fh) should be fastest (PC-Pivot %.1fh)", all.Hours, par.Hours)
+	}
+	if all.Iterations != 1 {
+		t.Errorf("CrowdER+ iterations = %v", all.Iterations)
+	}
+}
+
+// TestRobustnessShape encodes the error-sensitivity story on Paper:
+// with a perfect crowd everyone is near-perfect; as worker error rises,
+// the transitivity methods fall off a cliff while ACD and CrowdER+
+// degrade gracefully and stay far ahead.
+func TestRobustnessShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	inst := MustInstance("Paper", 1)
+	points := Robustness(inst, 1)
+	if len(points) != len(RobustnessErrorSweep) {
+		t.Fatalf("%d points", len(points))
+	}
+	first, last := points[0], points[len(points)-1]
+	for _, m := range []string{"ACD", "CrowdER+", "TransM", "TransNode"} {
+		if first.F1[m] < 0.95 {
+			t.Errorf("%s starts at %.3f with a perfect crowd", m, first.F1[m])
+		}
+	}
+	if last.F1["TransM"] > last.F1["ACD"]-0.3 {
+		t.Errorf("TransM (%.3f) should collapse far below ACD (%.3f) at high error",
+			last.F1["TransM"], last.F1["ACD"])
+	}
+	if last.F1["ACD"] < 0.7 {
+		t.Errorf("ACD degraded too hard: %.3f", last.F1["ACD"])
+	}
+	// Majority error grows monotonically with worker error.
+	for i := 1; i < len(points); i++ {
+		if points[i].MajorityErr < points[i-1].MajorityErr {
+			t.Errorf("majority error not monotone at %v", points[i].WorkerError)
+		}
+	}
+}
+
+// TestAggregationShape: Dawid-Skene weighted aggregation must beat plain
+// majority voting on an open (mixed-quality) worker pool, on both the
+// answer error rate and the downstream deduplication F1.
+func TestAggregationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ablation")
+	}
+	inst := MustInstance("Product", 1)
+	rows := Aggregation(inst, 1)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var maj, ds AggregationResult
+	for _, r := range rows {
+		switch r.Aggregation {
+		case "majority":
+			maj = r
+		case "dawid-skene":
+			ds = r
+		}
+	}
+	if ds.ErrorRate >= maj.ErrorRate {
+		t.Errorf("DS error %.4f not below majority %.4f", ds.ErrorRate, maj.ErrorRate)
+	}
+	if ds.F1 <= maj.F1 {
+		t.Errorf("DS F1 %.3f not above majority %.3f", ds.F1, maj.F1)
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one labeled value in a text bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// ChartOptions controls text-chart rendering.
+type ChartOptions struct {
+	// Width is the maximum bar width in characters (default 50).
+	Width int
+	// Log renders bar lengths on a log10 scale (the paper's iteration
+	// plots are log-scale); zero and negative values get empty bars.
+	Log bool
+	// Format formats the numeric value after the bar (default "%.3g").
+	Format string
+}
+
+// RenderBars draws a horizontal bar chart. Bars are scaled to the
+// maximum value (or its log); every row shows label, bar and value.
+func RenderBars(w io.Writer, title string, bars []Bar, opts ChartOptions) {
+	if opts.Width <= 0 {
+		opts.Width = 50
+	}
+	if opts.Format == "" {
+		opts.Format = "%.3g"
+	}
+	fmt.Fprintln(w, title)
+	labelW := 0
+	for _, b := range bars {
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	max := 0.0
+	for _, b := range bars {
+		v := scaleValue(b.Value, opts.Log)
+		if v > max {
+			max = v
+		}
+	}
+	for _, b := range bars {
+		n := 0
+		if max > 0 {
+			n = int(math.Round(scaleValue(b.Value, opts.Log) / max * float64(opts.Width)))
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "  %-*s |%s%s "+opts.Format+"\n",
+			labelW, b.Label,
+			strings.Repeat("#", n), strings.Repeat(" ", opts.Width-n),
+			b.Value)
+	}
+}
+
+func scaleValue(v float64, log bool) float64 {
+	if !log {
+		return v
+	}
+	if v <= 0 {
+		return 0
+	}
+	// log10(1 + v) keeps small positive values visible and zero empty.
+	return math.Log10(1 + v)
+}
+
+// RenderComparisonCharts draws one dataset/setting block of Figures 6-8
+// as bar charts: F1 (linear), crowdsourced pairs (linear), and crowd
+// iterations (log scale, as in the paper's Figure 8).
+func RenderComparisonCharts(w io.Writer, dataset string, workers int, rows []MethodResult) {
+	var f1s, pairs, iters []Bar
+	for _, r := range rows {
+		f1s = append(f1s, Bar{Label: r.Method, Value: r.F1})
+		pairs = append(pairs, Bar{Label: r.Method, Value: r.Pairs})
+		if r.HasIterations {
+			iters = append(iters, Bar{Label: r.Method, Value: r.Iterations})
+		}
+	}
+	RenderBars(w, fmt.Sprintf("Figure 6 — F1 on %s (%dw)", dataset, workers), f1s,
+		ChartOptions{Format: "%.3f"})
+	RenderBars(w, fmt.Sprintf("Figure 7 — pairs crowdsourced on %s (%dw)", dataset, workers), pairs,
+		ChartOptions{Format: "%.0f"})
+	RenderBars(w, fmt.Sprintf("Figure 8 — crowd iterations on %s (%dw, log scale)", dataset, workers), iters,
+		ChartOptions{Log: true, Format: "%.0f"})
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderBarsBasics(t *testing.T) {
+	var buf bytes.Buffer
+	RenderBars(&buf, "title", []Bar{
+		{Label: "ACD", Value: 10},
+		{Label: "CrowdER+", Value: 5},
+		{Label: "zero", Value: 0},
+	}, ChartOptions{Width: 20, Format: "%.0f"})
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "title" {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	// The max bar fills the width; the half bar has half the hashes.
+	if got := strings.Count(lines[1], "#"); got != 20 {
+		t.Errorf("max bar %d hashes, want 20", got)
+	}
+	if got := strings.Count(lines[2], "#"); got != 10 {
+		t.Errorf("half bar %d hashes, want 10", got)
+	}
+	if got := strings.Count(lines[3], "#"); got != 0 {
+		t.Errorf("zero bar %d hashes, want 0", got)
+	}
+	// Labels aligned to the longest.
+	if !strings.HasPrefix(lines[1], "  ACD      |") {
+		t.Errorf("label alignment wrong: %q", lines[1])
+	}
+}
+
+func TestRenderBarsLogScale(t *testing.T) {
+	var buf bytes.Buffer
+	RenderBars(&buf, "log", []Bar{
+		{Label: "a", Value: 1000},
+		{Label: "b", Value: 10},
+		{Label: "c", Value: -5},
+	}, ChartOptions{Width: 30, Log: true})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	big := strings.Count(lines[1], "#")
+	small := strings.Count(lines[2], "#")
+	if big != 30 {
+		t.Errorf("max log bar %d, want 30", big)
+	}
+	// log10(11)/log10(1001) ≈ 0.347 → about 10 chars, far more than the
+	// 0.9 chars a linear scale would draw.
+	if small < 8 || small >= big {
+		t.Errorf("log scaling wrong: small bar %d of %d", small, big)
+	}
+	if strings.Count(lines[3], "#") != 0 {
+		t.Errorf("negative value should render empty")
+	}
+}
+
+func TestRenderBarsAllZero(t *testing.T) {
+	var buf bytes.Buffer
+	RenderBars(&buf, "z", []Bar{{Label: "a", Value: 0}}, ChartOptions{})
+	if strings.Count(buf.String(), "#") != 0 {
+		t.Errorf("all-zero chart drew bars")
+	}
+}
+
+func TestRenderComparisonCharts(t *testing.T) {
+	var buf bytes.Buffer
+	rows := []MethodResult{
+		{Method: "ACD", F1: 0.9, Pairs: 100, Iterations: 50, HasIterations: true},
+		{Method: "TransNode", F1: 0.5, Pairs: 80, Iterations: 0, HasIterations: false},
+	}
+	RenderComparisonCharts(&buf, "Paper", 3, rows)
+	out := buf.String()
+	for _, want := range []string{"Figure 6", "Figure 7", "Figure 8", "ACD"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in chart output", want)
+		}
+	}
+	// TransNode appears in figures 6-7 but not the iterations chart.
+	iterSection := out[strings.Index(out, "Figure 8"):]
+	if strings.Contains(iterSection, "TransNode") {
+		t.Errorf("TransNode should be omitted from the iterations chart")
+	}
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"acd/internal/dataset"
+)
+
+func TestTable3Shape(t *testing.T) {
+	rows := Table3(1)
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		tgt, ok := dataset.Target(r.Dataset)
+		if !ok {
+			t.Fatalf("unknown dataset %q", r.Dataset)
+		}
+		if r.Records != tgt.Records || r.Entities != tgt.Entities {
+			t.Errorf("%s: records/entities %d/%d, want %d/%d",
+				r.Dataset, r.Records, r.Entities, tgt.Records, tgt.Entities)
+		}
+		ratio := float64(r.CandidatePairs) / float64(tgt.CandidatePairs)
+		if ratio < 0.6 || ratio > 1.4 {
+			t.Errorf("%s: candidate pairs %d vs paper %d", r.Dataset, r.CandidatePairs, tgt.CandidatePairs)
+		}
+		if math.Abs(r.ErrorRate3W-tgt.ErrorRate3W) > 0.03 {
+			t.Errorf("%s: 3w error %.3f vs paper %.3f", r.Dataset, r.ErrorRate3W, tgt.ErrorRate3W)
+		}
+		if math.Abs(r.ErrorRate5W-tgt.ErrorRate5W) > 0.03 {
+			t.Errorf("%s: 5w error %.3f vs paper %.3f", r.Dataset, r.ErrorRate5W, tgt.ErrorRate5W)
+		}
+	}
+}
+
+// TestFigure5Shape encodes Section 6.2's observations on the ε sweep:
+// PC-Pivot needs far fewer crowd iterations than Crowd-Pivot (≥5× at
+// ε = 0.1); iterations fall as ε grows, with the largest drop between 0
+// and 0.1; pairs issued grow with ε.
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	inst := MustInstance("Restaurant", 1)
+	res := Figure5(inst, 3)
+	if len(res.Points) != len(EpsilonSweep) {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	at := func(eps float64) Figure5Point {
+		for _, p := range res.Points {
+			if p.Epsilon == eps {
+				return p
+			}
+		}
+		t.Fatalf("no point for eps %v", eps)
+		return Figure5Point{}
+	}
+	if r := res.CrowdPivotIterations / at(0.1).Iterations; r < 5 {
+		t.Errorf("Crowd-Pivot/PC-Pivot(0.1) iteration ratio = %.1f, want ≥ 5", r)
+	}
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Iterations > res.Points[i-1].Iterations+1 {
+			t.Errorf("iterations grew from eps %.2f to %.2f: %.1f -> %.1f",
+				res.Points[i-1].Epsilon, res.Points[i].Epsilon,
+				res.Points[i-1].Iterations, res.Points[i].Iterations)
+		}
+		if res.Points[i].Pairs+1 < res.Points[i-1].Pairs {
+			t.Errorf("pairs shrank from eps %.2f to %.2f: %.1f -> %.1f",
+				res.Points[i-1].Epsilon, res.Points[i].Epsilon,
+				res.Points[i-1].Pairs, res.Points[i].Pairs)
+		}
+	}
+	// The drop from 0 to 0.1 is the steepest part of the curve: per unit
+	// of ε it must far exceed the drop over the remaining 0.1→0.8 span.
+	drop01 := (at(0).Iterations - at(0.1).Iterations) / 0.1
+	drop18 := (at(0.1).Iterations - at(0.8).Iterations) / 0.7
+	if drop01 < 2*drop18 {
+		t.Errorf("per-ε iteration drop 0→0.1 (%.1f) should dwarf 0.1→0.8 (%.1f)", drop01, drop18)
+	}
+}
+
+// TestComparisonShapePaper encodes Section 6.3's headline claims on the
+// hardest dataset: CrowdER+ and ACD lead in F1 and stay close; PC-Pivot
+// alone is much worse; TransM and TransNode collapse; GCER trails ACD at
+// the same budget; ACD crowdsources far fewer pairs than CrowdER+;
+// CrowdER+ needs exactly one iteration.
+func TestComparisonShapePaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full comparison")
+	}
+	inst := MustInstance("Paper", 1)
+	rows := Comparison(inst, 3)
+	get := func(m string) MethodResult {
+		for _, r := range rows {
+			if r.Method == m {
+				return r
+			}
+		}
+		t.Fatalf("missing method %s", m)
+		return MethodResult{}
+	}
+	acd, pc, ce := get("ACD"), get("PC-Pivot"), get("CrowdER+")
+	gc, tm, tn := get("GCER"), get("TransM"), get("TransNode")
+
+	if math.Abs(acd.F1-ce.F1) > 0.08 {
+		t.Errorf("ACD (%.3f) should be comparable to CrowdER+ (%.3f)", acd.F1, ce.F1)
+	}
+	if acd.F1-pc.F1 < 0.1 {
+		t.Errorf("refinement gain too small: ACD %.3f vs PC-Pivot %.3f", acd.F1, pc.F1)
+	}
+	if tm.F1 > acd.F1-0.2 || tn.F1 > acd.F1-0.2 {
+		t.Errorf("transitivity methods should collapse on Paper: TransM %.3f TransNode %.3f ACD %.3f",
+			tm.F1, tn.F1, acd.F1)
+	}
+	if gc.F1 >= acd.F1 {
+		t.Errorf("GCER (%.3f) should trail ACD (%.3f) at the same budget", gc.F1, acd.F1)
+	}
+	if acd.Pairs > ce.Pairs/2 {
+		t.Errorf("ACD pairs (%.0f) should be well below CrowdER+ (%.0f)", acd.Pairs, ce.Pairs)
+	}
+	if ce.Iterations != 1 {
+		t.Errorf("CrowdER+ iterations = %.1f, want 1", ce.Iterations)
+	}
+	if math.Abs(gc.Pairs-acd.Pairs) > acd.Pairs*0.05 {
+		t.Errorf("GCER budget (%.0f) not matched to ACD (%.0f)", gc.Pairs, acd.Pairs)
+	}
+}
+
+// TestComparisonShapeEasyDatasets: on Restaurant and Product the
+// transitivity methods are competitive and PC-Pivot is close to full ACD
+// (Section 6.3).
+func TestComparisonShapeEasyDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full comparison")
+	}
+	for _, name := range []string{"Restaurant", "Product"} {
+		inst := MustInstance(name, 1)
+		rows := Comparison(inst, 3)
+		get := func(m string) MethodResult {
+			for _, r := range rows {
+				if r.Method == m {
+					return r
+				}
+			}
+			t.Fatalf("missing method %s", m)
+			return MethodResult{}
+		}
+		acd, pc, tm := get("ACD"), get("PC-Pivot"), get("TransM")
+		if acd.F1-pc.F1 > 0.07 {
+			t.Errorf("%s: PC-Pivot (%.3f) should be close to ACD (%.3f)", name, pc.F1, acd.F1)
+		}
+		if acd.F1-tm.F1 > 0.12 {
+			t.Errorf("%s: TransM (%.3f) should be competitive with ACD (%.3f)", name, tm.F1, acd.F1)
+		}
+		// "the numbers of record pairs crowdsourced by TransNode and
+		// TransM are almost the same as that by ACD".
+		if tm.Pairs > acd.Pairs*1.3 {
+			t.Errorf("%s: TransM pairs (%.0f) far above ACD (%.0f)", name, tm.Pairs, acd.Pairs)
+		}
+	}
+}
+
+// TestFiveWorkerImproves: every method's F1 improves (or stays within
+// noise) moving from the 3-worker to the 5-worker answers, and the
+// transitivity-based methods improve the most on Paper (Section 6.3).
+func TestFiveWorkerImproves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full comparison")
+	}
+	inst := MustInstance("Product", 1)
+	r3 := Comparison(inst, 3)
+	r5 := Comparison(inst, 5)
+	for i := range r3 {
+		if r5[i].F1 < r3[i].F1-0.05 {
+			t.Errorf("%s degraded from 3w (%.3f) to 5w (%.3f)", r3[i].Method, r3[i].F1, r5[i].F1)
+		}
+	}
+}
+
+// TestFigure10Shape encodes Appendix C: F1 is insensitive to T, and the
+// crowdsourced pairs do not grow as T shrinks (x grows).
+func TestFigure10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	inst := MustInstance("Product", 1)
+	points := Figure10(inst, 3)
+	if len(points) != len(XSweep) {
+		t.Fatalf("%d points", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if math.Abs(points[i].F1-points[0].F1) > 0.05 {
+			t.Errorf("F1 sensitive to T: x=%d gives %.3f vs x=%d gives %.3f",
+				points[i].X, points[i].F1, points[0].X, points[0].F1)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTable3(&buf, []Table3Row{{Dataset: "Paper", Records: 997, Entities: 191, CandidatePairs: 30000, ErrorRate3W: 0.23, ErrorRate5W: 0.21}})
+	if !strings.Contains(buf.String(), "Paper") {
+		t.Errorf("Table 3 render missing dataset name")
+	}
+	buf.Reset()
+	RenderFigure5(&buf, Figure5Result{Dataset: "X", Points: []Figure5Point{{Epsilon: 0.1, Iterations: 5, Pairs: 10}}})
+	if !strings.Contains(buf.String(), "Crowd-Pivot") {
+		t.Errorf("Figure 5 render missing reference row")
+	}
+	buf.Reset()
+	RenderComparison(&buf, "X", 3, []MethodResult{{Method: "ACD", F1: 0.9, HasIterations: true}, {Method: "TransNode"}})
+	out := buf.String()
+	if !strings.Contains(out, "ACD") || !strings.Contains(out, "-") {
+		t.Errorf("comparison render wrong:\n%s", out)
+	}
+	buf.Reset()
+	RenderFigure10(&buf, "X", []Figure10Point{{X: 8, Pairs: 100, F1: 0.9, Iterations: 3}})
+	if !strings.Contains(buf.String(), "N_m/8") {
+		t.Errorf("Figure 10 render wrong")
+	}
+}
+
+func TestAblationRenderers(t *testing.T) {
+	var buf bytes.Buffer
+	RenderRefineVariants(&buf, "X", 3, []RefineVariantResult{{Variant: "PC-Refine", F1: 0.9, Pairs: 10, Iterations: 2}})
+	if !strings.Contains(buf.String(), "PC-Refine") {
+		t.Errorf("refine-variant render missing row")
+	}
+	buf.Reset()
+	RenderAdaptive(&buf, "X", []AdaptiveResult{{Allocation: "fixed-3w", ErrorRate: 0.1, VotesPerPair: 3, F1: 0.8}})
+	if !strings.Contains(buf.String(), "fixed-3w") || !strings.Contains(buf.String(), "10.00%") {
+		t.Errorf("adaptive render wrong:\n%s", buf.String())
+	}
+	buf.Reset()
+	RenderAggregation(&buf, "X", []AggregationResult{{Aggregation: "majority", ErrorRate: 0.05, F1: 0.7}})
+	if !strings.Contains(buf.String(), "majority") {
+		t.Errorf("aggregation render missing row")
+	}
+	buf.Reset()
+	RenderProcessingTime(&buf, "X", []TimeResult{{Method: "PC-Pivot", Iterations: 10, Hours: 2}})
+	if !strings.Contains(buf.String(), "PC-Pivot") {
+		t.Errorf("processing-time render missing row")
+	}
+}
+
+func TestInstanceErrors(t *testing.T) {
+	if _, err := NewInstance("Bogus", 1); err == nil {
+		t.Errorf("unknown dataset accepted")
+	}
+	inst := MustInstance("Restaurant", 1)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Answers(7) should panic")
+		}
+	}()
+	inst.Answers(7)
+}

@@ -1,0 +1,71 @@
+// Package experiments assembles the paper's evaluation (Section 6 and
+// Appendix C): one runner per table and figure, shared by the acdbench
+// command and the repository's testing.B benchmarks. Each runner returns
+// the same rows/series the paper reports, so EXPERIMENTS.md can record
+// paper-vs-measured side by side.
+package experiments
+
+import (
+	"fmt"
+
+	"acd/internal/crowd"
+	"acd/internal/dataset"
+	"acd/internal/pruning"
+)
+
+// DatasetNames lists the evaluation datasets in the paper's order.
+var DatasetNames = []string{"Paper", "Restaurant", "Product"}
+
+// Instance is a fully prepared experimental setup for one dataset: the
+// generated records, the shared pruning-phase output, and one answer set
+// per AMT setting (the paper's files Paper(3w), Paper(5w), ...).
+type Instance struct {
+	Data    *dataset.Dataset
+	Cands   *pruning.Candidates
+	Mixture crowd.Mixture
+	answers map[int]*crowd.AnswerSet
+}
+
+// NewInstance generates a dataset, runs the pruning phase (Jaccard,
+// τ = 0.3, as in Section 6.1), calibrates the worker-difficulty mixture
+// to Table 3's error rates, and draws the 3-worker and 5-worker answer
+// sets.
+func NewInstance(name string, seed int64) (*Instance, error) {
+	d, err := dataset.ByName(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	tgt, _ := dataset.Target(name)
+	cands := pruning.Prune(d.Records, pruning.Options{})
+	mix, _ := crowd.Calibrate(tgt.ErrorRate3W, tgt.ErrorRate5W)
+	truth := d.TruthFn()
+	diff := crowd.DifficultyAssignment(cands.PairList(), cands.Score, truth, mix)
+
+	inst := &Instance{
+		Data:    d,
+		Cands:   cands,
+		Mixture: mix,
+		answers: make(map[int]*crowd.AnswerSet, 2),
+	}
+	inst.answers[3] = crowd.BuildAnswers(cands.PairList(), truth, diff, crowd.ThreeWorker(seed+101))
+	inst.answers[5] = crowd.BuildAnswers(cands.PairList(), truth, diff, crowd.FiveWorker(seed+102))
+	return inst, nil
+}
+
+// MustInstance is NewInstance for known-good names; it panics on error.
+func MustInstance(name string, seed int64) *Instance {
+	inst, err := NewInstance(name, seed)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// Answers returns the answer set for a worker setting (3 or 5).
+func (in *Instance) Answers(workers int) *crowd.AnswerSet {
+	a, ok := in.answers[workers]
+	if !ok {
+		panic(fmt.Sprintf("experiments: no %d-worker answers", workers))
+	}
+	return a
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"acd/internal/baselines"
+	"acd/internal/cluster"
+	"acd/internal/core"
+	"acd/internal/crowd"
+	"acd/internal/dataset"
+	"acd/internal/pruning"
+)
+
+// TestSmallIntegration is the fast (non-skippable) cross-module
+// integration test: a small parametrizable synthetic workload run
+// through the full pipeline and all baselines, with sanity bounds that
+// hold at any seed.
+func TestSmallIntegration(t *testing.T) {
+	d, err := dataset.Synthetic(dataset.SyntheticConfig{
+		Entities: 60,
+		Records:  200,
+		Skew:     0.5,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := pruning.Prune(d.Records, pruning.Options{})
+	if len(cands.Pairs) == 0 {
+		t.Fatal("no candidate pairs on synthetic workload")
+	}
+	truth := d.TruthFn()
+	mix := crowd.Mixture{Alpha: 0.1, DHard: 0.55, DEasy: 0.08}
+	diff := crowd.DifficultyAssignment(cands.PairList(), cands.Score, truth, mix)
+	answers := crowd.BuildAnswers(cands.PairList(), truth, diff, crowd.ThreeWorker(5))
+	entities := d.Truth()
+
+	acdOut := core.ACD(cands, answers, core.Config{Seed: 2})
+	acdF1 := cluster.Evaluate(acdOut.Clusters, entities).F1
+	if acdF1 < 0.6 {
+		t.Errorf("ACD F1 = %.3f on an easy synthetic workload", acdF1)
+	}
+	if acdOut.Stats.Pairs > len(cands.Pairs) {
+		t.Errorf("ACD asked more than |S|")
+	}
+
+	ce := baselines.CrowdERPlus(cands, answers)
+	ceF1 := cluster.Evaluate(ce.Clusters, entities).F1
+	if acdF1 < ceF1-0.15 {
+		t.Errorf("ACD (%.3f) too far below CrowdER+ (%.3f)", acdF1, ceF1)
+	}
+	if acdOut.Stats.Pairs >= ce.Stats.Pairs {
+		t.Errorf("ACD (%d pairs) should undercut CrowdER+ (%d)", acdOut.Stats.Pairs, ce.Stats.Pairs)
+	}
+
+	for name, run := range map[string]baselines.Result{
+		"TransM":    baselines.TransM(cands, answers),
+		"TransNode": baselines.TransNode(cands, answers),
+		"GCER":      baselines.GCER(cands, answers, acdOut.Stats.Pairs, 10),
+	} {
+		f1 := cluster.Evaluate(run.Clusters, entities).F1
+		if f1 <= 0.2 {
+			t.Errorf("%s F1 = %.3f, implausibly low", name, f1)
+		}
+	}
+}
+
+// TestFigure5FastSubset runs a single-ε spot check quickly enough for
+// -short runs.
+func TestFigure5FastSubset(t *testing.T) {
+	d, err := dataset.Synthetic(dataset.SyntheticConfig{Entities: 40, Records: 140, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := pruning.Prune(d.Records, pruning.Options{})
+	answers := crowd.BuildAnswers(cands.PairList(), d.TruthFn(), crowd.UniformDifficulty(0.05), crowd.ThreeWorker(2))
+
+	sessSeq := crowd.NewSession(answers)
+	core.CrowdPivot(cands, sessSeq, newTestRand(1))
+	sessPar := crowd.NewSession(answers)
+	core.PCPivot(cands, sessPar, core.DefaultEpsilon, newTestRand(1))
+
+	if sessPar.Stats().Iterations >= sessSeq.Stats().Iterations {
+		t.Errorf("PC-Pivot iterations (%d) not below Crowd-Pivot (%d)",
+			sessPar.Stats().Iterations, sessSeq.Stats().Iterations)
+	}
+}
+
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"acd/internal/dataset"
+)
+
+// RenderTable3 prints the measured Table 3 next to the paper's figures.
+func RenderTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintln(w, "Table 3: dataset characteristics and crowd answers (measured vs paper)")
+	fmt.Fprintf(w, "%-11s %9s %9s %18s %18s %18s\n",
+		"dataset", "records", "entities", "candidate pairs", "err rate (3w)", "err rate (5w)")
+	for _, r := range rows {
+		tgt, _ := dataset.Target(r.Dataset)
+		fmt.Fprintf(w, "%-11s %9d %9d %9d %-8s %7.1f%% %-9s %7.1f%% %-9s\n",
+			r.Dataset, r.Records, r.Entities,
+			r.CandidatePairs, fmt.Sprintf("(%d)", tgt.CandidatePairs),
+			100*r.ErrorRate3W, fmt.Sprintf("(%.1f%%)", 100*tgt.ErrorRate3W),
+			100*r.ErrorRate5W, fmt.Sprintf("(%.1f%%)", 100*tgt.ErrorRate5W))
+	}
+}
+
+// RenderFigure5 prints a dataset's ε sweep (Figures 5a–5d).
+func RenderFigure5(w io.Writer, res Figure5Result) {
+	fmt.Fprintf(w, "Figure 5: PC-Pivot vs epsilon on %s\n", res.Dataset)
+	fmt.Fprintf(w, "%-9s %18s %18s\n", "epsilon", "crowd iterations", "pairs issued")
+	for _, p := range res.Points {
+		fmt.Fprintf(w, "%-9.2f %18.1f %18.1f\n", p.Epsilon, p.Iterations, p.Pairs)
+	}
+	fmt.Fprintf(w, "%-9s %18.1f %18.1f\n", "Crowd-Pivot", res.CrowdPivotIterations, res.CrowdPivotPairs)
+}
+
+// RenderComparison prints one dataset/setting block of Figures 6–8.
+func RenderComparison(w io.Writer, dataset string, workers int, rows []MethodResult) {
+	fmt.Fprintf(w, "Figures 6-8: %s (%dw)\n", dataset, workers)
+	fmt.Fprintf(w, "%-10s %8s %10s %8s %12s %12s\n",
+		"method", "F1", "precision", "recall", "pairs", "iterations")
+	for _, r := range rows {
+		iter := fmt.Sprintf("%12.1f", r.Iterations)
+		if !r.HasIterations {
+			iter = fmt.Sprintf("%12s", "-")
+		}
+		fmt.Fprintf(w, "%-10s %8.3f %10.3f %8.3f %12.1f %s\n",
+			r.Method, r.F1, r.Precision, r.Recall, r.Pairs, iter)
+	}
+}
+
+// RenderFigure10 prints the refinement-budget sweep (Figures 10a–10c).
+func RenderFigure10(w io.Writer, dataset string, points []Figure10Point) {
+	fmt.Fprintf(w, "Figure 10: ACD vs refinement budget T = N_m/x on %s\n", dataset)
+	fmt.Fprintf(w, "%-9s %12s %8s %12s\n", "x", "pairs", "F1", "iterations")
+	for _, p := range points {
+		fmt.Fprintf(w, "N_m/%-5d %12.1f %8.3f %12.1f\n", p.X, p.Pairs, p.F1, p.Iterations)
+	}
+}
+
+// RenderRefineVariants prints the refinement-strategy ablation.
+func RenderRefineVariants(w io.Writer, dataset string, workers int, rows []RefineVariantResult) {
+	fmt.Fprintf(w, "Ablation: refinement strategies on %s (%dw), from a shared PC-Pivot start\n", dataset, workers)
+	fmt.Fprintf(w, "%-13s %8s %12s %12s\n", "variant", "F1", "pairs", "iterations")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %8.3f %12.1f %12.1f\n", r.Variant, r.F1, r.Pairs, r.Iterations)
+	}
+}
+
+// RenderAdaptive prints the adaptive worker-allocation ablation.
+func RenderAdaptive(w io.Writer, dataset string, rows []AdaptiveResult) {
+	fmt.Fprintf(w, "Ablation: worker allocation on %s (Section 8 future work)\n", dataset)
+	fmt.Fprintf(w, "%-14s %12s %14s %8s\n", "allocation", "error rate", "votes/pair", "ACD F1")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %11.2f%% %14.2f %8.3f\n", r.Allocation, 100*r.ErrorRate, r.VotesPerPair, r.F1)
+	}
+}
+
+// RenderRobustness prints the error-sensitivity sweep.
+func RenderRobustness(w io.Writer, dataset string, points []RobustnessPoint) {
+	fmt.Fprintf(w, "Ablation: error sensitivity on %s (uniform worker error, 3 workers)\n", dataset)
+	fmt.Fprintf(w, "%-13s %13s %8s %10s %8s %10s\n",
+		"worker error", "majority err", "ACD", "CrowdER+", "TransM", "TransNode")
+	for _, p := range points {
+		fmt.Fprintf(w, "%12.0f%% %12.1f%% %8.3f %10.3f %8.3f %10.3f\n",
+			100*p.WorkerError, 100*p.MajorityErr,
+			p.F1["ACD"], p.F1["CrowdER+"], p.F1["TransM"], p.F1["TransNode"])
+	}
+}
+
+// RenderProcessingTime prints the simulated wall-clock comparison.
+func RenderProcessingTime(w io.Writer, dataset string, rows []TimeResult) {
+	fmt.Fprintf(w, "Ablation: simulated crowd time on %s (5-minute mean HIT latency)\n", dataset)
+	fmt.Fprintf(w, "%-13s %12s %14s\n", "method", "iterations", "hours")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %12.1f %14.1f\n", r.Method, r.Iterations, r.Hours)
+	}
+}
+
+// RenderAggregation prints the vote-aggregation ablation.
+func RenderAggregation(w io.Writer, dataset string, rows []AggregationResult) {
+	fmt.Fprintf(w, "Ablation: vote aggregation on %s (open worker pool, 5 votes/pair)\n", dataset)
+	fmt.Fprintf(w, "%-13s %12s %8s\n", "aggregation", "error rate", "ACD F1")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %11.2f%% %8.3f\n", r.Aggregation, 100*r.ErrorRate, r.F1)
+	}
+}
+
+// Rule prints a separator line.
+func Rule(w io.Writer) { fmt.Fprintln(w, strings.Repeat("-", 78)) }

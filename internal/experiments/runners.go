@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"acd/internal/baselines"
+	"acd/internal/cluster"
+	"acd/internal/core"
+	"acd/internal/crowd"
+)
+
+// Repeats is how many times the randomized methods (ACD, PC-Pivot) are
+// run and averaged, following Section 6.1 ("we repeat each of them 5
+// times in each experiment and report the average measurements").
+const Repeats = 5
+
+// GCERBatches is the number of question-selection rounds GCER uses; its
+// pair budget is matched to ACD's measured cost (Section 6.1).
+const GCERBatches = 10
+
+// Table3Row is one measured row of Table 3.
+type Table3Row struct {
+	Dataset        string
+	Records        int
+	Entities       int
+	CandidatePairs int
+	ErrorRate3W    float64
+	ErrorRate5W    float64
+}
+
+// Table3 measures the dataset characteristics and crowd error rates of
+// every dataset (the reproduction of Table 3).
+func Table3(seed int64) []Table3Row {
+	rows := make([]Table3Row, 0, len(DatasetNames))
+	for _, name := range DatasetNames {
+		inst := MustInstance(name, seed)
+		rows = append(rows, Table3Row{
+			Dataset:        name,
+			Records:        len(inst.Data.Records),
+			Entities:       inst.Data.NumEntities,
+			CandidatePairs: len(inst.Cands.Pairs),
+			ErrorRate3W:    inst.Answers(3).ErrorRate(),
+			ErrorRate5W:    inst.Answers(5).ErrorRate(),
+		})
+	}
+	return rows
+}
+
+// EpsilonSweep is the ε grid of Figure 5.
+var EpsilonSweep = []float64{0, 0.1, 0.2, 0.4, 0.8}
+
+// Figure5Point is one point of Figure 5's series: PC-Pivot's crowd
+// iterations and crowdsourced pairs at a given ε, averaged over Repeats
+// runs, with the sequential Crowd-Pivot as reference.
+type Figure5Point struct {
+	Epsilon    float64
+	Iterations float64
+	Pairs      float64
+}
+
+// Figure5Result is a dataset's sweep plus the Crowd-Pivot reference line.
+type Figure5Result struct {
+	Dataset              string
+	Points               []Figure5Point
+	CrowdPivotIterations float64
+	CrowdPivotPairs      float64
+}
+
+// Figure5 sweeps ε for PC-Pivot on one instance under the 3-worker
+// answers (Section 6.2 reports the 3-worker setting; 5-worker results
+// are similar).
+func Figure5(inst *Instance, workers int) Figure5Result {
+	res := Figure5Result{Dataset: inst.Data.Name}
+	for _, eps := range EpsilonSweep {
+		var iters, pairs float64
+		for r := 0; r < Repeats; r++ {
+			sess := crowd.NewSession(inst.Answers(workers))
+			rng := rand.New(rand.NewSource(int64(r) + 1))
+			_, _ = core.PCPivot(inst.Cands, sess, eps, rng)
+			iters += float64(sess.Stats().Iterations)
+			pairs += float64(sess.Stats().Pairs)
+		}
+		res.Points = append(res.Points, Figure5Point{
+			Epsilon:    eps,
+			Iterations: iters / Repeats,
+			Pairs:      pairs / Repeats,
+		})
+	}
+	var iters, pairs float64
+	for r := 0; r < Repeats; r++ {
+		sess := crowd.NewSession(inst.Answers(workers))
+		rng := rand.New(rand.NewSource(int64(r) + 1))
+		_ = core.CrowdPivot(inst.Cands, sess, rng)
+		iters += float64(sess.Stats().Iterations)
+		pairs += float64(sess.Stats().Pairs)
+	}
+	res.CrowdPivotIterations = iters / Repeats
+	res.CrowdPivotPairs = pairs / Repeats
+	return res
+}
+
+// Methods lists the compared methods in the paper's order. TransNode is
+// excluded from iteration comparisons (it has no batching; Section 6.1).
+var Methods = []string{"ACD", "PC-Pivot", "CrowdER+", "GCER", "TransM", "TransNode"}
+
+// MethodResult is one bar of Figures 6–8: a method's accuracy and
+// crowdsourcing overheads on one dataset under one worker setting.
+// Randomized methods are averaged over Repeats runs.
+type MethodResult struct {
+	Method     string
+	F1         float64
+	Precision  float64
+	Recall     float64
+	Pairs      float64
+	Iterations float64
+	// HasIterations is false for TransNode, which issues pairs one at a
+	// time and is omitted from Figure 8.
+	HasIterations bool
+}
+
+// Comparison runs every method on one instance under one worker setting —
+// the data behind Figures 6 (F1), 7 (pairs) and 8 (iterations).
+func Comparison(inst *Instance, workers int) []MethodResult {
+	truth := inst.Data.Truth()
+	answers := inst.Answers(workers)
+
+	average := func(run func(seed int64) (cluster.PRF1, crowd.Stats)) MethodResult {
+		var out MethodResult
+		for r := 0; r < Repeats; r++ {
+			e, st := run(int64(r) + 1)
+			out.F1 += e.F1
+			out.Precision += e.Precision
+			out.Recall += e.Recall
+			out.Pairs += float64(st.Pairs)
+			out.Iterations += float64(st.Iterations)
+		}
+		out.F1 /= Repeats
+		out.Precision /= Repeats
+		out.Recall /= Repeats
+		out.Pairs /= Repeats
+		out.Iterations /= Repeats
+		out.HasIterations = true
+		return out
+	}
+	once := func(run func() (cluster.PRF1, crowd.Stats)) MethodResult {
+		e, st := run()
+		return MethodResult{
+			F1: e.F1, Precision: e.Precision, Recall: e.Recall,
+			Pairs: float64(st.Pairs), Iterations: float64(st.Iterations),
+			HasIterations: true,
+		}
+	}
+
+	acd := average(func(seed int64) (cluster.PRF1, crowd.Stats) {
+		out := core.ACD(inst.Cands, answers, core.Config{Seed: seed})
+		return cluster.Evaluate(out.Clusters, truth), out.Stats
+	})
+	acd.Method = "ACD"
+
+	pc := average(func(seed int64) (cluster.PRF1, crowd.Stats) {
+		out := core.ACD(inst.Cands, answers, core.Config{Seed: seed, SkipRefinement: true})
+		return cluster.Evaluate(out.Clusters, truth), out.Stats
+	})
+	pc.Method = "PC-Pivot"
+
+	ce := once(func() (cluster.PRF1, crowd.Stats) {
+		res := baselines.CrowdERPlus(inst.Cands, answers)
+		return cluster.Evaluate(res.Clusters, truth), res.Stats
+	})
+	ce.Method = "CrowdER+"
+
+	// GCER's budget is matched to ACD's measured crowdsourcing cost
+	// (Section 6.1).
+	budget := int(acd.Pairs)
+	gc := once(func() (cluster.PRF1, crowd.Stats) {
+		res := baselines.GCER(inst.Cands, answers, budget, GCERBatches)
+		return cluster.Evaluate(res.Clusters, truth), res.Stats
+	})
+	gc.Method = "GCER"
+
+	tm := once(func() (cluster.PRF1, crowd.Stats) {
+		res := baselines.TransM(inst.Cands, answers)
+		return cluster.Evaluate(res.Clusters, truth), res.Stats
+	})
+	tm.Method = "TransM"
+
+	tn := once(func() (cluster.PRF1, crowd.Stats) {
+		res := baselines.TransNode(inst.Cands, answers)
+		return cluster.Evaluate(res.Clusters, truth), res.Stats
+	})
+	tn.Method = "TransNode"
+	tn.HasIterations = false
+
+	return []MethodResult{acd, pc, ce, gc, tm, tn}
+}
+
+// XSweep is the T = N_m/x grid of Figure 10 (Appendix C).
+var XSweep = []int{2, 4, 8, 16}
+
+// Figure10Point reports full-ACD behaviour at one refinement budget.
+type Figure10Point struct {
+	X          int // T = N_m/x
+	Pairs      float64
+	F1         float64
+	Iterations float64
+}
+
+// Figure10 sweeps the refinement threshold divisor x on one instance
+// (the paper uses the 3-worker answers).
+func Figure10(inst *Instance, workers int) []Figure10Point {
+	truth := inst.Data.Truth()
+	var out []Figure10Point
+	for _, x := range XSweep {
+		var pairs, f1, iters float64
+		for r := 0; r < Repeats; r++ {
+			res := core.ACD(inst.Cands, inst.Answers(workers), core.Config{Seed: int64(r) + 1, RefineX: x})
+			e := cluster.Evaluate(res.Clusters, truth)
+			pairs += float64(res.Stats.Pairs)
+			f1 += e.F1
+			iters += float64(res.Stats.Iterations)
+		}
+		out = append(out, Figure10Point{
+			X:          x,
+			Pairs:      pairs / Repeats,
+			F1:         f1 / Repeats,
+			Iterations: iters / Repeats,
+		})
+	}
+	return out
+}

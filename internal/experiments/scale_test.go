@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"acd/internal/blocking"
+	"acd/internal/cluster"
+	"acd/internal/core"
+	"acd/internal/crowd"
+	"acd/internal/dataset"
+	"acd/internal/pruning"
+	"acd/internal/record"
+)
+
+// TestScalePipeline pushes a 5000-record synthetic workload through the
+// full pipeline to confirm the system holds up beyond paper-scale
+// inputs: pruning stays sub-quadratic via the indexed join, the LSH path
+// agrees with it, and ACD completes with a valid, accurate clustering in
+// bounded time.
+func TestScalePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	d, err := dataset.Synthetic(dataset.SyntheticConfig{
+		Entities: 1800,
+		Records:  5000,
+		Skew:     0.6,
+		Seed:     13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	cands := pruning.Prune(d.Records, pruning.Options{})
+	pruneTime := time.Since(start)
+	if len(cands.Pairs) == 0 {
+		t.Fatal("no candidates at scale")
+	}
+	if pruneTime > 30*time.Second {
+		t.Errorf("pruning took %v on 5000 records", pruneTime)
+	}
+
+	// The LSH join must find nearly all of the exact join's pairs.
+	lsh := blocking.MinHashJoin(d.Records, pruning.DefaultTau, blocking.MinHashConfig{Seed: 1})
+	lshSet := make(map[record.Pair]bool, len(lsh))
+	for _, sp := range lsh {
+		lshSet[sp.Pair] = true
+	}
+	missed := 0
+	for _, sp := range cands.Pairs {
+		if sp.Score > 0.5 && !lshSet[sp.Pair] {
+			missed++
+		}
+	}
+	strong := 0
+	for _, sp := range cands.Pairs {
+		if sp.Score > 0.5 {
+			strong++
+		}
+	}
+	if strong > 0 && float64(missed)/float64(strong) > 0.05 {
+		t.Errorf("LSH missed %d of %d strong pairs", missed, strong)
+	}
+
+	answers := crowd.BuildAnswers(cands.PairList(), d.TruthFn(), crowd.UniformDifficulty(0.05), crowd.ThreeWorker(3))
+	start = time.Now()
+	out := core.ACD(cands, answers, core.Config{Seed: 1})
+	acdTime := time.Since(start)
+	if acdTime > 2*time.Minute {
+		t.Errorf("ACD took %v on 5000 records", acdTime)
+	}
+	e := cluster.Evaluate(out.Clusters, d.Truth())
+	if e.F1 < 0.7 {
+		t.Errorf("scale F1 = %.3f", e.F1)
+	}
+	if out.Clusters.Len() != 5000 {
+		t.Errorf("clustering lost records")
+	}
+}

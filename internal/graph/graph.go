@@ -1,0 +1,257 @@
+// Package graph implements the undirected pair graph G = (V_R, E_S) from
+// Section 3 of the paper: vertices are records, edges are candidate pairs
+// surviving the pruning phase. Crowd-Pivot and its parallel variants
+// consume and destructively shrink this graph as clusters form.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"acd/internal/record"
+)
+
+// Graph is an undirected graph over the dense record universe 0..n-1.
+// Vertices can be removed (as Crowd-Pivot clusters them); removed
+// vertices keep their adjacency storage but are excluded from all
+// queries.
+type Graph struct {
+	n       int
+	adj     []map[record.ID]struct{}
+	removed []bool
+	live    int
+	edges   int
+}
+
+// New returns an edgeless graph with n live vertices.
+func New(n int) *Graph {
+	g := &Graph{
+		n:       n,
+		adj:     make([]map[record.ID]struct{}, n),
+		removed: make([]bool, n),
+		live:    n,
+	}
+	return g
+}
+
+// FromPairs builds a graph over 0..n-1 with one edge per candidate pair.
+func FromPairs(n int, pairs []record.Pair) *Graph {
+	g := New(n)
+	for _, p := range pairs {
+		g.AddEdge(p.Lo, p.Hi)
+	}
+	return g
+}
+
+// Len returns the universe size (including removed vertices).
+func (g *Graph) Len() int { return g.n }
+
+// LiveCount returns the number of non-removed vertices.
+func (g *Graph) LiveCount() int { return g.live }
+
+// EdgeCount returns the number of live edges.
+func (g *Graph) EdgeCount() int { return g.edges }
+
+// Live reports whether vertex v has not been removed.
+func (g *Graph) Live(v record.ID) bool { return !g.removed[v] }
+
+// AddEdge inserts the undirected edge (a, b). Inserting a duplicate edge
+// or an edge touching a removed vertex panics: the clustering algorithms
+// never do either, so it would indicate a bug.
+func (g *Graph) AddEdge(a, b record.ID) {
+	if a == b {
+		panic(fmt.Sprintf("graph: self-loop at %d", a))
+	}
+	if g.removed[a] || g.removed[b] {
+		panic(fmt.Sprintf("graph: edge (%d,%d) touches removed vertex", a, b))
+	}
+	if g.adj[a] == nil {
+		g.adj[a] = make(map[record.ID]struct{})
+	}
+	if g.adj[b] == nil {
+		g.adj[b] = make(map[record.ID]struct{})
+	}
+	if _, dup := g.adj[a][b]; dup {
+		panic(fmt.Sprintf("graph: duplicate edge (%d,%d)", a, b))
+	}
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+	g.edges++
+}
+
+// HasEdge reports whether the live edge (a, b) exists.
+func (g *Graph) HasEdge(a, b record.ID) bool {
+	if g.removed[a] || g.removed[b] {
+		return false
+	}
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// Neighbors returns the live neighbors of v in ascending order. It
+// returns nil if v itself is removed.
+func (g *Graph) Neighbors(v record.ID) []record.ID {
+	if g.removed[v] {
+		return nil
+	}
+	out := make([]record.ID, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		if !g.removed[u] {
+			out = append(out, u)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Degree returns the number of live neighbors of v (0 if v is removed).
+func (g *Graph) Degree(v record.ID) int {
+	if g.removed[v] {
+		return 0
+	}
+	d := 0
+	for u := range g.adj[v] {
+		if !g.removed[u] {
+			d++
+		}
+	}
+	return d
+}
+
+// Remove deletes vertex v and all of its incident edges from the live
+// graph. Removing an already-removed vertex is a no-op.
+func (g *Graph) Remove(v record.ID) {
+	if g.removed[v] {
+		return
+	}
+	for u := range g.adj[v] {
+		if !g.removed[u] {
+			g.edges--
+		}
+	}
+	g.removed[v] = true
+	g.live--
+}
+
+// LiveVertices returns the live vertices in ascending order.
+func (g *Graph) LiveVertices() []record.ID {
+	out := make([]record.ID, 0, g.live)
+	for v := 0; v < g.n; v++ {
+		if !g.removed[v] {
+			out = append(out, record.ID(v))
+		}
+	}
+	return out
+}
+
+// Edges returns the live edges as canonical pairs in lexicographic order.
+func (g *Graph) Edges() []record.Pair {
+	out := make([]record.Pair, 0, g.edges)
+	for v := 0; v < g.n; v++ {
+		if g.removed[v] {
+			continue
+		}
+		for u := range g.adj[record.ID(v)] {
+			if int(u) > v && !g.removed[u] {
+				out = append(out, record.Pair{Lo: record.ID(v), Hi: u})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lo != out[j].Lo {
+			return out[i].Lo < out[j].Lo
+		}
+		return out[i].Hi < out[j].Hi
+	})
+	return out
+}
+
+// Clone returns a deep copy of the graph, preserving removal state.
+func (g *Graph) Clone() *Graph {
+	cp := &Graph{
+		n:       g.n,
+		adj:     make([]map[record.ID]struct{}, g.n),
+		removed: append([]bool(nil), g.removed...),
+		live:    g.live,
+		edges:   g.edges,
+	}
+	for v, nbrs := range g.adj {
+		if nbrs == nil {
+			continue
+		}
+		m := make(map[record.ID]struct{}, len(nbrs))
+		for u := range nbrs {
+			m[u] = struct{}{}
+		}
+		cp.adj[v] = m
+	}
+	return cp
+}
+
+// HopDistance returns the number of hops between a and b in the live
+// graph via breadth-first search, or -1 if they are disconnected. It is
+// the d_i(r_1, r_2) measure of Section 4.2. maxDepth bounds the search;
+// pass a small bound (the pivot logic only distinguishes 1, 2, >2) to
+// avoid scanning whole components.
+func (g *Graph) HopDistance(a, b record.ID, maxDepth int) int {
+	if g.removed[a] || g.removed[b] {
+		return -1
+	}
+	if a == b {
+		return 0
+	}
+	visited := map[record.ID]struct{}{a: {}}
+	frontier := []record.ID{a}
+	for depth := 1; depth <= maxDepth; depth++ {
+		var next []record.ID
+		for _, v := range frontier {
+			for u := range g.adj[v] {
+				if g.removed[u] {
+					continue
+				}
+				if u == b {
+					return depth
+				}
+				if _, seen := visited[u]; !seen {
+					visited[u] = struct{}{}
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+	return -1
+}
+
+// Components returns the connected components of the live graph, each as
+// an ascending vertex slice, ordered by smallest vertex. Isolated live
+// vertices form singleton components.
+func (g *Graph) Components() [][]record.ID {
+	seen := make([]bool, g.n)
+	var out [][]record.ID
+	for v := 0; v < g.n; v++ {
+		if g.removed[v] || seen[v] {
+			continue
+		}
+		var comp []record.ID
+		stack := []record.ID{record.ID(v)}
+		seen[v] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, x)
+			for u := range g.adj[x] {
+				if !g.removed[u] && !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		out = append(out, comp)
+	}
+	return out
+}

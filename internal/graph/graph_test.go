@@ -1,0 +1,253 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"acd/internal/record"
+)
+
+// figure2a builds the example graph of Figure 2a: vertices a..f = 0..5,
+// edges (a,b), (b,c), (a,c), (a,e), (e,d), (e,f), (d,f), (c,d).
+func figure2a() *Graph {
+	g := New(6)
+	edges := [][2]record.ID{{0, 1}, {1, 2}, {0, 2}, {0, 4}, {4, 3}, {4, 5}, {3, 5}, {2, 3}}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+func TestBasicOps(t *testing.T) {
+	g := figure2a()
+	if g.Len() != 6 || g.LiveCount() != 6 || g.EdgeCount() != 8 {
+		t.Fatalf("len=%d live=%d edges=%d", g.Len(), g.LiveCount(), g.EdgeCount())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Errorf("edge (0,1) missing")
+	}
+	if g.HasEdge(0, 3) {
+		t.Errorf("edge (0,3) should not exist")
+	}
+	want := []record.ID{1, 2, 4}
+	if got := g.Neighbors(0); !reflect.DeepEqual(got, want) {
+		t.Errorf("Neighbors(0) = %v, want %v", got, want)
+	}
+	if g.Degree(4) != 3 {
+		t.Errorf("Degree(4) = %d, want 3", g.Degree(4))
+	}
+}
+
+func TestRemove(t *testing.T) {
+	g := figure2a()
+	g.Remove(4) // vertex e
+	if g.LiveCount() != 5 {
+		t.Errorf("live = %d, want 5", g.LiveCount())
+	}
+	if g.EdgeCount() != 5 { // edges (a,e),(e,d),(e,f) gone
+		t.Errorf("edges = %d, want 5", g.EdgeCount())
+	}
+	if g.HasEdge(0, 4) || g.Live(4) {
+		t.Errorf("removed vertex still visible")
+	}
+	if got := g.Neighbors(0); !reflect.DeepEqual(got, []record.ID{1, 2}) {
+		t.Errorf("Neighbors(0) after removal = %v", got)
+	}
+	g.Remove(4) // idempotent
+	if g.LiveCount() != 5 {
+		t.Errorf("double remove changed live count")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { g := New(3); g.AddEdge(1, 1) },
+		func() { g := New(3); g.AddEdge(0, 1); g.AddEdge(1, 0) },
+		func() { g := New(3); g.Remove(0); g.AddEdge(0, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHopDistance(t *testing.T) {
+	g := figure2a()
+	// Figure 2 cases: d(b,f) > 2, d(b,e) = 2, d(b,c) = 1.
+	if d := g.HopDistance(1, 5, 2); d != -1 {
+		t.Errorf("d(b,f) capped at 2 = %d, want -1 (>2)", d)
+	}
+	if d := g.HopDistance(1, 5, 10); d != 3 {
+		t.Errorf("d(b,f) = %d, want 3", d)
+	}
+	if d := g.HopDistance(1, 4, 2); d != 2 {
+		t.Errorf("d(b,e) = %d, want 2", d)
+	}
+	if d := g.HopDistance(1, 2, 2); d != 1 {
+		t.Errorf("d(b,c) = %d, want 1", d)
+	}
+	if d := g.HopDistance(0, 0, 2); d != 0 {
+		t.Errorf("d(a,a) = %d, want 0", d)
+	}
+	g2 := New(4)
+	g2.AddEdge(0, 1)
+	if d := g2.HopDistance(0, 3, 10); d != -1 {
+		t.Errorf("disconnected distance = %d, want -1", d)
+	}
+}
+
+func TestEdgesAndVertices(t *testing.T) {
+	g := New(4)
+	g.AddEdge(2, 0)
+	g.AddEdge(3, 1)
+	want := []record.Pair{{Lo: 0, Hi: 2}, {Lo: 1, Hi: 3}}
+	if got := g.Edges(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Edges = %v, want %v", got, want)
+	}
+	g.Remove(0)
+	if got := g.Edges(); !reflect.DeepEqual(got, []record.Pair{{Lo: 1, Hi: 3}}) {
+		t.Errorf("Edges after removal = %v", got)
+	}
+	if got := g.LiveVertices(); !reflect.DeepEqual(got, []record.ID{1, 2, 3}) {
+		t.Errorf("LiveVertices = %v", got)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(7)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(4, 5)
+	want := [][]record.ID{{0, 1, 2}, {3}, {4, 5}, {6}}
+	if got := g.Components(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Components = %v, want %v", got, want)
+	}
+	g.Remove(1)
+	want = [][]record.ID{{0}, {2}, {3}, {4, 5}, {6}}
+	if got := g.Components(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Components after removal = %v, want %v", got, want)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := figure2a()
+	cp := g.Clone()
+	cp.Remove(0)
+	if !g.Live(0) || g.EdgeCount() != 8 {
+		t.Errorf("clone mutation leaked into original")
+	}
+	if cp.LiveCount() != 5 {
+		t.Errorf("clone remove failed")
+	}
+}
+
+// randomGraph builds a random graph and returns it with its edge list.
+func randomGraph(rng *rand.Rand, n int, p float64) (*Graph, []record.Pair) {
+	g := New(n)
+	var pairs []record.Pair
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(record.ID(i), record.ID(j))
+				pairs = append(pairs, record.Pair{Lo: record.ID(i), Hi: record.ID(j)})
+			}
+		}
+	}
+	return g, pairs
+}
+
+// Property: edge count and Edges() stay consistent under random removals.
+func TestRemovalConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g, _ := randomGraph(rng, n, 0.4)
+		for k := 0; k < n/2; k++ {
+			g.Remove(record.ID(rng.Intn(n)))
+		}
+		edges := g.Edges()
+		if len(edges) != g.EdgeCount() {
+			return false
+		}
+		// Degrees sum to twice the edge count.
+		degSum := 0
+		for _, v := range g.LiveVertices() {
+			degSum += g.Degree(v)
+		}
+		return degSum == 2*g.EdgeCount() && g.LiveCount() == len(g.LiveVertices())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Components partitions the live vertices.
+func TestComponentsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		g, _ := randomGraph(rng, n, 0.2)
+		for k := 0; k < n/3; k++ {
+			g.Remove(record.ID(rng.Intn(n)))
+		}
+		seen := map[record.ID]struct{}{}
+		total := 0
+		for _, comp := range g.Components() {
+			for _, v := range comp {
+				if !g.Live(v) {
+					return false
+				}
+				if _, dup := seen[v]; dup {
+					return false
+				}
+				seen[v] = struct{}{}
+				total++
+			}
+		}
+		return total == g.LiveCount()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HopDistance agrees with a naive BFS for small graphs.
+func TestHopDistanceAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		g, _ := randomGraph(rng, n, 0.3)
+		a := record.ID(rng.Intn(n))
+		b := record.ID(rng.Intn(n))
+		got := g.HopDistance(a, b, n)
+		// Naive BFS.
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[a] = 0
+		queue := []record.ID{a}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, u := range g.Neighbors(v) {
+				if dist[u] == -1 {
+					dist[u] = dist[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+		return got == dist[b]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+// Package histogram implements the equi-depth histogram estimator of
+// Section 5.2: it maps a machine-based similarity score f(r, r′) to an
+// estimate of the crowd-based score f_c(r, r′), learned from the pairs
+// already crowdsourced. Following [48] (and the paper), the default
+// bucket count is m = 20, and the histogram is rebuilt whenever new crowd
+// answers arrive.
+package histogram
+
+import "sort"
+
+// DefaultBuckets is the paper's bucket count (Section 5.2, "we set
+// m = 20").
+const DefaultBuckets = 20
+
+// Sample is one crowdsourced pair: its machine score and the crowd score
+// observed for it.
+type Sample struct {
+	Machine float64
+	Crowd   float64
+}
+
+// Histogram maps machine scores to estimated crowd scores via equi-depth
+// buckets over the machine-score distribution of the samples.
+type Histogram struct {
+	// upper[i] is the inclusive upper machine-score bound of bucket i;
+	// bucket i covers (upper[i-1], upper[i]]. upper[len-1] is +inf
+	// conceptually (any score above the last boundary maps there).
+	upper []float64
+	// avg[i] is the mean crowd score of samples in bucket i.
+	avg []float64
+}
+
+// Build constructs an equi-depth histogram with m buckets from the given
+// samples. With fewer samples than buckets, each sample gets its own
+// bucket. With no samples, Build returns an identity histogram whose
+// Estimate(f) = f — the "straightforward solution" the paper falls back
+// from (Section 5.2).
+func Build(samples []Sample, m int) *Histogram {
+	if m <= 0 {
+		m = DefaultBuckets
+	}
+	if len(samples) == 0 {
+		return &Histogram{}
+	}
+	s := append([]Sample(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Machine < s[j].Machine })
+	if m > len(s) {
+		m = len(s)
+	}
+	h := &Histogram{
+		upper: make([]float64, 0, m),
+		avg:   make([]float64, 0, m),
+	}
+	// Equi-depth split: bucket i holds samples [i*len/m, (i+1)*len/m).
+	for i := 0; i < m; i++ {
+		lo := i * len(s) / m
+		hi := (i + 1) * len(s) / m
+		if lo == hi {
+			continue
+		}
+		sum := 0.0
+		for _, x := range s[lo:hi] {
+			sum += x.Crowd
+		}
+		h.upper = append(h.upper, s[hi-1].Machine)
+		h.avg = append(h.avg, sum/float64(hi-lo))
+	}
+	return h
+}
+
+// Estimate returns the estimated crowd score for machine score f: the
+// mean crowd score of the bucket covering f. Scores above the highest
+// boundary use the last bucket; an empty histogram returns f unchanged.
+func (h *Histogram) Estimate(f float64) float64 {
+	if len(h.upper) == 0 {
+		return f
+	}
+	i := sort.SearchFloat64s(h.upper, f)
+	if i == len(h.upper) {
+		i = len(h.upper) - 1
+	}
+	return h.avg[i]
+}
+
+// Buckets returns the number of non-empty buckets (0 for the identity
+// histogram).
+func (h *Histogram) Buckets() int { return len(h.upper) }

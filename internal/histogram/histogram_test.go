@@ -1,0 +1,124 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyIsIdentity(t *testing.T) {
+	h := Build(nil, 20)
+	for _, f := range []float64{0, 0.3, 0.75, 1} {
+		if got := h.Estimate(f); got != f {
+			t.Errorf("identity Estimate(%v) = %v", f, got)
+		}
+	}
+	if h.Buckets() != 0 {
+		t.Errorf("empty histogram has %d buckets", h.Buckets())
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	h := Build([]Sample{{Machine: 0.5, Crowd: 0.9}}, 20)
+	if h.Buckets() != 1 {
+		t.Fatalf("buckets = %d", h.Buckets())
+	}
+	for _, f := range []float64{0, 0.5, 1} {
+		if got := h.Estimate(f); got != 0.9 {
+			t.Errorf("Estimate(%v) = %v, want 0.9", f, got)
+		}
+	}
+}
+
+func TestEquiDepthSplit(t *testing.T) {
+	// Four samples, two buckets: [(0.1,0), (0.2,0.2)] and [(0.8,0.9), (0.9,1.0)].
+	samples := []Sample{
+		{0.1, 0}, {0.2, 0.2}, {0.8, 0.9}, {0.9, 1.0},
+	}
+	h := Build(samples, 2)
+	if h.Buckets() != 2 {
+		t.Fatalf("buckets = %d", h.Buckets())
+	}
+	if got := h.Estimate(0.15); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("low bucket = %v, want 0.1", got)
+	}
+	if got := h.Estimate(0.85); math.Abs(got-0.95) > 1e-9 {
+		t.Errorf("high bucket = %v, want 0.95", got)
+	}
+	// Above all boundaries falls into the last bucket.
+	if got := h.Estimate(0.99); math.Abs(got-0.95) > 1e-9 {
+		t.Errorf("overflow = %v, want 0.95", got)
+	}
+	// At/below the first boundary falls into the first bucket.
+	if got := h.Estimate(0.0); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("underflow = %v, want 0.1", got)
+	}
+}
+
+func TestDefaultBucketCount(t *testing.T) {
+	var samples []Sample
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		m := rng.Float64()
+		samples = append(samples, Sample{Machine: m, Crowd: m})
+	}
+	h := Build(samples, 0) // 0 means DefaultBuckets
+	if h.Buckets() != DefaultBuckets {
+		t.Errorf("buckets = %d, want %d", h.Buckets(), DefaultBuckets)
+	}
+}
+
+// Property: estimates are always within the [min, max] crowd range of the
+// sample set, and Build never panics on random input.
+func TestEstimateBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50)
+		samples := make([]Sample, n)
+		lo, hi := 1.0, 0.0
+		for i := range samples {
+			samples[i] = Sample{Machine: rng.Float64(), Crowd: rng.Float64()}
+			if samples[i].Crowd < lo {
+				lo = samples[i].Crowd
+			}
+			if samples[i].Crowd > hi {
+				hi = samples[i].Crowd
+			}
+		}
+		h := Build(samples, 1+rng.Intn(30))
+		for k := 0; k < 20; k++ {
+			e := h.Estimate(rng.Float64())
+			if n == 0 {
+				continue // identity histogram
+			}
+			if e < lo-1e-9 || e > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for a monotone crowd/machine relationship, the histogram's
+// estimate is monotone non-decreasing in f.
+func TestMonotoneData(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var samples []Sample
+	for i := 0; i < 500; i++ {
+		m := rng.Float64()
+		samples = append(samples, Sample{Machine: m, Crowd: m * m})
+	}
+	h := Build(samples, 20)
+	prev := -1.0
+	for f := 0.0; f <= 1.0; f += 0.01 {
+		e := h.Estimate(f)
+		if e < prev-1e-9 {
+			t.Fatalf("estimate decreased at f=%v: %v < %v", f, e, prev)
+		}
+		prev = e
+	}
+}

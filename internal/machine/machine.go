@@ -1,0 +1,240 @@
+// Package machine implements the machine-only clustering algorithms the
+// paper builds on or argues against: the classic randomized Pivot [5]
+// (the base of Crowd-Pivot), the BOEM best-one-element-move
+// postprocessor [22] (which Section 5.1 shows is too expensive to
+// crowdsource), average-linkage agglomerative clustering (our stand-in
+// for the clustering step of CrowdER+), and connected components.
+//
+// All algorithms consume a score function over a fixed pair set: they
+// never ask the crowd.
+package machine
+
+import (
+	"math/rand"
+	"sort"
+
+	"acd/internal/cluster"
+	"acd/internal/graph"
+	"acd/internal/record"
+	"acd/internal/unionfind"
+)
+
+// Pivot runs the classic randomized Pivot correlation clustering over the
+// pairs present in scores (absent pairs have score 0): repeatedly pick a
+// random unclustered record, cluster it with every unclustered neighbor
+// whose score exceeds 0.5, and remove them. Expected 5-approximation of
+// the Λ-minimizer [5].
+func Pivot(n int, scores cluster.Scores, rng *rand.Rand) *cluster.Clustering {
+	g := graph.New(n)
+	for p, f := range scores {
+		if f > 0.5 {
+			g.AddEdge(p.Lo, p.Hi)
+		}
+	}
+	order := rng.Perm(n)
+	var sets [][]record.ID
+	for _, v := range order {
+		r := record.ID(v)
+		if !g.Live(r) {
+			continue
+		}
+		members := append([]record.ID{r}, g.Neighbors(r)...)
+		for _, m := range members {
+			g.Remove(m)
+		}
+		sets = append(sets, members)
+	}
+	c, err := cluster.FromSets(n, sets)
+	if err != nil {
+		panic("machine: Pivot produced a non-partition: " + err.Error())
+	}
+	return c
+}
+
+// BestPivot runs Pivot `runs` times and returns the clustering with the
+// smallest Λ — the standard machine-based remedy for Pivot's variance
+// that Section 3 explains is unaffordable with a crowd.
+func BestPivot(n int, scores cluster.Scores, runs int, rng *rand.Rand) *cluster.Clustering {
+	if runs < 1 {
+		runs = 1
+	}
+	var best *cluster.Clustering
+	bestL := 0.0
+	for i := 0; i < runs; i++ {
+		c := Pivot(n, scores, rng)
+		l := cluster.Lambda(c, scores)
+		if best == nil || l < bestL {
+			best, bestL = c, l
+		}
+	}
+	return best
+}
+
+// BOEM post-processes a clustering with best-one-element moves [22]:
+// while some single record can move to another cluster (or to a new
+// singleton) with a strict decrease in Λ, perform the move with the
+// largest decrease. It needs every pair score, which is why the paper's
+// refinement phase replaces it under a crowd (Section 5.1).
+func BOEM(c *cluster.Clustering, scores cluster.Scores) *cluster.Clustering {
+	// Adjacency from the score map: only records connected by a scored
+	// pair can profitably share a cluster.
+	adj := make(map[record.ID][]record.ID)
+	for p := range scores {
+		adj[p.Lo] = append(adj[p.Lo], p.Hi)
+		adj[p.Hi] = append(adj[p.Hi], p.Lo)
+	}
+	get := func(a, b record.ID) float64 { return scores.Get(record.MakePair(a, b)) }
+
+	// moveGain computes the Λ decrease of moving r from its cluster to
+	// target (-1 = new singleton): leaving saves Σ(1-2f) over old
+	// co-members; joining costs Σ(1-2f) over new co-members.
+	moveGain := func(r record.ID, target int) float64 {
+		gain := 0.0
+		for _, m := range c.Members(c.Assignment(r)) {
+			if m != r {
+				gain += 1 - 2*get(r, m)
+			}
+		}
+		if target >= 0 {
+			for _, m := range c.Members(target) {
+				gain -= 1 - 2*get(r, m)
+			}
+		}
+		return gain
+	}
+
+	for {
+		bestGain := 1e-12
+		var bestR record.ID
+		bestTarget := -2
+		for r := record.ID(0); int(r) < c.Len(); r++ {
+			// Candidate targets: clusters of scored neighbors, plus a
+			// fresh singleton when r is not already alone.
+			targets := map[int]struct{}{}
+			for _, nb := range adj[r] {
+				if t := c.Assignment(nb); t != c.Assignment(r) {
+					targets[t] = struct{}{}
+				}
+			}
+			if c.Size(c.Assignment(r)) > 1 {
+				targets[-1] = struct{}{}
+			}
+			for t := range targets {
+				if g := moveGain(r, t); g > bestGain {
+					bestGain, bestR, bestTarget = g, r, t
+				}
+			}
+		}
+		if bestTarget == -2 {
+			break
+		}
+		newIdx := c.Split(bestR)
+		if bestTarget >= 0 {
+			c.Merge(bestTarget, newIdx)
+		}
+	}
+	c.Compact()
+	return c
+}
+
+// Agglomerative performs average-linkage agglomerative clustering:
+// starting from singletons, repeatedly merge the pair of clusters with
+// the highest average cross-pair score, while that average exceeds the
+// threshold. Pairs absent from scores count as 0, so only clusters
+// connected by scored pairs can merge. It is robust to a minority of
+// erroneous scores, which is what makes CrowdER+ accurate in the paper's
+// experiments despite crowd noise.
+func Agglomerative(n int, scores cluster.Scores, threshold float64) *cluster.Clustering {
+	c := cluster.NewSingletons(n)
+	type linkKey [2]int
+	// sum of cross scores per live cluster pair; cross size is
+	// |A|·|B| implicitly.
+	link := make(map[linkKey]float64)
+	keyOf := func(a, b int) linkKey {
+		if a > b {
+			a, b = b, a
+		}
+		return linkKey{a, b}
+	}
+	for p, f := range scores {
+		a, b := c.Assignment(p.Lo), c.Assignment(p.Hi)
+		if a != b {
+			link[keyOf(a, b)] += f
+		}
+	}
+	for {
+		bestAvg := threshold
+		var best linkKey
+		found := false
+		// Deterministic iteration: collect and sort keys.
+		keys := make([]linkKey, 0, len(link))
+		for k := range link {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			avg := link[k] / float64(c.Size(k[0])*c.Size(k[1]))
+			if avg > bestAvg {
+				bestAvg, best, found = avg, k, true
+			}
+		}
+		if !found {
+			break
+		}
+		a, b := best[0], best[1]
+		// Fold b's links into a.
+		for _, k := range keys {
+			other := -1
+			switch {
+			case k[0] == b:
+				other = k[1]
+			case k[1] == b:
+				other = k[0]
+			}
+			if other == -1 || other == a {
+				continue
+			}
+			link[keyOf(a, other)] += link[k]
+		}
+		for _, k := range keys {
+			if k[0] == b || k[1] == b {
+				delete(link, k)
+			}
+		}
+		delete(link, best)
+		c.Merge(a, b)
+	}
+	c.Compact()
+	return c
+}
+
+// Components clusters records by connected components over the pairs
+// whose score exceeds the threshold — the transitive-closure clustering
+// that amplifies errors (Figure 1's failure mode).
+func Components(n int, scores cluster.Scores, threshold float64) *cluster.Clustering {
+	uf := unionfind.New(n)
+	for p, f := range scores {
+		if f > threshold {
+			uf.Union(int(p.Lo), int(p.Hi))
+		}
+	}
+	sets := uf.Sets()
+	asIDs := make([][]record.ID, len(sets))
+	for i, s := range sets {
+		ids := make([]record.ID, len(s))
+		for j, v := range s {
+			ids[j] = record.ID(v)
+		}
+		asIDs[i] = ids
+	}
+	c, err := cluster.FromSets(n, asIDs)
+	if err != nil {
+		panic("machine: Components produced a non-partition: " + err.Error())
+	}
+	return c
+}

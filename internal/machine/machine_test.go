@@ -1,0 +1,248 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"acd/internal/cluster"
+	"acd/internal/record"
+)
+
+// table2 is the Example 1 instance (a..f = 0..5); optimal clustering is
+// {a,b,c},{d,e,f}.
+func table2() cluster.Scores {
+	s := cluster.Scores{}
+	add := func(a, b record.ID, f float64) { s[record.MakePair(a, b)] = f }
+	add(0, 1, 0.81)
+	add(1, 2, 0.75)
+	add(0, 2, 0.73)
+	add(3, 4, 0.72)
+	add(3, 5, 0.70)
+	add(4, 5, 0.69)
+	add(2, 3, 0.45)
+	add(0, 3, 0.43)
+	add(0, 4, 0.37)
+	return s
+}
+
+func TestPivotOnExample1(t *testing.T) {
+	// On Table 2, every positive (>0.5) edge is within the true
+	// clusters, so any pivot order yields exactly {a,b,c},{d,e,f}.
+	want := cluster.MustFromSets(6, [][]record.ID{{0, 1, 2}, {3, 4, 5}})
+	for seed := int64(0); seed < 10; seed++ {
+		c := Pivot(6, table2(), rand.New(rand.NewSource(seed)))
+		if !cluster.Equal(c, want) {
+			t.Fatalf("seed %d: %v", seed, c.Sets())
+		}
+	}
+}
+
+func TestPivotPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		scores := cluster.Scores{}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					scores[record.MakePair(record.ID(i), record.ID(j))] = rng.Float64()
+				}
+			}
+		}
+		c := Pivot(n, scores, rng)
+		seen := map[record.ID]bool{}
+		total := 0
+		for _, s := range c.Sets() {
+			for _, r := range s {
+				if seen[r] {
+					return false
+				}
+				seen[r] = true
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestPivotNotWorse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		scores := cluster.Scores{}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					scores[record.MakePair(record.ID(i), record.ID(j))] = rng.Float64()
+				}
+			}
+		}
+		single := Pivot(n, scores, rand.New(rand.NewSource(seed+1)))
+		best := BestPivot(n, scores, 20, rand.New(rand.NewSource(seed+1)))
+		// BestPivot's first run is exactly `single`, so it can only
+		// improve.
+		return cluster.Lambda(best, scores) <= cluster.Lambda(single, scores)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBOEMImprovesToExample1Optimum(t *testing.T) {
+	scores := table2()
+	// Start from a deliberately bad clustering.
+	bad := cluster.MustFromSets(6, [][]record.ID{{0, 3}, {1, 4}, {2, 5}})
+	got := BOEM(bad, scores)
+	want := cluster.MustFromSets(6, [][]record.ID{{0, 1, 2}, {3, 4, 5}})
+	if !cluster.Equal(got, want) {
+		t.Errorf("BOEM result %v, want the Example 1 optimum", got.Sets())
+	}
+}
+
+func TestBOEMNeverWorsens(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		scores := cluster.Scores{}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					scores[record.MakePair(record.ID(i), record.ID(j))] = rng.Float64()
+				}
+			}
+		}
+		start := Pivot(n, scores, rng)
+		before := cluster.Lambda(start, scores)
+		after := cluster.Lambda(BOEM(start, scores), scores)
+		return after <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAgglomerativeExample1(t *testing.T) {
+	got := Agglomerative(6, table2(), 0.5)
+	want := cluster.MustFromSets(6, [][]record.ID{{0, 1, 2}, {3, 4, 5}})
+	if !cluster.Equal(got, want) {
+		t.Errorf("agglomerative = %v", got.Sets())
+	}
+}
+
+func TestAgglomerativeRobustToMinorityError(t *testing.T) {
+	// Two clear triangles plus one erroneous cross edge: average linkage
+	// must not bridge them (cross average = (1.0 + 8·0)/9 ≪ 0.5).
+	scores := cluster.Scores{}
+	add := func(a, b record.ID, f float64) { scores[record.MakePair(a, b)] = f }
+	for _, tri := range [][3]record.ID{{0, 1, 2}, {3, 4, 5}} {
+		add(tri[0], tri[1], 1)
+		add(tri[1], tri[2], 1)
+		add(tri[0], tri[2], 1)
+	}
+	add(2, 3, 1.0) // crowd error
+	got := Agglomerative(6, scores, 0.5)
+	want := cluster.MustFromSets(6, [][]record.ID{{0, 1, 2}, {3, 4, 5}})
+	if !cluster.Equal(got, want) {
+		t.Errorf("agglomerative bridged on a single bad edge: %v", got.Sets())
+	}
+	// Components, by contrast, collapses everything — Figure 1's
+	// amplification.
+	comp := Components(6, scores, 0.5)
+	if comp.NumClusters() != 1 {
+		t.Errorf("components should merge everything here, got %v", comp.Sets())
+	}
+}
+
+func TestAgglomerativeThresholdBoundary(t *testing.T) {
+	scores := cluster.Scores{record.MakePair(0, 1): 0.5}
+	// Strictly-above semantics: 0.5 does not merge at threshold 0.5.
+	got := Agglomerative(2, scores, 0.5)
+	if got.NumClusters() != 2 {
+		t.Errorf("boundary merge happened")
+	}
+	got = Agglomerative(2, scores, 0.49)
+	if got.NumClusters() != 1 {
+		t.Errorf("above-threshold merge did not happen")
+	}
+}
+
+func TestComponentsBasics(t *testing.T) {
+	scores := cluster.Scores{
+		record.MakePair(0, 1): 0.9,
+		record.MakePair(1, 2): 0.2,
+		record.MakePair(3, 4): 0.7,
+	}
+	got := Components(5, scores, 0.5)
+	want := cluster.MustFromSets(5, [][]record.ID{{0, 1}, {2}, {3, 4}})
+	if !cluster.Equal(got, want) {
+		t.Errorf("components = %v", got.Sets())
+	}
+}
+
+// TestAgglomerativeMatchesBruteForceAverage verifies the incremental link
+// bookkeeping against a from-scratch average computation on random
+// instances: after the algorithm stops, no remaining cluster pair may
+// have average score above the threshold.
+func TestAgglomerativeStopsOnlyWhenDone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		scores := cluster.Scores{}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					scores[record.MakePair(record.ID(i), record.ID(j))] = rng.Float64()
+				}
+			}
+		}
+		c := Agglomerative(n, scores, 0.5)
+		idxs := c.ClusterIndices()
+		for i := 0; i < len(idxs); i++ {
+			for j := i + 1; j < len(idxs); j++ {
+				sum := 0.0
+				for _, a := range c.Members(idxs[i]) {
+					for _, b := range c.Members(idxs[j]) {
+						sum += scores.Get(record.MakePair(a, b))
+					}
+				}
+				avg := sum / float64(c.Size(idxs[i])*c.Size(idxs[j]))
+				if avg > 0.5+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBOEMGainExactness(t *testing.T) {
+	// Each BOEM move must change Λ by its computed gain; verify overall
+	// consistency by confirming BOEM reaches a local optimum: no single
+	// move can improve further.
+	scores := table2()
+	c := BOEM(cluster.NewSingletons(6), scores)
+	base := cluster.Lambda(c, scores)
+	for r := record.ID(0); r < 6; r++ {
+		for _, target := range append(c.ClusterIndices(), -1) {
+			if target == c.Assignment(r) {
+				continue
+			}
+			cp := c.Clone()
+			ni := cp.Split(r)
+			if target >= 0 && cp.Size(target) > 0 {
+				cp.Merge(target, ni)
+			}
+			if cluster.Lambda(cp, scores) < base-1e-9 {
+				t.Fatalf("BOEM left an improving move: record %d to cluster %d (%v -> %v)",
+					r, target, base, cluster.Lambda(cp, scores))
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package pruning implements the first phase of ACD (Section 3): it
+// builds the machine-based similarity function f over a record set and
+// emits the candidate set S of pairs with f(r_i, r_j) > τ. Everything
+// downstream (the crowd phases, all baselines) consumes its Candidates
+// result, matching the paper's setup where every method shares the same
+// pruning phase (Section 6.1: Jaccard, τ = 0.3).
+package pruning
+
+import (
+	"sort"
+
+	"acd/internal/blocking"
+	"acd/internal/cluster"
+	"acd/internal/record"
+	"acd/internal/similarity"
+)
+
+// DefaultTau is the similarity threshold used throughout the paper's
+// experiments (Section 6.1).
+const DefaultTau = 0.3
+
+// Candidates is the output of the pruning phase: the candidate set S with
+// machine scores, in descending score order, plus a score lookup.
+type Candidates struct {
+	// Pairs holds the candidate set S sorted by descending machine score
+	// (the issue order used by TransM).
+	Pairs []blocking.ScoredPair
+	// Machine maps each candidate pair to its machine similarity f. Pairs
+	// outside the map were pruned and have f = 0 by convention.
+	Machine cluster.Scores
+	// N is the size of the record universe.
+	N int
+}
+
+// Options configures a pruning run.
+type Options struct {
+	// Tau is the pruning threshold; pairs must satisfy f > Tau.
+	// Zero value means DefaultTau.
+	Tau float64
+	// Metric scores record pairs. Nil means token Jaccard (run through
+	// the indexed join); any other metric uses the naive all-pairs scan.
+	Metric similarity.Metric
+}
+
+// Prune runs the pruning phase over records and returns the candidate
+// set.
+func Prune(records []record.Record, opts Options) *Candidates {
+	tau := opts.Tau
+	if tau == 0 {
+		tau = DefaultTau
+	}
+	var scored []blocking.ScoredPair
+	if opts.Metric == nil {
+		scored = blocking.JaccardJoin(records, tau)
+	} else {
+		scored = blocking.NaiveJoin(records, opts.Metric, tau)
+	}
+	machine := make(cluster.Scores, len(scored))
+	for _, sp := range scored {
+		machine[sp.Pair] = sp.Score
+	}
+	return &Candidates{Pairs: scored, Machine: machine, N: len(records)}
+}
+
+// FromScores builds a Candidates directly from a score map, applying the
+// threshold. Used by tests and by dataset fixtures where scores are
+// prescribed rather than computed.
+func FromScores(n int, scores cluster.Scores, tau float64) *Candidates {
+	var pairs []blocking.ScoredPair
+	machine := make(cluster.Scores)
+	for p, f := range scores {
+		if f > tau {
+			pairs = append(pairs, blocking.ScoredPair{Pair: p, Score: f})
+			machine[p] = f
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Score != pairs[j].Score {
+			return pairs[i].Score > pairs[j].Score
+		}
+		if pairs[i].Pair.Lo != pairs[j].Pair.Lo {
+			return pairs[i].Pair.Lo < pairs[j].Pair.Lo
+		}
+		return pairs[i].Pair.Hi < pairs[j].Pair.Hi
+	})
+	return &Candidates{Pairs: pairs, Machine: machine, N: n}
+}
+
+// PairList returns just the pairs of the candidate set, in the same
+// descending-score order as Pairs.
+func (c *Candidates) PairList() []record.Pair {
+	out := make([]record.Pair, len(c.Pairs))
+	for i, sp := range c.Pairs {
+		out[i] = sp.Pair
+	}
+	return out
+}
+
+// Contains reports whether p survived pruning.
+func (c *Candidates) Contains(p record.Pair) bool {
+	_, ok := c.Machine[p]
+	return ok
+}
+
+// Score returns the machine score f of a pair (0 if pruned).
+func (c *Candidates) Score(p record.Pair) float64 { return c.Machine.Get(p) }

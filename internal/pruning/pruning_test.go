@@ -1,0 +1,74 @@
+package pruning
+
+import (
+	"testing"
+
+	"acd/internal/cluster"
+	"acd/internal/record"
+	"acd/internal/similarity"
+)
+
+func TestPruneJaccard(t *testing.T) {
+	recs := []record.Record{
+		record.New(0, map[string]string{"t": "chevrolet camaro sports car"}),
+		record.New(1, map[string]string{"t": "chevy camaro sports car"}),
+		record.New(2, map[string]string{"t": "chevron gas station"}),
+		record.New(3, map[string]string{"t": "quantum physics textbook"}),
+	}
+	c := Prune(recs, Options{})
+	if c.N != 4 {
+		t.Fatalf("N = %d", c.N)
+	}
+	p01 := record.MakePair(0, 1)
+	if !c.Contains(p01) {
+		t.Fatalf("similar pair (0,1) pruned; candidates: %v", c.Pairs)
+	}
+	if c.Contains(record.MakePair(0, 3)) {
+		t.Errorf("dissimilar pair (0,3) kept")
+	}
+	if c.Score(p01) <= DefaultTau {
+		t.Errorf("candidate score %v not above tau", c.Score(p01))
+	}
+	if c.Score(record.MakePair(0, 3)) != 0 {
+		t.Errorf("pruned pair score should be 0")
+	}
+	// Descending order.
+	for i := 1; i < len(c.Pairs); i++ {
+		if c.Pairs[i].Score > c.Pairs[i-1].Score {
+			t.Errorf("pairs not in descending score order")
+		}
+	}
+}
+
+func TestPruneCustomMetricAndTau(t *testing.T) {
+	recs := []record.Record{
+		record.New(0, map[string]string{"t": "abcd"}),
+		record.New(1, map[string]string{"t": "abce"}),
+		record.New(2, map[string]string{"t": "zzzz"}),
+	}
+	c := Prune(recs, Options{Tau: 0.7, Metric: similarity.Levenshtein})
+	if !c.Contains(record.MakePair(0, 1)) {
+		t.Errorf("(0,1) with lev 0.75 should survive tau 0.7")
+	}
+	if len(c.Pairs) != 1 {
+		t.Errorf("expected exactly 1 candidate, got %v", c.Pairs)
+	}
+}
+
+func TestFromScores(t *testing.T) {
+	scores := cluster.Scores{
+		record.MakePair(0, 1): 0.9,
+		record.MakePair(1, 2): 0.3,
+		record.MakePair(0, 2): 0.5,
+	}
+	c := FromScores(3, scores, 0.3)
+	if len(c.Pairs) != 2 {
+		t.Fatalf("expected 2 pairs (strict threshold), got %v", c.Pairs)
+	}
+	if c.Pairs[0].Pair != record.MakePair(0, 1) || c.Pairs[1].Pair != record.MakePair(0, 2) {
+		t.Errorf("ordering wrong: %v", c.Pairs)
+	}
+	if got := c.PairList(); len(got) != 2 || got[0] != record.MakePair(0, 1) {
+		t.Errorf("PairList wrong: %v", got)
+	}
+}

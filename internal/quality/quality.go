@@ -1,0 +1,186 @@
+// Package quality implements worker-quality estimation and weighted
+// answer aggregation in the style of Dawid–Skene, the quality-management
+// line of work the paper cites for extracting high-quality answers from
+// crowds ([29, 37, 43, 45] in its related work). Given raw per-worker
+// votes (crowd.Vote), an EM procedure jointly estimates each worker's
+// confusion probabilities and each pair's posterior probability of being
+// a duplicate; the posterior is a drop-in replacement for the plain
+// majority-vote crowd score f_c, and it downweights unreliable workers
+// automatically.
+package quality
+
+import (
+	"math"
+	"sort"
+
+	"acd/internal/crowd"
+	"acd/internal/record"
+)
+
+// Model is the fitted worker/answer model.
+type Model struct {
+	// Posterior is P(duplicate | votes) for every voted-on pair; use it
+	// as the crowd score f_c.
+	Posterior map[record.Pair]float64
+	// TruePositiveRate and FalsePositiveRate hold each worker's
+	// estimated P(vote yes | duplicate) and P(vote yes | non-duplicate).
+	// A reliable worker has TPR near 1 and FPR near 0.
+	TruePositiveRate  map[int]float64
+	FalsePositiveRate map[int]float64
+	// Prior is the estimated fraction of voted-on pairs that are
+	// duplicates.
+	Prior float64
+	// Iterations is the number of EM rounds performed.
+	Iterations int
+}
+
+// Accuracy returns a worker's estimated balanced accuracy,
+// (TPR + (1−FPR))/2 — a single reliability score.
+func (m *Model) Accuracy(worker int) float64 {
+	tpr, ok := m.TruePositiveRate[worker]
+	if !ok {
+		return 0.5
+	}
+	return (tpr + (1 - m.FalsePositiveRate[worker])) / 2
+}
+
+// Estimate fits the model to raw votes with at most maxIters EM rounds
+// (20 when maxIters ≤ 0), stopping early when the posteriors move less
+// than 1e-6. Posteriors are initialized from per-pair majority
+// fractions, the standard Dawid–Skene initialization.
+func Estimate(votes []crowd.Vote, maxIters int) *Model {
+	if maxIters <= 0 {
+		maxIters = 20
+	}
+	// Index votes by pair and by worker. Pairs are processed in a fixed
+	// canonical order so floating-point accumulation (and therefore the
+	// fitted model) is deterministic.
+	byPair := make(map[record.Pair][]crowd.Vote)
+	workers := make(map[int]struct{})
+	for _, v := range votes {
+		byPair[v.Pair] = append(byPair[v.Pair], v)
+		workers[v.Worker] = struct{}{}
+	}
+	pairOrder := make([]record.Pair, 0, len(byPair))
+	for p := range byPair {
+		pairOrder = append(pairOrder, p)
+	}
+	sort.Slice(pairOrder, func(i, j int) bool {
+		if pairOrder[i].Lo != pairOrder[j].Lo {
+			return pairOrder[i].Lo < pairOrder[j].Lo
+		}
+		return pairOrder[i].Hi < pairOrder[j].Hi
+	})
+	m := &Model{
+		Posterior:         make(map[record.Pair]float64, len(byPair)),
+		TruePositiveRate:  make(map[int]float64, len(workers)),
+		FalsePositiveRate: make(map[int]float64, len(workers)),
+		Prior:             0.5,
+	}
+	if len(byPair) == 0 {
+		return m
+	}
+	// Init: majority fractions.
+	for p, vs := range byPair {
+		yes := 0
+		for _, v := range vs {
+			if v.Yes {
+				yes++
+			}
+		}
+		m.Posterior[p] = float64(yes) / float64(len(vs))
+	}
+
+	const (
+		smooth = 1.0 // Laplace smoothing pseudo-counts
+		floor  = 1e-6
+	)
+	for iter := 0; iter < maxIters; iter++ {
+		m.Iterations = iter + 1
+
+		// M-step: worker confusion rates and the prior from current
+		// posteriors.
+		yesDup := make(map[int]float64)
+		totDup := make(map[int]float64)
+		yesNon := make(map[int]float64)
+		totNon := make(map[int]float64)
+		priorSum := 0.0
+		for _, p := range pairOrder {
+			vs := byPair[p]
+			q := m.Posterior[p]
+			priorSum += q
+			for _, v := range vs {
+				totDup[v.Worker] += q
+				totNon[v.Worker] += 1 - q
+				if v.Yes {
+					yesDup[v.Worker] += q
+					yesNon[v.Worker] += 1 - q
+				}
+			}
+		}
+		m.Prior = clamp(priorSum/float64(len(byPair)), floor, 1-floor)
+		for w := range workers {
+			m.TruePositiveRate[w] = clamp((yesDup[w]+smooth)/(totDup[w]+2*smooth), floor, 1-floor)
+			m.FalsePositiveRate[w] = clamp((yesNon[w]+smooth)/(totNon[w]+2*smooth), floor, 1-floor)
+		}
+
+		// E-step: posteriors from the confusion rates, in log space.
+		maxDelta := 0.0
+		for _, p := range pairOrder {
+			vs := byPair[p]
+			logDup := math.Log(m.Prior)
+			logNon := math.Log(1 - m.Prior)
+			for _, v := range vs {
+				tpr := m.TruePositiveRate[v.Worker]
+				fpr := m.FalsePositiveRate[v.Worker]
+				if v.Yes {
+					logDup += math.Log(tpr)
+					logNon += math.Log(fpr)
+				} else {
+					logDup += math.Log(1 - tpr)
+					logNon += math.Log(1 - fpr)
+				}
+			}
+			// Normalize stably.
+			max := logDup
+			if logNon > max {
+				max = logNon
+			}
+			q := math.Exp(logDup-max) / (math.Exp(logDup-max) + math.Exp(logNon-max))
+			if d := math.Abs(q - m.Posterior[p]); d > maxDelta {
+				maxDelta = d
+			}
+			m.Posterior[p] = q
+		}
+		if maxDelta < 1e-6 {
+			break
+		}
+	}
+	return m
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ErrorRate measures the fraction of pairs whose thresholded decision
+// (score > 0.5) disagrees with ground truth, for any score map — used to
+// compare majority aggregation against the fitted posteriors.
+func ErrorRate(scores map[record.Pair]float64, truth func(record.Pair) bool) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	wrong := 0
+	for p, s := range scores {
+		if (s > 0.5) != truth(p) {
+			wrong++
+		}
+	}
+	return float64(wrong) / float64(len(scores))
+}

@@ -1,0 +1,166 @@
+package quality
+
+import (
+	"math/rand"
+	"testing"
+
+	"acd/internal/crowd"
+	"acd/internal/record"
+)
+
+// syntheticVotes builds votes from a known worker population: each pair
+// is answered by `perPair` distinct workers drawn at random (so reliable
+// and unreliable workers overlap on pairs — the mixing Dawid–Skene needs
+// for identifiability), each worker erring with its own fixed rate.
+func syntheticVotes(nPairs, nWorkers, perPair int, workerErr func(w int) float64, truth func(record.Pair) bool, seed int64) []crowd.Vote {
+	rng := rand.New(rand.NewSource(seed))
+	var votes []crowd.Vote
+	for i := 0; i < nPairs; i++ {
+		p := record.MakePair(record.ID(i), record.ID(i+nPairs))
+		assignees := rng.Perm(nWorkers)[:perPair]
+		for _, w := range assignees {
+			correct := rng.Float64() >= workerErr(w)
+			votes = append(votes, crowd.Vote{Worker: w, Pair: p, Yes: correct == truth(p)})
+		}
+	}
+	return votes
+}
+
+func TestEstimateRecoversWorkerQuality(t *testing.T) {
+	truth := func(p record.Pair) bool { return p.Lo%2 == 0 }
+	// Workers 0-4 reliable (5% error), workers 5-9 near-random (45%).
+	workerErr := func(w int) float64 {
+		if w < 5 {
+			return 0.05
+		}
+		return 0.45
+	}
+	votes := syntheticVotes(3000, 10, 5, workerErr, truth, 1)
+	m := Estimate(votes, 30)
+
+	for w := 0; w < 5; w++ {
+		for b := 5; b < 10; b++ {
+			if m.Accuracy(w) <= m.Accuracy(b) {
+				t.Errorf("reliable worker %d (%.3f) not above unreliable %d (%.3f)",
+					w, m.Accuracy(w), b, m.Accuracy(b))
+			}
+		}
+	}
+	if m.Accuracy(0) < 0.85 {
+		t.Errorf("reliable worker accuracy estimated at %.3f", m.Accuracy(0))
+	}
+}
+
+func TestPosteriorBeatsMajority(t *testing.T) {
+	truth := func(p record.Pair) bool { return p.Lo%3 == 0 }
+	// A mixed crowd where bad workers are numerous enough to flip
+	// majorities but identifiable from their cross-pair behaviour.
+	workerErr := func(w int) float64 {
+		if w%3 == 0 {
+			return 0.05
+		}
+		return 0.42
+	}
+	votes := syntheticVotes(5000, 30, 5, workerErr, truth, 2)
+	m := Estimate(votes, 30)
+
+	majority := crowd.MajorityScores(votes)
+	majErr := ErrorRate(majority, truth)
+	dsErr := ErrorRate(m.Posterior, truth)
+	if dsErr >= majErr {
+		t.Errorf("Dawid-Skene error %.4f not below majority %.4f", dsErr, majErr)
+	}
+}
+
+func TestEstimateDegenerateInputs(t *testing.T) {
+	m := Estimate(nil, 10)
+	if len(m.Posterior) != 0 {
+		t.Errorf("empty votes produced posteriors")
+	}
+	if m.Accuracy(42) != 0.5 {
+		t.Errorf("unknown worker accuracy = %v, want 0.5", m.Accuracy(42))
+	}
+	// Single unanimous vote set.
+	p := record.MakePair(0, 1)
+	votes := []crowd.Vote{
+		{Worker: 0, Pair: p, Yes: true},
+		{Worker: 1, Pair: p, Yes: true},
+		{Worker: 2, Pair: p, Yes: true},
+	}
+	m = Estimate(votes, 10)
+	if m.Posterior[p] < 0.5 {
+		t.Errorf("unanimous yes posterior = %v", m.Posterior[p])
+	}
+}
+
+func TestPosteriorsBounded(t *testing.T) {
+	truth := func(p record.Pair) bool { return p.Lo%2 == 0 }
+	votes := syntheticVotes(500, 7, 3, func(w int) float64 { return 0.3 }, truth, 3)
+	m := Estimate(votes, 25)
+	for p, q := range m.Posterior {
+		if q < 0 || q > 1 {
+			t.Fatalf("posterior %v for %v out of range", q, p)
+		}
+	}
+	if m.Prior <= 0 || m.Prior >= 1 {
+		t.Errorf("prior %v out of range", m.Prior)
+	}
+	if m.Iterations < 1 {
+		t.Errorf("no EM iterations recorded")
+	}
+}
+
+func TestEstimateDeterministic(t *testing.T) {
+	truth := func(p record.Pair) bool { return p.Lo%2 == 0 }
+	votes := syntheticVotes(300, 5, 3, func(w int) float64 { return 0.2 }, truth, 4)
+	a := Estimate(votes, 15)
+	b := Estimate(votes, 15)
+	for p := range a.Posterior {
+		if a.Posterior[p] != b.Posterior[p] {
+			t.Fatalf("posterior for %v differs across runs", p)
+		}
+	}
+}
+
+func TestErrorRate(t *testing.T) {
+	truth := func(p record.Pair) bool { return p.Lo == 0 }
+	scores := map[record.Pair]float64{
+		record.MakePair(0, 1): 0.9, // correct
+		record.MakePair(2, 3): 0.9, // wrong
+		record.MakePair(4, 5): 0.1, // correct
+		record.MakePair(6, 7): 0.5, // boundary counts as "no" -> correct
+	}
+	if got := ErrorRate(scores, truth); got != 0.25 {
+		t.Errorf("error rate = %v, want 0.25", got)
+	}
+	if ErrorRate(nil, truth) != 0 {
+		t.Errorf("empty scores error rate != 0")
+	}
+}
+
+// TestEndToEndWithPool wires the pool's raw votes through the estimator
+// and checks the posterior-based answers beat plain majority on a pool
+// with badly mixed worker quality.
+func TestEndToEndWithPool(t *testing.T) {
+	pool := crowd.NewPool(crowd.PoolConfig{
+		Size:                  60,
+		MeanError:             0.3,
+		ErrorSpread:           0.2,
+		QualificationPassRate: 1, // admit everyone: quality varies wildly
+		Seed:                  5,
+	})
+	var pairs []record.Pair
+	for i := 0; i < 4000; i++ {
+		pairs = append(pairs, record.MakePair(record.ID(i), record.ID(i+4000)))
+	}
+	truth := func(p record.Pair) bool { return p.Lo%2 == 0 }
+	votes := crowd.CollectVotes(pairs, truth, crowd.UniformDifficulty(0), pool, crowd.Qualification{}, crowd.FiveWorker(6))
+
+	majority := crowd.MajorityScores(votes)
+	m := Estimate(votes, 30)
+	majErr := ErrorRate(majority, truth)
+	dsErr := ErrorRate(m.Posterior, truth)
+	if dsErr >= majErr {
+		t.Errorf("pool votes: DS error %.4f not below majority %.4f", dsErr, majErr)
+	}
+}

@@ -1,0 +1,374 @@
+// Package refine implements the cluster refinement phase of ACD
+// (Section 5): split/merge operations with their benefits (Equations 5–6)
+// and crowdsourcing costs (Equations 7–8), the sequential Crowd-Refine
+// (Algorithm 4), and the batched PC-Refine (Algorithm 5) with its greedy
+// independent-operation packing (Equation 9, Lemma 5) and cost budget
+// T = N_m/x (Section 5.4).
+package refine
+
+import (
+	"fmt"
+	"sort"
+
+	"acd/internal/cluster"
+	"acd/internal/crowd"
+	"acd/internal/histogram"
+	"acd/internal/pruning"
+	"acd/internal/record"
+)
+
+// OpKind distinguishes the two basic operations of Section 5.1.
+type OpKind int
+
+const (
+	// SplitOp removes one record from its cluster into a fresh singleton.
+	SplitOp OpKind = iota
+	// MergeOp combines two clusters.
+	MergeOp
+)
+
+// Op is a candidate refinement operation over specific cluster indices of
+// the working clustering. Ops are only meaningful against the clustering
+// state they were enumerated from.
+type Op struct {
+	Kind   OpKind
+	Record record.ID // split only: the record to split out
+	A, B   int       // A: source/first cluster; B: merge partner
+}
+
+func (o Op) String() string {
+	if o.Kind == SplitOp {
+		return fmt.Sprintf("split(%d from C%d)", o.Record, o.A)
+	}
+	return fmt.Sprintf("merge(C%d, C%d)", o.A, o.B)
+}
+
+// clusters returns the cluster indices o touches, for the independence
+// test of Section 5.4.
+func (o Op) clusters() [2]int {
+	if o.Kind == SplitOp {
+		return [2]int{o.A, -1}
+	}
+	return [2]int{o.A, o.B}
+}
+
+// Independent reports whether two operations adjust completely different
+// clusters and can therefore be applied simultaneously without side
+// effects (Section 5.4).
+func Independent(a, b Op) bool {
+	ca, cb := a.clusters(), b.clusters()
+	for _, x := range ca {
+		if x == -1 {
+			continue
+		}
+		for _, y := range cb {
+			if y != -1 && x == y {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// scoredOp is an enumerated operation with its estimated benefit b*(o),
+// crowdsourcing cost c(o), and the candidate pairs that would need to be
+// crowdsourced to compute the exact benefit.
+type scoredOp struct {
+	op      Op
+	bStar   float64       // estimated benefit (exact when cost == 0)
+	cost    int           // c(o) of Equations 7–8
+	unknown []record.Pair // the cost pairs themselves
+}
+
+// ratio returns the benefit-cost ratio b*(o)/c(o); only meaningful for
+// cost > 0 (zero-cost ops are handled through the known-benefit set O⁺).
+func (s scoredOp) ratio() float64 { return s.bStar / float64(s.cost) }
+
+// EstimatorMode selects how the refinement phase estimates the crowd
+// score of a candidate pair that has not been crowdsourced yet.
+type EstimatorMode int
+
+const (
+	// HistogramEstimator is the paper's method (Section 5.2): an
+	// equi-depth histogram maps machine scores to the average crowd
+	// score observed in the same bucket.
+	HistogramEstimator EstimatorMode = iota
+	// IdentityEstimator uses the machine score directly as the crowd
+	// score estimate — the "straightforward solution" of [46, 47] that
+	// Section 5.2 improves upon. Available for ablations.
+	IdentityEstimator
+)
+
+// state carries the refinement phase's working data: the clustering under
+// adjustment, the candidate set with machine scores, the crowd session
+// (whose known-pair set is the paper's A), and the histogram estimator.
+//
+// Operation scores are cached and invalidated incrementally: a cached
+// score stays valid while (a) every cluster the operation touches is
+// unchanged (per-cluster version counters bumped by apply) and (b) no
+// new crowd answers have arrived (answers change both the known set and
+// the histogram, shifting every estimate). The cache makes the
+// known-positive drain loop — which re-ranks all operations after every
+// free apply — nearly linear instead of quadratic in practice.
+type state struct {
+	c     *cluster.Clustering
+	cands *pruning.Candidates
+	sess  *crowd.Session
+	hist  *histogram.Histogram
+	mode  EstimatorMode
+
+	version map[int]int        // cluster index -> mutation counter
+	cache   map[opKey]cachedOp // scored-op memo
+}
+
+// opKey identifies an operation independent of its score.
+type opKey struct {
+	kind   OpKind
+	record record.ID
+	a, b   int
+}
+
+type cachedOp struct {
+	s         scoredOp
+	verA      int
+	verB      int
+	answersAt int // sess.KnownCount() when scored
+}
+
+func keyOf(o Op) opKey {
+	return opKey{kind: o.Kind, record: o.Record, a: o.A, b: o.B}
+}
+
+func newState(c *cluster.Clustering, cands *pruning.Candidates, sess *crowd.Session) *state {
+	st := &state{
+		c:       c,
+		cands:   cands,
+		sess:    sess,
+		version: make(map[int]int),
+		cache:   make(map[opKey]cachedOp),
+	}
+	st.rebuildHistogram()
+	return st
+}
+
+// cachedScore returns a still-valid cached score for an op, if any.
+func (st *state) cachedScore(o Op) (scoredOp, bool) {
+	e, ok := st.cache[keyOf(o)]
+	if !ok || e.answersAt != st.sess.KnownCount() {
+		return scoredOp{}, false
+	}
+	if e.verA != st.version[o.A] {
+		return scoredOp{}, false
+	}
+	if o.Kind == MergeOp && e.verB != st.version[o.B] {
+		return scoredOp{}, false
+	}
+	return e.s, true
+}
+
+func (st *state) storeScore(s scoredOp) {
+	o := s.op
+	e := cachedOp{s: s, verA: st.version[o.A], answersAt: st.sess.KnownCount()}
+	if o.Kind == MergeOp {
+		e.verB = st.version[o.B]
+	}
+	st.cache[keyOf(o)] = e
+}
+
+// rebuildHistogram reconstructs the equi-depth estimator from every pair
+// the session has crowdsourced so far (Section 5.2; also Lines 15-16 of
+// Algorithm 4 and 21-22 of Algorithm 5).
+func (st *state) rebuildHistogram() {
+	known := st.sess.KnownPairs()
+	samples := make([]histogram.Sample, 0, len(known))
+	for p, fc := range known {
+		samples = append(samples, histogram.Sample{Machine: st.cands.Score(p), Crowd: fc})
+	}
+	st.hist = histogram.Build(samples, histogram.DefaultBuckets)
+}
+
+// estimate returns the best available f_c estimate for a pair: the exact
+// crowd score when the pair is in A, the histogram mapping of its machine
+// score when it is an uncrowdsourced candidate, and exactly 0 when the
+// pair was eliminated by pruning (Section 3 fixes f_c = 0 for pruned
+// pairs; they are never crowdsourced).
+func (st *state) estimate(p record.Pair) (fc float64, exact bool) {
+	if fc, ok := st.sess.Known(p); ok {
+		return fc, true
+	}
+	if !st.cands.Contains(p) {
+		return 0, true
+	}
+	if st.mode == IdentityEstimator {
+		return st.cands.Score(p), false
+	}
+	return st.hist.Estimate(st.cands.Score(p)), false
+}
+
+// scoreSplit evaluates the split of r from cluster a (Equations 5 and 7).
+func (st *state) scoreSplit(r record.ID, a int) scoredOp {
+	s := scoredOp{op: Op{Kind: SplitOp, Record: r, A: a}}
+	for _, other := range st.c.Members(a) {
+		if other == r {
+			continue
+		}
+		p := record.MakePair(r, other)
+		fc, exact := st.estimate(p)
+		s.bStar += 1 - 2*fc
+		if !exact {
+			s.cost++
+			s.unknown = append(s.unknown, p)
+		}
+	}
+	return s
+}
+
+// scoreMerge evaluates the merger of clusters a and b (Equations 6 and 8).
+func (st *state) scoreMerge(a, b int) scoredOp {
+	s := scoredOp{op: Op{Kind: MergeOp, A: a, B: b}}
+	for _, r1 := range st.c.Members(a) {
+		for _, r2 := range st.c.Members(b) {
+			p := record.MakePair(r1, r2)
+			fc, exact := st.estimate(p)
+			s.bStar += 2*fc - 1
+			if !exact {
+				s.cost++
+				s.unknown = append(s.unknown, p)
+			}
+		}
+	}
+	return s
+}
+
+// exactBenefit recomputes an operation's benefit assuming all of its
+// pairs are now known (called after crowdsourcing the unknown ones).
+func (st *state) exactBenefit(o Op) float64 {
+	var s scoredOp
+	switch o.Kind {
+	case SplitOp:
+		s = st.scoreSplit(o.Record, o.A)
+	case MergeOp:
+		s = st.scoreMerge(o.A, o.B)
+	}
+	if s.cost != 0 {
+		panic(fmt.Sprintf("refine: exactBenefit(%v) still has %d unknown pairs", o, s.cost))
+	}
+	return s.bStar
+}
+
+// apply performs the operation on the working clustering and bumps the
+// version counters of every touched cluster (including the fresh
+// singleton a split creates).
+func (st *state) apply(o Op) {
+	switch o.Kind {
+	case SplitOp:
+		idx := st.c.Split(o.Record)
+		st.version[o.A]++
+		st.version[idx]++
+	case MergeOp:
+		st.c.Merge(o.A, o.B)
+		st.version[o.A]++
+		st.version[o.B]++
+	}
+}
+
+// enumerate returns every operation of interest on the current
+// clustering: a split for every record in a non-singleton cluster, and a
+// merge for every pair of clusters connected by at least one candidate
+// pair. Cluster pairs with no candidate edge are omitted as an exact
+// optimization: every one of their cross pairs has f_c = 0 (pruned), so
+// their merge benefit is at most -1 per cross pair and can never be
+// selected by benefit or ratio.
+func (st *state) enumerate() []scoredOp {
+	var ops []scoredOp
+	score := func(o Op) scoredOp {
+		if s, ok := st.cachedScore(o); ok {
+			return s
+		}
+		var s scoredOp
+		if o.Kind == SplitOp {
+			s = st.scoreSplit(o.Record, o.A)
+		} else {
+			s = st.scoreMerge(o.A, o.B)
+		}
+		st.storeScore(s)
+		return s
+	}
+	for _, idx := range st.c.ClusterIndices() {
+		if st.c.Size(idx) < 2 {
+			continue
+		}
+		for _, r := range st.c.Members(idx) {
+			ops = append(ops, score(Op{Kind: SplitOp, Record: r, A: idx}))
+		}
+	}
+	seen := make(map[[2]int]struct{})
+	for _, sp := range st.cands.Pairs {
+		a := st.c.Assignment(sp.Pair.Lo)
+		b := st.c.Assignment(sp.Pair.Hi)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := [2]int{a, b}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		ops = append(ops, score(Op{Kind: MergeOp, A: a, B: b}))
+	}
+	return ops
+}
+
+// applyKnownPositive drains the set O⁺: while there is an operation whose
+// benefit is exactly known and positive, apply the best one (Lines 4-7 of
+// Algorithms 4 and 5). This step needs no crowd at all. Termination is
+// guaranteed because each applied operation decreases Λ′(R) by its exact
+// benefit, which is a positive multiple of 1/workers.
+func (st *state) applyKnownPositive() {
+	for {
+		best := scoredOp{bStar: 0}
+		found := false
+		for _, s := range st.enumerate() {
+			if s.cost == 0 && s.bStar > 0 && (!found || s.bStar > best.bStar) {
+				best = s
+				found = true
+			}
+		}
+		if !found {
+			return
+		}
+		st.apply(best.op)
+	}
+}
+
+// sortByRatio orders positive-ratio, positive-cost ops by descending
+// benefit-cost ratio with deterministic tie-breaking.
+func sortByRatio(ops []scoredOp) []scoredOp {
+	var out []scoredOp
+	for _, s := range ops {
+		if s.cost > 0 && s.ratio() > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := out[i].ratio(), out[j].ratio()
+		if ri != rj {
+			return ri > rj
+		}
+		oi, oj := out[i].op, out[j].op
+		if oi.Kind != oj.Kind {
+			return oi.Kind < oj.Kind
+		}
+		if oi.A != oj.A {
+			return oi.A < oj.A
+		}
+		if oi.B != oj.B {
+			return oi.B < oj.B
+		}
+		return oi.Record < oj.Record
+	})
+	return out
+}

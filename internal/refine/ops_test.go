@@ -1,0 +1,257 @@
+package refine
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"acd/internal/cluster"
+	"acd/internal/record"
+)
+
+func TestEnumerateCompleteness(t *testing.T) {
+	// Clusters {0,1}, {2,3}, {4}; candidates: (0,1) within, (1,2) and
+	// (3,4) across, (0,4) across.
+	scores := map[record.Pair]float64{
+		record.MakePair(0, 1): 0.9,
+		record.MakePair(1, 2): 0.6,
+		record.MakePair(3, 4): 0.7,
+		record.MakePair(0, 4): 0.5,
+	}
+	cands, sess := instance(5, scores)
+	c := cluster.MustFromSets(5, [][]record.ID{{0, 1}, {2, 3}, {4}})
+	st := newState(c, cands, sess)
+	ops := st.enumerate()
+
+	var splits, merges []Op
+	for _, s := range ops {
+		if s.op.Kind == SplitOp {
+			splits = append(splits, s.op)
+		} else {
+			merges = append(merges, s.op)
+		}
+	}
+	// Splits: one per record in a cluster of size ≥ 2 → records 0,1,2,3.
+	if len(splits) != 4 {
+		t.Errorf("%d split ops, want 4: %v", len(splits), splits)
+	}
+	// Merges: cluster pairs connected by candidate edges: {0,1}×{2,3}
+	// via (1,2); {2,3}×{4} via (3,4); {0,1}×{4} via (0,4) → 3 merges.
+	if len(merges) != 3 {
+		t.Errorf("%d merge ops, want 3: %v", len(merges), merges)
+	}
+	// No duplicate merge for multiple edges between the same clusters.
+	seen := map[[2]int]bool{}
+	for _, m := range merges {
+		key := [2]int{m.A, m.B}
+		if seen[key] {
+			t.Errorf("duplicate merge op %v", m)
+		}
+		seen[key] = true
+	}
+}
+
+func TestSortByRatioOrderingAndFilter(t *testing.T) {
+	ops := []scoredOp{
+		{op: Op{Kind: SplitOp, Record: 1, A: 0}, bStar: 1.0, cost: 2},  // ratio 0.5
+		{op: Op{Kind: MergeOp, A: 1, B: 2}, bStar: 3.0, cost: 2},       // ratio 1.5
+		{op: Op{Kind: SplitOp, Record: 2, A: 3}, bStar: -1.0, cost: 1}, // negative: filtered
+		{op: Op{Kind: MergeOp, A: 4, B: 5}, bStar: 2.0, cost: 0},       // zero-cost: filtered
+		{op: Op{Kind: SplitOp, Record: 3, A: 6}, bStar: 0.5, cost: 1},  // ratio 0.5 (tie)
+	}
+	ranked := sortByRatio(ops)
+	if len(ranked) != 3 {
+		t.Fatalf("ranked %d ops, want 3", len(ranked))
+	}
+	if ranked[0].op.Kind != MergeOp || ranked[0].op.A != 1 {
+		t.Errorf("best op = %v, want merge(C1,C2)", ranked[0].op)
+	}
+	// Tie at ratio 0.5 broken deterministically: SplitOp (kind 0) before
+	// MergeOp, then by cluster index.
+	if ranked[1].op.Kind != SplitOp || ranked[2].op.Kind != SplitOp {
+		t.Errorf("tie-break wrong: %v, %v", ranked[1].op, ranked[2].op)
+	}
+	if ranked[1].op.A > ranked[2].op.A {
+		t.Errorf("tie-break by cluster index wrong")
+	}
+	// Determinism.
+	again := sortByRatio(ops)
+	if !reflect.DeepEqual(opsOf(ranked), opsOf(again)) {
+		t.Errorf("sortByRatio not deterministic")
+	}
+}
+
+func opsOf(s []scoredOp) []Op {
+	out := make([]Op, len(s))
+	for i, x := range s {
+		out[i] = x.op
+	}
+	return out
+}
+
+func TestExactBenefitPanicsOnUnknown(t *testing.T) {
+	scores := map[record.Pair]float64{record.MakePair(0, 1): 0.9}
+	cands, sess := instance(2, scores)
+	c := cluster.MustFromSets(2, [][]record.ID{{0, 1}})
+	st := newState(c, cands, sess)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("exactBenefit with unknown pairs should panic")
+		}
+	}()
+	st.exactBenefit(Op{Kind: SplitOp, Record: 0, A: 0})
+}
+
+func TestEstimateModes(t *testing.T) {
+	scores := map[record.Pair]float64{
+		record.MakePair(0, 1): 0.9, // known below
+		record.MakePair(0, 2): 0.4, // unknown candidate
+	}
+	cands, sess := instance(3, scores)
+	sess.Ask([]record.Pair{record.MakePair(0, 1)})
+	c := cluster.MustFromSets(3, [][]record.ID{{0, 1, 2}})
+
+	st := newState(c, cands, sess)
+	// Known pair: exact.
+	if fc, exact := st.estimate(record.MakePair(0, 1)); !exact || fc != 0.9 {
+		t.Errorf("known pair estimate = %v/%v", fc, exact)
+	}
+	// Pruned pair: exactly 0.
+	if fc, exact := st.estimate(record.MakePair(1, 2)); !exact || fc != 0 {
+		t.Errorf("pruned pair estimate = %v/%v", fc, exact)
+	}
+	// Unknown candidate, histogram mode: single-sample histogram maps
+	// everything to 0.9.
+	if fc, exact := st.estimate(record.MakePair(0, 2)); exact || fc != 0.9 {
+		t.Errorf("histogram estimate = %v/%v, want 0.9/false", fc, exact)
+	}
+	// Identity mode uses the machine score directly.
+	st.mode = IdentityEstimator
+	if fc, _ := st.estimate(record.MakePair(0, 2)); fc != 0.4 {
+		t.Errorf("identity estimate = %v, want machine score 0.4", fc)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	s := Op{Kind: SplitOp, Record: 7, A: 2}.String()
+	m := Op{Kind: MergeOp, A: 1, B: 3}.String()
+	if s != "split(7 from C2)" || m != "merge(C1, C3)" {
+		t.Errorf("op strings: %q, %q", s, m)
+	}
+}
+
+// TestCacheMatchesFreshEnumeration: after arbitrary interleavings of
+// applies and crowd answers, the cached enumeration must equal what a
+// fresh (cache-less) state computes.
+func TestCacheMatchesFreshEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, scores, start := randomRefineInstance(rng)
+		cands, sess := instance(n, scores)
+		st := newState(start, cands, sess)
+
+		for step := 0; step < 8; step++ {
+			switch rng.Intn(3) {
+			case 0: // apply a random enumerated op
+				ops := st.enumerate()
+				if len(ops) > 0 {
+					st.apply(ops[rng.Intn(len(ops))].op)
+				}
+			case 1: // crowdsource a random unknown candidate
+				var unknown []record.Pair
+				for _, sp := range cands.Pairs {
+					if _, ok := sess.Known(sp.Pair); !ok {
+						unknown = append(unknown, sp.Pair)
+					}
+				}
+				if len(unknown) > 0 {
+					sess.Ask(unknown[:1+rng.Intn(len(unknown))])
+					st.rebuildHistogram()
+				}
+			case 2: // just re-enumerate (warms the cache)
+				st.enumerate()
+			}
+
+			got := st.enumerate()
+			fresh := newState(st.c, cands, sess)
+			fresh.mode = st.mode
+			want := fresh.enumerate()
+			if len(got) != len(want) {
+				return false
+			}
+			byKey := map[opKey]scoredOp{}
+			for _, s := range want {
+				byKey[keyOf(s.op)] = s
+			}
+			for _, s := range got {
+				w, ok := byKey[keyOf(s.op)]
+				if !ok {
+					return false
+				}
+				if math.Abs(s.bStar-w.bStar) > 1e-9 || s.cost != w.cost {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCacheHitAfterUnrelatedApply: an op untouched by an apply keeps its
+// cached score (observable via the version counters).
+func TestCacheHitAfterUnrelatedApply(t *testing.T) {
+	scores := map[record.Pair]float64{
+		record.MakePair(0, 1): 0.9,
+		record.MakePair(2, 3): 0.8,
+		record.MakePair(0, 2): 0.4, // candidate, crowdsourced later
+	}
+	cands, sess := instance(4, scores)
+	sess.Ask([]record.Pair{record.MakePair(0, 1), record.MakePair(2, 3)})
+	c := cluster.MustFromSets(4, [][]record.ID{{0, 1}, {2, 3}})
+	st := newState(c, cands, sess)
+	st.enumerate() // warm
+
+	splitIn23 := Op{Kind: SplitOp, Record: 2, A: c.Assignment(2)}
+	if _, ok := st.cachedScore(splitIn23); !ok {
+		t.Fatalf("cache cold after enumerate")
+	}
+	// Splitting record 0 touches only cluster {0,1}.
+	st.apply(Op{Kind: SplitOp, Record: 0, A: c.Assignment(0)})
+	if _, ok := st.cachedScore(splitIn23); !ok {
+		t.Errorf("unrelated op invalidated")
+	}
+	if _, ok := st.cachedScore(Op{Kind: SplitOp, Record: 1, A: c.Assignment(1)}); ok {
+		t.Errorf("touched-cluster op not invalidated")
+	}
+	// New answers invalidate everything.
+	sess.Ask([]record.Pair{record.MakePair(0, 2)})
+	if _, ok := st.cachedScore(splitIn23); ok {
+		t.Errorf("new answers did not invalidate the cache")
+	}
+}
+
+// TestCrowdBOEMAsksFullCandidateSet: the Section 5.1 cost argument.
+func TestCrowdBOEMCost(t *testing.T) {
+	scores := map[record.Pair]float64{
+		record.MakePair(0, 1): 1.0,
+		record.MakePair(1, 2): 0.0,
+		record.MakePair(2, 3): 1.0,
+		record.MakePair(0, 3): 0.0,
+	}
+	cands, sess := instance(4, scores)
+	c := cluster.NewSingletons(4)
+	got := CrowdBOEM(c, cands, sess)
+	if sess.Stats().Pairs != len(cands.Pairs) {
+		t.Errorf("Crowd-BOEM asked %d pairs, want the full |S| = %d",
+			sess.Stats().Pairs, len(cands.Pairs))
+	}
+	want := cluster.MustFromSets(4, [][]record.ID{{0, 1}, {2, 3}})
+	if !cluster.Equal(got, want) {
+		t.Errorf("Crowd-BOEM clusters = %v", got.Sets())
+	}
+}

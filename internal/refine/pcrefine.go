@@ -1,0 +1,114 @@
+package refine
+
+import (
+	"acd/internal/cluster"
+	"acd/internal/crowd"
+	"acd/internal/pruning"
+)
+
+// DefaultX is the paper's choice for the refinement budget divisor
+// (Appendix C): T = N_m/8 "provides good clustering accuracy while using
+// only a small number of crowdsourced pairs and crowd iterations".
+const DefaultX = 8
+
+// PCRefine runs Algorithm 5, the batched cluster refinement. Like
+// CrowdRefine it drains known-positive operations for free; but instead
+// of crowdsourcing one operation at a time it packs a set O^i of mutually
+// independent operations — greedily by descending benefit-cost ratio,
+// stopping once the packed crowdsourcing cost reaches T — and resolves
+// all of their unknown pairs in a single crowd iteration. T is
+// recomputed before each batch as N_m/x with N_m = min(|R|²/(2|C|), N_u)
+// (Section 5.4), clamped below at 1 so a positive-ratio operation can
+// always make progress.
+//
+// The clustering c is refined in place and returned (compacted).
+func PCRefine(c *cluster.Clustering, cands *pruning.Candidates, sess *crowd.Session, x int) *cluster.Clustering {
+	return PCRefineMode(c, cands, sess, x, HistogramEstimator)
+}
+
+// PCRefineMode is PCRefine with an explicit estimator mode, used by the
+// histogram-vs-identity ablation.
+func PCRefineMode(c *cluster.Clustering, cands *pruning.Candidates, sess *crowd.Session, x int, mode EstimatorMode) *cluster.Clustering {
+	if x <= 0 {
+		x = DefaultX
+	}
+	st := newState(c, cands, sess)
+	st.mode = mode
+	for {
+		st.applyKnownPositive()
+
+		ranked := sortByRatio(st.enumerate())
+		if len(ranked) == 0 {
+			break
+		}
+		budget := threshold(st, x)
+
+		// Greedy independent packing (Lines 9-14).
+		var packed []scoredOp
+		totalCost := 0
+		for _, s := range ranked {
+			if totalCost >= budget {
+				break
+			}
+			indep := true
+			for _, q := range packed {
+				if !Independent(s.op, q.op) {
+					indep = false
+					break
+				}
+			}
+			if indep {
+				packed = append(packed, s)
+				totalCost += s.cost
+			}
+		}
+		if len(packed) == 0 {
+			break
+		}
+
+		// One batch resolves every packed operation's unknown pairs
+		// (Line 15).
+		sess.Ask(collectUnknown(packed))
+		st.rebuildHistogram()
+
+		applied := 0
+		for _, s := range packed {
+			if b := st.exactBenefit(s.op); b > 0 {
+				st.apply(s.op) // Lines 16-18
+				applied++
+			}
+		}
+		if applied == 0 {
+			break // Lines 19-20
+		}
+	}
+	c.Compact()
+	return c
+}
+
+// threshold computes T = N_m/x for the current state: N_m is the smaller
+// of |R|²/(2|C|) — the maximum pairs a full batch of merges could need —
+// and N_u, the candidate pairs not yet crowdsourced.
+func threshold(st *state, x int) int {
+	numClusters := st.c.NumClusters()
+	if numClusters == 0 {
+		return 1
+	}
+	n := st.c.Len()
+	maxPairs := n * n / (2 * numClusters)
+	nu := len(st.cands.Pairs) - knownCandidates(st)
+	nm := maxPairs
+	if nu < nm {
+		nm = nu
+	}
+	t := nm / x
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// knownCandidates counts candidate pairs already crowdsourced (|A|; every
+// session-known pair is a candidate because only candidates are ever
+// issued).
+func knownCandidates(st *state) int { return st.sess.KnownCount() }

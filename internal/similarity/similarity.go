@@ -1,0 +1,406 @@
+// Package similarity implements the machine-based similarity metrics used
+// by the pruning phase of ACD and by the baseline algorithms.
+//
+// The paper's experiments use token Jaccard with threshold τ = 0.3
+// (Section 6.1, "Pruning Phase Setting"); the other metrics here cover the
+// families cited in Section 2.1: character-based (Levenshtein [32],
+// Jaro-Winkler), token-based (Jaccard, cosine, overlap [12]), n-gram, and
+// phonetic (a Metaphone-style key [39]).
+//
+// All metric functions are symmetric and return scores in [0, 1], with 1
+// meaning identical under the metric's notion of equality.
+package similarity
+
+import (
+	"math"
+	"strings"
+
+	"acd/internal/record"
+)
+
+// Metric scores the similarity of two strings in [0, 1].
+type Metric func(a, b string) float64
+
+// Jaccard returns |tokens(a) ∩ tokens(b)| / |tokens(a) ∪ tokens(b)|.
+// Two empty token sets are considered identical (score 1).
+func Jaccard(a, b string) float64 {
+	sa := record.TokenSet(a)
+	sb := record.TokenSet(b)
+	return JaccardSets(sa, sb)
+}
+
+// JaccardSets computes Jaccard similarity over pre-tokenized sets. It is
+// the hot path used by the blocking package, which tokenizes once per
+// record instead of once per pair.
+func JaccardSets(sa, sb map[string]struct{}) float64 {
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	if len(sb) < len(sa) {
+		sa, sb = sb, sa
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	return float64(inter) / float64(union)
+}
+
+// JaccardSorted computes Jaccard similarity over two sorted, de-duplicated
+// token slices via a linear merge. Used with record.SortedTokens.
+func JaccardSorted(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// Overlap returns the overlap coefficient |A ∩ B| / min(|A|, |B|) over
+// token sets.
+func Overlap(a, b string) float64 {
+	sa := record.TokenSet(a)
+	sb := record.TokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	if len(sb) < len(sa) {
+		sa, sb = sb, sa
+	}
+	inter := 0
+	for t := range sa {
+		if _, ok := sb[t]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(sa))
+}
+
+// Cosine returns the cosine similarity of the token-frequency vectors of
+// a and b.
+func Cosine(a, b string) float64 {
+	fa := tokenFreq(a)
+	fb := tokenFreq(b)
+	if len(fa) == 0 && len(fb) == 0 {
+		return 1
+	}
+	if len(fa) == 0 || len(fb) == 0 {
+		return 0
+	}
+	var dot, na, nb float64
+	for t, ca := range fa {
+		na += float64(ca) * float64(ca)
+		if cb, ok := fb[t]; ok {
+			dot += float64(ca) * float64(cb)
+		}
+	}
+	for _, cb := range fb {
+		nb += float64(cb) * float64(cb)
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func tokenFreq(s string) map[string]int {
+	freq := make(map[string]int)
+	for _, t := range record.Tokens(s) {
+		freq[t]++
+	}
+	return freq
+}
+
+// Levenshtein returns a similarity derived from edit distance:
+// 1 − dist(a, b) / max(len(a), len(b)), computed over normalized forms.
+func Levenshtein(a, b string) float64 {
+	na, nb := record.Normalize(a), record.Normalize(b)
+	if na == "" && nb == "" {
+		return 1
+	}
+	d := EditDistance(na, nb)
+	m := len(na)
+	if len(nb) > m {
+		m = len(nb)
+	}
+	return 1 - float64(d)/float64(m)
+}
+
+// EditDistance returns the Levenshtein edit distance between a and b,
+// using a two-row dynamic program (O(min(|a|,|b|)) space).
+func EditDistance(a, b string) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard
+// prefix scale of 0.1 and a maximum common-prefix credit of 4 characters.
+func JaroWinkler(a, b string) float64 {
+	j := jaro(a, b)
+	if j == 0 {
+		return 0
+	}
+	prefix := 0
+	for prefix < len(a) && prefix < len(b) && prefix < 4 && a[prefix] == b[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+func jaro(a, b string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	window := len(a)
+	if len(b) > window {
+		window = len(b)
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, len(a))
+	matchB := make([]bool, len(b))
+	matches := 0
+	for i := 0; i < len(a); i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > len(b) {
+			hi = len(b)
+		}
+		for j := lo; j < hi; j++ {
+			if !matchB[j] && a[i] == b[j] {
+				matchA[i] = true
+				matchB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions between matched characters.
+	trans := 0
+	j := 0
+	for i := 0; i < len(a); i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if a[i] != b[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(len(a)) + m/float64(len(b)) + (m-float64(trans)/2)/m) / 3
+}
+
+// NGram returns the Jaccard similarity of the character n-gram multiset
+// boundaries of the normalized inputs, with n = 3 (trigrams). Strings
+// shorter than n are compared as whole tokens.
+func NGram(a, b string) float64 {
+	ga := trigrams(record.Normalize(a))
+	gb := trigrams(record.Normalize(b))
+	return JaccardSets(ga, gb)
+}
+
+func trigrams(s string) map[string]struct{} {
+	set := make(map[string]struct{})
+	if s == "" {
+		return set
+	}
+	if len(s) < 3 {
+		set[s] = struct{}{}
+		return set
+	}
+	for i := 0; i+3 <= len(s); i++ {
+		set[s[i:i+3]] = struct{}{}
+	}
+	return set
+}
+
+// Phonetic returns 1 if every token of a and b maps to the same sequence
+// of phonetic keys, and otherwise the Jaccard similarity of the two key
+// sets. The key function is a simplified Metaphone in the spirit of [39].
+func Phonetic(a, b string) float64 {
+	ka := phoneticKeySet(a)
+	kb := phoneticKeySet(b)
+	return JaccardSets(ka, kb)
+}
+
+func phoneticKeySet(s string) map[string]struct{} {
+	set := make(map[string]struct{})
+	for _, t := range record.Tokens(s) {
+		set[PhoneticKey(t)] = struct{}{}
+	}
+	return set
+}
+
+// PhoneticKey computes a simplified Metaphone-style key for a single
+// normalized token: it keeps the first letter, drops vowels elsewhere,
+// collapses doubled letters, and applies a handful of classic consonant
+// foldings (ph→f, ck→k, c→k, q→k, x→ks, z→s, gh→"").
+func PhoneticKey(token string) string {
+	t := strings.ToLower(token)
+	// Digraph foldings first.
+	t = strings.ReplaceAll(t, "ph", "f")
+	t = strings.ReplaceAll(t, "gh", "")
+	t = strings.ReplaceAll(t, "ck", "k")
+	var b strings.Builder
+	var last byte
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch c {
+		case 'c', 'q':
+			c = 'k'
+		case 'z':
+			c = 's'
+		case 'x':
+			if last != 'k' {
+				b.WriteByte('k')
+			}
+			c = 's'
+		}
+		isVowel := c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u'
+		if isVowel && i > 0 {
+			continue
+		}
+		if c == last {
+			continue
+		}
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' {
+			b.WriteByte(c)
+			last = c
+		}
+	}
+	return b.String()
+}
+
+// Combined returns a weighted blend of token Jaccard and character
+// Levenshtein similarity. It is a reasonable general-purpose default for
+// the f function on mixed text fields.
+func Combined(a, b string) float64 {
+	return 0.7*Jaccard(a, b) + 0.3*Levenshtein(a, b)
+}
+
+// MongeElkan computes the (symmetrized) Monge-Elkan similarity: each
+// token of one string is matched to its best Jaro-Winkler counterpart in
+// the other, and the per-token bests are averaged. Symmetrization takes
+// the mean of both directions so the metric satisfies
+// MongeElkan(a,b) == MongeElkan(b,a). It tolerates token-level typos
+// that exact-token metrics (Jaccard) punish fully.
+func MongeElkan(a, b string) float64 {
+	ta := record.Tokens(a)
+	tb := record.Tokens(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	return (mongeElkanDirected(ta, tb) + mongeElkanDirected(tb, ta)) / 2
+}
+
+func mongeElkanDirected(from, to []string) float64 {
+	sum := 0.0
+	for _, x := range from {
+		best := 0.0
+		for _, y := range to {
+			if s := JaroWinkler(x, y); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(from))
+}
+
+// ByName resolves a metric by name ("jaccard", "levenshtein",
+// "jaro-winkler", "cosine", "ngram", "overlap", "phonetic", "combined").
+// It returns nil for unknown names.
+func ByName(name string) Metric {
+	switch strings.ToLower(name) {
+	case "jaccard":
+		return Jaccard
+	case "levenshtein":
+		return Levenshtein
+	case "jaro-winkler", "jarowinkler":
+		return JaroWinkler
+	case "cosine":
+		return Cosine
+	case "ngram", "trigram":
+		return NGram
+	case "overlap":
+		return Overlap
+	case "phonetic":
+		return Phonetic
+	case "combined":
+		return Combined
+	case "monge-elkan", "mongeelkan":
+		return MongeElkan
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,259 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"", "", 1},
+		{"a", "", 0},
+		{"a b c", "a b c", 1},
+		{"a b", "b c", 1.0 / 3},
+		{"a b c d", "c d e f", 2.0 / 6},
+		{"Hello World", "hello, WORLD!", 1},
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); !close(got, c.want) {
+			t.Errorf("Jaccard(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaccardSortedMatchesSets(t *testing.T) {
+	pairs := [][2]string{
+		{"a b c", "b c d"},
+		{"", "x"},
+		{"", ""},
+		{"the quick brown fox", "the slow brown dog"},
+		{"x y z", "p q r"},
+	}
+	for _, p := range pairs {
+		want := Jaccard(p[0], p[1])
+		got := JaccardSorted(sorted(p[0]), sorted(p[1]))
+		if !close(got, want) {
+			t.Errorf("JaccardSorted(%q,%q) = %v, want %v", p[0], p[1], got, want)
+		}
+	}
+}
+
+func sorted(s string) []string {
+	// Reuse record.SortedTokens indirectly via Jaccard's contract: tokens
+	// are normalized. Inline here to keep the test independent.
+	set := map[string]struct{}{}
+	cur := ""
+	flush := func() {
+		if cur != "" {
+			set[cur] = struct{}{}
+			cur = ""
+		}
+	}
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+			cur += string(c)
+		case c >= 'A' && c <= 'Z':
+			cur += string(c - 'A' + 'a')
+		default:
+			flush()
+		}
+	}
+	flush()
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	// insertion sort; tiny inputs
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"abc", "abc", 0},
+		{"chevrolet", "chevy", 5},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSimilarity(t *testing.T) {
+	if got := Levenshtein("abcd", "abce"); !close(got, 0.75) {
+		t.Errorf("Levenshtein(abcd,abce) = %v, want 0.75", got)
+	}
+	if got := Levenshtein("", ""); got != 1 {
+		t.Errorf("Levenshtein empty = %v, want 1", got)
+	}
+	if got := Levenshtein("abc", "xyz"); got != 0 {
+		t.Errorf("Levenshtein disjoint = %v, want 0", got)
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	// Classic textbook values.
+	if got := JaroWinkler("MARTHA", "MARHTA"); math.Abs(got-0.9611) > 1e-3 {
+		t.Errorf("JaroWinkler(MARTHA,MARHTA) = %v, want ~0.9611", got)
+	}
+	if got := JaroWinkler("DWAYNE", "DUANE"); math.Abs(got-0.84) > 1e-2 {
+		t.Errorf("JaroWinkler(DWAYNE,DUANE) = %v, want ~0.84", got)
+	}
+	if got := JaroWinkler("", ""); got != 1 {
+		t.Errorf("JaroWinkler empty = %v, want 1", got)
+	}
+	if got := JaroWinkler("abc", ""); got != 0 {
+		t.Errorf("JaroWinkler one-empty = %v, want 0", got)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine("a a b", "a a b"); !close(got, 1) {
+		t.Errorf("Cosine identical = %v, want 1", got)
+	}
+	if got := Cosine("a", "b"); got != 0 {
+		t.Errorf("Cosine disjoint = %v, want 0", got)
+	}
+	// freq vectors (2,1) vs (1,2) for tokens a,b: cos = 4/5.
+	if got := Cosine("a a b", "a b b"); !close(got, 0.8) {
+		t.Errorf("Cosine = %v, want 0.8", got)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	if got := Overlap("a b", "a b c d"); !close(got, 1) {
+		t.Errorf("Overlap subset = %v, want 1", got)
+	}
+	if got := Overlap("a x", "a b c d"); !close(got, 0.5) {
+		t.Errorf("Overlap = %v, want 0.5", got)
+	}
+}
+
+func TestNGram(t *testing.T) {
+	if got := NGram("night", "night"); !close(got, 1) {
+		t.Errorf("NGram identical = %v, want 1", got)
+	}
+	if NGram("night", "nacht") >= 1 {
+		t.Errorf("NGram different words should be < 1")
+	}
+	if got := NGram("ab", "ab"); !close(got, 1) {
+		t.Errorf("NGram short identical = %v, want 1", got)
+	}
+}
+
+func TestPhoneticKey(t *testing.T) {
+	if PhoneticKey("philip") != PhoneticKey("filip") {
+		t.Errorf("ph/f should share a key: %q vs %q", PhoneticKey("philip"), PhoneticKey("filip"))
+	}
+	if PhoneticKey("cat") != PhoneticKey("kat") {
+		t.Errorf("c/k should share a key")
+	}
+	if PhoneticKey("smith") == PhoneticKey("jones") {
+		t.Errorf("distinct names should not collide")
+	}
+}
+
+func TestPhonetic(t *testing.T) {
+	if got := Phonetic("philip morris", "filip morris"); !close(got, 1) {
+		t.Errorf("Phonetic = %v, want 1", got)
+	}
+}
+
+func TestMongeElkan(t *testing.T) {
+	if got := MongeElkan("john smith", "john smith"); !close(got, 1) {
+		t.Errorf("identical = %v", got)
+	}
+	if got := MongeElkan("", ""); got != 1 {
+		t.Errorf("empty = %v", got)
+	}
+	if got := MongeElkan("a", ""); got != 0 {
+		t.Errorf("one empty = %v", got)
+	}
+	// Token-level typos keep the score high where Jaccard collapses.
+	typod := MongeElkan("jonh smith", "john smith")
+	if typod < 0.9 {
+		t.Errorf("typo tolerance too low: %v", typod)
+	}
+	if j := Jaccard("jonh smith", "john smith"); typod <= j {
+		t.Errorf("MongeElkan (%v) should beat Jaccard (%v) on token typos", typod, j)
+	}
+	// Unrelated strings stay low.
+	if got := MongeElkan("alpha beta", "zzz qqq"); got > 0.6 {
+		t.Errorf("unrelated strings scored %v", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"jaccard", "levenshtein", "jaro-winkler", "cosine", "ngram", "overlap", "phonetic", "combined", "monge-elkan"} {
+		if ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Errorf("ByName(nope) should be nil")
+	}
+}
+
+// Property tests: every metric is symmetric, bounded in [0,1], and scores
+// a string against itself as 1.
+func TestMetricProperties(t *testing.T) {
+	metrics := map[string]Metric{
+		"jaccard":     Jaccard,
+		"levenshtein": Levenshtein,
+		"jarowinkler": JaroWinkler,
+		"cosine":      Cosine,
+		"ngram":       NGram,
+		"overlap":     Overlap,
+		"phonetic":    Phonetic,
+		"combined":    Combined,
+		"mongeelkan":  MongeElkan,
+	}
+	for name, m := range metrics {
+		m := m
+		sym := func(a, b string) bool {
+			x, y := m(a, b), m(b, a)
+			return close(x, y) && x >= 0 && x <= 1+1e-9
+		}
+		if err := quick.Check(sym, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s symmetry/bounds: %v", name, err)
+		}
+		self := func(a string) bool { return close(m(a, a), 1) }
+		if err := quick.Check(self, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s self-similarity: %v", name, err)
+		}
+	}
+}
+
+// Property: EditDistance satisfies the triangle inequality and symmetry.
+func TestEditDistanceProperties(t *testing.T) {
+	tri := func(a, b, c string) bool {
+		return EditDistance(a, c) <= EditDistance(a, b)+EditDistance(b, c)
+	}
+	if err := quick.Check(tri, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("triangle inequality: %v", err)
+	}
+	sym := func(a, b string) bool { return EditDistance(a, b) == EditDistance(b, a) }
+	if err := quick.Check(sym, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+}

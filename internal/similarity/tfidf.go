@@ -1,0 +1,71 @@
+package similarity
+
+import (
+	"math"
+
+	"acd/internal/record"
+)
+
+// Corpus holds document frequencies over a record collection and scores
+// pairs with IDF-weighted Jaccard: rare tokens (model numbers, street
+// names) count for more than ubiquitous ones ("the", "proceedings",
+// "st"). This is the token-based weighting of [12] adapted to the
+// pruning phase; build one with NewCorpus and use AsMetric anywhere a
+// Metric is expected.
+type Corpus struct {
+	df   map[string]int
+	docs int
+}
+
+// NewCorpus indexes the distinct-token document frequencies of records.
+func NewCorpus(records []record.Record) *Corpus {
+	c := &Corpus{df: make(map[string]int), docs: len(records)}
+	for _, r := range records {
+		for t := range record.TokenSet(r.Text()) {
+			c.df[t]++
+		}
+	}
+	return c
+}
+
+// IDF returns the inverse document frequency of a token:
+// log(1 + n/df). Unseen tokens get the maximum weight (df = 1).
+func (c *Corpus) IDF(token string) float64 {
+	df := c.df[token]
+	if df < 1 {
+		df = 1
+	}
+	return math.Log(1 + float64(c.docs)/float64(df))
+}
+
+// WeightedJaccard scores two strings as Σ_{t∈A∩B} idf(t) / Σ_{t∈A∪B} idf(t).
+// Two empty token sets score 1.
+func (c *Corpus) WeightedJaccard(a, b string) float64 {
+	sa := record.TokenSet(a)
+	sb := record.TokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	var inter, union float64
+	for t := range sa {
+		w := c.IDF(t)
+		union += w
+		if _, ok := sb[t]; ok {
+			inter += w
+		}
+	}
+	for t := range sb {
+		if _, ok := sa[t]; !ok {
+			union += c.IDF(t)
+		}
+	}
+	return inter / union
+}
+
+// AsMetric adapts the corpus scorer to the Metric function type.
+func (c *Corpus) AsMetric() Metric {
+	return c.WeightedJaccard
+}

@@ -1,0 +1,88 @@
+package similarity
+
+import (
+	"testing"
+	"testing/quick"
+
+	"acd/internal/record"
+)
+
+func corpusOf(texts ...string) *Corpus {
+	recs := make([]record.Record, len(texts))
+	for i, s := range texts {
+		recs[i] = record.New(record.ID(i), map[string]string{"t": s})
+	}
+	return NewCorpus(recs)
+}
+
+func TestIDFOrdering(t *testing.T) {
+	c := corpusOf(
+		"the quick fox",
+		"the lazy dog",
+		"the hungry kdl40v2500",
+	)
+	if c.IDF("the") >= c.IDF("fox") {
+		t.Errorf("ubiquitous token should weigh less: the=%v fox=%v", c.IDF("the"), c.IDF("fox"))
+	}
+	if c.IDF("unseen") < c.IDF("fox") {
+		t.Errorf("unseen tokens should get maximum weight")
+	}
+}
+
+func TestWeightedJaccardDownweightsStopwords(t *testing.T) {
+	// Corpus where "proceedings of conference" appear everywhere.
+	var texts []string
+	for i := 0; i < 50; i++ {
+		texts = append(texts, "proceedings of conference paper"+string(rune('a'+i%26)))
+	}
+	texts = append(texts, "proceedings of conference neural networks")
+	texts = append(texts, "proceedings of conference genetic algorithms")
+	c := corpusOf(texts...)
+
+	// The two specific papers share only boilerplate; unweighted Jaccard
+	// sees 3/7 ≈ 0.43, but IDF weighting must push it down hard.
+	a := "proceedings of conference neural networks"
+	b := "proceedings of conference genetic algorithms"
+	plain := Jaccard(a, b)
+	weighted := c.WeightedJaccard(a, b)
+	if weighted >= plain/2 {
+		t.Errorf("weighted %v not well below plain %v", weighted, plain)
+	}
+
+	// Conversely, sharing a rare token keeps the weighted score high.
+	x := "proceedings of conference neural networks"
+	y := "neural networks survey"
+	if c.WeightedJaccard(x, y) <= Jaccard(x, y) {
+		t.Errorf("rare-token overlap should score higher weighted: %v vs %v",
+			c.WeightedJaccard(x, y), Jaccard(x, y))
+	}
+}
+
+func TestWeightedJaccardEdges(t *testing.T) {
+	c := corpusOf("a b", "c d")
+	if got := c.WeightedJaccard("", ""); got != 1 {
+		t.Errorf("empty-empty = %v", got)
+	}
+	if got := c.WeightedJaccard("a", ""); got != 0 {
+		t.Errorf("empty-one = %v", got)
+	}
+	if got := c.WeightedJaccard("a b", "a b"); got != 1 {
+		t.Errorf("identical = %v", got)
+	}
+}
+
+func TestWeightedJaccardMetricProperties(t *testing.T) {
+	c := corpusOf("alpha beta gamma", "beta gamma delta", "epsilon zeta")
+	m := c.AsMetric()
+	sym := func(a, b string) bool {
+		x, y := m(a, b), m(b, a)
+		return close(x, y) && x >= 0 && x <= 1+1e-9
+	}
+	if err := quick.Check(sym, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("symmetry/bounds: %v", err)
+	}
+	self := func(a string) bool { return close(m(a, a), 1) }
+	if err := quick.Check(self, &quick.Config{MaxCount: 200}); err != nil {
+		t.Errorf("self-similarity: %v", err)
+	}
+}

@@ -1,0 +1,94 @@
+// Package unionfind provides a disjoint-set forest with union by rank and
+// path compression. It backs the transitive-closure bookkeeping in the
+// TransM and TransNode baselines and connected-component extraction in the
+// machine clustering package.
+package unionfind
+
+// UF is a disjoint-set forest over the dense universe 0..n-1.
+type UF struct {
+	parent []int
+	rank   []byte
+	count  int
+}
+
+// New returns a forest of n singleton sets.
+func New(n int) *UF {
+	uf := &UF{
+		parent: make([]int, n),
+		rank:   make([]byte, n),
+		count:  n,
+	}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+// Len returns the size of the universe.
+func (u *UF) Len() int { return len(u.parent) }
+
+// Count returns the current number of disjoint sets.
+func (u *UF) Count() int { return u.count }
+
+// Find returns the canonical representative of x's set.
+func (u *UF) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y. It reports whether a merge
+// happened (false when they were already in the same set).
+func (u *UF) Union(x, y int) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.count--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (u *UF) Same(x, y int) bool { return u.Find(x) == u.Find(y) }
+
+// Clone returns an independent copy of the forest.
+func (u *UF) Clone() *UF {
+	return &UF{
+		parent: append([]int(nil), u.parent...),
+		rank:   append([]byte(nil), u.rank...),
+		count:  u.count,
+	}
+}
+
+// Sets returns the current partition as a slice of member slices. Members
+// within each set and sets themselves are ordered by smallest element, so
+// the output is deterministic.
+func (u *UF) Sets() [][]int {
+	groups := make(map[int][]int)
+	order := make([]int, 0)
+	for i := range u.parent {
+		r := u.Find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], i)
+	}
+	// Order sets by their smallest member; members are already ascending
+	// because we iterate i in increasing order.
+	out := make([][]int, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	// groups[r][0] is the smallest member of each set; order was appended
+	// in first-seen order which is already by smallest member.
+	return out
+}

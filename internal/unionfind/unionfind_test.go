@@ -1,0 +1,121 @@
+package unionfind
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasic(t *testing.T) {
+	uf := New(5)
+	if uf.Count() != 5 || uf.Len() != 5 {
+		t.Fatalf("fresh forest: count=%d len=%d", uf.Count(), uf.Len())
+	}
+	if !uf.Union(0, 1) {
+		t.Errorf("first union should merge")
+	}
+	if uf.Union(1, 0) {
+		t.Errorf("repeated union should not merge")
+	}
+	if !uf.Same(0, 1) || uf.Same(0, 2) {
+		t.Errorf("Same wrong after union")
+	}
+	uf.Union(2, 3)
+	uf.Union(0, 3)
+	if uf.Count() != 2 {
+		t.Errorf("count = %d, want 2", uf.Count())
+	}
+	want := [][]int{{0, 1, 2, 3}, {4}}
+	if got := uf.Sets(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Sets = %v, want %v", got, want)
+	}
+}
+
+func TestSetsDeterministic(t *testing.T) {
+	uf := New(6)
+	uf.Union(5, 2)
+	uf.Union(4, 1)
+	want := [][]int{{0}, {1, 4}, {2, 5}, {3}}
+	if got := uf.Sets(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Sets = %v, want %v", got, want)
+	}
+}
+
+// Property: after a random sequence of unions, Same agrees with a naive
+// reference implementation, and Count equals the number of reference sets.
+func TestAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		uf := New(n)
+		// Naive: label array.
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for k := 0; k < 3*n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			uf.Union(a, b)
+			if label[a] != label[b] {
+				relabel(label[a], label[b])
+			}
+		}
+		distinct := map[int]struct{}{}
+		for i := 0; i < n; i++ {
+			distinct[label[i]] = struct{}{}
+			for j := i + 1; j < n; j++ {
+				if uf.Same(i, j) != (label[i] == label[j]) {
+					return false
+				}
+			}
+		}
+		return uf.Count() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sets always forms a partition — disjoint, covering, members sorted.
+func TestSetsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		uf := New(n)
+		for k := 0; k < n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				uf.Union(a, b)
+			}
+		}
+		seen := make([]bool, n)
+		total := 0
+		for _, set := range uf.Sets() {
+			for i, m := range set {
+				if seen[m] {
+					return false
+				}
+				seen[m] = true
+				if i > 0 && set[i-1] >= m {
+					return false
+				}
+				total++
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
