@@ -65,6 +65,12 @@ type Options struct {
 	// Seed drives the algorithm's random choices; equal seeds and crowd
 	// answers give identical results.
 	Seed int64
+	// Parallelism sizes the worker pool of the pruning phase's
+	// similarity join: 0 (or negative) means one worker per CPU, 1 runs
+	// the sequential reference path, n > 1 uses exactly n workers. The
+	// setting changes speed only — pruning output is byte-identical at
+	// every level, so results stay reproducible.
+	Parallelism int
 	// OnProgress, when set, is called after every crowd iteration with
 	// the running totals — useful feedback during long live-crowd runs.
 	OnProgress func(pairsAsked, iterations int)
@@ -122,7 +128,11 @@ func Deduplicate(records []Record, crowdFn CrowdFunc, opts Options) (*Result, er
 	for i, r := range records {
 		recs[i] = record.New(record.ID(i), r.Fields)
 	}
-	cands := pruning.Prune(recs, pruning.Options{Tau: opts.Tau, Metric: metric})
+	cands := pruning.Prune(recs, pruning.Options{
+		Tau:         opts.Tau,
+		Metric:      metric,
+		Parallelism: opts.Parallelism,
+	})
 
 	cfg := crowd.Config{
 		Workers:     orDefault(opts.Workers, 3),

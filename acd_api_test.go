@@ -175,6 +175,27 @@ func TestDeduplicateProgressHook(t *testing.T) {
 	}
 }
 
+// TestDeduplicateParallelismInvariant checks the facade knob: results
+// must be identical whatever the pruning worker-pool size, since the
+// parallel join is byte-equivalent to the sequential one.
+func TestDeduplicateParallelismInvariant(t *testing.T) {
+	records, entities := brandRecords()
+	base, err := acd.Deduplicate(records, perfectCrowd(entities), acd.Options{Seed: 6, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{0, 2, 8} {
+		res, err := acd.Deduplicate(records, perfectCrowd(entities), acd.Options{Seed: 6, Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CandidatePairs != base.CandidatePairs || res.PairsAsked != base.PairsAsked ||
+			len(res.Clusters) != len(base.Clusters) {
+			t.Errorf("Parallelism %d changed the result: %+v vs %+v", p, res, base)
+		}
+	}
+}
+
 func TestDeduplicateDeterminism(t *testing.T) {
 	records, entities := brandRecords()
 	a, err := acd.Deduplicate(records, perfectCrowd(entities), acd.Options{Seed: 9})

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	acdbench [-exp all|table3|fig5|fig6|fig7|fig8|fig10] [-seed N] [-workers 3|5]
+//	acdbench [-exp all|table3|fig5|fig6|fig7|fig8|fig10] [-seed N]
+//	         [-workers 3|5] [-parallel N]
 //
 // fig6, fig7 and fig8 share the same runs (one comparison produces the
 // F1, pair-count and iteration series), so requesting any of them prints
@@ -13,18 +14,31 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"acd/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table3, fig5, fig6, fig7, fig8, fig10, ablation")
-	seed := flag.Int64("seed", 1, "dataset and crowd seed")
-	workers := flag.Int("workers", 0, "restrict comparisons to one worker setting (3 or 5); 0 = both")
-	chart := flag.Bool("chart", false, "render figure comparisons as bar charts")
-	flag.Parse()
-	chartMode = *chart
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable seam: it parses args, executes the requested
+// experiments, writes results to stdout, and returns the process exit
+// status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("acdbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment to run: all, table3, fig5, fig6, fig7, fig8, fig10, ablation")
+	seed := fs.Int64("seed", 1, "dataset and crowd seed")
+	workers := fs.Int("workers", 0, "restrict comparisons to one worker setting (3 or 5); 0 = both")
+	chart := fs.Bool("chart", false, "render figure comparisons as bar charts")
+	parallel := fs.Int("parallel", 0, "pruning-phase worker pool: 0 = one per CPU, 1 = sequential, N = N workers")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	experiments.SetPruneParallelism(*parallel)
 
 	settings := []int{3, 5}
 	switch *workers {
@@ -32,100 +46,96 @@ func main() {
 	case 3, 5:
 		settings = []int{*workers}
 	default:
-		fmt.Fprintf(os.Stderr, "acdbench: -workers must be 3 or 5\n")
-		os.Exit(2)
+		fmt.Fprintf(stderr, "acdbench: -workers must be 3 or 5\n")
+		return 2
 	}
 
-	out := os.Stdout
 	switch *exp {
 	case "all":
-		runTable3(*seed)
-		runFigure5(*seed)
-		runComparison(*seed, settings)
-		runFigure10(*seed)
+		runTable3(stdout, *seed)
+		runFigure5(stdout, *seed)
+		runComparison(stdout, *seed, settings, *chart)
+		runFigure10(stdout, *seed)
 	case "table3":
-		runTable3(*seed)
+		runTable3(stdout, *seed)
 	case "fig5":
-		runFigure5(*seed)
+		runFigure5(stdout, *seed)
 	case "fig6", "fig7", "fig8":
-		runComparison(*seed, settings)
+		runComparison(stdout, *seed, settings, *chart)
 	case "fig10":
-		runFigure10(*seed)
+		runFigure10(stdout, *seed)
 	case "ablation":
-		runAblations(*seed)
+		runAblations(stdout, *seed)
 	default:
-		fmt.Fprintf(os.Stderr, "acdbench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "acdbench: unknown experiment %q\n", *exp)
+		return 2
 	}
-	_ = out
+	return 0
 }
 
-func runTable3(seed int64) {
-	experiments.RenderTable3(os.Stdout, experiments.Table3(seed))
-	experiments.Rule(os.Stdout)
+func runTable3(out io.Writer, seed int64) {
+	experiments.RenderTable3(out, experiments.Table3(seed))
+	experiments.Rule(out)
 }
 
-func runFigure5(seed int64) {
+func runFigure5(out io.Writer, seed int64) {
 	for _, name := range experiments.DatasetNames {
 		inst := experiments.MustInstance(name, seed)
-		experiments.RenderFigure5(os.Stdout, experiments.Figure5(inst, 3))
-		experiments.Rule(os.Stdout)
+		experiments.RenderFigure5(out, experiments.Figure5(inst, 3))
+		experiments.Rule(out)
 	}
 }
 
-// chartMode switches figure comparisons to bar-chart rendering.
-var chartMode bool
-
-func runComparison(seed int64, settings []int) {
+func runComparison(out io.Writer, seed int64, settings []int, chart bool) {
 	for _, name := range experiments.DatasetNames {
 		inst := experiments.MustInstance(name, seed)
 		for _, w := range settings {
 			rows := experiments.Comparison(inst, w)
-			if chartMode {
-				experiments.RenderComparisonCharts(os.Stdout, name, w, rows)
+			if chart {
+				experiments.RenderComparisonCharts(out, name, w, rows)
 			} else {
-				experiments.RenderComparison(os.Stdout, name, w, rows)
+				experiments.RenderComparison(out, name, w, rows)
 			}
-			experiments.Rule(os.Stdout)
+			experiments.Rule(out)
 		}
 	}
 }
 
-func runFigure10(seed int64) {
+func runFigure10(out io.Writer, seed int64) {
 	for _, name := range experiments.DatasetNames {
 		inst := experiments.MustInstance(name, seed)
-		experiments.RenderFigure10(os.Stdout, name, experiments.Figure10(inst, 3))
-		experiments.Rule(os.Stdout)
+		experiments.RenderFigure10(out, name, experiments.Figure10(inst, 3))
+		experiments.Rule(out)
 	}
 }
 
-func runAblations(seed int64) {
+func runAblations(out io.Writer, seed int64) {
 	// The sequential Crowd-Refine and Crowd-BOEM variants are quadratic
 	// in crowd rounds, so the refinement ablation uses the two faster
 	// datasets; the adaptive-allocation ablation runs everywhere.
 	for _, name := range []string{"Restaurant", "Product"} {
 		inst := experiments.MustInstance(name, seed)
-		experiments.RenderRefineVariants(os.Stdout, name, 3, experiments.RefineVariants(inst, 3))
-		experiments.Rule(os.Stdout)
+		experiments.RenderRefineVariants(out, name, 3, experiments.RefineVariants(inst, 3))
+		experiments.Rule(out)
 	}
 	for _, name := range experiments.DatasetNames {
 		inst := experiments.MustInstance(name, seed)
-		experiments.RenderAdaptive(os.Stdout, name, experiments.AdaptiveWorkers(inst, seed))
-		experiments.Rule(os.Stdout)
+		experiments.RenderAdaptive(out, name, experiments.AdaptiveWorkers(inst, seed))
+		experiments.Rule(out)
 	}
 	for _, name := range []string{"Restaurant", "Product"} {
 		inst := experiments.MustInstance(name, seed)
-		experiments.RenderAggregation(os.Stdout, name, experiments.Aggregation(inst, seed))
-		experiments.Rule(os.Stdout)
+		experiments.RenderAggregation(out, name, experiments.Aggregation(inst, seed))
+		experiments.Rule(out)
 	}
 	for _, name := range experiments.DatasetNames {
 		inst := experiments.MustInstance(name, seed)
-		experiments.RenderProcessingTime(os.Stdout, name, experiments.ProcessingTime(inst, 3))
-		experiments.Rule(os.Stdout)
+		experiments.RenderProcessingTime(out, name, experiments.ProcessingTime(inst, 3))
+		experiments.Rule(out)
 	}
 	{
 		inst := experiments.MustInstance("Paper", seed)
-		experiments.RenderRobustness(os.Stdout, "Paper", experiments.Robustness(inst, seed))
-		experiments.Rule(os.Stdout)
+		experiments.RenderRobustness(out, "Paper", experiments.Robustness(inst, seed))
+		experiments.Rule(out)
 	}
 }

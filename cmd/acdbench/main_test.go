@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunTable3 smoke-tests the cheapest real experiment end to end:
+// exit status 0 and the expected table on stdout, under both the
+// sequential and the parallel pruning path.
+func TestRunTable3(t *testing.T) {
+	for _, parallel := range []string{"1", "0"} {
+		var out, errb bytes.Buffer
+		code := run([]string{"-exp", "table3", "-seed", "1", "-parallel", parallel}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("parallel=%s: exit %d, stderr: %s", parallel, code, errb.String())
+		}
+		if !strings.Contains(out.String(), "Table 3") {
+			t.Errorf("parallel=%s: output missing Table 3 header:\n%s", parallel, out.String())
+		}
+		for _, ds := range []string{"Paper", "Restaurant", "Product"} {
+			if !strings.Contains(out.String(), ds) {
+				t.Errorf("parallel=%s: output missing dataset %s", parallel, ds)
+			}
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-exp", "nope"},
+		{"-workers", "4"},
+		{"-definitely-not-a-flag"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+		if errb.Len() == 0 {
+			t.Errorf("run(%v) produced no diagnostics", args)
+		}
+	}
+}

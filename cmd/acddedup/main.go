@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	acddedup -in records.csv [-mode acd|machine] [-tau 0.3]
+//	acddedup -in records.csv [-mode acd|machine] [-tau 0.3] [-parallel N]
 //	         [-workers 3|5] [-error 0.1] [-eps 0.1] [-x 8] [-seed 1]
 //
 // The input format is datagen's: a header "id,entity,<fields...>" and
@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -31,35 +32,52 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "input CSV (required; datagen format)")
-	mode := flag.String("mode", "acd", "pipeline: acd (simulated crowd) or machine (no crowd)")
-	tau := flag.Float64("tau", pruning.DefaultTau, "pruning threshold")
-	workers := flag.Int("workers", 3, "workers per pair for the simulated crowd (odd)")
-	errRate := flag.Float64("error", 0.1, "per-worker error probability for the simulated crowd")
-	eps := flag.Float64("eps", core.DefaultEpsilon, "PC-Pivot wasted-pair budget")
-	x := flag.Int("x", 8, "refinement budget divisor (T = N_m/x)")
-	seed := flag.Int64("seed", 1, "random seed")
-	answersIn := flag.String("answers", "", "replay crowd answers from this file (crowd.SaveAnswers format)")
-	answersOut := flag.String("save-answers", "", "write the simulated crowd answers to this file for later replay")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable seam: it parses args, runs the pipeline, and
+// returns the process exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("acddedup", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "input CSV (required; datagen format)")
+	mode := fs.String("mode", "acd", "pipeline: acd (simulated crowd) or machine (no crowd)")
+	tau := fs.Float64("tau", pruning.DefaultTau, "pruning threshold (0 keeps every overlapping pair)")
+	parallel := fs.Int("parallel", 0, "pruning-phase worker pool: 0 = one per CPU, 1 = sequential, N = N workers")
+	workers := fs.Int("workers", 3, "workers per pair for the simulated crowd (odd)")
+	errRate := fs.Float64("error", 0.1, "per-worker error probability for the simulated crowd")
+	eps := fs.Float64("eps", core.DefaultEpsilon, "PC-Pivot wasted-pair budget")
+	x := fs.Int("x", 8, "refinement budget divisor (T = N_m/x)")
+	seed := fs.Int64("seed", 1, "random seed")
+	answersIn := fs.String("answers", "", "replay crowd answers from this file (crowd.SaveAnswers format)")
+	answersOut := fs.String("save-answers", "", "write the simulated crowd answers to this file for later replay")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "acddedup: -in is required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "acddedup: -in is required")
+		return 2
 	}
 	f, err := os.Open(*in)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "acddedup: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "acddedup: %v\n", err)
+		return 1
 	}
 	d, err := dataset.ReadCSV(f, *in)
 	f.Close()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "acddedup: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "acddedup: %v\n", err)
+		return 1
 	}
 
-	cands := pruning.Prune(d.Records, pruning.Options{Tau: *tau})
+	// TauSet: the flag value is explicit, so -tau 0 genuinely means
+	// τ = 0 (keep every overlapping pair) rather than the default.
+	cands := pruning.Prune(d.Records, pruning.Options{
+		Tau:         *tau,
+		TauSet:      true,
+		Parallelism: *parallel,
+	})
 	truth := d.Truth()
 	hasTruth := true
 	for _, e := range truth {
@@ -74,7 +92,7 @@ func main() {
 	switch {
 	case *mode == "machine" || !hasTruth:
 		if *mode == "acd" {
-			fmt.Fprintln(os.Stderr, "acddedup: no ground-truth entities; falling back to machine mode")
+			fmt.Fprintln(stderr, "acddedup: no ground-truth entities; falling back to machine mode")
 		}
 		rng := rand.New(rand.NewSource(*seed))
 		result = machine.BOEM(machine.BestPivot(cands.N, cands.Machine, 10, rng), cands.Machine)
@@ -83,14 +101,14 @@ func main() {
 		if *answersIn != "" {
 			af, err := os.Open(*answersIn)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "acddedup: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "acddedup: %v\n", err)
+				return 1
 			}
 			answers, err = crowd.LoadAnswers(af)
 			af.Close()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "acddedup: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "acddedup: %v\n", err)
+				return 1
 			}
 		} else {
 			cfg := crowd.Config{Workers: *workers, PairsPerHIT: 20, CentsPerHIT: 2, Seed: *seed}
@@ -99,12 +117,13 @@ func main() {
 		if *answersOut != "" {
 			af, err := os.Create(*answersOut)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "acddedup: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "acddedup: %v\n", err)
+				return 1
 			}
 			if err := crowd.SaveAnswers(af, answers); err != nil {
-				fmt.Fprintf(os.Stderr, "acddedup: %v\n", err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "acddedup: %v\n", err)
+				af.Close()
+				return 1
 			}
 			af.Close()
 		}
@@ -112,25 +131,26 @@ func main() {
 		result = out.Clusters
 		stats = out.Stats
 	default:
-		fmt.Fprintf(os.Stderr, "acddedup: unknown mode %q\n", *mode)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "acddedup: unknown mode %q\n", *mode)
+		return 2
 	}
 
 	for _, set := range result.Sets() {
 		clusterID := set[0]
 		for _, r := range set {
-			fmt.Printf("%d,%d\n", r, clusterID)
+			fmt.Fprintf(stdout, "%d,%d\n", r, clusterID)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "acddedup: %d records -> %d clusters (%d candidate pairs)\n",
+	fmt.Fprintf(stderr, "acddedup: %d records -> %d clusters (%d candidate pairs)\n",
 		result.Len(), result.NumClusters(), len(cands.Pairs))
 	if stats.Pairs > 0 {
-		fmt.Fprintf(os.Stderr, "acddedup: crowd cost: %d pairs, %d iterations, %d HITs, %d cents\n",
+		fmt.Fprintf(stderr, "acddedup: crowd cost: %d pairs, %d iterations, %d HITs, %d cents\n",
 			stats.Pairs, stats.Iterations, stats.HITs, stats.Cents)
 	}
 	if hasTruth {
 		e := cluster.Evaluate(result, truth)
-		fmt.Fprintf(os.Stderr, "acddedup: precision %.3f, recall %.3f, F1 %.3f\n",
+		fmt.Fprintf(stderr, "acddedup: precision %.3f, recall %.3f, F1 %.3f\n",
 			e.Precision, e.Recall, e.F1)
 	}
+	return 0
 }

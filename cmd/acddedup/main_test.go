@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"acd/internal/dataset"
+)
+
+// writeTinyCSV generates a small labeled dataset and writes it in the
+// datagen CSV format acddedup consumes.
+func writeTinyCSV(t *testing.T) string {
+	t.Helper()
+	d, err := dataset.Synthetic(dataset.SyntheticConfig{
+		Entities: 30, Records: 80, Skew: 0.5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dataset.WriteCSV(f, d); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunACDMode smoke-tests the full pipeline: one cluster assignment
+// per record on stdout, summary and F1 on stderr, exit 0.
+func TestRunACDMode(t *testing.T) {
+	path := writeTinyCSV(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-in", path, "-mode", "acd", "-seed", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 80 {
+		t.Errorf("stdout has %d assignment lines, want 80", len(lines))
+	}
+	for _, want := range []string{"candidate pairs", "crowd cost", "F1"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, errb.String())
+		}
+	}
+}
+
+// TestRunMachineModeParallel smoke-tests the crowd-free pipeline across
+// pruning parallelism settings; the assignments must be identical.
+func TestRunMachineModeParallel(t *testing.T) {
+	path := writeTinyCSV(t)
+	var base string
+	for _, parallel := range []string{"1", "0", "4"} {
+		var out, errb bytes.Buffer
+		code := run([]string{"-in", path, "-mode", "machine", "-parallel", parallel}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("parallel=%s: exit %d, stderr: %s", parallel, code, errb.String())
+		}
+		if out.Len() == 0 {
+			t.Fatalf("parallel=%s: no output", parallel)
+		}
+		if base == "" {
+			base = out.String()
+		} else if out.String() != base {
+			t.Errorf("parallel=%s changed the clustering output", parallel)
+		}
+	}
+}
+
+// TestRunExplicitTauZero checks that -tau 0 is honored as a true τ = 0
+// rather than silently becoming the default: the candidate set must be
+// at least as large as under the default threshold.
+func TestRunExplicitTauZero(t *testing.T) {
+	path := writeTinyCSV(t)
+	pairs := func(args ...string) string {
+		var out, errb bytes.Buffer
+		if code := run(append(args, "-in", path, "-mode", "machine"), &out, &errb); code != 0 {
+			t.Fatalf("exit %d: %s", code, errb.String())
+		}
+		for _, line := range strings.Split(errb.String(), "\n") {
+			if strings.Contains(line, "candidate pairs") {
+				return line
+			}
+		}
+		t.Fatalf("no candidate-pair summary in %s", errb.String())
+		return ""
+	}
+	def := pairs()
+	zero := pairs("-tau", "0")
+	if def == zero {
+		t.Errorf("-tau 0 produced the same candidate count as the default threshold:\n%s", def)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("missing -in: exit %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-in", "/does/not/exist.csv"}, &out, &errb); code != 1 {
+		t.Errorf("unreadable input: exit %d, want 1", code)
+	}
+	path := writeTinyCSV(t)
+	errb.Reset()
+	if code := run([]string{"-in", path, "-mode", "bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown mode: exit %d, want 2", code)
+	}
+}

@@ -17,31 +17,42 @@ import (
 )
 
 func main() {
-	name := flag.String("dataset", "Paper", "dataset to generate: Paper, Restaurant, Product")
-	seed := flag.Int64("seed", 1, "generation seed")
-	out := flag.String("out", "", "output file (default stdout)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable seam: it parses args, writes the dataset CSV to
+// stdout (or -out), and returns the process exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("dataset", "Paper", "dataset to generate: Paper, Restaurant, Product")
+	seed := fs.Int64("seed", 1, "generation seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	d, err := dataset.ByName(*name, *seed)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "datagen: %v\n", err)
+		return 2
 	}
 
-	var w io.Writer = os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "datagen: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := dataset.WriteCSV(w, d); err != nil {
-		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "datagen: %v\n", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "datagen: wrote %d records (%d entities, %d duplicate pairs)\n",
+	fmt.Fprintf(stderr, "datagen: wrote %d records (%d entities, %d duplicate pairs)\n",
 		len(d.Records), d.NumEntities, d.DuplicatePairs())
+	return 0
 }

@@ -63,18 +63,6 @@ func JaccardJoinTokens(tokens [][]string, tau float64) []ScoredPair {
 		ordered[i] = o
 	}
 
-	// Prefix length: for Jaccard > tau, two sets of sizes la, lb need
-	// overlap > tau/(1+tau) · (la+lb); a record can skip its last
-	// ceil(tau·la) tokens and still share a prefix token with any
-	// qualifying partner. Prefix = la − floor(tau·la) tokens.
-	prefixLen := func(l int) int {
-		p := l - int(math.Floor(tau*float64(l)))
-		if p < 1 && l > 0 {
-			p = 1
-		}
-		return p
-	}
-
 	index := make(map[string][]int) // token -> record ids (ascending)
 	seen := make(map[record.Pair]struct{})
 	var out []ScoredPair
@@ -84,7 +72,7 @@ func JaccardJoinTokens(tokens [][]string, tau float64) []ScoredPair {
 		if len(ts) == 0 {
 			continue
 		}
-		p := prefixLen(len(ts))
+		p := prefixLen(len(ts), tau)
 		cands := make(map[int]struct{})
 		for _, t := range ts[:p] {
 			for _, j := range index[t] {
@@ -117,6 +105,20 @@ func JaccardJoinTokens(tokens [][]string, tau float64) []ScoredPair {
 	}
 	sortScored(out)
 	return out
+}
+
+// prefixLen is the prefix-filter length for a record of l tokens under
+// threshold tau: for Jaccard > tau, two sets of sizes la, lb need overlap
+// > tau/(1+tau) · (la+lb); a record can skip its last ceil(tau·la) tokens
+// and still share a prefix token with any qualifying partner. Prefix =
+// la − floor(tau·la) tokens. Shared by the sequential and parallel joins
+// so both index exactly the same tokens.
+func prefixLen(l int, tau float64) int {
+	p := l - int(math.Floor(tau*float64(l)))
+	if p < 1 && l > 0 {
+		p = 1
+	}
+	return p
 }
 
 func sortScored(sp []ScoredPair) {

@@ -1,0 +1,382 @@
+// Parallel sharded variants of the similarity joins. Every function here
+// is proven (by the equivalence property tests in parallel_test.go) to
+// return output byte-identical to its sequential counterpart: the same
+// pairs, the same scores, in the same order. Determinism comes from the
+// structure, not from luck:
+//
+//   - candidate generation assigns each pair to exactly one worker (the
+//     pair's larger record index, or a fixed position chunk), so no pair
+//     is emitted twice and no cross-worker coordination is needed;
+//   - workers append to private buffers, which are merged single-threaded
+//     after all workers finish;
+//   - the merged result goes through the same total-order sort
+//     (descending score, then pair) as the sequential path, so the
+//     nondeterministic completion order of workers never shows.
+//
+// The inverted index itself is built sharded by token: shard s owns the
+// tokens with hash(token) mod shards == s, and builds the postings lists
+// for exactly those tokens. Shards never write to each other's maps, so
+// the build needs no locks, and each postings list is filled in ascending
+// record order — the same order the sequential build produces.
+package blocking
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"acd/internal/record"
+	"acd/internal/similarity"
+)
+
+// normalizeParallelism maps the shared Parallelism knob (see
+// pruning.Options) onto a worker count: values <= 0 mean "auto" (one
+// worker per usable CPU), 1 selects the sequential reference path, and
+// n > 1 requests exactly n workers.
+func normalizeParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// chunk sizes for the work queues: small enough to rebalance when chunk
+// costs are skewed (late rows of a triangular scan, hub records with huge
+// postings), large enough to keep the atomic cursor off the hot path.
+const (
+	tokenizeChunk = 256
+	verifyChunk   = 64
+	naiveRowChunk = 16
+	windowChunk   = 128
+)
+
+// parallelFor drains the half-open ranges of [0, n) in fixed-size chunks
+// from a shared work queue with the given number of worker goroutines.
+// fn receives the worker index (for per-worker state) and the chunk
+// bounds [lo, hi). It returns when every chunk has been processed.
+func parallelFor(n, workers, chunk int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > (n+chunk-1)/chunk {
+		workers = (n + chunk - 1) / chunk
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				hi := int(cursor.Add(int64(chunk)))
+				lo := hi - chunk
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				fn(w, lo, hi)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// tokenShard assigns a token to one of shards index shards (FNV-1a).
+// The assignment only affects which shard builds a postings list, never
+// the join output.
+func tokenShard(t string, shards int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(t); i++ {
+		h ^= uint32(t[i])
+		h *= 16777619
+	}
+	return int(h % uint32(shards))
+}
+
+// JaccardJoinParallel is JaccardJoin fanned out over a worker pool.
+// Parallelism follows normalizeParallelism; 1 falls through to the
+// sequential reference implementation. Output is byte-identical to
+// JaccardJoin(records, tau).
+func JaccardJoinParallel(records []record.Record, tau float64, parallelism int) []ScoredPair {
+	p := normalizeParallelism(parallelism)
+	if p == 1 {
+		return JaccardJoin(records, tau)
+	}
+	n := len(records)
+	tokens := make([][]string, n)
+	parallelFor(n, p, tokenizeChunk, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tokens[i] = record.SortedTokens(records[i].Text())
+		}
+	})
+	return JaccardJoinTokensParallel(tokens, tau, p)
+}
+
+// JaccardJoinTokensParallel is JaccardJoinTokens with a sharded index
+// build and parallel candidate verification. tokens[i] must be sorted and
+// duplicate-free (record.SortedTokens form). Output is byte-identical to
+// JaccardJoinTokens(tokens, tau).
+func JaccardJoinTokensParallel(tokens [][]string, tau float64, parallelism int) []ScoredPair {
+	p := normalizeParallelism(parallelism)
+	if p == 1 {
+		return JaccardJoinTokens(tokens, tau)
+	}
+	n := len(tokens)
+	if n < 2 {
+		return nil
+	}
+
+	// Phase 1 — global token frequencies, sharded by token. Workers first
+	// count their own record ranges into private maps, then each token
+	// shard merges its slice of every private map; no map is ever written
+	// by two goroutines.
+	locals := make([]map[string]int, p)
+	parallelFor(n, p, tokenizeChunk, func(w, lo, hi int) {
+		m := locals[w]
+		if m == nil {
+			m = make(map[string]int)
+			locals[w] = m
+		}
+		for i := lo; i < hi; i++ {
+			for _, t := range tokens[i] {
+				m[t]++
+			}
+		}
+	})
+	freq := make([]map[string]int, p) // shard -> token -> count
+	parallelFor(p, p, 1, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			shard := make(map[string]int)
+			for _, m := range locals {
+				for t, c := range m {
+					if tokenShard(t, p) == s {
+						shard[t] += c
+					}
+				}
+			}
+			freq[s] = shard
+		}
+	})
+	lookup := func(t string) int { return freq[tokenShard(t, p)][t] }
+
+	// Phase 2 — per-record rarity ordering and prefix lengths, exactly as
+	// the sequential join computes them (same comparator, same tie-break).
+	ordered := make([][]string, n)
+	prefixes := make([]int, n)
+	parallelFor(n, p, tokenizeChunk, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			o := append([]string(nil), tokens[i]...)
+			sort.Slice(o, func(a, b int) bool {
+				fa, fb := lookup(o[a]), lookup(o[b])
+				if fa != fb {
+					return fa < fb
+				}
+				return o[a] < o[b]
+			})
+			ordered[i] = o
+			prefixes[i] = prefixLen(len(o), tau)
+		}
+	})
+
+	// Phase 3 — sharded inverted index over prefix tokens. Shard s scans
+	// records in ascending order and appends to postings of its own tokens
+	// only, so every postings list ends up ascending with no locking.
+	postings := make([]map[string][]int32, p) // shard -> token -> record ids
+	parallelFor(p, p, 1, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			idx := make(map[string][]int32)
+			for i := 0; i < n; i++ {
+				for _, t := range ordered[i][:prefixes[i]] {
+					if tokenShard(t, p) == s {
+						idx[t] = append(idx[t], int32(i))
+					}
+				}
+			}
+			postings[s] = idx
+		}
+	})
+
+	// Phase 4 — verification fan-out. Each record i verifies only
+	// candidates j < i, so every pair is owned by exactly one chunk and
+	// no cross-worker dedup is needed. Per-worker stamp arrays (a
+	// generation counter instead of clearing) dedup candidates within one
+	// record's postings walk.
+	bufs := make([][]ScoredPair, p)
+	stamps := make([][]int, p)
+	gens := make([]int, p)
+	parallelFor(n, p, verifyChunk, func(w, lo, hi int) {
+		if stamps[w] == nil {
+			stamps[w] = make([]int, n)
+		}
+		stamp := stamps[w]
+		var cands []int32
+		for i := lo; i < hi; i++ {
+			gens[w]++
+			gen := gens[w]
+			cands = cands[:0]
+			for _, t := range ordered[i][:prefixes[i]] {
+				for _, j := range postings[tokenShard(t, p)][t] {
+					if int(j) >= i {
+						break // postings ascend: the rest are >= i too
+					}
+					if stamp[j] != gen {
+						stamp[j] = gen
+						cands = append(cands, j)
+					}
+				}
+			}
+			la := len(tokens[i])
+			for _, j := range cands {
+				// Length filter: Jaccard ≤ min/max of the sizes.
+				lb := len(tokens[j])
+				lmin, lmax := la, lb
+				if lmin > lmax {
+					lmin, lmax = lmax, lmin
+				}
+				if float64(lmin)/float64(lmax) <= tau {
+					continue
+				}
+				score := similarity.JaccardSorted(tokens[i], tokens[j])
+				if score > tau {
+					bufs[w] = append(bufs[w], ScoredPair{
+						Pair:  record.MakePair(record.ID(i), record.ID(int(j))),
+						Score: score,
+					})
+				}
+			}
+		}
+	})
+
+	out := mergeBuffers(bufs)
+	sortScored(out)
+	return out
+}
+
+// NaiveJoinParallel is NaiveJoin with the triangular all-pairs scan
+// fanned out row-chunk by row-chunk. Output is byte-identical to
+// NaiveJoin(records, metric, tau).
+func NaiveJoinParallel(records []record.Record, metric similarity.Metric, tau float64, parallelism int) []ScoredPair {
+	p := normalizeParallelism(parallelism)
+	if p == 1 {
+		return NaiveJoin(records, metric, tau)
+	}
+	if metric == nil {
+		metric = similarity.Jaccard
+	}
+	n := len(records)
+	texts := make([]string, n)
+	parallelFor(n, p, tokenizeChunk, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			texts[i] = records[i].Text()
+		}
+	})
+	bufs := make([][]ScoredPair, p)
+	parallelFor(n, p, naiveRowChunk, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < n; j++ {
+				score := metric(texts[i], texts[j])
+				if score > tau {
+					bufs[w] = append(bufs[w], ScoredPair{
+						Pair:  record.MakePair(records[i].ID, records[j].ID),
+						Score: score,
+					})
+				}
+			}
+		}
+	})
+	out := mergeBuffers(bufs)
+	sortScored(out)
+	return out
+}
+
+// SortedNeighborhoodParallel is SortedNeighborhood with parallel key
+// building and a parallel window scan. Chunk results are merged in
+// position order through the same first-occurrence dedup the sequential
+// pass applies, so output is byte-identical to
+// SortedNeighborhood(records, window) even for degenerate inputs with
+// duplicate record IDs.
+func SortedNeighborhoodParallel(records []record.Record, window, parallelism int) []ScoredPair {
+	p := normalizeParallelism(parallelism)
+	if p == 1 {
+		return SortedNeighborhood(records, window)
+	}
+	n := len(records)
+	if n == 0 {
+		return nil
+	}
+	type keyed struct {
+		key string
+		idx int
+	}
+	ks := make([]keyed, n)
+	tokens := make([][]string, n)
+	parallelFor(n, p, tokenizeChunk, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			tokens[i] = record.SortedTokens(records[i].Text())
+			key := ""
+			for _, t := range tokens[i] {
+				key += t
+			}
+			ks[i] = keyed{key: key, idx: i}
+		}
+	})
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].key != ks[j].key {
+			return ks[i].key < ks[j].key
+		}
+		return ks[i].idx < ks[j].idx
+	})
+
+	// Chunk-indexed buffers: chunk c covers positions [c·windowChunk,
+	// (c+1)·windowChunk). Merging buffers in chunk order replays the
+	// sequential scan order, which the first-occurrence dedup depends on.
+	numChunks := (n + windowChunk - 1) / windowChunk
+	bufs := make([][]ScoredPair, numChunks)
+	parallelFor(n, p, windowChunk, func(_, lo, hi int) {
+		var buf []ScoredPair
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < n && j <= i+window-1; j++ {
+				a, b := ks[i].idx, ks[j].idx
+				buf = append(buf, ScoredPair{
+					Pair:  record.MakePair(records[a].ID, records[b].ID),
+					Score: similarity.JaccardSorted(tokens[a], tokens[b]),
+				})
+			}
+		}
+		bufs[lo/windowChunk] = buf
+	})
+	seen := make(map[record.Pair]struct{})
+	var out []ScoredPair
+	for _, buf := range bufs {
+		for _, sp := range buf {
+			if _, dup := seen[sp.Pair]; dup {
+				continue
+			}
+			seen[sp.Pair] = struct{}{}
+			out = append(out, sp)
+		}
+	}
+	sortScored(out)
+	return out
+}
+
+// mergeBuffers concatenates per-worker result buffers into one slice. A
+// nil result for an empty join matches the sequential functions, which
+// never allocate their output before the first hit.
+func mergeBuffers(bufs [][]ScoredPair) []ScoredPair {
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]ScoredPair, 0, total)
+	for _, b := range bufs {
+		out = append(out, b...)
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package blocking
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"acd/internal/record"
+)
+
+// benchRecords builds a synthetic workload shaped like a deduplication
+// input: groups of near-duplicate records drawn from a shared vocabulary
+// (so the join finds real pairs), plus singleton noise.
+func benchRecords(n int) []record.Record {
+	rng := rand.New(rand.NewSource(42))
+	vocabSize := n / 2
+	recs := make([]record.Record, 0, n)
+	id := 0
+	for id < n {
+		// One entity: a base description plus 1-3 noisy copies.
+		base := make([]string, 5+rng.Intn(8))
+		for i := range base {
+			base[i] = fmt.Sprintf("tok%d", rng.Intn(vocabSize))
+		}
+		copies := 1 + rng.Intn(3)
+		for c := 0; c < copies && id < n; c++ {
+			words := append([]string(nil), base...)
+			if c > 0 { // perturb duplicates: drop one token, add one
+				words[rng.Intn(len(words))] = fmt.Sprintf("tok%d", rng.Intn(vocabSize))
+			}
+			text := ""
+			for _, w := range words {
+				text += w + " "
+			}
+			recs = append(recs, record.New(record.ID(id), map[string]string{"t": text}))
+			id++
+		}
+	}
+	return recs
+}
+
+// BenchmarkJaccardJoinParallel measures the parallel sharded join
+// against the sequential reference on a 5000-record synthetic workload.
+// The seq and par1 variants are the baseline; parN and auto are the
+// speedup claims (run on a multi-core machine: the fan-out degenerates
+// to little more than queue overhead on a single core).
+func BenchmarkJaccardJoinParallel(b *testing.B) {
+	recs := benchRecords(5000)
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = JaccardJoin(recs, 0.3)
+		}
+	})
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("par%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = JaccardJoinParallel(recs, 0.3, p)
+			}
+		})
+	}
+	b.Run("auto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = JaccardJoinParallel(recs, 0.3, 0)
+		}
+	})
+}
+
+// BenchmarkNaiveJoinParallel measures the parallel all-pairs scan on a
+// smaller workload (the scan is quadratic).
+func BenchmarkNaiveJoinParallel(b *testing.B) {
+	recs := benchRecords(1200)
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = NaiveJoin(recs, nil, 0.3)
+		}
+	})
+	for _, p := range []int{2, 4} {
+		b.Run(fmt.Sprintf("par%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = NaiveJoinParallel(recs, nil, 0.3, p)
+			}
+		})
+	}
+}
+
+// BenchmarkSortedNeighborhoodParallel measures the parallel window scan.
+func BenchmarkSortedNeighborhoodParallel(b *testing.B) {
+	recs := benchRecords(5000)
+	b.Run("seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = SortedNeighborhood(recs, 10)
+		}
+	})
+	for _, p := range []int{2, 4} {
+		b.Run(fmt.Sprintf("par%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = SortedNeighborhoodParallel(recs, 10, p)
+			}
+		})
+	}
+}

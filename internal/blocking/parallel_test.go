@@ -1,0 +1,212 @@
+package blocking
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"acd/internal/record"
+	"acd/internal/similarity"
+)
+
+// parallelisms are the worker counts every equivalence property is
+// checked under; 1 exercises the sequential fall-through, the rest the
+// real fan-out (including counts above this machine's core count).
+var parallelisms = []int{1, 2, 4, 8}
+
+// randomRecords draws a record set with a small vocabulary so that token
+// collisions — and therefore candidate pairs — are plentiful. Includes
+// occasional empty-text records, the join's main edge case.
+func randomRecords(rng *rand.Rand, maxN int) []record.Record {
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	n := 2 + rng.Intn(maxN)
+	recs := make([]record.Record, n)
+	for i := range recs {
+		text := ""
+		if rng.Intn(12) != 0 { // 1-in-12 records are empty
+			k := 1 + rng.Intn(6)
+			for w := 0; w < k; w++ {
+				text += vocab[rng.Intn(len(vocab))] + " "
+			}
+		}
+		recs[i] = record.New(record.ID(i), map[string]string{"t": text})
+	}
+	return recs
+}
+
+func randomTau(rng *rand.Rand) float64 {
+	return []float64{0, 0.1, 0.3, 0.5, 0.8}[rng.Intn(5)]
+}
+
+// equalScored reports exact equality: same pairs, same scores (bit-for-
+// bit), same order.
+func equalScored(a, b []ScoredPair) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+// TestJaccardJoinParallelMatchesSequential is the concurrency analogue
+// of the Lemma 2 equivalence test in internal/core/pivot_test.go: for
+// randomized record sets, the parallel join's output must be exactly
+// equal — pairs, scores, and order — to the sequential reference path,
+// at every parallelism level.
+func TestJaccardJoinParallelMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := randomRecords(rng, 40)
+		tau := randomTau(rng)
+		want := JaccardJoin(recs, tau)
+		for _, p := range parallelisms {
+			if got := JaccardJoinParallel(recs, tau, p); !equalScored(got, want) {
+				t.Logf("parallelism %d, tau %v: got %v, want %v", p, tau, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNaiveJoinParallelMatchesSequential(t *testing.T) {
+	metrics := []similarity.Metric{nil, similarity.Jaccard, similarity.Levenshtein, similarity.JaroWinkler}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := randomRecords(rng, 25)
+		tau := randomTau(rng)
+		metric := metrics[rng.Intn(len(metrics))]
+		want := NaiveJoin(recs, metric, tau)
+		for _, p := range parallelisms {
+			if got := NaiveJoinParallel(recs, metric, tau, p); !equalScored(got, want) {
+				t.Logf("parallelism %d, tau %v: got %v, want %v", p, tau, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedNeighborhoodParallelMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		recs := randomRecords(rng, 30)
+		w := 1 + rng.Intn(len(recs)+2)
+		want := SortedNeighborhood(recs, w)
+		for _, p := range parallelisms {
+			if got := SortedNeighborhoodParallel(recs, w, p); !equalScored(got, want) {
+				t.Logf("parallelism %d, window %d: got %v, want %v", p, w, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParallelJoinAuto exercises the auto (0) and negative settings,
+// which resolve to GOMAXPROCS workers.
+func TestParallelJoinAuto(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	recs := randomRecords(rng, 60)
+	want := JaccardJoin(recs, 0.3)
+	for _, p := range []int{0, -1} {
+		if got := JaccardJoinParallel(recs, 0.3, p); !equalScored(got, want) {
+			t.Errorf("parallelism %d: got %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestParallelJoinEdgeCases(t *testing.T) {
+	for _, p := range parallelisms {
+		t.Run(fmt.Sprintf("par%d", p), func(t *testing.T) {
+			if got := JaccardJoinParallel(nil, 0.3, p); got != nil {
+				t.Errorf("empty input produced %v", got)
+			}
+			one := []record.Record{record.New(0, map[string]string{"t": "only one"})}
+			if got := JaccardJoinParallel(one, 0.3, p); got != nil {
+				t.Errorf("single record produced %v", got)
+			}
+			empties := []record.Record{
+				record.New(0, nil), record.New(1, nil),
+				record.New(2, map[string]string{"t": "a"}),
+			}
+			if got := JaccardJoinParallel(empties, 0, p); len(got) != 0 {
+				t.Errorf("empty-text records paired: %v", got)
+			}
+			if got := NaiveJoinParallel(nil, nil, 0.3, p); got != nil {
+				t.Errorf("naive empty input produced %v", got)
+			}
+			if got := SortedNeighborhoodParallel(nil, 3, p); got != nil {
+				t.Errorf("sorted-neighborhood empty input produced %v", got)
+			}
+		})
+	}
+}
+
+// TestJaccardJoinTokensParallelDirect checks the pre-tokenized entry
+// point against its sequential twin on a hand-built workload with heavy
+// token skew (one hub token shared by everything).
+func TestJaccardJoinTokensParallelDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tokens := make([][]string, 200)
+	for i := range tokens {
+		set := map[string]struct{}{"hub": {}}
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			set[fmt.Sprintf("t%d", rng.Intn(30))] = struct{}{}
+		}
+		tokens[i] = sortedKeys(set)
+	}
+	want := JaccardJoinTokens(tokens, 0.3)
+	for _, p := range parallelisms {
+		if got := JaccardJoinTokensParallel(tokens, 0.3, p); !equalScored(got, want) {
+			t.Errorf("parallelism %d diverged (got %d pairs, want %d)", p, len(got), len(want))
+		}
+	}
+}
+
+func sortedKeys(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: tiny inputs
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestParallelJoinStress runs a larger join at high parallelism so the
+// race detector (go test -race, wired into CI) sees real contention on
+// the work queue, the sharded index build, and the merge.
+func TestParallelJoinStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(11))
+	recs := make([]record.Record, 1200)
+	for i := range recs {
+		text := ""
+		for w := 0; w < 3+rng.Intn(8); w++ {
+			text += fmt.Sprintf("w%d ", rng.Intn(150))
+		}
+		recs[i] = record.New(record.ID(i), map[string]string{"t": text})
+	}
+	want := JaccardJoin(recs, 0.3)
+	if len(want) == 0 {
+		t.Fatal("stress workload produced no pairs; tighten the vocabulary")
+	}
+	for _, p := range []int{2, 8, 16} {
+		if got := JaccardJoinParallel(recs, 0.3, p); !equalScored(got, want) {
+			t.Errorf("parallelism %d diverged (got %d pairs, want %d)", p, len(got), len(want))
+		}
+	}
+}

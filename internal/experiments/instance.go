@@ -16,6 +16,19 @@ import (
 // DatasetNames lists the evaluation datasets in the paper's order.
 var DatasetNames = []string{"Paper", "Restaurant", "Product"}
 
+// pruneParallelism is the pruning.Options.Parallelism setting every
+// instance is built with (0 = auto). It is configured once at startup
+// (acdbench's -parallel flag) before any instance is built.
+var pruneParallelism int
+
+// SetPruneParallelism sets the worker-pool size of the pruning phase for
+// subsequently built instances: 0 = one worker per CPU, 1 = sequential,
+// n > 1 = exactly n workers. Pruning output — and therefore every
+// experiment result — is identical at every setting; only the wall-clock
+// time of instance construction changes. Not safe to call concurrently
+// with NewInstance.
+func SetPruneParallelism(p int) { pruneParallelism = p }
+
 // Instance is a fully prepared experimental setup for one dataset: the
 // generated records, the shared pruning-phase output, and one answer set
 // per AMT setting (the paper's files Paper(3w), Paper(5w), ...).
@@ -36,7 +49,7 @@ func NewInstance(name string, seed int64) (*Instance, error) {
 		return nil, err
 	}
 	tgt, _ := dataset.Target(name)
-	cands := pruning.Prune(d.Records, pruning.Options{})
+	cands := pruning.Prune(d.Records, pruning.Options{Parallelism: pruneParallelism})
 	mix, _ := crowd.Calibrate(tgt.ErrorRate3W, tgt.ErrorRate5W)
 	truth := d.TruthFn()
 	diff := crowd.DifficultyAssignment(cands.PairList(), cands.Score, truth, mix)

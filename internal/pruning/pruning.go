@@ -35,25 +35,42 @@ type Candidates struct {
 // Options configures a pruning run.
 type Options struct {
 	// Tau is the pruning threshold; pairs must satisfy f > Tau.
-	// Zero value means DefaultTau.
+	// Unless TauSet is true, the zero value means DefaultTau.
 	Tau float64
+	// TauSet marks Tau as explicit. With TauSet false (the zero value),
+	// Tau == 0 is shorthand for DefaultTau; with TauSet true, Tau is used
+	// verbatim, so an explicit τ = 0 — keep every pair with any overlap
+	// at all — is representable.
+	TauSet bool
 	// Metric scores record pairs. Nil means token Jaccard (run through
 	// the indexed join); any other metric uses the naive all-pairs scan.
 	Metric similarity.Metric
+	// Parallelism fans the similarity join out over a worker pool:
+	// 0 (or negative) sizes the pool to GOMAXPROCS, 1 forces the
+	// sequential reference implementation, n > 1 uses exactly n workers.
+	// Output is byte-identical across all settings (see the equivalence
+	// property tests in internal/blocking).
+	Parallelism int
+}
+
+// EffectiveTau resolves the threshold the run will use: Tau when TauSet
+// (or nonzero), DefaultTau otherwise.
+func (o Options) EffectiveTau() float64 {
+	if o.TauSet || o.Tau != 0 {
+		return o.Tau
+	}
+	return DefaultTau
 }
 
 // Prune runs the pruning phase over records and returns the candidate
 // set.
 func Prune(records []record.Record, opts Options) *Candidates {
-	tau := opts.Tau
-	if tau == 0 {
-		tau = DefaultTau
-	}
+	tau := opts.EffectiveTau()
 	var scored []blocking.ScoredPair
 	if opts.Metric == nil {
-		scored = blocking.JaccardJoin(records, tau)
+		scored = blocking.JaccardJoinParallel(records, tau, opts.Parallelism)
 	} else {
-		scored = blocking.NaiveJoin(records, opts.Metric, tau)
+		scored = blocking.NaiveJoinParallel(records, opts.Metric, tau, opts.Parallelism)
 	}
 	machine := make(cluster.Scores, len(scored))
 	for _, sp := range scored {

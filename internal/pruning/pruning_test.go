@@ -1,6 +1,8 @@
 package pruning
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"acd/internal/cluster"
@@ -52,6 +54,84 @@ func TestPruneCustomMetricAndTau(t *testing.T) {
 	}
 	if len(c.Pairs) != 1 {
 		t.Errorf("expected exactly 1 candidate, got %v", c.Pairs)
+	}
+}
+
+// TestTauZeroMeanings pins down both readings of Tau == 0: without
+// TauSet it is shorthand for DefaultTau; with TauSet it is a real τ = 0
+// that keeps every pair with any token overlap at all.
+func TestTauZeroMeanings(t *testing.T) {
+	recs := []record.Record{
+		record.New(0, map[string]string{"t": "alpha beta gamma delta"}),
+		record.New(1, map[string]string{"t": "alpha beta gamma epsilon"}),
+		// (0,2) and (1,2) overlap on one token: Jaccard 1/7 ≈ 0.14,
+		// below DefaultTau but above a true τ = 0.
+		record.New(2, map[string]string{"t": "alpha zeta eta theta"}),
+		record.New(3, map[string]string{"t": "unrelated words here"}),
+	}
+	weak01 := record.MakePair(0, 2)
+
+	implicit := Prune(recs, Options{})
+	if implicit.Contains(weak01) {
+		t.Errorf("Tau=0 without TauSet should mean DefaultTau; weak pair kept")
+	}
+	if got := (Options{}).EffectiveTau(); got != DefaultTau {
+		t.Errorf("EffectiveTau() = %v, want DefaultTau", got)
+	}
+
+	explicit := Prune(recs, Options{Tau: 0, TauSet: true})
+	if !explicit.Contains(weak01) || !explicit.Contains(record.MakePair(1, 2)) {
+		t.Errorf("explicit τ=0 should keep every overlapping pair; got %v", explicit.Pairs)
+	}
+	if explicit.Contains(record.MakePair(0, 3)) {
+		t.Errorf("τ=0 still requires overlap (score > 0); disjoint pair kept")
+	}
+	if got := (Options{TauSet: true}).EffectiveTau(); got != 0 {
+		t.Errorf("EffectiveTau() with TauSet = %v, want 0", got)
+	}
+	if len(explicit.Pairs) <= len(implicit.Pairs) {
+		t.Errorf("τ=0 kept %d pairs, DefaultTau kept %d; want strictly more",
+			len(explicit.Pairs), len(implicit.Pairs))
+	}
+
+	// TauSet with a nonzero Tau is a no-op relative to plain Tau.
+	a := Prune(recs, Options{Tau: 0.5})
+	b := Prune(recs, Options{Tau: 0.5, TauSet: true})
+	if len(a.Pairs) != len(b.Pairs) {
+		t.Errorf("TauSet changed a nonzero Tau: %d vs %d pairs", len(a.Pairs), len(b.Pairs))
+	}
+}
+
+// TestPruneParallelismEquivalent checks the knob end to end: every
+// parallelism setting yields the identical candidate set, for both the
+// indexed Jaccard path and the naive path with a custom metric.
+func TestPruneParallelismEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	recs := make([]record.Record, 60)
+	for i := range recs {
+		text := ""
+		for w := 0; w < 1+rng.Intn(5); w++ {
+			text += vocab[rng.Intn(len(vocab))] + " "
+		}
+		recs[i] = record.New(record.ID(i), map[string]string{"t": text})
+	}
+	for _, opts := range []Options{
+		{},
+		{Metric: similarity.Levenshtein, Tau: 0.5},
+	} {
+		opts.Parallelism = 1
+		want := Prune(recs, opts)
+		for _, p := range []int{0, 2, 4, 8} {
+			opts.Parallelism = p
+			got := Prune(recs, opts)
+			if !reflect.DeepEqual(got.Pairs, want.Pairs) {
+				t.Errorf("parallelism %d diverged from sequential (metric %v)", p, opts.Metric != nil)
+			}
+			if got.N != want.N || len(got.Machine) != len(want.Machine) {
+				t.Errorf("parallelism %d: candidates metadata diverged", p)
+			}
+		}
 	}
 }
 

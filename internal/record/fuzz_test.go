@@ -1,0 +1,87 @@
+package record
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// FuzzTokenization checks the normalization/tokenization pipeline on
+// arbitrary input: no panics, normalization is idempotent and emits only
+// lowercase alphanumerics and single spaces, and the three token views
+// (Tokens, TokenSet, SortedTokens) stay consistent with each other.
+func FuzzTokenization(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"hello world",
+		"  Doubled   spaces\tand\ttabs  ",
+		"MiXeD CaSe 123",
+		"punct!@#$%^&*()uation",
+		"héllo wörld ünïcode",
+		"日本語のテスト",
+		"a-b_c.d,e;f",
+		"\x00\xff invalid \xfe utf8",
+		strings.Repeat("long ", 50),
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n := Normalize(s)
+		if Normalize(n) != n {
+			t.Fatalf("Normalize not idempotent on %q: %q -> %q", s, n, Normalize(n))
+		}
+		prevSpace := true // doubles as a leading-space check
+		for i := 0; i < len(n); i++ {
+			c := n[i]
+			switch {
+			case c >= 'a' && c <= 'z' || c >= '0' && c <= '9':
+				prevSpace = false
+			case c == ' ':
+				if prevSpace {
+					t.Fatalf("Normalize(%q) = %q has a doubled or leading space", s, n)
+				}
+				prevSpace = true
+			default:
+				t.Fatalf("Normalize(%q) = %q contains byte %q", s, n, c)
+			}
+		}
+		if strings.HasSuffix(n, " ") {
+			t.Fatalf("Normalize(%q) = %q has a trailing space", s, n)
+		}
+
+		toks := Tokens(s)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatalf("Tokens(%q) contains an empty token: %q", s, toks)
+			}
+			if Normalize(tok) != tok {
+				t.Fatalf("Tokens(%q) token %q is not normalized", s, tok)
+			}
+		}
+		if n == "" && len(toks) != 0 {
+			t.Fatalf("empty normalization but %d tokens", len(toks))
+		}
+
+		set := TokenSet(s)
+		sorted := SortedTokens(s)
+		if len(set) != len(sorted) {
+			t.Fatalf("TokenSet has %d tokens, SortedTokens %d", len(set), len(sorted))
+		}
+		if !sort.StringsAreSorted(sorted) {
+			t.Fatalf("SortedTokens(%q) not sorted: %q", s, sorted)
+		}
+		for i, tok := range sorted {
+			if i > 0 && sorted[i-1] == tok {
+				t.Fatalf("SortedTokens(%q) has duplicate %q", s, tok)
+			}
+			if _, ok := set[tok]; !ok {
+				t.Fatalf("SortedTokens(%q) token %q missing from TokenSet", s, tok)
+			}
+		}
+		for _, tok := range toks {
+			if _, ok := set[tok]; !ok {
+				t.Fatalf("Tokens(%q) token %q missing from TokenSet", s, tok)
+			}
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+)
+
+// metricSeeds is the shared seed corpus for the metric fuzz targets:
+// empty strings, unicode, case/punctuation noise, near-duplicates, and
+// pathological repetition.
+var metricSeeds = [][2]string{
+	{"", ""},
+	{"", "a"},
+	{"hello world", "hello world"},
+	{"hello world", "world hello"},
+	{"Chevrolet Motor Division", "chevy motor division"},
+	{"a b c d e f", "a b c"},
+	{"aaaaaaaaaa", "aaaaaaaaab"},
+	{"héllo wörld", "hello world"},
+	{"日本語 テスト", "日本語"},
+	{"x!@#$%^&*()", "x"},
+	{"the the the the", "the"},
+	{"\x00\xff\xfe", "\xff"},
+}
+
+// checkMetric asserts the package-level contract (doc comment of package
+// similarity): scores in [0, 1], symmetry, and identity scoring 1.
+func checkMetric(t *testing.T, name string, m Metric, a, b string) {
+	t.Helper()
+	ab := m(a, b)
+	if math.IsNaN(ab) || ab < 0 || ab > 1 {
+		t.Fatalf("%s(%q, %q) = %v, out of [0, 1]", name, a, b, ab)
+	}
+	if ba := m(b, a); ab != ba {
+		t.Fatalf("%s not symmetric: (%q, %q) = %v, reversed = %v", name, a, b, ab, ba)
+	}
+	if self := m(a, a); self != 1 {
+		t.Fatalf("%s(%q, %q) = %v, want 1 (identity)", name, a, a, self)
+	}
+}
+
+func FuzzJaccard(f *testing.F) {
+	for _, s := range metricSeeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, a, b string) {
+		checkMetric(t, "Jaccard", Jaccard, a, b)
+	})
+}
+
+func FuzzLevenshtein(f *testing.F) {
+	for _, s := range metricSeeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, a, b string) {
+		checkMetric(t, "Levenshtein", Levenshtein, a, b)
+		// The underlying distance is itself symmetric and bounded.
+		d := EditDistance(a, b)
+		if d != EditDistance(b, a) {
+			t.Fatalf("EditDistance not symmetric on %q, %q", a, b)
+		}
+		if d < 0 || d > max(len(a), len(b)) {
+			t.Fatalf("EditDistance(%q, %q) = %d, out of range", a, b, d)
+		}
+	})
+}
+
+func FuzzJaroWinkler(f *testing.F) {
+	for _, s := range metricSeeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, a, b string) {
+		checkMetric(t, "JaroWinkler", JaroWinkler, a, b)
+	})
+}
