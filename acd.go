@@ -17,10 +17,12 @@ package acd
 import (
 	"errors"
 	"fmt"
+	"io"
 
 	"acd/internal/cluster"
 	"acd/internal/core"
 	"acd/internal/crowd"
+	"acd/internal/obs"
 	"acd/internal/pruning"
 	"acd/internal/record"
 	"acd/internal/similarity"
@@ -74,6 +76,12 @@ type Options struct {
 	// OnProgress, when set, is called after every crowd iteration with
 	// the running totals — useful feedback during long live-crowd runs.
 	OnProgress func(pairsAsked, iterations int)
+	// Trace, when set, receives a JSONL event stream as the run
+	// progresses (one pruning summary, one event per PC-Pivot round, one
+	// per refinement batch). Tracing never changes the result. The
+	// aggregate counters are always collected and returned in
+	// Result.Metrics regardless of this setting.
+	Trace io.Writer
 }
 
 // Result is the outcome of a Deduplicate call.
@@ -95,6 +103,12 @@ type Result struct {
 	Cents int
 	// CandidatePairs is the size of the candidate set after pruning.
 	CandidatePairs int
+	// Metrics is the run's full observability snapshot: per-phase
+	// counters (pruning funnel, PC-Pivot rounds and wasted pairs, refine
+	// operations, crowd accounting), value distributions, and phase
+	// timings. See internal/obs for the schema and the metric name
+	// reference in the README.
+	Metrics obs.Metrics
 }
 
 // Deduplicate clusters records into groups of duplicates using machine
@@ -124,6 +138,11 @@ func Deduplicate(records []Record, crowdFn CrowdFunc, opts Options) (*Result, er
 		}
 	}
 
+	rec := obs.New()
+	if opts.Trace != nil {
+		rec.SetTrace(opts.Trace)
+	}
+
 	recs := make([]record.Record, len(records))
 	for i, r := range records {
 		recs[i] = record.New(record.ID(i), r.Fields)
@@ -132,6 +151,7 @@ func Deduplicate(records []Record, crowdFn CrowdFunc, opts Options) (*Result, er
 		Tau:         opts.Tau,
 		Metric:      metric,
 		Parallelism: opts.Parallelism,
+		Obs:         rec,
 	})
 
 	cfg := crowd.Config{
@@ -150,6 +170,7 @@ func Deduplicate(records []Record, crowdFn CrowdFunc, opts Options) (*Result, er
 		RefineX:        opts.RefineX,
 		SkipRefinement: opts.SkipRefinement,
 		Seed:           opts.Seed,
+		Obs:            rec,
 	})
 
 	res := &Result{
@@ -159,6 +180,7 @@ func Deduplicate(records []Record, crowdFn CrowdFunc, opts Options) (*Result, er
 		HITs:           out.Stats.HITs,
 		Cents:          out.Stats.Cents,
 		CandidatePairs: len(cands.Pairs),
+		Metrics:        rec.Snapshot(),
 	}
 	for ci, set := range out.Clusters.Sets() {
 		members := make([]int, len(set))

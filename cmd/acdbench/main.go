@@ -3,12 +3,18 @@
 //
 // Usage:
 //
-//	acdbench [-exp all|table3|fig5|fig6|fig7|fig8|fig10] [-seed N]
-//	         [-workers 3|5] [-parallel N]
+//	acdbench [-exp all|table3|fig5|fig6|fig7|fig8|fig10|ablation]
+//	         [-seed N] [-workers 3|5] [-parallel N] [-chart]
+//	         [-metrics] [-metrics-json] [-trace FILE] [-metrics-http ADDR]
 //
 // fig6, fig7 and fig8 share the same runs (one comparison produces the
 // F1, pair-count and iteration series), so requesting any of them prints
 // the full comparison block.
+//
+// With -metrics, a per-phase observability snapshot (pruning funnel,
+// PC-Pivot rounds and wasted pairs, refine operations, crowd question
+// accounting) is printed to stderr after the experiments finish; -trace
+// streams per-round JSONL events as they happen.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"os"
 
 	"acd/internal/experiments"
+	"acd/internal/obs"
 )
 
 func main() {
@@ -35,10 +42,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "restrict comparisons to one worker setting (3 or 5); 0 = both")
 	chart := fs.Bool("chart", false, "render figure comparisons as bar charts")
 	parallel := fs.Int("parallel", 0, "pruning-phase worker pool: 0 = one per CPU, 1 = sequential, N = N workers")
+	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	experiments.SetPruneParallelism(*parallel)
+	if obsFlags.Enabled() {
+		rec := obs.New()
+		if err := obsFlags.Activate(rec, stderr); err != nil {
+			fmt.Fprintf(stderr, "acdbench: %v\n", err)
+			return 2
+		}
+		rec.PublishExpvar("acd")
+		experiments.SetRecorder(rec)
+		defer experiments.SetRecorder(nil)
+		defer obsFlags.Finish(stderr)
+	}
 
 	settings := []int{3, 5}
 	switch *workers {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -25,6 +26,59 @@ func TestRunTable3(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestRunMetrics checks the observability surface end to end: -metrics
+// prints a snapshot with the crowd accounting on stderr, and the
+// question counters satisfy the oracle-invocation invariant even when
+// accumulated across a whole experiment (many algorithms, many
+// sessions, shared answer sets). fig10 is the cheapest experiment that
+// exercises the full crowd pipeline.
+func TestRunMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full experiment")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "fig10", "-seed", "1", "-metrics"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	se := errb.String()
+	if !strings.Contains(se, "== metrics ==") {
+		t.Fatalf("stderr missing metrics snapshot:\n%s", se)
+	}
+	for _, metric := range []string{
+		"crowd/questions_answered", "crowd/oracle_invocations",
+		"pivot/rounds", "pivot/pairs_wasted", "pivot/batch_k",
+		"pruning/candidates", "refine/ops_applied", "crowd/batch_size",
+	} {
+		if !strings.Contains(se, metric) {
+			t.Errorf("snapshot missing %s:\n%s", metric, se)
+		}
+	}
+	answered := counterValue(t, se, "crowd/questions_answered")
+	oracle := counterValue(t, se, "crowd/oracle_invocations")
+	if answered != oracle || answered == 0 {
+		t.Errorf("questions_answered = %d, oracle_invocations = %d; want equal and nonzero",
+			answered, oracle)
+	}
+}
+
+// counterValue extracts a counter's value from the text snapshot.
+func counterValue(t *testing.T, snapshot, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(snapshot, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			var v int64
+			if _, err := fmt.Sscan(fields[1], &v); err != nil {
+				t.Fatalf("unparseable value for %s: %q", name, fields[1])
+			}
+			return v
+		}
+	}
+	t.Fatalf("counter %s not found in snapshot", name)
+	return 0
 }
 
 func TestRunBadFlags(t *testing.T) {

@@ -11,6 +11,11 @@
 //	            [-pool 200] [-mean-error 0.25] [-spread 0.15]
 //	            [-qualification none|basic|strict] [-workers 3|5]
 //	            [-aggregate majority|ds] [-save-answers F] [-seed 1]
+//	            [-metrics] [-metrics-json] [-trace FILE] [-metrics-http ADDR]
+//
+// With -metrics, a per-phase observability snapshot — including the
+// worker-pool occupancy gauges and the crowd question accounting — is
+// printed to stderr after the campaign finishes.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"acd/internal/core"
 	"acd/internal/crowd"
 	"acd/internal/dataset"
+	"acd/internal/obs"
 	"acd/internal/pruning"
 	"acd/internal/quality"
 	"acd/internal/record"
@@ -38,7 +44,17 @@ func main() {
 	aggregate := flag.String("aggregate", "ds", "vote aggregation: majority or ds (Dawid-Skene)")
 	saveAnswers := flag.String("save-answers", "", "persist aggregated answers to this file")
 	seed := flag.Int64("seed", 1, "campaign seed")
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	rec := obs.New()
+	if obsFlags.Enabled() {
+		if err := obsFlags.Activate(rec, os.Stderr); err != nil {
+			fatal(err)
+		}
+		rec.PublishExpvar("acd")
+		defer obsFlags.Finish(os.Stderr)
+	}
 
 	d, err := loadOrGenerate(*in, *name, *seed)
 	if err != nil {
@@ -50,7 +66,7 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr)
 
-	cands := pruning.Prune(d.Records, pruning.Options{})
+	cands := pruning.Prune(d.Records, pruning.Options{Obs: rec})
 	fmt.Fprintf(os.Stderr, "campaign: pruning kept %d candidate pairs\n", len(cands.Pairs))
 
 	q, err := qualificationByName(*qual)
@@ -66,6 +82,7 @@ func main() {
 	})
 	fmt.Fprintf(os.Stderr, "campaign: %d of %d workers admitted (mean error %.1f%%)\n",
 		len(pool.Eligible(q)), pool.Size(), 100*pool.MeanEligibleError(q))
+	crowd.RecordPoolMetrics(rec, pool, q)
 
 	cfg := crowd.Config{Workers: *workers, PairsPerHIT: 10, CentsPerHIT: 2, Seed: *seed + 1}
 	truth := d.TruthFn()
@@ -79,12 +96,14 @@ func main() {
 	case "ds":
 		model := quality.Estimate(votes, 30)
 		scores = model.Posterior
+		rec.Gauge("quality/ds_em_rounds", float64(model.Iterations))
 		fmt.Fprintf(os.Stderr, "campaign: Dawid-Skene fitted in %d EM rounds (prior %.3f)\n",
 			model.Iterations, model.Prior)
 	default:
 		fatal(fmt.Errorf("unknown aggregation %q", *aggregate))
 	}
 	answers := crowd.FixedAnswers(scores, cfg)
+	answers.SetRecorder(rec)
 	fmt.Fprintf(os.Stderr, "campaign: aggregated answer error rate %.2f%% vs ground truth\n",
 		100*quality.ErrorRate(scores, truth))
 

@@ -9,11 +9,15 @@
 //
 //	acddedup -in records.csv [-mode acd|machine] [-tau 0.3] [-parallel N]
 //	         [-workers 3|5] [-error 0.1] [-eps 0.1] [-x 8] [-seed 1]
+//	         [-answers FILE] [-save-answers FILE]
+//	         [-metrics] [-metrics-json] [-trace FILE] [-metrics-http ADDR]
 //
 // The input format is datagen's: a header "id,entity,<fields...>" and
 // one record per row. Output is "record_id,cluster_id" per line on
 // stdout; a summary (and F1 when ground truth is present) goes to
-// stderr.
+// stderr. With -metrics, a per-phase observability snapshot follows the
+// summary on stderr; see internal/obs and the README's metrics
+// reference.
 package main
 
 import (
@@ -28,7 +32,9 @@ import (
 	"acd/internal/crowd"
 	"acd/internal/dataset"
 	"acd/internal/machine"
+	"acd/internal/obs"
 	"acd/internal/pruning"
+	"acd/internal/refine"
 )
 
 func main() {
@@ -47,10 +53,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 3, "workers per pair for the simulated crowd (odd)")
 	errRate := fs.Float64("error", 0.1, "per-worker error probability for the simulated crowd")
 	eps := fs.Float64("eps", core.DefaultEpsilon, "PC-Pivot wasted-pair budget")
-	x := fs.Int("x", 8, "refinement budget divisor (T = N_m/x)")
+	x := fs.Int("x", refine.DefaultX, "refinement budget divisor (T = N_m/x)")
 	seed := fs.Int64("seed", 1, "random seed")
 	answersIn := fs.String("answers", "", "replay crowd answers from this file (crowd.SaveAnswers format)")
 	answersOut := fs.String("save-answers", "", "write the simulated crowd answers to this file for later replay")
+	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -58,6 +65,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *in == "" {
 		fmt.Fprintln(stderr, "acddedup: -in is required")
 		return 2
+	}
+	rec := obs.New()
+	if obsFlags.Enabled() {
+		if err := obsFlags.Activate(rec, stderr); err != nil {
+			fmt.Fprintf(stderr, "acddedup: %v\n", err)
+			return 2
+		}
+		rec.PublishExpvar("acd")
+		defer obsFlags.Finish(stderr)
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -77,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Tau:         *tau,
 		TauSet:      true,
 		Parallelism: *parallel,
+		Obs:         rec,
 	})
 	truth := d.Truth()
 	hasTruth := true
@@ -95,7 +112,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "acddedup: no ground-truth entities; falling back to machine mode")
 		}
 		rng := rand.New(rand.NewSource(*seed))
-		result = machine.BOEM(machine.BestPivot(cands.N, cands.Machine, 10, rng), cands.Machine)
+		result = machine.BOEMObs(machine.BestPivotObs(cands.N, cands.Machine, 10, rng, rec), cands.Machine, rec)
 	case *mode == "acd":
 		var answers *crowd.AnswerSet
 		if *answersIn != "" {
@@ -127,6 +144,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			af.Close()
 		}
+		answers.SetRecorder(rec)
 		out := core.ACD(cands, answers, core.Config{Epsilon: *eps, RefineX: *x, Seed: *seed})
 		result = out.Clusters
 		stats = out.Stats
@@ -146,6 +164,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if stats.Pairs > 0 {
 		fmt.Fprintf(stderr, "acddedup: crowd cost: %d pairs, %d iterations, %d HITs, %d cents\n",
 			stats.Pairs, stats.Iterations, stats.HITs, stats.Cents)
+		if obsFlags.Enabled() {
+			lat := crowd.RecordSimulatedLatency(rec, crowd.LatencyModel{Seed: *seed}, stats, *workers)
+			fmt.Fprintf(stderr, "acddedup: simulated crowd latency: %s\n", lat)
+		}
 	}
 	if hasTruth {
 		e := cluster.Evaluate(result, truth)

@@ -1,8 +1,3 @@
-// Package baselines implements the four state-of-the-art competitors the
-// paper evaluates ACD against (Section 6.1): CrowdER+ [46]+[48],
-// TransM [47], TransNode [44], and GCER [48]. Each baseline shares the
-// pruning phase's candidate set and reads crowd answers from the same
-// answer set as ACD, mirroring the paper's fairness setup.
 package baselines
 
 import (

@@ -1,0 +1,24 @@
+// Package baselines implements the four state-of-the-art competitors the
+// paper evaluates ACD against (Section 6.1): CrowdER+ [46]+[48],
+// TransM [47], TransNode [44], and GCER [48]. Each baseline shares the
+// pruning phase's candidate set and reads crowd answers from the same
+// answer set as ACD, mirroring the paper's fairness setup.
+//
+// Paper artifacts:
+//
+//   - CrowdERPlus — CrowdER [46] with the answer-clustering step of [48]
+//     (one crowd iteration over all candidates, then agglomerative
+//     clustering of the answers); the accuracy yardstick of Figure 6.
+//   - TransM — transitivity-based labeling [47]: issue pairs in
+//     descending machine-score order, inferring what transitivity
+//     implies; the pair-count yardstick of Figure 7.
+//   - TransNode — the node-parallel transitive strategy of [44].
+//   - GCER — the graph-based crowdsourced entity resolution of [48].
+//   - Naive and Crowdclustering — the extra reference points (ask
+//     everything; crowd-clustered subsets) used by the ablations.
+//
+
+// Every baseline draws its answers through a crowd.Session, so the
+// crowd/* metrics and the oracle-invocation invariant (see
+// internal/crowd) hold for baseline runs too.
+package baselines

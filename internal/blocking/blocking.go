@@ -1,12 +1,3 @@
-// Package blocking implements candidate-pair generation for the pruning
-// phase: an inverted-index all-pairs Jaccard join with prefix filtering,
-// plus sorted-neighborhood keying (the classic merge/purge discipline
-// [28], also used by [48] to cluster crowd answers).
-//
-// The join avoids the O(n²) pair scan that a naive pruning phase would
-// need: with threshold τ, a pair can reach Jaccard ≥ τ only if the two
-// records share a token in their length-dependent prefixes, so only
-// records colliding in the inverted index over prefixes are verified.
 package blocking
 
 import (

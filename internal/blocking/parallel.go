@@ -25,7 +25,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"acd/internal/obs"
 	"acd/internal/record"
 	"acd/internal/similarity"
 )
@@ -101,18 +103,29 @@ func tokenShard(t string, shards int) int {
 // sequential reference implementation. Output is byte-identical to
 // JaccardJoin(records, tau).
 func JaccardJoinParallel(records []record.Record, tau float64, parallelism int) []ScoredPair {
+	return JaccardJoinParallelObs(records, tau, parallelism, nil)
+}
+
+// JaccardJoinParallelObs is JaccardJoinParallel reporting phase timings,
+// funnel counters and per-shard build times to a recorder (nil disables
+// recording; output is identical either way).
+func JaccardJoinParallelObs(records []record.Record, tau float64, parallelism int, rec *obs.Recorder) []ScoredPair {
 	p := normalizeParallelism(parallelism)
 	if p == 1 {
-		return JaccardJoin(records, tau)
+		out := JaccardJoin(records, tau)
+		rec.Count(MetricPairsEmitted, int64(len(out)))
+		return out
 	}
 	n := len(records)
 	tokens := make([][]string, n)
+	doneTok := rec.StartPhase(PhaseTokenize)
 	parallelFor(n, p, tokenizeChunk, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			tokens[i] = record.SortedTokens(records[i].Text())
 		}
 	})
-	return JaccardJoinTokensParallel(tokens, tau, p)
+	doneTok()
+	return JaccardJoinTokensParallelObs(tokens, tau, p, rec)
 }
 
 // JaccardJoinTokensParallel is JaccardJoinTokens with a sharded index
@@ -120,9 +133,21 @@ func JaccardJoinParallel(records []record.Record, tau float64, parallelism int) 
 // duplicate-free (record.SortedTokens form). Output is byte-identical to
 // JaccardJoinTokens(tokens, tau).
 func JaccardJoinTokensParallel(tokens [][]string, tau float64, parallelism int) []ScoredPair {
+	return JaccardJoinTokensParallelObs(tokens, tau, parallelism, nil)
+}
+
+// JaccardJoinTokensParallelObs is JaccardJoinTokensParallel reporting to
+// a recorder: wall-clock per pipeline stage (frequency count, rarity
+// ordering, index build, verification), per-shard build-time
+// distributions (skew here means hot token shards), and the verification
+// funnel (pairs verified vs. pairs emitted). A nil recorder records
+// nothing; output is identical either way.
+func JaccardJoinTokensParallelObs(tokens [][]string, tau float64, parallelism int, rec *obs.Recorder) []ScoredPair {
 	p := normalizeParallelism(parallelism)
 	if p == 1 {
-		return JaccardJoinTokens(tokens, tau)
+		out := JaccardJoinTokens(tokens, tau)
+		rec.Count(MetricPairsEmitted, int64(len(out)))
+		return out
 	}
 	n := len(tokens)
 	if n < 2 {
@@ -133,6 +158,7 @@ func JaccardJoinTokensParallel(tokens [][]string, tau float64, parallelism int) 
 	// count their own record ranges into private maps, then each token
 	// shard merges its slice of every private map; no map is ever written
 	// by two goroutines.
+	doneFreq := rec.StartPhase(PhaseFreq)
 	locals := make([]map[string]int, p)
 	parallelFor(n, p, tokenizeChunk, func(w, lo, hi int) {
 		m := locals[w]
@@ -149,6 +175,7 @@ func JaccardJoinTokensParallel(tokens [][]string, tau float64, parallelism int) 
 	freq := make([]map[string]int, p) // shard -> token -> count
 	parallelFor(p, p, 1, func(_, lo, hi int) {
 		for s := lo; s < hi; s++ {
+			t0 := time.Now()
 			shard := make(map[string]int)
 			for _, m := range locals {
 				for t, c := range m {
@@ -158,12 +185,15 @@ func JaccardJoinTokensParallel(tokens [][]string, tau float64, parallelism int) 
 				}
 			}
 			freq[s] = shard
+			rec.Observe(MetricShardFreqSeconds, time.Since(t0).Seconds())
 		}
 	})
+	doneFreq()
 	lookup := func(t string) int { return freq[tokenShard(t, p)][t] }
 
 	// Phase 2 — per-record rarity ordering and prefix lengths, exactly as
 	// the sequential join computes them (same comparator, same tie-break).
+	doneOrder := rec.StartPhase(PhaseOrder)
 	ordered := make([][]string, n)
 	prefixes := make([]int, n)
 	parallelFor(n, p, tokenizeChunk, func(_, lo, hi int) {
@@ -180,13 +210,16 @@ func JaccardJoinTokensParallel(tokens [][]string, tau float64, parallelism int) 
 			prefixes[i] = prefixLen(len(o), tau)
 		}
 	})
+	doneOrder()
 
 	// Phase 3 — sharded inverted index over prefix tokens. Shard s scans
 	// records in ascending order and appends to postings of its own tokens
 	// only, so every postings list ends up ascending with no locking.
+	doneIndex := rec.StartPhase(PhaseIndex)
 	postings := make([]map[string][]int32, p) // shard -> token -> record ids
 	parallelFor(p, p, 1, func(_, lo, hi int) {
 		for s := lo; s < hi; s++ {
+			t0 := time.Now()
 			idx := make(map[string][]int32)
 			for i := 0; i < n; i++ {
 				for _, t := range ordered[i][:prefixes[i]] {
@@ -196,17 +229,21 @@ func JaccardJoinTokensParallel(tokens [][]string, tau float64, parallelism int) 
 				}
 			}
 			postings[s] = idx
+			rec.Observe(MetricShardIndexSeconds, time.Since(t0).Seconds())
 		}
 	})
+	doneIndex()
 
 	// Phase 4 — verification fan-out. Each record i verifies only
 	// candidates j < i, so every pair is owned by exactly one chunk and
 	// no cross-worker dedup is needed. Per-worker stamp arrays (a
 	// generation counter instead of clearing) dedup candidates within one
 	// record's postings walk.
+	doneVerify := rec.StartPhase(PhaseVerify)
 	bufs := make([][]ScoredPair, p)
 	stamps := make([][]int, p)
 	gens := make([]int, p)
+	verified := make([]int64, p) // per-worker, merged after the fan-out
 	parallelFor(n, p, verifyChunk, func(w, lo, hi int) {
 		if stamps[w] == nil {
 			stamps[w] = make([]int, n)
@@ -239,6 +276,7 @@ func JaccardJoinTokensParallel(tokens [][]string, tau float64, parallelism int) 
 				if float64(lmin)/float64(lmax) <= tau {
 					continue
 				}
+				verified[w]++
 				score := similarity.JaccardSorted(tokens[i], tokens[j])
 				if score > tau {
 					bufs[w] = append(bufs[w], ScoredPair{
@@ -249,9 +287,16 @@ func JaccardJoinTokensParallel(tokens [][]string, tau float64, parallelism int) 
 			}
 		}
 	})
+	doneVerify()
 
 	out := mergeBuffers(bufs)
 	sortScored(out)
+	var totalVerified int64
+	for _, v := range verified {
+		totalVerified += v
+	}
+	rec.Count(MetricPairsVerified, totalVerified)
+	rec.Count(MetricPairsEmitted, int64(len(out)))
 	return out
 }
 
@@ -259,20 +304,35 @@ func JaccardJoinTokensParallel(tokens [][]string, tau float64, parallelism int) 
 // fanned out row-chunk by row-chunk. Output is byte-identical to
 // NaiveJoin(records, metric, tau).
 func NaiveJoinParallel(records []record.Record, metric similarity.Metric, tau float64, parallelism int) []ScoredPair {
+	return NaiveJoinParallelObs(records, metric, tau, parallelism, nil)
+}
+
+// NaiveJoinParallelObs is NaiveJoinParallel reporting phase timings and
+// the verification funnel to a recorder (nil disables recording; output
+// is identical either way). The naive scan verifies every pair, so
+// MetricPairsVerified counts the full triangle n·(n−1)/2.
+func NaiveJoinParallelObs(records []record.Record, metric similarity.Metric, tau float64, parallelism int, rec *obs.Recorder) []ScoredPair {
 	p := normalizeParallelism(parallelism)
 	if p == 1 {
-		return NaiveJoin(records, metric, tau)
+		out := NaiveJoin(records, metric, tau)
+		n := int64(len(records))
+		rec.Count(MetricPairsVerified, n*(n-1)/2)
+		rec.Count(MetricPairsEmitted, int64(len(out)))
+		return out
 	}
 	if metric == nil {
 		metric = similarity.Jaccard
 	}
 	n := len(records)
 	texts := make([]string, n)
+	doneTok := rec.StartPhase(PhaseTokenize)
 	parallelFor(n, p, tokenizeChunk, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			texts[i] = records[i].Text()
 		}
 	})
+	doneTok()
+	doneVerify := rec.StartPhase(PhaseVerify)
 	bufs := make([][]ScoredPair, p)
 	parallelFor(n, p, naiveRowChunk, func(w, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -287,8 +347,11 @@ func NaiveJoinParallel(records []record.Record, metric similarity.Metric, tau fl
 			}
 		}
 	})
+	doneVerify()
 	out := mergeBuffers(bufs)
 	sortScored(out)
+	rec.Count(MetricPairsVerified, int64(n)*int64(n-1)/2)
+	rec.Count(MetricPairsEmitted, int64(len(out)))
 	return out
 }
 

@@ -1,7 +1,3 @@
-// Package cluster defines clusterings (disjoint covers of a record set),
-// the correlation-clustering objectives Λ(R) and Λ′(R) from Equations 1–2
-// of the paper, and the pairwise precision/recall/F1 evaluation metrics
-// used in Section 6.
 package cluster
 
 import (

@@ -1,0 +1,16 @@
+// Package cluster defines clusterings (disjoint covers of a record set),
+// the correlation-clustering objective Λ(R) from Equations 1–2 of the
+// paper, and the evaluation metrics used in Section 6.
+//
+// Paper artifacts:
+//
+//   - Clustering — a partition of the record universe with the
+//     Split/Merge mutations the refinement phase applies (Section 5.1).
+//   - Lambda — Λ(R), Equations 1–2: the weighted pair disagreements a
+//     clustering has with the (crowd) scores, the objective Crowd-Pivot
+//     5-approximates and refinement further reduces.
+//   - Evaluate — pairwise precision, recall and F1 (Section 6.1,
+//     "Evaluation Metrics").
+//   - AdjustedRandIndex, Purity, InversePurity, ClusterF1 — the extra
+//     clustering-quality metrics the ablations report.
+package cluster

@@ -5,6 +5,7 @@ import (
 
 	"acd/internal/cluster"
 	"acd/internal/crowd"
+	"acd/internal/obs"
 	"acd/internal/pruning"
 	"acd/internal/refine"
 )
@@ -24,6 +25,11 @@ type Config struct {
 	// Seed drives the random permutation. Runs with equal seeds and
 	// answers are identical.
 	Seed int64
+	// Obs, when set, receives the run's metrics and trace events,
+	// overriding any recorder the crowd source carries. Nil leaves the
+	// session's inherited recorder (if any) in place; metrics change
+	// nothing about the run itself.
+	Obs *obs.Recorder
 }
 
 // Output is the result of a full ACD run.
@@ -51,11 +57,19 @@ func ACD(cands *pruning.Candidates, answers crowd.Source, cfg Config) Output {
 		x = refine.DefaultX
 	}
 	sess := crowd.NewSession(answers)
+	if cfg.Obs != nil {
+		sess.SetRecorder(cfg.Obs)
+	}
+	rec := sess.Recorder()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	doneGen := rec.StartPhase("generate")
 	clusters, gen := PCPivot(cands, sess, eps, rng)
+	doneGen()
 	if !cfg.SkipRefinement {
+		doneRef := rec.StartPhase("refine")
 		clusters = refine.PCRefine(clusters, cands, sess, x)
+		doneRef()
 	} else {
 		clusters.Compact()
 	}

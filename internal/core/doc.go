@@ -1,0 +1,27 @@
+// Package core implements the cluster generation phase of ACD
+// (Section 4) and the full three-phase pipeline.
+//
+// Paper artifacts:
+//
+//   - CrowdPivot / CrowdPivotPerm — Algorithm 1, the sequential
+//     crowd-based Pivot: one crowd iteration per pivot, 5-approximation
+//     of Λ in expectation (Lemma 1).
+//   - PartialPivot — Algorithm 2, one batched round: crowdsource the
+//     pairs incident to the first k pivots at once, then resolve the
+//     batch sequentially. Its worst-case wasted pairs are bounded by
+//     Σ_{j≤k} w_j (Equation 3, Lemma 3).
+//   - WastedBounds — the per-pivot worst-case waste bounds w_j used by
+//     Equation 3.
+//   - PCPivot / PCPivotPerm — Algorithm 3, the parallel Crowd-Pivot: on
+//     each round pick the largest k with Σ_{j≤k} w_j ≤ ε·|P_k|
+//     (Equation 4), so total waste stays under ε·issued (Lemma 4), and
+//     the result equals the sequential run on the same permutation ℳ
+//     (Lemma 2).
+//   - ACD — the pipeline: pruned candidates → PC-Pivot → PC-Refine.
+//   - DefaultEpsilon — ε = 0.1 (Section 6.2, Figure 5).
+//
+// The instrumented runs publish the pivot/* metrics of metrics.go —
+// notably pivot/pairs_wasted vs pivot/predicted_wasted vs ε·budget, the
+// measurable form of Lemmas 3–4, asserted on live traces by
+// TestLemma3WastedPairBound.
+package core

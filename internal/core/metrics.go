@@ -1,0 +1,31 @@
+package core
+
+// Metric names emitted by the cluster generation phase. Together they
+// make the paper's analytical guarantees observable at runtime: each
+// PC-Pivot round chooses the largest batch k with Σ_{j≤k} w_j ≤ ε·|P_k|
+// (Equation 4), wastes at most Σw_j pairs versus the sequential
+// Crowd-Pivot (Lemma 3), and therefore at most an ε fraction overall
+// (Lemma 4). MetricPairsWasted ≤ MetricPredictedWasted ≤
+// ε·MetricBudgetPairs must hold on every run; the per-round version of
+// the invariant is carried by the "pivot.round" trace events.
+const (
+	// MetricRounds counts Partial-Pivot invocations (crowd iterations of
+	// the generation phase — the quantity Figure 5 sweeps ε against).
+	MetricRounds = "pivot/rounds"
+	// MetricBatchK is the distribution of chosen batch sizes k.
+	MetricBatchK = "pivot/batch_k"
+	// MetricPairsIssued counts candidate pairs crowdsourced by the phase.
+	MetricPairsIssued = "pivot/pairs_issued"
+	// MetricPairsWasted counts issued pairs the sequential Crowd-Pivot
+	// would not have issued (the actual waste).
+	MetricPairsWasted = "pivot/pairs_wasted"
+	// MetricPredictedWasted accumulates Σ_{j≤k} w_j over rounds: the
+	// worst-case waste admitted by Equation 4, an upper bound on
+	// MetricPairsWasted by Lemma 3.
+	MetricPredictedWasted = "pivot/predicted_wasted"
+	// MetricBudgetPairs accumulates |P_k| over rounds: the worst-case
+	// pairs issued, whose ε fraction upper-bounds MetricPredictedWasted.
+	MetricBudgetPairs = "pivot/budget_pairs"
+	// MetricEpsilon is the ε the run was configured with (a gauge).
+	MetricEpsilon = "pivot/epsilon"
+)

@@ -1,0 +1,145 @@
+package core_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"acd/internal/core"
+	"acd/internal/crowd"
+	"acd/internal/obs"
+)
+
+// TestMetricsMatchOracleInvocations is the accounting invariant of the
+// observability layer: on a session-driven run, the number of questions
+// the session reports answering must equal the number of times the
+// answer oracle was actually consulted, and both must equal the
+// Stats.Pairs the algorithm reports. A mismatch means some component
+// reached the crowd without going through the session (double-charging
+// or free answers).
+func TestMetricsMatchOracleInvocations(t *testing.T) {
+	_, cands, answers := smallInstance(t)
+	rec := obs.New()
+	out := core.ACD(cands, answers, core.Config{Seed: 7, Obs: rec})
+
+	snap := rec.Snapshot()
+	answered := snap.Counters[crowd.MetricQuestionsAnswered]
+	oracle := snap.Counters[crowd.MetricOracleInvocations]
+	issued := snap.Counters[crowd.MetricQuestionsIssued]
+	cached := snap.Counters[crowd.MetricQuestionsCached]
+
+	if answered != oracle {
+		t.Errorf("questions_answered = %d but oracle_invocations = %d", answered, oracle)
+	}
+	if answered != int64(out.Stats.Pairs) {
+		t.Errorf("questions_answered = %d but Stats.Pairs = %d", answered, out.Stats.Pairs)
+	}
+	if issued != answered+cached {
+		t.Errorf("issued = %d != answered %d + cached %d", issued, answered, cached)
+	}
+	if got := snap.Counters[crowd.MetricIterations]; got != int64(out.Stats.Iterations) {
+		t.Errorf("iterations counter = %d but Stats.Iterations = %d", got, out.Stats.Iterations)
+	}
+	if got := snap.Counters[crowd.MetricHITs]; got != int64(out.Stats.HITs) {
+		t.Errorf("hits counter = %d but Stats.HITs = %d", got, out.Stats.HITs)
+	}
+}
+
+// TestRecorderDoesNotChangeResult pins the zero-interference guarantee:
+// the exact same run with and without a recorder (and with tracing on)
+// produces the identical clustering and crowd accounting.
+func TestRecorderDoesNotChangeResult(t *testing.T) {
+	_, cands, answers := smallInstance(t)
+	plain := core.ACD(cands, answers, core.Config{Seed: 7})
+
+	_, cands2, answers2 := smallInstance(t)
+	rec := obs.New()
+	rec.SetTrace(&bytes.Buffer{})
+	observed := core.ACD(cands2, answers2, core.Config{Seed: 7, Obs: rec})
+
+	if plain.Stats != observed.Stats {
+		t.Errorf("stats diverged: plain %+v, observed %+v", plain.Stats, observed.Stats)
+	}
+	if a, b := plain.Clusters.Sets(), observed.Clusters.Sets(); len(a) != len(b) {
+		t.Errorf("cluster count diverged: %d vs %d", len(a), len(b))
+	} else if plain.Clusters.NumClusters() != observed.Clusters.NumClusters() {
+		t.Errorf("NumClusters diverged")
+	}
+}
+
+// pivotRound is the traced payload of one PC-Pivot round.
+type pivotRound struct {
+	Round   int     `json:"round"`
+	K       int     `json:"k"`
+	SumW    int     `json:"sum_w"`
+	PK      int     `json:"p_k"`
+	Epsilon float64 `json:"epsilon"`
+	Issued  int     `json:"issued"`
+	Wasted  int     `json:"wasted"`
+}
+
+// TestLemma3WastedPairBound checks the paper's batching guarantees on
+// every round of a real run, via the trace stream: the actual wasted
+// pairs never exceed the worst-case bound Σ_{j≤k} w_j (Lemma 3), and the
+// bound itself respects the budget Σ w_j ≤ ε·|P_k| that chooseK enforces
+// (Equation 4). In aggregate this yields Lemma 4's Wasted ≤ ε·Issued
+// over the worst-case issue count.
+func TestLemma3WastedPairBound(t *testing.T) {
+	_, cands, answers := smallInstance(t)
+	rec := obs.New()
+	var trace bytes.Buffer
+	rec.SetTrace(&trace)
+	core.ACD(cands, answers, core.Config{Seed: 7, Obs: rec})
+
+	rounds := 0
+	sc := bufio.NewScanner(&trace)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Name string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		if ev.Name != "pivot.round" {
+			continue
+		}
+		var pr struct {
+			Fields pivotRound `json:"fields"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &pr); err != nil {
+			t.Fatal(err)
+		}
+		r := pr.Fields
+		rounds++
+		if r.Wasted > r.SumW {
+			t.Errorf("round %d: wasted %d exceeds Lemma 3 bound Σw_j = %d", r.Round, r.Wasted, r.SumW)
+		}
+		// k = 1 is forced progress (w_1 = 0), so the budget always holds.
+		if float64(r.SumW) > r.Epsilon*float64(r.PK) {
+			t.Errorf("round %d: Σw_j = %d exceeds ε·|P_k| = %v·%d", r.Round, r.SumW, r.Epsilon, r.PK)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rounds == 0 {
+		t.Fatal("no pivot.round events traced")
+	}
+
+	snap := rec.Snapshot()
+	wasted := snap.Counters[core.MetricPairsWasted]
+	predicted := snap.Counters[core.MetricPredictedWasted]
+	budget := snap.Counters[core.MetricBudgetPairs]
+	eps := snap.Gauges[core.MetricEpsilon]
+	if wasted > predicted {
+		t.Errorf("aggregate wasted %d exceeds predicted %d", wasted, predicted)
+	}
+	if float64(predicted) > eps*float64(budget) {
+		t.Errorf("aggregate predicted %d exceeds ε·budget = %v·%d", predicted, eps, budget)
+	}
+	if got := snap.Counters[core.MetricRounds]; got != int64(rounds) {
+		t.Errorf("rounds counter %d but %d pivot.round events", got, rounds)
+	}
+}

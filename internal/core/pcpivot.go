@@ -44,16 +44,32 @@ func PCPivotPerm(cands *pruning.Candidates, s *crowd.Session, eps float64, m Per
 	if m.Len() != cands.N {
 		panic("core: permutation size mismatch")
 	}
+	rec := s.Recorder()
+	rec.Gauge(MetricEpsilon, eps)
 	g := buildGraph(cands)
 	var sets [][]record.ID
 	var stats PCStats
 	for g.LiveCount() > 0 {
-		k := chooseK(g, m, eps)
+		k, sumW, pk := chooseKBounds(g, m, eps)
 		res := PartialPivot(g, k, m, s)
 		sets = append(sets, res.Clusters...)
 		stats.Batches++
 		stats.Issued += res.Issued
 		stats.Wasted += res.Wasted
+
+		rec.Count(MetricRounds, 1)
+		rec.Count(MetricPairsIssued, int64(res.Issued))
+		rec.Count(MetricPairsWasted, int64(res.Wasted))
+		rec.Count(MetricPredictedWasted, int64(sumW))
+		rec.Count(MetricBudgetPairs, int64(pk))
+		rec.Observe(MetricBatchK, float64(k))
+		if rec.Tracing() {
+			rec.Trace("pivot.round", map[string]any{
+				"round": stats.Batches, "k": k, "sum_w": sumW, "p_k": pk,
+				"epsilon": eps, "issued": res.Issued, "wasted": res.Wasted,
+				"clusters": len(res.Clusters), "live": g.LiveCount(),
+			})
+		}
 	}
 	c, err := cluster.FromSets(cands.N, sets)
 	if err != nil {
@@ -68,6 +84,17 @@ func PCPivotPerm(cands *pruning.Candidates, s *crowd.Session, eps float64, m Per
 // order maintains both sides incrementally. k = 1 always satisfies the
 // constraint (w_1 = 0), so progress is guaranteed.
 func chooseK(g *graph.Graph, m Permutation, eps float64) int {
+	k, _, _ := chooseKBounds(g, m, eps)
+	return k
+}
+
+// chooseKBounds is chooseK exposing both sides of the accepted Equation 4
+// constraint: the chosen k, Σ_{j≤k} w_j (the worst-case wasted pairs the
+// batch admits — the bound Lemma 3 holds the actual waste to), and |P_k|
+// (the pairs the batch will issue in the worst case, whose ε fraction is
+// the budget). The observability layer records both so the invariant
+// Σw_j ≤ ε·|P_k| is checkable on every round of every run.
+func chooseKBounds(g *graph.Graph, m Permutation, eps float64) (k, sumWAtK, pkAtK int) {
 	live := g.LiveCount()
 	w := WastedBounds(g, live, m)
 	pivots := lowestRanked(g, live, m)
@@ -77,7 +104,7 @@ func chooseK(g *graph.Graph, m Permutation, eps float64) int {
 	isEarlierPivot := make(map[record.ID]bool, len(pivots))
 	sumW := 0
 	edgeCount := 0
-	k := 1
+	k = 1
 	for j, p := range pivots {
 		newEdges := 0
 		for _, nb := range g.Neighbors(p) {
@@ -91,7 +118,8 @@ func chooseK(g *graph.Graph, m Permutation, eps float64) int {
 			break
 		}
 		k = j + 1
+		sumWAtK, pkAtK = sumW, edgeCount
 		isEarlierPivot[p] = true
 	}
-	return k
+	return k, sumWAtK, pkAtK
 }

@@ -1,9 +1,3 @@
-// Package core implements the cluster generation phase of ACD
-// (Section 4): the sequential Crowd-Pivot algorithm (Algorithm 1), the
-// batched Partial-Pivot (Algorithm 2) with its wasted-pair bound
-// (Equation 3, Lemma 3), the parallel PC-Pivot (Algorithm 3, Equation 4),
-// and the full three-phase ACD pipeline that chains pruning, cluster
-// generation, and cluster refinement.
 package core
 
 import (

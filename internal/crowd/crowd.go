@@ -1,30 +1,10 @@
-// Package crowd simulates the Amazon Mechanical Turk substrate of the
-// paper's experiments (Section 6.1, "AMT Setting").
-//
-// The paper never queries AMT live during algorithm runs: all candidate
-// pairs are posted once, the answers are recorded in a local file F, and
-// every algorithm replays answers from F so that all methods see
-// identical crowd output. This package reproduces that design. An
-// AnswerSet plays the role of F: it holds, for every candidate pair, the
-// crowd score f_c (the fraction of workers marking the pair a duplicate)
-// drawn once from a seeded worker-error model. A Session wraps an
-// AnswerSet for one algorithm run and does the accounting the evaluation
-// reports: distinct pairs crowdsourced, crowd iterations (batches of
-// HITs), HITs, and monetary cost.
-//
-// Worker errors follow a per-pair difficulty d: each worker independently
-// answers the pair incorrectly with probability d. Majority votes over 3
-// or 5 workers then exhibit exactly the paper's observed behaviour —
-// easy pairs are almost always right, while pairs with d > 0.5 are
-// *systematically* wrong no matter how many workers vote (which is why
-// Table 3's Paper dataset barely improves from 3 to 5 workers). See
-// calibrate.go for how difficulties are fit to Table 3's error rates.
 package crowd
 
 import (
 	"fmt"
 	"math/rand"
 
+	"acd/internal/obs"
 	"acd/internal/record"
 )
 
@@ -59,6 +39,7 @@ type AnswerSet struct {
 	truth  map[record.Pair]bool
 	votes  map[record.Pair]int // per-pair vote counts; nil = config.Workers
 	config Config
+	rec    *obs.Recorder
 }
 
 // BuildAnswers simulates the one-time posting of all candidate pairs to
@@ -121,6 +102,16 @@ func pairSeed(seed int64, p record.Pair) int64 {
 	return int64(h & 0x7fffffffffffffff)
 }
 
+// SetRecorder attaches a metrics recorder: every Score call — the oracle
+// invocations of the simulated crowd — increments MetricOracleInvocations
+// on it. Sessions created over this answer set inherit the recorder (see
+// NewSession), so one SetRecorder call instruments a whole run. Must be
+// called before the answer set is shared across goroutines.
+func (a *AnswerSet) SetRecorder(rec *obs.Recorder) { a.rec = rec }
+
+// Recorder implements RecorderCarrier.
+func (a *AnswerSet) Recorder() *obs.Recorder { return a.rec }
+
 // Score returns the crowd score f_c for a pair. Asking about a pair
 // outside the candidate set panics: the algorithms only ever issue
 // candidate pairs, so anything else is a bug.
@@ -129,6 +120,7 @@ func (a *AnswerSet) Score(p record.Pair) float64 {
 	if !ok {
 		panic(fmt.Sprintf("crowd: pair %v was never posted (not a candidate)", p))
 	}
+	a.rec.Count(MetricOracleInvocations, 1)
 	return fc
 }
 
@@ -224,15 +216,41 @@ type Session struct {
 	answers Source
 	known   map[record.Pair]float64
 	stats   Stats
+	rec     *obs.Recorder
 }
 
-// NewSession starts an accounting session over a crowd source.
+// NewSession starts an accounting session over a crowd source. If the
+// source carries a metrics recorder (RecorderCarrier — AnswerSet with
+// SetRecorder does), the session adopts it and mirrors its accounting
+// into crowd/* metrics; SetRecorder overrides the inherited recorder.
 func NewSession(answers Source) *Session {
-	return &Session{
+	s := &Session{
 		answers: answers,
 		known:   make(map[record.Pair]float64),
 	}
+	if c, ok := answers.(RecorderCarrier); ok {
+		s.rec = c.Recorder()
+	}
+	return s
 }
+
+// SetRecorder attaches (or, with nil, detaches) a metrics recorder,
+// overriding any recorder inherited from the source. If the source also
+// accepts a recorder (RecorderSetter — AnswerSet does), the recorder is
+// pushed down so the oracle-invocation count stays in the same snapshot
+// as the session's question accounting.
+func (s *Session) SetRecorder(rec *obs.Recorder) {
+	s.rec = rec
+	if setter, ok := s.answers.(RecorderSetter); ok {
+		setter.SetRecorder(rec)
+	}
+}
+
+// Recorder returns the session's metrics recorder; nil when the session
+// is uninstrumented (every obs method is nil-safe, so callers use the
+// result without guarding). The crowd algorithms reach their recorder
+// through here — the session already flows through every crowd phase.
+func (s *Session) Recorder() *obs.Recorder { return s.rec }
 
 // Ask issues a batch of pairs to the crowd as one crowd iteration and
 // returns their scores in order. Pairs already known from earlier batches
@@ -268,21 +286,37 @@ func (s *Session) Ask(pairs []record.Pair) []float64 {
 			}
 		}
 		vc, _ := s.answers.(VoteCounter)
+		votes := 0
 		for i, p := range fresh {
 			s.known[p] = scores[i]
 			if vc != nil {
-				s.stats.Votes += vc.VoteCount(p)
+				votes += vc.VoteCount(p)
 			} else {
-				s.stats.Votes += s.answers.Config().Workers
+				votes += s.answers.Config().Workers
 			}
 		}
+		s.stats.Votes += votes
 		s.stats.Pairs += len(fresh)
 		s.stats.Iterations++
 		cfg := s.answers.Config()
 		hits := (len(fresh) + cfg.PairsPerHIT - 1) / cfg.PairsPerHIT
 		s.stats.HITs += hits
 		s.stats.Cents += hits * cfg.CentsPerHIT
+
+		s.rec.Count(MetricQuestionsAnswered, int64(len(fresh)))
+		s.rec.Count(MetricIterations, 1)
+		s.rec.Count(MetricHITs, int64(hits))
+		s.rec.Count(MetricCents, int64(hits*cfg.CentsPerHIT))
+		s.rec.Count(MetricVotes, int64(votes))
+		s.rec.Observe(MetricBatchSize, float64(len(fresh)))
+		if s.rec.Tracing() {
+			s.rec.Trace("crowd.iteration", map[string]any{
+				"fresh": len(fresh), "hits": hits, "iteration": s.stats.Iterations,
+			})
+		}
 	}
+	s.rec.Count(MetricQuestionsIssued, int64(len(pairs)))
+	s.rec.Count(MetricQuestionsCached, int64(len(pairs)-len(fresh)))
 
 	out := make([]float64, len(pairs))
 	for i, p := range pairs {

@@ -1,0 +1,31 @@
+// Package crowd simulates the Amazon Mechanical Turk substrate of the
+// paper's experiments (Section 6.1, "AMT Setting").
+//
+// The paper never queries AMT live during algorithm runs: all candidate
+// pairs are posted once, the answers are recorded in a local file F, and
+// every algorithm replays answers from F so that all methods see
+// identical crowd output. This package reproduces that design. An
+// AnswerSet plays the role of F: it holds, for every candidate pair, the
+// crowd score f_c (the fraction of workers marking the pair a duplicate)
+// drawn once from a seeded worker-error model. A Session wraps an
+// AnswerSet for one algorithm run and does the accounting the evaluation
+// reports: distinct pairs crowdsourced, crowd iterations (batches of
+// HITs), HITs, and monetary cost.
+//
+// Worker errors follow a per-pair difficulty d: each worker independently
+// answers the pair incorrectly with probability d. Majority votes over 3
+// or 5 workers then exhibit exactly the paper's observed behaviour —
+// easy pairs are almost always right, while pairs with d > 0.5 are
+// *systematically* wrong no matter how many workers vote (which is why
+// Table 3's Paper dataset barely improves from 3 to 5 workers). See
+// calibrate.go for how difficulties are fit to Table 3's error rates.
+//
+// The Session is also the accounting chokepoint of the observability
+// layer: it is the only component that consults the answer oracle, so
+// on an instrumented run crowd/questions_answered must equal
+// crowd/oracle_invocations exactly (metrics.go documents the crowd/*
+// names; TestMetricsMatchOracleInvocations in internal/core asserts the
+// invariant end to end). Pool, Qualification and LatencyModel extend
+// the simulation with AMT-style worker pools, admission rules, and
+// wall-clock latency estimates.
+package crowd

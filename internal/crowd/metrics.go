@@ -1,0 +1,92 @@
+package crowd
+
+import (
+	"time"
+
+	"acd/internal/obs"
+)
+
+// Metric names emitted by this package. The crowd phase is where ACD
+// spends money, so these are the repo's primary cost telemetry: the
+// paper evaluates every method by crowdsourced pairs (Figure 7) and
+// crowd iterations (Figures 5, 8), which correspond one-to-one to
+// MetricQuestionsAnswered and MetricIterations.
+const (
+	// MetricQuestionsIssued counts every pair handed to Session.Ask,
+	// including repeats the session cache absorbs.
+	MetricQuestionsIssued = "crowd/questions_issued"
+	// MetricQuestionsAnswered counts the distinct pairs actually sent to
+	// the crowd source — the paper's "# crowdsourced pairs" (Figure 7).
+	MetricQuestionsAnswered = "crowd/questions_answered"
+	// MetricQuestionsCached counts issued pairs answered for free from
+	// the session's known set A (asked in an earlier batch, duplicated
+	// within a batch, or implied by an earlier crowd iteration).
+	MetricQuestionsCached = "crowd/questions_cached"
+	// MetricIterations counts crowd round-trips (Figures 5 and 8).
+	MetricIterations = "crowd/iterations"
+	// MetricHITs counts HITs posted (PairsPerHIT pairs per HIT).
+	MetricHITs = "crowd/hits"
+	// MetricCents accumulates the monetary cost (HITs × CentsPerHIT).
+	MetricCents = "crowd/cents"
+	// MetricVotes counts individual worker votes collected.
+	MetricVotes = "crowd/votes"
+	// MetricOracleInvocations counts actual calls into the answer oracle
+	// (AnswerSet.Score). On a session-driven run it must equal
+	// MetricQuestionsAnswered — the accounting invariant asserted by
+	// TestMetricsMatchOracleInvocations — because the session is the only
+	// component allowed to consult the oracle.
+	MetricOracleInvocations = "crowd/oracle_invocations"
+	// MetricBatchSize is the distribution of fresh pairs per crowd
+	// iteration.
+	MetricBatchSize = "crowd/batch_size"
+	// MetricSimLatencySeconds is the simulated wall-clock crowd latency
+	// of the run under the LatencyModel (a gauge, seconds).
+	MetricSimLatencySeconds = "crowd/sim_latency_seconds"
+	// MetricPoolSize, MetricPoolEligible and MetricPoolOccupancy are the
+	// worker-pool gauges: population, workers admitted by the active
+	// qualification, and their ratio.
+	MetricPoolSize      = "crowd/pool_size"
+	MetricPoolEligible  = "crowd/pool_eligible"
+	MetricPoolOccupancy = "crowd/pool_occupancy"
+)
+
+// RecorderCarrier is implemented by crowd sources that carry a metrics
+// recorder. NewSession adopts the carrier's recorder, so instrumenting
+// the answer set once instruments every algorithm run over it — including
+// the sessions baselines open internally.
+type RecorderCarrier interface {
+	Recorder() *obs.Recorder
+}
+
+// RecorderSetter is implemented by crowd sources that accept a metrics
+// recorder. Session.SetRecorder pushes its recorder down through this
+// interface, so attaching a recorder at the session level also
+// instruments the underlying oracle.
+type RecorderSetter interface {
+	SetRecorder(*obs.Recorder)
+}
+
+// RecordPoolMetrics publishes a pool's occupancy gauges under a
+// qualification: how many workers exist, how many the qualification
+// admits, and the admission ratio.
+func RecordPoolMetrics(rec *obs.Recorder, p *Pool, q Qualification) {
+	if rec == nil || p == nil {
+		return
+	}
+	size := p.Size()
+	eligible := len(p.Eligible(q))
+	rec.Gauge(MetricPoolSize, float64(size))
+	rec.Gauge(MetricPoolEligible, float64(eligible))
+	if size > 0 {
+		rec.Gauge(MetricPoolOccupancy, float64(eligible)/float64(size))
+	}
+}
+
+// RecordSimulatedLatency runs the latency model over a finished run's
+// stats and records the simulated end-to-end crowd time as a gauge.
+// It returns the duration for callers that also want to print it.
+func RecordSimulatedLatency(rec *obs.Recorder, m LatencyModel, stats Stats, workers int) time.Duration {
+	d := m.TotalTime(stats, workers)
+	rec.Gauge(MetricSimLatencySeconds, d.Seconds())
+	return d
+}

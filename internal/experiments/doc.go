@@ -1,0 +1,25 @@
+// Package experiments assembles the paper's evaluation (Section 6 and
+// Appendix C): one runner per table and figure, shared by the acdbench
+// command and the repository's testing.B benchmarks. Each runner returns
+// the same rows/series the paper reports, so EXPERIMENTS.md can record
+// paper-vs-measured side by side.
+//
+// Paper artifacts:
+//
+//   - Table3 — dataset statistics and crowd error rates.
+//   - Figure5 — ε sensitivity of PC-Pivot (iterations vs. waste).
+//   - Comparison — the shared runs behind Figures 6 (F1), 7
+//     (crowdsourced pairs) and 8 (crowd iterations), ACD vs. the
+//     baselines on all datasets and worker settings.
+//   - Figure10 — the refinement budget sweep (x in T = N_m/x).
+//   - RefineVariants, AdaptiveWorkers, Aggregation, ProcessingTime,
+//     Robustness — the ablation suite (Appendix C style).
+//
+// An Instance fixes everything two methods must share to be comparable:
+// the dataset, the pruned candidate set, and the seeded answer sets
+// (the paper's answer file F, per worker setting). SetPruneParallelism
+// and SetRecorder configure instance construction process-wide — the
+// recorder flows into the pruning phase and every session opened on the
+// instance's answer sets, so a whole acdbench run accumulates into one
+// metrics snapshot.
+package experiments

@@ -1,8 +1,3 @@
-// Package experiments assembles the paper's evaluation (Section 6 and
-// Appendix C): one runner per table and figure, shared by the acdbench
-// command and the repository's testing.B benchmarks. Each runner returns
-// the same rows/series the paper reports, so EXPERIMENTS.md can record
-// paper-vs-measured side by side.
 package experiments
 
 import (
@@ -10,6 +5,7 @@ import (
 
 	"acd/internal/crowd"
 	"acd/internal/dataset"
+	"acd/internal/obs"
 	"acd/internal/pruning"
 )
 
@@ -28,6 +24,18 @@ var pruneParallelism int
 // time of instance construction changes. Not safe to call concurrently
 // with NewInstance.
 func SetPruneParallelism(p int) { pruneParallelism = p }
+
+// recorder is the obs sink subsequently built instances report to (nil =
+// none). Like pruneParallelism it is configured once at startup
+// (acdbench's -metrics/-trace flags) before any instance is built.
+var recorder *obs.Recorder
+
+// SetRecorder routes the pruning-phase metrics and the crowd accounting
+// of every subsequently built instance to rec. All sessions opened on an
+// instance's answer sets inherit the recorder, so a whole experiment
+// run accumulates into one snapshot. Recording never changes results.
+// Not safe to call concurrently with NewInstance.
+func SetRecorder(rec *obs.Recorder) { recorder = rec }
 
 // Instance is a fully prepared experimental setup for one dataset: the
 // generated records, the shared pruning-phase output, and one answer set
@@ -49,7 +57,7 @@ func NewInstance(name string, seed int64) (*Instance, error) {
 		return nil, err
 	}
 	tgt, _ := dataset.Target(name)
-	cands := pruning.Prune(d.Records, pruning.Options{Parallelism: pruneParallelism})
+	cands := pruning.Prune(d.Records, pruning.Options{Parallelism: pruneParallelism, Obs: recorder})
 	mix, _ := crowd.Calibrate(tgt.ErrorRate3W, tgt.ErrorRate5W)
 	truth := d.TruthFn()
 	diff := crowd.DifficultyAssignment(cands.PairList(), cands.Score, truth, mix)
@@ -62,6 +70,8 @@ func NewInstance(name string, seed int64) (*Instance, error) {
 	}
 	inst.answers[3] = crowd.BuildAnswers(cands.PairList(), truth, diff, crowd.ThreeWorker(seed+101))
 	inst.answers[5] = crowd.BuildAnswers(cands.PairList(), truth, diff, crowd.FiveWorker(seed+102))
+	inst.answers[3].SetRecorder(recorder)
+	inst.answers[5].SetRecorder(recorder)
 	return inst, nil
 }
 

@@ -1,0 +1,7 @@
+// Package graph implements the undirected pair graph G = (V_R, E_S) from
+// Section 3 of the paper: vertices are records, edges are candidate pairs
+// surviving the pruning phase. Crowd-Pivot and its parallel variants
+// consume and destructively shrink this graph as clusters form — Remove
+// retires a vertex once it is clustered, and LiveCount drives the outer
+// loop of Algorithms 1 and 3.
+package graph

@@ -1,7 +1,3 @@
-// Package graph implements the undirected pair graph G = (V_R, E_S) from
-// Section 3 of the paper: vertices are records, edges are candidate pairs
-// surviving the pruning phase. Crowd-Pivot and its parallel variants
-// consume and destructively shrink this graph as clusters form.
 package graph
 
 import (

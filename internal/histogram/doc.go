@@ -1,0 +1,12 @@
+// Package histogram implements the equi-depth histogram estimator of
+// Section 5.2: it maps a machine-based similarity score f(r, r′) to an
+// estimate of the crowd-based score f_c(r, r′), learned from the pairs
+// already crowdsourced. Following [48] (and the paper), the default
+// bucket count is m = 20, and the histogram is rebuilt whenever new crowd
+// answers arrive.
+//
+// The refinement phase is its only consumer: Equations 5–6 need f_c for
+// pairs the crowd has not answered yet, and Build's estimate stands in
+// until the pair is actually crowdsourced (the refine/histogram_rebuilds
+// and refine/histogram_samples metrics count this churn).
+package histogram

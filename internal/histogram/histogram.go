@@ -1,9 +1,3 @@
-// Package histogram implements the equi-depth histogram estimator of
-// Section 5.2: it maps a machine-based similarity score f(r, r′) to an
-// estimate of the crowd-based score f_c(r, r′), learned from the pairs
-// already crowdsourced. Following [48] (and the paper), the default
-// bucket count is m = 20, and the histogram is rebuilt whenever new crowd
-// answers arrive.
 package histogram
 
 import "sort"

@@ -1,0 +1,27 @@
+// Package machine implements the machine-only clustering algorithms the
+// paper builds on or argues against: the classic randomized Pivot [5]
+// (the base of Crowd-Pivot), the BOEM best-one-element-move
+// postprocessor [22] (which Section 5.1 shows is too expensive to
+// crowdsource), average-linkage agglomerative clustering (our stand-in
+// for the clustering step of CrowdER+), and connected components.
+//
+// All algorithms consume a score function over a fixed pair set: they
+// never ask the crowd.
+//
+// Paper artifacts:
+//
+//   - Pivot — the randomized Pivot of [5]; expected 5-approximation of
+//     the Λ minimizer (the guarantee Lemma 1 lifts to Crowd-Pivot).
+//   - BestPivot — Pivot with restarts, the machine-side variance remedy
+//     Section 3 explains a crowd cannot afford.
+//   - BOEM — best-one-element-move local search [22] (Section 5.1's
+//     cost argument for why refinement replaces it under a crowd).
+//   - Agglomerative — average-linkage clustering, the answer-clustering
+//     step of CrowdER+ in the baselines.
+//   - Components — transitive closure over a score threshold, the error
+//     amplifier of Figure 1.
+//
+// The *Obs variants (BestPivotObs, BOEMObs) report the machine/* metric
+// names in this package to a recorder; the plain names delegate with
+// recording disabled.
+package machine

@@ -1,12 +1,3 @@
-// Package machine implements the machine-only clustering algorithms the
-// paper builds on or argues against: the classic randomized Pivot [5]
-// (the base of Crowd-Pivot), the BOEM best-one-element-move
-// postprocessor [22] (which Section 5.1 shows is too expensive to
-// crowdsource), average-linkage agglomerative clustering (our stand-in
-// for the clustering step of CrowdER+), and connected components.
-//
-// All algorithms consume a score function over a fixed pair set: they
-// never ask the crowd.
 package machine
 
 import (
@@ -15,8 +6,22 @@ import (
 
 	"acd/internal/cluster"
 	"acd/internal/graph"
+	"acd/internal/obs"
 	"acd/internal/record"
 	"acd/internal/unionfind"
+)
+
+// Metric names emitted by the instrumented machine-only algorithms (the
+// *Obs variants). They cover the crowd-free pipeline acddedup falls back
+// to without ground truth: Pivot restarts scored by Λ, then BOEM moves.
+const (
+	// MetricPivotRuns counts Pivot restarts and MetricPivotLambda is the
+	// distribution of their Λ objective values — the variance the paper's
+	// Section 3 argues makes machine-only Pivot need many restarts.
+	MetricPivotRuns   = "machine/pivot_runs"
+	MetricPivotLambda = "machine/pivot_lambda"
+	// MetricBOEMMoves counts best-one-element moves applied.
+	MetricBOEMMoves = "machine/boem_moves"
 )
 
 // Pivot runs the classic randomized Pivot correlation clustering over the
@@ -55,14 +60,25 @@ func Pivot(n int, scores cluster.Scores, rng *rand.Rand) *cluster.Clustering {
 // smallest Λ — the standard machine-based remedy for Pivot's variance
 // that Section 3 explains is unaffordable with a crowd.
 func BestPivot(n int, scores cluster.Scores, runs int, rng *rand.Rand) *cluster.Clustering {
+	return BestPivotObs(n, scores, runs, rng, nil)
+}
+
+// BestPivotObs is BestPivot reporting each restart's Λ to a recorder
+// (nil records nothing), making Pivot's run-to-run variance a measurable
+// histogram instead of a claim.
+func BestPivotObs(n int, scores cluster.Scores, runs int, rng *rand.Rand, rec *obs.Recorder) *cluster.Clustering {
 	if runs < 1 {
 		runs = 1
 	}
+	done := rec.StartPhase("machine/pivot")
+	defer done()
 	var best *cluster.Clustering
 	bestL := 0.0
 	for i := 0; i < runs; i++ {
 		c := Pivot(n, scores, rng)
 		l := cluster.Lambda(c, scores)
+		rec.Count(MetricPivotRuns, 1)
+		rec.Observe(MetricPivotLambda, l)
 		if best == nil || l < bestL {
 			best, bestL = c, l
 		}
@@ -76,6 +92,15 @@ func BestPivot(n int, scores cluster.Scores, runs int, rng *rand.Rand) *cluster.
 // largest decrease. It needs every pair score, which is why the paper's
 // refinement phase replaces it under a crowd (Section 5.1).
 func BOEM(c *cluster.Clustering, scores cluster.Scores) *cluster.Clustering {
+	return BOEMObs(c, scores, nil)
+}
+
+// BOEMObs is BOEM counting each applied move on a recorder (nil records
+// nothing) — the move count is the number of crowd rounds a naive
+// Crowd-BOEM would need, which is the cost argument of Section 5.1.
+func BOEMObs(c *cluster.Clustering, scores cluster.Scores, rec *obs.Recorder) *cluster.Clustering {
+	done := rec.StartPhase("machine/boem")
+	defer done()
 	// Adjacency from the score map: only records connected by a scored
 	// pair can profitably share a cluster.
 	adj := make(map[record.ID][]record.ID)
@@ -128,6 +153,7 @@ func BOEM(c *cluster.Clustering, scores cluster.Scores) *cluster.Clustering {
 		if bestTarget == -2 {
 			break
 		}
+		rec.Count(MetricBOEMMoves, 1)
 		newIdx := c.Split(bestR)
 		if bestTarget >= 0 {
 			c.Merge(bestTarget, newIdx)

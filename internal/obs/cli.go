@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+)
+
+// CLIFlags bundles the observability command-line surface the cmd/ tools
+// share: -metrics (text snapshot), -metrics-json (JSON snapshot),
+// -trace FILE (JSONL event sink) and -metrics-http ADDR (expvar + JSON
+// snapshot over HTTP while the run is in flight). Register the flags,
+// call Activate once a Recorder exists, and Finish when the run is done.
+type CLIFlags struct {
+	// Metrics requests the text snapshot at the end of the run.
+	Metrics bool
+	// JSON requests the snapshot as JSON instead of a text table.
+	JSON bool
+	// TraceFile is the path of the JSONL trace sink ("" = no tracing,
+	// "-" = stderr).
+	TraceFile string
+	// HTTPAddr is the listen address of the in-run metrics endpoint
+	// ("" = disabled). Serves /metrics (JSON snapshot) and expvar's
+	// /debug/vars.
+	HTTPAddr string
+
+	rec       *Recorder
+	traceFile *os.File
+	listener  net.Listener
+}
+
+// RegisterFlags installs the shared observability flags on a FlagSet and
+// returns the struct their values land in.
+func RegisterFlags(fs *flag.FlagSet) *CLIFlags {
+	c := &CLIFlags{}
+	fs.BoolVar(&c.Metrics, "metrics", false, "print a metrics snapshot (per-phase counters, histograms, timers) after the run")
+	fs.BoolVar(&c.JSON, "metrics-json", false, "with -metrics, print the snapshot as JSON instead of a text table")
+	fs.StringVar(&c.TraceFile, "trace", "", "append JSONL trace events (pivot rounds, refine batches, crowd iterations) to this file; \"-\" for stderr")
+	fs.StringVar(&c.HTTPAddr, "metrics-http", "", "serve live metrics over HTTP at this address while the run executes (/metrics and /debug/vars)")
+	return c
+}
+
+// Enabled reports whether any observability output was requested.
+func (c *CLIFlags) Enabled() bool {
+	return c.Metrics || c.JSON || c.TraceFile != "" || c.HTTPAddr != ""
+}
+
+// Activate wires the flags to a recorder: opens the trace sink and starts
+// the HTTP endpoint as requested. It returns an error (and activates
+// nothing) if the trace file cannot be created or the address cannot be
+// bound.
+func (c *CLIFlags) Activate(rec *Recorder, stderr io.Writer) error {
+	c.rec = rec
+	switch c.TraceFile {
+	case "":
+	case "-":
+		rec.SetTrace(stderr)
+	default:
+		f, err := os.Create(c.TraceFile)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		c.traceFile = f
+		rec.SetTrace(f)
+	}
+	if c.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", c.HTTPAddr)
+		if err != nil {
+			if c.traceFile != nil {
+				c.traceFile.Close()
+			}
+			return fmt.Errorf("metrics-http: %w", err)
+		}
+		c.listener = ln
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", rec)
+		mux.Handle("/debug/vars", expvar.Handler())
+		go http.Serve(ln, mux) //nolint:errcheck — dies with the process
+		fmt.Fprintf(stderr, "metrics: serving on http://%s/metrics\n", ln.Addr())
+	}
+	return nil
+}
+
+// Finish renders the snapshot as requested, closes the trace sink, and
+// stops the HTTP endpoint. Safe to call when nothing was activated.
+func (c *CLIFlags) Finish(out io.Writer) {
+	if c.rec != nil && (c.Metrics || c.JSON) {
+		snap := c.rec.Snapshot()
+		if c.JSON {
+			snap.WriteJSON(out) //nolint:errcheck — best-effort CLI output
+		} else {
+			snap.WriteText(out)
+		}
+	}
+	if c.traceFile != nil {
+		c.traceFile.Close()
+		c.traceFile = nil
+	}
+	if c.listener != nil {
+		c.listener.Close()
+		c.listener = nil
+	}
+}
+
+// ServeHTTP implements http.Handler: the current snapshot as JSON. This
+// is the /metrics endpoint of -metrics-http.
+func (r *Recorder) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	r.Snapshot().WriteJSON(w) //nolint:errcheck — client went away
+}
+
+// publishMu serializes PublishExpvar against expvar's global registry.
+var publishMu sync.Mutex
+
+// PublishExpvar exposes the recorder under the given name in the
+// process-wide expvar registry (visible at /debug/vars). Re-publishing a
+// name replaces nothing — expvar registrations are permanent — so a
+// second call with a name that is already taken is a no-op rather than
+// the panic expvar.Publish raises.
+func (r *Recorder) PublishExpvar(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,424 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder collects a run's metrics: monotonically increasing counters,
+// last-write-wins gauges, bucketed value histograms, and phase timers,
+// plus an optional JSONL event sink (see trace.go). All methods are safe
+// for concurrent use — counters and gauges are single atomic words, and
+// histograms take a short per-histogram lock — so the parallel pruning
+// workers and the async crowd driver can record without coordination.
+//
+// Every method is nil-safe: calling it on a nil *Recorder is a no-op.
+// Instrumented code therefore never guards its recording sites; an
+// uninstrumented run pays one nil check per event and nothing else.
+type Recorder struct {
+	mu       sync.RWMutex
+	counters map[string]*atomic.Int64
+	gauges   map[string]*atomic.Uint64 // math.Float64bits encoded
+	hists    map[string]*histogram
+	phases   map[string]*phase
+
+	start time.Time
+	sink  atomic.Pointer[traceSink]
+}
+
+// New creates an empty Recorder.
+func New() *Recorder {
+	return &Recorder{
+		counters: make(map[string]*atomic.Int64),
+		gauges:   make(map[string]*atomic.Uint64),
+		hists:    make(map[string]*histogram),
+		phases:   make(map[string]*phase),
+		start:    time.Now(),
+	}
+}
+
+// Count adds delta to the named counter, creating it at zero first.
+func (r *Recorder) Count(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.counter(name).Add(delta)
+}
+
+// Counter returns the current value of a counter (0 if never written).
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	return c.Load()
+}
+
+// Gauge sets the named gauge to v (last write wins).
+func (r *Recorder) Gauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.gauge(name).Store(math.Float64bits(v))
+}
+
+// GaugeValue returns the current value of a gauge (0 if never written).
+func (r *Recorder) GaugeValue(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.Load())
+}
+
+// Observe records one sample into the named histogram.
+func (r *Recorder) Observe(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.hist(name).observe(v)
+}
+
+// StartPhase starts (or resumes) a named phase timer and returns the
+// function that stops it. Phases may nest and may run concurrently; each
+// start/stop pair contributes its own elapsed time.
+//
+//	done := rec.StartPhase("pruning")
+//	defer done()
+func (r *Recorder) StartPhase(name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	p := r.phase(name)
+	t0 := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			p.count.Add(1)
+			p.total.Add(int64(time.Since(t0)))
+		})
+	}
+}
+
+// counter returns (creating on first use) the named counter cell.
+func (r *Recorder) counter(name string) *atomic.Int64 {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = new(atomic.Int64)
+		r.counters[name] = c
+	}
+	return c
+}
+
+func (r *Recorder) gauge(name string) *atomic.Uint64 {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = new(atomic.Uint64)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+func (r *Recorder) hist(name string) *histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+func (r *Recorder) phase(name string) *phase {
+	r.mu.RLock()
+	p := r.phases[name]
+	r.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p = r.phases[name]; p == nil {
+		p = new(phase)
+		r.phases[name] = p
+	}
+	return p
+}
+
+// phase accumulates the wall-clock time and invocation count of one named
+// pipeline phase.
+type phase struct {
+	count atomic.Int64
+	total atomic.Int64 // nanoseconds
+}
+
+// numBuckets is the size of the histogram's exponential bucket array:
+// bucket i covers values with binary exponent i-bucketBias, giving useful
+// resolution from sub-microsecond durations up to billions.
+const (
+	numBuckets = 96
+	bucketBias = 32
+)
+
+// histogram is a fixed-memory, power-of-two-bucketed summary: exact
+// count/sum/min/max plus 96 exponential buckets for approximate
+// quantiles. A single mutex guards it; observations are rare enough
+// (thousands per run) that contention never shows.
+type histogram struct {
+	mu    sync.Mutex
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+	bkts  [numBuckets]int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// bucketOf maps a value to its exponential bucket index.
+func bucketOf(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	_, exp := math.Frexp(v)
+	i := exp + bucketBias
+	if i < 0 {
+		i = 0
+	}
+	if i >= numBuckets {
+		i = numBuckets - 1
+	}
+	return i
+}
+
+// bucketMid returns a representative value (geometric midpoint) for a
+// bucket, used by the quantile estimate.
+func bucketMid(i int) float64 {
+	if i == 0 {
+		return 0
+	}
+	// Bucket i holds values in [2^(e-1), 2^e) with e = i - bucketBias.
+	hi := math.Ldexp(1, i-bucketBias)
+	return hi * 0.75
+}
+
+func (h *histogram) observe(v float64) {
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.bkts[bucketOf(v)]++
+	h.mu.Unlock()
+}
+
+// summary extracts a HistSummary under the histogram's lock.
+func (h *histogram) summary() HistSummary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSummary{Count: h.count, Sum: h.sum}
+	if h.count == 0 {
+		return s
+	}
+	s.Min, s.Max = h.min, h.max
+	s.Mean = h.sum / float64(h.count)
+	q := func(frac float64) float64 {
+		target := int64(math.Ceil(frac * float64(h.count)))
+		if target < 1 {
+			target = 1
+		}
+		seen := int64(0)
+		for i, c := range h.bkts {
+			seen += c
+			if seen >= target {
+				m := bucketMid(i)
+				// Clamp the bucket estimate to the observed range so
+				// single-sample and narrow histograms report exact values.
+				if m < h.min {
+					m = h.min
+				}
+				if m > h.max {
+					m = h.max
+				}
+				return m
+			}
+		}
+		return h.max
+	}
+	s.P50, s.P90, s.P99 = q(0.50), q(0.90), q(0.99)
+	return s
+}
+
+// Snapshot captures a point-in-time, render-ready copy of every metric.
+func (r *Recorder) Snapshot() Metrics {
+	m := Metrics{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSummary{},
+		Phases:     map[string]PhaseSummary{},
+	}
+	if r == nil {
+		return m
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		m.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		m.Gauges[name] = math.Float64frombits(g.Load())
+	}
+	for name, h := range r.hists {
+		m.Histograms[name] = h.summary()
+	}
+	for name, p := range r.phases {
+		total := time.Duration(p.total.Load())
+		count := p.count.Load()
+		ps := PhaseSummary{Count: count, Total: total}
+		if count > 0 {
+			ps.Mean = total / time.Duration(count)
+		}
+		m.Phases[name] = ps
+	}
+	return m
+}
+
+// Metrics is a Recorder snapshot: plain maps, safe to retain, marshal and
+// render after the run has moved on.
+type Metrics struct {
+	// Counters holds the final counter values.
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Gauges holds the last value written to each gauge.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Histograms summarizes each value distribution.
+	Histograms map[string]HistSummary `json:"histograms,omitempty"`
+	// Phases reports wall-clock accounting per pipeline phase.
+	Phases map[string]PhaseSummary `json:"phases,omitempty"`
+}
+
+// HistSummary is the render-ready digest of one histogram. Quantiles are
+// approximate (power-of-two bucket midpoints clamped to [Min, Max]);
+// Count, Sum, Min, Max and Mean are exact.
+type HistSummary struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// PhaseSummary is the wall-clock accounting of one phase timer.
+type PhaseSummary struct {
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+}
+
+// Merge folds other's metrics into m: counters add, gauges take other's
+// value, phases add, histograms combine their exact moments (quantiles of
+// merged histograms are recomputed from the coarser of the two digests,
+// so Merge keeps them only approximately). Used by drivers that aggregate
+// per-run snapshots into one report.
+func (m Metrics) Merge(other Metrics) Metrics {
+	for k, v := range other.Counters {
+		m.Counters[k] += v
+	}
+	for k, v := range other.Gauges {
+		m.Gauges[k] = v
+	}
+	for k, v := range other.Histograms {
+		cur, ok := m.Histograms[k]
+		if !ok {
+			m.Histograms[k] = v
+			continue
+		}
+		merged := HistSummary{
+			Count: cur.Count + v.Count,
+			Sum:   cur.Sum + v.Sum,
+			Min:   math.Min(cur.Min, v.Min),
+			Max:   math.Max(cur.Max, v.Max),
+		}
+		if cur.Count == 0 {
+			merged.Min, merged.Max = v.Min, v.Max
+		} else if v.Count == 0 {
+			merged.Min, merged.Max = cur.Min, cur.Max
+		}
+		if merged.Count > 0 {
+			merged.Mean = merged.Sum / float64(merged.Count)
+		}
+		// Weighted blend keeps the quantiles in a sane range without the
+		// raw buckets.
+		tw := float64(cur.Count + v.Count)
+		if tw > 0 {
+			blend := func(a, b float64) float64 {
+				return (a*float64(cur.Count) + b*float64(v.Count)) / tw
+			}
+			merged.P50 = blend(cur.P50, v.P50)
+			merged.P90 = blend(cur.P90, v.P90)
+			merged.P99 = blend(cur.P99, v.P99)
+		}
+		m.Histograms[k] = merged
+	}
+	for k, v := range other.Phases {
+		cur := m.Phases[k]
+		cur.Count += v.Count
+		cur.Total += v.Total
+		if cur.Count > 0 {
+			cur.Mean = cur.Total / time.Duration(cur.Count)
+		}
+		m.Phases[k] = cur
+	}
+	return m
+}
+
+// sortedKeys returns the keys of a string-keyed map in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

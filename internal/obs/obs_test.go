@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Count("x", 1)
+	r.Gauge("g", 2)
+	r.Observe("h", 3)
+	r.StartPhase("p")()
+	r.Trace("e", nil)
+	r.SetTrace(&bytes.Buffer{})
+	if r.Tracing() {
+		t.Error("nil recorder reports tracing")
+	}
+	if got := r.Counter("x"); got != 0 {
+		t.Errorf("nil Counter = %d", got)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 {
+		t.Errorf("nil Snapshot not empty: %+v", snap)
+	}
+}
+
+func TestCountersGaugesPhases(t *testing.T) {
+	r := New()
+	r.Count("crowd/questions", 3)
+	r.Count("crowd/questions", 4)
+	r.Gauge("pivot/epsilon", 0.1)
+	r.Gauge("pivot/epsilon", 0.2)
+	done := r.StartPhase("prune")
+	time.Sleep(time.Millisecond)
+	done()
+	done() // double-stop must not double-count
+
+	if got := r.Counter("crowd/questions"); got != 7 {
+		t.Errorf("counter = %d, want 7", got)
+	}
+	if got := r.GaugeValue("pivot/epsilon"); got != 0.2 {
+		t.Errorf("gauge = %v, want 0.2", got)
+	}
+	snap := r.Snapshot()
+	p := snap.Phases["prune"]
+	if p.Count != 1 {
+		t.Errorf("phase count = %d, want 1", p.Count)
+	}
+	if p.Total <= 0 || p.Mean != p.Total {
+		t.Errorf("phase total/mean = %v/%v", p.Total, p.Mean)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	r := New()
+	for _, v := range []float64{1, 2, 3, 4, 100} {
+		r.Observe("k", v)
+	}
+	h := r.Snapshot().Histograms["k"]
+	if h.Count != 5 {
+		t.Fatalf("count = %d", h.Count)
+	}
+	if h.Min != 1 || h.Max != 100 {
+		t.Errorf("min/max = %v/%v", h.Min, h.Max)
+	}
+	if h.Mean != 22 {
+		t.Errorf("mean = %v, want 22", h.Mean)
+	}
+	if h.P50 < 1 || h.P50 > 4 {
+		t.Errorf("p50 = %v, want within [1, 4]", h.P50)
+	}
+	if h.P99 < 4 || h.P99 > 100 {
+		t.Errorf("p99 = %v out of range", h.P99)
+	}
+}
+
+func TestHistogramSingleSampleExactQuantiles(t *testing.T) {
+	r := New()
+	r.Observe("one", 42)
+	h := r.Snapshot().Histograms["one"]
+	if h.P50 != 42 || h.P99 != 42 {
+		t.Errorf("quantiles of a single sample = %v/%v, want 42 (clamped)", h.P50, h.P99)
+	}
+}
+
+func TestTraceJSONL(t *testing.T) {
+	r := New()
+	var buf bytes.Buffer
+	r.SetTrace(&buf)
+	if !r.Tracing() {
+		t.Fatal("Tracing() = false after SetTrace")
+	}
+	r.Trace("pivot.round", map[string]any{"k": 3, "sum_w": 1})
+	r.Trace("refine.batch", nil)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if ev.Name != "pivot.round" || ev.Fields["k"] != float64(3) {
+		t.Errorf("decoded event = %+v", ev)
+	}
+	r.SetTrace(nil)
+	if r.Tracing() {
+		t.Error("Tracing() = true after SetTrace(nil)")
+	}
+	r.Trace("dropped", nil)
+	if strings.Count(buf.String(), "\n") != 2 {
+		t.Error("event written after tracing disabled")
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	r := New()
+	r.Count("pruning/candidates", 12)
+	r.Gauge("pruning/tau", 0.3)
+	r.Observe("pivot/batch_k", 5)
+	r.StartPhase("pruning")()
+	var buf bytes.Buffer
+	r.Snapshot().WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{"== metrics ==", "[pruning]", "pruning/candidates", "12", "[histograms]", "pivot/batch_k", "[phases]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Count("a/b", 1)
+	r.Observe("a/h", 2.5)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if m.Counters["a/b"] != 1 || m.Histograms["a/h"].Count != 1 {
+		t.Errorf("round-tripped metrics = %+v", m)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New()
+	a.Count("c", 2)
+	a.Observe("h", 1)
+	a.StartPhase("p")()
+	b := New()
+	b.Count("c", 3)
+	b.Gauge("g", 9)
+	b.Observe("h", 3)
+
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Counters["c"] != 5 {
+		t.Errorf("merged counter = %d, want 5", m.Counters["c"])
+	}
+	if m.Gauges["g"] != 9 {
+		t.Errorf("merged gauge = %v", m.Gauges["g"])
+	}
+	h := m.Histograms["h"]
+	if h.Count != 2 || h.Sum != 4 || h.Min != 1 || h.Max != 3 || h.Mean != 2 {
+		t.Errorf("merged histogram = %+v", h)
+	}
+	if m.Phases["p"].Count != 1 {
+		t.Errorf("merged phases = %+v", m.Phases)
+	}
+}
+
+// TestConcurrentRecording is the subsystem's own race stress: many
+// goroutines hammer the same counters, gauges, histograms, phase timers
+// and trace sink while snapshots are taken concurrently. Run under
+// -race in CI, it proves the Recorder needs no external locking.
+func TestConcurrentRecording(t *testing.T) {
+	r := New()
+	var sink bytes.Buffer
+	r.SetTrace(&sink)
+	const goroutines = 16
+	const perG = 500
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Count("shared/counter", 1)
+				r.Gauge("shared/gauge", float64(i))
+				r.Observe("shared/hist", float64(i%7))
+				done := r.StartPhase("shared/phase")
+				done()
+				if i%100 == 0 {
+					r.Trace("tick", map[string]any{"g": g, "i": i})
+				}
+				if i%250 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("shared/counter"); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	snap := r.Snapshot()
+	if snap.Histograms["shared/hist"].Count != goroutines*perG {
+		t.Errorf("hist count = %d", snap.Histograms["shared/hist"].Count)
+	}
+	if snap.Phases["shared/phase"].Count != goroutines*perG {
+		t.Errorf("phase count = %d", snap.Phases["shared/phase"].Count)
+	}
+	if got := strings.Count(sink.String(), "\n"); got != goroutines*(perG/100) {
+		t.Errorf("trace lines = %d, want %d", got, goroutines*(perG/100))
+	}
+}

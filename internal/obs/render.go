@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteJSON writes the snapshot as one indented JSON document.
+func (m Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteText renders the snapshot as a fixed-width table, grouped by the
+// metric name's prefix (the segment before the first '/'): counters and
+// gauges first, then histograms, then phase timers. The format is meant
+// for eyeballs and for line-oriented tools (grep "pivot/"), not for
+// machines — machines get WriteJSON.
+func (m Metrics) WriteText(w io.Writer) {
+	fmt.Fprintln(w, "== metrics ==")
+	groups := map[string][]string{}
+	for name := range m.Counters {
+		g := prefixOf(name)
+		groups[g] = append(groups[g], name)
+	}
+	for name := range m.Gauges {
+		g := prefixOf(name)
+		groups[g] = append(groups[g], name)
+	}
+	for _, g := range sortedKeys(groups) {
+		fmt.Fprintf(w, "[%s]\n", g)
+		names := groups[g]
+		sort.Strings(names)
+		for _, name := range names {
+			if v, ok := m.Counters[name]; ok {
+				fmt.Fprintf(w, "  %-42s %12d\n", name, v)
+			} else {
+				fmt.Fprintf(w, "  %-42s %12.4g\n", name, m.Gauges[name])
+			}
+		}
+	}
+	if len(m.Histograms) > 0 {
+		fmt.Fprintln(w, "[histograms]")
+		for _, name := range sortedKeys(m.Histograms) {
+			h := m.Histograms[name]
+			fmt.Fprintf(w, "  %-42s n=%-8d mean=%-10.4g p50=%-10.4g p99=%-10.4g max=%.4g\n",
+				name, h.Count, h.Mean, h.P50, h.P99, h.Max)
+		}
+	}
+	if len(m.Phases) > 0 {
+		fmt.Fprintln(w, "[phases]")
+		for _, name := range sortedKeys(m.Phases) {
+			p := m.Phases[name]
+			fmt.Fprintf(w, "  %-42s n=%-8d total=%-12s mean=%s\n",
+				name, p.Count, roundDuration(p.Total), roundDuration(p.Mean))
+		}
+	}
+}
+
+// prefixOf returns a metric's group: the name up to the first '/', or the
+// whole name when it has no slash.
+func prefixOf(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// roundDuration trims durations to a readable precision.
+func roundDuration(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d
+	}
+}

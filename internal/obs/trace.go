@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// traceSink serializes trace events to one writer. A single mutex orders
+// concurrent emitters; each event is one JSON object per line (JSONL), so
+// sinks can be tailed, grepped, and replayed without a framing parser.
+type traceSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// SetTrace directs trace events to w as JSON lines. A nil w disables
+// tracing (the initial state). The recorder does not buffer or close w;
+// callers own its lifecycle.
+func (r *Recorder) SetTrace(w io.Writer) {
+	if r == nil {
+		return
+	}
+	if w == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&traceSink{enc: json.NewEncoder(w)})
+}
+
+// Tracing reports whether a trace writer is attached, so callers can skip
+// building expensive event payloads when no one is listening.
+func (r *Recorder) Tracing() bool {
+	return r != nil && r.sink.Load() != nil
+}
+
+// Event is one decoded trace line, as written by Trace: the elapsed time
+// since the recorder was created, the event name, and the emitter's
+// fields. Tests and offline analyzers unmarshal sink contents into it.
+type Event struct {
+	// ElapsedMS is milliseconds since Recorder creation.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Name identifies the event (e.g. "pivot.round").
+	Name string `json:"event"`
+	// Fields carries the event payload.
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Trace emits one event to the attached sink (no-op without one). fields
+// may be nil. Events carry a relative timestamp — elapsed time since the
+// recorder was created — so two runs of the same seed diff cleanly except
+// for the timings themselves.
+func (r *Recorder) Trace(name string, fields map[string]any) {
+	if r == nil {
+		return
+	}
+	s := r.sink.Load()
+	if s == nil {
+		return
+	}
+	ev := Event{
+		ElapsedMS: float64(time.Since(r.start)) / float64(time.Millisecond),
+		Name:      name,
+		Fields:    fields,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Encoding errors (closed file, full disk) are deliberately dropped:
+	// tracing is diagnostics, never control flow.
+	_ = s.enc.Encode(ev)
+}

@@ -1,0 +1,87 @@
+package pruning_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"acd/internal/obs"
+	"acd/internal/pruning"
+	"acd/internal/record"
+)
+
+// stressRecords builds a small synthetic universe with enough token
+// overlap to exercise the indexed join's verification fan-out.
+func stressRecords(n int) []record.Record {
+	recs := make([]record.Record, n)
+	for i := 0; i < n; i++ {
+		recs[i] = record.New(record.ID(i), map[string]string{
+			"name": fmt.Sprintf("entity %d common alpha beta", i/3),
+			"city": fmt.Sprintf("town%d", i%7),
+		})
+	}
+	return recs
+}
+
+// TestPruneObsConcurrent hammers one shared recorder from several
+// concurrent Prune runs, each of which fans out over its own worker
+// pool, with tracing enabled. Run under -race (CI does) this is the
+// regression test that the obs layer is safe to share across the
+// pruning phase's goroutines. It also checks the counters add up across
+// runs: counts merge, they don't overwrite.
+func TestPruneObsConcurrent(t *testing.T) {
+	rec := obs.New()
+	var traceBuf bytes.Buffer
+	rec.SetTrace(&syncWriter{w: &traceBuf})
+
+	recs := stressRecords(120)
+	single := pruning.Prune(recs, pruning.Options{Parallelism: 4})
+
+	const runs = 8
+	var wg sync.WaitGroup
+	results := make([]*pruning.Candidates, runs)
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = pruning.Prune(recs, pruning.Options{Parallelism: 4, Obs: rec})
+		}(i)
+	}
+	wg.Wait()
+
+	for i, got := range results {
+		if len(got.Pairs) != len(single.Pairs) {
+			t.Errorf("run %d: %d pairs, want %d (recording changed the output?)",
+				i, len(got.Pairs), len(single.Pairs))
+		}
+	}
+
+	snap := rec.Snapshot()
+	if got, want := snap.Counters[pruning.MetricRecords], int64(runs*len(recs)); got != want {
+		t.Errorf("records counter = %d, want %d", got, want)
+	}
+	if got, want := snap.Counters[pruning.MetricCandidates], int64(runs*len(single.Pairs)); got != want {
+		t.Errorf("candidates counter = %d, want %d", got, want)
+	}
+	if ph, ok := snap.Phases["pruning"]; !ok || ph.Count != runs {
+		t.Errorf("pruning phase count = %+v, want %d timings", ph, runs)
+	}
+	if traceBuf.Len() == 0 {
+		t.Error("no trace events written")
+	}
+}
+
+// syncWriter makes a bytes.Buffer safe for the recorder's concurrent
+// test use. (The recorder serializes its own writes; this guards the
+// final Len read racing nothing in practice, but -race can't know.)
+type syncWriter struct {
+	mu sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

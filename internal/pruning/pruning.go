@@ -1,9 +1,3 @@
-// Package pruning implements the first phase of ACD (Section 3): it
-// builds the machine-based similarity function f over a record set and
-// emits the candidate set S of pairs with f(r_i, r_j) > τ. Everything
-// downstream (the crowd phases, all baselines) consumes its Candidates
-// result, matching the paper's setup where every method shares the same
-// pruning phase (Section 6.1: Jaccard, τ = 0.3).
 package pruning
 
 import (
@@ -11,8 +5,22 @@ import (
 
 	"acd/internal/blocking"
 	"acd/internal/cluster"
+	"acd/internal/obs"
 	"acd/internal/record"
 	"acd/internal/similarity"
+)
+
+// Metric names emitted by the pruning phase (the joins add the
+// finer-grained pruning/* funnel and phase timers; see
+// internal/blocking).
+const (
+	// MetricRecords is the input universe size |R| (a counter so repeated
+	// runs under one recorder accumulate total records processed).
+	MetricRecords = "pruning/records"
+	// MetricCandidates counts the candidate pairs kept, |S|.
+	MetricCandidates = "pruning/candidates"
+	// MetricTau is the threshold the run used (a gauge).
+	MetricTau = "pruning/tau"
 )
 
 // DefaultTau is the similarity threshold used throughout the paper's
@@ -51,6 +59,10 @@ type Options struct {
 	// Output is byte-identical across all settings (see the equivalence
 	// property tests in internal/blocking).
 	Parallelism int
+	// Obs, when set, receives the phase's metrics: the pruning/* funnel
+	// counters, join stage timers and per-shard build timings. Nil (the
+	// zero value) records nothing. Recording never changes the output.
+	Obs *obs.Recorder
 }
 
 // EffectiveTau resolves the threshold the run will use: Tau when TauSet
@@ -65,16 +77,27 @@ func (o Options) EffectiveTau() float64 {
 // Prune runs the pruning phase over records and returns the candidate
 // set.
 func Prune(records []record.Record, opts Options) *Candidates {
+	rec := opts.Obs
+	done := rec.StartPhase("pruning")
+	defer done()
 	tau := opts.EffectiveTau()
+	rec.Gauge(MetricTau, tau)
+	rec.Count(MetricRecords, int64(len(records)))
 	var scored []blocking.ScoredPair
 	if opts.Metric == nil {
-		scored = blocking.JaccardJoinParallel(records, tau, opts.Parallelism)
+		scored = blocking.JaccardJoinParallelObs(records, tau, opts.Parallelism, rec)
 	} else {
-		scored = blocking.NaiveJoinParallel(records, opts.Metric, tau, opts.Parallelism)
+		scored = blocking.NaiveJoinParallelObs(records, opts.Metric, tau, opts.Parallelism, rec)
 	}
 	machine := make(cluster.Scores, len(scored))
 	for _, sp := range scored {
 		machine[sp.Pair] = sp.Score
+	}
+	rec.Count(MetricCandidates, int64(len(scored)))
+	if rec.Tracing() {
+		rec.Trace("pruning.done", map[string]any{
+			"records": len(records), "tau": tau, "candidates": len(scored),
+		})
 	}
 	return &Candidates{Pairs: scored, Machine: machine, N: len(records)}
 }

@@ -1,0 +1,15 @@
+// Package quality implements worker-quality estimation and weighted
+// answer aggregation in the style of Dawid–Skene, the quality-management
+// line of work the paper cites for extracting high-quality answers from
+// crowds ([29, 37, 43, 45] in its related work). Given raw per-worker
+// votes (crowd.Vote), an EM procedure jointly estimates each worker's
+// confusion probabilities and each pair's posterior probability of being
+// a duplicate; the posterior is a drop-in replacement for the plain
+// majority-vote crowd score f_c, and it downweights unreliable workers
+// automatically.
+//
+// Estimate runs the EM fit; ErrorRate scores any aggregated answer map
+// against ground truth (the measurement behind Table 3's error-rate
+// columns). acdcampaign's -aggregate ds flag selects this estimator over
+// plain majority voting.
+package quality

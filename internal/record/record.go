@@ -1,12 +1,3 @@
-// Package record defines the record model used throughout the ACD
-// reproduction: records to be deduplicated, pair identifiers, and the
-// normalization and tokenization primitives that the similarity metrics
-// and the pruning phase build on.
-//
-// A Record is a flat bag of named string fields plus a stable integer ID.
-// IDs are assiged densely (0..n-1) within a dataset so that downstream
-// structures (pair graphs, union-find, clusterings) can use slice-indexed
-// storage instead of maps.
 package record
 
 import (

@@ -19,6 +19,7 @@ import (
 // set is the paper's A, and every new question is charged to it.
 func CrowdRefine(c *cluster.Clustering, cands *pruning.Candidates, sess *crowd.Session) *cluster.Clustering {
 	st := newState(c, cands, sess)
+	rec := sess.Recorder()
 	for {
 		st.applyKnownPositive()
 
@@ -27,12 +28,17 @@ func CrowdRefine(c *cluster.Clustering, cands *pruning.Candidates, sess *crowd.S
 			break // best ratio ≤ 0 (Lines 10-11)
 		}
 		chosen := ranked[0]
+		rec.Count(MetricOpsEnumerated, int64(len(ranked)))
+		rec.Count(MetricBatches, 1)
+		rec.Count(MetricOpsPacked, 1)
+		rec.Observe(MetricRatio, chosen.ratio())
 		// Crowdsource the unknown pairs of the chosen operation
 		// (Line 12) and recompute its benefit exactly.
 		sess.Ask(chosen.unknown)
 		st.rebuildHistogram()
 		if b := st.exactBenefit(chosen.op); b > 0 {
 			st.apply(chosen.op) // Lines 13-14
+			rec.Count(MetricOpsApplied, 1)
 		}
 	}
 	c.Compact()

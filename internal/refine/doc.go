@@ -1,0 +1,24 @@
+// Package refine implements the cluster refinement phase of ACD
+// (Section 5).
+//
+// Paper artifacts:
+//
+//   - Op — the split/merge operations of Section 5.1, with exact
+//     benefits (Equations 5–6, the Λ decrease) and crowdsourcing costs
+//     (Equations 7–8, the unknown pairs outside the session's set A).
+//   - CrowdRefine — Algorithm 4, the sequential refinement: apply free
+//     known-positive operations, else crowdsource the best estimated
+//     benefit-cost ratio b*(o)/c(o) and apply it if its exact benefit
+//     is positive.
+//   - PCRefine / PCRefineMode — Algorithm 5, the batched refinement:
+//     greedily pack independent operations by descending ratio
+//     (Equation 9, Lemma 5: batching loses nothing because independent
+//     operations' benefits are additive) under the per-batch cost
+//     budget T = N_m/x (Section 5.4); DefaultX is the paper's x = 8.
+//
+// Benefit estimation for unknown pairs goes through the equi-depth
+// estimator of internal/histogram (Section 5.2). Instrumented runs
+// publish the refine/* metrics of metrics.go: operations enumerated,
+// packed and applied per batch, the ratio distribution, and histogram
+// rebuild churn.
+package refine

@@ -1,0 +1,37 @@
+package refine
+
+// Metric names emitted by the cluster refinement phase. They expose how
+// the phase spends its budget: operations are enumerated (every split
+// and connected merge on the current clustering), the positive-ratio
+// ones are ranked by benefit-cost ratio b*(o)/c(o), packed greedily into
+// an independent set up to the budget T = N_m/x (Section 5.4), resolved
+// in one crowd iteration, and applied only when the exact benefit stays
+// positive.
+const (
+	// MetricBatches counts PC-Refine rounds (one crowd iteration each).
+	MetricBatches = "refine/batches"
+	// MetricOpsEnumerated counts candidate operations scored across all
+	// rounds (after ranking; zero-cost known-positive ops drain earlier
+	// and are counted by MetricFreeApplies).
+	MetricOpsEnumerated = "refine/ops_enumerated"
+	// MetricOpsPacked counts operations admitted into a batch by the
+	// greedy independent packing.
+	MetricOpsPacked = "refine/ops_packed"
+	// MetricOpsApplied counts packed operations whose exact benefit was
+	// positive after crowdsourcing and that were therefore applied.
+	MetricOpsApplied = "refine/ops_applied"
+	// MetricFreeApplies counts known-positive operations applied without
+	// any crowd cost (the O⁺ drain of Algorithms 4–5, lines 4–7).
+	MetricFreeApplies = "refine/free_applies"
+	// MetricRatio is the distribution of benefit-cost ratios of packed
+	// operations (the paper's selection criterion, Equation 9).
+	MetricRatio = "refine/ratio"
+	// MetricBudget is the distribution of per-round budgets T = N_m/x.
+	MetricBudget = "refine/budget"
+	// MetricHistRebuilds counts rebuilds of the machine→crowd score
+	// estimator, and MetricHistSamples gauges the sample count of the
+	// latest fit — the "probability fit" the machine side contributes to
+	// the refinement phase (Section 5.2).
+	MetricHistRebuilds = "refine/histogram_rebuilds"
+	MetricHistSamples  = "refine/histogram_samples"
+)

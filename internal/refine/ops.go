@@ -1,9 +1,3 @@
-// Package refine implements the cluster refinement phase of ACD
-// (Section 5): split/merge operations with their benefits (Equations 5–6)
-// and crowdsourcing costs (Equations 7–8), the sequential Crowd-Refine
-// (Algorithm 4), and the batched PC-Refine (Algorithm 5) with its greedy
-// independent-operation packing (Equation 9, Lemma 5) and cost budget
-// T = N_m/x (Section 5.4).
 package refine
 
 import (
@@ -36,6 +30,7 @@ type Op struct {
 	A, B   int       // A: source/first cluster; B: merge partner
 }
 
+// String renders the op for logs and error messages.
 func (o Op) String() string {
 	if o.Kind == SplitOp {
 		return fmt.Sprintf("split(%d from C%d)", o.Record, o.A)
@@ -185,6 +180,9 @@ func (st *state) rebuildHistogram() {
 		samples = append(samples, histogram.Sample{Machine: st.cands.Score(p), Crowd: fc})
 	}
 	st.hist = histogram.Build(samples, histogram.DefaultBuckets)
+	rec := st.sess.Recorder()
+	rec.Count(MetricHistRebuilds, 1)
+	rec.Gauge(MetricHistSamples, float64(len(samples)))
 }
 
 // estimate returns the best available f_c estimate for a pair: the exact
@@ -341,6 +339,7 @@ func (st *state) applyKnownPositive() {
 			return
 		}
 		st.apply(best.op)
+		st.sess.Recorder().Count(MetricFreeApplies, 1)
 	}
 }
 

@@ -34,6 +34,7 @@ func PCRefineMode(c *cluster.Clustering, cands *pruning.Candidates, sess *crowd.
 	}
 	st := newState(c, cands, sess)
 	st.mode = mode
+	rec := sess.Recorder()
 	for {
 		st.applyKnownPositive()
 
@@ -42,6 +43,8 @@ func PCRefineMode(c *cluster.Clustering, cands *pruning.Candidates, sess *crowd.
 			break
 		}
 		budget := threshold(st, x)
+		rec.Count(MetricOpsEnumerated, int64(len(ranked)))
+		rec.Observe(MetricBudget, float64(budget))
 
 		// Greedy independent packing (Lines 9-14).
 		var packed []scoredOp
@@ -60,6 +63,7 @@ func PCRefineMode(c *cluster.Clustering, cands *pruning.Candidates, sess *crowd.
 			if indep {
 				packed = append(packed, s)
 				totalCost += s.cost
+				rec.Observe(MetricRatio, s.ratio())
 			}
 		}
 		if len(packed) == 0 {
@@ -77,6 +81,15 @@ func PCRefineMode(c *cluster.Clustering, cands *pruning.Candidates, sess *crowd.
 				st.apply(s.op) // Lines 16-18
 				applied++
 			}
+		}
+		rec.Count(MetricBatches, 1)
+		rec.Count(MetricOpsPacked, int64(len(packed)))
+		rec.Count(MetricOpsApplied, int64(applied))
+		if rec.Tracing() {
+			rec.Trace("refine.batch", map[string]any{
+				"ranked": len(ranked), "packed": len(packed), "applied": applied,
+				"budget": budget, "cost": totalCost,
+			})
 		}
 		if applied == 0 {
 			break // Lines 19-20

@@ -1,0 +1,13 @@
+// Package similarity implements the machine-based similarity metrics used
+// by the pruning phase of ACD and by the baseline algorithms.
+//
+// The paper's experiments use token Jaccard with threshold τ = 0.3
+// (Section 6.1, "Pruning Phase Setting"); the other metrics here cover the
+// families cited in Section 2.1: character-based (Levenshtein [32],
+// Jaro-Winkler), token-based (Jaccard, cosine, overlap [12]), n-gram, and
+// phonetic (a Metaphone-style key [39]).
+//
+// All metric functions are symmetric and return scores in [0, 1], with 1
+// meaning identical under the metric's notion of equality. ByName maps
+// the CLI flag spellings ("jaccard", "levenshtein", ...) to metrics.
+package similarity

@@ -1,0 +1,152 @@
+// Command lintdoc enforces the repository's documentation bar: every
+// exported top-level symbol (function, method, type, and ungrouped
+// var/const) must carry a doc comment, so `go doc` stays a complete
+// paper-to-code index. It uses only go/ast — no external linters.
+//
+// Usage:
+//
+//	go run ./internal/tools/lintdoc [dir ...]   (default: .)
+//
+// Directories are walked recursively; _test.go files and testdata/ are
+// skipped. Exit status 1 when any violation is found.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	bad := 0
+	for _, root := range roots {
+		violations, err := lintTree(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lintdoc: %v\n", err)
+			os.Exit(2)
+		}
+		for _, v := range violations {
+			fmt.Println(v)
+		}
+		bad += len(violations)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "lintdoc: %d exported symbol(s) without doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintTree walks a directory tree and lints every non-test Go file.
+func lintTree(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		vs, err := lintFile(path)
+		if err != nil {
+			return err
+		}
+		out = append(out, vs...)
+		return nil
+	})
+	return out, err
+}
+
+// lintFile reports the undocumented exported symbols of one file.
+func lintFile(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil && exportedRecv(d) {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Pos(), kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			lintGenDecl(d, report)
+		}
+	}
+	return out, nil
+}
+
+// exportedRecv reports whether a FuncDecl is a plain function or a
+// method on an exported receiver type; methods on unexported types are
+// invisible in go doc and exempt.
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// lintGenDecl handles type/var/const declarations. A doc comment on the
+// group covers every spec in it (the idiomatic form for const blocks);
+// otherwise each exported spec needs its own.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	if d.Doc != nil {
+		return
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), d.Tok.String(), n.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command mdcheck verifies that every relative link in the given
+// markdown files points at a file or directory that exists, so the
+// repository's documentation never rots silently. External links
+// (http/https/mailto) and pure in-page anchors are skipped — checking
+// them would need the network or a markdown heading parser, and the
+// failure mode this tool guards against is renamed/deleted repo files.
+//
+// Usage:
+//
+//	go run ./internal/tools/mdcheck README.md DESIGN.md ...
+//
+// Exit status 1 when any link is broken.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links [text](target). Images
+// ![alt](target) match too via the optional bang.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdcheck FILE.md ...")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, file := range os.Args[1:] {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mdcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skippable(target) {
+					continue
+				}
+				target = strings.SplitN(target, "#", 2)[0]
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(file), target)
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Printf("%s:%d: broken link %q (%s does not exist)\n", file, i+1, m[1], resolved)
+					broken++
+				}
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// skippable reports whether a link target is outside this tool's remit:
+// external URLs and in-page anchors.
+func skippable(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

@@ -1,0 +1,7 @@
+// Package unionfind provides a disjoint-set forest with union by rank and
+// path compression. It backs the transitive-closure bookkeeping in the
+// TransM and TransNode baselines (the inference rule of [47]: answered
+// pairs imply unanswered ones through transitivity) and
+// connected-component extraction in the machine clustering package
+// (Figure 1's transitive-closure failure mode).
+package unionfind

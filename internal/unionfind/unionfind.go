@@ -1,7 +1,3 @@
-// Package unionfind provides a disjoint-set forest with union by rank and
-// path compression. It backs the transitive-closure bookkeeping in the
-// TransM and TransNode baselines and connected-component extraction in the
-// machine clustering package.
 package unionfind
 
 // UF is a disjoint-set forest over the dense universe 0..n-1.
