@@ -6,6 +6,7 @@
 //	acdbench [-exp all|table3|fig5|fig6|fig7|fig8|fig10|ablation]
 //	         [-seed N] [-workers 3|5] [-parallel N] [-chart]
 //	         [-metrics] [-metrics-json] [-trace FILE] [-metrics-http ADDR]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // fig6, fig7 and fig8 share the same runs (one comparison produces the
 // F1, pair-count and iteration series), so requesting any of them prints
@@ -15,6 +16,11 @@
 // PC-Pivot rounds and wasted pairs, refine operations, crowd question
 // accounting) is printed to stderr after the experiments finish; -trace
 // streams per-round JSONL events as they happen.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run, the
+// companion knobs to the benchmark suite's -cpuprofile: acdbench is the
+// repo's end-to-end workload, so its profiles show where the pipeline
+// spends time outside any single benchmark's scope.
 package main
 
 import (
@@ -22,6 +28,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"acd/internal/experiments"
 	"acd/internal/obs"
@@ -42,11 +50,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "restrict comparisons to one worker setting (3 or 5); 0 = both")
 	chart := fs.Bool("chart", false, "render figure comparisons as bar charts")
 	parallel := fs.Int("parallel", 0, "pruning-phase worker pool: 0 = one per CPU, 1 = sequential, N = N workers")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	experiments.SetPruneParallelism(*parallel)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "acdbench: cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "acdbench: cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "acdbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "acdbench: memprofile: %v\n", err)
+			}
+		}()
+	}
 	if obsFlags.Enabled() {
 		rec := obs.New()
 		if err := obsFlags.Activate(rec, stderr); err != nil {

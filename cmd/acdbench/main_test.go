@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 )
@@ -79,6 +80,28 @@ func counterValue(t *testing.T, snapshot, name string) int64 {
 	}
 	t.Fatalf("counter %s not found in snapshot", name)
 	return 0
+}
+
+// TestRunProfiles smoke-tests -cpuprofile/-memprofile: exit 0 and
+// non-empty pprof files, on the cheapest experiment.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := dir + "/cpu.pprof"
+	mem := dir + "/mem.pprof"
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "table3", "-seed", "1", "-cpuprofile", cpu, "-memprofile", mem}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
 }
 
 func TestRunBadFlags(t *testing.T) {

@@ -1,0 +1,171 @@
+package acd_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"acd/internal/cluster"
+	"acd/internal/core"
+	"acd/internal/crowd"
+	"acd/internal/refine"
+)
+
+// The golden determinism tests pin the exact observable behavior of the
+// crowd phases — the PC-Pivot clustering, its per-round (k, issued,
+// wasted) sequence, the post-PC-Refine clustering, and the session's
+// crowdsourcing accounting — for every experiment dataset at fixed
+// seeds. The committed hashes were generated from the pre-optimization
+// (map-based graph, re-enumerating drain loop) implementation, so any
+// data-plane rewrite must reproduce its output byte for byte to pass.
+//
+// Regenerate with:
+//
+//	go test -run TestGoldenDeterminism -update-golden .
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_determinism.json from the current implementation")
+
+const goldenPath = "testdata/golden_determinism.json"
+
+// goldenEntry holds the four hashes pinned for one (dataset, seed) run.
+type goldenEntry struct {
+	// Pivot is the hash of the PC-Pivot clustering (canonical sets).
+	Pivot string `json:"pivot"`
+	// Rounds is the hash of the per-round (k, issued, wasted) sequence
+	// plus the PCStats totals.
+	Rounds string `json:"rounds"`
+	// Refined is the hash of the post-PC-Refine clustering.
+	Refined string `json:"refined"`
+	// Stats is the hash of the session's final crowd accounting.
+	Stats string `json:"stats"`
+}
+
+// goldenConfigs enumerates the pinned runs: every experiment dataset at
+// two instance seeds, 3-worker answers, the default ε and x.
+var goldenConfigs = []struct {
+	Dataset string
+	Seed    int64
+}{
+	{"Paper", 1}, {"Paper", 2},
+	{"Restaurant", 1}, {"Restaurant", 2},
+	{"Product", 1}, {"Product", 2},
+}
+
+func goldenKey(dataset string, seed int64) string {
+	return fmt.Sprintf("%s/seed%d/3w", dataset, seed)
+}
+
+// hashString returns the hex sha256 of a canonical string.
+func hashString(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// hashClustering canonicalizes a clustering via Sets (sorted members,
+// sorted by smallest member), independent of internal cluster indices.
+func hashClustering(c *cluster.Clustering) string {
+	var b strings.Builder
+	for _, set := range c.Sets() {
+		for i, r := range set {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", r)
+		}
+		b.WriteByte(';')
+	}
+	return hashString(b.String())
+}
+
+func hashRounds(stats core.PCStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "batches=%d issued=%d wasted=%d|", stats.Batches, stats.Issued, stats.Wasted)
+	for _, r := range stats.Rounds {
+		fmt.Fprintf(&b, "%d,%d,%d;", r.K, r.Issued, r.Wasted)
+	}
+	return hashString(b.String())
+}
+
+func hashStats(s crowd.Stats) string {
+	return hashString(fmt.Sprintf("pairs=%d iters=%d hits=%d cents=%d votes=%d",
+		s.Pairs, s.Iterations, s.HITs, s.Cents, s.Votes))
+}
+
+// runGolden executes the pinned pipeline for one config and returns its
+// hashes.
+func runGolden(t *testing.T, dataset string, seed int64) goldenEntry {
+	t.Helper()
+	in := instanceSeed(t, dataset, seed)
+	sess := crowd.NewSession(in.Answers(3))
+	rng := rand.New(rand.NewSource(seed))
+	c, stats := core.PCPivot(in.Cands, sess, core.DefaultEpsilon, rng)
+	e := goldenEntry{
+		Pivot:  hashClustering(c),
+		Rounds: hashRounds(stats),
+	}
+	refined := refine.PCRefine(c, in.Cands, sess, refine.DefaultX)
+	e.Refined = hashClustering(refined)
+	e.Stats = hashStats(sess.Stats())
+	return e
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	if *updateGolden {
+		golden := make(map[string]goldenEntry, len(goldenConfigs))
+		for _, cfg := range goldenConfigs {
+			golden[goldenKey(cfg.Dataset, cfg.Seed)] = runGolden(t, cfg.Dataset, cfg.Seed)
+		}
+		keys := make([]string, 0, len(golden))
+		for k := range golden {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out, err := json.MarshalIndent(golden, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden entries to %s", len(keys), goldenPath)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing goldens (run with -update-golden to generate): %v", err)
+	}
+	var golden map[string]goldenEntry
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatalf("corrupt %s: %v", goldenPath, err)
+	}
+	for _, cfg := range goldenConfigs {
+		cfg := cfg
+		t.Run(goldenKey(cfg.Dataset, cfg.Seed), func(t *testing.T) {
+			want, ok := golden[goldenKey(cfg.Dataset, cfg.Seed)]
+			if !ok {
+				t.Fatalf("no golden entry (run with -update-golden)")
+			}
+			got := runGolden(t, cfg.Dataset, cfg.Seed)
+			if got.Pivot != want.Pivot {
+				t.Errorf("PC-Pivot clustering diverged from golden:\n got %s\nwant %s", got.Pivot, want.Pivot)
+			}
+			if got.Rounds != want.Rounds {
+				t.Errorf("per-round (k, issued, wasted) sequence diverged from golden:\n got %s\nwant %s", got.Rounds, want.Rounds)
+			}
+			if got.Refined != want.Refined {
+				t.Errorf("post-PC-Refine clustering diverged from golden:\n got %s\nwant %s", got.Refined, want.Refined)
+			}
+			if got.Stats != want.Stats {
+				t.Errorf("crowd accounting diverged from golden:\n got %s\nwant %s", got.Stats, want.Stats)
+			}
+		})
+	}
+}

@@ -29,9 +29,12 @@ func newEstimator(cands *pruning.Candidates, sess *crowd.Session) *estimator {
 
 // refresh rebuilds the histogram from everything crowdsourced so far.
 func (e *estimator) refresh() {
-	known := e.sess.KnownPairs()
+	// First-crowdsourced order keeps the equi-depth bucketing of tied
+	// machine scores reproducible; ranging over the known map would not.
+	known := e.sess.KnownOrdered()
 	samples := make([]histogram.Sample, 0, len(known))
-	for p, fc := range known {
+	for _, p := range known {
+		fc, _ := e.sess.Known(p)
 		samples = append(samples, histogram.Sample{Machine: e.cands.Score(p), Crowd: fc})
 	}
 	e.hist = histogram.Build(samples, histogram.DefaultBuckets)

@@ -15,6 +15,7 @@ type Clustering struct {
 	assign   []int         // record -> cluster index, -1 if unassigned
 	clusters [][]record.ID // cluster index -> members (unordered)
 	sizes    []int         // cluster index -> live size
+	nonEmpty int           // count of clusters with size > 0
 }
 
 // NewSingletons returns the clustering where every record is alone.
@@ -29,6 +30,7 @@ func NewSingletons(n int) *Clustering {
 		c.clusters[i] = []record.ID{record.ID(i)}
 		c.sizes[i] = 1
 	}
+	c.nonEmpty = n
 	return c
 }
 
@@ -57,6 +59,9 @@ func FromSets(n int, sets [][]record.ID) (*Clustering, error) {
 		}
 		c.clusters = append(c.clusters, members)
 		c.sizes = append(c.sizes, len(members))
+		if len(members) > 0 {
+			c.nonEmpty++
+		}
 	}
 	for r, a := range c.assign {
 		if a == -1 {
@@ -78,16 +83,11 @@ func MustFromSets(n int, sets [][]record.ID) *Clustering {
 // Len returns the number of records in the universe.
 func (c *Clustering) Len() int { return len(c.assign) }
 
-// NumClusters returns the number of non-empty clusters.
-func (c *Clustering) NumClusters() int {
-	n := 0
-	for _, s := range c.sizes {
-		if s > 0 {
-			n++
-		}
-	}
-	return n
-}
+// NumClusters returns the number of non-empty clusters. It is O(1): the
+// count is maintained incrementally through Split, Merge and Compact, so
+// per-batch budget computations in the refinement phase do not rescan
+// every cluster slot.
+func (c *Clustering) NumClusters() int { return c.nonEmpty }
 
 // Assignment returns the cluster index of record r.
 func (c *Clustering) Assignment(r record.ID) int { return c.assign[r] }
@@ -116,9 +116,13 @@ func (c *Clustering) Split(r record.ID) int {
 		}
 	}
 	c.sizes[old]--
+	if c.sizes[old] == 0 {
+		c.nonEmpty--
+	}
 	idx := len(c.clusters)
 	c.clusters = append(c.clusters, []record.ID{r})
 	c.sizes = append(c.sizes, 1)
+	c.nonEmpty++
 	c.assign[r] = idx
 	return idx
 }
@@ -139,6 +143,7 @@ func (c *Clustering) Merge(a, b int) {
 	c.sizes[a] += c.sizes[b]
 	c.clusters[b] = nil
 	c.sizes[b] = 0
+	c.nonEmpty--
 }
 
 // Sets returns the non-empty clusters as sorted member slices, themselves
@@ -187,6 +192,7 @@ func (c *Clustering) Clone() *Clustering {
 		assign:   append([]int(nil), c.assign...),
 		clusters: make([][]record.ID, len(c.clusters)),
 		sizes:    append([]int(nil), c.sizes...),
+		nonEmpty: c.nonEmpty,
 	}
 	for i, m := range c.clusters {
 		if m != nil {
@@ -213,6 +219,7 @@ func (c *Clustering) Compact() {
 	}
 	c.clusters = newClusters
 	c.sizes = newSizes
+	c.nonEmpty = len(newClusters)
 }
 
 // ClusterIndices returns the indices of all non-empty clusters.

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"reflect"
 	"testing"
 
 	"acd/internal/cluster"
@@ -60,7 +61,7 @@ func TestACDSkipRefinement(t *testing.T) {
 		t.Errorf("PC-Pivot-only issued more pairs (%d) than full ACD (%d)",
 			gen.Stats.Pairs, full.Stats.Pairs)
 	}
-	if gen.Generation != full.Generation {
+	if !reflect.DeepEqual(gen.Generation, full.Generation) {
 		t.Errorf("same seed, different generation stats: %+v vs %+v", gen.Generation, full.Generation)
 	}
 }

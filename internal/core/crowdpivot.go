@@ -11,13 +11,10 @@ import (
 )
 
 // buildGraph constructs G = (V_R, E_S) from the candidate set (Line 2 of
-// Algorithms 1 and 3).
+// Algorithms 1 and 3), bulk-loading the adjacency slices instead of
+// paying per-edge sorted insertion.
 func buildGraph(cands *pruning.Candidates) *graph.Graph {
-	g := graph.New(cands.N)
-	for _, sp := range cands.Pairs {
-		g.AddEdge(sp.Pair.Lo, sp.Pair.Hi)
-	}
-	return g
+	return graph.FromPairs(cands.N, cands.PairList())
 }
 
 // CrowdPivot runs Algorithm 1, the sequential crowd-based Pivot: in each

@@ -27,70 +27,13 @@ type BatchResult struct {
 // (Lemma 2). Clustered vertices are removed from g, so the caller can
 // chain batches; g plays the role of both G_i (input) and G_{i+1}
 // (output).
+//
+// This standalone entry point allocates fresh scratch state per call;
+// PCPivot threads one pivotRun through all of its rounds instead.
 func PartialPivot(g *graph.Graph, k int, m Permutation, s *crowd.Session) BatchResult {
-	pivots := lowestRanked(g, k, m)
-
-	// Gather P: all distinct live edges incident to any pivot (Line 3).
-	var pairs []record.Pair
-	seen := make(map[record.Pair]struct{})
-	for _, p := range pivots {
-		for _, nb := range g.Neighbors(p) {
-			pr := record.MakePair(p, nb)
-			if _, dup := seen[pr]; !dup {
-				seen[pr] = struct{}{}
-				pairs = append(pairs, pr)
-			}
-		}
-	}
-
-	// Crowdsource P in one batch (Line 4) and build H_i, the subgraph
-	// induced by the positive edges P′ (Lines 5-6), as adjacency lists.
-	scores := s.Ask(pairs)
-	positive := make(map[record.ID][]record.ID)
-	for i, pr := range pairs {
-		if scores[i] > 0.5 {
-			positive[pr.Lo] = append(positive[pr.Lo], pr.Hi)
-			positive[pr.Hi] = append(positive[pr.Hi], pr.Lo)
-		}
-	}
-
-	// Form clusters pivot-by-pivot (Lines 7-11), tracking which pairs the
-	// sequential algorithm would have issued so the batch's wasted count
-	// is exact: when pivot r_j is still unclustered, sequential
-	// Crowd-Pivot issues r_j's edges to all still-live vertices. (Each
-	// pivot-pivot edge is counted at most once: a pivot is removed at its
-	// own turn with its cluster, so a later pivot never re-counts it.)
-	res := BatchResult{Issued: len(pairs)}
-	removed := make(map[record.ID]bool)
-	seqIssued := 0
-	for _, pivot := range pivots {
-		if removed[pivot] {
-			continue
-		}
-		for _, nb := range g.Neighbors(pivot) {
-			if !removed[nb] {
-				seqIssued++
-			}
-		}
-		members := []record.ID{pivot}
-		for _, nb := range positive[pivot] {
-			if !removed[nb] {
-				members = append(members, nb)
-			}
-		}
-		for _, r := range members {
-			removed[r] = true
-		}
-		res.Clusters = append(res.Clusters, members)
-	}
-	res.Wasted = res.Issued - seqIssued
-
-	for _, members := range res.Clusters {
-		for _, r := range members {
-			g.Remove(r)
-		}
-	}
-	return res
+	pr := newPivotRun(g, m)
+	pr.scan(noEpsilon, k, nil)
+	return pr.partialPivot(s)
 }
 
 // lowestRanked returns the k live vertices of g with the smallest
@@ -113,49 +56,12 @@ func lowestRanked(g *graph.Graph, k int, m Permutation) []record.ID {
 //     may be wasted except those to the earlier pivots themselves;
 //   - otherwise only r_j's edges to vertices that are also adjacent to
 //     an earlier pivot may be wasted.
+//
+// It shares the fused scan with chooseKBounds (with the Equation-4 stop
+// disabled), so the bound definition lives in exactly one place.
 func WastedBounds(g *graph.Graph, k int, m Permutation) []int {
-	pivots := lowestRanked(g, k, m)
-	w := make([]int, len(pivots))
-	pivotIndex := make(map[record.ID]int, len(pivots))
-	for j, p := range pivots {
-		pivotIndex[p] = j
-	}
-	// coveredBy[v] = smallest pivot index l such that v is adjacent to
-	// pivots[l]; -1 if none.
-	covered := make(map[record.ID]int)
-	for j, p := range pivots {
-		adjEarlier := false
-		for _, nb := range g.Neighbors(p) {
-			if l, ok := pivotIndex[nb]; ok && l < j {
-				adjEarlier = true
-				break
-			}
-		}
-		if adjEarlier {
-			// All neighbors except earlier pivots.
-			count := 0
-			for _, nb := range g.Neighbors(p) {
-				if l, ok := pivotIndex[nb]; ok && l < j {
-					continue
-				}
-				count++
-			}
-			w[j] = count
-		} else {
-			// Neighbors shared with an earlier pivot.
-			count := 0
-			for _, nb := range g.Neighbors(p) {
-				if l, ok := covered[nb]; ok && l < j {
-					count++
-				}
-			}
-			w[j] = count
-		}
-		for _, nb := range g.Neighbors(p) {
-			if _, ok := covered[nb]; !ok {
-				covered[nb] = j
-			}
-		}
-	}
+	pr := newPivotRun(g, m)
+	w := make([]int, 0, k)
+	pr.scan(noEpsilon, k, &w)
 	return w
 }

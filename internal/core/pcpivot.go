@@ -27,6 +27,22 @@ type PCStats struct {
 	// Wasted is how many of those the sequential Crowd-Pivot would not
 	// have issued; Lemma 4 guarantees Wasted ≤ ε·Issued.
 	Wasted int
+	// Rounds is the per-batch (k, issued, wasted) sequence, in batch
+	// order. The golden determinism tests hash it to pin the algorithm's
+	// round-by-round behavior, not just the totals.
+	Rounds []RoundStat
+}
+
+// RoundStat is the crowdsourcing accounting of a single Partial-Pivot
+// batch within a PC-Pivot run.
+type RoundStat struct {
+	// K is the pivot batch size chosen by Equation 4 for this round.
+	K int
+	// Issued is the number of candidate pairs this batch crowdsourced.
+	Issued int
+	// Wasted is the number of issued pairs the sequential Crowd-Pivot
+	// would not have issued.
+	Wasted int
 }
 
 // PCPivot runs Algorithm 3, the parallel Crowd-Pivot: it repeatedly picks
@@ -47,15 +63,17 @@ func PCPivotPerm(cands *pruning.Candidates, s *crowd.Session, eps float64, m Per
 	rec := s.Recorder()
 	rec.Gauge(MetricEpsilon, eps)
 	g := buildGraph(cands)
+	run := newPivotRun(g, m)
 	var sets [][]record.ID
 	var stats PCStats
 	for g.LiveCount() > 0 {
-		k, sumW, pk := chooseKBounds(g, m, eps)
-		res := PartialPivot(g, k, m, s)
+		k, sumW, pk := run.scan(eps, maxPivots, nil)
+		res := run.partialPivot(s)
 		sets = append(sets, res.Clusters...)
 		stats.Batches++
 		stats.Issued += res.Issued
 		stats.Wasted += res.Wasted
+		stats.Rounds = append(stats.Rounds, RoundStat{K: k, Issued: res.Issued, Wasted: res.Wasted})
 
 		rec.Count(MetricRounds, 1)
 		rec.Count(MetricPairsIssued, int64(res.Issued))
@@ -94,32 +112,11 @@ func chooseK(g *graph.Graph, m Permutation, eps float64) int {
 // (the pairs the batch will issue in the worst case, whose ε fraction is
 // the budget). The observability layer records both so the invariant
 // Σw_j ≤ ε·|P_k| is checkable on every round of every run.
+//
+// The implementation is the fused scan of pivotRun, which computes the
+// pivot sequence, the Equation-3 bounds, and the budget in one walk and
+// stops at the first violation; this wrapper exists for tests and
+// callers outside a PC-Pivot run loop.
 func chooseKBounds(g *graph.Graph, m Permutation, eps float64) (k, sumWAtK, pkAtK int) {
-	live := g.LiveCount()
-	w := WastedBounds(g, live, m)
-	pivots := lowestRanked(g, live, m)
-
-	// |P_j| grows by the number of r_j's edges not already incident to an
-	// earlier pivot.
-	isEarlierPivot := make(map[record.ID]bool, len(pivots))
-	sumW := 0
-	edgeCount := 0
-	k = 1
-	for j, p := range pivots {
-		newEdges := 0
-		for _, nb := range g.Neighbors(p) {
-			if !isEarlierPivot[nb] {
-				newEdges++
-			}
-		}
-		edgeCount += newEdges
-		sumW += w[j]
-		if float64(sumW) > eps*float64(edgeCount) {
-			break
-		}
-		k = j + 1
-		sumWAtK, pkAtK = sumW, edgeCount
-		isEarlierPivot[p] = true
-	}
-	return k, sumWAtK, pkAtK
+	return newPivotRun(g, m).scan(eps, maxPivots, nil)
 }

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+
+	"acd/internal/crowd"
+	"acd/internal/graph"
+	"acd/internal/record"
+)
+
+// pivotRun is the reusable data-plane state of one PC-Pivot run. The
+// original implementation paid, on every round, an O(N) permutation
+// rescan in lowestRanked, fresh map allocations in WastedBounds and
+// chooseKBounds, and a pair-dedup map plus positive-adjacency map in
+// PartialPivot. pivotRun replaces all of that with:
+//
+//   - a persistent permutation cursor: once a rank has been clustered it
+//     can never come back, so each round resumes the scan where the
+//     previous batch's last pivot left off instead of from rank 0;
+//   - epoch-stamped scratch arrays: pivot membership, coverage marks and
+//     within-batch removal are O(1) stamp comparisons against the round
+//     counter, so "clearing" them between rounds is a single increment;
+//   - a fused selection pass (scan) that computes the pivots, their
+//     Equation-3 wasted bounds w_j, and the Equation-4 budget in one
+//     walk, stopping at the first violation rather than bounding every
+//     live vertex.
+//
+// The outputs are byte-identical to the original formulation; the golden
+// determinism tests pin that equivalence.
+type pivotRun struct {
+	g      *graph.Graph
+	m      Permutation
+	cursor int // all permutation ranks below this are clustered
+
+	epoch     int32
+	pivotSeen []int32 // stamp: v is a pivot of the current round
+	pivotIdx  []int32 // v's pivot index, valid when pivotSeen[v] == epoch
+	covSeen   []int32 // stamp: v is adjacent to an earlier pivot
+	batchSeen []int32 // stamp: v was clustered within the current batch
+
+	lastPivotAt int // permutation index of the last accepted pivot
+
+	pivots   []record.ID   // scratch: the current round's pivots
+	pairs    []record.Pair // scratch: the current round's issued batch
+	posLists [][]record.ID // scratch: per-pivot positive neighbors
+}
+
+func newPivotRun(g *graph.Graph, m Permutation) *pivotRun {
+	n := g.Len()
+	return &pivotRun{
+		g:         g,
+		m:         m,
+		pivotSeen: make([]int32, n),
+		pivotIdx:  make([]int32, n),
+		covSeen:   make([]int32, n),
+		batchSeen: make([]int32, n),
+	}
+}
+
+// scan runs the fused pivot-selection pass over the live graph in
+// permutation order, starting at the persistent cursor: it accumulates
+// pivots with their Equation-3 wasted bounds w_j and both sides of the
+// Equation-4 constraint Σw_j ≤ ε·|P_k|, stopping at the first violation
+// (or after maxK pivots). A negative eps disables the constraint — the
+// mode the WastedBounds compatibility wrapper uses. If w is non-nil,
+// each accepted pivot's w_j is appended to it.
+//
+// It returns the chosen k with the accepted Σw_j and |P_k| — exactly
+// chooseKBounds' contract. The pivots and their index stamps remain in
+// the scratch arrays for partialPivot to consume within the same epoch.
+func (pr *pivotRun) scan(eps float64, maxK int, w *[]int) (k, sumWAtK, pkAtK int) {
+	pr.epoch++
+	pr.pivots = pr.pivots[:0]
+	g, m := pr.g, pr.m
+	sumW, edgeCount := 0, 0
+	k = 1
+	j := int32(0)
+	for i := pr.cursor; i < m.Len() && int(j) < maxK; i++ {
+		p := m.At(i)
+		if !g.Live(p) {
+			continue
+		}
+		nbrs := g.Neighbors(p)
+		// w_j (Equation 3): if p is adjacent to an earlier pivot, every
+		// edge except those to earlier pivots may be wasted; otherwise
+		// only edges to vertices already covered by an earlier pivot.
+		// |P_j| grows by the edges not already incident to an earlier
+		// pivot. One walk computes both.
+		adjEarlier := false
+		for _, nb := range nbrs {
+			if pr.pivotSeen[nb] == pr.epoch {
+				adjEarlier = true
+				break
+			}
+		}
+		wj, newEdges := 0, 0
+		for _, nb := range nbrs {
+			if pr.pivotSeen[nb] == pr.epoch {
+				continue // earlier pivot: neither wasted nor newly issued
+			}
+			newEdges++
+			if adjEarlier || pr.covSeen[nb] == pr.epoch {
+				wj++
+			}
+		}
+		edgeCount += newEdges
+		sumW += wj
+		if eps >= 0 && float64(sumW) > eps*float64(edgeCount) {
+			break // first Equation-4 violation: k is final
+		}
+		// Accept p as pivot j.
+		pr.pivots = append(pr.pivots, p)
+		pr.pivotSeen[p] = pr.epoch
+		pr.pivotIdx[p] = j
+		for _, nb := range nbrs {
+			if pr.covSeen[nb] != pr.epoch {
+				pr.covSeen[nb] = pr.epoch
+			}
+		}
+		if w != nil {
+			*w = append(*w, wj)
+		}
+		pr.lastPivotAt = i
+		k = int(j) + 1
+		sumWAtK, pkAtK = sumW, edgeCount
+		j++
+	}
+	return k, sumWAtK, pkAtK
+}
+
+// partialPivot runs Algorithm 2 over the pivots selected by scan in the
+// same epoch: it crowdsources every live edge incident to a pivot in one
+// batch, forms clusters pivot-by-pivot exactly as the sequential
+// Crowd-Pivot would, removes the clustered vertices from the graph, and
+// advances the permutation cursor past the last pivot (every lower rank
+// is now clustered for good).
+func (pr *pivotRun) partialPivot(s *crowd.Session) BatchResult {
+	g := pr.g
+	pivots := pr.pivots
+
+	// Gather P in pivot order, each pivot's neighbors ascending. An edge
+	// between two pivots is deduplicated by emitting it only at the
+	// earlier pivot's turn — the only way a duplicate can arise.
+	pr.pairs = pr.pairs[:0]
+	for _, p := range pivots {
+		pi := pr.pivotIdx[p]
+		for _, nb := range g.Neighbors(p) {
+			if pr.pivotSeen[nb] == pr.epoch && pr.pivotIdx[nb] < pi {
+				continue
+			}
+			pr.pairs = append(pr.pairs, record.MakePair(p, nb))
+		}
+	}
+
+	// Crowdsource P in one batch and build H_i, the positive subgraph,
+	// as per-pivot adjacency lists in issued-pair order.
+	scores := s.Ask(pr.pairs)
+	for len(pr.posLists) < len(pivots) {
+		pr.posLists = append(pr.posLists, nil)
+	}
+	for j := range pivots {
+		pr.posLists[j] = pr.posLists[j][:0]
+	}
+	for i, pair := range pr.pairs {
+		if scores[i] <= 0.5 {
+			continue
+		}
+		if pr.pivotSeen[pair.Lo] == pr.epoch {
+			j := pr.pivotIdx[pair.Lo]
+			pr.posLists[j] = append(pr.posLists[j], pair.Hi)
+		}
+		if pr.pivotSeen[pair.Hi] == pr.epoch {
+			j := pr.pivotIdx[pair.Hi]
+			pr.posLists[j] = append(pr.posLists[j], pair.Lo)
+		}
+	}
+
+	// Form clusters pivot-by-pivot, tracking which pairs the sequential
+	// algorithm would have issued so the batch's wasted count is exact:
+	// when pivot r_j is still unclustered, sequential Crowd-Pivot issues
+	// r_j's edges to all still-live vertices. (Each pivot-pivot edge is
+	// counted at most once: a pivot is removed at its own turn with its
+	// cluster, so a later pivot never re-counts it.)
+	res := BatchResult{Issued: len(pr.pairs)}
+	seqIssued := 0
+	for j, pivot := range pivots {
+		if pr.batchSeen[pivot] == pr.epoch {
+			continue
+		}
+		for _, nb := range g.Neighbors(pivot) {
+			if pr.batchSeen[nb] != pr.epoch {
+				seqIssued++
+			}
+		}
+		members := []record.ID{pivot}
+		for _, nb := range pr.posLists[j] {
+			if pr.batchSeen[nb] != pr.epoch {
+				members = append(members, nb)
+			}
+		}
+		for _, r := range members {
+			pr.batchSeen[r] = pr.epoch
+		}
+		res.Clusters = append(res.Clusters, members)
+	}
+	res.Wasted = res.Issued - seqIssued
+
+	for _, members := range res.Clusters {
+		for _, r := range members {
+			g.Remove(r)
+		}
+	}
+	if len(pivots) > 0 {
+		pr.cursor = pr.lastPivotAt + 1
+	}
+	return res
+}
+
+// noEpsilon disables the Equation-4 constraint in scan.
+const noEpsilon = -1
+
+// maxPivots lifts scan's batch-size cap.
+const maxPivots = math.MaxInt

@@ -215,6 +215,7 @@ func (s SourceFunc) Config() Config { return s.Setting }
 type Session struct {
 	answers Source
 	known   map[record.Pair]float64
+	order   []record.Pair // known pairs in first-crowdsourced order
 	stats   Stats
 	rec     *obs.Recorder
 }
@@ -289,6 +290,7 @@ func (s *Session) Ask(pairs []record.Pair) []float64 {
 		votes := 0
 		for i, p := range fresh {
 			s.known[p] = scores[i]
+			s.order = append(s.order, p)
 			if vc != nil {
 				votes += vc.VoteCount(p)
 			} else {
@@ -339,6 +341,14 @@ func (s *Session) Known(p record.Pair) (float64, bool) {
 
 // KnownCount returns |A| for this session.
 func (s *Session) KnownCount() int { return len(s.known) }
+
+// KnownOrdered returns the session's A as a slice in first-crowdsourced
+// order. Because the algorithms issue pairs in a deterministic sequence,
+// this order is reproducible across runs — unlike ranging over the
+// KnownPairs map — so estimator rebuilds that consume it stay
+// deterministic. The returned slice is a view; callers must not mutate
+// it. Scores are read back through Known.
+func (s *Session) KnownOrdered() []record.Pair { return s.order }
 
 // KnownPairs returns a copy of the session's A as a map. Callers may
 // mutate the returned map freely.

@@ -11,9 +11,18 @@ import (
 // Vertices can be removed (as Crowd-Pivot clusters them); removed
 // vertices keep their adjacency storage but are excluded from all
 // queries.
+//
+// Adjacency is stored as sorted dense []record.ID slices rather than
+// hash sets: Neighbors returns a zero-allocation sub-slice view, and
+// removals tombstone lazily — each vertex tracks how many of its stored
+// neighbors have been removed (dead counts) and compacts its slice in
+// place the next time it is queried. This keeps Remove O(degree),
+// Degree O(1), and the hot Neighbors call allocation-free, which is
+// what the PC-Pivot inner loop spends its time in.
 type Graph struct {
 	n       int
-	adj     []map[record.ID]struct{}
+	adj     [][]record.ID // sorted ascending; may hold tombstoned entries
+	dead    []int         // removed entries still present in adj[v]
 	removed []bool
 	live    int
 	edges   int
@@ -23,7 +32,8 @@ type Graph struct {
 func New(n int) *Graph {
 	g := &Graph{
 		n:       n,
-		adj:     make([]map[record.ID]struct{}, n),
+		adj:     make([][]record.ID, n),
+		dead:    make([]int, n),
 		removed: make([]bool, n),
 		live:    n,
 	}
@@ -31,11 +41,39 @@ func New(n int) *Graph {
 }
 
 // FromPairs builds a graph over 0..n-1 with one edge per candidate pair.
+// It bulk-loads the adjacency slices (exact-capacity allocation, one
+// sort per vertex) instead of paying AddEdge's insertion shifts, so
+// building from a large candidate set is O(E log d) with E small
+// allocations.
 func FromPairs(n int, pairs []record.Pair) *Graph {
 	g := New(n)
+	deg := make([]int, n)
 	for _, p := range pairs {
-		g.AddEdge(p.Lo, p.Hi)
+		if p.Lo == p.Hi {
+			panic(fmt.Sprintf("graph: self-loop at %d", p.Lo))
+		}
+		deg[p.Lo]++
+		deg[p.Hi]++
 	}
+	for v, d := range deg {
+		if d > 0 {
+			g.adj[v] = make([]record.ID, 0, d)
+		}
+	}
+	for _, p := range pairs {
+		g.adj[p.Lo] = append(g.adj[p.Lo], p.Hi)
+		g.adj[p.Hi] = append(g.adj[p.Hi], p.Lo)
+	}
+	for v := range g.adj {
+		nbrs := g.adj[v]
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		for i := 1; i < len(nbrs); i++ {
+			if nbrs[i] == nbrs[i-1] {
+				panic(fmt.Sprintf("graph: duplicate edge (%d,%d)", v, nbrs[i]))
+			}
+		}
+	}
+	g.edges = len(pairs)
 	return g
 }
 
@@ -51,6 +89,27 @@ func (g *Graph) EdgeCount() int { return g.edges }
 // Live reports whether vertex v has not been removed.
 func (g *Graph) Live(v record.ID) bool { return !g.removed[v] }
 
+// search returns the position of u in the sorted slice nbrs and whether
+// it is present.
+func search(nbrs []record.ID, u record.ID) (int, bool) {
+	i := sort.Search(len(nbrs), func(k int) bool { return nbrs[k] >= u })
+	return i, i < len(nbrs) && nbrs[i] == u
+}
+
+// insert places u into v's sorted adjacency slice, panicking on a
+// duplicate.
+func (g *Graph) insert(v, u record.ID) {
+	nbrs := g.adj[v]
+	i, ok := search(nbrs, u)
+	if ok {
+		panic(fmt.Sprintf("graph: duplicate edge (%d,%d)", v, u))
+	}
+	nbrs = append(nbrs, 0)
+	copy(nbrs[i+1:], nbrs[i:])
+	nbrs[i] = u
+	g.adj[v] = nbrs
+}
+
 // AddEdge inserts the undirected edge (a, b). Inserting a duplicate edge
 // or an edge touching a removed vertex panics: the clustering algorithms
 // never do either, so it would indicate a bug.
@@ -61,17 +120,8 @@ func (g *Graph) AddEdge(a, b record.ID) {
 	if g.removed[a] || g.removed[b] {
 		panic(fmt.Sprintf("graph: edge (%d,%d) touches removed vertex", a, b))
 	}
-	if g.adj[a] == nil {
-		g.adj[a] = make(map[record.ID]struct{})
-	}
-	if g.adj[b] == nil {
-		g.adj[b] = make(map[record.ID]struct{})
-	}
-	if _, dup := g.adj[a][b]; dup {
-		panic(fmt.Sprintf("graph: duplicate edge (%d,%d)", a, b))
-	}
-	g.adj[a][b] = struct{}{}
-	g.adj[b][a] = struct{}{}
+	g.insert(a, b)
+	g.insert(b, a)
 	g.edges++
 }
 
@@ -80,24 +130,38 @@ func (g *Graph) HasEdge(a, b record.ID) bool {
 	if g.removed[a] || g.removed[b] {
 		return false
 	}
-	_, ok := g.adj[a][b]
+	_, ok := search(g.adj[a], b)
 	return ok
 }
 
-// Neighbors returns the live neighbors of v in ascending order. It
+// Neighbors returns the live neighbors of v in ascending order without
+// allocating: the result is a view into the graph's own storage, valid
+// until the next call that mutates the graph (AddEdge or Remove) or
+// queries v again after a removal. Callers must not modify it. It
 // returns nil if v itself is removed.
 func (g *Graph) Neighbors(v record.ID) []record.ID {
 	if g.removed[v] {
 		return nil
 	}
-	out := make([]record.ID, 0, len(g.adj[v]))
-	for u := range g.adj[v] {
+	if g.dead[v] > 0 {
+		g.compact(v)
+	}
+	return g.adj[v]
+}
+
+// compact drops tombstoned entries from v's adjacency slice in place,
+// preserving order.
+func (g *Graph) compact(v record.ID) {
+	nbrs := g.adj[v]
+	w := 0
+	for _, u := range nbrs {
 		if !g.removed[u] {
-			out = append(out, u)
+			nbrs[w] = u
+			w++
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	g.adj[v] = nbrs[:w]
+	g.dead[v] = 0
 }
 
 // Degree returns the number of live neighbors of v (0 if v is removed).
@@ -105,24 +169,22 @@ func (g *Graph) Degree(v record.ID) int {
 	if g.removed[v] {
 		return 0
 	}
-	d := 0
-	for u := range g.adj[v] {
-		if !g.removed[u] {
-			d++
-		}
-	}
-	return d
+	return len(g.adj[v]) - g.dead[v]
 }
 
 // Remove deletes vertex v and all of its incident edges from the live
-// graph. Removing an already-removed vertex is a no-op.
+// graph. Removing an already-removed vertex is a no-op. Neighbors'
+// storage is tombstoned, not rewritten, so Remove is O(degree) and the
+// cost of dropping the entries is deferred to each neighbor's next
+// Neighbors call.
 func (g *Graph) Remove(v record.ID) {
 	if g.removed[v] {
 		return
 	}
-	for u := range g.adj[v] {
+	for _, u := range g.adj[v] {
 		if !g.removed[u] {
 			g.edges--
+			g.dead[u]++
 		}
 	}
 	g.removed[v] = true
@@ -140,25 +202,21 @@ func (g *Graph) LiveVertices() []record.ID {
 	return out
 }
 
-// Edges returns the live edges as canonical pairs in lexicographic order.
+// Edges returns the live edges as canonical pairs in lexicographic
+// order. The adjacency slices are already sorted, so the output needs
+// no sort of its own.
 func (g *Graph) Edges() []record.Pair {
 	out := make([]record.Pair, 0, g.edges)
 	for v := 0; v < g.n; v++ {
 		if g.removed[v] {
 			continue
 		}
-		for u := range g.adj[record.ID(v)] {
+		for _, u := range g.adj[record.ID(v)] {
 			if int(u) > v && !g.removed[u] {
 				out = append(out, record.Pair{Lo: record.ID(v), Hi: u})
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Lo != out[j].Lo {
-			return out[i].Lo < out[j].Lo
-		}
-		return out[i].Hi < out[j].Hi
-	})
 	return out
 }
 
@@ -166,20 +224,16 @@ func (g *Graph) Edges() []record.Pair {
 func (g *Graph) Clone() *Graph {
 	cp := &Graph{
 		n:       g.n,
-		adj:     make([]map[record.ID]struct{}, g.n),
+		adj:     make([][]record.ID, g.n),
+		dead:    append([]int(nil), g.dead...),
 		removed: append([]bool(nil), g.removed...),
 		live:    g.live,
 		edges:   g.edges,
 	}
 	for v, nbrs := range g.adj {
-		if nbrs == nil {
-			continue
+		if nbrs != nil {
+			cp.adj[v] = append([]record.ID(nil), nbrs...)
 		}
-		m := make(map[record.ID]struct{}, len(nbrs))
-		for u := range nbrs {
-			m[u] = struct{}{}
-		}
-		cp.adj[v] = m
 	}
 	return cp
 }
@@ -196,20 +250,21 @@ func (g *Graph) HopDistance(a, b record.ID, maxDepth int) int {
 	if a == b {
 		return 0
 	}
-	visited := map[record.ID]struct{}{a: {}}
+	visited := make([]bool, g.n)
+	visited[a] = true
 	frontier := []record.ID{a}
 	for depth := 1; depth <= maxDepth; depth++ {
 		var next []record.ID
 		for _, v := range frontier {
-			for u := range g.adj[v] {
+			for _, u := range g.adj[v] {
 				if g.removed[u] {
 					continue
 				}
 				if u == b {
 					return depth
 				}
-				if _, seen := visited[u]; !seen {
-					visited[u] = struct{}{}
+				if !visited[u] {
+					visited[u] = true
 					next = append(next, u)
 				}
 			}
@@ -239,7 +294,7 @@ func (g *Graph) Components() [][]record.ID {
 			x := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, x)
-			for u := range g.adj[x] {
+			for _, u := range g.adj[x] {
 				if !g.removed[u] && !seen[u] {
 					seen[u] = true
 					stack = append(stack, u)

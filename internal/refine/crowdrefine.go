@@ -34,7 +34,7 @@ func CrowdRefine(c *cluster.Clustering, cands *pruning.Candidates, sess *crowd.S
 		rec.Observe(MetricRatio, chosen.ratio())
 		// Crowdsource the unknown pairs of the chosen operation
 		// (Line 12) and recompute its benefit exactly.
-		sess.Ask(chosen.unknown)
+		sess.Ask(st.unknownPairs(chosen.op))
 		st.rebuildHistogram()
 		if b := st.exactBenefit(chosen.op); b > 0 {
 			st.apply(chosen.op) // Lines 13-14
@@ -47,11 +47,11 @@ func CrowdRefine(c *cluster.Clustering, cands *pruning.Candidates, sess *crowd.S
 
 // collectUnknown gathers the distinct unknown pairs across a set of
 // operations, preserving first-seen order.
-func collectUnknown(ops []scoredOp) []record.Pair {
+func collectUnknown(st *state, ops []scoredOp) []record.Pair {
 	seen := make(map[record.Pair]struct{})
 	var out []record.Pair
 	for _, s := range ops {
-		for _, p := range s.unknown {
+		for _, p := range st.unknownPairs(s.op) {
 			if _, dup := seen[p]; !dup {
 				seen[p] = struct{}{}
 				out = append(out, p)

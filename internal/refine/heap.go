@@ -1,0 +1,190 @@
+package refine
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// The known-positive drain loop (Lines 4-7 of Algorithms 4 and 5)
+// repeatedly applies the zero-cost operation with the highest exact
+// benefit. Re-enumerating and re-scoring every operation after every
+// apply — what the reference formulation does — is quadratic in the op
+// count. The drain heap replaces it with a lazy max-heap:
+//
+//   - every zero-cost positive-benefit op enters the heap once, stamped
+//     with the version counters of the clusters it touches;
+//   - popping an entry whose stamps no longer match the live versions
+//     discards it — the op was re-scored (or ceased to exist) when its
+//     cluster mutated, and the fresh entry, if any, is already in the
+//     heap;
+//   - after each apply, only the ops touching the two mutated clusters
+//     are re-discovered and re-scored (via the static record -> incident
+//     candidate-pair index), not the whole op space.
+//
+// Equivalence with the reference selection rests on two invariants. An
+// op's score can only change when a cluster it touches mutates (benefit
+// reads only the members of its clusters; answers and the histogram are
+// fixed during a drain), so version stamps detect exactly the stale
+// entries. And an untouched op's enumeration key is stable across
+// applies: a split keys on its cluster index and member position, which
+// only mutations of that cluster change; a merge keys on the index of
+// the first candidate pair connecting its two clusters, which can only
+// change when a record enters or leaves one of them. Ties in benefit
+// therefore break toward the earliest op in enumeration order — the
+// same op the reference loop's first-strictly-greater scan picks.
+
+// enumKey orders operations exactly as collectOps enumerates them:
+// splits (kind 0) before merges (kind 1); splits by (cluster index,
+// member position); merges by first connecting candidate-pair index.
+type enumKey struct {
+	kind int32
+	k1   int32 // split: cluster index; merge: first connecting pair index
+	k2   int32 // split: member position within the cluster
+}
+
+func splitKey(idx, pos int) enumKey { return enumKey{kind: 0, k1: int32(idx), k2: int32(pos)} }
+func mergeKey(pairIdx int) enumKey  { return enumKey{kind: 1, k1: int32(pairIdx)} }
+
+func keyLess(a, b enumKey) bool {
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.k1 != b.k1 {
+		return a.k1 < b.k1
+	}
+	return a.k2 < b.k2
+}
+
+// heapEntry is one scored op in the drain heap with the version stamps
+// that validate it.
+type heapEntry struct {
+	s          scoredOp
+	key        enumKey
+	verA, verB int
+}
+
+// drainHeap is a max-heap over (bStar desc, enumeration key asc).
+type drainHeap []heapEntry
+
+func (h drainHeap) Len() int { return len(h) }
+func (h drainHeap) Less(i, j int) bool {
+	if h[i].s.bStar != h[j].s.bStar {
+		return h[i].s.bStar > h[j].s.bStar
+	}
+	return keyLess(h[i].key, h[j].key)
+}
+func (h drainHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *drainHeap) Push(x any)   { *h = append(*h, x.(heapEntry)) }
+func (h *drainHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// entry stamps a scored op with the current versions of its clusters.
+func (st *state) entry(s scoredOp, k enumKey) heapEntry {
+	e := heapEntry{s: s, key: k, verA: st.ver(s.op.A)}
+	if s.op.Kind == MergeOp {
+		e.verB = st.ver(s.op.B)
+	}
+	return e
+}
+
+// entryValid reports whether a popped entry still describes a live op:
+// every cluster it touches is at the version it was scored against.
+func (st *state) entryValid(e heapEntry) bool {
+	if e.verA != st.ver(e.s.op.A) {
+		return false
+	}
+	if e.s.op.Kind == MergeOp && e.verB != st.ver(e.s.op.B) {
+		return false
+	}
+	return true
+}
+
+// buildDrainHeap scores the full op space (cache-assisted, parallel) and
+// heapifies the zero-cost positive-benefit subset — the O⁺ the drain
+// loop starts from.
+func (st *state) buildDrainHeap() *drainHeap {
+	ops, keys := st.collectOps()
+	scored := st.scoreAll(ops)
+	h := make(drainHeap, 0, 16)
+	for i, s := range scored {
+		if s.cost == 0 && s.bStar > 0 {
+			h = append(h, st.entry(s, keys[i]))
+		}
+	}
+	heap.Init(&h)
+	return &h
+}
+
+// pushDirty re-discovers, re-scores and pushes every op touching the
+// just-mutated clusters: all splits within them, and every merge with at
+// least one endpoint among them (found through the incident-pair index,
+// which also yields each merge's first-connecting-pair enumeration
+// rank). Entries for the ops' previous versions remain in the heap and
+// are discarded by the stamp check when popped.
+func (st *state) pushDirty(h *drainHeap, touched [2]int) {
+	var ops []Op
+	var keys []enumKey
+	for _, d := range touched {
+		if d < 0 || st.c.Size(d) < 2 {
+			continue
+		}
+		for pos, r := range st.c.Members(d) {
+			ops = append(ops, Op{Kind: SplitOp, Record: r, A: d})
+			keys = append(keys, splitKey(d, pos))
+		}
+	}
+	// A merge's connecting pairs all have an endpoint inside the touched
+	// cluster, so walking the touched members' incident pairs sees every
+	// such merge and the minimum over the walked pair indices is the true
+	// first-connecting index. Merges between the two touched clusters
+	// are deduplicated by the min-index map.
+	first := make(map[uint64]int32)
+	for _, d := range touched {
+		if d < 0 || st.c.Size(d) == 0 {
+			continue
+		}
+		for _, r := range st.c.Members(d) {
+			for k := st.nbrOff[r]; k < st.nbrOff[r+1]; k++ {
+				pi := st.nbrPair[k]
+				a, b := d, st.c.Assignment(st.nbrOther[k])
+				if a == b {
+					continue
+				}
+				if a > b {
+					a, b = b, a
+				}
+				key := clusterPairKey(a, b)
+				if old, ok := first[key]; !ok || pi < old {
+					first[key] = pi
+				}
+			}
+		}
+	}
+	merges := make([]mergeRef, 0, len(first))
+	for k, fi := range first {
+		merges = append(merges, mergeRef{a: int(k >> 32), b: int(uint32(k)), firstIdx: fi})
+	}
+	sort.Slice(merges, func(i, j int) bool { return merges[i].firstIdx < merges[j].firstIdx })
+	for _, m := range merges {
+		ops = append(ops, Op{Kind: MergeOp, A: m.a, B: m.b})
+		keys = append(keys, mergeKey(int(m.firstIdx)))
+	}
+
+	for i, s := range st.scoreAll(ops) {
+		if s.cost == 0 && s.bStar > 0 {
+			heap.Push(h, st.entry(s, keys[i]))
+		}
+	}
+}
+
+// mergeRef is a merge op with its enumeration rank, for pushDirty's
+// deterministic ordering.
+type mergeRef struct {
+	a, b     int
+	firstIdx int32
+}

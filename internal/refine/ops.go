@@ -1,6 +1,7 @@
 package refine
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 
@@ -65,14 +66,16 @@ func Independent(a, b Op) bool {
 	return true
 }
 
-// scoredOp is an enumerated operation with its estimated benefit b*(o),
-// crowdsourcing cost c(o), and the candidate pairs that would need to be
-// crowdsourced to compute the exact benefit.
+// scoredOp is an enumerated operation with its estimated benefit b*(o)
+// and crowdsourcing cost c(o). The cost pairs themselves are not
+// materialized during scoring — almost every scored op is never
+// selected, so allocating its pair list would dominate the refinement
+// phase's allocations; unknownPairs reproduces the list on demand for
+// the few ops that actually get packed.
 type scoredOp struct {
-	op      Op
-	bStar   float64       // estimated benefit (exact when cost == 0)
-	cost    int           // c(o) of Equations 7–8
-	unknown []record.Pair // the cost pairs themselves
+	op    Op
+	bStar float64 // estimated benefit (exact when cost == 0)
+	cost  int     // c(o) of Equations 7–8
 }
 
 // ratio returns the benefit-cost ratio b*(o)/c(o); only meaningful for
@@ -112,16 +115,49 @@ type state struct {
 	hist  *histogram.Histogram
 	mode  EstimatorMode
 
-	version map[int]int        // cluster index -> mutation counter
+	version []int              // cluster index -> mutation counter
 	cache   map[opKey]cachedOp // scored-op memo
+
+	// The candidate graph in CSR form: record r's incident candidate
+	// pairs occupy nbrPair[nbrOff[r]:nbrOff[r+1]] (indices into
+	// cands.Pairs), with nbrOther holding each pair's other endpoint so
+	// the hot loops never re-derive it from the pair itself. The
+	// candidate set is immutable for the life of the state, so this is
+	// built once; it lets the drain loop rediscover the merge ops of a
+	// just-mutated cluster (and their first-connecting-pair enumeration
+	// ranks) by walking only that cluster's incident pairs instead of
+	// the whole candidate set.
+	nbrOff   []int32
+	nbrPair  []int32
+	nbrOther []record.ID
+	// pairIdx maps a candidate pair to its index in cands.Pairs, the key
+	// into the flat estimate cache below. Built once.
+	pairIdx map[record.Pair]int32
+
+	// est and exact cache estimate()'s result per candidate pair for the
+	// current answers epoch (estAt == sess.KnownCount()): between crowd
+	// batches the known set and the histogram are fixed, so every pair's
+	// estimate is a constant that scoring reads out of a flat slice
+	// instead of re-deriving through three map probes and a histogram
+	// search per cross pair.
+	est     []float64
+	exact   []bool
+	machine []float64     // machine score per candidate pair (static)
+	estAt   int           // sess.KnownCount() the cache was built at
+	estMode EstimatorMode // mode the cache was built under
+	knownAt int           // prefix of sess.KnownOrdered() already ingested
+
+	// scratches are the per-worker dense neighbor-estimate scratch
+	// buffers of the scoring loops (index 0 serves every serial path).
+	scratches []*estScratch
 }
 
-// opKey identifies an operation independent of its score.
-type opKey struct {
-	kind   OpKind
-	record record.ID
-	a, b   int
-}
+// opKey identifies an operation independent of its score, packed into
+// one word so cache probes hash 8 bytes instead of a 4-field struct:
+// the kind in the top two bits, then two 31-bit lanes — (record,
+// cluster) for a split, (cluster A, cluster B) for a merge. Record IDs
+// and cluster indices are far below 2³¹ at any supported scale.
+type opKey uint64
 
 type cachedOp struct {
 	s         scoredOp
@@ -131,31 +167,121 @@ type cachedOp struct {
 }
 
 func keyOf(o Op) opKey {
-	return opKey{kind: o.Kind, record: o.Record, a: o.A, b: o.B}
+	if o.Kind == SplitOp {
+		return opKey(uint64(uint32(o.Record))<<31 | uint64(uint32(o.A)))
+	}
+	return opKey(uint64(1)<<62 | uint64(uint32(o.A))<<31 | uint64(uint32(o.B)))
 }
 
 func newState(c *cluster.Clustering, cands *pruning.Candidates, sess *crowd.Session) *state {
 	st := &state{
-		c:       c,
-		cands:   cands,
-		sess:    sess,
-		version: make(map[int]int),
-		cache:   make(map[opKey]cachedOp),
+		c:     c,
+		cands: cands,
+		sess:  sess,
+		cache: make(map[opKey]cachedOp),
 	}
+	st.buildRecPairs()
 	st.rebuildHistogram()
 	return st
 }
 
-// cachedScore returns a still-valid cached score for an op, if any.
+// buildRecPairs constructs the static record -> incident candidate-pair
+// CSR (counting sort, exact capacity; per-record order follows
+// cands.Pairs order) and the pair -> index map.
+func (st *state) buildRecPairs() {
+	n := st.c.Len()
+	st.nbrOff = make([]int32, n+1)
+	for _, sp := range st.cands.Pairs {
+		st.nbrOff[sp.Pair.Lo+1]++
+		st.nbrOff[sp.Pair.Hi+1]++
+	}
+	for r := 0; r < n; r++ {
+		st.nbrOff[r+1] += st.nbrOff[r]
+	}
+	st.nbrPair = make([]int32, st.nbrOff[n])
+	st.nbrOther = make([]record.ID, st.nbrOff[n])
+	cur := make([]int32, n)
+	copy(cur, st.nbrOff[:n])
+	st.pairIdx = make(map[record.Pair]int32, len(st.cands.Pairs))
+	st.machine = make([]float64, len(st.cands.Pairs))
+	for i, sp := range st.cands.Pairs {
+		lo, hi := sp.Pair.Lo, sp.Pair.Hi
+		k := cur[lo]
+		cur[lo]++
+		st.nbrPair[k] = int32(i)
+		st.nbrOther[k] = hi
+		k = cur[hi]
+		cur[hi]++
+		st.nbrPair[k] = int32(i)
+		st.nbrOther[k] = lo
+		st.pairIdx[sp.Pair] = int32(i)
+		st.machine[i] = sp.Score
+	}
+}
+
+// ensureEstimates (re)builds the flat per-pair estimate cache when it
+// is missing or was built for a different answers epoch or estimator
+// mode. The refresh is incremental: newly crowdsourced pairs (the tail
+// of the session's insertion-ordered A) flip their slots to exact, and
+// the still-unknown candidates re-read the histogram from the static
+// machine-score array — no per-pair map probes at all. Callers in the
+// parallel scoring pool rely on scoreAll having ensured freshness
+// serially first, so the check never writes concurrently.
+func (st *state) ensureEstimates() {
+	if st.est != nil && st.estAt == st.sess.KnownCount() && st.estMode == st.mode {
+		return
+	}
+	if st.est == nil {
+		st.est = make([]float64, len(st.cands.Pairs))
+		st.exact = make([]bool, len(st.cands.Pairs))
+	}
+	known := st.sess.KnownOrdered()
+	for _, p := range known[st.knownAt:] {
+		if i, ok := st.pairIdx[p]; ok {
+			fc, _ := st.sess.Known(p)
+			st.est[i] = fc
+			st.exact[i] = true
+		}
+	}
+	st.knownAt = len(known)
+	for i, ex := range st.exact {
+		if ex {
+			continue
+		}
+		if st.mode == IdentityEstimator {
+			st.est[i] = st.machine[i]
+		} else {
+			st.est[i] = st.hist.Estimate(st.machine[i])
+		}
+	}
+	st.estAt = st.sess.KnownCount()
+	st.estMode = st.mode
+}
+
+// pairEstimate is estimate() served from the flat cache: candidate
+// pairs read their slot, pruned pairs are exactly 0.
+func (st *state) pairEstimate(p record.Pair) (fc float64, exact bool) {
+	if i, ok := st.pairIdx[p]; ok {
+		return st.est[i], st.exact[i]
+	}
+	return 0, true
+}
+
+// cachedScore returns a still-valid cached score for an op, if any. A
+// zero-cost score survives answer epochs: every pair it read was exact
+// (crowdsourced, or pruned and fixed at 0), and new answers can change
+// neither those values nor which pairs the op spans while its clusters'
+// versions hold — so only positive-cost scores are invalidated when the
+// known set (and with it the histogram) grows.
 func (st *state) cachedScore(o Op) (scoredOp, bool) {
 	e, ok := st.cache[keyOf(o)]
-	if !ok || e.answersAt != st.sess.KnownCount() {
+	if !ok || (e.answersAt != st.sess.KnownCount() && e.s.cost != 0) {
 		return scoredOp{}, false
 	}
-	if e.verA != st.version[o.A] {
+	if e.verA != st.ver(o.A) {
 		return scoredOp{}, false
 	}
-	if o.Kind == MergeOp && e.verB != st.version[o.B] {
+	if o.Kind == MergeOp && e.verB != st.ver(o.B) {
 		return scoredOp{}, false
 	}
 	return e.s, true
@@ -163,20 +289,43 @@ func (st *state) cachedScore(o Op) (scoredOp, bool) {
 
 func (st *state) storeScore(s scoredOp) {
 	o := s.op
-	e := cachedOp{s: s, verA: st.version[o.A], answersAt: st.sess.KnownCount()}
+	e := cachedOp{s: s, verA: st.ver(o.A), answersAt: st.sess.KnownCount()}
 	if o.Kind == MergeOp {
-		e.verB = st.version[o.B]
+		e.verB = st.ver(o.B)
 	}
 	st.cache[keyOf(o)] = e
+}
+
+// ver reads a cluster's mutation counter; indices past the slice (fresh
+// clusters no apply has touched yet) are at version 0.
+func (st *state) ver(i int) int {
+	if i < len(st.version) {
+		return st.version[i]
+	}
+	return 0
+}
+
+// bumpVer increments a cluster's mutation counter, growing the slice on
+// demand (splits mint new cluster indices).
+func (st *state) bumpVer(i int) {
+	for len(st.version) <= i {
+		st.version = append(st.version, 0)
+	}
+	st.version[i]++
 }
 
 // rebuildHistogram reconstructs the equi-depth estimator from every pair
 // the session has crowdsourced so far (Section 5.2; also Lines 15-16 of
 // Algorithm 4 and 21-22 of Algorithm 5).
 func (st *state) rebuildHistogram() {
-	known := st.sess.KnownPairs()
+	// Iterate A in first-crowdsourced order, not map order: equal machine
+	// scores with different crowd scores land in different equi-depth
+	// buckets depending on sample order, so map iteration would make the
+	// estimator — and everything downstream — vary run to run.
+	known := st.sess.KnownOrdered()
 	samples := make([]histogram.Sample, 0, len(known))
-	for p, fc := range known {
+	for _, p := range known {
+		fc, _ := st.sess.Known(p)
 		samples = append(samples, histogram.Sample{Machine: st.cands.Score(p), Crowd: fc})
 	}
 	st.hist = histogram.Build(samples, histogram.DefaultBuckets)
@@ -203,19 +352,79 @@ func (st *state) estimate(p record.Pair) (fc float64, exact bool) {
 	return st.hist.Estimate(st.cands.Score(p)), false
 }
 
+// estScratch is a dense neighbor-estimate buffer: load stamps one
+// record's candidate neighbors with their current estimates, and the
+// scoring inner loops then read per-record estimates as two array
+// indexes — no pair hashing on the hot path. The epoch stamp makes
+// "clearing" between records a single increment. Each scoring worker
+// owns one (see state.scratchFor).
+type estScratch struct {
+	epoch int64
+	seen  []int64
+	fc    []float64
+	exact []bool
+}
+
+// load stamps r's candidate neighbors' estimates into the scratch.
+func (st *state) load(sc *estScratch, r record.ID) {
+	sc.epoch++
+	ep := sc.epoch
+	for k := st.nbrOff[r]; k < st.nbrOff[r+1]; k++ {
+		pi := st.nbrPair[k]
+		other := st.nbrOther[k]
+		sc.seen[other] = ep
+		sc.fc[other] = st.est[pi]
+		sc.exact[other] = st.exact[pi]
+	}
+}
+
+// at reads the estimate for the pair (loaded record, other): a stamped
+// slot is a candidate pair's cached estimate; anything else was pruned
+// and is exactly 0.
+func (sc *estScratch) at(other record.ID) (fc float64, exact bool) {
+	if sc.seen[other] == sc.epoch {
+		return sc.fc[other], sc.exact[other]
+	}
+	return 0, true
+}
+
+// scratchFor returns worker w's scratch buffer, allocating on first
+// use. Must be called serially (scoreAll pre-grows the slice before
+// fanning out).
+func (st *state) scratchFor(w int) *estScratch {
+	for len(st.scratches) <= w {
+		st.scratches = append(st.scratches, nil)
+	}
+	if st.scratches[w] == nil {
+		n := st.c.Len()
+		st.scratches[w] = &estScratch{
+			seen:  make([]int64, n),
+			fc:    make([]float64, n),
+			exact: make([]bool, n),
+		}
+	}
+	return st.scratches[w]
+}
+
 // scoreSplit evaluates the split of r from cluster a (Equations 5 and 7).
 func (st *state) scoreSplit(r record.ID, a int) scoredOp {
+	st.ensureEstimates()
+	return st.scoreSplitWith(st.scratchFor(0), r, a)
+}
+
+// scoreSplitWith is scoreSplit against an explicit scratch buffer; the
+// caller must have ensured the estimate cache is fresh.
+func (st *state) scoreSplitWith(sc *estScratch, r record.ID, a int) scoredOp {
 	s := scoredOp{op: Op{Kind: SplitOp, Record: r, A: a}}
+	st.load(sc, r)
 	for _, other := range st.c.Members(a) {
 		if other == r {
 			continue
 		}
-		p := record.MakePair(r, other)
-		fc, exact := st.estimate(p)
+		fc, exact := sc.at(other)
 		s.bStar += 1 - 2*fc
 		if !exact {
 			s.cost++
-			s.unknown = append(s.unknown, p)
 		}
 	}
 	return s
@@ -223,19 +432,55 @@ func (st *state) scoreSplit(r record.ID, a int) scoredOp {
 
 // scoreMerge evaluates the merger of clusters a and b (Equations 6 and 8).
 func (st *state) scoreMerge(a, b int) scoredOp {
+	st.ensureEstimates()
+	return st.scoreMergeWith(st.scratchFor(0), a, b)
+}
+
+// scoreMergeWith is scoreMerge against an explicit scratch buffer; the
+// caller must have ensured the estimate cache is fresh.
+func (st *state) scoreMergeWith(sc *estScratch, a, b int) scoredOp {
 	s := scoredOp{op: Op{Kind: MergeOp, A: a, B: b}}
+	other := st.c.Members(b)
 	for _, r1 := range st.c.Members(a) {
-		for _, r2 := range st.c.Members(b) {
-			p := record.MakePair(r1, r2)
-			fc, exact := st.estimate(p)
+		st.load(sc, r1)
+		for _, r2 := range other {
+			fc, exact := sc.at(r2)
 			s.bStar += 2*fc - 1
 			if !exact {
 				s.cost++
-				s.unknown = append(s.unknown, p)
 			}
 		}
 	}
 	return s
+}
+
+// unknownPairs materializes the cost pairs of an op — the candidate
+// pairs its benefit needs that are outside A — in the same order the
+// scoring walk visits them. Only called for ops actually selected for
+// crowdsourcing, so the slices scoring itself no longer allocates are
+// built a handful at a time here.
+func (st *state) unknownPairs(o Op) []record.Pair {
+	st.ensureEstimates()
+	var out []record.Pair
+	visit := func(p record.Pair) {
+		if _, exact := st.pairEstimate(p); !exact {
+			out = append(out, p)
+		}
+	}
+	if o.Kind == SplitOp {
+		for _, other := range st.c.Members(o.A) {
+			if other != o.Record {
+				visit(record.MakePair(o.Record, other))
+			}
+		}
+		return out
+	}
+	for _, r1 := range st.c.Members(o.A) {
+		for _, r2 := range st.c.Members(o.B) {
+			visit(record.MakePair(r1, r2))
+		}
+	}
+	return out
 }
 
 // exactBenefit recomputes an operation's benefit assuming all of its
@@ -256,52 +501,45 @@ func (st *state) exactBenefit(o Op) float64 {
 
 // apply performs the operation on the working clustering and bumps the
 // version counters of every touched cluster (including the fresh
-// singleton a split creates).
-func (st *state) apply(o Op) {
+// singleton a split creates). It returns the touched cluster indices so
+// the drain loop can re-score exactly the operations the apply dirtied.
+func (st *state) apply(o Op) [2]int {
 	switch o.Kind {
 	case SplitOp:
 		idx := st.c.Split(o.Record)
-		st.version[o.A]++
-		st.version[idx]++
-	case MergeOp:
+		st.bumpVer(o.A)
+		st.bumpVer(idx)
+		return [2]int{o.A, idx}
+	default:
 		st.c.Merge(o.A, o.B)
-		st.version[o.A]++
-		st.version[o.B]++
+		st.bumpVer(o.A)
+		st.bumpVer(o.B)
+		return [2]int{o.A, o.B}
 	}
 }
 
-// enumerate returns every operation of interest on the current
-// clustering: a split for every record in a non-singleton cluster, and a
-// merge for every pair of clusters connected by at least one candidate
-// pair. Cluster pairs with no candidate edge are omitted as an exact
-// optimization: every one of their cross pairs has f_c = 0 (pruned), so
-// their merge benefit is at most -1 per cross pair and can never be
-// selected by benefit or ratio.
-func (st *state) enumerate() []scoredOp {
-	var ops []scoredOp
-	score := func(o Op) scoredOp {
-		if s, ok := st.cachedScore(o); ok {
-			return s
-		}
-		var s scoredOp
-		if o.Kind == SplitOp {
-			s = st.scoreSplit(o.Record, o.A)
-		} else {
-			s = st.scoreMerge(o.A, o.B)
-		}
-		st.storeScore(s)
-		return s
-	}
+// collectOps lists every operation of interest on the current
+// clustering, in enumeration order, together with each op's enumeration
+// key (see enumKey): a split for every record in a non-singleton
+// cluster, and a merge for every pair of clusters connected by at least
+// one candidate pair. Cluster pairs with no candidate edge are omitted
+// as an exact optimization: every one of their cross pairs has f_c = 0
+// (pruned), so their merge benefit is at most -1 per cross pair and can
+// never be selected by benefit or ratio.
+func (st *state) collectOps() ([]Op, []enumKey) {
+	var ops []Op
+	var keys []enumKey
 	for _, idx := range st.c.ClusterIndices() {
 		if st.c.Size(idx) < 2 {
 			continue
 		}
-		for _, r := range st.c.Members(idx) {
-			ops = append(ops, score(Op{Kind: SplitOp, Record: r, A: idx}))
+		for pos, r := range st.c.Members(idx) {
+			ops = append(ops, Op{Kind: SplitOp, Record: r, A: idx})
+			keys = append(keys, splitKey(idx, pos))
 		}
 	}
-	seen := make(map[[2]int]struct{})
-	for _, sp := range st.cands.Pairs {
+	seen := make(map[uint64]struct{})
+	for i, sp := range st.cands.Pairs {
 		a := st.c.Assignment(sp.Pair.Lo)
 		b := st.c.Assignment(sp.Pair.Hi)
 		if a == b {
@@ -310,14 +548,28 @@ func (st *state) enumerate() []scoredOp {
 		if a > b {
 			a, b = b, a
 		}
-		key := [2]int{a, b}
+		key := clusterPairKey(a, b)
 		if _, dup := seen[key]; dup {
 			continue
 		}
 		seen[key] = struct{}{}
-		ops = append(ops, score(Op{Kind: MergeOp, A: a, B: b}))
+		ops = append(ops, Op{Kind: MergeOp, A: a, B: b})
+		keys = append(keys, mergeKey(i))
 	}
-	return ops
+	return ops, keys
+}
+
+// clusterPairKey packs an ordered cluster-index pair into one word for
+// the merge dedup maps (cheaper to hash than a two-int array key).
+func clusterPairKey(a, b int) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// enumerate scores every operation of interest on the current clustering
+// (cache-assisted, parallel when the uncached tail is large).
+func (st *state) enumerate() []scoredOp {
+	ops, _ := st.collectOps()
+	return st.scoreAll(ops)
 }
 
 // applyKnownPositive drains the set O⁺: while there is an operation whose
@@ -325,21 +577,23 @@ func (st *state) enumerate() []scoredOp {
 // Algorithms 4 and 5). This step needs no crowd at all. Termination is
 // guaranteed because each applied operation decreases Λ′(R) by its exact
 // benefit, which is a positive multiple of 1/workers.
+//
+// The original implementation re-enumerated and re-ranked every
+// operation after every free apply; this one enumerates once into a lazy
+// max-heap and, after each apply, re-scores only the operations touching
+// the two mutated clusters (see drainHeap for the invariants that make
+// that equivalent). The selection sequence — highest exact benefit,
+// ties to the earliest op in enumeration order — is byte-identical.
 func (st *state) applyKnownPositive() {
-	for {
-		best := scoredOp{bStar: 0}
-		found := false
-		for _, s := range st.enumerate() {
-			if s.cost == 0 && s.bStar > 0 && (!found || s.bStar > best.bStar) {
-				best = s
-				found = true
-			}
+	h := st.buildDrainHeap()
+	for h.Len() > 0 {
+		e := heap.Pop(h).(heapEntry)
+		if !st.entryValid(e) {
+			continue // stale: a cluster it touches has mutated since scoring
 		}
-		if !found {
-			return
-		}
-		st.apply(best.op)
+		touched := st.apply(e.s.op)
 		st.sess.Recorder().Count(MetricFreeApplies, 1)
+		st.pushDirty(h, touched)
 	}
 }
 

@@ -220,6 +220,22 @@ func TestCacheHitAfterUnrelatedApply(t *testing.T) {
 	if _, ok := st.cachedScore(splitIn23); !ok {
 		t.Fatalf("cache cold after enumerate")
 	}
+	// merge({0,1},{2,3}) has cost 1: its cross pair (0,2) is an
+	// uncrowdsourced candidate, so its score leans on the estimator.
+	mergeAcross := Op{Kind: MergeOp, A: c.Assignment(0), B: c.Assignment(2)}
+	if s, ok := st.cachedScore(mergeAcross); !ok || s.cost != 1 {
+		t.Fatalf("merge not cached with cost 1 after enumerate")
+	}
+	// New answers shift the estimator: positive-cost scores invalidate.
+	// Zero-cost scores are exact — every pair they read is crowdsourced
+	// or pruned, and neither can change — so they survive the epoch.
+	sess.Ask([]record.Pair{record.MakePair(0, 2)})
+	if _, ok := st.cachedScore(mergeAcross); ok {
+		t.Errorf("new answers did not invalidate the estimated (cost > 0) score")
+	}
+	if _, ok := st.cachedScore(splitIn23); !ok {
+		t.Errorf("new answers invalidated an exact (cost 0) score")
+	}
 	// Splitting record 0 touches only cluster {0,1}.
 	st.apply(Op{Kind: SplitOp, Record: 0, A: c.Assignment(0)})
 	if _, ok := st.cachedScore(splitIn23); !ok {
@@ -227,11 +243,6 @@ func TestCacheHitAfterUnrelatedApply(t *testing.T) {
 	}
 	if _, ok := st.cachedScore(Op{Kind: SplitOp, Record: 1, A: c.Assignment(1)}); ok {
 		t.Errorf("touched-cluster op not invalidated")
-	}
-	// New answers invalidate everything.
-	sess.Ask([]record.Pair{record.MakePair(0, 2)})
-	if _, ok := st.cachedScore(splitIn23); ok {
-		t.Errorf("new answers did not invalidate the cache")
 	}
 }
 

@@ -72,7 +72,7 @@ func PCRefineMode(c *cluster.Clustering, cands *pruning.Candidates, sess *crowd.
 
 		// One batch resolves every packed operation's unknown pairs
 		// (Line 15).
-		sess.Ask(collectUnknown(packed))
+		sess.Ask(collectUnknown(st, packed))
 		st.rebuildHistogram()
 
 		applied := 0

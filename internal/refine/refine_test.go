@@ -108,8 +108,9 @@ func TestCostEquations(t *testing.T) {
 	c := cluster.MustFromSets(3, [][]record.ID{{0, 1, 2}})
 	st := newState(c, cands, sess)
 	s := st.scoreSplit(0, 0)
-	if s.cost != 1 || len(s.unknown) != 1 || s.unknown[0] != record.MakePair(0, 2) {
-		t.Errorf("split cost = %d unknown=%v, want 1 [(0,2)]", s.cost, s.unknown)
+	unknown := st.unknownPairs(s.op)
+	if s.cost != 1 || len(unknown) != 1 || unknown[0] != record.MakePair(0, 2) {
+		t.Errorf("split cost = %d unknown=%v, want 1 [(0,2)]", s.cost, unknown)
 	}
 	// Split of 2: pairs (0,2) unknown candidate, (1,2) pruned → cost 1,
 	// and the pruned pair contributes 1−2·0 = 1 to the estimate.

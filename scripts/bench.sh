@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# bench.sh — capture the repo's core performance benchmarks into a
+# committed BENCH_N.json trajectory file.
+#
+# Usage:
+#   scripts/bench.sh [label] [outfile]
+#
+#   label    JSON label to store this capture under (default: post)
+#   outfile  target JSON file (default: BENCH_3.json)
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default: 2s)
+#   COUNT      go test -count value; runs are averaged (default: 3)
+#
+# The benchmark set is the core hot-path suite named in ISSUE 3:
+# PC-Pivot, PC-Refine, the pruning-phase Jaccard join, the full-pipeline
+# scale run, and the sparse Λ computation.
+set -eu
+
+label="${1:-post}"
+out="${2:-BENCH_3.json}"
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run NONE \
+    -bench 'PCPivot$|PCRefine$|PruningJaccardJoin$|ScaleACD$|Lambda$' \
+    -benchmem -benchtime "${BENCHTIME:-2s}" -count "${COUNT:-3}" . | tee "$tmp"
+
+go run ./internal/tools/benchjson -label "$label" -out "$out" < "$tmp"
