@@ -15,6 +15,7 @@
 package acd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -76,6 +77,10 @@ type Options struct {
 	// OnProgress, when set, is called after every crowd iteration with
 	// the running totals — useful feedback during long live-crowd runs.
 	OnProgress func(pairsAsked, iterations int)
+	// Context, when set, makes the campaign cancellable: cancelling it
+	// stops the run cleanly mid-crowd-iteration and Deduplicate returns
+	// the context's error. Nil means the run cannot be cancelled.
+	Context context.Context
 	// Trace, when set, receives a JSONL event stream as the run
 	// progresses (one pruning summary, one event per PC-Pivot round, one
 	// per refinement batch). Tracing never changes the result. The
@@ -171,7 +176,11 @@ func Deduplicate(records []Record, crowdFn CrowdFunc, opts Options) (*Result, er
 		SkipRefinement: opts.SkipRefinement,
 		Seed:           opts.Seed,
 		Obs:            rec,
+		Ctx:            opts.Context,
 	})
+	if out.Err != nil {
+		return nil, fmt.Errorf("acd: campaign aborted: %w", out.Err)
+	}
 
 	res := &Result{
 		ClusterOf:      make([]int, len(records)),

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	acdbench [-exp all|table3|fig5|fig6|fig7|fig8|fig10|ablation]
+//	acdbench [-exp all|table3|fig5|fig6|fig7|fig8|fig10|ablation|chaos]
 //	         [-seed N] [-workers 3|5] [-parallel N] [-chart]
 //	         [-metrics] [-metrics-json] [-trace FILE] [-metrics-http ADDR]
 //	         [-cpuprofile FILE] [-memprofile FILE]
@@ -16,6 +16,11 @@
 // PC-Pivot rounds and wasted pairs, refine operations, crowd question
 // accounting) is printed to stderr after the experiments finish; -trace
 // streams per-round JSONL events as they happen.
+//
+// -exp chaos runs the fault-tolerance experiment: the full pipeline
+// under escalating injected crowd-fault regimes (latency spikes, drops,
+// transient errors, adversarial bursts), fully simulated on a virtual
+// clock; see internal/crowd's ChaosSource and ReliableSource.
 //
 // -cpuprofile and -memprofile write pprof profiles of the run, the
 // companion knobs to the benchmark suite's -cpuprofile: acdbench is the
@@ -45,7 +50,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("acdbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	exp := fs.String("exp", "all", "experiment to run: all, table3, fig5, fig6, fig7, fig8, fig10, ablation")
+	exp := fs.String("exp", "all", "experiment to run: all, table3, fig5, fig6, fig7, fig8, fig10, ablation, chaos")
 	seed := fs.Int64("seed", 1, "dataset and crowd seed")
 	workers := fs.Int("workers", 0, "restrict comparisons to one worker setting (3 or 5); 0 = both")
 	chart := fs.Bool("chart", false, "render figure comparisons as bar charts")
@@ -122,6 +127,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		runFigure10(stdout, *seed)
 	case "ablation":
 		runAblations(stdout, *seed)
+	case "chaos":
+		runFaultTolerance(stdout, *seed, settings)
 	default:
 		fmt.Fprintf(stderr, "acdbench: unknown experiment %q\n", *exp)
 		return 2
@@ -162,6 +169,16 @@ func runFigure10(out io.Writer, seed int64) {
 		inst := experiments.MustInstance(name, seed)
 		experiments.RenderFigure10(out, name, experiments.Figure10(inst, 3))
 		experiments.Rule(out)
+	}
+}
+
+func runFaultTolerance(out io.Writer, seed int64, settings []int) {
+	for _, name := range experiments.DatasetNames {
+		inst := experiments.MustInstance(name, seed)
+		for _, w := range settings {
+			experiments.RenderFaultTolerance(out, name, w, experiments.FaultTolerance(inst, w, seed))
+			experiments.Rule(out)
+		}
 	}
 }
 

@@ -120,3 +120,21 @@ func TestRunBadFlags(t *testing.T) {
 		}
 	}
 }
+
+// TestRunChaos smoke-tests the fault-tolerance experiment end to end on
+// the cheapest dataset setting.
+func TestRunChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full pipelines under four fault regimes per dataset")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "chaos", "-seed", "1", "-workers", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"Fault tolerance", "regime", "none", "spikes", "flaky", "severe", "fallbacks"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -10,6 +10,9 @@
 //	acddedup -in records.csv [-mode acd|machine] [-tau 0.3] [-parallel N]
 //	         [-workers 3|5] [-error 0.1] [-eps 0.1] [-x 8] [-seed 1]
 //	         [-answers FILE] [-save-answers FILE]
+//	         [-crowd-timeout 1m] [-crowd-retries 2] [-chaos-drop P]
+//	         [-chaos-error P] [-chaos-dup P] [-chaos-spike P]
+//	         [-chaos-seed N] [-chaos-burst N] [-chaos-burst-len N]
 //	         [-metrics] [-metrics-json] [-trace FILE] [-metrics-http ADDR]
 //
 // The input format is datagen's: a header "id,entity,<fields...>" and
@@ -18,6 +21,14 @@
 // stderr. With -metrics, a per-phase observability snapshot follows the
 // summary on stderr; see internal/obs and the README's metrics
 // reference.
+//
+// The -chaos-* flags inject deterministic, seeded crowd faults (dropped
+// answers, transient errors, duplicated deliveries, latency spikes,
+// adversarial bursts) into the simulated crowd and route it through the
+// fault-tolerant execution layer (-crowd-timeout, -crowd-retries), with
+// questions that exhaust their retry budget degrading to the machine
+// probability. Simulated fault latency runs on a virtual clock — the
+// command never sleeps.
 package main
 
 import (
@@ -26,6 +37,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"time"
 
 	"acd/internal/cluster"
 	"acd/internal/core"
@@ -57,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "random seed")
 	answersIn := fs.String("answers", "", "replay crowd answers from this file (crowd.SaveAnswers format)")
 	answersOut := fs.String("save-answers", "", "write the simulated crowd answers to this file for later replay")
+	faultFlags := crowd.RegisterFaultFlags(fs)
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -145,9 +158,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			af.Close()
 		}
 		answers.SetRecorder(rec)
-		out := core.ACD(cands, answers, core.Config{Epsilon: *eps, RefineX: *x, Seed: *seed})
+		var src crowd.Source = answers
+		var chaosClock *crowd.VirtualClock
+		if faultFlags.Enabled() {
+			// Inject the requested faults and survive them: chaos under
+			// the retry/hedge/fallback machine, simulated latency on a
+			// virtual clock.
+			chaosClock = crowd.NewVirtualClock(time.Time{})
+			src = faultFlags.Wrap(answers, cands.Score, chaosClock)
+		}
+		out := core.ACD(cands, src, core.Config{Epsilon: *eps, RefineX: *x, Seed: *seed})
 		result = out.Clusters
 		stats = out.Stats
+		if chaosClock != nil {
+			m := rec.Snapshot()
+			fmt.Fprintf(stderr, "acddedup: crowd faults survived: %d retries, %d hedges, %d timeouts, %d fallbacks (%s simulated)\n",
+				m.Counters[crowd.MetricRetries], m.Counters[crowd.MetricHedges],
+				m.Counters[crowd.MetricTimeouts], m.Counters[crowd.MetricFallbacks],
+				chaosClock.Elapsed().Round(time.Second))
+		}
 	default:
 		fmt.Fprintf(stderr, "acddedup: unknown mode %q\n", *mode)
 		return 2

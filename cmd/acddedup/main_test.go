@@ -114,3 +114,36 @@ func TestRunErrors(t *testing.T) {
 		t.Errorf("unknown mode: exit %d, want 2", code)
 	}
 }
+
+// TestRunChaosFlags smoke-tests the fault-injection path: chaos flags
+// route the simulated crowd through the fault-tolerant layer, the run
+// completes with every record assigned, and the fault summary appears.
+func TestRunChaosFlags(t *testing.T) {
+	path := writeTinyCSV(t)
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-in", path, "-mode", "acd", "-seed", "1",
+		"-chaos-drop", "0.2", "-chaos-error", "0.1", "-chaos-seed", "3",
+		"-crowd-retries", "3", "-crowd-timeout", "20s",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 80 {
+		t.Errorf("stdout has %d assignment lines, want 80", len(lines))
+	}
+	if !strings.Contains(errb.String(), "crowd faults survived") {
+		t.Errorf("stderr missing the fault summary:\n%s", errb.String())
+	}
+	// Determinism: the same chaos seed replays the same campaign.
+	var out2, errb2 bytes.Buffer
+	run([]string{
+		"-in", path, "-mode", "acd", "-seed", "1",
+		"-chaos-drop", "0.2", "-chaos-error", "0.1", "-chaos-seed", "3",
+		"-crowd-retries", "3", "-crowd-timeout", "20s",
+	}, &out2, &errb2)
+	if out.String() != out2.String() {
+		t.Errorf("same chaos seed produced different clusterings")
+	}
+}

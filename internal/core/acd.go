@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"acd/internal/cluster"
@@ -30,16 +31,27 @@ type Config struct {
 	// session's inherited recorder (if any) in place; metrics change
 	// nothing about the run itself.
 	Obs *obs.Recorder
+	// Ctx, when set, makes the run cancellable: once the context is
+	// cancelled the crowd session stops answering, the running phase
+	// breaks out of its iteration loop mid-batch, and Output.Err
+	// reports the cancellation. Nil means the run cannot be cancelled.
+	Ctx context.Context
 }
 
 // Output is the result of a full ACD run.
 type Output struct {
-	// Clusters is the final deduplication.
+	// Clusters is the final deduplication. On an interrupted run
+	// (Err != nil) it is still a valid partition — whatever had been
+	// clustered when the campaign stopped, with the rest as singletons —
+	// but not a completed deduplication.
 	Clusters *cluster.Clustering
 	// Stats is the crowdsourcing accounting across both crowd phases.
 	Stats crowd.Stats
 	// Generation reports the cluster generation phase's internals.
 	Generation PCStats
+	// Err is nil for a completed run; on a cancelled campaign it is the
+	// context's error.
+	Err error
 }
 
 // ACD runs the complete pipeline of Section 3 on a pre-pruned candidate
@@ -60,18 +72,21 @@ func ACD(cands *pruning.Candidates, answers crowd.Source, cfg Config) Output {
 	if cfg.Obs != nil {
 		sess.SetRecorder(cfg.Obs)
 	}
+	if cfg.Ctx != nil {
+		sess.Bind(cfg.Ctx)
+	}
 	rec := sess.Recorder()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	doneGen := rec.StartPhase("generate")
 	clusters, gen := PCPivot(cands, sess, eps, rng)
 	doneGen()
-	if !cfg.SkipRefinement {
+	if !cfg.SkipRefinement && sess.Err() == nil {
 		doneRef := rec.StartPhase("refine")
 		clusters = refine.PCRefine(clusters, cands, sess, x)
 		doneRef()
 	} else {
 		clusters.Compact()
 	}
-	return Output{Clusters: clusters, Stats: sess.Stats(), Generation: gen}
+	return Output{Clusters: clusters, Stats: sess.Stats(), Generation: gen, Err: sess.Err()}
 }

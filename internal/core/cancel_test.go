@@ -1,0 +1,112 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"acd/internal/cluster"
+	"acd/internal/core"
+	"acd/internal/crowd"
+	"acd/internal/record"
+)
+
+// TestACDCancelMidCampaign cancels the campaign context from inside the
+// crowd fan-out and checks the pipeline stops cleanly: the context's
+// error is reported, the partial clustering is still a valid partition,
+// crowdsourcing stops promptly, and no worker goroutines leak.
+func TestACDCancelMidCampaign(t *testing.T) {
+	d, cands, answers := smallInstance(t)
+	full := core.ACD(cands, answers, core.Config{Seed: 7})
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls int64
+	src := crowd.AsyncSource{
+		Fn: func(p record.Pair) float64 {
+			if atomic.AddInt64(&calls, 1) == 25 {
+				cancel()
+			}
+			return answers.Score(p)
+		},
+		Concurrency: 4,
+		Setting:     crowd.ThreeWorker(1),
+	}
+	out := core.ACD(cands, src, core.Config{Seed: 7, Ctx: ctx})
+
+	if !errors.Is(out.Err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", out.Err)
+	}
+	// The interrupted run is still a valid partition over every record:
+	// Evaluate walks all assignments and panics on a corrupt clustering.
+	if out.Clusters.Len() != len(d.Records) {
+		t.Errorf("partial clustering covers %d records, want %d", out.Clusters.Len(), len(d.Records))
+	}
+	cluster.Evaluate(out.Clusters, d.Truth())
+	// Crowdsourcing stopped promptly: at most one in-flight batch worth
+	// of questions after the cancellation, and well short of a full run.
+	if c := atomic.LoadInt64(&calls); int(c) >= full.Stats.Pairs {
+		t.Errorf("cancelled run asked %d pairs, full run asks %d", c, full.Stats.Pairs)
+	}
+
+	// The worker pool drains and exits: goroutine count returns to
+	// baseline (polled; the runtime needs a moment to reap them).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancellation", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestACDPreCancelledContext: a context cancelled before the run starts
+// yields an all-singletons partition without consulting the crowd.
+func TestACDPreCancelledContext(t *testing.T) {
+	d, cands, answers := smallInstance(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls int64
+	src := crowd.SourceFunc{
+		Fn: func(p record.Pair) float64 {
+			atomic.AddInt64(&calls, 1)
+			return answers.Score(p)
+		},
+		Setting: crowd.ThreeWorker(1),
+	}
+	out := core.ACD(cands, src, core.Config{Seed: 7, Ctx: ctx})
+	if !errors.Is(out.Err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", out.Err)
+	}
+	if atomic.LoadInt64(&calls) != 0 {
+		t.Errorf("pre-cancelled run still asked the crowd %d times", calls)
+	}
+	if got := out.Clusters.NumClusters(); got != len(d.Records) {
+		t.Errorf("pre-cancelled run produced %d clusters, want all %d singletons", got, len(d.Records))
+	}
+	if out.Stats.Pairs != 0 || out.Stats.Cents != 0 {
+		t.Errorf("pre-cancelled run charged accounting: %+v", out.Stats)
+	}
+}
+
+// TestACDNilContextUnchanged pins that runs without a context are
+// byte-identical to runs with a never-cancelled one.
+func TestACDNilContextUnchanged(t *testing.T) {
+	_, cands, answers := smallInstance(t)
+	plain := core.ACD(cands, answers, core.Config{Seed: 11})
+	bound := core.ACD(cands, answers, core.Config{Seed: 11, Ctx: context.Background()})
+	if !cluster.Equal(plain.Clusters, bound.Clusters) || plain.Stats != bound.Stats {
+		t.Errorf("binding a live context changed the run")
+	}
+	if bound.Err != nil {
+		t.Errorf("Err = %v on a never-cancelled run", bound.Err)
+	}
+}

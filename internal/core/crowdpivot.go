@@ -48,6 +48,9 @@ func CrowdPivotPerm(cands *pruning.Candidates, s *crowd.Session, m Permutation) 
 			pairs[j] = record.MakePair(pivot, r)
 		}
 		scores := s.Ask(pairs)
+		if s.Err() != nil {
+			break // cancelled campaign: stop cleanly mid-iteration
+		}
 		members := []record.ID{pivot}
 		for j, fc := range scores {
 			if fc > 0.5 {
@@ -58,6 +61,13 @@ func CrowdPivotPerm(cands *pruning.Candidates, s *crowd.Session, m Permutation) 
 			g.Remove(r)
 		}
 		sets = append(sets, members)
+	}
+	// An interrupted run leaves the unclustered records as singletons so
+	// the result is still a valid partition (see Session.Err).
+	if s.Err() != nil {
+		for _, v := range g.LiveVertices() {
+			sets = append(sets, []record.ID{v})
+		}
 	}
 	c, err := cluster.FromSets(cands.N, sets)
 	if err != nil {

@@ -69,6 +69,9 @@ func PCPivotPerm(cands *pruning.Candidates, s *crowd.Session, eps float64, m Per
 	for g.LiveCount() > 0 {
 		k, sumW, pk := run.scan(eps, maxPivots, nil)
 		res := run.partialPivot(s)
+		if s.Err() != nil {
+			break // cancelled campaign: stop cleanly mid-iteration
+		}
 		sets = append(sets, res.Clusters...)
 		stats.Batches++
 		stats.Issued += res.Issued
@@ -87,6 +90,14 @@ func PCPivotPerm(cands *pruning.Candidates, s *crowd.Session, eps float64, m Per
 				"epsilon": eps, "issued": res.Issued, "wasted": res.Wasted,
 				"clusters": len(res.Clusters), "live": g.LiveCount(),
 			})
+		}
+	}
+	// An interrupted run leaves the unclustered records as singletons so
+	// the result is still a valid partition; the caller distinguishes it
+	// from a completed run via the session error.
+	if s.Err() != nil {
+		for _, v := range g.LiveVertices() {
+			sets = append(sets, []record.ID{v})
 		}
 	}
 	c, err := cluster.FromSets(cands.N, sets)

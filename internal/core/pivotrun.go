@@ -153,8 +153,14 @@ func (pr *pivotRun) partialPivot(s *crowd.Session) BatchResult {
 	}
 
 	// Crowdsource P in one batch and build H_i, the positive subgraph,
-	// as per-pivot adjacency lists in issued-pair order.
+	// as per-pivot adjacency lists in issued-pair order. A batch that
+	// fails (cancelled campaign) clusters nothing and removes nothing:
+	// the zero scores the session returns are not answers, and the
+	// caller observes the session error and stops.
 	scores := s.Ask(pr.pairs)
+	if s.Err() != nil {
+		return BatchResult{}
+	}
 	for len(pr.posLists) < len(pivots) {
 		pr.posLists = append(pr.posLists, nil)
 	}

@@ -1,6 +1,7 @@
 package crowd
 
 import (
+	"context"
 	"sync"
 
 	"acd/internal/record"
@@ -39,22 +40,61 @@ func (s AsyncSource) Config() Config { return s.Setting }
 // ScoreBatch implements BatchSource: it answers all pairs with at most
 // Concurrency calls in flight and returns scores in input order.
 func (s AsyncSource) ScoreBatch(pairs []record.Pair) []float64 {
+	out, _ := s.ScoreBatchCtx(context.Background(), pairs)
+	return out
+}
+
+// ScoreBatchCtx implements ContextBatchSource: a fixed pool of
+// Concurrency workers drains the batch (rather than one goroutine per
+// pair), preserving input order in the output. When ctx is cancelled
+// the feed stops, in-flight calls finish, the pool exits without
+// leaking goroutines, and ctx's error is returned.
+func (s AsyncSource) ScoreBatchCtx(ctx context.Context, pairs []record.Pair) ([]float64, error) {
 	limit := s.Concurrency
 	if limit < 1 {
 		limit = 8
 	}
+	return scorePool(ctx, pairs, limit, s.Fn)
+}
+
+// scorePool fans a batch out over a fixed pool of `limit` workers
+// draining an index channel, writing each answer to its input slot so
+// output order matches input order. Shared by AsyncSource and the live
+// path of ReliableSource. On cancellation the remaining indices are
+// never fed, so workers drain what's left of the channel and exit; the
+// partial result is discarded.
+func scorePool(ctx context.Context, pairs []record.Pair, limit int, fn func(record.Pair) float64) ([]float64, error) {
 	out := make([]float64, len(pairs))
-	sem := make(chan struct{}, limit)
-	var wg sync.WaitGroup
-	for i, p := range pairs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, p record.Pair) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i] = s.Fn(p)
-		}(i, p)
+	if len(pairs) == 0 {
+		return out, ctx.Err()
 	}
+	if limit > len(pairs) {
+		limit = len(pairs)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(limit)
+	for w := 0; w < limit; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = fn(pairs[i])
+			}
+		}()
+	}
+	done := ctx.Done()
+feed:
+	for i := range pairs {
+		select {
+		case idx <- i:
+		case <-done:
+			break feed
+		}
+	}
+	close(idx)
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -1,6 +1,8 @@
 package crowd
 
 import (
+	"context"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -97,5 +99,42 @@ func TestSessionUsesBatchSource(t *testing.T) {
 	s.Ask(pairs[:10])
 	if atomic.LoadInt64(&calls) != 45 {
 		t.Errorf("re-ask invoked the crowd")
+	}
+}
+
+// TestAsyncSourceScoreBatchCtxCancel: cancelling the batch stops the
+// feed, returns the context's error, and leaks no pool goroutines.
+func TestAsyncSourceScoreBatchCtxCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int64
+	src := AsyncSource{
+		Fn: func(p record.Pair) float64 {
+			if atomic.AddInt64(&calls, 1) == 10 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return 1
+		},
+		Concurrency: 4,
+		Setting:     ThreeWorker(0),
+	}
+	out, err := src.ScoreBatchCtx(ctx, adaptivePairs(500))
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Errorf("cancelled batch returned scores")
+	}
+	// Far fewer calls than the batch size: the feed stopped.
+	if c := atomic.LoadInt64(&calls); c > 50 {
+		t.Errorf("%d calls after cancellation at 10", c)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

@@ -1,0 +1,89 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMajorityErrorEvenWorkers pins the "wrong votes needed" arithmetic
+// on an even panel, where a tie (2 of 4) does NOT flip the majority:
+// a wrong answer needs 3 or 4 wrong votes, so at d = 0.5 the error is
+// C(4,3)/16 + C(4,4)/16 = 5/16 — not 1/2.
+func TestMajorityErrorEvenWorkers(t *testing.T) {
+	if got, want := MajorityError(0.5, 4), 5.0/16.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("MajorityError(0.5, 4) = %v, want %v", got, want)
+	}
+	// Because a tie is lenient (not wrong), the even panel needs a 3-of-4
+	// supermajority to err: for d < 1/2 it beats the odd panel below it
+	// AND the odd panel above it, which needs only 3 of 5.
+	for _, d := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.49} {
+		if m4, m3 := MajorityError(d, 4), MajorityError(d, 3); m4 > m3+1e-12 {
+			t.Errorf("d=%v: MajorityError(4)=%v worse than MajorityError(3)=%v", d, m4, m3)
+		}
+		if m4, m5 := MajorityError(d, 4), MajorityError(d, 5); m4 > m5+1e-12 {
+			t.Errorf("d=%v: MajorityError(4)=%v worse than MajorityError(5)=%v", d, m4, m5)
+		}
+	}
+	// Degenerate worker competence: perfect workers never err, coin-flip
+	// adversaries (d=1) always do.
+	if got := MajorityError(0, 4); got != 0 {
+		t.Errorf("MajorityError(0, 4) = %v, want 0", got)
+	}
+	if got := MajorityError(1, 4); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MajorityError(1, 4) = %v, want 1", got)
+	}
+}
+
+// TestCalibrateInconsistentTargets feeds Calibrate a target pair no
+// two-point mixture can reach (5-worker error far below what the
+// 3-worker target permits): the fit must not crash or return garbage —
+// it reports a clearly nonzero residual and a mixture within bounds.
+func TestCalibrateInconsistentTargets(t *testing.T) {
+	m, residual := Calibrate(0.5, 0.01)
+	if residual <= 1e-4 {
+		t.Errorf("residual = %v for unreachable targets, want clearly nonzero", residual)
+	}
+	if m.Alpha < 0 || m.Alpha > 1 {
+		t.Errorf("Alpha = %v out of [0, 1]", m.Alpha)
+	}
+	if m.DHard < 0.5 || m.DHard > 0.91 {
+		t.Errorf("DHard = %v outside the search grid", m.DHard)
+	}
+	if m.DEasy < 0 || m.DEasy > 0.41 {
+		t.Errorf("DEasy = %v outside the search grid", m.DEasy)
+	}
+	// The fit still minimizes: it can't be worse than the trivial
+	// all-easy candidate at the grid floor.
+	trivial := Mixture{Alpha: 0, DHard: 0.5, DEasy: 0}
+	r3 := trivial.ExpectedError(3) - 0.5
+	r5 := trivial.ExpectedError(5) - 0.01
+	if residual > r3*r3+r5*r5+1e-12 {
+		t.Errorf("residual %v worse than the trivial candidate's %v", residual, r3*r3+r5*r5)
+	}
+}
+
+// TestExpectedErrorMonotone pins the mixture-level monotonicity that the
+// paper's Table 3 narrative rests on: with both difficulties below 1/2,
+// adding workers can only help; when the hard mass has d > 1/2 and
+// dominates (alpha = 1), adding workers makes the majority wronger.
+func TestExpectedErrorMonotone(t *testing.T) {
+	workers := []int{1, 3, 5, 7, 9}
+	helped := Mixture{Alpha: 0.3, DHard: 0.4, DEasy: 0.05}
+	for i := 1; i < len(workers); i++ {
+		prev := helped.ExpectedError(workers[i-1])
+		cur := helped.ExpectedError(workers[i])
+		if cur > prev+1e-12 {
+			t.Errorf("d<1/2 mixture: error rose from %v (%dw) to %v (%dw)",
+				prev, workers[i-1], cur, workers[i])
+		}
+	}
+	hurt := Mixture{Alpha: 1, DHard: 0.7}
+	for i := 1; i < len(workers); i++ {
+		prev := hurt.ExpectedError(workers[i-1])
+		cur := hurt.ExpectedError(workers[i])
+		if cur < prev-1e-12 {
+			t.Errorf("d>1/2 mixture: error fell from %v (%dw) to %v (%dw)",
+				prev, workers[i-1], cur, workers[i])
+		}
+	}
+}

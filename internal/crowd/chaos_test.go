@@ -1,0 +1,253 @@
+package crowd
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"acd/internal/obs"
+	"acd/internal/record"
+)
+
+// chaosAnswers builds a fixed answer set of n pairs with scores i/n.
+func chaosAnswers(n int) (*AnswerSet, []record.Pair) {
+	scores := make(map[record.Pair]float64, n)
+	pairs := make([]record.Pair, n)
+	for i := 0; i < n; i++ {
+		p := record.MakePair(record.ID(i), record.ID(i+1000))
+		pairs[i] = p
+		scores[p] = float64(i) / float64(n)
+	}
+	return FixedAnswers(scores, ThreeWorker(0)), pairs
+}
+
+// TestChaosDeterministicAcrossCallOrder pins the injector's core
+// property: without bursts, every (pair, attempt) outcome is a pure
+// function of the seed, so two sources visited in opposite orders agree
+// on every draw.
+func TestChaosDeterministicAcrossCallOrder(t *testing.T) {
+	cfg := ChaosConfig{Seed: 7, DropProb: 0.2, ErrorProb: 0.15, SpikeProb: 0.1, DupProb: 0.1}
+	answersA, pairs := chaosAnswers(40)
+	answersB, _ := chaosAnswers(40)
+	a := NewChaos(answersA, cfg)
+	b := NewChaos(answersB, cfg)
+
+	type outcome struct {
+		fc  float64
+		lat time.Duration
+		err error
+	}
+	grid := func(c *ChaosSource, reverse bool) map[record.Pair]map[int]outcome {
+		out := make(map[record.Pair]map[int]outcome)
+		order := make([]record.Pair, len(pairs))
+		copy(order, pairs)
+		if reverse {
+			for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+		for _, p := range order {
+			out[p] = make(map[int]outcome)
+			for attempt := 0; attempt < 4; attempt++ {
+				fc, lat, err := c.TryScore(p, attempt)
+				out[p][attempt] = outcome{fc, lat, err}
+			}
+		}
+		return out
+	}
+	ga, gb := grid(a, false), grid(b, true)
+	for p, attempts := range ga {
+		for attempt, oa := range attempts {
+			ob := gb[p][attempt]
+			if oa.fc != ob.fc || oa.lat != ob.lat || !errors.Is(oa.err, ob.err) && !errors.Is(ob.err, oa.err) {
+				t.Fatalf("pair %v attempt %d: %v vs %v across call orders", p, attempt, oa, ob)
+			}
+		}
+	}
+}
+
+// TestChaosOracleOncePerPair pins the accounting invariant: however many
+// attempts, retries or duplicates the fault machinery generates, the
+// wrapped oracle is consulted exactly once per distinct pair.
+func TestChaosOracleOncePerPair(t *testing.T) {
+	answers, pairs := chaosAnswers(25)
+	rec := obs.New()
+	answers.SetRecorder(rec)
+	c := NewChaos(answers, ChaosConfig{Seed: 3, DropProb: 0.3, ErrorProb: 0.2, DupProb: 0.5})
+
+	attempts := 0
+	for round := 0; round < 6; round++ {
+		for _, p := range pairs {
+			c.TryScore(p, round)
+			attempts++
+		}
+	}
+	m := rec.Snapshot()
+	if got := m.Counters[MetricOracleInvocations]; got != int64(len(pairs)) {
+		t.Errorf("oracle invocations = %d over %d attempts, want once per pair = %d",
+			got, attempts, len(pairs))
+	}
+	if got := c.Calls(); got != int64(attempts) {
+		t.Errorf("Calls() = %d, want %d", got, attempts)
+	}
+}
+
+func TestChaosDropNeverArrives(t *testing.T) {
+	answers, pairs := chaosAnswers(10)
+	c := NewChaos(answers, ChaosConfig{Seed: 1, DropProb: 1})
+	for _, p := range pairs {
+		fc, lat, err := c.TryScore(p, 0)
+		if err != nil {
+			t.Fatalf("drop reported error %v; drops are silent", err)
+		}
+		if lat != dropLatency {
+			t.Fatalf("dropped answer latency %v, want dropLatency", lat)
+		}
+		if fc != answers.fc[p] {
+			t.Fatalf("dropped answer carried fc %v, want the real %v", fc, answers.fc[p])
+		}
+	}
+}
+
+func TestChaosTransientErrors(t *testing.T) {
+	answers, pairs := chaosAnswers(10)
+	rec := obs.New()
+	c := NewChaos(answers, ChaosConfig{Seed: 2, ErrorProb: 1})
+	c.SetRecorder(rec)
+	for _, p := range pairs {
+		if _, _, err := c.TryScore(p, 0); !errors.Is(err, ErrTransient) {
+			t.Fatalf("err = %v, want ErrTransient", err)
+		}
+	}
+	if m := rec.Snapshot(); m.Counters[MetricChaosFaults] != int64(len(pairs)) {
+		t.Errorf("chaos faults = %d, want %d", m.Counters[MetricChaosFaults], len(pairs))
+	}
+}
+
+func TestChaosSpikeStretchesLatency(t *testing.T) {
+	answers, pairs := chaosAnswers(1)
+	base := NewChaos(answers, ChaosConfig{Seed: 5, LatencySpread: -1})
+	answers2, _ := chaosAnswers(1)
+	spiked := NewChaos(answers2, ChaosConfig{Seed: 5, LatencySpread: -1, SpikeProb: 1, SpikeFactor: 10})
+	_, lat0, _ := base.TryScore(pairs[0], 0)
+	_, lat1, _ := spiked.TryScore(pairs[0], 0)
+	if lat1 != 10*lat0 {
+		t.Errorf("spiked latency %v, want 10× the base %v", lat1, lat0)
+	}
+}
+
+// TestChaosBurstWindows pins the adversarial-burst schedule: with
+// BurstEvery = 6 and BurstLen = 2, questions 0-1, 6-7, 12-13, ... fall
+// into windows where (here) every answer is dropped.
+func TestChaosBurstWindows(t *testing.T) {
+	answers, pairs := chaosAnswers(18)
+	c := NewChaos(answers, ChaosConfig{
+		Seed: 4, BurstEvery: 6, BurstLen: 2, BurstDropProb: 1,
+	})
+	for i, p := range pairs {
+		_, lat, err := c.TryScore(p, 0)
+		if err != nil {
+			t.Fatalf("question %d errored: %v", i, err)
+		}
+		inBurst := i%6 < 2
+		if dropped := lat == dropLatency; dropped != inBurst {
+			t.Errorf("question %d: dropped=%v, want inBurst=%v", i, dropped, inBurst)
+		}
+	}
+}
+
+func TestChaosDuplicateDeliveries(t *testing.T) {
+	answers, pairs := chaosAnswers(5)
+	rec := obs.New()
+	c := NewChaos(answers, ChaosConfig{Seed: 6, DupProb: 1})
+	c.SetRecorder(rec)
+	for _, p := range pairs {
+		a, _, _ := c.TryScore(p, 0) // first delivery
+		b, _, _ := c.TryScore(p, 1) // duplicated delivery of the same answer
+		if a != b {
+			t.Fatalf("duplicate delivery changed the answer: %v vs %v", a, b)
+		}
+	}
+	m := rec.Snapshot()
+	if got := m.Counters[MetricChaosDuplicates]; got != int64(len(pairs)) {
+		t.Errorf("duplicates = %d, want %d", got, len(pairs))
+	}
+}
+
+func TestChaosZeroConfigIsFaultFree(t *testing.T) {
+	answers, pairs := chaosAnswers(20)
+	c := NewChaos(answers, ChaosConfig{Seed: 9})
+	for _, p := range pairs {
+		fc, lat, err := c.TryScore(p, 0)
+		if err != nil {
+			t.Fatalf("zero-config chaos errored: %v", err)
+		}
+		if fc != answers.fc[p] {
+			t.Fatalf("fc = %v, want %v", fc, answers.fc[p])
+		}
+		if lat <= 0 || lat > time.Minute {
+			t.Fatalf("latency %v implausible for a 2s base", lat)
+		}
+	}
+}
+
+func TestChaosScoreCheckedPropagatesNotCandidate(t *testing.T) {
+	answers, _ := chaosAnswers(2)
+	c := NewChaos(answers, ChaosConfig{Seed: 1})
+	if _, err := c.ScoreChecked(record.MakePair(777, 778)); !errors.Is(err, ErrNotCandidate) {
+		t.Fatalf("err = %v, want ErrNotCandidate", err)
+	}
+	// And through TryScore it surfaces as a fast permanent error.
+	if _, _, err := c.TryScore(record.MakePair(777, 778), 0); !errors.Is(err, ErrNotCandidate) {
+		t.Fatalf("TryScore err = %v, want ErrNotCandidate", err)
+	}
+}
+
+// TestReliableOverChaosEndToEnd drives the full stack — answer set under
+// chaos under the retry/hedge machine on a virtual clock — and checks
+// every question either resolved to its true answer or degraded to the
+// (sentinel) fallback, with the fallback count matching the metric.
+func TestReliableOverChaosEndToEnd(t *testing.T) {
+	answers, pairs := chaosAnswers(120)
+	rec := obs.New()
+	answers.SetRecorder(rec)
+	chaos := NewChaos(answers, ChaosConfig{
+		Seed: 11, DropProb: 0.2, ErrorProb: 0.1, SpikeProb: 0.05, DupProb: 0.1,
+	})
+	clock := NewVirtualClock(time.Time{})
+	r := NewReliable(chaos, ReliableConfig{
+		Timeout:  30 * time.Second,
+		Retries:  3,
+		Backoff:  100 * time.Millisecond,
+		Seed:     11,
+		Fallback: func(record.Pair) float64 { return -1 }, // sentinel
+		Clock:    clock,
+	})
+	r.SetRecorder(rec)
+
+	fallbacks := 0
+	for _, p := range pairs {
+		switch got := r.Score(p); got {
+		case -1:
+			fallbacks++
+		case answers.fc[p]:
+		default:
+			t.Fatalf("pair %v scored %v, want %v or the fallback", p, got, answers.fc[p])
+		}
+	}
+	m := rec.Snapshot()
+	if got := m.Counters[MetricFallbacks]; got != int64(fallbacks) {
+		t.Errorf("fallback metric = %d, observed %d sentinel answers", got, fallbacks)
+	}
+	// Chaos notwithstanding, the oracle answered each pair exactly once.
+	if got := m.Counters[MetricOracleInvocations]; got != int64(len(pairs)) {
+		t.Errorf("oracle invocations = %d, want %d", got, len(pairs))
+	}
+	if clock.Elapsed() <= 0 {
+		t.Errorf("virtual clock did not advance")
+	}
+	if m.Counters[MetricAttempts] <= int64(len(pairs)) {
+		t.Errorf("attempts = %d over %d pairs; expected retries/hedges under this fault mix",
+			m.Counters[MetricAttempts], len(pairs))
+	}
+}

@@ -1,0 +1,105 @@
+package crowd
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the fault-tolerant crowd layer. Production
+// code runs on the wall clock; the deterministic fault-injection tests
+// run on a VirtualClock, where deadlines, backoff sleeps and hedge
+// delays are pure arithmetic on a simulated timeline — no test ever
+// calls time.Sleep, so the chaos sweeps are exactly reproducible and
+// run in milliseconds of real time regardless of how many minutes of
+// simulated crowd latency they model.
+type Clock interface {
+	// Now returns the clock's current instant.
+	Now() time.Time
+	// Sleep pauses the caller for d — or, on a virtual clock, advances
+	// the timeline by d and returns immediately. It returns early with
+	// the context's error if ctx is cancelled first.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// wallClock is the production Clock: real time, real sleeps.
+type wallClock struct{}
+
+// WallClock returns the real-time Clock used outside tests.
+func WallClock() Clock { return wallClock{} }
+
+// Now implements Clock.
+func (wallClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock: a context-aware time.Sleep.
+func (wallClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// VirtualClock is a manually advanced Clock for deterministic
+// simulation. Sleeping advances the timeline instead of blocking, so a
+// simulated run that models hours of crowd latency completes in
+// microseconds and always reads the same timestamps in the same order
+// (when driven from a single goroutine, which the deterministic
+// ReliableSource path guarantees). It is safe for concurrent use; under
+// concurrency the total elapsed time is still the sum of all sleeps,
+// though interleaving is scheduler-dependent.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+	t0  time.Time
+}
+
+// NewVirtualClock creates a virtual clock starting at start. A zero
+// start uses the Unix epoch, which keeps simulated timestamps stable
+// across runs.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	if start.IsZero() {
+		start = time.Unix(0, 0).UTC()
+	}
+	return &VirtualClock{now: start, t0: start}
+}
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock by advancing the timeline; it never blocks.
+func (c *VirtualClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.Advance(d)
+	return nil
+}
+
+// Advance moves the timeline forward by d (negative d is ignored).
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Elapsed returns how much simulated time has passed since the clock
+// was created — the virtual wall-clock cost of a simulated run.
+func (c *VirtualClock) Elapsed() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now.Sub(c.t0)
+}

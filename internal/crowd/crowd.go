@@ -1,6 +1,7 @@
 package crowd
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -124,6 +125,20 @@ func (a *AnswerSet) Score(p record.Pair) float64 {
 	return fc
 }
 
+// ScoreChecked implements CheckedSource: it is Score without the panic,
+// for the fault-tolerant path. Asking about a pair outside the candidate
+// set returns ErrNotCandidate (and does not count an oracle invocation);
+// the algorithms only ever issue candidates, so ReliableSource turns the
+// error into a fallback instead of crashing the run.
+func (a *AnswerSet) ScoreChecked(p record.Pair) (float64, error) {
+	fc, ok := a.fc[p]
+	if !ok {
+		return 0, fmt.Errorf("%w: %v", ErrNotCandidate, p)
+	}
+	a.rec.Count(MetricOracleInvocations, 1)
+	return fc, nil
+}
+
 // Has reports whether p is in the answer set.
 func (a *AnswerSet) Has(p record.Pair) bool {
 	_, ok := a.fc[p]
@@ -218,6 +233,8 @@ type Session struct {
 	order   []record.Pair // known pairs in first-crowdsourced order
 	stats   Stats
 	rec     *obs.Recorder
+	ctx     context.Context // nil = never cancelled
+	err     error           // sticky: set once the campaign is aborted
 }
 
 // NewSession starts an accounting session over a crowd source. If the
@@ -253,12 +270,43 @@ func (s *Session) SetRecorder(rec *obs.Recorder) {
 // through here — the session already flows through every crowd phase.
 func (s *Session) Recorder() *obs.Recorder { return s.rec }
 
+// Bind attaches a cancellation context to the session. Once ctx is
+// cancelled, every subsequent Ask returns zero scores without consulting
+// the source or charging any accounting, and Err reports the
+// cancellation — so the crowd iteration loops observe one failed batch
+// and stop cleanly mid-campaign. A nil ctx detaches.
+func (s *Session) Bind(ctx context.Context) { s.ctx = ctx }
+
+// Err reports why the campaign aborted (context cancellation or a batch
+// failure), or nil while the session is healthy. The crowd algorithms
+// check it after every Ask; callers of the algorithms check it to tell a
+// completed run from an interrupted one.
+func (s *Session) Err() error { return s.err }
+
+// abort marks the session failed; the first error sticks.
+func (s *Session) abort(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
 // Ask issues a batch of pairs to the crowd as one crowd iteration and
 // returns their scores in order. Pairs already known from earlier batches
 // are answered from the session cache for free; duplicates within the
 // batch are charged once. A batch with no new pairs costs nothing — not
 // even an iteration — since no HITs would be posted.
 func (s *Session) Ask(pairs []record.Pair) []float64 {
+	// A cancelled or aborted campaign answers nothing: zero scores, no
+	// accounting, no source contact. Callers observe Err and stop.
+	if s.err == nil && s.ctx != nil {
+		if cerr := s.ctx.Err(); cerr != nil {
+			s.abort(cerr)
+		}
+	}
+	if s.err != nil {
+		return make([]float64, len(pairs))
+	}
+
 	// Identify the distinct pairs this batch actually needs answered.
 	var fresh []record.Pair
 	inBatch := make(map[record.Pair]struct{})
@@ -276,9 +324,18 @@ func (s *Session) Ask(pairs []record.Pair) []float64 {
 	if len(fresh) > 0 {
 		// Resolve the whole batch at once when the source supports it
 		// (live crowds pay their latency once per iteration, not per
-		// pair).
+		// pair). A bound context routes through the cancellable batch
+		// path; a batch that fails mid-flight aborts the campaign and
+		// charges nothing.
 		var scores []float64
-		if bs, ok := s.answers.(BatchSource); ok {
+		if cbs, ok := s.answers.(ContextBatchSource); ok && s.ctx != nil {
+			got, err := cbs.ScoreBatchCtx(s.ctx, fresh)
+			if err != nil {
+				s.abort(err)
+				return make([]float64, len(pairs))
+			}
+			scores = got
+		} else if bs, ok := s.answers.(BatchSource); ok {
 			scores = bs.ScoreBatch(fresh)
 		} else {
 			scores = make([]float64, len(fresh))

@@ -28,4 +28,16 @@
 // invariant end to end). Pool, Qualification and LatencyModel extend
 // the simulation with AMT-style worker pools, admission rules, and
 // wall-clock latency estimates.
+//
+// The fault-tolerant execution layer (faulttol.go) hardens any Source
+// against a misbehaving crowd backend: ReliableSource adds per-question
+// deadlines, bounded retries with jittered backoff, hedged re-issue of
+// stragglers, and graceful degradation to the machine probability when
+// the retry budget is exhausted. Its deterministic test substrate is
+// ChaosSource (chaos.go), a seeded fault injector (drops, transient
+// errors, latency spikes, duplicated deliveries, adversarial bursts)
+// that runs entirely on a VirtualClock (clock.go) — simulated latency
+// is arithmetic, never sleeps — so chaos campaigns replay exactly. See
+// DESIGN.md section 5d for the state machine and the determinism
+// argument.
 package crowd

@@ -1,0 +1,86 @@
+package crowd
+
+import (
+	"flag"
+	"time"
+
+	"acd/internal/record"
+)
+
+// FaultFlags is the shared command-line surface of the fault-tolerance
+// layer, registered by RegisterFaultFlags. acdbench and acddedup both
+// use it, so the retry/hedge knobs and the chaos mix read the same way
+// everywhere.
+type FaultFlags struct {
+	// Timeout and Retries tune the ReliableSource wrapper (zero values
+	// mean DefaultTimeout / DefaultRetries).
+	Timeout time.Duration
+	Retries int
+	// Drop, Error, Dup and Spike are the injected fault probabilities;
+	// Seed drives every fault draw; Burst/BurstLen schedule adversarial
+	// worker bursts. All zero means no chaos.
+	Drop     float64
+	Error    float64
+	Dup      float64
+	Spike    float64
+	Seed     int64
+	Burst    int
+	BurstLen int
+}
+
+// RegisterFaultFlags registers the -crowd-* and -chaos-* flags on fs and
+// returns the struct their values land in (read after fs.Parse).
+func RegisterFaultFlags(fs *flag.FlagSet) *FaultFlags {
+	f := &FaultFlags{}
+	fs.DurationVar(&f.Timeout, "crowd-timeout", DefaultTimeout, "per-question crowd deadline (primary + hedge)")
+	fs.IntVar(&f.Retries, "crowd-retries", DefaultRetries, "crowd question re-issues after the first attempt (-1 = none)")
+	fs.Float64Var(&f.Drop, "chaos-drop", 0, "injected probability an answer never arrives")
+	fs.Float64Var(&f.Error, "chaos-error", 0, "injected probability of a transient platform error")
+	fs.Float64Var(&f.Dup, "chaos-dup", 0, "injected probability of a duplicated answer delivery")
+	fs.Float64Var(&f.Spike, "chaos-spike", 0, "injected probability of a latency spike")
+	fs.Int64Var(&f.Seed, "chaos-seed", 1, "seed for the deterministic fault injector")
+	fs.IntVar(&f.Burst, "chaos-burst", 0, "open an adversarial drop burst every N questions (0 = off)")
+	fs.IntVar(&f.BurstLen, "chaos-burst-len", 0, "length of each adversarial burst window")
+	return f
+}
+
+// Enabled reports whether any fault injection was requested; the
+// reliability wrapper is only worth paying for in a simulated pipeline
+// when there are faults to tolerate.
+func (f *FaultFlags) Enabled() bool {
+	return f.Drop > 0 || f.Error > 0 || f.Dup > 0 || f.Spike > 0 || f.Burst > 0
+}
+
+// ChaosConfig assembles the injector configuration from the flag values.
+func (f *FaultFlags) ChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Seed:       f.Seed,
+		DropProb:   f.Drop,
+		ErrorProb:  f.Error,
+		DupProb:    f.Dup,
+		SpikeProb:  f.Spike,
+		BurstEvery: f.Burst,
+		BurstLen:   f.BurstLen,
+	}
+}
+
+// Wrap layers the configured fault injector and the fault-tolerance
+// machine over src: chaos (per the -chaos-* flags) under a
+// ReliableSource with the -crowd-* deadline and retry budget, falling
+// back to the machine probability and running on clock (nil = wall
+// clock; simulated pipelines pass a VirtualClock so injected latency is
+// arithmetic, not sleeps). The returned source carries src's recorder.
+func (f *FaultFlags) Wrap(src Source, fallback func(record.Pair) float64, clock Clock) *ReliableSource {
+	retries := f.Retries
+	if retries == 0 {
+		retries = -1 // flag 0 literally means no retries
+	}
+	var inner Source = NewChaos(src, f.ChaosConfig())
+	return NewReliable(inner, ReliableConfig{
+		Timeout:  f.Timeout,
+		Retries:  retries,
+		Seed:     f.Seed,
+		Fallback: fallback,
+		Clock:    clock,
+	})
+}

@@ -48,6 +48,33 @@ const (
 	MetricPoolSize      = "crowd/pool_size"
 	MetricPoolEligible  = "crowd/pool_eligible"
 	MetricPoolOccupancy = "crowd/pool_occupancy"
+	// MetricAttempts counts individual question issues made by the
+	// fault-tolerant layer, including retries and hedges; without
+	// faults it equals MetricQuestionsAnswered.
+	MetricAttempts = "crowd/attempts"
+	// MetricRetries counts re-issues of failed questions (timeouts or
+	// transient errors) by ReliableSource.
+	MetricRetries = "crowd/retries"
+	// MetricHedges counts hedged second issues of straggling questions
+	// (no answer by the configured latency percentile).
+	MetricHedges = "crowd/hedges"
+	// MetricTimeouts counts attempts whose answer (including any hedge)
+	// missed the per-question deadline.
+	MetricTimeouts = "crowd/timeouts"
+	// MetricFallbacks counts questions whose retry budget was exhausted
+	// and which degraded to the machine probability f instead of a
+	// crowd answer — the graceful-degradation events; a fault-free run
+	// has zero.
+	MetricFallbacks = "crowd/fallbacks"
+	// MetricAttemptLatency is the distribution of successful attempt
+	// completion latencies (seconds; simulated under a VirtualClock).
+	MetricAttemptLatency = "crowd/attempt_latency_seconds"
+	// MetricChaosFaults counts faults injected by ChaosSource (transient
+	// errors, drops, latency spikes).
+	MetricChaosFaults = "crowd/chaos_faults"
+	// MetricChaosDuplicates counts duplicated answer deliveries injected
+	// by ChaosSource (absorbed idempotently downstream).
+	MetricChaosDuplicates = "crowd/chaos_duplicates"
 )
 
 // RecorderCarrier is implemented by crowd sources that carry a metrics

@@ -56,6 +56,9 @@ func CrowdBOEM(c *cluster.Clustering, cands *pruning.Candidates, sess *crowd.Ses
 			}
 		}
 		sess.Ask(unknown)
+		if sess.Err() != nil {
+			break // cancelled campaign: stop at the current clustering
+		}
 
 		// Best single-record move, gains computed over exact scores.
 		moveGain := func(r record.ID, target int) float64 {

@@ -33,8 +33,12 @@ func CrowdRefine(c *cluster.Clustering, cands *pruning.Candidates, sess *crowd.S
 		rec.Count(MetricOpsPacked, 1)
 		rec.Observe(MetricRatio, chosen.ratio())
 		// Crowdsource the unknown pairs of the chosen operation
-		// (Line 12) and recompute its benefit exactly.
+		// (Line 12) and recompute its benefit exactly. A failed batch
+		// (cancelled campaign) stops the refinement cleanly.
 		sess.Ask(st.unknownPairs(chosen.op))
+		if sess.Err() != nil {
+			break
+		}
 		st.rebuildHistogram()
 		if b := st.exactBenefit(chosen.op); b > 0 {
 			st.apply(chosen.op) // Lines 13-14

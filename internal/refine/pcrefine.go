@@ -71,8 +71,12 @@ func PCRefineMode(c *cluster.Clustering, cands *pruning.Candidates, sess *crowd.
 		}
 
 		// One batch resolves every packed operation's unknown pairs
-		// (Line 15).
+		// (Line 15). A failed batch (cancelled campaign) applies
+		// nothing: the zero scores are not answers.
 		sess.Ask(collectUnknown(st, packed))
+		if sess.Err() != nil {
+			break
+		}
 		st.rebuildHistogram()
 
 		applied := 0
