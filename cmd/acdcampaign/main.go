@@ -21,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"acd/internal/cluster"
@@ -34,44 +35,57 @@ import (
 )
 
 func main() {
-	name := flag.String("dataset", "Restaurant", "built-in dataset to generate (Paper, Restaurant, Product)")
-	in := flag.String("in", "", "load records from this CSV instead of generating")
-	poolSize := flag.Int("pool", 200, "worker pool size")
-	meanError := flag.Float64("mean-error", 0.25, "mean per-worker error rate")
-	spread := flag.Float64("spread", 0.15, "spread of per-worker error rates")
-	qual := flag.String("qualification", "basic", "worker admission: none, basic (test), strict (test + track record)")
-	workers := flag.Int("workers", 5, "votes per pair (odd)")
-	aggregate := flag.String("aggregate", "ds", "vote aggregation: majority or ds (Dawid-Skene)")
-	saveAnswers := flag.String("save-answers", "", "persist aggregated answers to this file")
-	seed := flag.Int64("seed", 1, "campaign seed")
-	obsFlags := obs.RegisterFlags(flag.CommandLine)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable seam: it parses args on its own FlagSet, runs
+// the whole campaign, and returns the process exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("acdcampaign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("dataset", "Restaurant", "built-in dataset to generate (Paper, Restaurant, Product)")
+	in := fs.String("in", "", "load records from this CSV instead of generating")
+	poolSize := fs.Int("pool", 200, "worker pool size")
+	meanError := fs.Float64("mean-error", 0.25, "mean per-worker error rate")
+	spread := fs.Float64("spread", 0.15, "spread of per-worker error rates")
+	qual := fs.String("qualification", "basic", "worker admission: none, basic (test), strict (test + track record)")
+	workers := fs.Int("workers", 5, "votes per pair (odd)")
+	aggregate := fs.String("aggregate", "ds", "vote aggregation: majority or ds (Dawid-Skene)")
+	saveAnswers := fs.String("save-answers", "", "persist aggregated answers to this file")
+	seed := fs.Int64("seed", 1, "campaign seed")
+	obsFlags := obs.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	rec := obs.New()
 	if obsFlags.Enabled() {
-		if err := obsFlags.Activate(rec, os.Stderr); err != nil {
-			fatal(err)
+		if err := obsFlags.Activate(rec, stderr); err != nil {
+			fmt.Fprintf(stderr, "acdcampaign: %v\n", err)
+			return 1
 		}
 		rec.PublishExpvar("acd")
-		defer obsFlags.Finish(os.Stderr)
+		defer obsFlags.Finish(stderr)
 	}
 
 	d, err := loadOrGenerate(*in, *name, *seed)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintf(stderr, "acdcampaign: %v\n", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "campaign: %d records", len(d.Records))
+	fmt.Fprintf(stderr, "campaign: %d records", len(d.Records))
 	if d.NumEntities > 0 {
-		fmt.Fprintf(os.Stderr, " (%d entities)", d.NumEntities)
+		fmt.Fprintf(stderr, " (%d entities)", d.NumEntities)
 	}
-	fmt.Fprintln(os.Stderr)
+	fmt.Fprintln(stderr)
 
 	cands := pruning.Prune(d.Records, pruning.Options{Obs: rec})
-	fmt.Fprintf(os.Stderr, "campaign: pruning kept %d candidate pairs\n", len(cands.Pairs))
+	fmt.Fprintf(stderr, "campaign: pruning kept %d candidate pairs\n", len(cands.Pairs))
 
 	q, err := qualificationByName(*qual)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintf(stderr, "acdcampaign: %v\n", err)
+		return 2
 	}
 	pool := crowd.NewPool(crowd.PoolConfig{
 		Size:                  *poolSize,
@@ -80,14 +94,14 @@ func main() {
 		QualificationPassRate: 0.7,
 		Seed:                  *seed,
 	})
-	fmt.Fprintf(os.Stderr, "campaign: %d of %d workers admitted (mean error %.1f%%)\n",
+	fmt.Fprintf(stderr, "campaign: %d of %d workers admitted (mean error %.1f%%)\n",
 		len(pool.Eligible(q)), pool.Size(), 100*pool.MeanEligibleError(q))
 	crowd.RecordPoolMetrics(rec, pool, q)
 
 	cfg := crowd.Config{Workers: *workers, PairsPerHIT: 10, CentsPerHIT: 2, Seed: *seed + 1}
 	truth := d.TruthFn()
 	votes := crowd.CollectVotes(cands.PairList(), truth, crowd.UniformDifficulty(0.02), pool, q, cfg)
-	fmt.Fprintf(os.Stderr, "campaign: collected %d votes over %d pairs\n", len(votes), len(cands.Pairs))
+	fmt.Fprintf(stderr, "campaign: collected %d votes over %d pairs\n", len(votes), len(cands.Pairs))
 
 	var scores map[record.Pair]float64
 	switch *aggregate {
@@ -97,40 +111,45 @@ func main() {
 		model := quality.Estimate(votes, 30)
 		scores = model.Posterior
 		rec.Gauge("quality/ds_em_rounds", float64(model.Iterations))
-		fmt.Fprintf(os.Stderr, "campaign: Dawid-Skene fitted in %d EM rounds (prior %.3f)\n",
+		fmt.Fprintf(stderr, "campaign: Dawid-Skene fitted in %d EM rounds (prior %.3f)\n",
 			model.Iterations, model.Prior)
 	default:
-		fatal(fmt.Errorf("unknown aggregation %q", *aggregate))
+		fmt.Fprintf(stderr, "acdcampaign: unknown aggregation %q\n", *aggregate)
+		return 2
 	}
 	answers := crowd.FixedAnswers(scores, cfg)
 	answers.SetRecorder(rec)
-	fmt.Fprintf(os.Stderr, "campaign: aggregated answer error rate %.2f%% vs ground truth\n",
+	fmt.Fprintf(stderr, "campaign: aggregated answer error rate %.2f%% vs ground truth\n",
 		100*quality.ErrorRate(scores, truth))
 
 	if *saveAnswers != "" {
 		f, err := os.Create(*saveAnswers)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintf(stderr, "acdcampaign: %v\n", err)
+			return 1
 		}
 		if err := crowd.SaveAnswers(f, answers); err != nil {
-			fatal(err)
+			f.Close()
+			fmt.Fprintf(stderr, "acdcampaign: %v\n", err)
+			return 1
 		}
 		f.Close()
-		fmt.Fprintf(os.Stderr, "campaign: answers saved to %s\n", *saveAnswers)
+		fmt.Fprintf(stderr, "campaign: answers saved to %s\n", *saveAnswers)
 	}
 
 	out := core.ACD(cands, answers, core.Config{Seed: *seed})
 	for _, set := range out.Clusters.Sets() {
 		clusterID := set[0]
 		for _, r := range set {
-			fmt.Printf("%d,%d\n", r, clusterID)
+			fmt.Fprintf(stdout, "%d,%d\n", r, clusterID)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "campaign: ACD produced %d clusters using %d pairs in %d iterations\n",
+	fmt.Fprintf(stderr, "campaign: ACD produced %d clusters using %d pairs in %d iterations\n",
 		out.Clusters.NumClusters(), out.Stats.Pairs, out.Stats.Iterations)
 	e := cluster.Evaluate(out.Clusters, d.Truth())
-	fmt.Fprintf(os.Stderr, "campaign: precision %.3f, recall %.3f, F1 %.3f\n",
+	fmt.Fprintf(stderr, "campaign: precision %.3f, recall %.3f, F1 %.3f\n",
 		e.Precision, e.Recall, e.F1)
+	return 0
 }
 
 func loadOrGenerate(in, name string, seed int64) (*dataset.Dataset, error) {
@@ -156,9 +175,4 @@ func qualificationByName(name string) (crowd.Qualification, error) {
 	default:
 		return crowd.Qualification{}, fmt.Errorf("unknown qualification %q", name)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "acdcampaign: %v\n", err)
-	os.Exit(1)
 }

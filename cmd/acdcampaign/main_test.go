@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"acd/internal/dataset"
+)
+
+// writeTinyCSV generates a small labeled dataset in the datagen CSV
+// format acdcampaign consumes with -in.
+func writeTinyCSV(t *testing.T) string {
+	t.Helper()
+	d, err := dataset.Synthetic(dataset.SyntheticConfig{
+		Entities: 25, Records: 60, Skew: 0.5, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dataset.WriteCSV(f, d); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunCampaignSmoke drives the full campaign over a tiny CSV with a
+// small pool and majority aggregation: one assignment line per record
+// on stdout, the campaign narration and F1 on stderr, exit 0, and the
+// answers file saved for replay.
+func TestRunCampaignSmoke(t *testing.T) {
+	path := writeTinyCSV(t)
+	answers := filepath.Join(t.TempDir(), "answers.txt")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-in", path, "-pool", "40", "-workers", "3",
+		"-aggregate", "majority", "-save-answers", answers, "-seed", "2",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 60 {
+		t.Errorf("stdout has %d assignment lines, want 60", len(lines))
+	}
+	for _, want := range []string{"workers admitted", "collected", "F1"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, errb.String())
+		}
+	}
+	if st, err := os.Stat(answers); err != nil || st.Size() == 0 {
+		t.Errorf("answers not saved: %v", err)
+	}
+}
+
+// TestRunCampaignErrors: flag and validation failures exit non-zero
+// without panicking, on an injected FlagSet (no os.Exit, no global
+// flag state).
+func TestRunCampaignErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-in", "/does/not/exist.csv"}, &out, &errb); code != 1 {
+		t.Errorf("unreadable input: exit %d, want 1", code)
+	}
+	path := writeTinyCSV(t)
+	errb.Reset()
+	if code := run([]string{"-in", path, "-qualification", "bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown qualification: exit %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-in", path, "-pool", "20", "-aggregate", "bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown aggregation: exit %d, want 2", code)
+	}
+}

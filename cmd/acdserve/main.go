@@ -1,0 +1,306 @@
+// Command acdserve exposes the incremental dedup engine over HTTP: a
+// long-running service that accepts records as they arrive, caches
+// crowd answers, and folds pending work into the live clustering on
+// demand. With -journal DIR the engine state is durable — every record,
+// answer, and resolve effect is written ahead to a WAL with periodic
+// compacted checkpoints, and a restarted server recovers the exact
+// clustering it had before the crash.
+//
+// Usage:
+//
+//	acdserve [-addr 127.0.0.1:8080] [-journal DIR] [-tau 0.3]
+//	         [-eps 0.1] [-x 8] [-seed 1] [-checkpoint-every N]
+//	         [-metrics] [-metrics-json] [-trace FILE] [-metrics-http ADDR]
+//
+// Endpoints:
+//
+//	POST /records  {"records":[{"fields":{...},"entity":"l"}]} -> {"ids":[...]}
+//	POST /answers  {"answers":[{"lo":0,"hi":1,"fc":0.9,"source":"s"}]} -> {"accepted":n}
+//	POST /resolve  -> incremental.ResolveStats (runs one resolve pass)
+//	GET  /clusters -> {"round":r,"resolved_up_to":n,"clusters":[[...]]}
+//	GET  /healthz  -> {"status":"ok","records":n,"round":r}
+//	GET  /metrics  -> observability snapshot (JSON)
+//
+// Crowd answers are optional: /resolve primes every cached answer and
+// falls back to machine similarity scores for residual pairs, so the
+// service is useful standalone and gets strictly better as answers
+// stream in. On SIGINT/SIGTERM the server drains in-flight requests,
+// writes a final checkpoint, and closes the journal.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"acd/internal/core"
+	"acd/internal/incremental"
+	"acd/internal/journal"
+	"acd/internal/obs"
+	"acd/internal/pruning"
+	"acd/internal/refine"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil))
+}
+
+// run is main's testable seam: it parses args, builds the engine
+// (recovering from the journal when one is configured), serves HTTP
+// until ctx is cancelled, then shuts down gracefully. When ready is
+// non-nil the bound listen address is sent on it once the server
+// accepts connections — tests pass -addr 127.0.0.1:0 and read the
+// real port from here.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("acdserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	dir := fs.String("journal", "", "journal directory for durable state (empty = volatile, in-memory only)")
+	tau := fs.Float64("tau", pruning.DefaultTau, "candidate threshold for the incremental blocking index")
+	eps := fs.Float64("eps", core.DefaultEpsilon, "PC-Pivot wasted-pair budget")
+	x := fs.Int("x", refine.DefaultX, "refinement budget divisor (T = N_m/x)")
+	seed := fs.Int64("seed", 1, "random seed for resolve permutations")
+	ckpt := fs.Int("checkpoint-every", 256, "journal events between automatic checkpoints (0 disables)")
+	obsFlags := obs.RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	rec := obs.New()
+	if obsFlags.Enabled() {
+		if err := obsFlags.Activate(rec, stderr); err != nil {
+			fmt.Fprintf(stderr, "acdserve: %v\n", err)
+			return 2
+		}
+		rec.PublishExpvar("acdserve")
+		defer obsFlags.Finish(stderr)
+	}
+
+	cfg := incremental.Config{
+		Tau: *tau, TauSet: true,
+		Epsilon: *eps, RefineX: *x,
+		Seed: *seed, Obs: rec,
+		CheckpointEvery: *ckpt,
+	}
+	var eng *incremental.Engine
+	if *dir != "" {
+		dfs, err := journal.NewDirFS(*dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "acdserve: %v\n", err)
+			return 1
+		}
+		eng, err = incremental.Open(cfg, dfs)
+		if err != nil {
+			fmt.Fprintf(stderr, "acdserve: recovering journal: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "acdserve: journal %s: recovered %d records, round %d\n",
+			*dir, eng.Len(), eng.Round())
+	} else {
+		eng = incremental.New(cfg)
+	}
+
+	srv := &server{eng: eng}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/records", srv.handleRecords)
+	mux.HandleFunc("/answers", srv.handleAnswers)
+	mux.HandleFunc("/resolve", srv.handleResolve)
+	mux.HandleFunc("/clusters", srv.handleClusters)
+	mux.HandleFunc("/healthz", srv.handleHealthz)
+	mux.Handle("/metrics", rec)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "acdserve: %v\n", err)
+		eng.Close()
+		return 1
+	}
+	httpSrv := &http.Server{Handler: mux}
+	fmt.Fprintf(stderr, "acdserve: listening on http://%s\n", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	status := 0
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "acdserve: %v\n", err)
+		status = 1
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(stderr, "acdserve: shutdown: %v\n", err)
+			status = 1
+		}
+		cancel()
+		<-serveErr // Serve has returned http.ErrServerClosed
+	}
+
+	// Drained: checkpoint so the next start replays a compact journal,
+	// then release it.
+	srv.mu.Lock()
+	if err := eng.Checkpoint(); err != nil {
+		fmt.Fprintf(stderr, "acdserve: final checkpoint: %v\n", err)
+		status = 1
+	}
+	if err := eng.Close(); err != nil {
+		fmt.Fprintf(stderr, "acdserve: closing journal: %v\n", err)
+		status = 1
+	}
+	srv.mu.Unlock()
+	fmt.Fprintf(stdout, "acdserve: stopped after %d records, round %d\n", eng.Len(), eng.Round())
+	return status
+}
+
+// server wires the HTTP handlers to one engine. The engine is not
+// concurrency-safe, so a mutex serializes every touch; resolve passes
+// hold it for their full duration and other requests queue behind them
+// (cancel a stuck resolve by cancelling its request).
+type server struct {
+	mu  sync.Mutex
+	eng *incremental.Engine
+}
+
+// recordPayload is one record in a POST /records body.
+type recordPayload struct {
+	Fields map[string]string `json:"fields"`
+	Entity string            `json:"entity,omitempty"`
+}
+
+// answerPayload is one crowd answer in a POST /answers body.
+type answerPayload struct {
+	Lo     int     `json:"lo"`
+	Hi     int     `json:"hi"`
+	FC     float64 `json:"fc"`
+	Source string  `json:"source,omitempty"`
+}
+
+func (s *server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var body struct {
+		Records []recordPayload `json:"records"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(body.Records) == 0 {
+		writeError(w, http.StatusBadRequest, "no records")
+		return
+	}
+	recs := make([]incremental.Record, len(body.Records))
+	for i, p := range body.Records {
+		recs[i] = incremental.Record{Fields: p.Fields, Entity: p.Entity}
+	}
+	s.mu.Lock()
+	ids, err := s.eng.Add(recs...)
+	pending := s.eng.PendingPairs()
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "pending_pairs": pending})
+}
+
+func (s *server) handleAnswers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var body struct {
+		Answers []answerPayload `json:"answers"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	accepted := 0
+	for i, a := range body.Answers {
+		if err := s.eng.AddAnswer(a.Lo, a.Hi, a.FC, a.Source); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("answer %d: %v", i, err))
+			return
+		}
+		accepted++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"accepted": accepted, "known": s.eng.AnswerCount()})
+}
+
+func (s *server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	s.mu.Lock()
+	st, err := s.eng.Resolve(r.Context())
+	s.mu.Unlock()
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusRequestTimeout
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.Lock()
+	resp := map[string]any{
+		"round":          s.eng.Round(),
+		"resolved_up_to": s.eng.ResolvedUpTo(),
+		"records":        s.eng.Len(),
+		"clusters":       s.eng.Clusters(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	resp := map[string]any{
+		"status":  "ok",
+		"records": s.eng.Len(),
+		"round":   s.eng.Round(),
+		"pending": s.eng.PendingPairs(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeJSON writes v as the JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck — response is best-effort past this point
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testServer runs the real run() seam on an ephemeral port and gives
+// the test its base URL plus a graceful-stop handle.
+type testServer struct {
+	base string
+	out  *bytes.Buffer
+	errb *bytes.Buffer
+	stop func() int
+}
+
+func startServer(t *testing.T, extra ...string) *testServer {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan int, 1)
+	var out, errb bytes.Buffer
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go func() { done <- run(ctx, args, &out, &errb, ready) }()
+	select {
+	case addr := <-ready:
+		ts := &testServer{base: "http://" + addr, out: &out, errb: &errb}
+		ts.stop = func() int {
+			cancel()
+			select {
+			case code := <-done:
+				return code
+			case <-time.After(15 * time.Second):
+				t.Fatalf("server did not shut down; stderr:\n%s", errb.String())
+				return -1
+			}
+		}
+		return ts
+	case code := <-done:
+		cancel()
+		t.Fatalf("server exited early with %d; stderr:\n%s", code, errb.String())
+	case <-time.After(15 * time.Second):
+		cancel()
+		t.Fatalf("server never became ready; stderr:\n%s", errb.String())
+	}
+	return nil
+}
+
+// call makes one request and decodes the JSON response body.
+func call(t *testing.T, method, url, body string) (int, map[string]any) {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("%s %s: decoding response: %v", method, url, err)
+	}
+	return resp.StatusCode, m
+}
+
+func recordsBody(texts ...string) string {
+	var recs []string
+	for _, s := range texts {
+		recs = append(recs, fmt.Sprintf(`{"fields":{"text":%q}}`, s))
+	}
+	return `{"records":[` + strings.Join(recs, ",") + `]}`
+}
+
+// TestServeRestart is the end-to-end smoke: a journaled server ingests
+// records and answers, resolves, is stopped gracefully, and a second
+// server over the same journal directory recovers the identical
+// clustering and keeps working. Also checks no goroutines leak across
+// the full lifecycle.
+func TestServeRestart(t *testing.T) {
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+	dir := t.TempDir()
+
+	ts := startServer(t, "-journal", dir, "-seed", "3", "-checkpoint-every", "0")
+	code, m := call(t, http.MethodPost, ts.base+"/records", recordsBody(
+		"golden dragon palace chinese broadway",
+		"golden dragon palace chinese broadway ave",
+		"chez olive bistro french sunset blvd",
+		"chez olive bistro french sunset",
+		"harbor seafood grill market st",
+	))
+	if code != http.StatusOK || len(m["ids"].([]any)) != 5 {
+		t.Fatalf("POST /records: %d %v", code, m)
+	}
+	if code, m = call(t, http.MethodPost, ts.base+"/answers", `{"answers":[{"lo":0,"hi":1,"fc":1,"source":"test"}]}`); code != http.StatusOK || m["accepted"].(float64) != 1 {
+		t.Fatalf("POST /answers: %d %v", code, m)
+	}
+	if code, m = call(t, http.MethodPost, ts.base+"/resolve", ""); code != http.StatusOK || m["Round"].(float64) != 1 {
+		t.Fatalf("POST /resolve: %d %v", code, m)
+	}
+	code, before := call(t, http.MethodGet, ts.base+"/clusters", "")
+	if code != http.StatusOK || before["records"].(float64) != 5 || before["round"].(float64) != 1 {
+		t.Fatalf("GET /clusters: %d %v", code, before)
+	}
+
+	// Error paths while we're here.
+	if code, _ = call(t, http.MethodGet, ts.base+"/records", ""); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /records = %d, want 405", code)
+	}
+	if code, _ = call(t, http.MethodPost, ts.base+"/answers", `{"answers":[{"lo":9,"hi":4,"fc":2}]}`); code != http.StatusBadRequest {
+		t.Errorf("bad answer = %d, want 400", code)
+	}
+	if code, m = call(t, http.MethodGet, ts.base+"/healthz", ""); code != http.StatusOK || m["status"] != "ok" {
+		t.Errorf("GET /healthz: %d %v", code, m)
+	}
+	if code, _ = call(t, http.MethodGet, ts.base+"/metrics", ""); code != http.StatusOK {
+		t.Errorf("GET /metrics = %d", code)
+	}
+	if ec := ts.stop(); ec != 0 {
+		t.Fatalf("first server exit code %d; stderr:\n%s", ec, ts.errb.String())
+	}
+
+	// Restart over the same journal: state survives byte-for-byte.
+	ts2 := startServer(t, "-journal", dir, "-seed", "3", "-checkpoint-every", "0")
+	code, after := call(t, http.MethodGet, ts2.base+"/clusters", "")
+	if code != http.StatusOK || !reflect.DeepEqual(after, before) {
+		t.Fatalf("clusters after restart:\n got %v\nwant %v", after, before)
+	}
+	if !strings.Contains(ts2.errb.String(), "recovered 5 records, round 1") {
+		t.Errorf("restart did not report recovery; stderr:\n%s", ts2.errb.String())
+	}
+
+	// The recovered engine keeps working: one more near-duplicate of
+	// record 4 merges into its cluster in round 2.
+	if code, m = call(t, http.MethodPost, ts2.base+"/records", recordsBody("harbor seafood grill market st s")); code != http.StatusOK {
+		t.Fatalf("POST /records after restart: %d %v", code, m)
+	}
+	if code, m = call(t, http.MethodPost, ts2.base+"/resolve", ""); code != http.StatusOK || m["Round"].(float64) != 2 {
+		t.Fatalf("POST /resolve after restart: %d %v", code, m)
+	}
+	code, m = call(t, http.MethodGet, ts2.base+"/clusters", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET /clusters: %d", code)
+	}
+	found := false
+	for _, c := range m["clusters"].([]any) {
+		if reflect.DeepEqual(c, []any{4.0, 5.0}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected cluster [4 5] after wave 2, got %v", m["clusters"])
+	}
+	if ec := ts2.stop(); ec != 0 {
+		t.Fatalf("second server exit code %d; stderr:\n%s", ec, ts2.errb.String())
+	}
+
+	// Everything the two servers started must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	t.Errorf("goroutine leak: %d running, baseline %d\n%s",
+		runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+}
+
+// TestBadFlags: unknown flags exit 2 without touching the network.
+func TestBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-bogus"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr:\n%s", code, errb.String())
+	}
+}

@@ -1,0 +1,103 @@
+package blocking
+
+import (
+	"acd/internal/record"
+	"acd/internal/similarity"
+)
+
+// IncrementalIndex is the online counterpart of JaccardJoin: an exact
+// token-Jaccard similarity join maintained one record at a time. Each
+// Add indexes one new record and returns every pair it forms with an
+// already-indexed record whose Jaccard similarity strictly exceeds tau —
+// verified exactly, so over any insertion order the union of emitted
+// pairs equals JaccardJoin over the full record set (the equivalence
+// property test pins this).
+//
+// The index stores every token of every indexed record (a full inverted
+// index), while probes consult only the new record's prefix under the
+// standard count argument: Jaccard(q, r) > tau implies
+// |q ∩ r| > tau·|q|, so skipping the last floor(tau·|q|) probe tokens
+// cannot skip every shared token, whatever the token order. Unlike the
+// batch join's frequency-ordered prefix filter, this holds for any
+// fixed per-record order — sorted order here, so probes are
+// deterministic. Candidates then pass the length filter and exact
+// verification, identical to the batch path.
+//
+// The incremental dedup engine feeds every Add through this index to
+// maintain its candidate-pair frontier as records stream in.
+type IncrementalIndex struct {
+	tau      float64
+	tokens   [][]string         // per record: sorted distinct tokens
+	postings map[string][]int32 // token -> ids of indexed records, ascending
+	nTokens  int                // total postings entries, for stats
+}
+
+// NewIncrementalIndex returns an empty index with the given pruning
+// threshold. Records added later form a candidate pair when their token
+// Jaccard similarity strictly exceeds tau.
+func NewIncrementalIndex(tau float64) *IncrementalIndex {
+	return &IncrementalIndex{
+		tau:      tau,
+		postings: make(map[string][]int32),
+	}
+}
+
+// Len returns the number of records indexed so far; the next Add
+// receives this value as its record ID.
+func (ix *IncrementalIndex) Len() int { return len(ix.tokens) }
+
+// Tau returns the index's pruning threshold.
+func (ix *IncrementalIndex) Tau() float64 { return ix.tau }
+
+// Postings returns the total number of (token, record) entries in the
+// inverted index — the size stat checkpoints record.
+func (ix *IncrementalIndex) Postings() int { return ix.nTokens }
+
+// Add indexes the next record (its ID is the pre-call Len) given its
+// canonical text, and returns all candidate pairs it forms with earlier
+// records: exact Jaccard > tau, sorted by descending score with ties by
+// ascending partner ID — deterministic, like the batch join's order.
+func (ix *IncrementalIndex) Add(text string) []ScoredPair {
+	id := int32(len(ix.tokens))
+	toks := record.SortedTokens(text)
+	ix.tokens = append(ix.tokens, toks)
+	if len(toks) == 0 {
+		return nil
+	}
+
+	// Probe the prefix against the full index, dedup candidate partners.
+	p := prefixLen(len(toks), ix.tau)
+	seen := make(map[int32]struct{})
+	var out []ScoredPair
+	for _, t := range toks[:p] {
+		for _, j := range ix.postings[t] {
+			if _, dup := seen[j]; dup {
+				continue
+			}
+			seen[j] = struct{}{}
+			other := ix.tokens[j]
+			// Length filter: Jaccard ≤ min/max of the token-set sizes.
+			lo, hi := len(toks), len(other)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if float64(lo)/float64(hi) <= ix.tau {
+				continue
+			}
+			if score := similarity.JaccardSorted(toks, other); score > ix.tau {
+				out = append(out, ScoredPair{
+					Pair:  record.MakePair(record.ID(id), record.ID(j)),
+					Score: score,
+				})
+			}
+		}
+	}
+	// Index every token so future probes can find this record through
+	// any of them.
+	for _, t := range toks {
+		ix.postings[t] = append(ix.postings[t], id)
+	}
+	ix.nTokens += len(toks)
+	sortScored(out)
+	return out
+}

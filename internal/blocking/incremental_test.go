@@ -1,0 +1,134 @@
+package blocking
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"acd/internal/similarity"
+)
+
+func TestIncrementalIndexSmall(t *testing.T) {
+	texts := []string{
+		"apple banana cherry",
+		"apple banana grape",
+		"dog cat",
+		"dog cat mouse",
+		"zebra",
+	}
+	ix := NewIncrementalIndex(0.3)
+	var all []ScoredPair
+	for i, s := range texts {
+		if ix.Len() != i {
+			t.Fatalf("Len = %d before adding record %d", ix.Len(), i)
+		}
+		all = append(all, ix.Add(s)...)
+	}
+	if ix.Tau() != 0.3 {
+		t.Errorf("Tau = %v", ix.Tau())
+	}
+	if ix.Postings() == 0 {
+		t.Errorf("no postings after %d adds", ix.Len())
+	}
+	sortScored(all)
+	want := JaccardJoin(mkRecords(texts), 0.3)
+	if !reflect.DeepEqual(all, want) {
+		t.Errorf("incremental = %v, want %v", all, want)
+	}
+}
+
+func TestIncrementalIndexEmptyText(t *testing.T) {
+	ix := NewIncrementalIndex(0.0)
+	if got := ix.Add(""); len(got) != 0 {
+		t.Errorf("empty record paired: %v", got)
+	}
+	if got := ix.Add("a b"); len(got) != 0 {
+		t.Errorf("record paired with empty predecessor: %v", got)
+	}
+	if got := ix.Add(""); len(got) != 0 {
+		t.Errorf("second empty record paired: %v", got)
+	}
+	if ix.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (empty records still consume ids)", ix.Len())
+	}
+}
+
+// TestIncrementalIndexEachEmissionLocal pins the per-call contract: every
+// pair an Add returns has the new record as its Hi side, with an exact
+// score above tau.
+func TestIncrementalIndexEachEmissionLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vocab := []string{"a", "b", "c", "d", "e", "f"}
+	ix := NewIncrementalIndex(0.25)
+	for i := 0; i < 40; i++ {
+		text := ""
+		for w := 0; w < 1+rng.Intn(5); w++ {
+			text += vocab[rng.Intn(len(vocab))] + " "
+		}
+		for _, sp := range ix.Add(text) {
+			if int(sp.Pair.Hi) != i {
+				t.Fatalf("add %d emitted pair %v not incident to the new record", i, sp.Pair)
+			}
+			if sp.Score <= 0.25 {
+				t.Fatalf("add %d emitted pair %v at score %v ≤ tau", i, sp.Pair, sp.Score)
+			}
+			want := similarity.Jaccard(text, textOf(t, ix, int(sp.Pair.Lo)))
+			if sp.Score != want {
+				t.Fatalf("add %d pair %v score %v, exact %v", i, sp.Pair, sp.Score, want)
+			}
+		}
+	}
+}
+
+// textOf reconstructs a canonical text for the indexed record from its
+// stored tokens — enough for an exact Jaccard recheck, since tokenizing
+// is idempotent on space-joined sorted tokens.
+func textOf(t *testing.T, ix *IncrementalIndex, id int) string {
+	t.Helper()
+	text := ""
+	for _, tok := range ix.tokens[id] {
+		text += tok + " "
+	}
+	return text
+}
+
+// Property: for random record streams, the union of pairs emitted across
+// all Adds equals the batch JaccardJoin over the full set — same pairs,
+// same scores — across seeds and thresholds including tau = 0.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	taus := []float64{0, 0.1, 0.3, 0.5, 0.8}
+	for seed := int64(1); seed <= 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		texts := make([]string, n)
+		for i := range texts {
+			k := 1 + rng.Intn(6)
+			text := ""
+			for w := 0; w < k; w++ {
+				text += vocab[rng.Intn(len(vocab))] + " "
+			}
+			texts[i] = text
+		}
+		// A sprinkling of empty records exercises the zero-token path.
+		if n > 4 {
+			texts[rng.Intn(n)] = ""
+		}
+		tau := taus[rng.Intn(len(taus))]
+
+		ix := NewIncrementalIndex(tau)
+		var got []ScoredPair
+		for _, s := range texts {
+			got = append(got, ix.Add(s)...)
+		}
+		sortScored(got)
+		want := JaccardJoin(mkRecords(texts), tau)
+		if len(want) == 0 {
+			want = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("seed %d tau %v: incremental union differs from batch:\n got %v\nwant %v",
+				seed, tau, got, want)
+		}
+	}
+}

@@ -38,9 +38,43 @@ func FiveWorker(seed int64) Config {
 type AnswerSet struct {
 	fc     map[record.Pair]float64
 	truth  map[record.Pair]bool
-	votes  map[record.Pair]int // per-pair vote counts; nil = config.Workers
+	votes  map[record.Pair]int    // per-pair vote counts; nil = config.Workers
+	source map[record.Pair]string // per-pair provenance; nil = DefaultSource
 	config Config
 	rec    *obs.Recorder
+}
+
+// DefaultSource is the provenance recorded for answers that never had an
+// explicit one set: an ordinary crowd collection. Persisted answer files
+// omit-default to it, which keeps v1 files (no source column) loadable.
+const DefaultSource = "crowd"
+
+// SetSource records where a pair's answer came from ("crowd", "machine",
+// "client", ...). The journal of the incremental engine persists this
+// provenance so a replayed answer keeps its origin across restarts.
+// Setting the empty string resets the pair to DefaultSource.
+func (a *AnswerSet) SetSource(p record.Pair, src string) {
+	if src == "" || src == DefaultSource {
+		if a.source != nil {
+			delete(a.source, p)
+		}
+		return
+	}
+	if a.source == nil {
+		a.source = make(map[record.Pair]string)
+	}
+	a.source[p] = src
+}
+
+// Source returns the recorded provenance of a pair's answer,
+// DefaultSource when none was ever set.
+func (a *AnswerSet) Source(p record.Pair) string {
+	if a.source != nil {
+		if s, ok := a.source[p]; ok {
+			return s
+		}
+	}
+	return DefaultSource
 }
 
 // BuildAnswers simulates the one-time posting of all candidate pairs to
@@ -387,6 +421,22 @@ func (s *Session) Ask(pairs []record.Pair) []float64 {
 // AskOne issues a single pair (a one-pair batch).
 func (s *Session) AskOne(p record.Pair) float64 {
 	return s.Ask([]record.Pair{p})[0]
+}
+
+// Prime inserts an already-known answer into the session's known set A
+// without consulting the source and without charging any accounting or
+// metrics — the seam that makes past answers free. The incremental
+// engine uses it to seed each resolve pass with journal-replayed crowd
+// answers and transitively inferred pairs, so a primed pair costs zero
+// questions, zero HITs and zero oracle invocations when an algorithm
+// later asks for it. Priming a pair the session already knows is a
+// no-op: the first value sticks, matching Ask's cache semantics.
+func (s *Session) Prime(p record.Pair, fc float64) {
+	if _, ok := s.known[p]; ok {
+		return
+	}
+	s.known[p] = fc
+	s.order = append(s.order, p)
 }
 
 // Known returns the crowd score of p if this session has already

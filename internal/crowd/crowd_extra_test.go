@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"acd/internal/obs"
 	"acd/internal/record"
 )
 
@@ -89,5 +90,49 @@ func TestCollectVotesPanics(t *testing.T) {
 			}()
 			fn()
 		}()
+	}
+}
+
+// TestSessionPrime: primed answers are served from the known set with
+// zero accounting, zero metrics and zero source contact; asking a primed
+// pair later is a free cache hit, and re-priming a known pair is a no-op.
+func TestSessionPrime(t *testing.T) {
+	calls := 0
+	src := SourceFunc{
+		Fn:      func(record.Pair) float64 { calls++; return 0.9 },
+		Setting: ThreeWorker(1),
+	}
+	s := NewSession(src)
+	rec := obs.New()
+	s.SetRecorder(rec)
+
+	p1 := record.MakePair(0, 1)
+	p2 := record.MakePair(0, 2)
+	s.Prime(p1, 1.0)
+	if s.Stats() != (Stats{}) {
+		t.Errorf("priming charged accounting: %+v", s.Stats())
+	}
+	if got := s.AskOne(p1); got != 1.0 {
+		t.Errorf("AskOne(primed) = %v, want 1.0", got)
+	}
+	if calls != 0 {
+		t.Errorf("primed ask contacted the source %d times", calls)
+	}
+	if n := rec.Counter(MetricQuestionsAnswered); n != 0 {
+		t.Errorf("primed ask counted %d questions_answered", n)
+	}
+	if got := s.AskOne(p2); got != 0.9 || calls != 1 {
+		t.Errorf("fresh ask = %v (%d calls), want 0.9 (1 call)", got, calls)
+	}
+	// Re-priming a known pair is a no-op: the first value sticks.
+	s.Prime(p2, 0.0)
+	if fc, _ := s.Known(p2); fc != 0.9 {
+		t.Errorf("re-prime overwrote known answer: %v", fc)
+	}
+	if got := len(s.KnownOrdered()); got != 2 {
+		t.Errorf("KnownOrdered has %d pairs, want 2", got)
+	}
+	if s.Stats().Pairs != 1 {
+		t.Errorf("stats charged %d pairs, want only the fresh one", s.Stats().Pairs)
 	}
 }

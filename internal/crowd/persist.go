@@ -2,10 +2,13 @@ package crowd
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
+	"strings"
 
 	"acd/internal/record"
 )
@@ -17,21 +20,44 @@ import (
 // the answers from F." SaveAnswers/LoadAnswers are that file F: an
 // answer set serialized as CSV so a collection (simulated or real) can
 // be replayed across runs, tools, and machines.
+//
+// Two formats exist. v1 (the original) has an 8-field header
+// lo,hi,fc,votes,truth,<workers>,<pairsPerHIT>,<centsPerHIT> and 5-field
+// rows. v2 adds a per-pair provenance column and an explicit version tag
+// as the final header field, so future format changes are detectable
+// instead of silently misparsed: the header is
+// lo,hi,fc,votes,truth,source,<workers>,<pairsPerHIT>,<centsPerHIT>,<version>
+// with 6-field rows. LoadAnswers reads both; SaveAnswers writes v2.
 
-// SaveAnswers writes an answer set as CSV: a header describing the
-// collection setting (the RNG seed is collection-time state and is not
-// persisted), then one row per pair with its crowd score, vote count,
-// and ground-truth flag. Rows are sorted canonically so output is
-// reproducible.
+// FormatVersion is the version tag SaveAnswers writes as the final
+// header field. Readers reject files tagged with a later version
+// (ErrUnsupportedVersion) rather than misreading them.
+const FormatVersion = "acd-answers-v2"
+
+// formatVersionPrefix identifies a version tag from any format
+// generation, so an unknown future version is distinguishable from a
+// corrupt header.
+const formatVersionPrefix = "acd-answers-v"
+
+// ErrUnsupportedVersion reports an answer file written by a newer format
+// generation than this reader understands.
+var ErrUnsupportedVersion = errors.New("crowd: unsupported answer-file version")
+
+// SaveAnswers writes an answer set as CSV in the v2 format: a versioned
+// header describing the collection setting (the RNG seed is
+// collection-time state and is not persisted), then one row per pair
+// with its crowd score, vote count, ground-truth flag, and answer
+// provenance. Rows are sorted canonically so output is reproducible.
 func SaveAnswers(w io.Writer, a *AnswerSet) error {
 	cw := csv.NewWriter(w)
 	header := []string{
-		"lo", "hi", "fc", "votes", "truth",
+		"lo", "hi", "fc", "votes", "truth", "source",
 		// The collection setting rides along in the header row's tail so
-		// a single file is self-describing.
+		// a single file is self-describing; the version tag closes it.
 		strconv.Itoa(a.config.Workers),
 		strconv.Itoa(a.config.PairsPerHIT),
 		strconv.Itoa(a.config.CentsPerHIT),
+		FormatVersion,
 	}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("crowd: writing header: %w", err)
@@ -51,12 +77,17 @@ func SaveAnswers(w io.Writer, a *AnswerSet) error {
 		if a.truth[p] {
 			truth = "1"
 		}
+		src := ""
+		if s := a.Source(p); s != DefaultSource {
+			src = s // DefaultSource is omit-default, keeping diffs small
+		}
 		row := []string{
 			strconv.Itoa(int(p.Lo)),
 			strconv.Itoa(int(p.Hi)),
 			strconv.FormatFloat(a.fc[p], 'g', -1, 64),
 			strconv.Itoa(a.VoteCount(p)),
 			truth,
+			src,
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("crowd: writing pair %v: %w", p, err)
@@ -66,27 +97,54 @@ func SaveAnswers(w io.Writer, a *AnswerSet) error {
 	return cw.Error()
 }
 
-// LoadAnswers reads an answer set written by SaveAnswers.
+// LoadAnswers reads an answer set written by SaveAnswers, accepting both
+// the current v2 format and the original unversioned v1 format (whose
+// rows lack the source column; their provenance defaults to
+// DefaultSource). Malformed input is an explicit error, never a silent
+// zero: a truncated or unrecognized header, a row with the wrong field
+// count, non-numeric ids or votes, a non-finite or out-of-range crowd
+// score, a non-canonical or duplicate pair, and a truth flag outside
+// {0, 1} are all rejected with the offending line number.
 func LoadAnswers(r io.Reader) (*AnswerSet, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, errors.New("crowd: empty answer file (truncated header)")
+	}
 	if err != nil {
 		return nil, fmt.Errorf("crowd: reading header: %w", err)
 	}
-	if len(header) != 8 || header[0] != "lo" {
+
+	var rowFields, cfgAt int
+	switch {
+	case len(header) == 10 && headerNamed(header, "lo", "hi", "fc", "votes", "truth", "source"):
+		if header[9] != FormatVersion {
+			if strings.HasPrefix(header[9], formatVersionPrefix) {
+				return nil, fmt.Errorf("%w: %q (this reader understands up to %q)", ErrUnsupportedVersion, header[9], FormatVersion)
+			}
+			return nil, fmt.Errorf("crowd: unrecognized answer-file version field %q", header[9])
+		}
+		rowFields, cfgAt = 6, 6
+	case len(header) == 8 && headerNamed(header, "lo", "hi", "fc", "votes", "truth"):
+		rowFields, cfgAt = 5, 5 // v1: no source column, no version tag
+	case len(header) < 8 && len(header) > 0 && header[0] == "lo":
+		return nil, fmt.Errorf("crowd: truncated answer-file header (%d fields): %v", len(header), header)
+	default:
 		return nil, fmt.Errorf("crowd: unrecognized answer-file header %v", header)
 	}
+
 	cfg := Config{}
-	if cfg.Workers, err = strconv.Atoi(header[5]); err != nil {
+	if cfg.Workers, err = strconv.Atoi(header[cfgAt]); err != nil {
 		return nil, fmt.Errorf("crowd: bad workers in header: %w", err)
 	}
-	if cfg.PairsPerHIT, err = strconv.Atoi(header[6]); err != nil {
+	if cfg.PairsPerHIT, err = strconv.Atoi(header[cfgAt+1]); err != nil {
 		return nil, fmt.Errorf("crowd: bad pairsPerHIT in header: %w", err)
 	}
-	if cfg.CentsPerHIT, err = strconv.Atoi(header[7]); err != nil {
+	if cfg.CentsPerHIT, err = strconv.Atoi(header[cfgAt+2]); err != nil {
 		return nil, fmt.Errorf("crowd: bad centsPerHIT in header: %w", err)
 	}
+
 	a := &AnswerSet{
 		fc:     make(map[record.Pair]float64),
 		truth:  make(map[record.Pair]bool),
@@ -101,8 +159,8 @@ func LoadAnswers(r io.Reader) (*AnswerSet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("crowd: line %d: %w", line, err)
 		}
-		if len(row) != 5 {
-			return nil, fmt.Errorf("crowd: line %d: %d fields, want 5", line, len(row))
+		if len(row) != rowFields {
+			return nil, fmt.Errorf("crowd: line %d: %d fields, want %d", line, len(row), rowFields)
 		}
 		lo, err := strconv.Atoi(row[0])
 		if err != nil {
@@ -112,18 +170,50 @@ func LoadAnswers(r io.Reader) (*AnswerSet, error) {
 		if err != nil {
 			return nil, fmt.Errorf("crowd: line %d: bad hi: %w", line, err)
 		}
+		if lo < 0 || hi < 0 {
+			return nil, fmt.Errorf("crowd: line %d: negative record id (%d,%d)", line, lo, hi)
+		}
+		if lo >= hi {
+			return nil, fmt.Errorf("crowd: line %d: non-canonical pair (%d,%d): want lo < hi", line, lo, hi)
+		}
 		fc, err := strconv.ParseFloat(row[2], 64)
 		if err != nil {
 			return nil, fmt.Errorf("crowd: line %d: bad fc: %w", line, err)
+		}
+		if math.IsNaN(fc) || math.IsInf(fc, 0) {
+			return nil, fmt.Errorf("crowd: line %d: non-finite fc %q", line, row[2])
 		}
 		votes, err := strconv.Atoi(row[3])
 		if err != nil {
 			return nil, fmt.Errorf("crowd: line %d: bad votes: %w", line, err)
 		}
+		if votes < 0 {
+			return nil, fmt.Errorf("crowd: line %d: negative votes %d", line, votes)
+		}
+		if row[4] != "0" && row[4] != "1" {
+			return nil, fmt.Errorf("crowd: line %d: bad truth flag %q (want 0 or 1)", line, row[4])
+		}
 		p := record.MakePair(record.ID(lo), record.ID(hi))
+		if _, dup := a.fc[p]; dup {
+			return nil, fmt.Errorf("crowd: line %d: duplicate pair %v", line, p)
+		}
 		a.fc[p] = fc
 		a.truth[p] = row[4] == "1"
 		a.votes[p] = votes
+		if rowFields == 6 && row[5] != "" {
+			a.SetSource(p, row[5])
+		}
 	}
 	return a, nil
+}
+
+// headerNamed reports whether the header's leading fields carry exactly
+// the given column names.
+func headerNamed(header []string, names ...string) bool {
+	for i, n := range names {
+		if header[i] != n {
+			return false
+		}
+	}
+	return true
 }

@@ -2,6 +2,8 @@ package crowd
 
 import (
 	"bytes"
+	"math/rand"
+	"os"
 	"strings"
 	"testing"
 
@@ -64,18 +66,165 @@ func TestSaveDeterministic(t *testing.T) {
 }
 
 func TestLoadAnswersErrors(t *testing.T) {
-	cases := []string{
-		"",
-		"bogus,header\n",
-		"lo,hi,fc,votes,truth,x,20,2\n", // non-numeric workers
-		"lo,hi,fc,votes,truth,3,20,2\n1,2,notafloat,3,1\n",
-		"lo,hi,fc,votes,truth,3,20,2\nx,2,0.5,3,1\n",
-		"lo,hi,fc,votes,truth,3,20,2\n1,x,0.5,3,1\n",
-		"lo,hi,fc,votes,truth,3,20,2\n1,2,0.5,x,1\n",
+	v2 := "lo,hi,fc,votes,truth,source,3,20,2," + FormatVersion + "\n"
+	cases := []struct {
+		name  string
+		input string
+		want  string // substring the error must contain ("" = any error)
+	}{
+		{"empty file", "", "truncated"},
+		{"bogus header", "bogus,header\n", "unrecognized"},
+		{"truncated header", "lo,hi,fc\n", "truncated"},
+		{"truncated v1 header", "lo,hi,fc,votes,truth,3,20\n", "truncated"},
+		{"non-numeric workers v1", "lo,hi,fc,votes,truth,x,20,2\n", "workers"},
+		{"non-numeric workers v2", "lo,hi,fc,votes,truth,source,x,20,2," + FormatVersion + "\n", "workers"},
+		{"future version", "lo,hi,fc,votes,truth,source,3,20,2,acd-answers-v99\n", "unsupported"},
+		{"garbage version field", "lo,hi,fc,votes,truth,source,3,20,2,not-a-version\n", "version"},
+		{"bad fc v1", "lo,hi,fc,votes,truth,3,20,2\n1,2,notafloat,3,1\n", "bad fc"},
+		{"bad lo", "lo,hi,fc,votes,truth,3,20,2\nx,2,0.5,3,1\n", "bad lo"},
+		{"bad hi", "lo,hi,fc,votes,truth,3,20,2\n1,x,0.5,3,1\n", "bad hi"},
+		{"bad votes", "lo,hi,fc,votes,truth,3,20,2\n1,2,0.5,x,1\n", "bad votes"},
+		{"negative votes", v2 + "1,2,0.5,-3,1,\n", "negative votes"},
+		{"nan fc", v2 + "1,2,NaN,3,1,\n", "non-finite"},
+		{"inf fc", v2 + "1,2,+Inf,3,1,\n", "non-finite"},
+		{"negative id", v2 + "-1,2,0.5,3,1,\n", "negative record id"},
+		{"self pair", v2 + "2,2,0.5,3,1,\n", "non-canonical"},
+		{"swapped pair", v2 + "3,2,0.5,3,1,\n", "non-canonical"},
+		{"duplicate pair", v2 + "1,2,0.5,3,1,\n1,2,0.7,3,1,\n", "duplicate pair"},
+		{"bad truth flag", v2 + "1,2,0.5,3,2,\n", "truth flag"},
+		{"short row v2", v2 + "1,2,0.5,3,1\n", "fields"},
+		{"long row v1", "lo,hi,fc,votes,truth,3,20,2\n1,2,0.5,3,1,crowd\n", "fields"},
 	}
-	for i, c := range cases {
-		if _, err := LoadAnswers(strings.NewReader(c)); err == nil {
-			t.Errorf("case %d: malformed input accepted", i)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := LoadAnswers(strings.NewReader(c.input))
+			if err == nil {
+				t.Fatalf("malformed input accepted:\n%s", c.input)
+			}
+			if c.want != "" && !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestLoadAnswersV1 pins backward compatibility: the unversioned v1
+// format (no source column) still loads, with provenance defaulting to
+// DefaultSource. The fixture is a file written by the v1 SaveAnswers.
+func TestLoadAnswersV1(t *testing.T) {
+	f, err := os.Open("testdata/answers_v1.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a, err := LoadAnswers(f)
+	if err != nil {
+		t.Fatalf("LoadAnswers(v1 fixture): %v", err)
+	}
+	if a.Len() != 5 {
+		t.Fatalf("loaded %d pairs, want 5", a.Len())
+	}
+	if cfg := a.Config(); cfg.Workers != 3 || cfg.PairsPerHIT != 20 || cfg.CentsPerHIT != 2 {
+		t.Errorf("config = %+v, want 3-worker setting", cfg)
+	}
+	p := record.MakePair(0, 2)
+	if got := a.Score(p); got != 2.0/3.0 {
+		t.Errorf("Score(%v) = %v, want 2/3", p, got)
+	}
+	if got := a.Source(p); got != DefaultSource {
+		t.Errorf("Source(%v) = %q, want %q", p, got, DefaultSource)
+	}
+}
+
+// TestSaveLoadSourceProvenance checks the v2 source column round-trips,
+// with DefaultSource omitted from the serialized form.
+func TestSaveLoadSourceProvenance(t *testing.T) {
+	a := FixedAnswers(map[record.Pair]float64{
+		{Lo: 0, Hi: 1}: 1,
+		{Lo: 0, Hi: 2}: 0.2,
+		{Lo: 1, Hi: 3}: 0.8,
+	}, ThreeWorker(1))
+	a.SetSource(record.Pair{Lo: 0, Hi: 2}, "machine")
+	a.SetSource(record.Pair{Lo: 1, Hi: 3}, "client")
+
+	var buf bytes.Buffer
+	if err := SaveAnswers(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), FormatVersion) {
+		t.Errorf("serialized form missing version tag %q:\n%s", FormatVersion, buf.String())
+	}
+	got, err := LoadAnswers(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, want := range map[record.Pair]string{
+		{Lo: 0, Hi: 1}: DefaultSource,
+		{Lo: 0, Hi: 2}: "machine",
+		{Lo: 1, Hi: 3}: "client",
+	} {
+		if s := got.Source(p); s != want {
+			t.Errorf("Source(%v) = %q, want %q", p, s, want)
+		}
+	}
+	// Resetting to the default drops the explicit entry again.
+	got.SetSource(record.Pair{Lo: 0, Hi: 2}, "")
+	if s := got.Source(record.Pair{Lo: 0, Hi: 2}); s != DefaultSource {
+		t.Errorf("after reset, Source = %q, want %q", s, DefaultSource)
+	}
+}
+
+// TestSaveLoadProperty is a seeded round-trip property test: random
+// answer sets (random pairs, scores, truth, vote escalation, sources)
+// survive Save -> Load -> Save with identical bytes and identical
+// per-pair state.
+func TestSaveLoadProperty(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		scores := make(map[record.Pair]float64, n)
+		for len(scores) < n {
+			lo := record.ID(rng.Intn(200))
+			hi := record.ID(rng.Intn(200))
+			if lo == hi {
+				continue
+			}
+			// Quantized scores so the g-format float round-trips exactly.
+			scores[record.MakePair(lo, hi)] = float64(rng.Intn(16)) / 15
+		}
+		a := FixedAnswers(scores, Config{Workers: 3 + 2*rng.Intn(2), PairsPerHIT: 10 + rng.Intn(20), CentsPerHIT: 1 + rng.Intn(4)})
+		for p := range scores {
+			switch rng.Intn(3) {
+			case 0:
+				a.SetSource(p, "machine")
+			case 1:
+				a.SetSource(p, "client")
+			}
+		}
+
+		var b1 bytes.Buffer
+		if err := SaveAnswers(&b1, a); err != nil {
+			t.Fatalf("seed %d: save: %v", seed, err)
+		}
+		loaded, err := LoadAnswers(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: load: %v", seed, err)
+		}
+		var b2 bytes.Buffer
+		if err := SaveAnswers(&b2, loaded); err != nil {
+			t.Fatalf("seed %d: re-save: %v", seed, err)
+		}
+		if b1.String() != b2.String() {
+			t.Fatalf("seed %d: save/load/save not a fixed point:\n%s\nvs\n%s", seed, b1.String(), b2.String())
+		}
+		if loaded.Len() != a.Len() || loaded.Config() != a.Config() {
+			t.Fatalf("seed %d: shape changed: %d/%+v -> %d/%+v", seed, a.Len(), a.Config(), loaded.Len(), loaded.Config())
+		}
+		for p := range scores {
+			if loaded.fc[p] != a.fc[p] || loaded.truth[p] != a.truth[p] ||
+				loaded.VoteCount(p) != a.VoteCount(p) || loaded.Source(p) != a.Source(p) {
+				t.Errorf("seed %d: pair %v changed across round trip", seed, p)
+			}
 		}
 	}
 }

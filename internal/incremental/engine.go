@@ -1,0 +1,482 @@
+package incremental
+
+import (
+	"fmt"
+	"math"
+
+	"acd/internal/blocking"
+	"acd/internal/core"
+	"acd/internal/crowd"
+	"acd/internal/journal"
+	"acd/internal/obs"
+	"acd/internal/pruning"
+	"acd/internal/record"
+)
+
+// Record is one input record for Engine.Add: raw fields plus an optional
+// ground-truth entity label (used only by evaluation, never by the
+// algorithms).
+type Record struct {
+	// Fields are the record's named attribute values.
+	Fields map[string]string
+	// Entity is the optional ground-truth entity label ("" = unknown).
+	Entity string
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Tau is the pruning threshold for the incremental blocking index.
+	// Unless TauSet is true, the zero value means pruning.DefaultTau.
+	Tau float64
+	// TauSet marks Tau as explicit (mirrors pruning.Options).
+	TauSet bool
+	// Epsilon is PC-Pivot's wasted-pair budget; 0 means
+	// core.DefaultEpsilon.
+	Epsilon float64
+	// RefineX is PC-Refine's budget divisor; 0 means refine.DefaultX.
+	RefineX int
+	// SkipRefinement stops each resolve after cluster generation.
+	SkipRefinement bool
+	// Seed derives the per-round pivot permutation (round r uses
+	// Seed + r), so a run is reproducible given the same input order.
+	Seed int64
+	// Source answers crowd questions. Nil falls back to the machine
+	// similarity scores themselves (provenance "machine") — useful for
+	// crowd-free operation and tests.
+	Source crowd.Source
+	// Obs, when set, receives engine and crowd metrics. Nil records
+	// nothing.
+	Obs *obs.Recorder
+	// CheckpointEvery writes a compacted snapshot after this many
+	// journal events; 0 disables automatic checkpoints. Ignored without
+	// a journal.
+	CheckpointEvery int
+}
+
+func (c Config) effectiveTau() float64 {
+	if c.TauSet || c.Tau != 0 {
+		return c.Tau
+	}
+	return pruning.DefaultTau
+}
+
+func (c Config) effectiveEpsilon() float64 {
+	if c.Epsilon != 0 {
+		return c.Epsilon
+	}
+	return core.DefaultEpsilon
+}
+
+// Engine is a live deduplication engine: Add records at any time,
+// Resolve to fold pending records into the clustering, and read the
+// current clustering with Clusters. Engines are not safe for concurrent
+// use; callers (acdserve) serialize access.
+type Engine struct {
+	cfg   Config
+	tau   float64
+	store *journal.Store
+
+	records []journal.RecordData
+	index   *blocking.IncrementalIndex
+	pending []blocking.ScoredPair // candidate pairs not yet covered by a resolve
+	uf      *unionFind
+
+	round        int
+	resolvedUpTo int // records with id below this are clustered
+
+	answers     map[record.Pair]float64
+	answerOrder []record.Pair // first-crowdsourced order, for deterministic priming
+	answerSrc   map[record.Pair]string
+
+	sinceCheckpoint int
+}
+
+// New returns an engine with no journal: state lives only in memory.
+func New(cfg Config) *Engine {
+	tau := cfg.effectiveTau()
+	return &Engine{
+		cfg:       cfg,
+		tau:       tau,
+		index:     blocking.NewIncrementalIndex(tau),
+		uf:        &unionFind{},
+		answers:   make(map[record.Pair]float64),
+		answerSrc: make(map[record.Pair]string),
+	}
+}
+
+// Open recovers an engine from the journal in fs (empty directories
+// start fresh) and attaches the journal so every subsequent state
+// transition is logged. Close the engine to release the journal.
+func Open(cfg Config, fs journal.FS) (*Engine, error) {
+	store, recovered, err := journal.Open(fs)
+	if err != nil {
+		return nil, err
+	}
+	e, err := Rebuild(cfg, recovered.Checkpoint, recovered.Events)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	e.store = store
+	return e, nil
+}
+
+// Rebuild constructs an engine in the exact state described by a
+// checkpoint (nil for none) plus the events after it — the pure replay
+// function recovery and the crash-point tests share. The result has no
+// journal attached.
+func Rebuild(cfg Config, cp *journal.Checkpoint, events []journal.Event) (*Engine, error) {
+	e := New(cfg)
+	if cp != nil {
+		if err := e.applyCheckpoint(cp); err != nil {
+			return nil, err
+		}
+	}
+	for _, ev := range events {
+		if err := e.applyEvent(ev); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Close detaches and closes the journal, if any. The engine remains
+// readable but further mutations fail.
+func (e *Engine) Close() error {
+	if e.store == nil {
+		return nil
+	}
+	err := e.store.Close()
+	return err
+}
+
+// Len returns the number of records the engine holds.
+func (e *Engine) Len() int { return len(e.records) }
+
+// Round returns the number of completed resolve passes.
+func (e *Engine) Round() int { return e.round }
+
+// ResolvedUpTo returns the count of records covered by the latest
+// resolve pass; records with higher ids are still singleton-pending.
+func (e *Engine) ResolvedUpTo() int { return e.resolvedUpTo }
+
+// PendingPairs returns the number of candidate pairs awaiting the next
+// resolve pass.
+func (e *Engine) PendingPairs() int { return len(e.pending) }
+
+// Record returns the stored form of record id.
+func (e *Engine) Record(id int) journal.RecordData { return e.records[id] }
+
+// Add appends records to the engine, assigns their dense ids, journals
+// them, and feeds them through the blocking index. It returns the
+// assigned ids.
+func (e *Engine) Add(recs ...Record) ([]int, error) {
+	ids := make([]int, 0, len(recs))
+	for _, r := range recs {
+		data := journal.RecordData{ID: len(e.records), Fields: r.Fields, Entity: r.Entity}
+		if err := e.append(journal.Event{Type: journal.EventRecordAdded, Record: &data}); err != nil {
+			return ids, err
+		}
+		e.applyRecord(data)
+		e.cfg.Obs.Count(MetricRecordsAdded, 1)
+		ids = append(ids, data.ID)
+		if err := e.maybeCheckpoint(); err != nil {
+			return ids, err
+		}
+	}
+	return ids, nil
+}
+
+// AddAnswer feeds an externally-obtained crowd answer into the engine
+// cache, so future resolves get it for free. The first answer for a
+// pair wins; re-adding a known pair is a silent no-op (idempotent
+// replay). Source labels provenance; "" means crowd.DefaultSource.
+func (e *Engine) AddAnswer(lo, hi int, fc float64, source string) error {
+	if lo < 0 || lo >= hi || hi >= len(e.records) {
+		return fmt.Errorf("incremental: answer pair (%d,%d) outside the record universe [0,%d)", lo, hi, len(e.records))
+	}
+	if math.IsNaN(fc) || math.IsInf(fc, 0) || fc < 0 || fc > 1 {
+		return fmt.Errorf("incremental: answer fc %v outside [0,1]", fc)
+	}
+	p := record.MakePair(record.ID(lo), record.ID(hi))
+	if _, known := e.answers[p]; known {
+		return nil
+	}
+	return e.cacheAnswer(p, fc, source, true)
+}
+
+// Answer returns the cached crowd answer for a pair, if any.
+func (e *Engine) Answer(lo, hi int) (fc float64, ok bool) {
+	if lo < 0 || lo >= hi {
+		return 0, false
+	}
+	fc, ok = e.answers[record.MakePair(record.ID(lo), record.ID(hi))]
+	return fc, ok
+}
+
+// AnswerCount returns the number of cached crowd answers.
+func (e *Engine) AnswerCount() int { return len(e.answers) }
+
+// Clusters returns the current clustering over all records in canonical
+// form (members ascending, clusters by first member). Records added
+// since the last resolve appear as singletons.
+func (e *Engine) Clusters() [][]int {
+	e.uf.grow(len(e.records))
+	return e.uf.sets(len(e.records))
+}
+
+// Snapshot captures the engine's full durable state as a checkpoint.
+// Two engines are in identical state exactly when their snapshots are
+// byte-identical after zeroing Seq (which tracks journal position, not
+// engine state).
+func (e *Engine) Snapshot() *journal.Checkpoint {
+	var seq int64
+	if e.store != nil {
+		seq = e.store.NextSeq() - 1
+	}
+	answers := make([]journal.AnswerData, 0, len(e.answerOrder))
+	for _, p := range e.answerOrder {
+		answers = append(answers, journal.AnswerData{
+			Lo: int(p.Lo), Hi: int(p.Hi),
+			FC:     e.answers[p],
+			Source: e.answerSrc[p],
+		})
+	}
+	return &journal.Checkpoint{
+		Seq:          seq,
+		Round:        e.round,
+		ResolvedUpTo: e.resolvedUpTo,
+		Records:      append([]journal.RecordData(nil), e.records...),
+		Answers:      answers,
+		Clusters:     e.Clusters(),
+		Stats:        journal.IndexStats{Records: e.index.Len(), Postings: e.index.Postings()},
+	}
+}
+
+// Checkpoint writes a compacted snapshot to the journal now, letting it
+// drop fully-covered WAL segments. No-op without a journal.
+func (e *Engine) Checkpoint() error {
+	if e.store == nil {
+		return nil
+	}
+	if err := e.store.WriteCheckpoint(e.Snapshot()); err != nil {
+		return err
+	}
+	e.sinceCheckpoint = 0
+	e.cfg.Obs.Count(MetricCheckpoints, 1)
+	return nil
+}
+
+// append journals one event; a no-op without a journal.
+func (e *Engine) append(ev journal.Event) error {
+	if e.store == nil {
+		return nil
+	}
+	if _, err := e.store.Append(ev); err != nil {
+		return err
+	}
+	e.sinceCheckpoint++
+	e.cfg.Obs.Count(MetricJournalEvents, 1)
+	return nil
+}
+
+func (e *Engine) maybeCheckpoint() error {
+	if e.store == nil || e.cfg.CheckpointEvery <= 0 || e.sinceCheckpoint < e.cfg.CheckpointEvery {
+		return nil
+	}
+	return e.Checkpoint()
+}
+
+// applyRecord is the journal-free half of Add, shared with replay.
+func (e *Engine) applyRecord(data journal.RecordData) {
+	e.records = append(e.records, data)
+	text := record.New(record.ID(data.ID), data.Fields).Text()
+	e.pending = append(e.pending, e.index.Add(text)...)
+	e.uf.grow(len(e.records))
+}
+
+// cacheAnswer stores a fresh answer, journaling it first when asked to
+// (WAL discipline: an answer is durable before anything depends on it).
+func (e *Engine) cacheAnswer(p record.Pair, fc float64, source string, journalIt bool) error {
+	if source == crowd.DefaultSource {
+		source = ""
+	}
+	if journalIt {
+		err := e.append(journal.Event{Type: journal.EventAnswer, Answer: &journal.AnswerData{
+			Lo: int(p.Lo), Hi: int(p.Hi), FC: fc, Source: source,
+		}})
+		if err != nil {
+			return err
+		}
+	}
+	e.answers[p] = fc
+	e.answerOrder = append(e.answerOrder, p)
+	if source != "" {
+		e.answerSrc[p] = source
+	}
+	e.cfg.Obs.Count(MetricAnswersCached, 1)
+	if journalIt {
+		return e.maybeCheckpoint()
+	}
+	return nil
+}
+
+// answerSource returns a pair's provenance label (crowd.DefaultSource
+// when it was never overridden).
+func (e *Engine) answerSource(p record.Pair) string {
+	if s, ok := e.answerSrc[p]; ok {
+		return s
+	}
+	return crowd.DefaultSource
+}
+
+// resolveSession builds the crowd session a resolve pass uses: the
+// configured source (or the machine fallback) wrapped so every fresh
+// answer is journaled and cached before the algorithms consume it.
+func (e *Engine) resolveSession(scores map[record.Pair]float64) (*crowd.Session, *journalingSource) {
+	var inner crowd.Source
+	label := ""
+	if e.cfg.Source != nil {
+		inner = e.cfg.Source
+	} else {
+		inner = machineSource{scores: scores}
+		label = SourceMachine
+	}
+	js := &journalingSource{engine: e, inner: inner, label: label}
+	sess := crowd.NewSession(js)
+	if e.cfg.Obs != nil {
+		sess.SetRecorder(e.cfg.Obs)
+	}
+	return sess, js
+}
+
+// SourceMachine is the provenance label for answers synthesized from
+// machine similarity scores (Config.Source == nil).
+const SourceMachine = "machine"
+
+// journalingSource wraps the configured crowd source so that every
+// oracle invocation is captured: the answer is journaled and cached in
+// the engine the moment it is produced, before the algorithm acts on
+// it. A crash after the answer but before the resolve effect therefore
+// recovers with the answer cached — and the next resolve primes it for
+// free, preserving questions_answered == oracle_invocations across
+// restarts.
+type journalingSource struct {
+	engine *Engine
+	inner  crowd.Source
+	label  string
+	err    error // first journal failure, surfaced after the pass
+}
+
+// Score implements crowd.Source.
+func (j *journalingSource) Score(p record.Pair) float64 {
+	fc := j.inner.Score(p)
+	j.record(p, fc)
+	return fc
+}
+
+// ScoreBatch implements crowd.BatchSource, forwarding to the inner
+// source's batch path when it has one. Scores are identical either way;
+// batching only changes latency for live crowds.
+func (j *journalingSource) ScoreBatch(pairs []record.Pair) []float64 {
+	var scores []float64
+	if bs, ok := j.inner.(crowd.BatchSource); ok {
+		scores = bs.ScoreBatch(pairs)
+	} else {
+		scores = make([]float64, len(pairs))
+		for i, p := range pairs {
+			scores[i] = j.inner.Score(p)
+		}
+	}
+	for i, p := range pairs {
+		j.record(p, scores[i])
+	}
+	return scores
+}
+
+func (j *journalingSource) record(p record.Pair, fc float64) {
+	if _, known := j.engine.answers[p]; known {
+		return // the session never re-asks, but stay idempotent anyway
+	}
+	if err := j.engine.cacheAnswer(p, fc, j.label, true); err != nil && j.err == nil {
+		j.err = err
+	}
+}
+
+// Config implements crowd.Source.
+func (j *journalingSource) Config() crowd.Config { return j.inner.Config() }
+
+// VoteCount implements crowd.VoteCounter so session vote accounting
+// matches a direct (unwrapped) run of the same source.
+func (j *journalingSource) VoteCount(p record.Pair) int {
+	if vc, ok := j.inner.(crowd.VoteCounter); ok {
+		return vc.VoteCount(p)
+	}
+	return j.inner.Config().Workers
+}
+
+// SetRecorder implements crowd.RecorderSetter, pushing the session's
+// recorder down to the wrapped source.
+func (j *journalingSource) SetRecorder(rec *obs.Recorder) {
+	if s, ok := j.inner.(crowd.RecorderSetter); ok {
+		s.SetRecorder(rec)
+	}
+}
+
+// Recorder implements crowd.RecorderCarrier.
+func (j *journalingSource) Recorder() *obs.Recorder {
+	if c, ok := j.inner.(crowd.RecorderCarrier); ok {
+		return c.Recorder()
+	}
+	return nil
+}
+
+// machineSource is the crowd-free fallback: it answers a pair with its
+// machine similarity score from the scoped candidate set (0 for
+// non-candidates, matching the paper's pruning convention).
+type machineSource struct {
+	scores map[record.Pair]float64
+}
+
+// Score implements crowd.Source.
+func (m machineSource) Score(p record.Pair) float64 { return m.scores[p] }
+
+// Config implements crowd.Source.
+func (m machineSource) Config() crowd.Config { return crowd.ThreeWorker(0) }
+
+var _ crowd.BatchSource = (*journalingSource)(nil)
+var _ crowd.VoteCounter = (*journalingSource)(nil)
+
+// Evaluate scores the engine's current clustering against the journaled
+// ground-truth entity labels (records with empty labels are each their
+// own entity). It returns precision, recall and F1 over record pairs.
+func (e *Engine) Evaluate() (precision, recall, f1 float64) {
+	var tp, fp, fn float64
+	n := len(e.records)
+	e.uf.grow(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			same := e.uf.same(i, j)
+			ei, ej := e.records[i].Entity, e.records[j].Entity
+			truth := ei != "" && ei == ej
+			switch {
+			case same && truth:
+				tp++
+			case same && !truth:
+				fp++
+			case !same && truth:
+				fn++
+			}
+		}
+	}
+	if tp+fp > 0 {
+		precision = tp / (tp + fp)
+	}
+	if tp+fn > 0 {
+		recall = tp / (tp + fn)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}

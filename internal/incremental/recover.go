@@ -1,0 +1,120 @@
+package incremental
+
+import (
+	"fmt"
+
+	"acd/internal/blocking"
+	"acd/internal/journal"
+	"acd/internal/record"
+)
+
+// applyCheckpoint installs a compacted snapshot: records re-feed the
+// blocking index (pending pairs are derived, not stored — every pending
+// pair has its Hi side at or beyond ResolvedUpTo, since resolves always
+// cover a prefix of the id space), answers repopulate the cache, and
+// the clustering is applied directly.
+func (e *Engine) applyCheckpoint(cp *journal.Checkpoint) error {
+	for i, data := range cp.Records {
+		if data.ID != i {
+			return fmt.Errorf("incremental: checkpoint record %d carries id %d", i, data.ID)
+		}
+		e.applyRecord(data)
+	}
+	if cp.ResolvedUpTo < 0 || cp.ResolvedUpTo > len(e.records) {
+		return fmt.Errorf("incremental: checkpoint resolvedUpTo %d outside [0,%d]", cp.ResolvedUpTo, len(e.records))
+	}
+	e.round = cp.Round
+	e.resolvedUpTo = cp.ResolvedUpTo
+	e.pending = filterPending(e.pending, cp.ResolvedUpTo)
+	for _, a := range cp.Answers {
+		p := record.MakePair(record.ID(a.Lo), record.ID(a.Hi))
+		if err := e.cacheAnswer(p, a.FC, a.Source, false); err != nil {
+			return err
+		}
+	}
+	if err := e.applyClusters(cp.Clusters); err != nil {
+		return fmt.Errorf("incremental: checkpoint clusters: %w", err)
+	}
+	if got := (journal.IndexStats{Records: e.index.Len(), Postings: e.index.Postings()}); got != cp.Stats {
+		return fmt.Errorf("incremental: rebuilt index %+v does not match checkpoint stats %+v", got, cp.Stats)
+	}
+	return nil
+}
+
+// applyEvent replays one journaled event without re-journaling it.
+// Replay is a pure fold: the state after applying a prefix of events is
+// exactly the state the live engine had when the last of them was
+// appended — which is what makes crash-point recovery byte-identical.
+func (e *Engine) applyEvent(ev journal.Event) error {
+	switch ev.Type {
+	case journal.EventRecordAdded:
+		if ev.Record == nil {
+			return fmt.Errorf("incremental: event %d: record-added without payload", ev.Seq)
+		}
+		if ev.Record.ID != len(e.records) {
+			return fmt.Errorf("incremental: event %d: record id %d, expected %d", ev.Seq, ev.Record.ID, len(e.records))
+		}
+		e.applyRecord(*ev.Record)
+	case journal.EventAnswer:
+		a := ev.Answer
+		if a == nil {
+			return fmt.Errorf("incremental: event %d: answer without payload", ev.Seq)
+		}
+		p := record.MakePair(record.ID(a.Lo), record.ID(a.Hi))
+		if _, known := e.answers[p]; known {
+			return nil // keep-first, same as the live path
+		}
+		return e.cacheAnswer(p, a.FC, a.Source, false)
+	case journal.EventResolve:
+		d := ev.Resolve
+		if d == nil {
+			return fmt.Errorf("incremental: event %d: resolve without payload", ev.Seq)
+		}
+		if d.ResolvedUpTo != len(e.records) {
+			return fmt.Errorf("incremental: event %d: resolve covers %d records, engine has %d", ev.Seq, d.ResolvedUpTo, len(e.records))
+		}
+		if err := e.applyClusters(d.Clusters); err != nil {
+			return fmt.Errorf("incremental: event %d: %w", ev.Seq, err)
+		}
+		e.round = d.Round
+		e.resolvedUpTo = d.ResolvedUpTo
+		e.pending = filterPending(e.pending, d.ResolvedUpTo)
+	default:
+		return fmt.Errorf("incremental: event %d: unknown type %q", ev.Seq, ev.Type)
+	}
+	return nil
+}
+
+// applyClusters replaces the union-find with the journaled partition —
+// the effect-application at the heart of recovery. Resolve effects are
+// monotone (clusters only ever merge), so installing the latest
+// clustering loses nothing from earlier ones.
+func (e *Engine) applyClusters(clusters [][]int) error {
+	uf := &unionFind{}
+	uf.grow(len(e.records))
+	for _, set := range clusters {
+		for _, m := range set {
+			if m < 0 || m >= len(e.records) {
+				return fmt.Errorf("cluster member %d outside universe [0,%d)", m, len(e.records))
+			}
+		}
+		for _, m := range set[1:] {
+			uf.union(set[0], m)
+		}
+	}
+	e.uf = uf
+	return nil
+}
+
+// filterPending keeps the candidate pairs not covered by a resolve up
+// to resolvedUpTo. New records always take the Hi side of their pairs
+// (ids are dense and increasing), so coverage is a pure Hi test.
+func filterPending(pending []blocking.ScoredPair, resolvedUpTo int) []blocking.ScoredPair {
+	var out []blocking.ScoredPair
+	for _, sp := range pending {
+		if int(sp.Pair.Hi) >= resolvedUpTo {
+			out = append(out, sp)
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package incremental
+
+import (
+	"context"
+	"math/rand"
+
+	"acd/internal/cluster"
+	"acd/internal/core"
+	"acd/internal/journal"
+	"acd/internal/pruning"
+	"acd/internal/record"
+	"acd/internal/refine"
+)
+
+// ResolveStats reports what one resolve pass did and — more to the
+// point — what it avoided doing.
+type ResolveStats struct {
+	// Round is the pass number, from 1.
+	Round int
+	// Records is the universe size the pass covered.
+	Records int
+	// Pending is how many candidate pairs had accumulated since the
+	// previous pass.
+	Pending int
+	// InferredPositive counts pairs answered positively by transitive
+	// closure (the primed star edges) — zero crowd questions.
+	InferredPositive int
+	// InferredNegative counts previously-crowdsourced pairs excluded
+	// because their endpoints sit in different resolved clusters.
+	InferredNegative int
+	// ClosureEdges is the number of star edges injected.
+	ClosureEdges int
+	// Residual is the count of pending pairs with no cached answer —
+	// the only pairs that could cost crowd questions this pass.
+	Residual int
+	// QuestionsAsked is the number of fresh crowd questions the pass
+	// actually paid for (== the session's oracle invocations).
+	QuestionsAsked int
+	// Iterations is the number of crowd iterations (batches).
+	Iterations int
+	// Clusters is the cluster count after the pass.
+	Clusters int
+}
+
+// Resolve folds all pending records into the clustering: candidate
+// pairs that transitive closure over resolved clusters can answer are
+// inferred for free, and only the residual flows through a scoped
+// PC-Pivot + PC-Refine pass seeded with the existing clustering. The
+// resulting merges are journaled as an effect (the full clustering)
+// before being applied, then pending state is cleared.
+//
+// ctx cancels the pass mid-crowd-iteration: the engine state is left
+// exactly as before the call (answers already received remain cached
+// and journaled — they were paid for), and the error is returned.
+func (e *Engine) Resolve(ctx context.Context) (ResolveStats, error) {
+	n := len(e.records)
+	stats := ResolveStats{Round: e.round + 1, Records: n, Pending: len(e.pending)}
+
+	// Scoped candidate set: pending pairs at their machine scores…
+	scores := make(cluster.Scores, len(e.pending))
+	for _, sp := range e.pending {
+		scores[sp.Pair] = sp.Score
+		if _, known := e.answers[sp.Pair]; !known {
+			stats.Residual++
+		}
+	}
+
+	// …plus closure stars re-asserting each resolved cluster a pending
+	// pair touches. Star edges are genuine candidates (score 1.0) primed
+	// positive, so the algorithms see the cluster as already merged at
+	// zero cost, and every pair they can ask stays inside the candidate
+	// set (sources may reject non-candidates).
+	incident := make(map[int]bool)
+	for _, sp := range e.pending {
+		if lo := int(sp.Pair.Lo); lo < e.resolvedUpTo {
+			incident[e.uf.find(lo)] = true
+		}
+	}
+	var closure []record.Pair
+	for _, set := range e.uf.sets(e.resolvedUpTo) {
+		if len(set) < 2 || !incident[set[0]] {
+			continue
+		}
+		for _, m := range set[1:] {
+			p := record.MakePair(record.ID(set[0]), record.ID(m))
+			scores[p] = 1.0
+			closure = append(closure, p)
+		}
+	}
+	stats.ClosureEdges = len(closure)
+	stats.InferredPositive = len(closure)
+
+	// Previously-answered pairs whose endpoints now sit in different
+	// resolved clusters are the negative half of the inference: they are
+	// simply not candidates this pass, so they cannot be re-asked.
+	for _, p := range e.answerOrder {
+		lo, hi := int(p.Lo), int(p.Hi)
+		if _, inScope := scores[p]; !inScope && hi < e.resolvedUpTo && !e.uf.same(lo, hi) {
+			stats.InferredNegative++
+		}
+	}
+
+	// tau = -1 keeps every scoped pair: the index already enforced the
+	// engine's threshold, and closure edges must never be pruned.
+	cands := pruning.FromScores(n, scores, -1)
+
+	sess, js := e.resolveSession(scores)
+	if ctx != nil {
+		sess.Bind(ctx)
+	}
+	// Prime closure edges first (their inferred 1.0 outranks any cached
+	// answer), then every cached answer that is a scoped candidate — in
+	// first-crowdsourced order, so refinement's histogram rebuild walks
+	// the same sequence on every run and after every recovery. Priming
+	// never touches pairs outside the candidate set: the refinement
+	// budget counts every session-known pair as a candidate.
+	for _, p := range closure {
+		sess.Prime(p, 1.0)
+	}
+	for _, p := range e.answerOrder {
+		if cands.Contains(p) {
+			sess.Prime(p, e.answers[p])
+		}
+	}
+
+	rng := rand.New(rand.NewSource(e.cfg.Seed + int64(e.round)))
+	c, _ := core.PCPivotPerm(cands, sess, e.cfg.effectiveEpsilon(), core.NewPermutation(n, rng))
+	if sess.Err() == nil && !e.cfg.SkipRefinement {
+		c = refine.PCRefine(c, cands, sess, e.cfg.RefineX)
+	}
+	if err := sess.Err(); err != nil {
+		return stats, err
+	}
+	if js.err != nil {
+		return stats, js.err
+	}
+	stats.QuestionsAsked = sess.Stats().Pairs
+	stats.Iterations = sess.Stats().Iterations
+
+	// Merge the scoped result into the global clustering monotonically:
+	// resolved merges are never undone (the journal records effects, and
+	// effects only accumulate).
+	merged := e.uf.clone()
+	merged.grow(n)
+	for _, set := range c.Sets() {
+		for _, m := range set[1:] {
+			merged.union(int(set[0]), int(m))
+		}
+	}
+	clusters := merged.sets(n)
+	stats.Clusters = len(clusters)
+
+	// Journal the effect before applying it (WAL discipline): a crash
+	// here recovers to the pre-resolve state with all answers cached, so
+	// re-running the pass is free.
+	err := e.append(journal.Event{Type: journal.EventResolve, Resolve: &journal.ResolveData{
+		Round: stats.Round, ResolvedUpTo: n, Clusters: clusters,
+	}})
+	if err != nil {
+		return stats, err
+	}
+	e.uf = merged
+	e.round = stats.Round
+	e.resolvedUpTo = n
+	e.pending = nil
+
+	e.cfg.Obs.Count(MetricResolves, 1)
+	e.cfg.Obs.Count(MetricInferredPositive, int64(stats.InferredPositive))
+	e.cfg.Obs.Count(MetricInferredNegative, int64(stats.InferredNegative))
+	e.cfg.Obs.Count(MetricClosureEdges, int64(stats.ClosureEdges))
+	e.cfg.Obs.Count(MetricResidualPairs, int64(stats.Residual))
+	if e.cfg.Obs.Tracing() {
+		e.cfg.Obs.Trace("incremental.resolve", map[string]any{
+			"round": stats.Round, "records": stats.Records,
+			"pending": stats.Pending, "residual": stats.Residual,
+			"closure": stats.ClosureEdges, "questions": stats.QuestionsAsked,
+			"clusters": stats.Clusters,
+		})
+	}
+	if err := e.maybeCheckpoint(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

@@ -1,0 +1,64 @@
+package incremental
+
+// unionFind is a growable min-root disjoint-set forest: the root of
+// every set is its smallest member, so canonical cluster listings fall
+// out of the structure with no extra bookkeeping. (The fixed-size
+// internal/unionfind is sized at construction; the engine's universe
+// grows with every Add.)
+type unionFind struct {
+	parent []int
+}
+
+// grow extends the forest with singletons up to n elements.
+func (u *unionFind) grow(n int) {
+	for len(u.parent) < n {
+		u.parent = append(u.parent, len(u.parent))
+	}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if ra < rb {
+		u.parent[rb] = ra
+	} else {
+		u.parent[ra] = rb
+	}
+}
+
+func (u *unionFind) same(a, b int) bool { return u.find(a) == u.find(b) }
+
+func (u *unionFind) clone() *unionFind {
+	return &unionFind{parent: append([]int(nil), u.parent...)}
+}
+
+// sets returns the partition of 0..n-1 in canonical form: members
+// ascending within each set, sets ordered by their smallest member.
+func (u *unionFind) sets(n int) [][]int {
+	bySet := make(map[int][]int)
+	var roots []int
+	for i := 0; i < n; i++ {
+		r := u.find(i)
+		if _, ok := bySet[r]; !ok {
+			roots = append(roots, r)
+		}
+		bySet[r] = append(bySet[r], i)
+	}
+	// Min-root makes every root its set's first member, and roots were
+	// discovered in ascending order of that first member.
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, bySet[r])
+	}
+	return out
+}

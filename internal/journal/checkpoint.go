@@ -1,0 +1,32 @@
+package journal
+
+// IndexStats summarizes the blocking index at checkpoint time, so a
+// recovered engine can sanity-check its rebuilt index against what the
+// snapshot expects.
+type IndexStats struct {
+	// Records is the number of records the index held.
+	Records int `json:"records"`
+	// Postings is the total (token, record) entry count.
+	Postings int `json:"postings"`
+}
+
+// Checkpoint is a compacted snapshot of engine state: the fold of all
+// journal events with Seq ≤ its Seq. Recovery loads the newest
+// checkpoint and replays only the events after it.
+type Checkpoint struct {
+	// Seq is the sequence number of the last event this snapshot covers.
+	Seq int64 `json:"seq"`
+	// Round counts completed resolve passes.
+	Round int `json:"round"`
+	// ResolvedUpTo is the count of resolved records: every id below it
+	// is covered by Clusters.
+	ResolvedUpTo int `json:"resolvedUpTo"`
+	// Records are all records added so far, in id order.
+	Records []RecordData `json:"records"`
+	// Answers is the cached answer set, in first-crowdsourced order.
+	Answers []AnswerData `json:"answers"`
+	// Clusters is the current clustering in canonical order.
+	Clusters [][]int `json:"clusters"`
+	// Stats describes the blocking index at snapshot time.
+	Stats IndexStats `json:"stats"`
+}

@@ -1,0 +1,26 @@
+// Package journal gives the incremental dedup engine a durable past: a
+// write-ahead log of engine events (records added, crowd answers
+// received, resolve effects applied) plus periodic compacted snapshots,
+// so a crashed or restarted process recovers the exact clustering state
+// it had — byte-identical — without re-asking the crowd a single
+// question it already paid for.
+//
+// Layout on disk (one directory per engine):
+//
+//	wal-<firstseq>.log   JSONL event segments; a new segment per Open,
+//	                     never appended after close, strictly increasing
+//	                     sequence numbers across segments
+//	snap-<seq>.json      compacted checkpoints (cluster assignment,
+//	                     answer cache, index stats) written atomically
+//	                     via tmp + fsync + rename
+//
+// Recovery loads the newest readable checkpoint, then replays every
+// event with a sequence number above it, in order. A torn final line in
+// the newest segment — the signature of a crash mid-append — is
+// tolerated and dropped; corruption anywhere else is an error, because
+// it means lost history rather than a lost tail.
+//
+// All I/O goes through the FS interface; DirFS is the real
+// implementation, MemFS the in-memory one tests use to simulate crashes
+// at every byte offset without touching a disk.
+package journal

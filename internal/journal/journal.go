@@ -1,0 +1,324 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Event types. The journal is an effect log: resolve events carry the
+// resulting clustering itself, so replay applies recorded effects
+// instead of re-running the (crowd-consuming) algorithm.
+const (
+	// EventRecordAdded logs one record entering the engine.
+	EventRecordAdded = "record-added"
+	// EventAnswer logs one crowd answer the engine received and cached.
+	EventAnswer = "answer"
+	// EventResolve logs a completed resolve pass and the clustering it
+	// produced.
+	EventResolve = "resolve"
+)
+
+// Event is one journal entry. Exactly one of Record, Answer, Resolve is
+// set, matching Type. Seq is assigned by Append: strictly increasing,
+// unique across the journal's lifetime including restarts.
+type Event struct {
+	// Seq is the event's sequence number.
+	Seq int64 `json:"seq"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Record is the payload of an EventRecordAdded event.
+	Record *RecordData `json:"record,omitempty"`
+	// Answer is the payload of an EventAnswer event.
+	Answer *AnswerData `json:"answer,omitempty"`
+	// Resolve is the payload of an EventResolve event.
+	Resolve *ResolveData `json:"resolve,omitempty"`
+}
+
+// RecordData is the journaled form of one input record.
+type RecordData struct {
+	// ID is the engine-assigned record id (dense, insertion order).
+	ID int `json:"id"`
+	// Fields are the record's named fields.
+	Fields map[string]string `json:"fields"`
+	// Entity is the optional ground-truth entity label ("" = unknown).
+	Entity string `json:"entity,omitempty"`
+}
+
+// AnswerData is the journaled form of one cached crowd answer.
+type AnswerData struct {
+	// Lo and Hi identify the pair, canonical Lo < Hi.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// FC is the fraction of workers answering "match".
+	FC float64 `json:"fc"`
+	// Source records answer provenance (e.g. "crowd", "machine",
+	// "client"); empty means the default crowd source.
+	Source string `json:"source,omitempty"`
+}
+
+// ResolveData is the journaled effect of one resolve pass.
+type ResolveData struct {
+	// Round numbers resolve passes from 1.
+	Round int `json:"round"`
+	// ResolvedUpTo is the count of records covered by this pass: all ids
+	// < ResolvedUpTo are clustered.
+	ResolvedUpTo int `json:"resolvedUpTo"`
+	// Clusters is the full clustering after the pass, in the canonical
+	// order cluster.Sets produces.
+	Clusters [][]int `json:"clusters"`
+}
+
+// Recovered is what Open found on disk: the newest checkpoint (nil if
+// none) and every event after it, in sequence order.
+type Recovered struct {
+	// Checkpoint is the newest readable checkpoint, or nil.
+	Checkpoint *Checkpoint
+	// Events are the events with Seq beyond the checkpoint, ascending.
+	Events []Event
+}
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".log"
+	snapPrefix = "snap-"
+	snapSuffix = ".json"
+	tmpSuffix  = ".tmp"
+)
+
+// Store is an open journal: an append-side WAL segment plus checkpoint
+// management. It is not safe for concurrent use; the engine serializes
+// access.
+type Store struct {
+	fs      FS
+	cur     File
+	curName string
+	nextSeq int64
+}
+
+// Open recovers the journal in fs and opens a fresh WAL segment for
+// appending. The returned Recovered holds everything needed to rebuild
+// state: newest checkpoint plus post-checkpoint events. A torn final
+// line in the newest segment is dropped (crash mid-append); any other
+// malformed content is an error.
+func Open(fs FS) (*Store, Recovered, error) {
+	var rec Recovered
+	names, err := fs.List()
+	if err != nil {
+		return nil, rec, fmt.Errorf("journal: listing dir: %w", err)
+	}
+
+	// Newest readable checkpoint wins. Leftover .tmp files (crash before
+	// rename) are ignored entirely.
+	snapSeq := int64(-1)
+	for _, n := range names {
+		seq, ok := parseName(n, snapPrefix, snapSuffix)
+		if !ok || seq <= snapSeq {
+			continue
+		}
+		b, err := fs.ReadFile(n)
+		if err != nil {
+			return nil, rec, fmt.Errorf("journal: reading %s: %w", n, err)
+		}
+		cp := new(Checkpoint)
+		if err := json.Unmarshal(b, cp); err != nil {
+			return nil, rec, fmt.Errorf("journal: corrupt checkpoint %s: %w", n, err)
+		}
+		if cp.Seq != seq {
+			return nil, rec, fmt.Errorf("journal: checkpoint %s claims seq %d", n, cp.Seq)
+		}
+		rec.Checkpoint, snapSeq = cp, seq
+	}
+
+	// Replay segments in order, keeping events past the checkpoint.
+	var segs []string
+	for _, n := range names {
+		if _, ok := parseName(n, segPrefix, segSuffix); ok {
+			segs = append(segs, n)
+		}
+	}
+	lastSeq := snapSeq
+	for si, n := range segs {
+		b, err := fs.ReadFile(n)
+		if err != nil {
+			return nil, rec, fmt.Errorf("journal: reading %s: %w", n, err)
+		}
+		lines := bytes.Split(b, []byte("\n"))
+		for li, line := range lines {
+			if len(line) == 0 {
+				continue
+			}
+			var ev Event
+			if err := json.Unmarshal(line, &ev); err != nil {
+				// Only the final line of the final segment may be torn.
+				if si == len(segs)-1 && li == len(lines)-1 {
+					break
+				}
+				return nil, rec, fmt.Errorf("journal: corrupt event at %s line %d: %w", n, li+1, err)
+			}
+			if ev.Seq <= snapSeq {
+				continue // compacted into the checkpoint already
+			}
+			if ev.Seq <= lastSeq {
+				return nil, rec, fmt.Errorf("journal: non-monotonic seq %d after %d in %s", ev.Seq, lastSeq, n)
+			}
+			lastSeq = ev.Seq
+			rec.Events = append(rec.Events, ev)
+		}
+	}
+
+	s := &Store{fs: fs, nextSeq: lastSeq + 1}
+	if s.nextSeq < 1 {
+		s.nextSeq = 1
+	}
+	s.curName = segName(s.nextSeq)
+	if s.cur, err = fs.Create(s.curName); err != nil {
+		return nil, rec, fmt.Errorf("journal: opening segment: %w", err)
+	}
+	return s, rec, nil
+}
+
+// NextSeq returns the sequence number the next Append will assign.
+func (s *Store) NextSeq() int64 { return s.nextSeq }
+
+// Append assigns the event's sequence number, writes it to the current
+// segment and syncs it to stable storage before returning. On return
+// the event is durable.
+func (s *Store) Append(ev Event) (int64, error) {
+	if s.cur == nil {
+		return 0, ErrClosed
+	}
+	ev.Seq = s.nextSeq
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return 0, fmt.Errorf("journal: marshaling event: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := s.cur.Write(b); err != nil {
+		return 0, fmt.Errorf("journal: appending event: %w", err)
+	}
+	if err := s.cur.Sync(); err != nil {
+		return 0, fmt.Errorf("journal: syncing event: %w", err)
+	}
+	s.nextSeq++
+	return ev.Seq, nil
+}
+
+// WriteCheckpoint durably installs a compacted snapshot via
+// tmp + sync + rename, then drops WAL segments and snapshots it makes
+// redundant. cp.Seq must be the seq of the last event the snapshot
+// covers (its state is the fold of events 1..Seq).
+func (s *Store) WriteCheckpoint(cp *Checkpoint) error {
+	if cp.Seq >= s.nextSeq {
+		return fmt.Errorf("journal: checkpoint seq %d beyond journal head %d", cp.Seq, s.nextSeq-1)
+	}
+	b, err := json.MarshalIndent(cp, "", " ")
+	if err != nil {
+		return fmt.Errorf("journal: marshaling checkpoint: %w", err)
+	}
+	final := snapName(cp.Seq)
+	tmp := final + tmpSuffix
+	f, err := s.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("journal: creating checkpoint tmp: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: closing checkpoint: %w", err)
+	}
+	if err := s.fs.Rename(tmp, final); err != nil {
+		return fmt.Errorf("journal: installing checkpoint: %w", err)
+	}
+	s.compact(cp.Seq)
+	return nil
+}
+
+// compact removes snapshots older than seq and WAL segments whose every
+// event is covered by the snapshot at seq. Failures are ignored: the
+// garbage is retried on the next checkpoint and harmless meanwhile.
+func (s *Store) compact(seq int64) {
+	names, err := s.fs.List()
+	if err != nil {
+		return
+	}
+	var segFirst []int64
+	var segNames []string
+	for _, n := range names {
+		if sq, ok := parseName(n, snapPrefix, snapSuffix); ok && sq < seq {
+			s.fs.Remove(n)
+		}
+		if strings.HasSuffix(n, tmpSuffix) {
+			s.fs.Remove(n)
+		}
+		if sq, ok := parseName(n, segPrefix, segSuffix); ok {
+			segFirst = append(segFirst, sq)
+			segNames = append(segNames, n)
+		}
+	}
+	// Segment i's events all precede segment i+1's first seq; it is
+	// disposable once the checkpoint covers that whole range. The live
+	// segment is never removed.
+	for i := 0; i+1 < len(segNames); i++ {
+		if segNames[i] != s.curName && segFirst[i+1] <= seq+1 {
+			s.fs.Remove(segNames[i])
+		}
+	}
+}
+
+// Sync forces the current segment to stable storage. Appends already
+// sync; this exists for explicit barriers (e.g. before process exit).
+func (s *Store) Sync() error {
+	if s.cur == nil {
+		return ErrClosed
+	}
+	return s.cur.Sync()
+}
+
+// Close syncs and closes the current segment. The store is unusable
+// afterwards.
+func (s *Store) Close() error {
+	if s.cur == nil {
+		return nil
+	}
+	err := s.cur.Close()
+	s.cur = nil
+	return err
+}
+
+func segName(first int64) string {
+	return fmt.Sprintf("%s%020d%s", segPrefix, first, segSuffix)
+}
+
+func snapName(seq int64) string {
+	return fmt.Sprintf("%s%020d%s", snapPrefix, seq, snapSuffix)
+}
+
+// parseName extracts the sequence number from a journal file name of
+// the form <prefix><seq><suffix>; ok is false for foreign names.
+func parseName(name, prefix, suffix string) (int64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := name[len(prefix) : len(name)-len(suffix)]
+	if mid == "" || strings.Contains(mid, ".") {
+		return 0, false
+	}
+	seq, err := strconv.ParseInt(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// ErrClosed reports use of a closed store.
+var ErrClosed = errors.New("journal: store closed")

@@ -1,0 +1,390 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func recordEv(id int) Event {
+	return Event{Type: EventRecordAdded, Record: &RecordData{
+		ID:     id,
+		Fields: map[string]string{"name": fmt.Sprintf("record %d", id)},
+	}}
+}
+
+func answerEv(lo, hi int, fc float64) Event {
+	return Event{Type: EventAnswer, Answer: &AnswerData{Lo: lo, Hi: hi, FC: fc}}
+}
+
+func resolveEv(round, upTo int, clusters [][]int) Event {
+	return Event{Type: EventResolve, Resolve: &ResolveData{
+		Round: round, ResolvedUpTo: upTo, Clusters: clusters,
+	}}
+}
+
+func mustAppend(t *testing.T, s *Store, evs ...Event) []int64 {
+	t.Helper()
+	seqs := make([]int64, len(evs))
+	for i, ev := range evs {
+		seq, err := s.Append(ev)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		seqs[i] = seq
+	}
+	return seqs
+}
+
+func TestAppendRecover(t *testing.T) {
+	fs := NewMemFS()
+	s, rec, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint != nil || len(rec.Events) != 0 {
+		t.Fatalf("fresh journal recovered %+v", rec)
+	}
+	evs := []Event{
+		recordEv(0), recordEv(1), answerEv(0, 1, 1.0),
+		resolveEv(1, 2, [][]int{{0, 1}}),
+	}
+	seqs := mustAppend(t, s, evs...)
+	for i, seq := range seqs {
+		if seq != int64(i)+1 {
+			t.Errorf("seq[%d] = %d, want %d", i, seq, i+1)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec2, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec2.Checkpoint != nil {
+		t.Errorf("unexpected checkpoint %+v", rec2.Checkpoint)
+	}
+	if len(rec2.Events) != len(evs) {
+		t.Fatalf("recovered %d events, want %d", len(rec2.Events), len(evs))
+	}
+	for i, got := range rec2.Events {
+		want := evs[i]
+		want.Seq = seqs[i]
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("event %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if s2.NextSeq() != seqs[len(seqs)-1]+1 {
+		t.Errorf("NextSeq = %d", s2.NextSeq())
+	}
+}
+
+func TestCheckpointRecovery(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, recordEv(0), recordEv(1), answerEv(0, 1, 1))
+	cp := &Checkpoint{
+		Seq:          3,
+		Round:        1,
+		ResolvedUpTo: 2,
+		Records: []RecordData{
+			{ID: 0, Fields: map[string]string{"name": "record 0"}},
+			{ID: 1, Fields: map[string]string{"name": "record 1"}},
+		},
+		Answers:  []AnswerData{{Lo: 0, Hi: 1, FC: 1}},
+		Clusters: [][]int{{0, 1}},
+		Stats:    IndexStats{Records: 2, Postings: 4},
+	}
+	if err := s.WriteCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, recordEv(2))
+	s.Close()
+
+	_, rec, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint == nil {
+		t.Fatal("checkpoint not recovered")
+	}
+	if !reflect.DeepEqual(rec.Checkpoint, cp) {
+		t.Errorf("checkpoint changed:\n got %+v\nwant %+v", rec.Checkpoint, cp)
+	}
+	if len(rec.Events) != 1 || rec.Events[0].Seq != 4 || rec.Events[0].Type != EventRecordAdded {
+		t.Errorf("post-checkpoint events = %+v", rec.Events)
+	}
+}
+
+// TestCheckpointCompaction: installing a checkpoint removes the WAL
+// segments and snapshots it covers, and leaves later events intact
+// across the next recovery.
+func TestCheckpointCompaction(t *testing.T) {
+	fs := NewMemFS()
+	s, _, _ := Open(fs)
+	mustAppend(t, s, recordEv(0), recordEv(1))
+	s.WriteCheckpoint(&Checkpoint{Seq: 1})
+	s.Close()
+	s, _, _ = Open(fs) // new segment; the old one holds only seq ≤ 2
+	mustAppend(t, s, recordEv(2))
+	if err := s.WriteCheckpoint(&Checkpoint{Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.List()
+	var segs, snaps []string
+	for _, n := range names {
+		if strings.HasPrefix(n, segPrefix) {
+			segs = append(segs, n)
+		}
+		if strings.HasPrefix(n, snapPrefix) {
+			snaps = append(snaps, n)
+		}
+	}
+	if len(snaps) != 1 || snaps[0] != snapName(3) {
+		t.Errorf("snapshots after compaction: %v", snaps)
+	}
+	if len(segs) != 1 || segs[0] != s.curName {
+		t.Errorf("segments after compaction: %v (current %s)", segs, s.curName)
+	}
+	s.Close()
+	_, rec, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint == nil || rec.Checkpoint.Seq != 3 || len(rec.Events) != 0 {
+		t.Errorf("recovery after compaction: %+v", rec)
+	}
+}
+
+// TestTruncationSweep is the crash-tail contract: for EVERY byte prefix
+// of a WAL segment, recovery succeeds and yields exactly the events
+// whose final newline made it to disk.
+func TestTruncationSweep(t *testing.T) {
+	fs := NewMemFS()
+	s, _, _ := Open(fs)
+	var evs []Event
+	for i := 0; i < 5; i++ {
+		evs = append(evs, recordEv(i), answerEv(i, i+1, 0.5))
+	}
+	evs = append(evs, resolveEv(1, 6, [][]int{{0, 1, 2}, {3}, {4, 5}}))
+	mustAppend(t, s, evs...)
+	seg := s.curName
+	full := fs.Bytes(seg)
+	if len(full) == 0 {
+		t.Fatal("segment empty")
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		crash := NewMemFS()
+		crash.Put(seg, full[:cut])
+		s2, rec, err := Open(crash)
+		if err != nil {
+			t.Fatalf("cut %d: recovery failed: %v", cut, err)
+		}
+		s2.Close()
+		wantN := bytes.Count(full[:cut], []byte("\n"))
+		// A tail missing only its newline is still a complete, durable
+		// event; recovery keeps it.
+		if tail := full[bytes.LastIndexByte(full[:cut], '\n')+1 : cut]; len(tail) > 0 && json.Valid(tail) {
+			wantN++
+		}
+		if len(rec.Events) != wantN {
+			t.Fatalf("cut %d: recovered %d events, want %d", cut, len(rec.Events), wantN)
+		}
+		for i, got := range rec.Events {
+			want := evs[i]
+			want.Seq = int64(i) + 1
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("cut %d: event %d mismatch: %+v vs %+v", cut, i, got, want)
+			}
+		}
+	}
+}
+
+// TestCorruptMiddleRejected: garbage anywhere but the final line is
+// lost history, not a torn tail — recovery must fail loudly.
+func TestCorruptMiddleRejected(t *testing.T) {
+	fs := NewMemFS()
+	s, _, _ := Open(fs)
+	mustAppend(t, s, recordEv(0), recordEv(1), recordEv(2))
+	seg := s.curName
+	lines := bytes.SplitAfter(fs.Bytes(seg), []byte("\n"))
+	corrupt := append(append([]byte(nil), lines[0]...), []byte("{garbage\n")...)
+	corrupt = append(corrupt, lines[2]...)
+	crash := NewMemFS()
+	crash.Put(seg, corrupt)
+	if _, _, err := Open(crash); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+
+	// Same garbage in an EARLIER segment is also fatal, even as its last
+	// line: only the newest segment may have a torn tail.
+	crash2 := NewMemFS()
+	crash2.Put(segName(1), append(append([]byte(nil), lines[0]...), []byte("{garbage")...))
+	crash2.Put(segName(5), lines[2])
+	if _, _, err := Open(crash2); err == nil {
+		t.Fatal("earlier-segment corruption accepted")
+	}
+}
+
+func TestCorruptTmpTolerated(t *testing.T) {
+	fs := NewMemFS()
+	s, _, _ := Open(fs)
+	mustAppend(t, s, recordEv(0))
+	s.WriteCheckpoint(&Checkpoint{Seq: 1, Records: []RecordData{{ID: 0}}})
+	s.Close()
+	// A crash between checkpoint-write and rename leaves a .tmp file;
+	// it must not disturb recovery.
+	fs.Put(snapName(9)+tmpSuffix, []byte("{half a checkpoi"))
+	_, rec, err := Open(fs)
+	if err != nil {
+		t.Fatalf("tmp leftover broke recovery: %v", err)
+	}
+	if rec.Checkpoint == nil || rec.Checkpoint.Seq != 1 {
+		t.Errorf("recovered %+v", rec.Checkpoint)
+	}
+
+	// A corrupt INSTALLED checkpoint is fatal: it was the durable state.
+	fs.Put(snapName(9), []byte("{half a checkpoi"))
+	if _, _, err := Open(fs); err == nil {
+		t.Fatal("corrupt installed checkpoint accepted")
+	}
+}
+
+func TestCheckpointSeqValidation(t *testing.T) {
+	fs := NewMemFS()
+	s, _, _ := Open(fs)
+	mustAppend(t, s, recordEv(0))
+	if err := s.WriteCheckpoint(&Checkpoint{Seq: 99}); err == nil {
+		t.Error("checkpoint beyond journal head accepted")
+	}
+	fs.Put(snapName(7), mustJSON(t, &Checkpoint{Seq: 3}))
+	if _, _, err := Open(fs); err == nil {
+		t.Error("checkpoint with mismatched name/seq accepted")
+	}
+}
+
+func mustJSON(t *testing.T, cp *Checkpoint) []byte {
+	t.Helper()
+	b, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestMemFSCrashSemantics(t *testing.T) {
+	fs := NewMemFS()
+	f, _ := fs.Create("x")
+	f.Write([]byte("synced"))
+	f.Sync()
+	f.Write([]byte(" lost"))
+	// Live reads see the page cache; the crash copy sees only synced bytes.
+	if b, _ := fs.ReadFile("x"); string(b) != "synced lost" {
+		t.Errorf("live read = %q", b)
+	}
+	crash := fs.CrashCopy()
+	if b, _ := crash.ReadFile("x"); string(b) != "synced" {
+		t.Errorf("crash copy = %q", b)
+	}
+	if b := fs.Bytes("x"); string(b) != "synced" {
+		t.Errorf("Bytes = %q", b)
+	}
+}
+
+func TestAppendAfterCloseAndWriteFailure(t *testing.T) {
+	fs := NewMemFS()
+	s, _, _ := Open(fs)
+	s.Close()
+	if _, err := s.Append(recordEv(0)); !errors.Is(err, ErrClosed) {
+		t.Errorf("Append after close: %v", err)
+	}
+	if err := s.Sync(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Sync after close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+
+	fs2 := NewMemFS()
+	s2, _, _ := Open(fs2)
+	fs2.FailAfterWrites(0)
+	if _, err := s2.Append(recordEv(0)); err == nil {
+		t.Error("write failure swallowed")
+	}
+}
+
+// TestDirFS runs the full append/checkpoint/recover cycle against a
+// real directory.
+func TestDirFS(t *testing.T) {
+	dir := t.TempDir() + "/journal"
+	fs, err := NewDirFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, rec, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Checkpoint != nil || len(rec.Events) != 0 {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	mustAppend(t, s, recordEv(0), recordEv(1), answerEv(0, 1, 1))
+	if err := s.WriteCheckpoint(&Checkpoint{Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, resolveEv(1, 2, [][]int{{0, 1}}))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, _ := NewDirFS(dir)
+	s2, rec2, err := Open(fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec2.Checkpoint == nil || rec2.Checkpoint.Seq != 2 {
+		t.Fatalf("checkpoint lost: %+v", rec2.Checkpoint)
+	}
+	// Events 1 and 2 are under the checkpoint; 3 (answer) and 4
+	// (resolve) replay on top.
+	if len(rec2.Events) != 2 || rec2.Events[0].Seq != 3 || rec2.Events[1].Type != EventResolve {
+		t.Fatalf("events = %+v", rec2.Events)
+	}
+	if got := rec2.Events[1].Resolve.Clusters; !reflect.DeepEqual(got, [][]int{{0, 1}}) {
+		t.Errorf("resolve payload = %v", got)
+	}
+}
+
+func TestParseName(t *testing.T) {
+	for _, c := range []struct {
+		name   string
+		prefix string
+		suffix string
+		seq    int64
+		ok     bool
+	}{
+		{segName(7), segPrefix, segSuffix, 7, true},
+		{snapName(12), snapPrefix, snapSuffix, 12, true},
+		{"wal-.log", segPrefix, segSuffix, 0, false},
+		{"wal-12.log.tmp", segPrefix, segSuffix, 0, false},
+		{"snap-x.json", snapPrefix, snapSuffix, 0, false},
+		{"other.txt", segPrefix, segSuffix, 0, false},
+	} {
+		seq, ok := parseName(c.name, c.prefix, c.suffix)
+		if ok != c.ok || (ok && seq != c.seq) {
+			t.Errorf("parseName(%q) = (%d, %v), want (%d, %v)", c.name, seq, ok, c.seq, c.ok)
+		}
+	}
+}
