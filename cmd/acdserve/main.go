@@ -215,7 +215,11 @@ func (s *server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	pending := s.eng.PendingPairs()
 	s.mu.Unlock()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		// A mid-batch journal failure leaves a durable prefix applied;
+		// tell the client exactly which records made it in.
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error": err.Error(), "committed_ids": ids,
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "pending_pairs": pending})
@@ -235,10 +239,21 @@ func (s *server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Validate the whole batch up front: a 400 means nothing was applied.
+	for i, a := range body.Answers {
+		if err := s.eng.ValidateAnswer(a.Lo, a.Hi, a.FC); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("answer %d: %v", i, err))
+			return
+		}
+	}
 	accepted := 0
 	for i, a := range body.Answers {
 		if err := s.eng.AddAnswer(a.Lo, a.Hi, a.FC, a.Source); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("answer %d: %v", i, err))
+			// Validation passed, so this is a journal failure; the first
+			// `accepted` answers are already durable.
+			writeJSON(w, http.StatusInternalServerError, map[string]any{
+				"error": fmt.Sprintf("answer %d: %v", i, err), "committed": accepted,
+			})
 			return
 		}
 		accepted++

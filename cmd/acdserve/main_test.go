@@ -126,6 +126,16 @@ func TestServeRestart(t *testing.T) {
 	if code, _ = call(t, http.MethodPost, ts.base+"/answers", `{"answers":[{"lo":9,"hi":4,"fc":2}]}`); code != http.StatusBadRequest {
 		t.Errorf("bad answer = %d, want 400", code)
 	}
+	// A batch with a valid entry followed by an invalid one is rejected
+	// whole: the valid prefix must NOT be applied.
+	_, m = call(t, http.MethodPost, ts.base+"/answers", `{"answers":[]}`)
+	knownBefore := m["known"].(float64)
+	if code, _ = call(t, http.MethodPost, ts.base+"/answers", `{"answers":[{"lo":0,"hi":4,"fc":1},{"lo":9,"hi":4,"fc":2}]}`); code != http.StatusBadRequest {
+		t.Errorf("mixed answer batch = %d, want 400", code)
+	}
+	if _, m = call(t, http.MethodPost, ts.base+"/answers", `{"answers":[]}`); m["known"].(float64) != knownBefore {
+		t.Errorf("mixed batch partially applied: known %v -> %v", knownBefore, m["known"])
+	}
 	if code, m = call(t, http.MethodGet, ts.base+"/healthz", ""); code != http.StatusOK || m["status"] != "ok" {
 		t.Errorf("GET /healthz: %d %v", code, m)
 	}

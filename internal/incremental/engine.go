@@ -187,16 +187,26 @@ func (e *Engine) Add(recs ...Record) ([]int, error) {
 	return ids, nil
 }
 
-// AddAnswer feeds an externally-obtained crowd answer into the engine
-// cache, so future resolves get it for free. The first answer for a
-// pair wins; re-adding a known pair is a silent no-op (idempotent
-// replay). Source labels provenance; "" means crowd.DefaultSource.
-func (e *Engine) AddAnswer(lo, hi int, fc float64, source string) error {
+// ValidateAnswer checks whether (lo,hi,fc) is an answer AddAnswer would
+// accept, without changing any state. Callers with a batch of answers
+// validate the whole batch first so a rejection leaves nothing applied.
+func (e *Engine) ValidateAnswer(lo, hi int, fc float64) error {
 	if lo < 0 || lo >= hi || hi >= len(e.records) {
 		return fmt.Errorf("incremental: answer pair (%d,%d) outside the record universe [0,%d)", lo, hi, len(e.records))
 	}
 	if math.IsNaN(fc) || math.IsInf(fc, 0) || fc < 0 || fc > 1 {
 		return fmt.Errorf("incremental: answer fc %v outside [0,1]", fc)
+	}
+	return nil
+}
+
+// AddAnswer feeds an externally-obtained crowd answer into the engine
+// cache, so future resolves get it for free. The first answer for a
+// pair wins; re-adding a known pair is a silent no-op (idempotent
+// replay). Source labels provenance; "" means crowd.DefaultSource.
+func (e *Engine) AddAnswer(lo, hi int, fc float64, source string) error {
+	if err := e.ValidateAnswer(lo, hi, fc); err != nil {
+		return err
 	}
 	p := record.MakePair(record.ID(lo), record.ID(hi))
 	if _, known := e.answers[p]; known {

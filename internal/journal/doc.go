@@ -14,11 +14,17 @@
 //	                     answer cache, index stats) written atomically
 //	                     via tmp + fsync + rename
 //
-// Recovery loads the newest readable checkpoint, then replays every
+// Recovery loads the newest checkpoint (older snapshots are superseded
+// garbage awaiting compaction and are never read), then replays every
 // event with a sequence number above it, in order. A torn final line in
-// the newest segment — the signature of a crash mid-append — is
-// tolerated and dropped; corruption anywhere else is an error, because
-// it means lost history rather than a lost tail.
+// any segment — the signature of a crash mid-append, which can only
+// happen at the then-live segment's tail — is tolerated and dropped;
+// the dropped sequence number is reused by the next segment, and replay
+// insists on gapless sequence numbers, so corruption of a durable event
+// is still an error: that means lost history rather than a lost tail.
+// Directory entries are fsynced after a segment is created and after a
+// checkpoint is renamed into place (before the WAL it covers is
+// deleted), so an acknowledged append cannot vanish with its file.
 //
 // All I/O goes through the FS interface; DirFS is the real
 // implementation, MemFS the in-memory one tests use to simulate crashes

@@ -33,6 +33,12 @@ type FS interface {
 	Rename(oldname, newname string) error
 	// Remove deletes a file.
 	Remove(name string) error
+	// SyncDir flushes the directory itself to stable storage, making
+	// preceding Create/Rename/Remove entry changes durable. The journal
+	// calls it after creating a segment (before any append is acked) and
+	// after installing a checkpoint (before compaction deletes the WAL
+	// it covers).
+	SyncDir() error
 }
 
 // DirFS is the production FS: a real directory on disk. Renames are
@@ -88,6 +94,19 @@ func (d DirFS) Remove(name string) error {
 	return os.Remove(filepath.Join(d.Dir, name))
 }
 
+// SyncDir implements FS by fsyncing the directory file descriptor.
+func (d DirFS) SyncDir() error {
+	f, err := os.Open(d.Dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // MemFS is an in-memory FS for tests. It distinguishes written bytes
 // from synced bytes: a "crash" (CrashCopy) keeps only what was synced,
 // which is exactly the durability contract the journal relies on.
@@ -96,6 +115,7 @@ type MemFS struct {
 	files  map[string][]byte // synced content
 	dirty  map[string][]byte // written-but-unsynced tail, per open file
 	failAt int               // countdown to injected write failure; 0 = off
+	ops    []string          // directory-op trace for fsync-discipline tests
 }
 
 // NewMemFS returns an empty in-memory filesystem.
@@ -117,6 +137,7 @@ func (m *MemFS) Create(name string) (File, error) {
 	defer m.mu.Unlock()
 	m.files[name] = nil
 	m.dirty[name] = nil
+	m.ops = append(m.ops, "create "+name)
 	return &memFile{fs: m, name: name}, nil
 }
 
@@ -155,6 +176,7 @@ func (m *MemFS) Rename(oldname, newname string) error {
 	m.files[newname] = append(content, m.dirty[oldname]...)
 	delete(m.files, oldname)
 	delete(m.dirty, oldname)
+	m.ops = append(m.ops, "rename "+oldname+" "+newname)
 	return nil
 }
 
@@ -167,7 +189,27 @@ func (m *MemFS) Remove(name string) error {
 	}
 	delete(m.files, name)
 	delete(m.dirty, name)
+	m.ops = append(m.ops, "remove "+name)
 	return nil
+}
+
+// SyncDir implements FS. The in-memory tree has no page cache for
+// directory entries, so this only records the barrier for Ops().
+func (m *MemFS) SyncDir() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ops = append(m.ops, "syncdir")
+	return nil
+}
+
+// Ops returns the trace of directory operations (create/rename/remove/
+// syncdir) in execution order. Tests use it to assert the journal's
+// fsync discipline — e.g. that a checkpoint rename is followed by a
+// syncdir before any covered segment is removed.
+func (m *MemFS) Ops() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.ops...)
 }
 
 // Bytes returns the synced content of a file (what would survive a

@@ -102,8 +102,10 @@ type Store struct {
 // Open recovers the journal in fs and opens a fresh WAL segment for
 // appending. The returned Recovered holds everything needed to rebuild
 // state: newest checkpoint plus post-checkpoint events. A torn final
-// line in the newest segment is dropped (crash mid-append); any other
-// malformed content is an error.
+// line in any segment is dropped (crash mid-append — appends only ever
+// tear at the live segment's tail, and recovery leaves the torn bytes
+// behind when it opens the next segment); any other malformed content
+// is an error.
 func Open(fs FS) (*Store, Recovered, error) {
 	var rec Recovered
 	names, err := fs.List()
@@ -111,26 +113,31 @@ func Open(fs FS) (*Store, Recovered, error) {
 		return nil, rec, fmt.Errorf("journal: listing dir: %w", err)
 	}
 
-	// Newest readable checkpoint wins. Leftover .tmp files (crash before
-	// rename) are ignored entirely.
+	// Only the newest checkpoint is read: older snapshots are superseded
+	// garbage awaiting compaction and never consulted, so their
+	// corruption cannot block recovery. A corrupt newest checkpoint is
+	// fatal — it was the durable state. Leftover .tmp files (crash
+	// before rename) are ignored entirely.
 	snapSeq := int64(-1)
+	snapFile := ""
 	for _, n := range names {
-		seq, ok := parseName(n, snapPrefix, snapSuffix)
-		if !ok || seq <= snapSeq {
-			continue
+		if seq, ok := parseName(n, snapPrefix, snapSuffix); ok && seq > snapSeq {
+			snapSeq, snapFile = seq, n
 		}
-		b, err := fs.ReadFile(n)
+	}
+	if snapFile != "" {
+		b, err := fs.ReadFile(snapFile)
 		if err != nil {
-			return nil, rec, fmt.Errorf("journal: reading %s: %w", n, err)
+			return nil, rec, fmt.Errorf("journal: reading %s: %w", snapFile, err)
 		}
 		cp := new(Checkpoint)
 		if err := json.Unmarshal(b, cp); err != nil {
-			return nil, rec, fmt.Errorf("journal: corrupt checkpoint %s: %w", n, err)
+			return nil, rec, fmt.Errorf("journal: corrupt checkpoint %s: %w", snapFile, err)
 		}
-		if cp.Seq != seq {
-			return nil, rec, fmt.Errorf("journal: checkpoint %s claims seq %d", n, cp.Seq)
+		if cp.Seq != snapSeq {
+			return nil, rec, fmt.Errorf("journal: checkpoint %s claims seq %d", snapFile, cp.Seq)
 		}
-		rec.Checkpoint, snapSeq = cp, seq
+		rec.Checkpoint = cp
 	}
 
 	// Replay segments in order, keeping events past the checkpoint.
@@ -141,7 +148,10 @@ func Open(fs FS) (*Store, Recovered, error) {
 		}
 	}
 	lastSeq := snapSeq
-	for si, n := range segs {
+	if lastSeq < 0 {
+		lastSeq = 0 // no checkpoint: replay starts at seq 1
+	}
+	for _, n := range segs {
 		b, err := fs.ReadFile(n)
 		if err != nil {
 			return nil, rec, fmt.Errorf("journal: reading %s: %w", n, err)
@@ -153,8 +163,11 @@ func Open(fs FS) (*Store, Recovered, error) {
 			}
 			var ev Event
 			if err := json.Unmarshal(line, &ev); err != nil {
-				// Only the final line of the final segment may be torn.
-				if si == len(segs)-1 && li == len(lines)-1 {
+				// An unparseable final line is a torn tail. The dropped
+				// event's seq is reassigned to the next segment's first
+				// event, so the contiguity check below still catches a
+				// lost durable event.
+				if li == len(lines)-1 {
 					break
 				}
 				return nil, rec, fmt.Errorf("journal: corrupt event at %s line %d: %w", n, li+1, err)
@@ -162,8 +175,8 @@ func Open(fs FS) (*Store, Recovered, error) {
 			if ev.Seq <= snapSeq {
 				continue // compacted into the checkpoint already
 			}
-			if ev.Seq <= lastSeq {
-				return nil, rec, fmt.Errorf("journal: non-monotonic seq %d after %d in %s", ev.Seq, lastSeq, n)
+			if ev.Seq != lastSeq+1 {
+				return nil, rec, fmt.Errorf("journal: sequence gap: event %d after %d in %s", ev.Seq, lastSeq, n)
 			}
 			lastSeq = ev.Seq
 			rec.Events = append(rec.Events, ev)
@@ -177,6 +190,13 @@ func Open(fs FS) (*Store, Recovered, error) {
 	s.curName = segName(s.nextSeq)
 	if s.cur, err = fs.Create(s.curName); err != nil {
 		return nil, rec, fmt.Errorf("journal: opening segment: %w", err)
+	}
+	// The segment's directory entry must be durable before any append
+	// is acknowledged: without this, a power loss could drop the whole
+	// file even though every event in it was fsynced.
+	if err := fs.SyncDir(); err != nil {
+		s.cur.Close()
+		return nil, rec, fmt.Errorf("journal: syncing dir after segment create: %w", err)
 	}
 	return s, rec, nil
 }
@@ -239,6 +259,12 @@ func (s *Store) WriteCheckpoint(cp *Checkpoint) error {
 	if err := s.fs.Rename(tmp, final); err != nil {
 		return fmt.Errorf("journal: installing checkpoint: %w", err)
 	}
+	// Make the rename durable before compact deletes the WAL segments
+	// the checkpoint covers — otherwise a power loss could lose both the
+	// checkpoint (un-synced dir entry) and the events it replaced.
+	if err := s.fs.SyncDir(); err != nil {
+		return fmt.Errorf("journal: syncing dir after checkpoint install: %w", err)
+	}
 	s.compact(cp.Seq)
 	return nil
 }
@@ -273,6 +299,7 @@ func (s *Store) compact(seq int64) {
 			s.fs.Remove(segNames[i])
 		}
 	}
+	s.fs.SyncDir() // removals are garbage collection; durability is best-effort
 }
 
 // Sync forces the current segment to stable storage. Appends already

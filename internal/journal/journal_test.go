@@ -227,13 +227,110 @@ func TestCorruptMiddleRejected(t *testing.T) {
 		t.Fatal("mid-file corruption accepted")
 	}
 
-	// Same garbage in an EARLIER segment is also fatal, even as its last
-	// line: only the newest segment may have a torn tail.
+	// A torn tail in an earlier segment is tolerated per se — but here
+	// the next segment does NOT resume at the dropped seq (2), so the
+	// contiguity check flags the lost durable event.
 	crash2 := NewMemFS()
 	crash2.Put(segName(1), append(append([]byte(nil), lines[0]...), []byte("{garbage")...))
 	crash2.Put(segName(5), lines[2])
-	if _, _, err := Open(crash2); err == nil {
-		t.Fatal("earlier-segment corruption accepted")
+	if _, _, err := Open(crash2); err == nil || !strings.Contains(err.Error(), "sequence gap") {
+		t.Fatalf("lost durable event not flagged as gap: %v", err)
+	}
+
+	// Complete events with a hole between them (a durable event lost to
+	// bit rot or manual deletion) are equally fatal.
+	crash3 := NewMemFS()
+	crash3.Put(segName(1), append(append([]byte(nil), lines[0]...), lines[2]...))
+	if _, _, err := Open(crash3); err == nil || !strings.Contains(err.Error(), "sequence gap") {
+		t.Fatalf("mid-journal seq hole not flagged as gap: %v", err)
+	}
+}
+
+// TestTornTailDoubleCrash is the brick-avoidance regression: a crash
+// leaves a torn tail, recovery opens a new segment and appends, and a
+// SECOND crash (before any checkpoint compacts the torn segment) must
+// still recover — the torn bytes stay behind in the old segment, whose
+// dropped seq the new segment reuses.
+func TestTornTailDoubleCrash(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, recordEv(0), recordEv(1))
+	seg1 := s.curName
+	full := fs.Bytes(seg1)
+
+	// Crash 1: segment 1 holds events 1,2 and a torn half of event 3.
+	crash1 := NewMemFS()
+	crash1.Put(seg1, append(append([]byte(nil), full...), []byte(`{"seq":3,"ty`)...))
+	s2, rec1, err := Open(crash1)
+	if err != nil {
+		t.Fatalf("first recovery: %v", err)
+	}
+	if len(rec1.Events) != 2 || s2.NextSeq() != 3 {
+		t.Fatalf("first recovery: %d events, next seq %d", len(rec1.Events), s2.NextSeq())
+	}
+	mustAppend(t, s2, recordEv(2), recordEv(3)) // seqs 3,4 in segment wal-3
+
+	// Crash 2: torn tail in the NEW segment too, old torn segment still
+	// in place (no checkpoint ran).
+	seg2 := s2.curName
+	if seg2 == seg1 {
+		t.Fatalf("recovery reused segment %s", seg1)
+	}
+	crash2 := NewMemFS()
+	crash2.Put(seg1, crash1.Bytes(seg1))
+	full2 := crash1.Bytes(seg2)
+	crash2.Put(seg2, full2[:len(full2)-4]) // tear event 4 mid-line
+	s3, rec2, err := Open(crash2)
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	defer s3.Close()
+	if len(rec2.Events) != 3 || rec2.Events[2].Seq != 3 || s3.NextSeq() != 4 {
+		t.Fatalf("second recovery: %+v, next seq %d", rec2.Events, s3.NextSeq())
+	}
+}
+
+// TestSyncDirDiscipline asserts the directory-entry durability
+// barriers: a new segment's create is followed by a syncdir before any
+// append, and a checkpoint's rename is followed by a syncdir before
+// compaction removes the segments it covers.
+func TestSyncDirDiscipline(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := fs.Ops()
+	if len(ops) < 2 || ops[0] != "create "+s.curName || ops[1] != "syncdir" {
+		t.Fatalf("segment create not followed by syncdir: %v", ops)
+	}
+	mustAppend(t, s, recordEv(0), recordEv(1))
+	s.Close()
+	s, _, _ = Open(fs) // old segment now compactable
+	if err := s.WriteCheckpoint(&Checkpoint{Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	renameAt, syncAt, removeAt := -1, -1, -1
+	for i, op := range fs.Ops() {
+		switch {
+		case strings.HasPrefix(op, "rename ") && strings.Contains(op, snapName(2)+tmpSuffix):
+			renameAt = i
+		case op == "syncdir" && renameAt >= 0 && syncAt < 0:
+			syncAt = i
+		case strings.HasPrefix(op, "remove "+segPrefix) && removeAt < 0:
+			removeAt = i
+		}
+	}
+	if renameAt < 0 || removeAt < 0 {
+		t.Fatalf("checkpoint install or compaction missing from ops: %v", fs.Ops())
+	}
+	if !(renameAt < syncAt && syncAt < removeAt) {
+		t.Fatalf("segment removed without a syncdir after checkpoint rename (rename@%d sync@%d remove@%d): %v",
+			renameAt, syncAt, removeAt, fs.Ops())
 	}
 }
 
@@ -254,7 +351,18 @@ func TestCorruptTmpTolerated(t *testing.T) {
 		t.Errorf("recovered %+v", rec.Checkpoint)
 	}
 
-	// A corrupt INSTALLED checkpoint is fatal: it was the durable state.
+	// A corrupt OLDER snapshot (superseded, awaiting compaction) is
+	// never read: the newest checkpoint still wins.
+	fs.Put(snapName(0), []byte("{not json"))
+	_, rec, err = Open(fs)
+	if err != nil {
+		t.Fatalf("corrupt superseded snapshot broke recovery: %v", err)
+	}
+	if rec.Checkpoint == nil || rec.Checkpoint.Seq != 1 {
+		t.Errorf("recovered %+v with stale corrupt snapshot present", rec.Checkpoint)
+	}
+
+	// A corrupt NEWEST checkpoint is fatal: it was the durable state.
 	fs.Put(snapName(9), []byte("{half a checkpoi"))
 	if _, _, err := Open(fs); err == nil {
 		t.Fatal("corrupt installed checkpoint accepted")
