@@ -1,14 +1,18 @@
-// Command acdserve exposes the incremental dedup engine over HTTP: a
-// long-running service that accepts records as they arrive, caches
-// crowd answers, and folds pending work into the live clustering on
-// demand. With -journal DIR the engine state is durable — every record,
-// answer, and resolve effect is written ahead to a WAL with periodic
-// compacted checkpoints, and a restarted server recovers the exact
-// clustering it had before the crash.
+// Command acdserve exposes the sharded incremental dedup engine over
+// HTTP: a long-running service that accepts records as they arrive,
+// caches crowd answers, and folds pending work into the live clustering
+// on demand. Records are partitioned across -shards engines by blocking
+// token, so ingest on different shards never contends; a global resolve
+// pass keeps the clustering — and every crowd question — identical to a
+// single engine's. With -journal DIR the state is durable: every
+// record, answer, and resolve effect is written ahead to per-shard WALs
+// (plus a router WAL for cross-shard state) with periodic compacted
+// checkpoints, and a restarted server recovers the exact clustering it
+// had before the crash.
 //
 // Usage:
 //
-//	acdserve [-addr 127.0.0.1:8080] [-journal DIR] [-tau 0.3]
+//	acdserve [-addr 127.0.0.1:8080] [-journal DIR] [-shards N] [-tau 0.3]
 //	         [-eps 0.1] [-x 8] [-seed 1] [-checkpoint-every N]
 //	         [-metrics] [-metrics-json] [-trace FILE] [-metrics-http ADDR]
 //
@@ -21,11 +25,14 @@
 //	GET  /healthz  -> {"status":"ok","records":n,"round":r}
 //	GET  /metrics  -> observability snapshot (JSON)
 //
+// GET /clusters and GET /healthz are served from an immutable snapshot
+// behind an atomic pointer: reads never take a write lock and return
+// immediately even while a resolve pass or an ingest burst is running.
 // Crowd answers are optional: /resolve primes every cached answer and
 // falls back to machine similarity scores for residual pairs, so the
 // service is useful standalone and gets strictly better as answers
 // stream in. On SIGINT/SIGTERM the server drains in-flight requests,
-// writes a final checkpoint, and closes the journal.
+// writes a final checkpoint, and closes the journals.
 package main
 
 import (
@@ -39,7 +46,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sync"
 	"syscall"
 	"time"
 
@@ -49,6 +55,7 @@ import (
 	"acd/internal/obs"
 	"acd/internal/pruning"
 	"acd/internal/refine"
+	"acd/internal/shard"
 )
 
 func main() {
@@ -57,7 +64,7 @@ func main() {
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil))
 }
 
-// run is main's testable seam: it parses args, builds the engine
+// run is main's testable seam: it parses args, builds the shard group
 // (recovering from the journal when one is configured), serves HTTP
 // until ctx is cancelled, then shuts down gracefully. When ready is
 // non-nil the bound listen address is sent on it once the server
@@ -68,6 +75,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
 	dir := fs.String("journal", "", "journal directory for durable state (empty = volatile, in-memory only)")
+	shards := fs.Int("shards", 0, "shard count for the online engine (0 = what the journal has, or 1; an existing journal pins its count)")
 	tau := fs.Float64("tau", pruning.DefaultTau, "candidate threshold for the incremental blocking index")
 	eps := fs.Float64("eps", core.DefaultEpsilon, "PC-Pivot wasted-pair budget")
 	x := fs.Int("x", refine.DefaultX, "refinement budget divisor (T = N_m/x)")
@@ -88,31 +96,40 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		defer obsFlags.Finish(stderr)
 	}
 
-	cfg := incremental.Config{
-		Tau: *tau, TauSet: true,
-		Epsilon: *eps, RefineX: *x,
-		Seed: *seed, Obs: rec,
-		CheckpointEvery: *ckpt,
+	cfg := shard.Config{
+		Shards: *shards,
+		Engine: incremental.Config{
+			Tau: *tau, TauSet: true,
+			Epsilon: *eps, RefineX: *x,
+			Seed: *seed, Obs: rec,
+			CheckpointEvery: *ckpt,
+		},
 	}
-	var eng *incremental.Engine
+	var group *shard.Group
 	if *dir != "" {
-		dfs, err := journal.NewDirFS(*dir)
+		tree, err := journal.NewDirTree(*dir)
 		if err != nil {
 			fmt.Fprintf(stderr, "acdserve: %v\n", err)
 			return 1
 		}
-		eng, err = incremental.Open(cfg, dfs)
+		group, err = shard.Open(cfg, tree)
 		if err != nil {
 			fmt.Fprintf(stderr, "acdserve: recovering journal: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(stderr, "acdserve: journal %s: recovered %d records, round %d\n",
-			*dir, eng.Len(), eng.Round())
+		snap := group.Snapshot()
+		fmt.Fprintf(stderr, "acdserve: journal %s (%d shards): recovered %d records, round %d\n",
+			*dir, group.Shards(), snap.Records, snap.Round)
 	} else {
-		eng = incremental.New(cfg)
+		var err error
+		group, err = shard.New(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "acdserve: %v\n", err)
+			return 1
+		}
 	}
 
-	srv := &server{eng: eng}
+	srv := &server{group: group}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/records", srv.handleRecords)
 	mux.HandleFunc("/answers", srv.handleAnswers)
@@ -124,11 +141,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "acdserve: %v\n", err)
-		eng.Close()
+		group.Close()
 		return 1
 	}
 	httpSrv := &http.Server{Handler: mux}
-	fmt.Fprintf(stderr, "acdserve: listening on http://%s\n", ln.Addr())
+	fmt.Fprintf(stderr, "acdserve: listening on http://%s (%d shards)\n", ln.Addr(), group.Shards())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -151,29 +168,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		<-serveErr // Serve has returned http.ErrServerClosed
 	}
 
-	// Drained: checkpoint so the next start replays a compact journal,
-	// then release it.
-	srv.mu.Lock()
-	if err := eng.Checkpoint(); err != nil {
+	// Drained: checkpoint every journal so the next start replays a
+	// compact prefix, then release them.
+	if err := group.Checkpoint(); err != nil {
 		fmt.Fprintf(stderr, "acdserve: final checkpoint: %v\n", err)
 		status = 1
 	}
-	if err := eng.Close(); err != nil {
+	final := group.Snapshot()
+	if err := group.Close(); err != nil {
 		fmt.Fprintf(stderr, "acdserve: closing journal: %v\n", err)
 		status = 1
 	}
-	srv.mu.Unlock()
-	fmt.Fprintf(stdout, "acdserve: stopped after %d records, round %d\n", eng.Len(), eng.Round())
+	fmt.Fprintf(stdout, "acdserve: stopped after %d records, round %d\n", final.Records, final.Round)
 	return status
 }
 
-// server wires the HTTP handlers to one engine. The engine is not
-// concurrency-safe, so a mutex serializes every touch; resolve passes
-// hold it for their full duration and other requests queue behind them
-// (cancel a stuck resolve by cancelling its request).
+// server wires the HTTP handlers to the shard group. The group is
+// internally synchronized: writes route through per-shard queues and
+// reads load the immutable snapshot pointer, so the server itself
+// holds no lock anywhere.
 type server struct {
-	mu  sync.Mutex
-	eng *incremental.Engine
+	group *shard.Group
 }
 
 // recordPayload is one record in a POST /records body.
@@ -210,10 +225,7 @@ func (s *server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	for i, p := range body.Records {
 		recs[i] = incremental.Record{Fields: p.Fields, Entity: p.Entity}
 	}
-	s.mu.Lock()
-	ids, err := s.eng.Add(recs...)
-	pending := s.eng.PendingPairs()
-	s.mu.Unlock()
+	ids, err := s.group.Add(recs...)
 	if err != nil {
 		// A mid-batch journal failure leaves a durable prefix applied;
 		// tell the client exactly which records made it in.
@@ -222,7 +234,7 @@ func (s *server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "pending_pairs": pending})
+	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "pending_pairs": s.group.Snapshot().PendingPairs})
 }
 
 func (s *server) handleAnswers(w http.ResponseWriter, r *http.Request) {
@@ -237,18 +249,18 @@ func (s *server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Validate the whole batch up front: a 400 means nothing was applied.
+	// Validate the whole batch up front: a 400 means nothing was
+	// applied. Records are never removed, so a validated answer cannot
+	// become invalid before it is applied below.
 	for i, a := range body.Answers {
-		if err := s.eng.ValidateAnswer(a.Lo, a.Hi, a.FC); err != nil {
+		if err := s.group.ValidateAnswer(a.Lo, a.Hi, a.FC); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("answer %d: %v", i, err))
 			return
 		}
 	}
 	accepted := 0
 	for i, a := range body.Answers {
-		if err := s.eng.AddAnswer(a.Lo, a.Hi, a.FC, a.Source); err != nil {
+		if err := s.group.AddAnswer(a.Lo, a.Hi, a.FC, a.Source); err != nil {
 			// Validation passed, so this is a journal failure; the first
 			// `accepted` answers are already durable.
 			writeJSON(w, http.StatusInternalServerError, map[string]any{
@@ -258,7 +270,7 @@ func (s *server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		}
 		accepted++
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"accepted": accepted, "known": s.eng.AnswerCount()})
+	writeJSON(w, http.StatusOK, map[string]any{"accepted": accepted, "known": s.group.Snapshot().Answers})
 }
 
 func (s *server) handleResolve(w http.ResponseWriter, r *http.Request) {
@@ -266,9 +278,7 @@ func (s *server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	s.mu.Lock()
-	st, err := s.eng.Resolve(r.Context())
-	s.mu.Unlock()
+	st, err := s.group.Resolve(r.Context())
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -285,27 +295,25 @@ func (s *server) handleClusters(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.Lock()
-	resp := map[string]any{
-		"round":          s.eng.Round(),
-		"resolved_up_to": s.eng.ResolvedUpTo(),
-		"records":        s.eng.Len(),
-		"clusters":       s.eng.Clusters(),
-	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
+	snap := s.group.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"round":          snap.Round,
+		"resolved_up_to": snap.ResolvedUpTo,
+		"records":        snap.Records,
+		"shards":         snap.Shards,
+		"clusters":       snap.Clusters,
+	})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	resp := map[string]any{
+	snap := s.group.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"records": s.eng.Len(),
-		"round":   s.eng.Round(),
-		"pending": s.eng.PendingPairs(),
-	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, resp)
+		"records": snap.Records,
+		"round":   snap.Round,
+		"pending": snap.PendingPairs,
+		"shards":  snap.Shards,
+	})
 }
 
 // writeJSON writes v as the JSON response body with the given status.

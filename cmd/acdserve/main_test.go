@@ -6,9 +6,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -87,17 +91,25 @@ func recordsBody(texts ...string) string {
 	return `{"records":[` + strings.Join(recs, ",") + `]}`
 }
 
-// TestServeRestart is the end-to-end smoke: a journaled server ingests
-// records and answers, resolves, is stopped gracefully, and a second
-// server over the same journal directory recovers the identical
-// clustering and keeps working. Also checks no goroutines leak across
-// the full lifecycle.
+// TestServeRestart is the end-to-end smoke, run at several shard
+// counts: a journaled server ingests records and answers, resolves, is
+// stopped gracefully, and a second server over the same journal
+// directory recovers the identical clustering and keeps working. Also
+// checks no goroutines leak across the full lifecycle.
 func TestServeRestart(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("%dshards", shards), func(t *testing.T) {
+			testServeRestart(t, shards)
+		})
+	}
+}
+
+func testServeRestart(t *testing.T, shards int) {
 	runtime.GC()
 	baseline := runtime.NumGoroutine()
 	dir := t.TempDir()
 
-	ts := startServer(t, "-journal", dir, "-seed", "3", "-checkpoint-every", "0")
+	ts := startServer(t, "-journal", dir, "-seed", "3", "-checkpoint-every", "0", "-shards", fmt.Sprint(shards))
 	code, m := call(t, http.MethodPost, ts.base+"/records", recordsBody(
 		"golden dragon palace chinese broadway",
 		"golden dragon palace chinese broadway ave",
@@ -146,7 +158,8 @@ func TestServeRestart(t *testing.T) {
 		t.Fatalf("first server exit code %d; stderr:\n%s", ec, ts.errb.String())
 	}
 
-	// Restart over the same journal: state survives byte-for-byte.
+	// Restart over the same journal without -shards: the pinned count
+	// is adopted and state survives byte-for-byte.
 	ts2 := startServer(t, "-journal", dir, "-seed", "3", "-checkpoint-every", "0")
 	code, after := call(t, http.MethodGet, ts2.base+"/clusters", "")
 	if code != http.StatusOK || !reflect.DeepEqual(after, before) {
@@ -193,6 +206,149 @@ func TestServeRestart(t *testing.T) {
 	buf := make([]byte, 1<<16)
 	t.Errorf("goroutine leak: %d running, baseline %d\n%s",
 		runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+}
+
+// copyTree copies a journal directory tree (one level of
+// subdirectories, as the sharded layout uses) byte by byte. Copying
+// while a server is appending yields some prefix of each file —
+// exactly the disk image a hard kill at that moment could leave.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		from, to := filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())
+		if e.IsDir() {
+			if err := os.MkdirAll(to, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			copyTree(t, from, to)
+			continue
+		}
+		b, err := os.ReadFile(from)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(to, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRestartUnderLoad snapshots the journal directory while writers
+// are streaming records into a 3-shard server — the moral equivalent of
+// kill -9 between a record's ack and the next checkpoint — and starts a
+// second server from the copy. Every record acknowledged before the
+// copy began must be recovered (acks follow the WAL fsync), the
+// recovered clustering must be a consistent partition, and the
+// recovered server must keep working.
+func TestRestartUnderLoad(t *testing.T) {
+	dir, dir2 := t.TempDir(), t.TempDir()
+	ts := startServer(t, "-journal", dir, "-seed", "3", "-checkpoint-every", "0", "-shards", "3")
+
+	code, m := call(t, http.MethodPost, ts.base+"/records", recordsBody(
+		"golden dragon palace chinese broadway",
+		"golden dragon palace chinese broadway ave",
+		"chez olive bistro french sunset blvd",
+		"chez olive bistro french sunset",
+		"harbor seafood grill market st",
+	))
+	if code != http.StatusOK || len(m["ids"].([]any)) != 5 {
+		t.Fatalf("POST /records: %d %v", code, m)
+	}
+	if code, m = call(t, http.MethodPost, ts.base+"/resolve", ""); code != http.StatusOK {
+		t.Fatalf("POST /resolve: %d %v", code, m)
+	}
+
+	// Writers stream records (records only — record appends are the one
+	// event class with no cross-journal dependencies, so any per-shard
+	// prefix combination the copy catches is a reachable crash image).
+	var acked atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				code, m := call(t, http.MethodPost, ts.base+"/records",
+					recordsBody(fmt.Sprintf("stream writer %d record %d unique tokens", w, i)))
+				if code != http.StatusOK {
+					t.Errorf("streamed POST /records: %d %v", code, m)
+					return
+				}
+				acked.Add(1)
+			}
+		}(w)
+	}
+
+	for acked.Load() < 20 { // let the stream actually overlap the copy
+		time.Sleep(time.Millisecond)
+	}
+	floor := 5 + int(acked.Load())
+	copyTree(t, dir, dir2)
+	close(stop)
+	wg.Wait()
+
+	// The copy is a crash image: bring it up while the original is
+	// still running and check the durable floor.
+	ts2 := startServer(t, "-journal", dir2, "-seed", "3", "-checkpoint-every", "0")
+	if !strings.Contains(ts2.errb.String(), "(3 shards): recovered") {
+		t.Errorf("recovery did not report the sharded layout; stderr:\n%s", ts2.errb.String())
+	}
+	code, m = call(t, http.MethodGet, ts2.base+"/clusters", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET /clusters: %d", code)
+	}
+	records := int(m["records"].(float64))
+	if records < floor {
+		t.Errorf("recovered %d records, but %d were acked before the copy", records, floor)
+	}
+	members := 0
+	for _, c := range m["clusters"].([]any) {
+		members += len(c.([]any))
+	}
+	if members != records {
+		t.Errorf("recovered clustering lists %d members over %d records", members, records)
+	}
+
+	// The recovered server keeps working.
+	if code, m = call(t, http.MethodPost, ts2.base+"/records", recordsBody("post crash record")); code != http.StatusOK {
+		t.Fatalf("POST /records after crash recovery: %d %v", code, m)
+	}
+	if code, m = call(t, http.MethodPost, ts2.base+"/resolve", ""); code != http.StatusOK {
+		t.Fatalf("POST /resolve after crash recovery: %d %v", code, m)
+	}
+	if ec := ts2.stop(); ec != 0 {
+		t.Fatalf("recovered server exit code %d; stderr:\n%s", ec, ts2.errb.String())
+	}
+	if ec := ts.stop(); ec != 0 {
+		t.Fatalf("original server exit code %d; stderr:\n%s", ec, ts.errb.String())
+	}
+}
+
+// TestReshardRefused: a journal directory pins its shard count; asking
+// for a different one must fail fast instead of scrambling the layout.
+func TestReshardRefused(t *testing.T) {
+	dir := t.TempDir()
+	ts := startServer(t, "-journal", dir, "-shards", "2")
+	if ec := ts.stop(); ec != 0 {
+		t.Fatalf("exit code %d; stderr:\n%s", ec, ts.errb.String())
+	}
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-journal", dir, "-shards", "3"}, &out, &errb, nil); code != 1 {
+		t.Fatalf("re-shard exit = %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "re-sharding") {
+		t.Errorf("re-shard error not surfaced; stderr:\n%s", errb.String())
+	}
 }
 
 // TestBadFlags: unknown flags exit 2 without touching the network.

@@ -11,6 +11,7 @@ import (
 	"acd/internal/obs"
 	"acd/internal/pruning"
 	"acd/internal/record"
+	"acd/internal/unionfind"
 )
 
 // Record is one input record for Engine.Add: raw fields plus an optional
@@ -21,6 +22,11 @@ type Record struct {
 	Fields map[string]string
 	// Entity is the optional ground-truth entity label ("" = unknown).
 	Entity string
+	// GID is the record's global id when the engine is one shard of a
+	// sharded group (the router assigns dense global ids across shards).
+	// Standalone engines leave it 0; it is journaled but never consulted
+	// by the engine itself.
+	GID int
 }
 
 // Config configures an Engine.
@@ -53,7 +59,11 @@ type Config struct {
 	CheckpointEvery int
 }
 
-func (c Config) effectiveTau() float64 {
+// EffectiveTau resolves the configured pruning threshold: Tau when set
+// (explicitly via TauSet or by being nonzero), pruning.DefaultTau
+// otherwise. The shard router uses it to build its global probe index
+// with exactly the threshold its shard engines use.
+func (c Config) EffectiveTau() float64 {
 	if c.TauSet || c.Tau != 0 {
 		return c.Tau
 	}
@@ -79,7 +89,7 @@ type Engine struct {
 	records []journal.RecordData
 	index   *blocking.IncrementalIndex
 	pending []blocking.ScoredPair // candidate pairs not yet covered by a resolve
-	uf      *unionFind
+	uf      *unionfind.Growable
 
 	round        int
 	resolvedUpTo int // records with id below this are clustered
@@ -93,12 +103,12 @@ type Engine struct {
 
 // New returns an engine with no journal: state lives only in memory.
 func New(cfg Config) *Engine {
-	tau := cfg.effectiveTau()
+	tau := cfg.EffectiveTau()
 	return &Engine{
 		cfg:       cfg,
 		tau:       tau,
 		index:     blocking.NewIncrementalIndex(tau),
-		uf:        &unionFind{},
+		uf:        &unionfind.Growable{},
 		answers:   make(map[record.Pair]float64),
 		answerSrc: make(map[record.Pair]string),
 	}
@@ -164,6 +174,19 @@ func (e *Engine) ResolvedUpTo() int { return e.resolvedUpTo }
 // resolve pass.
 func (e *Engine) PendingPairs() int { return len(e.pending) }
 
+// PendingScored returns a copy of the scored candidate pairs awaiting
+// the next resolve pass. The shard router gathers these (translated to
+// global ids) when assembling a global ResolveState.
+func (e *Engine) PendingScored() []blocking.ScoredPair {
+	return append([]blocking.ScoredPair(nil), e.pending...)
+}
+
+// AnsweredPairs returns a copy of every pair with a cached answer, in
+// first-cached order. Values are read back through Answer.
+func (e *Engine) AnsweredPairs() []record.Pair {
+	return append([]record.Pair(nil), e.answerOrder...)
+}
+
 // Record returns the stored form of record id.
 func (e *Engine) Record(id int) journal.RecordData { return e.records[id] }
 
@@ -173,7 +196,7 @@ func (e *Engine) Record(id int) journal.RecordData { return e.records[id] }
 func (e *Engine) Add(recs ...Record) ([]int, error) {
 	ids := make([]int, 0, len(recs))
 	for _, r := range recs {
-		data := journal.RecordData{ID: len(e.records), Fields: r.Fields, Entity: r.Entity}
+		data := journal.RecordData{ID: len(e.records), GID: r.GID, Fields: r.Fields, Entity: r.Entity}
 		if err := e.append(journal.Event{Type: journal.EventRecordAdded, Record: &data}); err != nil {
 			return ids, err
 		}
@@ -231,8 +254,8 @@ func (e *Engine) AnswerCount() int { return len(e.answers) }
 // form (members ascending, clusters by first member). Records added
 // since the last resolve appear as singletons.
 func (e *Engine) Clusters() [][]int {
-	e.uf.grow(len(e.records))
-	return e.uf.sets(len(e.records))
+	e.uf.Grow(len(e.records))
+	return e.uf.Sets(len(e.records))
 }
 
 // Snapshot captures the engine's full durable state as a checkpoint.
@@ -302,7 +325,7 @@ func (e *Engine) applyRecord(data journal.RecordData) {
 	e.records = append(e.records, data)
 	text := record.New(record.ID(data.ID), data.Fields).Text()
 	e.pending = append(e.pending, e.index.Add(text)...)
-	e.uf.grow(len(e.records))
+	e.uf.Grow(len(e.records))
 }
 
 // cacheAnswer stores a fresh answer, journaling it first when asked to
@@ -340,46 +363,47 @@ func (e *Engine) answerSource(p record.Pair) string {
 	return crowd.DefaultSource
 }
 
-// resolveSession builds the crowd session a resolve pass uses: the
-// configured source (or the machine fallback) wrapped so every fresh
-// answer is journaled and cached before the algorithms consume it.
-func (e *Engine) resolveSession(scores map[record.Pair]float64) (*crowd.Session, *journalingSource) {
+// newResolveSession builds the crowd session a resolve pass uses: the
+// configured source (or the machine fallback over the scoped scores)
+// wrapped so every fresh answer flows through the sink before the
+// algorithms consume it.
+func newResolveSession(cfg Config, scores map[record.Pair]float64, sink AnswerSink) (*crowd.Session, *sinkSource) {
 	var inner crowd.Source
 	label := ""
-	if e.cfg.Source != nil {
-		inner = e.cfg.Source
+	if cfg.Source != nil {
+		inner = cfg.Source
 	} else {
 		inner = machineSource{scores: scores}
 		label = SourceMachine
 	}
-	js := &journalingSource{engine: e, inner: inner, label: label}
-	sess := crowd.NewSession(js)
-	if e.cfg.Obs != nil {
-		sess.SetRecorder(e.cfg.Obs)
+	ss := &sinkSource{inner: inner, label: label, sink: sink}
+	sess := crowd.NewSession(ss)
+	if cfg.Obs != nil {
+		sess.SetRecorder(cfg.Obs)
 	}
-	return sess, js
+	return sess, ss
 }
 
 // SourceMachine is the provenance label for answers synthesized from
 // machine similarity scores (Config.Source == nil).
 const SourceMachine = "machine"
 
-// journalingSource wraps the configured crowd source so that every
-// oracle invocation is captured: the answer is journaled and cached in
-// the engine the moment it is produced, before the algorithm acts on
-// it. A crash after the answer but before the resolve effect therefore
-// recovers with the answer cached — and the next resolve primes it for
-// free, preserving questions_answered == oracle_invocations across
-// restarts.
-type journalingSource struct {
-	engine *Engine
-	inner  crowd.Source
-	label  string
-	err    error // first journal failure, surfaced after the pass
+// sinkSource wraps the configured crowd source so that every oracle
+// invocation is captured: the answer is pushed through the caller's
+// AnswerSink (which journals and caches it) the moment it is produced,
+// before the algorithm acts on it. A crash after the answer but before
+// the resolve effect therefore recovers with the answer cached — and
+// the next resolve primes it for free, preserving questions_answered ==
+// oracle_invocations across restarts.
+type sinkSource struct {
+	inner crowd.Source
+	label string
+	sink  AnswerSink
+	err   error // first sink failure, surfaced after the pass
 }
 
 // Score implements crowd.Source.
-func (j *journalingSource) Score(p record.Pair) float64 {
+func (j *sinkSource) Score(p record.Pair) float64 {
 	fc := j.inner.Score(p)
 	j.record(p, fc)
 	return fc
@@ -388,7 +412,7 @@ func (j *journalingSource) Score(p record.Pair) float64 {
 // ScoreBatch implements crowd.BatchSource, forwarding to the inner
 // source's batch path when it has one. Scores are identical either way;
 // batching only changes latency for live crowds.
-func (j *journalingSource) ScoreBatch(pairs []record.Pair) []float64 {
+func (j *sinkSource) ScoreBatch(pairs []record.Pair) []float64 {
 	var scores []float64
 	if bs, ok := j.inner.(crowd.BatchSource); ok {
 		scores = bs.ScoreBatch(pairs)
@@ -404,21 +428,21 @@ func (j *journalingSource) ScoreBatch(pairs []record.Pair) []float64 {
 	return scores
 }
 
-func (j *journalingSource) record(p record.Pair, fc float64) {
-	if _, known := j.engine.answers[p]; known {
-		return // the session never re-asks, but stay idempotent anyway
+func (j *sinkSource) record(p record.Pair, fc float64) {
+	if j.sink == nil {
+		return
 	}
-	if err := j.engine.cacheAnswer(p, fc, j.label, true); err != nil && j.err == nil {
+	if err := j.sink(p, fc, j.label); err != nil && j.err == nil {
 		j.err = err
 	}
 }
 
 // Config implements crowd.Source.
-func (j *journalingSource) Config() crowd.Config { return j.inner.Config() }
+func (j *sinkSource) Config() crowd.Config { return j.inner.Config() }
 
 // VoteCount implements crowd.VoteCounter so session vote accounting
 // matches a direct (unwrapped) run of the same source.
-func (j *journalingSource) VoteCount(p record.Pair) int {
+func (j *sinkSource) VoteCount(p record.Pair) int {
 	if vc, ok := j.inner.(crowd.VoteCounter); ok {
 		return vc.VoteCount(p)
 	}
@@ -427,14 +451,14 @@ func (j *journalingSource) VoteCount(p record.Pair) int {
 
 // SetRecorder implements crowd.RecorderSetter, pushing the session's
 // recorder down to the wrapped source.
-func (j *journalingSource) SetRecorder(rec *obs.Recorder) {
+func (j *sinkSource) SetRecorder(rec *obs.Recorder) {
 	if s, ok := j.inner.(crowd.RecorderSetter); ok {
 		s.SetRecorder(rec)
 	}
 }
 
 // Recorder implements crowd.RecorderCarrier.
-func (j *journalingSource) Recorder() *obs.Recorder {
+func (j *sinkSource) Recorder() *obs.Recorder {
 	if c, ok := j.inner.(crowd.RecorderCarrier); ok {
 		return c.Recorder()
 	}
@@ -454,8 +478,8 @@ func (m machineSource) Score(p record.Pair) float64 { return m.scores[p] }
 // Config implements crowd.Source.
 func (m machineSource) Config() crowd.Config { return crowd.ThreeWorker(0) }
 
-var _ crowd.BatchSource = (*journalingSource)(nil)
-var _ crowd.VoteCounter = (*journalingSource)(nil)
+var _ crowd.BatchSource = (*sinkSource)(nil)
+var _ crowd.VoteCounter = (*sinkSource)(nil)
 
 // Evaluate scores the engine's current clustering against the journaled
 // ground-truth entity labels (records with empty labels are each their
@@ -463,10 +487,10 @@ var _ crowd.VoteCounter = (*journalingSource)(nil)
 func (e *Engine) Evaluate() (precision, recall, f1 float64) {
 	var tp, fp, fn float64
 	n := len(e.records)
-	e.uf.grow(n)
+	e.uf.Grow(n)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			same := e.uf.same(i, j)
+			same := e.uf.Same(i, j)
 			ei, ej := e.records[i].Entity, e.records[j].Entity
 			truth := ei != "" && ei == ej
 			switch {

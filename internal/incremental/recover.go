@@ -6,6 +6,7 @@ import (
 	"acd/internal/blocking"
 	"acd/internal/journal"
 	"acd/internal/record"
+	"acd/internal/unionfind"
 )
 
 // applyCheckpoint installs a compacted snapshot: records re-feed the
@@ -90,8 +91,8 @@ func (e *Engine) applyEvent(ev journal.Event) error {
 // monotone (clusters only ever merge), so installing the latest
 // clustering loses nothing from earlier ones.
 func (e *Engine) applyClusters(clusters [][]int) error {
-	uf := &unionFind{}
-	uf.grow(len(e.records))
+	uf := &unionfind.Growable{}
+	uf.Grow(len(e.records))
 	for _, set := range clusters {
 		for _, m := range set {
 			if m < 0 || m >= len(e.records) {
@@ -99,7 +100,7 @@ func (e *Engine) applyClusters(clusters [][]int) error {
 			}
 		}
 		for _, m := range set[1:] {
-			uf.union(set[0], m)
+			uf.Union(set[0], m)
 		}
 	}
 	e.uf = uf

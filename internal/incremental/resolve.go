@@ -3,13 +3,16 @@ package incremental
 import (
 	"context"
 	"math/rand"
+	"sort"
 
+	"acd/internal/blocking"
 	"acd/internal/cluster"
 	"acd/internal/core"
 	"acd/internal/journal"
 	"acd/internal/pruning"
 	"acd/internal/record"
 	"acd/internal/refine"
+	"acd/internal/unionfind"
 )
 
 // ResolveStats reports what one resolve pass did and — more to the
@@ -42,25 +45,69 @@ type ResolveStats struct {
 	Clusters int
 }
 
-// Resolve folds all pending records into the clustering: candidate
-// pairs that transitive closure over resolved clusters can answer are
-// inferred for free, and only the residual flows through a scoped
-// PC-Pivot + PC-Refine pass seeded with the existing clustering. The
-// resulting merges are journaled as an effect (the full clustering)
-// before being applied, then pending state is cleared.
+// AnswerSink receives every fresh crowd answer the instant a resolve
+// pass obtains it, before the algorithms act on it — the WAL seam. The
+// engine's sink journals into its own store; the shard router's sink
+// routes each answer to the shard owning the pair (or to the router
+// journal for cross-shard pairs). Sinks must be idempotent: priming
+// guarantees the session never re-asks a cached pair, but a sink may
+// still see a pair it already knows.
+type AnswerSink func(p record.Pair, fc float64, source string) error
+
+// ResolveState is the complete input of one resolve pass over a record
+// universe, with no reference back to any particular engine.
+// Engine.Resolve fills it from its own state; the shard router fills it
+// from the union of its shards plus the cross-shard handoff queue. Both
+// callers then share RunResolve verbatim, which is what makes the
+// sharded system provably ask the same questions as the single engine.
+type ResolveState struct {
+	// N is the number of records in the universe (dense ids 0..N-1).
+	N int
+	// Round is this pass's number, from 1 (completed passes + 1).
+	Round int
+	// ResolvedUpTo is the count of records covered by the previous pass.
+	ResolvedUpTo int
+	// Clusters is the current clustering over 0..ResolvedUpTo-1 (and any
+	// still-singleton newer records). RunResolve reads it and returns
+	// the merged result; it never mutates the forest.
+	Clusters *unionfind.Growable
+	// Pending is the candidate pairs accumulated since the previous
+	// pass, with their machine scores. Order is irrelevant: the pass
+	// consumes them as a score map.
+	Pending []blocking.ScoredPair
+	// Answered lists every pair with a cached answer, in any order
+	// (RunResolve canonicalizes). Values are read back through Answer.
+	Answered []record.Pair
+	// Answer looks up a cached answer.
+	Answer func(p record.Pair) (fc float64, ok bool)
+	// Sink receives fresh answers as they are produced.
+	Sink AnswerSink
+	// Ctx cancels the pass mid-crowd-iteration; nil never cancels.
+	Ctx context.Context
+}
+
+// RunResolve computes one resolve pass: candidate pairs that transitive
+// closure over resolved clusters can answer are inferred for free, and
+// only the residual flows through a scoped PC-Pivot + PC-Refine pass
+// seeded with the existing clustering. It returns the merged clustering
+// in canonical form and the pass accounting; committing the effect
+// (journaling and applying the clusters) is the caller's job, which is
+// how the engine and the shard router share this code while keeping
+// their own durability layouts.
 //
-// ctx cancels the pass mid-crowd-iteration: the engine state is left
-// exactly as before the call (answers already received remain cached
-// and journaled — they were paid for), and the error is returned.
-func (e *Engine) Resolve(ctx context.Context) (ResolveStats, error) {
-	n := len(e.records)
-	stats := ResolveStats{Round: e.round + 1, Records: n, Pending: len(e.pending)}
+// Cached answers are primed in canonical pair order (closure stars
+// first), so the pass depends only on the *set* of cached answers — not
+// on the order they arrived in. That independence is load-bearing: the
+// shard router cannot reconstruct a global arrival order from per-shard
+// journals, and with canonical priming it does not need to.
+func RunResolve(cfg Config, st ResolveState) (clusters [][]int, stats ResolveStats, err error) {
+	stats = ResolveStats{Round: st.Round, Records: st.N, Pending: len(st.Pending)}
 
 	// Scoped candidate set: pending pairs at their machine scores…
-	scores := make(cluster.Scores, len(e.pending))
-	for _, sp := range e.pending {
+	scores := make(cluster.Scores, len(st.Pending))
+	for _, sp := range st.Pending {
 		scores[sp.Pair] = sp.Score
-		if _, known := e.answers[sp.Pair]; !known {
+		if _, known := st.Answer(sp.Pair); !known {
 			stats.Residual++
 		}
 	}
@@ -71,13 +118,13 @@ func (e *Engine) Resolve(ctx context.Context) (ResolveStats, error) {
 	// zero cost, and every pair they can ask stays inside the candidate
 	// set (sources may reject non-candidates).
 	incident := make(map[int]bool)
-	for _, sp := range e.pending {
-		if lo := int(sp.Pair.Lo); lo < e.resolvedUpTo {
-			incident[e.uf.find(lo)] = true
+	for _, sp := range st.Pending {
+		if lo := int(sp.Pair.Lo); lo < st.ResolvedUpTo {
+			incident[st.Clusters.Find(lo)] = true
 		}
 	}
 	var closure []record.Pair
-	for _, set := range e.uf.sets(e.resolvedUpTo) {
+	for _, set := range st.Clusters.Sets(st.ResolvedUpTo) {
 		if len(set) < 2 || !incident[set[0]] {
 			continue
 		}
@@ -93,92 +140,155 @@ func (e *Engine) Resolve(ctx context.Context) (ResolveStats, error) {
 	// Previously-answered pairs whose endpoints now sit in different
 	// resolved clusters are the negative half of the inference: they are
 	// simply not candidates this pass, so they cannot be re-asked.
-	for _, p := range e.answerOrder {
+	// Canonical pair order makes the walk (and the priming below)
+	// independent of answer arrival order.
+	answered := append([]record.Pair(nil), st.Answered...)
+	sort.Slice(answered, func(i, j int) bool {
+		if answered[i].Lo != answered[j].Lo {
+			return answered[i].Lo < answered[j].Lo
+		}
+		return answered[i].Hi < answered[j].Hi
+	})
+	for _, p := range answered {
 		lo, hi := int(p.Lo), int(p.Hi)
-		if _, inScope := scores[p]; !inScope && hi < e.resolvedUpTo && !e.uf.same(lo, hi) {
+		if _, inScope := scores[p]; !inScope && hi < st.ResolvedUpTo && !st.Clusters.Same(lo, hi) {
 			stats.InferredNegative++
 		}
 	}
 
-	// tau = -1 keeps every scoped pair: the index already enforced the
-	// engine's threshold, and closure edges must never be pruned.
-	cands := pruning.FromScores(n, scores, -1)
+	// tau = -1 keeps every scoped pair: the blocking indexes already
+	// enforced the engine's threshold, and closure edges must never be
+	// pruned.
+	cands := pruning.FromScores(st.N, scores, -1)
 
-	sess, js := e.resolveSession(scores)
-	if ctx != nil {
-		sess.Bind(ctx)
+	sess, src := newResolveSession(cfg, scores, st.Sink)
+	if st.Ctx != nil {
+		sess.Bind(st.Ctx)
 	}
 	// Prime closure edges first (their inferred 1.0 outranks any cached
-	// answer), then every cached answer that is a scoped candidate — in
-	// first-crowdsourced order, so refinement's histogram rebuild walks
-	// the same sequence on every run and after every recovery. Priming
-	// never touches pairs outside the candidate set: the refinement
-	// budget counts every session-known pair as a candidate.
+	// answer), then every cached answer that is a scoped candidate, in
+	// canonical pair order. Priming never touches pairs outside the
+	// candidate set: the refinement budget counts every session-known
+	// pair as a candidate.
 	for _, p := range closure {
 		sess.Prime(p, 1.0)
 	}
-	for _, p := range e.answerOrder {
+	for _, p := range answered {
 		if cands.Contains(p) {
-			sess.Prime(p, e.answers[p])
+			fc, _ := st.Answer(p)
+			sess.Prime(p, fc)
 		}
 	}
 
-	rng := rand.New(rand.NewSource(e.cfg.Seed + int64(e.round)))
-	c, _ := core.PCPivotPerm(cands, sess, e.cfg.effectiveEpsilon(), core.NewPermutation(n, rng))
-	if sess.Err() == nil && !e.cfg.SkipRefinement {
-		c = refine.PCRefine(c, cands, sess, e.cfg.RefineX)
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(st.Round-1)))
+	c, _ := core.PCPivotPerm(cands, sess, cfg.effectiveEpsilon(), core.NewPermutation(st.N, rng))
+	if sess.Err() == nil && !cfg.SkipRefinement {
+		c = refine.PCRefine(c, cands, sess, cfg.RefineX)
 	}
 	if err := sess.Err(); err != nil {
-		return stats, err
+		return nil, stats, err
 	}
-	if js.err != nil {
-		return stats, js.err
+	if src.err != nil {
+		return nil, stats, src.err
 	}
 	stats.QuestionsAsked = sess.Stats().Pairs
 	stats.Iterations = sess.Stats().Iterations
 
-	// Merge the scoped result into the global clustering monotonically:
+	// Merge the scoped result into the prior clustering monotonically:
 	// resolved merges are never undone (the journal records effects, and
 	// effects only accumulate).
-	merged := e.uf.clone()
-	merged.grow(n)
+	merged := st.Clusters.Clone()
+	merged.Grow(st.N)
 	for _, set := range c.Sets() {
 		for _, m := range set[1:] {
-			merged.union(int(set[0]), int(m))
+			merged.Union(int(set[0]), int(m))
 		}
 	}
-	clusters := merged.sets(n)
+	clusters = merged.Sets(st.N)
 	stats.Clusters = len(clusters)
 
-	// Journal the effect before applying it (WAL discipline): a crash
-	// here recovers to the pre-resolve state with all answers cached, so
-	// re-running the pass is free.
-	err := e.append(journal.Event{Type: journal.EventResolve, Resolve: &journal.ResolveData{
-		Round: stats.Round, ResolvedUpTo: n, Clusters: clusters,
-	}})
-	if err != nil {
-		return stats, err
-	}
-	e.uf = merged
-	e.round = stats.Round
-	e.resolvedUpTo = n
-	e.pending = nil
-
-	e.cfg.Obs.Count(MetricResolves, 1)
-	e.cfg.Obs.Count(MetricInferredPositive, int64(stats.InferredPositive))
-	e.cfg.Obs.Count(MetricInferredNegative, int64(stats.InferredNegative))
-	e.cfg.Obs.Count(MetricClosureEdges, int64(stats.ClosureEdges))
-	e.cfg.Obs.Count(MetricResidualPairs, int64(stats.Residual))
-	if e.cfg.Obs.Tracing() {
-		e.cfg.Obs.Trace("incremental.resolve", map[string]any{
+	cfg.Obs.Count(MetricResolves, 1)
+	cfg.Obs.Count(MetricInferredPositive, int64(stats.InferredPositive))
+	cfg.Obs.Count(MetricInferredNegative, int64(stats.InferredNegative))
+	cfg.Obs.Count(MetricClosureEdges, int64(stats.ClosureEdges))
+	cfg.Obs.Count(MetricResidualPairs, int64(stats.Residual))
+	if cfg.Obs.Tracing() {
+		cfg.Obs.Trace("incremental.resolve", map[string]any{
 			"round": stats.Round, "records": stats.Records,
 			"pending": stats.Pending, "residual": stats.Residual,
 			"closure": stats.ClosureEdges, "questions": stats.QuestionsAsked,
 			"clusters": stats.Clusters,
 		})
 	}
-	if err := e.maybeCheckpoint(); err != nil {
+	return clusters, stats, nil
+}
+
+// Resolve folds all pending records into the clustering via RunResolve,
+// then commits the effect: the full clustering is journaled (WAL
+// discipline) before being applied, and pending state is cleared.
+//
+// ctx cancels the pass mid-crowd-iteration: the engine state is left
+// exactly as before the call (answers already received remain cached
+// and journaled — they were paid for), and the error is returned.
+func (e *Engine) Resolve(ctx context.Context) (ResolveStats, error) {
+	n := len(e.records)
+	clusters, stats, err := RunResolve(e.cfg, ResolveState{
+		N:            n,
+		Round:        e.round + 1,
+		ResolvedUpTo: e.resolvedUpTo,
+		Clusters:     e.uf,
+		Pending:      e.pending,
+		Answered:     e.answerOrder,
+		Answer: func(p record.Pair) (float64, bool) {
+			fc, ok := e.answers[p]
+			return fc, ok
+		},
+		Sink: func(p record.Pair, fc float64, source string) error {
+			if _, known := e.answers[p]; known {
+				return nil // the session never re-asks, but stay idempotent anyway
+			}
+			return e.cacheAnswer(p, fc, source, true)
+		},
+		Ctx: ctx,
+	})
+	if err != nil {
+		return stats, err
+	}
+
+	// Journal the effect before applying it (WAL discipline): a crash
+	// here recovers to the pre-resolve state with all answers cached, so
+	// re-running the pass is free.
+	if err := e.commitResolve(stats.Round, clusters); err != nil {
 		return stats, err
 	}
 	return stats, nil
+}
+
+// ApplyResolve journals and applies an externally computed resolve
+// effect covering every record the engine currently holds. The shard
+// router uses it to fan a global resolve's clustering out to each
+// shard: the router computes once, and every shard commits its own
+// restriction to its own journal.
+func (e *Engine) ApplyResolve(round int, clusters [][]int) error {
+	return e.commitResolve(round, clusters)
+}
+
+// commitResolve writes the resolve effect to the journal and installs
+// it: clusters replace the union-find, pending pairs are cleared, and
+// the round and resolved watermark advance.
+func (e *Engine) commitResolve(round int, clusters [][]int) error {
+	n := len(e.records)
+	err := e.append(journal.Event{Type: journal.EventResolve, Resolve: &journal.ResolveData{
+		Round: round, ResolvedUpTo: n, Clusters: clusters,
+	}})
+	if err != nil {
+		return err
+	}
+	if err := e.applyClusters(clusters); err != nil {
+		return err
+	}
+	e.round = round
+	e.resolvedUpTo = n
+	e.pending = nil
+	return e.maybeCheckpoint()
 }

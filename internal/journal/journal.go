@@ -42,6 +42,10 @@ type Event struct {
 type RecordData struct {
 	// ID is the engine-assigned record id (dense, insertion order).
 	ID int `json:"id"`
+	// GID is the router-assigned global id when this journal belongs to
+	// one shard of a sharded group; 0 (and ignored) for standalone
+	// single-engine journals, where ID is the only id space.
+	GID int `json:"gid,omitempty"`
 	// Fields are the record's named fields.
 	Fields map[string]string `json:"fields"`
 	// Entity is the optional ground-truth entity label ("" = unknown).

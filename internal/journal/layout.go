@@ -1,0 +1,275 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sync"
+)
+
+// Tree abstracts a directory holding the sharded journal layout: a root
+// (meta.json, or a legacy single-engine journal) plus named
+// subdirectories, one per shard and one for the router. DirTree is the
+// production implementation; MemTree runs the same layout in memory for
+// crash tests.
+type Tree interface {
+	// Root returns the tree's root directory.
+	Root() FS
+	// Sub returns the named subdirectory, creating it if needed.
+	Sub(name string) (FS, error)
+}
+
+// DirTree is the production Tree: a real directory on disk whose
+// subdirectories are DirFS instances.
+type DirTree struct {
+	// Dir is the root directory; it must exist.
+	Dir string
+}
+
+// NewDirTree creates dir (and parents) if needed and returns a DirTree
+// rooted there.
+func NewDirTree(dir string) (DirTree, error) {
+	d, err := NewDirFS(dir)
+	if err != nil {
+		return DirTree{}, err
+	}
+	return DirTree{Dir: d.Dir}, nil
+}
+
+// Root implements Tree.
+func (t DirTree) Root() FS { return DirFS{Dir: t.Dir} }
+
+// Sub implements Tree.
+func (t DirTree) Sub(name string) (FS, error) {
+	fs, err := NewDirFS(filepath.Join(t.Dir, name))
+	if err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// MemTree is an in-memory Tree for tests: a flat namespace of MemFS
+// directories keyed by subdirectory name ("" is the root).
+type MemTree struct {
+	mu   sync.Mutex
+	dirs map[string]*MemFS
+}
+
+// NewMemTree returns an empty in-memory tree.
+func NewMemTree() *MemTree {
+	return &MemTree{dirs: map[string]*MemFS{"": NewMemFS()}}
+}
+
+// Root implements Tree.
+func (t *MemTree) Root() FS { return t.Dir("") }
+
+// Sub implements Tree.
+func (t *MemTree) Sub(name string) (FS, error) { return t.Dir(name), nil }
+
+// Dir returns the named subdirectory ("" for the root), creating it if
+// needed. Tests use it for direct byte surgery on a shard's files.
+func (t *MemTree) Dir(name string) *MemFS {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dirs[name] == nil {
+		t.dirs[name] = NewMemFS()
+	}
+	return t.dirs[name]
+}
+
+// CrashCopy returns a new MemTree holding only synced content in every
+// directory — the disk state after a power loss.
+func (t *MemTree) CrashCopy() *MemTree {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := &MemTree{dirs: map[string]*MemFS{}}
+	for n, fs := range t.dirs {
+		c.dirs[n] = fs.CrashCopy()
+	}
+	if c.dirs[""] == nil {
+		c.dirs[""] = NewMemFS()
+	}
+	return c
+}
+
+// Meta is the layout descriptor stored as meta.json at the tree root.
+// It pins the shard count: sharded journals cannot be reopened with a
+// different count (re-sharding is a data migration, not a flag change).
+type Meta struct {
+	// Version is the layout format version (currently 1).
+	Version int `json:"version"`
+	// Shards is the number of shard directories.
+	Shards int `json:"shards"`
+	// Legacy marks a pre-sharding single-engine journal whose shard 0
+	// lives at the tree root instead of shard-000/.
+	Legacy bool `json:"legacy,omitempty"`
+}
+
+// MetaName is the layout descriptor's file name at the tree root.
+const MetaName = "meta.json"
+
+// RouterDir is the router journal's subdirectory name.
+const RouterDir = "router"
+
+// ShardDirName returns shard i's subdirectory name.
+func ShardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// MaxShards bounds the shard count a layout will accept.
+const MaxShards = 256
+
+// Layout is an opened sharded journal layout: one FS per shard plus the
+// router's. OpenLayout resolves the three on-disk cases — existing
+// sharded layout (meta.json), legacy single-engine journal (WAL files
+// at the root), and fresh directory — and pins the shard count in
+// meta.json so every reopen agrees.
+type Layout struct {
+	// Shards is the pinned shard count.
+	Shards int
+	// ShardFS holds each shard's journal directory, indexed by shard.
+	ShardFS []FS
+	// RouterFS is the router journal's directory.
+	RouterFS FS
+	// Legacy reports that shard 0 is a pre-sharding journal rooted at
+	// the tree root.
+	Legacy bool
+}
+
+// OpenLayout opens (or initializes) the sharded layout in tree. shards
+// is the requested count; 0 means "whatever the directory already has"
+// (defaulting to 1 when fresh). Opening an existing layout with a
+// different nonzero count is an error.
+func OpenLayout(tree Tree, shards int) (*Layout, error) {
+	if shards < 0 || shards > MaxShards {
+		return nil, fmt.Errorf("journal: shard count %d outside [0,%d]", shards, MaxShards)
+	}
+	root := tree.Root()
+	meta, found, err := readMeta(root)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		legacy, err := hasJournalFiles(root)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case legacy && shards > 1:
+			return nil, fmt.Errorf("journal: directory holds a single-engine journal; cannot open with %d shards (re-sharding requires migration)", shards)
+		case legacy:
+			meta = Meta{Version: 1, Shards: 1, Legacy: true}
+		default:
+			if shards == 0 {
+				shards = 1
+			}
+			meta = Meta{Version: 1, Shards: shards}
+		}
+		if err := writeMeta(root, meta); err != nil {
+			return nil, err
+		}
+	}
+	if meta.Version != 1 {
+		return nil, fmt.Errorf("journal: unsupported layout version %d", meta.Version)
+	}
+	if meta.Shards < 1 || meta.Shards > MaxShards {
+		return nil, fmt.Errorf("journal: %s declares %d shards", MetaName, meta.Shards)
+	}
+	if meta.Legacy && meta.Shards != 1 {
+		return nil, fmt.Errorf("journal: legacy layout must have exactly 1 shard, %s declares %d", MetaName, meta.Shards)
+	}
+	if shards != 0 && shards != meta.Shards {
+		return nil, fmt.Errorf("journal: directory is laid out for %d shards, requested %d (re-sharding requires migration)", meta.Shards, shards)
+	}
+
+	l := &Layout{Shards: meta.Shards, Legacy: meta.Legacy}
+	if meta.Legacy {
+		l.ShardFS = []FS{root}
+	} else {
+		l.ShardFS = make([]FS, meta.Shards)
+		for i := range l.ShardFS {
+			if l.ShardFS[i], err = tree.Sub(ShardDirName(i)); err != nil {
+				return nil, fmt.Errorf("journal: opening %s: %w", ShardDirName(i), err)
+			}
+		}
+	}
+	if l.RouterFS, err = tree.Sub(RouterDir); err != nil {
+		return nil, fmt.Errorf("journal: opening %s: %w", RouterDir, err)
+	}
+	return l, nil
+}
+
+// readMeta loads meta.json from root; found is false when absent.
+func readMeta(root FS) (meta Meta, found bool, err error) {
+	names, err := root.List()
+	if err != nil {
+		return meta, false, fmt.Errorf("journal: listing root: %w", err)
+	}
+	present := false
+	for _, n := range names {
+		if n == MetaName {
+			present = true
+		}
+	}
+	if !present {
+		return meta, false, nil
+	}
+	b, err := root.ReadFile(MetaName)
+	if err != nil {
+		return meta, false, fmt.Errorf("journal: reading %s: %w", MetaName, err)
+	}
+	if err := json.Unmarshal(b, &meta); err != nil {
+		return meta, false, fmt.Errorf("journal: corrupt %s: %w", MetaName, err)
+	}
+	return meta, true, nil
+}
+
+// writeMeta durably installs meta.json via tmp + sync + rename +
+// dir-sync, the same discipline checkpoints use: a crash mid-install
+// leaves either no meta (the directory re-initializes identically on
+// the next open) or the complete one.
+func writeMeta(root FS, meta Meta) error {
+	b, err := json.MarshalIndent(meta, "", " ")
+	if err != nil {
+		return fmt.Errorf("journal: marshaling %s: %w", MetaName, err)
+	}
+	tmp := MetaName + tmpSuffix
+	f, err := root.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("journal: creating %s: %w", tmp, err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: writing %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: closing %s: %w", tmp, err)
+	}
+	if err := root.Rename(tmp, MetaName); err != nil {
+		return fmt.Errorf("journal: installing %s: %w", MetaName, err)
+	}
+	if err := root.SyncDir(); err != nil {
+		return fmt.Errorf("journal: syncing dir after %s install: %w", MetaName, err)
+	}
+	return nil
+}
+
+// hasJournalFiles reports whether root contains WAL segments or
+// checkpoints — the signature of a legacy single-engine journal.
+func hasJournalFiles(root FS) (bool, error) {
+	names, err := root.List()
+	if err != nil {
+		return false, fmt.Errorf("journal: listing root: %w", err)
+	}
+	for _, n := range names {
+		if _, ok := parseName(n, segPrefix, segSuffix); ok {
+			return true, nil
+		}
+		if _, ok := parseName(n, snapPrefix, snapSuffix); ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}

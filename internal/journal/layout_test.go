@@ -1,0 +1,120 @@
+package journal
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLayoutFreshInit checks a fresh directory is laid out with the
+// requested shard count, meta.json pins it, and the pin survives a
+// crash right after initialization.
+func TestLayoutFreshInit(t *testing.T) {
+	tree := NewMemTree()
+	l, err := OpenLayout(tree, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Shards != 3 || l.Legacy || len(l.ShardFS) != 3 || l.RouterFS == nil {
+		t.Fatalf("fresh layout %+v", l)
+	}
+
+	// Reopen with 0 ("whatever is there") and with the pinned count.
+	for _, req := range []int{0, 3} {
+		got, err := OpenLayout(tree.CrashCopy(), req)
+		if err != nil {
+			t.Fatalf("reopen with %d: %v", req, err)
+		}
+		if got.Shards != 3 {
+			t.Fatalf("reopen with %d found %d shards", req, got.Shards)
+		}
+	}
+
+	// Any other count is a refused re-shard.
+	if _, err := OpenLayout(tree, 2); err == nil || !strings.Contains(err.Error(), "re-sharding") {
+		t.Fatalf("re-shard accepted: %v", err)
+	}
+}
+
+// TestLayoutFreshDefaults checks shards=0 on an empty directory means
+// one shard.
+func TestLayoutFreshDefaults(t *testing.T) {
+	l, err := OpenLayout(NewMemTree(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Shards != 1 || l.Legacy {
+		t.Fatalf("default layout %+v", l)
+	}
+}
+
+// TestLayoutLegacyAdoption checks a root directory holding a plain
+// single-engine journal is adopted as a 1-shard legacy layout: shard 0
+// stays at the root, the adoption is recorded in meta.json, and
+// multi-shard opens are refused.
+func TestLayoutLegacyAdoption(t *testing.T) {
+	tree := NewMemTree()
+	store, _, err := Open(tree.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Append(Event{Type: EventAnswer, Answer: &AnswerData{Lo: 0, Hi: 1, FC: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenLayout(tree, 2); err == nil || !strings.Contains(err.Error(), "re-sharding") {
+		t.Fatalf("legacy journal opened with 2 shards: %v", err)
+	}
+
+	l, err := OpenLayout(tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Legacy || l.Shards != 1 {
+		t.Fatalf("legacy adoption produced %+v", l)
+	}
+	if l.ShardFS[0] != tree.Root() {
+		t.Fatal("legacy shard 0 must live at the tree root")
+	}
+
+	// The adoption is durable: meta.json now says legacy, and reopening
+	// agrees even after a crash.
+	meta, found, err := readMeta(tree.CrashCopy().Root())
+	if err != nil || !found {
+		t.Fatalf("meta after adoption: %+v found=%v err=%v", meta, found, err)
+	}
+	if !meta.Legacy || meta.Shards != 1 {
+		t.Fatalf("adoption recorded as %+v", meta)
+	}
+}
+
+// TestLayoutRejectsBadMeta checks corrupted or unsupported descriptors
+// are refused rather than guessed at.
+func TestLayoutRejectsBadMeta(t *testing.T) {
+	cases := map[string]string{
+		"corrupt":        "{not json",
+		"version":        `{"version":9,"shards":1}`,
+		"zero shards":    `{"version":1,"shards":0}`,
+		"too many":       `{"version":1,"shards":999}`,
+		"legacy sharded": `{"version":1,"shards":4,"legacy":true}`,
+	}
+	for name, content := range cases {
+		tree := NewMemTree()
+		tree.Dir("").Put(MetaName, []byte(content))
+		if _, err := OpenLayout(tree, 0); err == nil {
+			t.Errorf("%s meta accepted", name)
+		}
+	}
+}
+
+// TestLayoutShardCountBounds checks the request-side bounds.
+func TestLayoutShardCountBounds(t *testing.T) {
+	if _, err := OpenLayout(NewMemTree(), -1); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	if _, err := OpenLayout(NewMemTree(), MaxShards+1); err == nil {
+		t.Error("oversized shard count accepted")
+	}
+}

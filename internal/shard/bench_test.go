@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"acd/internal/incremental"
+	"acd/internal/journal"
+)
+
+// benchSink keeps snapshot reads observable so the compiler cannot
+// elide them.
+var benchSink atomic.Int64
+
+// BenchmarkGroupMixed measures one serving unit on a journaled group:
+// 1024 records ingested by concurrent writers (each write followed by
+// a snapshot read), then one global resolve, on a fresh directory every
+// iteration so the cost per op is constant. The shard count comes from
+// ACD_BENCH_SHARDS (default 4), so one benchmark name covers both
+// sides of the single-vs-sharded comparison in BENCH_6.json:
+//
+//	ACD_BENCH_SHARDS=1 go test -bench GroupMixed ./internal/shard/   # single engine
+//	ACD_BENCH_SHARDS=4 go test -bench GroupMixed ./internal/shard/   # sharded
+//
+// Sharding parallelizes the per-shard work (journal fsyncs, blocking
+// index updates, pair scoring); the router's serial section and the
+// global resolve pass are the invariant costs it cannot shard.
+func BenchmarkGroupMixed(b *testing.B) {
+	shards := 4
+	if s := os.Getenv("ACD_BENCH_SHARDS"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			b.Fatalf("ACD_BENCH_SHARDS=%q: %v", s, err)
+		}
+		shards = v
+	}
+	cfg := Config{Shards: shards, Engine: incremental.Config{Seed: 1}}
+
+	// A fixed batch over a 96-token vocabulary: enough collisions to
+	// keep the blocking indexes and the resolve pass honestly busy,
+	// spread over every shard.
+	rng := rand.New(rand.NewSource(11))
+	batch := make([]incremental.Record, 1024)
+	for i := range batch {
+		batch[i] = incremental.Record{Fields: map[string]string{
+			"name": fmt.Sprintf("tok%02d tok%02d item%04d", rng.Intn(96), rng.Intn(96), i),
+		}}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tree, err := journal.NewDirTree(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		g, err := Open(cfg, tree)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for j := w; j < len(batch); j += workers {
+					if _, err := g.Add(batch[j]); err != nil {
+						b.Error(err)
+						return
+					}
+					benchSink.Store(int64(g.Snapshot().Records))
+				}
+			}(w)
+		}
+		wg.Wait()
+		if b.Failed() {
+			b.FailNow()
+		}
+		if _, err := g.Resolve(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if err := g.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"acd/internal/crowd"
+	"acd/internal/incremental"
+	"acd/internal/record"
+)
+
+// synthRecord makes a small record whose tokens are drawn from a pool,
+// so records collide into candidate pairs across shard boundaries.
+func synthRecord(rng *rand.Rand, i int) incremental.Record {
+	a, b := rng.Intn(24), rng.Intn(24)
+	return incremental.Record{Fields: map[string]string{
+		"name": fmt.Sprintf("token%02d token%02d item%d", a, b, i),
+	}}
+}
+
+// checkSnapshot asserts a snapshot is internally consistent — a valid
+// canonical partition whose member count matches its record count. Any
+// violation means a reader observed a torn clustering.
+func checkSnapshot(t *testing.T, s *Snapshot) {
+	t.Helper()
+	if s == nil {
+		t.Fatal("nil snapshot published")
+	}
+	seen := make(map[int]bool)
+	lastFirst := -1
+	for _, c := range s.Clusters {
+		if len(c) == 0 {
+			t.Fatal("empty cluster in snapshot")
+		}
+		if c[0] <= lastFirst {
+			t.Fatalf("clusters out of canonical order: first member %d after %d", c[0], lastFirst)
+		}
+		lastFirst = c[0]
+		prev := -1
+		for _, id := range c {
+			if id <= prev {
+				t.Fatalf("cluster members out of order: %v", c)
+			}
+			prev = id
+			if seen[id] {
+				t.Fatalf("gid %d appears in two clusters", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != s.Records {
+		t.Fatalf("snapshot lists %d gids across clusters but claims %d records", len(seen), s.Records)
+	}
+}
+
+// TestConcurrentMixedLoad hammers a 4-shard group with concurrent
+// record and answer writers while snapshot readers spin, interleaved
+// with resolve passes, under -race. Readers must never observe a torn
+// clustering and progress must be monotone; on Close, every goroutine
+// the group started must exit.
+func TestConcurrentMixedLoad(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	g, err := New(Config{Shards: 4, Engine: incremental.Config{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	const perWriter = 40
+	var stop atomic.Bool
+	var wg, readerWg sync.WaitGroup
+
+	// Readers: spin on the snapshot pointer asserting consistency and
+	// monotonicity. No lock is involved, so these must never block on
+	// writers or resolves. They run until the writers are done, so they
+	// get their own WaitGroup.
+	for r := 0; r < 2; r++ {
+		readerWg.Add(1)
+		go func() {
+			defer readerWg.Done()
+			lastRecords, lastRound := 0, 0
+			for !stop.Load() {
+				s := g.Snapshot()
+				checkSnapshot(t, s)
+				if s.Records < lastRecords {
+					t.Errorf("records went backwards: %d -> %d", lastRecords, s.Records)
+					return
+				}
+				if s.Round < lastRound {
+					t.Errorf("round went backwards: %d -> %d", lastRound, s.Round)
+					return
+				}
+				lastRecords, lastRound = s.Records, s.Round
+			}
+		}()
+	}
+
+	// Writers: add records, and answer pairs drawn from the snapshot's
+	// own cluster listing (those gids are guaranteed live).
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < perWriter; i++ {
+				r := synthRecord(rng, w*perWriter+i)
+				ids, err := g.Add(r)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				after := g.Snapshot()
+				found := false
+				for _, c := range after.Clusters {
+					for _, id := range c {
+						if id == ids[0] {
+							found = true
+						}
+					}
+				}
+				if !found {
+					errCh <- fmt.Errorf("gid %d invisible in snapshot after its own ack", ids[0])
+					return
+				}
+				if i%5 == 0 && after.Records >= 2 {
+					var live []int
+					for _, c := range after.Clusters {
+						live = append(live, c...)
+					}
+					lo := live[rng.Intn(len(live))]
+					hi := live[rng.Intn(len(live))]
+					if lo != hi {
+						if lo > hi {
+							lo, hi = hi, lo
+						}
+						if err := g.AddAnswer(lo, hi, float64(rng.Intn(2)), "test"); err != nil {
+							errCh <- fmt.Errorf("answer (%d,%d): %w", lo, hi, err)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Resolver: a few passes while the writers are still pushing.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			time.Sleep(5 * time.Millisecond)
+			if _, err := g.Resolve(context.Background()); err != nil {
+				errCh <- fmt.Errorf("resolve: %w", err)
+				return
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("mixed load deadlocked")
+	}
+	stop.Store(true)
+	readerWg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	if _, err := g.Resolve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	final := g.Snapshot()
+	checkSnapshot(t, final)
+	if final.Records != writers*perWriter {
+		t.Fatalf("final snapshot has %d records, want %d", final.Records, writers*perWriter)
+	}
+	if final.ResolvedUpTo != writers*perWriter || final.PendingPairs != 0 {
+		t.Fatalf("final resolve left state %+v", final)
+	}
+
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain check: the group's queue goroutines must all exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Errorf("goroutine leak after Close: %d running, baseline %d", n, baseline)
+	}
+}
+
+// gateSource blocks every crowd question until released — a probe for
+// lock coupling between resolves and readers.
+type gateSource struct {
+	gate    chan struct{}
+	entered chan struct{}
+	once    sync.Once
+}
+
+// Score implements crowd.Source.
+func (s *gateSource) Score(p record.Pair) float64 {
+	s.once.Do(func() { close(s.entered) })
+	<-s.gate
+	return 1.0
+}
+
+// Config implements crowd.Source.
+func (s *gateSource) Config() crowd.Config { return crowd.ThreeWorker(0) }
+
+// TestSnapshotLockFreeUnderResolve proves GET /clusters-style reads
+// take no write lock: with a resolve pass parked inside a crowd
+// question (holding the group mutex), Snapshot must still return
+// immediately with the pre-resolve state.
+func TestSnapshotLockFreeUnderResolve(t *testing.T) {
+	src := &gateSource{gate: make(chan struct{}), entered: make(chan struct{})}
+	g, err := New(Config{Shards: 2, Engine: incremental.Config{Source: src, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// Two records similar enough to force a crowd question.
+	for _, text := range []string{"alpha beta gamma delta", "alpha beta gamma delt"} {
+		if _, err := g.Add(incremental.Record{Fields: map[string]string{"name": text}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := g.Snapshot()
+	checkSnapshot(t, before)
+
+	resolveDone := make(chan error, 1)
+	go func() {
+		_, err := g.Resolve(context.Background())
+		resolveDone <- err
+	}()
+	<-src.entered // the resolve now holds the write lock, mid-question
+
+	for i := 0; i < 100; i++ {
+		got := make(chan *Snapshot, 1)
+		go func() { got <- g.Snapshot() }()
+		select {
+		case s := <-got:
+			checkSnapshot(t, s)
+			if s.Round != before.Round || s.Records != before.Records {
+				t.Fatalf("mid-resolve snapshot %+v differs from pre-resolve %+v", s, before)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("Snapshot blocked while a resolve holds the write lock")
+		}
+	}
+
+	close(src.gate)
+	if err := <-resolveDone; err != nil {
+		t.Fatal(err)
+	}
+	after := g.Snapshot()
+	checkSnapshot(t, after)
+	if after.Round != before.Round+1 {
+		t.Fatalf("resolve did not advance the round: %+v", after)
+	}
+}

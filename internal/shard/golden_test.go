@@ -1,0 +1,231 @@
+package shard
+
+import (
+	"context"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+
+	"acd/internal/crowd"
+	"acd/internal/dataset"
+	"acd/internal/incremental"
+	"acd/internal/obs"
+	"acd/internal/pruning"
+	"acd/internal/record"
+)
+
+// Pinned question counts for the Restaurant prefix-split golden (wave
+// 1, wave 2). Every shard count must hit these exactly; a change here
+// is a change to what the crowd is asked and needs the same scrutiny
+// as a golden-file update.
+const (
+	goldenWave1Questions = 935
+	goldenWave2Questions = 3345
+)
+
+// captureSource wraps a crowd source and records the multiset of
+// questions actually asked — the currency the sharded system must
+// spend identically to the single engine.
+type captureSource struct {
+	mu    sync.Mutex
+	inner crowd.Source
+	asked map[record.Pair]int
+}
+
+func newCapture(inner crowd.Source) *captureSource {
+	return &captureSource{inner: inner, asked: map[record.Pair]int{}}
+}
+
+// Score implements crowd.Source.
+func (c *captureSource) Score(p record.Pair) float64 {
+	c.mu.Lock()
+	c.asked[p]++
+	c.mu.Unlock()
+	return c.inner.Score(p)
+}
+
+// Config implements crowd.Source.
+func (c *captureSource) Config() crowd.Config { return c.inner.Config() }
+
+// multiset returns a copy of the captured question counts.
+func (c *captureSource) multiset() map[record.Pair]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[record.Pair]int, len(c.asked))
+	for p, n := range c.asked {
+		out[p] = n
+	}
+	return out
+}
+
+// goldenInput builds the shared Restaurant prefix-split fixture: the
+// records, the simulated crowd answer file covering every full-set
+// candidate pair, and the wave boundary.
+func goldenInput(t *testing.T) (recs []incremental.Record, answers *crowd.AnswerSet, half int) {
+	t.Helper()
+	ds := dataset.Restaurant(1)
+	cands := pruning.Prune(ds.Records, pruning.Options{})
+	answers = crowd.BuildAnswers(cands.PairList(), ds.TruthFn(), crowd.UniformDifficulty(0), crowd.ThreeWorker(7))
+	recs = make([]incremental.Record, len(ds.Records))
+	for i, r := range ds.Records {
+		recs[i] = incremental.Record{Fields: r.Fields, Entity: strconv.Itoa(r.Entity)}
+	}
+	return recs, answers, len(recs) / 2
+}
+
+const goldenSeed = 42
+
+// goldenRun is one system's transcript of the two-wave run.
+type goldenRun struct {
+	clusters  [][]int
+	questions map[record.Pair]int
+	waveQ     [2]int
+	stats     [2]incremental.ResolveStats
+}
+
+// runSingleGolden drives the reference: one incremental engine, no
+// sharding, two waves with a resolve after each.
+func runSingleGolden(t *testing.T, recs []incremental.Record, answers *crowd.AnswerSet, half int) goldenRun {
+	t.Helper()
+	cap := newCapture(answers)
+	eng := incremental.New(incremental.Config{Source: cap, Seed: goldenSeed, Obs: obs.New()})
+	var out goldenRun
+	waves := [2][2]int{{0, half}, {half, len(recs)}}
+	for w, span := range waves {
+		for _, r := range recs[span[0]:span[1]] {
+			if _, err := eng.Add(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before := askedTotal(cap)
+		st, err := eng.Resolve(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.stats[w] = st
+		out.waveQ[w] = askedTotal(cap) - before
+	}
+	out.clusters = eng.Clusters()
+	out.questions = cap.multiset()
+	return out
+}
+
+// runShardedGolden drives the same two waves through an n-shard group.
+func runShardedGolden(t *testing.T, n int, recs []incremental.Record, answers *crowd.AnswerSet, half int) goldenRun {
+	t.Helper()
+	cap := newCapture(answers)
+	g, err := New(Config{Shards: n, Engine: incremental.Config{Source: cap, Seed: goldenSeed, Obs: obs.New()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	var out goldenRun
+	waves := [2][2]int{{0, half}, {half, len(recs)}}
+	for w, span := range waves {
+		for i, r := range recs[span[0]:span[1]] {
+			ids, err := g.Add(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := span[0] + i; len(ids) != 1 || ids[0] != want {
+				t.Fatalf("record %d assigned gid %v", want, ids)
+			}
+		}
+		before := askedTotal(cap)
+		st, err := g.Resolve(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.stats[w] = st
+		out.waveQ[w] = askedTotal(cap) - before
+	}
+	out.clusters = g.Snapshot().Clusters
+	out.questions = cap.multiset()
+	return out
+}
+
+func askedTotal(c *captureSource) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.asked {
+		n += v
+	}
+	return n
+}
+
+// TestShardGolden is the PR's gate: for N ∈ {1,2,4,8}, the sharded
+// run over the Restaurant prefix-split must produce the identical
+// clustering and the identical multiset of crowd questions as the
+// single engine — sharding changes where work happens, never what the
+// crowd is asked.
+func TestShardGolden(t *testing.T) {
+	recs, answers, half := goldenInput(t)
+	ref := runSingleGolden(t, recs, answers, half)
+
+	if ref.waveQ[0] != goldenWave1Questions || ref.waveQ[1] != goldenWave2Questions {
+		t.Errorf("single-engine questions (%d, %d) drifted from pinned golden (%d, %d)",
+			ref.waveQ[0], ref.waveQ[1], goldenWave1Questions, goldenWave2Questions)
+	}
+
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		t.Run(strconv.Itoa(n)+"shards", func(t *testing.T) {
+			got := runShardedGolden(t, n, recs, answers, half)
+			if !reflect.DeepEqual(got.clusters, ref.clusters) {
+				t.Errorf("clustering differs from single engine (%d vs %d clusters)", len(got.clusters), len(ref.clusters))
+			}
+			if !reflect.DeepEqual(got.questions, ref.questions) {
+				t.Errorf("question multiset differs from single engine: asked %d distinct pairs, want %d",
+					len(got.questions), len(ref.questions))
+			}
+			if got.waveQ != ref.waveQ {
+				t.Errorf("per-wave question counts %v, want %v", got.waveQ, ref.waveQ)
+			}
+			for w := range got.stats {
+				if got.stats[w] != ref.stats[w] {
+					t.Errorf("wave %d resolve stats %+v, want %+v", w+1, got.stats[w], ref.stats[w])
+				}
+			}
+		})
+	}
+}
+
+// TestShardGoldenSpread guards the golden against degenerate routing:
+// with 8 shards the Restaurant records must actually spread out, and
+// cross-shard candidate pairs must actually arise — otherwise the
+// equivalence test would be vacuously passing on a single busy shard.
+func TestShardGoldenSpread(t *testing.T) {
+	recs, answers, _ := goldenInput(t)
+	cap := newCapture(answers)
+	g, err := New(Config{Shards: 8, Engine: incremental.Config{Source: cap, Seed: goldenSeed}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	for _, r := range recs {
+		if _, err := g.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := g.Snapshot()
+	occupied := 0
+	for _, st := range snap.PerShard {
+		if st.Records > 0 {
+			occupied++
+		}
+	}
+	if occupied < 4 {
+		t.Errorf("only %d of 8 shards hold records — routing is degenerate", occupied)
+	}
+	g.mu.Lock()
+	handoff := len(g.handoff)
+	g.mu.Unlock()
+	if handoff == 0 {
+		t.Error("no cross-shard handoff pairs arose — the handoff path is untested by the golden")
+	}
+	if snap.PendingPairs == 0 {
+		t.Error("no pending pairs at all")
+	}
+}

@@ -1,0 +1,686 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"acd/internal/blocking"
+	"acd/internal/incremental"
+	"acd/internal/journal"
+	"acd/internal/record"
+	"acd/internal/unionfind"
+)
+
+// Config configures a Group.
+type Config struct {
+	// Shards is the shard count; 0 means 1. Opening an existing journal
+	// directory pins the count — reopening with a different one fails.
+	Shards int
+	// Engine configures every shard engine and the global resolve pass
+	// (threshold, epsilon, seed, crowd source, observability). One
+	// config everywhere is what makes the sharded system equivalent to
+	// a single engine with the same config.
+	Engine incremental.Config
+}
+
+// Group is a sharded online dedup engine: Add routes records to their
+// home shards, AddAnswer routes crowd answers, Resolve runs a global
+// resolve pass, and Snapshot serves the current clustering without
+// taking any write lock. All ids exposed by Group are global ids,
+// dense across shards in arrival order.
+//
+// Concurrency: mu guards all routing state and the router journal;
+// each shard engine is touched only by its own queue goroutine — or by
+// Resolve/Checkpoint/Close after draining every queue. Reads go
+// through the atomic snapshot pointer and never block.
+type Group struct {
+	cfg Config
+	n   int
+
+	mu        sync.Mutex
+	intakeOK  *sync.Cond // broadcast when resolving clears
+	resolving bool       // a resolve/checkpoint barrier is active
+	closed    bool
+	failed    error // sticky: a half-committed resolve fan-out
+
+	shards []*shardState
+
+	// Global id space. home is set at route time (routing never
+	// fails); local is -1 until the shard's fsync acks the record, and
+	// stays -1 forever if the append fails or the record's WAL entry
+	// is lost in a crash — a hole. Holes are permanent: global ids are
+	// never reassigned once potentially durable.
+	nextGID int
+	home    []int   // gid -> shard
+	local   []int   // gid -> local id within home shard, -1 = hole/in-flight
+	gids    [][]int // shard -> local id -> gid
+
+	// stats mirrors each engine's occupancy so snapshots never read an
+	// engine another goroutine may be mutating; each shard's entry is
+	// written only by that engine's owner (its queue goroutine, or a
+	// barrier holder).
+	stats []ShardStats
+
+	// probe is the global blocking index over every record in gid
+	// order; the cross-shard pairs it emits accumulate in handoff
+	// until the next resolve. nil for single-shard groups (no pair can
+	// cross).
+	probe   *blocking.IncrementalIndex
+	handoff []blocking.ScoredPair // cross-shard pending pairs, gid space
+
+	// Cross-shard answers live at the router (neither shard holds both
+	// records); same-shard answers live in the home shard's engine.
+	xans map[record.Pair]float64
+	xord []record.Pair
+	xsrc map[record.Pair]string
+
+	router       *journal.Store // cross answers + global resolve effects; nil when n==1 or volatile
+	routerEvents int            // events since the last router checkpoint
+
+	clusters     *unionfind.Growable // global clustering, gid space (n>1)
+	round        int
+	resolvedUpTo int // gid-space watermark of the last resolve
+
+	snap atomic.Pointer[Snapshot]
+}
+
+type shardState struct {
+	id  int
+	eng *incremental.Engine
+	q   *opQueue
+}
+
+// New returns a volatile group: shard state lives only in memory.
+func New(cfg Config) (*Group, error) {
+	g, err := newGroup(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	g.start()
+	return g, nil
+}
+
+// Open recovers a group from the sharded journal layout in tree (fresh
+// directories start empty) and attaches the per-shard and router
+// journals so every state transition is durable. Close the group to
+// release them.
+func Open(cfg Config, tree journal.Tree) (*Group, error) {
+	layout, err := journal.OpenLayout(tree, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Shards = layout.Shards
+	g, err := newGroup(cfg, layout)
+	if err != nil {
+		return nil, err
+	}
+	g.start()
+	return g, nil
+}
+
+// newGroup builds the group, recovering from layout when non-nil. The
+// queue goroutines are not yet running.
+func newGroup(cfg Config, layout *journal.Layout) (*Group, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards < 1 || cfg.Shards > journal.MaxShards {
+		return nil, fmt.Errorf("shard: shard count %d outside [1,%d]", cfg.Shards, journal.MaxShards)
+	}
+	g := &Group{
+		cfg:      cfg,
+		n:        cfg.Shards,
+		xans:     make(map[record.Pair]float64),
+		xsrc:     make(map[record.Pair]string),
+		clusters: &unionfind.Growable{},
+	}
+	g.intakeOK = sync.NewCond(&g.mu)
+	if g.n > 1 {
+		g.probe = blocking.NewIncrementalIndex(cfg.Engine.EffectiveTau())
+	}
+	g.shards = make([]*shardState, g.n)
+	g.gids = make([][]int, g.n)
+	g.stats = make([]ShardStats, g.n)
+	for i := range g.shards {
+		g.shards[i] = &shardState{id: i, q: newOpQueue()}
+	}
+	if layout == nil {
+		for _, s := range g.shards {
+			s.eng = incremental.New(cfg.Engine)
+		}
+	} else if err := g.recover(layout); err != nil {
+		for _, s := range g.shards {
+			if s.eng != nil {
+				s.eng.Close()
+			}
+		}
+		if g.router != nil {
+			g.router.Close()
+		}
+		return nil, err
+	}
+	g.refreshStatsLocked()
+	g.publishSnapshotLocked()
+	return g, nil
+}
+
+// refreshStatsLocked resyncs every stats mirror from its engine. Legal
+// only while all engines are quiescent (construction or a barrier).
+func (g *Group) refreshStatsLocked() {
+	for i, s := range g.shards {
+		g.stats[i] = statsOf(s.eng)
+	}
+}
+
+// statsOf reads one engine's occupancy; the caller must own the engine.
+func statsOf(e *incremental.Engine) ShardStats {
+	return ShardStats{Records: e.Len(), PendingPairs: e.PendingPairs(), Answers: e.AnswerCount()}
+}
+
+// start launches the shard queue goroutines.
+func (g *Group) start() {
+	for _, s := range g.shards {
+		go s.q.run()
+	}
+}
+
+// Shards returns the shard count.
+func (g *Group) Shards() int { return g.n }
+
+// usableLocked rejects operations on a closed or failed group.
+func (g *Group) usableLocked() error {
+	if g.closed {
+		return fmt.Errorf("shard: group closed")
+	}
+	if g.failed != nil {
+		return fmt.Errorf("shard: group failed (restart to recover): %w", g.failed)
+	}
+	return nil
+}
+
+// awaitIntakeLocked blocks while a resolve/checkpoint barrier holds,
+// then re-checks usability.
+func (g *Group) awaitIntakeLocked() error {
+	for g.resolving && !g.closed {
+		g.intakeOK.Wait()
+	}
+	return g.usableLocked()
+}
+
+// homeShard returns the shard owning the record's minimum normalized
+// token. Tokenless records go to shard 0.
+func (g *Group) homeShard(text string) int {
+	if g.n == 1 {
+		return 0
+	}
+	toks := record.SortedTokens(text)
+	if len(toks) == 0 {
+		return 0
+	}
+	return ownerOf(toks[0], g.n)
+}
+
+// ownerOf maps a token to its owning shard by FNV-1a hash.
+func ownerOf(token string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(token))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Add routes each record to its home shard, assigns dense global ids,
+// and acknowledges after the home shard's journal fsync. Records bound
+// for different shards are appended (and fsynced) in parallel. It
+// returns the assigned global ids; on error, ids holds the prefix that
+// was durably committed.
+func (g *Group) Add(recs ...incremental.Record) ([]int, error) {
+	type ack struct {
+		gid  int
+		done chan error
+	}
+	acks := make([]ack, 0, len(recs))
+
+	g.mu.Lock()
+	if err := g.awaitIntakeLocked(); err != nil {
+		g.mu.Unlock()
+		return nil, err
+	}
+	for _, r := range recs {
+		r := r
+		gid := g.nextGID
+		g.nextGID++
+		text := record.New(0, r.Fields).Text()
+		sid := g.homeShard(text)
+		g.home = append(g.home, sid)
+		g.local = append(g.local, -1)
+		if g.probe != nil {
+			// The probe index is fed in gid order inside the serial
+			// section, so every emitted pair's earlier endpoint is
+			// already routed; pairs whose endpoints live on different
+			// shards are the ones no shard can discover on its own.
+			for _, sp := range g.probe.Add(text) {
+				if g.home[int(sp.Pair.Lo)] != sid {
+					g.handoff = append(g.handoff, sp)
+				}
+			}
+		}
+		r.GID = gid
+		s := g.shards[sid]
+		done := make(chan error, 1)
+		acks = append(acks, ack{gid: gid, done: done})
+		s.q.push(func() {
+			ids, err := s.eng.Add(r)
+			st := statsOf(s.eng)
+			if len(ids) == 1 {
+				g.mu.Lock()
+				if ids[0] != len(g.gids[s.id]) {
+					err = fmt.Errorf("shard %d: local id %d out of order (expected %d)", s.id, ids[0], len(g.gids[s.id]))
+				} else {
+					g.local[gid] = ids[0]
+					g.gids[s.id] = append(g.gids[s.id], gid)
+					g.stats[s.id] = st
+					g.publishSnapshotLocked()
+				}
+				g.mu.Unlock()
+			}
+			done <- err
+		})
+	}
+	g.mu.Unlock()
+
+	ids := make([]int, 0, len(acks))
+	for _, a := range acks {
+		if err := <-a.done; err != nil {
+			// Remaining acks must still be reaped so no goroutine
+			// blocks, but the failed record's gid is now a hole and
+			// later ids in this batch are not reported as committed.
+			for _, rest := range acks[len(ids)+1:] {
+				<-rest.done
+			}
+			return ids, err
+		}
+		ids = append(ids, a.gid)
+	}
+	return ids, nil
+}
+
+// ValidateAnswer checks whether (lo,hi,fc) — in global ids — is an
+// answer AddAnswer would accept, without changing any state.
+func (g *Group) ValidateAnswer(lo, hi int, fc float64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.validateAnswerLocked(lo, hi, fc)
+}
+
+func (g *Group) validateAnswerLocked(lo, hi int, fc float64) error {
+	if lo < 0 || lo >= hi || hi >= g.nextGID {
+		return fmt.Errorf("shard: answer pair (%d,%d) outside the record universe [0,%d)", lo, hi, g.nextGID)
+	}
+	if g.local[lo] < 0 || g.local[hi] < 0 {
+		return fmt.Errorf("shard: answer pair (%d,%d) references an unknown record", lo, hi)
+	}
+	if fc < 0 || fc > 1 || fc != fc {
+		return fmt.Errorf("shard: answer fc %v outside [0,1]", fc)
+	}
+	return nil
+}
+
+// AddAnswer feeds an externally-obtained crowd answer, keyed by global
+// ids, into the cache of the pair's home shard — or into the router's
+// cross-shard cache when the records live on different shards. First
+// answer wins; re-adding a known pair is a silent no-op.
+func (g *Group) AddAnswer(lo, hi int, fc float64, source string) error {
+	g.mu.Lock()
+	if err := g.awaitIntakeLocked(); err != nil {
+		g.mu.Unlock()
+		return err
+	}
+	if err := g.validateAnswerLocked(lo, hi, fc); err != nil {
+		g.mu.Unlock()
+		return err
+	}
+	sLo, sHi := g.home[lo], g.home[hi]
+	if sLo == sHi {
+		s := g.shards[sLo]
+		llo, lhi := g.local[lo], g.local[hi]
+		done := make(chan error, 1)
+		s.q.push(func() {
+			err := s.eng.AddAnswer(llo, lhi, fc, source)
+			st := statsOf(s.eng)
+			if err == nil {
+				g.mu.Lock()
+				g.stats[s.id] = st
+				g.publishSnapshotLocked()
+				g.mu.Unlock()
+			}
+			done <- err
+		})
+		g.mu.Unlock()
+		return <-done
+	}
+	defer g.mu.Unlock()
+	return g.cacheCrossAnswerLocked(record.MakePair(record.ID(lo), record.ID(hi)), fc, source, true)
+}
+
+// cacheCrossAnswerLocked stores a cross-shard answer at the router,
+// journaling it first (WAL discipline) when asked to. Keep-first.
+func (g *Group) cacheCrossAnswerLocked(p record.Pair, fc float64, source string, journalIt bool) error {
+	if _, known := g.xans[p]; known {
+		return nil
+	}
+	if journalIt {
+		if err := g.routerAppendLocked(journal.Event{Type: journal.EventAnswer, Answer: &journal.AnswerData{
+			Lo: int(p.Lo), Hi: int(p.Hi), FC: fc, Source: source,
+		}}); err != nil {
+			return err
+		}
+	}
+	g.xans[p] = fc
+	g.xord = append(g.xord, p)
+	if source != "" {
+		g.xsrc[p] = source
+	}
+	if journalIt {
+		g.publishSnapshotLocked()
+	}
+	return nil
+}
+
+// routerAppendLocked journals one router event; a no-op when volatile.
+func (g *Group) routerAppendLocked(ev journal.Event) error {
+	if g.router == nil {
+		return nil
+	}
+	if _, err := g.router.Append(ev); err != nil {
+		return err
+	}
+	g.routerEvents++
+	return nil
+}
+
+// globalPair translates a shard-local pair to global ids. Global ids
+// are assigned in arrival order, so within one shard the local order
+// and the gid order agree and Lo/Hi survive translation.
+func (g *Group) globalPair(sid int, p record.Pair) record.Pair {
+	return record.MakePair(record.ID(g.gids[sid][int(p.Lo)]), record.ID(g.gids[sid][int(p.Hi)]))
+}
+
+// barrier blocks intake and waits for every shard queue to drain, then
+// takes mu. The caller must call release when done. While the barrier
+// holds, shard engines are quiescent and safe to touch directly.
+func (g *Group) barrier() error {
+	g.mu.Lock()
+	for g.resolving && !g.closed {
+		g.intakeOK.Wait()
+	}
+	if err := g.usableLocked(); err != nil {
+		g.mu.Unlock()
+		return err
+	}
+	g.resolving = true
+	g.mu.Unlock()
+	for _, s := range g.shards {
+		s.q.waitIdle()
+	}
+	g.mu.Lock()
+	return nil
+}
+
+// release ends a barrier and republishes the snapshot. Engines are
+// still quiescent here, so the stats mirrors can be resynced.
+func (g *Group) release() {
+	g.refreshStatsLocked()
+	g.resolving = false
+	g.publishSnapshotLocked()
+	g.intakeOK.Broadcast()
+	g.mu.Unlock()
+}
+
+// Resolve folds all pending work — every shard's candidate pairs plus
+// the cross-shard handoff queue — into the global clustering with one
+// RunResolve pass, exactly the pass a single engine holding all the
+// records would run. The effect is journaled router-first, then fanned
+// out to each shard's journal; recovery repairs a crash between the
+// two. ctx cancels the pass mid-crowd-iteration, leaving all state as
+// before the call (answers already received stay cached).
+func (g *Group) Resolve(ctx context.Context) (incremental.ResolveStats, error) {
+	if err := g.barrier(); err != nil {
+		return incremental.ResolveStats{}, err
+	}
+	defer g.release()
+
+	if g.n == 1 {
+		// One shard is a single engine; its own resolve path already
+		// journals answers and the effect into the shard journal.
+		s := g.shards[0]
+		st, err := s.eng.Resolve(ctx)
+		if err == nil {
+			g.round = s.eng.Round()
+			g.resolvedUpTo = g.nextGID
+			g.clusters = forestOf(g.liftClusters(s.eng.Clusters(), 0), g.nextGID)
+		}
+		return st, err
+	}
+
+	n := g.nextGID
+	pend := make([]blocking.ScoredPair, 0)
+	for _, s := range g.shards {
+		for _, sp := range s.eng.PendingScored() {
+			pend = append(pend, blocking.ScoredPair{Pair: g.globalPair(s.id, sp.Pair), Score: sp.Score})
+		}
+	}
+	for _, sp := range g.handoff {
+		// A hole endpoint means the record was never acked: the pair
+		// must not become a candidate (the record does not exist).
+		if g.local[int(sp.Pair.Lo)] >= 0 && g.local[int(sp.Pair.Hi)] >= 0 {
+			pend = append(pend, sp)
+		}
+	}
+	answered := append([]record.Pair(nil), g.xord...)
+	for _, s := range g.shards {
+		for _, p := range s.eng.AnsweredPairs() {
+			answered = append(answered, g.globalPair(s.id, p))
+		}
+	}
+
+	clusters, stats, err := incremental.RunResolve(g.cfg.Engine, incremental.ResolveState{
+		N:            n,
+		Round:        g.round + 1,
+		ResolvedUpTo: g.resolvedUpTo,
+		Clusters:     g.clusters,
+		Pending:      pend,
+		Answered:     answered,
+		Answer:       g.lookupAnswerLocked,
+		Sink:         g.sinkAnswerLocked,
+		Ctx:          ctx,
+	})
+	if err != nil {
+		return stats, err
+	}
+
+	// Commit order: the router journal records the global effect first,
+	// then each shard journals its restriction. A crash in between
+	// leaves lagging shards, which recovery repairs from the router's
+	// record — the reverse order could lose the global clustering with
+	// shards already advanced, which nothing could repair.
+	if err := g.routerAppendLocked(journal.Event{Type: journal.EventResolve, Resolve: &journal.ResolveData{
+		Round: stats.Round, ResolvedUpTo: n, Clusters: clusters,
+	}}); err != nil {
+		return stats, err
+	}
+	for _, s := range g.shards {
+		if err := s.eng.ApplyResolve(stats.Round, g.restrictClusters(clusters, s.id)); err != nil {
+			// Some shards committed, some did not: in-memory state can
+			// no longer be trusted to match any journal. Fail sticky;
+			// recovery reconciles from the router journal.
+			g.failed = fmt.Errorf("resolve fan-out to shard %d: %w", s.id, err)
+			return stats, g.failed
+		}
+	}
+
+	g.clusters = forestOf(clusters, n)
+	g.round = stats.Round
+	g.resolvedUpTo = n
+	g.handoff = nil // every handoff pair has Hi < n and is now covered
+	if err := g.routerMaybeCheckpointLocked(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// lookupAnswerLocked finds a cached answer for a global pair: the
+// router's cross-shard cache, or the home shard's when both ends live
+// together.
+func (g *Group) lookupAnswerLocked(p record.Pair) (float64, bool) {
+	if fc, ok := g.xans[p]; ok {
+		return fc, true
+	}
+	lo, hi := int(p.Lo), int(p.Hi)
+	if g.local[lo] < 0 || g.local[hi] < 0 {
+		return 0, false
+	}
+	if g.home[lo] != g.home[hi] {
+		return 0, false
+	}
+	return g.shards[g.home[lo]].eng.Answer(g.local[lo], g.local[hi])
+}
+
+// sinkAnswerLocked routes one fresh resolve answer to its durable home:
+// the owning shard's journal for same-shard pairs (the engine caches
+// and journals it), the router journal otherwise. Safe to call only
+// under a barrier (shard queues drained).
+func (g *Group) sinkAnswerLocked(p record.Pair, fc float64, source string) error {
+	lo, hi := int(p.Lo), int(p.Hi)
+	if g.local[lo] >= 0 && g.local[hi] >= 0 && g.home[lo] == g.home[hi] {
+		return g.shards[g.home[lo]].eng.AddAnswer(g.local[lo], g.local[hi], fc, source)
+	}
+	return g.cacheCrossAnswerLocked(p, fc, source, true)
+}
+
+// liftClusters translates one shard's local-id clustering into global
+// ids — the inverse of restrictClusters. Gid order preserves local
+// order within a shard, so canonical form survives the lift.
+func (g *Group) liftClusters(clusters [][]int, sid int) [][]int {
+	out := make([][]int, len(clusters))
+	for i, set := range clusters {
+		lifted := make([]int, len(set))
+		for j, l := range set {
+			lifted[j] = g.gids[sid][l]
+		}
+		out[i] = lifted
+	}
+	return out
+}
+
+// restrictClusters projects a global clustering onto one shard's local
+// id space, dropping other shards' members and hole gids.
+func (g *Group) restrictClusters(clusters [][]int, sid int) [][]int {
+	var out [][]int
+	for _, set := range clusters {
+		var loc []int
+		for _, gid := range set {
+			if g.home[gid] == sid && g.local[gid] >= 0 {
+				loc = append(loc, g.local[gid])
+			}
+		}
+		if len(loc) > 0 {
+			out = append(out, loc)
+		}
+	}
+	return out
+}
+
+// forestOf builds a union-find over n elements from a cluster listing.
+func forestOf(clusters [][]int, n int) *unionfind.Growable {
+	uf := &unionfind.Growable{}
+	uf.Grow(n)
+	for _, set := range clusters {
+		for _, m := range set[1:] {
+			uf.Union(set[0], m)
+		}
+	}
+	return uf
+}
+
+// routerMaybeCheckpointLocked compacts the router journal once enough
+// events accumulate, mirroring the per-engine checkpoint cadence.
+func (g *Group) routerMaybeCheckpointLocked() error {
+	if g.router == nil || g.cfg.Engine.CheckpointEvery <= 0 || g.routerEvents < g.cfg.Engine.CheckpointEvery {
+		return nil
+	}
+	return g.routerCheckpointLocked()
+}
+
+// routerCheckpointLocked writes the router's compacted state: the
+// cross-shard answer cache and the latest global clustering.
+func (g *Group) routerCheckpointLocked() error {
+	if g.router == nil {
+		return nil
+	}
+	answers := make([]journal.AnswerData, 0, len(g.xord))
+	for _, p := range g.xord {
+		answers = append(answers, journal.AnswerData{
+			Lo: int(p.Lo), Hi: int(p.Hi), FC: g.xans[p], Source: g.xsrc[p],
+		})
+	}
+	g.clusters.Grow(g.nextGID)
+	cp := &journal.Checkpoint{
+		Seq:          g.router.NextSeq() - 1,
+		Round:        g.round,
+		ResolvedUpTo: g.resolvedUpTo,
+		Answers:      answers,
+		Clusters:     g.clusters.Sets(g.nextGID),
+	}
+	if err := g.router.WriteCheckpoint(cp); err != nil {
+		return err
+	}
+	g.routerEvents = 0
+	return nil
+}
+
+// Checkpoint drains all shards and writes a compacted snapshot to every
+// journal (each shard's plus the router's). No-op when volatile.
+func (g *Group) Checkpoint() error {
+	if err := g.barrier(); err != nil {
+		return err
+	}
+	defer g.release()
+	for _, s := range g.shards {
+		if err := s.eng.Checkpoint(); err != nil {
+			return fmt.Errorf("shard %d checkpoint: %w", s.id, err)
+		}
+	}
+	return g.routerCheckpointLocked()
+}
+
+// Close drains every shard, stops the queue goroutines, and closes all
+// journals. The group rejects further mutations.
+func (g *Group) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	g.intakeOK.Broadcast()
+	g.mu.Unlock()
+
+	var first error
+	for _, s := range g.shards {
+		s.q.close() // drains queued ops, then the goroutine exits
+		if err := s.eng.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.router != nil {
+		if err := g.router.Close(); err != nil && first == nil {
+			first = err
+		}
+		g.router = nil
+	}
+	return first
+}

@@ -1,0 +1,78 @@
+package shard
+
+import "sync"
+
+// opQueue is a single-owner FIFO work queue: one goroutine (run)
+// executes pushed ops in order, so everything an op touches — notably
+// the shard's engine — needs no lock of its own. The queue is
+// unbounded on purpose: push is called under the group mutex, and a
+// bounded queue could block there while the consumer waits for that
+// same mutex to acknowledge a record — a deadlock, not backpressure.
+type opQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ops    []func()
+	busy   bool // an op is executing right now
+	closed bool
+	done   chan struct{} // closed when run exits
+}
+
+func newOpQueue() *opQueue {
+	q := &opQueue{done: make(chan struct{})}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues an op. Ops pushed after close are silently dropped
+// (the group rejects intake before closing, so none should arrive).
+func (q *opQueue) push(op func()) {
+	q.mu.Lock()
+	if !q.closed {
+		q.ops = append(q.ops, op)
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+// run executes ops in FIFO order until close, draining what remains.
+func (q *opQueue) run() {
+	defer close(q.done)
+	q.mu.Lock()
+	for {
+		for len(q.ops) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.ops) == 0 {
+			q.mu.Unlock()
+			return
+		}
+		op := q.ops[0]
+		q.ops = q.ops[1:]
+		q.busy = true
+		q.mu.Unlock()
+		op()
+		q.mu.Lock()
+		q.busy = false
+		q.cond.Broadcast()
+	}
+}
+
+// waitIdle blocks until the queue is empty and no op is executing —
+// the quiescence point resolve barriers rely on.
+func (q *opQueue) waitIdle() {
+	q.mu.Lock()
+	for len(q.ops) > 0 || q.busy {
+		q.cond.Wait()
+	}
+	q.mu.Unlock()
+}
+
+// close stops the queue after draining it and waits for the goroutine
+// to exit. Safe to call more than once.
+func (q *opQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	<-q.done
+}

@@ -11,10 +11,14 @@
 # Environment:
 #   BENCHTIME  go test -benchtime value (default: 2s)
 #   COUNT      go test -count value; runs are averaged (default: 3)
+#   BENCH      go test -bench regex (default: the core hot-path suite)
+#   PKG        package to benchmark (default: the repo root)
 #
-# The benchmark set is the core hot-path suite named in ISSUE 3:
+# The default benchmark set is the core hot-path suite named in ISSUE 3:
 # PC-Pivot, PC-Refine, the pruning-phase Jaccard join, the full-pipeline
-# scale run, and the sparse Λ computation.
+# scale run, and the sparse Λ computation. Other suites (e.g. the
+# sharded-engine mix feeding BENCH_6.json) select themselves via BENCH
+# and PKG.
 set -eu
 
 label="${1:-post}"
@@ -25,7 +29,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run NONE \
-    -bench 'PCPivot$|PCRefine$|PruningJaccardJoin$|ScaleACD$|Lambda$' \
-    -benchmem -benchtime "${BENCHTIME:-2s}" -count "${COUNT:-3}" . | tee "$tmp"
+    -bench "${BENCH:-PCPivot$|PCRefine$|PruningJaccardJoin$|ScaleACD$|Lambda$}" \
+    -benchmem -benchtime "${BENCHTIME:-2s}" -count "${COUNT:-3}" "${PKG:-.}" | tee "$tmp"
 
 go run ./internal/tools/benchjson -label "$label" -out "$out" < "$tmp"
