@@ -1,0 +1,204 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"acd/internal/load"
+	"acd/internal/serve"
+)
+
+// TestList: -list prints every scenario and exits 0.
+func TestList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"baseline", "high-load", "bursty", "read-heavy", "degraded-crowd", "crash-restart"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestBadFlags: parse errors and bad values exit non-zero without
+// panicking.
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-no-such-flag"},
+		{"-mix", "1,2,3"},
+		{"-mix", "a,b,c,d", "-duration", "100ms"},
+		{"-arrival", "weird", "-duration", "100ms"},
+		{"-scenario", "no-such-scenario"},
+	}
+	for _, args := range cases {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code == 0 {
+			t.Errorf("run(%v) = 0, want non-zero", args)
+		}
+	}
+}
+
+// TestAdhocLoopback: a short self-hosted ad-hoc run against an
+// in-process server produces a rendered report and a suite file, and
+// leaks no goroutines.
+func TestAdhocLoopback(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	dir := t.TempDir()
+	out := filepath.Join(dir, "suite.json")
+	var stdout, stderr strings.Builder
+	code := run([]string{
+		"-journal", filepath.Join(dir, "j"),
+		"-shards", "2",
+		"-duration", "400ms", "-warmup", "50ms",
+		"-concurrency", "4",
+		"-churn-records", "200", "-churn-entities", "40",
+		"-resolve-every", "150ms",
+		"-label", "smoketest",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "scenario smoketest") || !strings.Contains(stdout.String(), "p99ms") {
+		t.Errorf("rendered report missing expected content:\n%s", stdout.String())
+	}
+	suite, err := load.ReadSuite(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Reports) != 1 || suite.Reports[0].Scenario != "smoketest" || suite.Reports[0].Shards != 2 {
+		t.Fatalf("suite contents: %+v", suite.Reports)
+	}
+	if suite.Reports[0].Counters.AckedRecords == 0 {
+		t.Error("no records acked")
+	}
+	checkGoroutines(t, baseline)
+}
+
+// TestAdhocPoissonAgainstTarget: open-loop mode with bursts against an
+// externally-started server (the -target path).
+func TestAdhocPoissonAgainstTarget(t *testing.T) {
+	l, err := serve.StartLocal(serve.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var stdout, stderr strings.Builder
+	code := run([]string{
+		"-target", l.URL,
+		"-arrival", "poisson", "-rate", "300",
+		"-burst-rate", "900", "-burst-period", "200ms", "-burst-duty", "0.3",
+		"-duration", "400ms", "-warmup", "0s",
+		"-concurrency", "8",
+		"-churn-records", "120", "-churn-entities", "30",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "records") {
+		t.Errorf("report missing records endpoint:\n%s", stdout.String())
+	}
+}
+
+// TestScenarioSmoke: the -scenario path end to end (one scenario, smoke
+// mode, suite written).
+func TestScenarioSmoke(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "suite.json")
+	var stdout, stderr strings.Builder
+	code := run([]string{"-scenario", "baseline", "-smoke", "-journal", dir, "-out", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	suite, err := load.ReadSuite(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Reports) != 1 || suite.Reports[0].Scenario != "baseline" {
+		t.Fatalf("suite contents: %+v", suite.Reports)
+	}
+}
+
+// checkGoroutines gives background HTTP machinery a moment to wind
+// down, then compares against the baseline.
+func checkGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Errorf("goroutine leak: %d running, baseline %d\n%s",
+		runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+}
+
+// docsPath locates docs/serving.md relative to this package.
+func docsPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join("..", "..", "docs", "serving.md")
+}
+
+// TestFlagsDocumented: every acdload flag appears in docs/serving.md as
+// `-name` — the handbook documents the whole CLI surface, enforced.
+func TestFlagsDocumented(t *testing.T) {
+	raw, err := os.ReadFile(docsPath(t))
+	if err != nil {
+		t.Fatalf("reading docs/serving.md: %v", err)
+	}
+	doc := string(raw)
+	var o options
+	fs := flags(&o, io.Discard)
+	fs.VisitAll(func(f *flag.Flag) {
+		if !strings.Contains(doc, "`-"+f.Name+"`") {
+			t.Errorf("flag -%s is not documented in docs/serving.md", f.Name)
+		}
+	})
+}
+
+// TestEndpointsDocumented: every acdserve endpoint appears in
+// docs/serving.md verbatim.
+func TestEndpointsDocumented(t *testing.T) {
+	raw, err := os.ReadFile(docsPath(t))
+	if err != nil {
+		t.Fatalf("reading docs/serving.md: %v", err)
+	}
+	doc := string(raw)
+	for _, ep := range serve.Endpoints() {
+		if !strings.Contains(doc, "`"+ep+"`") {
+			t.Errorf("endpoint %q is not documented in docs/serving.md", ep)
+		}
+	}
+}
+
+// TestScenariosDocumented: every scenario name appears in
+// docs/serving.md.
+func TestScenariosDocumented(t *testing.T) {
+	raw, err := os.ReadFile(docsPath(t))
+	if err != nil {
+		t.Fatalf("reading docs/serving.md: %v", err)
+	}
+	doc := string(raw)
+	var o options
+	_ = o
+	for _, s := range scenariosAll() {
+		if !strings.Contains(doc, "`"+s+"`") {
+			t.Errorf("scenario %q is not documented in docs/serving.md", s)
+		}
+	}
+}
+
+// scenariosAll returns the scenario names (kept separate so the doc
+// test reads naturally).
+func scenariosAll() []string {
+	return []string{"baseline", "high-load", "bursty", "read-heavy", "degraded-crowd", "crash-restart"}
+}

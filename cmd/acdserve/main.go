@@ -10,10 +10,17 @@
 // checkpoints, and a restarted server recovers the exact clustering it
 // had before the crash.
 //
+// The engine, handlers, and HTTP API live in internal/serve (so the
+// acdload scenario suite can embed the same server in-process); this
+// command adds flags, the listener, and the graceful-shutdown
+// lifecycle. The API and operations are documented in docs/serving.md.
+//
 // Usage:
 //
 //	acdserve [-addr 127.0.0.1:8080] [-journal DIR] [-shards N] [-tau 0.3]
 //	         [-eps 0.1] [-x 8] [-seed 1] [-checkpoint-every N]
+//	         [-crowd-sim] [-crowd-latency D] [-crowd-spike F] [-crowd-drop F]
+//	         [-crowd-error F] [-crowd-timeout D] [-crowd-retries N]
 //	         [-metrics] [-metrics-json] [-trace FILE] [-metrics-http ADDR]
 //
 // Endpoints:
@@ -31,14 +38,16 @@
 // Crowd answers are optional: /resolve primes every cached answer and
 // falls back to machine similarity scores for residual pairs, so the
 // service is useful standalone and gets strictly better as answers
-// stream in. On SIGINT/SIGTERM the server drains in-flight requests,
-// writes a final checkpoint, and closes the journals.
+// stream in. With -crowd-sim the residual questions go to a simulated
+// crowd instead (deterministic pseudo-answers with real injected
+// latency and faults per the -crowd-* knobs) — the degraded-crowd
+// configuration the load scenarios exercise. On SIGINT/SIGTERM the
+// server drains in-flight requests, writes a final checkpoint, and
+// closes the journals.
 package main
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -50,12 +59,10 @@ import (
 	"time"
 
 	"acd/internal/core"
-	"acd/internal/incremental"
-	"acd/internal/journal"
 	"acd/internal/obs"
 	"acd/internal/pruning"
 	"acd/internal/refine"
-	"acd/internal/shard"
+	"acd/internal/serve"
 )
 
 func main() {
@@ -64,7 +71,7 @@ func main() {
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr, nil))
 }
 
-// run is main's testable seam: it parses args, builds the shard group
+// run is main's testable seam: it parses args, builds the server core
 // (recovering from the journal when one is configured), serves HTTP
 // until ctx is cancelled, then shuts down gracefully. When ready is
 // non-nil the bound listen address is sent on it once the server
@@ -81,6 +88,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	x := fs.Int("x", refine.DefaultX, "refinement budget divisor (T = N_m/x)")
 	seed := fs.Int64("seed", 1, "random seed for resolve permutations")
 	ckpt := fs.Int("checkpoint-every", 256, "journal events between automatic checkpoints (0 disables)")
+	crowdSim := fs.Bool("crowd-sim", false, "answer residual resolve questions from a simulated crowd (deterministic pseudo-answers with real injected latency) instead of machine scores")
+	crowdLatency := fs.Duration("crowd-latency", 500*time.Microsecond, "with -crowd-sim: median simulated answer latency per question")
+	crowdSpike := fs.Float64("crowd-spike", 0, "with -crowd-sim: probability a simulated answer's latency spikes 25x")
+	crowdDrop := fs.Float64("crowd-drop", 0, "with -crowd-sim: probability a simulated answer never arrives (forces timeout+retry)")
+	crowdError := fs.Float64("crowd-error", 0, "with -crowd-sim: probability of a transient simulated platform error")
+	crowdTimeout := fs.Duration("crowd-timeout", 50*time.Millisecond, "with -crowd-sim: per-question deadline before retry/fallback")
+	crowdRetries := fs.Int("crowd-retries", 1, "with -crowd-sim: re-issues after a failed question")
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -96,56 +110,44 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		defer obsFlags.Finish(stderr)
 	}
 
-	cfg := shard.Config{
-		Shards: *shards,
-		Engine: incremental.Config{
-			Tau: *tau, TauSet: true,
-			Epsilon: *eps, RefineX: *x,
-			Seed: *seed, Obs: rec,
-			CheckpointEvery: *ckpt,
-		},
+	cfg := serve.Config{
+		Journal: *dir,
+		Shards:  *shards,
+		Tau:     *tau, TauSet: true,
+		Epsilon: *eps, RefineX: *x,
+		Seed:            *seed,
+		CheckpointEvery: *ckpt,
+		Obs:             rec,
 	}
-	var group *shard.Group
-	if *dir != "" {
-		tree, err := journal.NewDirTree(*dir)
-		if err != nil {
-			fmt.Fprintf(stderr, "acdserve: %v\n", err)
-			return 1
-		}
-		group, err = shard.Open(cfg, tree)
-		if err != nil {
-			fmt.Fprintf(stderr, "acdserve: recovering journal: %v\n", err)
-			return 1
-		}
-		snap := group.Snapshot()
+	if *crowdSim {
+		cfg.Source = serve.DegradedCrowd(serve.SimCrowdConfig{
+			Seed:        *seed,
+			BaseLatency: *crowdLatency,
+			Spike:       *crowdSpike,
+			Drop:        *crowdDrop,
+			Error:       *crowdError,
+			Timeout:     *crowdTimeout,
+			Retries:     *crowdRetries,
+		})
+	}
+	srv, err := serve.Open(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "acdserve: %v\n", err)
+		return 1
+	}
+	if srv.Recovered.FromJournal {
 		fmt.Fprintf(stderr, "acdserve: journal %s (%d shards): recovered %d records, round %d\n",
-			*dir, group.Shards(), snap.Records, snap.Round)
-	} else {
-		var err error
-		group, err = shard.New(cfg)
-		if err != nil {
-			fmt.Fprintf(stderr, "acdserve: %v\n", err)
-			return 1
-		}
+			*dir, srv.Shards(), srv.Recovered.Records, srv.Recovered.Round)
 	}
-
-	srv := &server{group: group}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/records", srv.handleRecords)
-	mux.HandleFunc("/answers", srv.handleAnswers)
-	mux.HandleFunc("/resolve", srv.handleResolve)
-	mux.HandleFunc("/clusters", srv.handleClusters)
-	mux.HandleFunc("/healthz", srv.handleHealthz)
-	mux.Handle("/metrics", rec)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "acdserve: %v\n", err)
-		group.Close()
+		srv.Close()
 		return 1
 	}
-	httpSrv := &http.Server{Handler: mux}
-	fmt.Fprintf(stderr, "acdserve: listening on http://%s (%d shards)\n", ln.Addr(), group.Shards())
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stderr, "acdserve: listening on http://%s (%d shards)\n", ln.Addr(), srv.Shards())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -170,160 +172,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 
 	// Drained: checkpoint every journal so the next start replays a
 	// compact prefix, then release them.
-	if err := group.Checkpoint(); err != nil {
+	if err := srv.Checkpoint(); err != nil {
 		fmt.Fprintf(stderr, "acdserve: final checkpoint: %v\n", err)
 		status = 1
 	}
-	final := group.Snapshot()
-	if err := group.Close(); err != nil {
+	final := srv.Snapshot()
+	if err := srv.Close(); err != nil {
 		fmt.Fprintf(stderr, "acdserve: closing journal: %v\n", err)
 		status = 1
 	}
 	fmt.Fprintf(stdout, "acdserve: stopped after %d records, round %d\n", final.Records, final.Round)
 	return status
-}
-
-// server wires the HTTP handlers to the shard group. The group is
-// internally synchronized: writes route through per-shard queues and
-// reads load the immutable snapshot pointer, so the server itself
-// holds no lock anywhere.
-type server struct {
-	group *shard.Group
-}
-
-// recordPayload is one record in a POST /records body.
-type recordPayload struct {
-	Fields map[string]string `json:"fields"`
-	Entity string            `json:"entity,omitempty"`
-}
-
-// answerPayload is one crowd answer in a POST /answers body.
-type answerPayload struct {
-	Lo     int     `json:"lo"`
-	Hi     int     `json:"hi"`
-	FC     float64 `json:"fc"`
-	Source string  `json:"source,omitempty"`
-}
-
-func (s *server) handleRecords(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	var body struct {
-		Records []recordPayload `json:"records"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-		return
-	}
-	if len(body.Records) == 0 {
-		writeError(w, http.StatusBadRequest, "no records")
-		return
-	}
-	recs := make([]incremental.Record, len(body.Records))
-	for i, p := range body.Records {
-		recs[i] = incremental.Record{Fields: p.Fields, Entity: p.Entity}
-	}
-	ids, err := s.group.Add(recs...)
-	if err != nil {
-		// A mid-batch journal failure leaves a durable prefix applied;
-		// tell the client exactly which records made it in.
-		writeJSON(w, http.StatusInternalServerError, map[string]any{
-			"error": err.Error(), "committed_ids": ids,
-		})
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "pending_pairs": s.group.Snapshot().PendingPairs})
-}
-
-func (s *server) handleAnswers(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	var body struct {
-		Answers []answerPayload `json:"answers"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-		return
-	}
-	// Validate the whole batch up front: a 400 means nothing was
-	// applied. Records are never removed, so a validated answer cannot
-	// become invalid before it is applied below.
-	for i, a := range body.Answers {
-		if err := s.group.ValidateAnswer(a.Lo, a.Hi, a.FC); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("answer %d: %v", i, err))
-			return
-		}
-	}
-	accepted := 0
-	for i, a := range body.Answers {
-		if err := s.group.AddAnswer(a.Lo, a.Hi, a.FC, a.Source); err != nil {
-			// Validation passed, so this is a journal failure; the first
-			// `accepted` answers are already durable.
-			writeJSON(w, http.StatusInternalServerError, map[string]any{
-				"error": fmt.Sprintf("answer %d: %v", i, err), "committed": accepted,
-			})
-			return
-		}
-		accepted++
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"accepted": accepted, "known": s.group.Snapshot().Answers})
-}
-
-func (s *server) handleResolve(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
-	st, err := s.group.Resolve(r.Context())
-	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			status = http.StatusRequestTimeout
-		}
-		writeError(w, status, err.Error())
-		return
-	}
-	writeJSON(w, http.StatusOK, st)
-}
-
-func (s *server) handleClusters(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
-	snap := s.group.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"round":          snap.Round,
-		"resolved_up_to": snap.ResolvedUpTo,
-		"records":        snap.Records,
-		"shards":         snap.Shards,
-		"clusters":       snap.Clusters,
-	})
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	snap := s.group.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"records": snap.Records,
-		"round":   snap.Round,
-		"pending": snap.PendingPairs,
-		"shards":  snap.Shards,
-	})
-}
-
-// writeJSON writes v as the JSON response body with the given status.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v) //nolint:errcheck — response is best-effort past this point
-}
-
-// writeError writes a JSON error envelope.
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
 }

@@ -1,0 +1,208 @@
+// Package benchfmt is the shared schema of the repo's committed
+// benchmark-trajectory files (BENCH_N.json). Two producers write it:
+// the benchjson tool parses `go test -bench` text (BENCH_3/BENCH_6),
+// and the acdload workload generator converts its scenario reports
+// (BENCH_7) — both land in the same Document so the performance
+// trajectory reads uniformly from the microbenchmarks up to the
+// serving layer.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's averaged measurements.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (for scenario reports: "Load/<scenario>/<endpoint>").
+	Name string `json:"name"`
+	// Samples is how many runs were averaged (the -count value; 1 for
+	// scenario reports, which average internally).
+	Samples int `json:"samples"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the standard testing
+	// measurements (B/op and allocs/op require -benchmem). Scenario
+	// reports store the mean request latency in NsPerOp and leave the
+	// allocation columns zero.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds any extra series (unit -> value): b.ReportMetric
+	// output for go-bench results; throughput and latency percentiles
+	// ("ops/s", "p50_ms", "p99_ms", ...) for scenario reports.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the schema of a BENCH_N.json file: one result list per
+// label ("pre", "post", "baseline-4shard", ...), plus the recording
+// environment.
+type Document struct {
+	// Go is the toolchain that produced the numbers.
+	Go string `json:"go"`
+	// GOMAXPROCS is the parallelism the benchmarks ran with.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// Labels maps a label to its benchmark results.
+	Labels map[string][]Result `json:"labels"`
+}
+
+// Read loads a document from path. A missing file yields an empty
+// document (so the first merge of a trajectory file needs no special
+// case); a present-but-corrupt file is an error.
+func Read(path string) (*Document, error) {
+	doc := &Document{Labels: map[string][]Result{}}
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return doc, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(raw, doc); err != nil {
+		return nil, fmt.Errorf("corrupt %s: %w", path, err)
+	}
+	if doc.Labels == nil {
+		doc.Labels = map[string][]Result{}
+	}
+	return doc, nil
+}
+
+// Set stores results under a label, replacing any previous list, and
+// stamps the document with the current toolchain environment.
+func (d *Document) Set(label string, results []Result) {
+	d.Go = runtime.Version()
+	d.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	if d.Labels == nil {
+		d.Labels = map[string][]Result{}
+	}
+	d.Labels[label] = results
+}
+
+// Write marshals the document to path with a trailing newline.
+func (d *Document) Write(path string) error {
+	enc, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// ParseGoBench reads `go test -bench` output and returns per-name
+// averaged results in first-seen order (repeated -count runs of one
+// benchmark are averaged and the sample count recorded).
+func ParseGoBench(r io.Reader) ([]Result, error) {
+	type acc struct {
+		Result
+		order int
+	}
+	byName := map[string]*acc{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		a, ok := byName[name]
+		if !ok {
+			a = &acc{Result: Result{Name: name}, order: len(byName)}
+			byName[name] = a
+		}
+		a.Samples++
+		// The tail is a sequence of "<value> <unit>" measurement pairs.
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				a.NsPerOp += v
+			case "B/op":
+				a.BytesPerOp += v
+			case "allocs/op":
+				a.AllocsPerOp += v
+			default:
+				if a.Metrics == nil {
+					a.Metrics = map[string]float64{}
+				}
+				a.Metrics[unit] += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	accs := make([]*acc, 0, len(byName))
+	for _, a := range byName {
+		accs = append(accs, a)
+	}
+	sort.Slice(accs, func(i, j int) bool { return accs[i].order < accs[j].order })
+	out := make([]Result, 0, len(accs))
+	for _, a := range accs {
+		n := float64(a.Samples)
+		a.NsPerOp /= n
+		a.BytesPerOp /= n
+		a.AllocsPerOp /= n
+		for k := range a.Metrics {
+			a.Metrics[k] /= n
+		}
+		out = append(out, a.Result)
+	}
+	return out, nil
+}
+
+// Compare renders the "pre" and "post" labels of the document at path
+// as a markdown table with speedup and allocation-reduction ratios.
+func Compare(path string, w io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return err
+	}
+	pre, post := doc.Labels["pre"], doc.Labels["post"]
+	if pre == nil || post == nil {
+		return fmt.Errorf("%s: need both \"pre\" and \"post\" labels", path)
+	}
+	postBy := make(map[string]Result, len(post))
+	for _, r := range post {
+		postBy[r.Name] = r
+	}
+	fmt.Fprintln(w, "| benchmark | ns/op (pre) | ns/op (post) | speedup | allocs/op (pre) | allocs/op (post) | alloc reduction |")
+	fmt.Fprintln(w, "|---|---|---|---|---|---|---|")
+	for _, p := range pre {
+		q, ok := postBy[p.Name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %.2fx | %.0f | %.0f | %.1fx |\n",
+			strings.TrimPrefix(p.Name, "Benchmark"),
+			p.NsPerOp, q.NsPerOp, ratio(p.NsPerOp, q.NsPerOp),
+			p.AllocsPerOp, q.AllocsPerOp, ratio(p.AllocsPerOp, q.AllocsPerOp))
+	}
+	return nil
+}
+
+// ratio returns a/b guarded against division by zero.
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

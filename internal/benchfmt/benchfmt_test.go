@@ -1,0 +1,123 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// writeRaw overwrites path with literal bytes (for corrupt-file cases).
+func writeRaw(path, s string) error { return os.WriteFile(path, []byte(s), 0o644) }
+
+const sample = `goos: linux
+goarch: amd64
+BenchmarkPCPivot-8   	     100	  11939086 ns/op	  152568 B/op	     633 allocs/op
+BenchmarkPCPivot-8   	     100	  12060914 ns/op	  152568 B/op	     633 allocs/op
+BenchmarkScaleACD-8  	       2	 662308452 ns/op	       3.5 rounds	98478144 B/op	  804382 allocs/op
+PASS
+`
+
+// TestParseGoBench: repeated runs average, extra b.ReportMetric series
+// land in Metrics, order is first-seen.
+func TestParseGoBench(t *testing.T) {
+	rs, err := ParseGoBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Result{
+		{Name: "BenchmarkPCPivot", Samples: 2, NsPerOp: 12000000, BytesPerOp: 152568, AllocsPerOp: 633},
+		{Name: "BenchmarkScaleACD", Samples: 1, NsPerOp: 662308452, BytesPerOp: 98478144, AllocsPerOp: 804382,
+			Metrics: map[string]float64{"rounds": 3.5}},
+	}
+	if !reflect.DeepEqual(rs, want) {
+		t.Errorf("parse:\n got %+v\nwant %+v", rs, want)
+	}
+}
+
+// TestRoundTrip: Set + Write + Read reproduce the document exactly, and
+// a second label merges without disturbing the first.
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_T.json")
+	doc, err := Read(path) // missing file = empty doc
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Labels) != 0 {
+		t.Fatalf("fresh doc has labels: %v", doc.Labels)
+	}
+	first := []Result{{Name: "Load/baseline/records", Samples: 1, NsPerOp: 1.5e6,
+		Metrics: map[string]float64{"ops/s": 1234.5, "p99_ms": 9.25}}}
+	doc.Set("baseline-1shard", first)
+	if err := doc.Write(path); err != nil {
+		t.Fatal(err)
+	}
+
+	again, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Labels["baseline-1shard"], first) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", again.Labels["baseline-1shard"], first)
+	}
+	if again.Go == "" || again.GOMAXPROCS == 0 {
+		t.Errorf("environment not stamped: %q/%d", again.Go, again.GOMAXPROCS)
+	}
+
+	second := []Result{{Name: "Load/baseline/records", Samples: 1, NsPerOp: 2.5e6}}
+	again.Set("baseline-4shard", second)
+	if err := again.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged.Labels["baseline-1shard"], first) ||
+		!reflect.DeepEqual(merged.Labels["baseline-4shard"], second) {
+		t.Errorf("merge disturbed labels: %+v", merged.Labels)
+	}
+}
+
+// TestReadCorrupt: a present-but-broken file errors instead of being
+// silently replaced.
+func TestReadCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := (&Document{}).Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRaw(path, "{nope"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Error("corrupt file read without error")
+	}
+}
+
+// TestCompare renders a pre/post table.
+func TestCompare(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_T.json")
+	doc := &Document{}
+	doc.Set("pre", []Result{{Name: "BenchmarkX", NsPerOp: 100, AllocsPerOp: 10}})
+	doc.Set("post", []Result{{Name: "BenchmarkX", NsPerOp: 50, AllocsPerOp: 5}})
+	if err := doc.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Compare(path, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "| X | 100 | 50 | 2.00x | 10 | 5 | 2.0x |") {
+		t.Errorf("comparison table wrong:\n%s", sb.String())
+	}
+	// Compare without both labels is an error.
+	doc2 := &Document{}
+	doc2.Set("pre", nil)
+	if err := doc2.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := Compare(path, &sb); err == nil {
+		t.Error("compare without post label did not error")
+	}
+}

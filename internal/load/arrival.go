@@ -1,0 +1,89 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ArrivalKind selects how operations are scheduled against the server.
+type ArrivalKind string
+
+const (
+	// ArrivalClosed is the closed-loop process: Concurrency workers
+	// each issue the next operation the moment the previous response
+	// lands. Offered load adapts to server speed (no queue forms), so
+	// closed loops measure capacity, not queueing behavior.
+	ArrivalClosed ArrivalKind = "closed"
+	// ArrivalPoisson is the open-loop process: operations are released
+	// on a Poisson schedule at Rate ops/sec regardless of how fast
+	// responses return, the way independent users arrive. An optional
+	// Burst overlays a square-wave rate modulation.
+	ArrivalPoisson ArrivalKind = "poisson"
+)
+
+// Burst is a square-wave modulation of the open-loop rate: for the
+// first Duty fraction of every Period the schedule runs at Rate, the
+// rest of the period at the base rate. It models flash crowds and
+// ingest spikes.
+type Burst struct {
+	// Rate is the burst-window arrival rate in ops/sec.
+	Rate float64
+	// Period is the full cycle length.
+	Period time.Duration
+	// Duty is the fraction of each period spent at the burst rate
+	// (0 < Duty < 1).
+	Duty float64
+}
+
+// Schedule generates the interarrival delays of an open-loop arrival
+// process. Draws are deterministic for a seed: the schedule is pure
+// arithmetic over a seeded RNG and its own accumulated virtual time, so
+// two runs with the same seed release operations at the same offsets.
+// Not safe for concurrent use; the dispatcher owns it.
+type Schedule struct {
+	rng     *rand.Rand
+	base    float64
+	burst   *Burst
+	elapsed time.Duration
+}
+
+// NewSchedule builds a Poisson schedule at rate ops/sec, optionally
+// modulated by burst (nil = constant rate).
+func NewSchedule(seed int64, rate float64, burst *Burst) (*Schedule, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("load: open-loop rate must be positive, got %v", rate)
+	}
+	if burst != nil {
+		if burst.Rate <= 0 || burst.Period <= 0 || burst.Duty <= 0 || burst.Duty >= 1 {
+			return nil, fmt.Errorf("load: burst needs Rate > 0, Period > 0, 0 < Duty < 1, got %+v", *burst)
+		}
+	}
+	return &Schedule{rng: rand.New(rand.NewSource(seed)), base: rate, burst: burst}, nil
+}
+
+// rateAt returns the arrival rate in effect at virtual offset t.
+func (s *Schedule) rateAt(t time.Duration) float64 {
+	if s.burst == nil {
+		return s.base
+	}
+	phase := t % s.burst.Period
+	if float64(phase) < s.burst.Duty*float64(s.burst.Period) {
+		return s.burst.Rate
+	}
+	return s.base
+}
+
+// Next returns the delay before the next operation: an exponential
+// interarrival draw at the rate in effect at the schedule's current
+// virtual offset.
+func (s *Schedule) Next() time.Duration {
+	r := s.rateAt(s.elapsed)
+	d := time.Duration(s.rng.ExpFloat64() / r * float64(time.Second))
+	s.elapsed += d
+	return d
+}
+
+// Elapsed returns the schedule's accumulated virtual time — the offset
+// at which the most recently drawn operation is released.
+func (s *Schedule) Elapsed() time.Duration { return s.elapsed }

@@ -1,0 +1,148 @@
+package load
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestScheduleDeterministic: same seed → identical draw sequence;
+// different seed → different sequence.
+func TestScheduleDeterministic(t *testing.T) {
+	a, err := NewSchedule(42, 500, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewSchedule(42, 500, nil)
+	c, _ := NewSchedule(43, 500, nil)
+	same := true
+	for i := 0; i < 1000; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("draw %d diverged for same seed: %v vs %v", i, da, db)
+		}
+		if da != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+	if a.Elapsed() != b.Elapsed() {
+		t.Errorf("elapsed diverged: %v vs %v", a.Elapsed(), b.Elapsed())
+	}
+}
+
+// TestSchedulePoissonBounds: exponential interarrivals at rate r have
+// mean 1/r and standard deviation 1/r; over n draws the sample mean
+// must land within a generous confidence band, and the empirical CDF at
+// the mean must be near 1-1/e.
+func TestSchedulePoissonBounds(t *testing.T) {
+	const rate = 1000.0
+	const n = 50_000
+	s, err := NewSchedule(7, rate, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := time.Duration(float64(time.Second) / rate)
+	var sum time.Duration
+	below := 0
+	for i := 0; i < n; i++ {
+		d := s.Next()
+		if d < 0 {
+			t.Fatalf("negative interarrival %v", d)
+		}
+		sum += d
+		if d < mean {
+			below++
+		}
+	}
+	got := float64(sum) / n
+	// ±5% band: sigma/sqrt(n) ≈ 0.45% of the mean, so 5% is >10 sigma.
+	if math.Abs(got-float64(mean)) > 0.05*float64(mean) {
+		t.Errorf("sample mean %v, want %v ±5%%", time.Duration(got), mean)
+	}
+	// P(X < mean) = 1 - 1/e ≈ 0.632 for an exponential.
+	frac := float64(below) / n
+	if math.Abs(frac-0.632) > 0.02 {
+		t.Errorf("CDF at mean = %.3f, want ≈ 0.632", frac)
+	}
+	if s.Elapsed() != sum {
+		t.Errorf("Elapsed() = %v, want %v", s.Elapsed(), sum)
+	}
+}
+
+// TestScheduleBurst: the square wave applies the burst rate for exactly
+// the duty fraction of each period, and draws inside the burst window
+// are faster on average.
+func TestScheduleBurst(t *testing.T) {
+	burst := &Burst{Rate: 4000, Period: 100 * time.Millisecond, Duty: 0.3}
+	s, err := NewSchedule(11, 200, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rateAt: square wave boundaries.
+	cases := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{0, 4000},
+		{29 * time.Millisecond, 4000},
+		{30 * time.Millisecond, 200},
+		{99 * time.Millisecond, 200},
+		{100 * time.Millisecond, 4000},
+		{129 * time.Millisecond, 4000},
+		{130 * time.Millisecond, 200},
+	}
+	for _, c := range cases {
+		if got := s.rateAt(c.t); got != c.want {
+			t.Errorf("rateAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	// Draws issued during burst windows must be exponentially faster.
+	var burstSum, baseSum time.Duration
+	var burstN, baseN int
+	for i := 0; i < 20_000; i++ {
+		at := s.Elapsed()
+		d := s.Next()
+		if s.rateAt(at) == burst.Rate {
+			burstSum += d
+			burstN++
+		} else {
+			baseSum += d
+			baseN++
+		}
+	}
+	if burstN == 0 || baseN == 0 {
+		t.Fatalf("wave never alternated: %d burst, %d base draws", burstN, baseN)
+	}
+	bm := float64(burstSum) / float64(burstN)
+	sm := float64(baseSum) / float64(baseN)
+	if bm*2 > sm {
+		t.Errorf("burst mean %v not clearly faster than base mean %v",
+			time.Duration(bm), time.Duration(sm))
+	}
+}
+
+// TestScheduleValidation rejects non-positive rates and malformed
+// bursts.
+func TestScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule(1, 0, nil); err == nil {
+		t.Error("rate 0 accepted")
+	}
+	if _, err := NewSchedule(1, -5, nil); err == nil {
+		t.Error("negative rate accepted")
+	}
+	bad := []Burst{
+		{Rate: 0, Period: time.Second, Duty: 0.5},
+		{Rate: 100, Period: 0, Duty: 0.5},
+		{Rate: 100, Period: time.Second, Duty: 0},
+		{Rate: 100, Period: time.Second, Duty: 1},
+	}
+	for _, b := range bad {
+		b := b
+		if _, err := NewSchedule(1, 100, &b); err == nil {
+			t.Errorf("burst %+v accepted", b)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Package load is the YCSB-style workload generator for the serving
+// layer: it drives a live acdserve over HTTP with a configurable mix of
+// POST /records, POST /answers, GET /clusters and GET /metrics (plus an
+// optional background POST /resolve cadence), under an open-loop
+// Poisson, bursty, or closed-loop arrival process on a seedable RNG,
+// with record churn drawn from internal/dataset. Latencies land in
+// race-safe HDR-style histograms (internal/histogram.Latency) split by
+// endpoint; after a warmup phase the measured window is summarized as a
+// Report (throughput + p50/p90/p99/p999) that converts to the shared
+// internal/benchfmt schema, so serving-layer numbers extend the
+// committed BENCH_N.json trajectory. The orchestrated scenario suite
+// lives in the scenarios subpackage; the CLI is cmd/acdload; the
+// methodology handbook is docs/serving.md.
+//
+// The generator measures a *server*, so unlike the pipeline packages it
+// is wall-clock driven and its measurements are not reproducible — only
+// the request sequence (arrival draws, op picks, record churn, answer
+// pairs) is deterministic for a given seed.
+package load

@@ -1,0 +1,210 @@
+package load
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"acd/internal/benchfmt"
+	"acd/internal/dataset"
+)
+
+// EndpointStats summarizes one endpoint's measured window.
+type EndpointStats struct {
+	// Ops and Errors count measured operations and how many of them
+	// failed (non-200 or transport error).
+	Ops    int64 `json:"ops"`
+	Errors int64 `json:"errors"`
+	// Throughput is successful ops per second over the measured window.
+	Throughput float64 `json:"ops_per_sec"`
+	// Latency percentiles over successful operations, in milliseconds.
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+	// Mean and Max in milliseconds.
+	Mean float64 `json:"mean_ms"`
+	Max  float64 `json:"max_ms"`
+}
+
+// Report is the outcome of one Generator.Run: per-endpoint stats over
+// the measured window plus run-wide counters.
+type Report struct {
+	// Scenario is a caller-assigned label (the scenario or run name).
+	Scenario string `json:"scenario"`
+	// Shards is the target server's shard count, when the caller knows
+	// it (0 = unknown/remote).
+	Shards int `json:"shards,omitempty"`
+	// Measured is the measured-window wall time.
+	Measured time.Duration `json:"measured_ns"`
+	// WarmupOps counts operations completed before the window opened.
+	WarmupOps int64 `json:"warmup_ops"`
+	// Endpoints maps endpoint name → stats; endpoints with zero
+	// measured ops are omitted.
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+	// Counters is the final progress snapshot (acked floors, peak
+	// in-flight) — the crash-restart scenario's ground truth.
+	Counters Counters `json:"counters"`
+	// Extra carries scenario-specific measurements (e.g. the
+	// crash-restart scenario's recovery_ms and recovered_records).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// report assembles the Report after the run.
+func (g *Generator) report(measured time.Duration) *Report {
+	r := &Report{
+		Measured:  measured,
+		WarmupOps: g.warmupOps.Load(),
+		Endpoints: map[string]EndpointStats{},
+		Counters:  g.Counters(),
+	}
+	if measured <= 0 {
+		measured = time.Nanosecond
+	}
+	for ep, st := range g.stats {
+		ops := st.ops.Load()
+		if ops == 0 {
+			continue
+		}
+		h := st.hist
+		r.Endpoints[ep] = EndpointStats{
+			Ops:        ops,
+			Errors:     st.errs.Load(),
+			Throughput: float64(h.Count()) / measured.Seconds(),
+			P50:        ms(h.Quantile(0.50)),
+			P90:        ms(h.Quantile(0.90)),
+			P99:        ms(h.Quantile(0.99)),
+			P999:       ms(h.Quantile(0.999)),
+			Mean:       ms(h.Mean()),
+			Max:        ms(h.Max()),
+		}
+	}
+	return r
+}
+
+// TotalOps sums measured operations across endpoints.
+func (r *Report) TotalOps() int64 {
+	var n int64
+	for _, st := range r.Endpoints {
+		n += st.Ops
+	}
+	return n
+}
+
+// TotalErrors sums measured errors across endpoints.
+func (r *Report) TotalErrors() int64 {
+	var n int64
+	for _, st := range r.Endpoints {
+		n += st.Errors
+	}
+	return n
+}
+
+// endpointOrder returns the report's endpoints in canonical order.
+func (r *Report) endpointOrder() []string {
+	canon := []string{EndpointRecords, EndpointAnswers, EndpointClusters, EndpointMetrics, EndpointResolve}
+	var eps []string
+	for _, ep := range canon {
+		if _, ok := r.Endpoints[ep]; ok {
+			eps = append(eps, ep)
+		}
+	}
+	// Defensive: anything off-canon still shows up, sorted.
+	var extra []string
+	for ep := range r.Endpoints {
+		seen := false
+		for _, c := range canon {
+			if ep == c {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			extra = append(extra, ep)
+		}
+	}
+	sort.Strings(extra)
+	return append(eps, extra...)
+}
+
+// BenchResults converts the report to the shared benchmark schema: one
+// Result per endpoint named "Load/<scenario>/<endpoint>", with
+// NsPerOp = mean latency and throughput/percentiles as extra metrics.
+func (r *Report) BenchResults() []benchfmt.Result {
+	var out []benchfmt.Result
+	for _, ep := range r.endpointOrder() {
+		st := r.Endpoints[ep]
+		out = append(out, benchfmt.Result{
+			Name:    fmt.Sprintf("Load/%s/%s", r.Scenario, ep),
+			Samples: int(st.Ops),
+			NsPerOp: st.Mean * float64(time.Millisecond),
+			Metrics: map[string]float64{
+				"ops/s":   st.Throughput,
+				"p50_ms":  st.P50,
+				"p90_ms":  st.P90,
+				"p99_ms":  st.P99,
+				"p999_ms": st.P999,
+				"max_ms":  st.Max,
+				"errors":  float64(st.Errors),
+			},
+		})
+	}
+	if len(r.Extra) > 0 {
+		m := make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			m[k] = v
+		}
+		out = append(out, benchfmt.Result{
+			Name:    fmt.Sprintf("Load/%s/scenario", r.Scenario),
+			Samples: 1,
+			Metrics: m,
+		})
+	}
+	return out
+}
+
+// Label returns the benchmark-document label for this report:
+// "<scenario>-<N>shard", or just the scenario when the shard count is
+// unknown.
+func (r *Report) Label() string {
+	if r.Shards > 0 {
+		return fmt.Sprintf("%s-%dshard", r.Scenario, r.Shards)
+	}
+	return r.Scenario
+}
+
+// Render writes a human-readable table of the report to w.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "scenario %s: %d ops in %v (%d warmup ops discarded)\n",
+		r.Scenario, r.TotalOps(), r.Measured.Round(time.Millisecond), r.WarmupOps)
+	fmt.Fprintf(w, "%-10s %10s %6s %10s %9s %9s %9s %9s\n",
+		"endpoint", "ops", "errs", "ops/s", "p50ms", "p90ms", "p99ms", "p999ms")
+	for _, ep := range r.endpointOrder() {
+		st := r.Endpoints[ep]
+		fmt.Fprintf(w, "%-10s %10d %6d %10.1f %9.3f %9.3f %9.3f %9.3f\n",
+			ep, st.Ops, st.Errors, st.Throughput, st.P50, st.P90, st.P99, st.P999)
+	}
+	c := r.Counters
+	fmt.Fprintf(w, "acked: %d/%d records, %d/%d answers; peak in-flight %d\n",
+		c.AckedRecords, c.IssuedRecords, c.AckedAnswers, c.IssuedAnswers, c.MaxInFlight)
+}
+
+// SyntheticPool generates a churn pool from internal/dataset's generic
+// synthetic generator: cfg.Records single-field records over
+// cfg.Entities ground-truth entities, in a deterministic order for the
+// seed.
+func SyntheticPool(cfg dataset.SyntheticConfig) ([]Payload, error) {
+	d, err := dataset.Synthetic(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pool := make([]Payload, len(d.Records))
+	for i, rec := range d.Records {
+		pool[i] = Payload{Fields: rec.Fields, Entity: fmt.Sprintf("e%d", rec.Entity)}
+	}
+	return pool, nil
+}

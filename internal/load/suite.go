@@ -1,0 +1,47 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"acd/internal/benchfmt"
+)
+
+// Suite is the on-disk shape of an acdload run: the raw per-scenario
+// reports, full fidelity. `benchjson -load` (and MergeInto) fold suites
+// into the shared benchfmt document shape committed as BENCH_N.json.
+type Suite struct {
+	// Reports holds one report per scenario run, in execution order.
+	Reports []*Report `json:"reports"`
+}
+
+// WriteSuite writes the suite as indented JSON at path.
+func WriteSuite(path string, s *Suite) error {
+	enc, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
+}
+
+// ReadSuite reads a suite file written by WriteSuite (or acdload -out).
+func ReadSuite(path string) (*Suite, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Suite
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("load: parsing suite %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// MergeInto folds every report into doc under its Label, replacing any
+// prior results for the same label.
+func (s *Suite) MergeInto(doc *benchfmt.Document) {
+	for _, r := range s.Reports {
+		doc.Set(r.Label(), r.BenchResults())
+	}
+}

@@ -1,0 +1,310 @@
+// Package serve is the embeddable HTTP front-end over the sharded
+// incremental dedup engine — the engine-and-handlers core of the
+// acdserve command, extracted so the acdload workload generator and its
+// scenario suite can run real servers in-process (loopback smoke tests,
+// crash-image drills) without shelling out to a binary. cmd/acdserve is
+// a thin flags-and-lifecycle wrapper around this package; the HTTP API
+// the two expose is identical and documented in docs/serving.md.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"acd/internal/crowd"
+	"acd/internal/incremental"
+	"acd/internal/journal"
+	"acd/internal/obs"
+	"acd/internal/shard"
+)
+
+// Config assembles a server: engine knobs plus durability and crowd
+// wiring. The zero value is a volatile 1-shard server with default
+// pipeline parameters.
+type Config struct {
+	// Journal is the durable-state directory; empty means volatile
+	// (in-memory only).
+	Journal string
+	// Shards is the shard count (0 = what the journal has, or 1; an
+	// existing journal pins its count and refuses to change it).
+	Shards int
+	// Tau is the candidate threshold for the incremental blocking
+	// index; TauSet marks an explicit zero.
+	Tau    float64
+	TauSet bool
+	// Epsilon is PC-Pivot's wasted-pair budget (0 = default).
+	Epsilon float64
+	// RefineX is PC-Refine's budget divisor (0 = default).
+	RefineX int
+	// Seed derives the per-round resolve permutations.
+	Seed int64
+	// CheckpointEvery is the journal-event cadence of automatic
+	// compacted checkpoints (0 disables).
+	CheckpointEvery int
+	// Obs receives engine and crowd metrics and backs GET /metrics.
+	// Nil records nothing (the endpoint then serves an empty snapshot
+	// from a fresh recorder).
+	Obs *obs.Recorder
+	// Source answers residual crowd questions during /resolve. Nil
+	// falls back to machine similarity scores. DegradedCrowd builds a
+	// simulated source with injected latency and faults for the
+	// degraded-crowd load scenarios.
+	Source crowd.Source
+}
+
+// Server owns a shard group and serves the acdserve HTTP API over it.
+// The group is internally synchronized — writes route through per-shard
+// queues and reads load an immutable snapshot pointer — so Server
+// itself holds no lock anywhere and its handlers are safe under any
+// request concurrency.
+type Server struct {
+	group *shard.Group
+	rec   *obs.Recorder
+	// Recovered describes what Open replayed from the journal (zero
+	// struct for a fresh or volatile server).
+	Recovered RecoveryInfo
+}
+
+// RecoveryInfo summarizes a journal recovery at Open time.
+type RecoveryInfo struct {
+	// FromJournal is true when state was recovered from a journal
+	// directory (even an empty one).
+	FromJournal bool
+	// Records and Round are the recovered snapshot's occupancy.
+	Records int
+	Round   int
+}
+
+// Open builds the shard group — recovering from cfg.Journal when one is
+// configured — and returns a Server ready to serve. Journal recovery
+// errors (including a shard-count mismatch with a pinned layout) are
+// returned wrapped with "recovering journal:".
+func Open(cfg Config) (*Server, error) {
+	rec := cfg.Obs
+	if rec == nil {
+		rec = obs.New()
+	}
+	scfg := shard.Config{
+		Shards: cfg.Shards,
+		Engine: incremental.Config{
+			Tau: cfg.Tau, TauSet: cfg.TauSet,
+			Epsilon: cfg.Epsilon, RefineX: cfg.RefineX,
+			Seed: cfg.Seed, Obs: cfg.Obs,
+			Source:          cfg.Source,
+			CheckpointEvery: cfg.CheckpointEvery,
+		},
+	}
+	var group *shard.Group
+	if cfg.Journal != "" {
+		tree, err := journal.NewDirTree(cfg.Journal)
+		if err != nil {
+			return nil, err
+		}
+		group, err = shard.Open(scfg, tree)
+		if err != nil {
+			return nil, fmt.Errorf("recovering journal: %w", err)
+		}
+		snap := group.Snapshot()
+		return &Server{group: group, rec: rec, Recovered: RecoveryInfo{
+			FromJournal: true, Records: snap.Records, Round: snap.Round,
+		}}, nil
+	}
+	group, err := shard.New(scfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{group: group, rec: rec}, nil
+}
+
+// Group exposes the underlying shard group (tests and scenarios).
+func (s *Server) Group() *shard.Group { return s.group }
+
+// Shards returns the group's shard count.
+func (s *Server) Shards() int { return s.group.Shards() }
+
+// Snapshot returns the group's current immutable snapshot.
+func (s *Server) Snapshot() *shard.Snapshot { return s.group.Snapshot() }
+
+// Checkpoint writes a compacted checkpoint in every journal.
+func (s *Server) Checkpoint() error { return s.group.Checkpoint() }
+
+// Close releases the group and its journals (without checkpointing;
+// call Checkpoint first for a compact next start).
+func (s *Server) Close() error { return s.group.Close() }
+
+// Endpoints lists every HTTP route the Handler serves, in display
+// order. docs/serving.md must document each of these; a parity test
+// enforces it.
+func Endpoints() []string {
+	return []string{
+		"POST /records",
+		"POST /answers",
+		"POST /resolve",
+		"GET /clusters",
+		"GET /healthz",
+		"GET /metrics",
+	}
+}
+
+// Handler returns the acdserve HTTP API over this server's group:
+//
+//	POST /records  {"records":[{"fields":{...},"entity":"l"}]} -> {"ids":[...]}
+//	POST /answers  {"answers":[{"lo":0,"hi":1,"fc":0.9,"source":"s"}]} -> {"accepted":n}
+//	POST /resolve  -> incremental.ResolveStats (runs one resolve pass)
+//	GET  /clusters -> {"round":r,"resolved_up_to":n,"clusters":[[...]]}
+//	GET  /healthz  -> {"status":"ok","records":n,"round":r}
+//	GET  /metrics  -> observability snapshot (JSON)
+//
+// GET /clusters and GET /healthz are served from an immutable snapshot
+// behind an atomic pointer: reads never take a write lock and return
+// immediately even while a resolve pass or an ingest burst is running.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/records", s.handleRecords)
+	mux.HandleFunc("/answers", s.handleAnswers)
+	mux.HandleFunc("/resolve", s.handleResolve)
+	mux.HandleFunc("/clusters", s.handleClusters)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", s.rec)
+	return mux
+}
+
+// recordPayload is one record in a POST /records body.
+type recordPayload struct {
+	Fields map[string]string `json:"fields"`
+	Entity string            `json:"entity,omitempty"`
+}
+
+// answerPayload is one crowd answer in a POST /answers body.
+type answerPayload struct {
+	Lo     int     `json:"lo"`
+	Hi     int     `json:"hi"`
+	FC     float64 `json:"fc"`
+	Source string  `json:"source,omitempty"`
+}
+
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var body struct {
+		Records []recordPayload `json:"records"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(body.Records) == 0 {
+		writeError(w, http.StatusBadRequest, "no records")
+		return
+	}
+	recs := make([]incremental.Record, len(body.Records))
+	for i, p := range body.Records {
+		recs[i] = incremental.Record{Fields: p.Fields, Entity: p.Entity}
+	}
+	ids, err := s.group.Add(recs...)
+	if err != nil {
+		// A mid-batch journal failure leaves a durable prefix applied;
+		// tell the client exactly which records made it in.
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error": err.Error(), "committed_ids": ids,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "pending_pairs": s.group.Snapshot().PendingPairs})
+}
+
+func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var body struct {
+		Answers []answerPayload `json:"answers"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	// Validate the whole batch up front: a 400 means nothing was
+	// applied. Records are never removed, so a validated answer cannot
+	// become invalid before it is applied below.
+	for i, a := range body.Answers {
+		if err := s.group.ValidateAnswer(a.Lo, a.Hi, a.FC); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("answer %d: %v", i, err))
+			return
+		}
+	}
+	accepted := 0
+	for i, a := range body.Answers {
+		if err := s.group.AddAnswer(a.Lo, a.Hi, a.FC, a.Source); err != nil {
+			// Validation passed, so this is a journal failure; the first
+			// `accepted` answers are already durable.
+			writeJSON(w, http.StatusInternalServerError, map[string]any{
+				"error": fmt.Sprintf("answer %d: %v", i, err), "committed": accepted,
+			})
+			return
+		}
+		accepted++
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"accepted": accepted, "known": s.group.Snapshot().Answers})
+}
+
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	st, err := s.group.Resolve(r.Context())
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusRequestTimeout
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	snap := s.group.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"round":          snap.Round,
+		"resolved_up_to": snap.ResolvedUpTo,
+		"records":        snap.Records,
+		"shards":         snap.Shards,
+		"clusters":       snap.Clusters,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.group.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"records": snap.Records,
+		"round":   snap.Round,
+		"pending": snap.PendingPairs,
+		"shards":  snap.Shards,
+	})
+}
+
+// writeJSON writes v as the JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck — response is best-effort past this point
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

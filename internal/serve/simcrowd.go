@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"hash/fnv"
+	"time"
+
+	"acd/internal/crowd"
+	"acd/internal/record"
+)
+
+// SimCrowdConfig parameterizes the simulated crowd source behind the
+// degraded-crowd scenarios: a deterministic pseudo-crowd whose answers
+// are a stable hash of the pair, wrapped in the PR 4 fault machinery —
+// ChaosSource injects latency spikes, drops, and transient errors on
+// the wall clock; ReliableSource retries, hedges, and degrades to the
+// hash answer when the deadline passes. Because the injected latency is
+// real (the resolve handler actually waits), GET-side snapshot reads
+// can be measured against a server whose resolve path is crawling.
+type SimCrowdConfig struct {
+	// Seed drives answers and every fault draw.
+	Seed int64
+	// BaseLatency is the median simulated answer latency (default
+	// 500µs — per-question, so even small resolves feel a slow crowd).
+	BaseLatency time.Duration
+	// Spike, Drop and Error are the ChaosSource fault probabilities
+	// (spike multiplies latency 25×; a drop forces a timeout+retry).
+	Spike float64
+	Drop  float64
+	Error float64
+	// Timeout and Retries bound each question (defaults 50ms / 1
+	// retry; generous crowd defaults would wedge a load scenario).
+	Timeout time.Duration
+	Retries int
+}
+
+// DegradedCrowd builds the simulated degraded crowd source from cfg.
+func DegradedCrowd(cfg SimCrowdConfig) crowd.Source {
+	if cfg.BaseLatency == 0 {
+		cfg.BaseLatency = 500 * time.Microsecond
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 50 * time.Millisecond
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 1
+	}
+	answer := PairScore(cfg.Seed)
+	chaos := crowd.NewChaos(
+		crowd.SourceFunc{Fn: answer, Setting: crowd.ThreeWorker(cfg.Seed)},
+		crowd.ChaosConfig{
+			Seed:        cfg.Seed,
+			BaseLatency: cfg.BaseLatency,
+			SpikeProb:   cfg.Spike,
+			DropProb:    cfg.Drop,
+			ErrorProb:   cfg.Error,
+		})
+	// Backoff must scale with the timeout: the library default (200ms)
+	// is sized for a real crowd, and at a ~10% fault rate it would add
+	// ~20ms to the *average* question — dwarfing the latency being
+	// simulated.
+	backoff := cfg.Timeout / 4
+	if backoff < 100*time.Microsecond {
+		backoff = 100 * time.Microsecond
+	}
+	return crowd.NewReliable(chaos, crowd.ReliableConfig{
+		Timeout:    cfg.Timeout,
+		Retries:    cfg.Retries,
+		Backoff:    backoff,
+		MaxBackoff: cfg.Timeout,
+		Seed:       cfg.Seed,
+		Fallback:   answer,
+		// Clock nil = wall clock: the injected latency is real.
+	})
+}
+
+// PairScore returns the deterministic pseudo-crowd answer function: a
+// stable hash of (seed, pair) mapped to [0,1). The same pair always
+// gets the same answer, so repeated runs and the timeout fallback agree
+// with the primary path.
+func PairScore(seed int64) func(record.Pair) float64 {
+	return func(p record.Pair) float64 {
+		h := fnv.New64a()
+		var buf [24]byte
+		put := func(off int, v uint64) {
+			for i := 0; i < 8; i++ {
+				buf[off+i] = byte(v >> (8 * i))
+			}
+		}
+		put(0, uint64(seed))
+		put(8, uint64(p.Lo))
+		put(16, uint64(p.Hi))
+		h.Write(buf[:])
+		return float64(h.Sum64()%1_000_000) / 1_000_000
+	}
+}

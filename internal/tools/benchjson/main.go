@@ -1,14 +1,21 @@
-// Command benchjson converts `go test -bench` output into the repo's
-// committed benchmark-trajectory files (BENCH_N.json).
+// Command benchjson converts benchmark measurements into the repo's
+// committed benchmark-trajectory files (BENCH_N.json). It understands
+// two record shapes, both stored in the shared internal/benchfmt
+// document schema:
 //
-// It reads benchmark output on stdin and merges the parsed results into
-// a JSON document under the given label, so the pre- and
-// post-optimization numbers of one PR live side by side in one file:
+//   - `go test -bench` output on stdin, merged under a label:
 //
-//	go test -run NONE -bench ... -benchmem . | go run ./internal/tools/benchjson -label pre -out BENCH_3.json
-//	... optimize ...
-//	go test -run NONE -bench ... -benchmem . | go run ./internal/tools/benchjson -label post -out BENCH_3.json
-//	go run ./internal/tools/benchjson -compare BENCH_3.json
+//     go test -run NONE -bench ... -benchmem . | go run ./internal/tools/benchjson -label pre -out BENCH_3.json
+//     ... optimize ...
+//     go test -run NONE -bench ... -benchmem . | go run ./internal/tools/benchjson -label post -out BENCH_3.json
+//     go run ./internal/tools/benchjson -compare BENCH_3.json
+//
+//   - acdload suite reports (scenario runs with per-endpoint throughput
+//     and latency percentiles), merged under each report's own
+//     "<scenario>-<N>shard" label:
+//
+//     go run ./cmd/acdload -scenario all -out suite.json
+//     go run ./internal/tools/benchjson -load -out BENCH_7.json suite.json
 //
 // With -count > 1 the repeated runs of each benchmark are averaged and
 // the sample count recorded. -compare prints a markdown before/after
@@ -16,201 +23,77 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"regexp"
-	"runtime"
-	"sort"
-	"strconv"
-	"strings"
+
+	"acd/internal/benchfmt"
+	"acd/internal/load"
 )
 
-// Result is one benchmark's averaged measurements.
-type Result struct {
-	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
-	Name string `json:"name"`
-	// Samples is how many runs were averaged (the -count value).
-	Samples int `json:"samples"`
-	// NsPerOp, BytesPerOp and AllocsPerOp are the standard testing
-	// measurements (B/op and allocs/op require -benchmem).
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	// Metrics holds any extra b.ReportMetric series (unit -> value).
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Document is the schema of a BENCH_N.json file: one result list per
-// label ("pre", "post", ...), plus the recording environment.
-type Document struct {
-	// Go is the toolchain that produced the numbers.
-	Go string `json:"go"`
-	// GOMAXPROCS is the parallelism the benchmarks ran with.
-	GOMAXPROCS int `json:"gomaxprocs"`
-	// Labels maps a label to its benchmark results.
-	Labels map[string][]Result `json:"labels"`
-}
-
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
-
 func main() {
-	label := flag.String("label", "", "label to store the parsed results under (e.g. pre, post)")
+	label := flag.String("label", "", "label to store parsed go-bench results under (e.g. pre, post)")
 	out := flag.String("out", "", "JSON file to merge results into")
 	compare := flag.String("compare", "", "print a markdown pre/post table from an existing JSON file and exit")
+	loadMode := flag.Bool("load", false, "positional args are acdload suite files; merge their reports into -out")
 	flag.Parse()
 
-	if *compare != "" {
-		if err := printComparison(*compare, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *label == "" || *out == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: -label and -out are required (or use -compare FILE)")
-		os.Exit(2)
-	}
-	results, err := parse(os.Stdin)
-	if err != nil {
+	if err := run(*label, *out, *compare, *loadMode, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
-	if len(results) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
-	}
-	doc := &Document{Labels: map[string][]Result{}}
-	if raw, err := os.ReadFile(*out); err == nil {
-		if err := json.Unmarshal(raw, doc); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: corrupt %s: %v\n", *out, err)
-			os.Exit(1)
-		}
-	}
-	doc.Go = runtime.Version()
-	doc.GOMAXPROCS = runtime.GOMAXPROCS(0)
-	if doc.Labels == nil {
-		doc.Labels = map[string][]Result{}
-	}
-	doc.Labels[*label] = results
-	enc, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results under label %q to %s\n", len(results), *label, *out)
 }
 
-// parse reads benchmark output and returns per-name averaged results in
-// first-seen order.
-func parse(r *os.File) ([]Result, error) {
-	type acc struct {
-		Result
-		order int
-	}
-	byName := map[string]*acc{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
-			continue
+// run dispatches the three modes; see the package comment.
+func run(label, out, compare string, loadMode bool, args []string) error {
+	switch {
+	case compare != "":
+		return benchfmt.Compare(compare, os.Stdout)
+	case loadMode:
+		if out == "" {
+			return fmt.Errorf("-load requires -out")
 		}
-		name := m[1]
-		a, ok := byName[name]
-		if !ok {
-			a = &acc{Result: Result{Name: name}, order: len(byName)}
-			byName[name] = a
+		if len(args) == 0 {
+			return fmt.Errorf("-load requires at least one suite file argument")
 		}
-		a.Samples++
-		// The tail is a sequence of "<value> <unit>" measurement pairs.
-		fields := strings.Fields(m[3])
-		for i := 0; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
+		doc, err := benchfmt.Read(out)
+		if err != nil {
+			return err
+		}
+		merged := 0
+		for _, path := range args {
+			suite, err := load.ReadSuite(path)
 			if err != nil {
-				return nil, fmt.Errorf("line %q: bad value %q", sc.Text(), fields[i])
+				return err
 			}
-			switch unit := fields[i+1]; unit {
-			case "ns/op":
-				a.NsPerOp += v
-			case "B/op":
-				a.BytesPerOp += v
-			case "allocs/op":
-				a.AllocsPerOp += v
-			default:
-				if a.Metrics == nil {
-					a.Metrics = map[string]float64{}
-				}
-				a.Metrics[unit] += v
-			}
+			suite.MergeInto(doc)
+			merged += len(suite.Reports)
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	accs := make([]*acc, 0, len(byName))
-	for _, a := range byName {
-		accs = append(accs, a)
-	}
-	sort.Slice(accs, func(i, j int) bool { return accs[i].order < accs[j].order })
-	out := make([]Result, 0, len(accs))
-	for _, a := range accs {
-		n := float64(a.Samples)
-		a.NsPerOp /= n
-		a.BytesPerOp /= n
-		a.AllocsPerOp /= n
-		for k := range a.Metrics {
-			a.Metrics[k] /= n
+		if err := doc.Write(out); err != nil {
+			return err
 		}
-		out = append(out, a.Result)
-	}
-	return out, nil
-}
-
-// printComparison renders the pre/post labels of a document as a
-// markdown table with speedup and allocation-reduction ratios.
-func printComparison(path string, w *os.File) error {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	var doc Document
-	if err := json.Unmarshal(raw, &doc); err != nil {
-		return err
-	}
-	pre, post := doc.Labels["pre"], doc.Labels["post"]
-	if pre == nil || post == nil {
-		return fmt.Errorf("%s: need both \"pre\" and \"post\" labels", path)
-	}
-	postBy := make(map[string]Result, len(post))
-	for _, r := range post {
-		postBy[r.Name] = r
-	}
-	fmt.Fprintln(w, "| benchmark | ns/op (pre) | ns/op (post) | speedup | allocs/op (pre) | allocs/op (post) | alloc reduction |")
-	fmt.Fprintln(w, "|---|---|---|---|---|---|---|")
-	for _, p := range pre {
-		q, ok := postBy[p.Name]
-		if !ok {
-			continue
+		fmt.Fprintf(os.Stderr, "benchjson: merged %d scenario reports from %d suites into %s\n", merged, len(args), out)
+		return nil
+	default:
+		if label == "" || out == "" {
+			return fmt.Errorf("-label and -out are required (or use -compare FILE / -load SUITE...)")
 		}
-		fmt.Fprintf(w, "| %s | %.0f | %.0f | %.2fx | %.0f | %.0f | %.1fx |\n",
-			strings.TrimPrefix(p.Name, "Benchmark"),
-			p.NsPerOp, q.NsPerOp, ratio(p.NsPerOp, q.NsPerOp),
-			p.AllocsPerOp, q.AllocsPerOp, ratio(p.AllocsPerOp, q.AllocsPerOp))
+		results, err := benchfmt.ParseGoBench(os.Stdin)
+		if err != nil {
+			return err
+		}
+		if len(results) == 0 {
+			return fmt.Errorf("no benchmark lines on stdin")
+		}
+		doc, err := benchfmt.Read(out)
+		if err != nil {
+			return err
+		}
+		doc.Set(label, results)
+		if err := doc.Write(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results under label %q to %s\n", len(results), label, out)
+		return nil
 	}
-	return nil
-}
-
-// ratio returns a/b guarded against division by zero.
-func ratio(a, b float64) float64 {
-	if b == 0 {
-		return 0
-	}
-	return a / b
 }

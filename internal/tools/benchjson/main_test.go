@@ -1,0 +1,69 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"acd/internal/benchfmt"
+	"acd/internal/load"
+)
+
+// TestLoadMode: an acdload suite file round-trips through `-load` into
+// the shared document schema, alongside go-bench labels already in the
+// file.
+func TestLoadMode(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH.json")
+
+	// Pre-existing go-bench label, as committed BENCH files have.
+	doc := &benchfmt.Document{}
+	doc.Set("pre", []benchfmt.Result{{Name: "BenchmarkResolve", Samples: 1, NsPerOp: 1000}})
+	if err := doc.Write(out); err != nil {
+		t.Fatal(err)
+	}
+
+	suite := &load.Suite{Reports: []*load.Report{{
+		Scenario: "baseline",
+		Shards:   4,
+		Measured: time.Second,
+		Endpoints: map[string]load.EndpointStats{
+			load.EndpointRecords: {Ops: 10, Throughput: 10, P50: 1, P99: 2, Mean: 1.2},
+		},
+	}}}
+	spath := filepath.Join(dir, "suite.json")
+	if err := load.WriteSuite(spath, suite); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run("", out, "", true, []string{spath}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := benchfmt.Read(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Labels["pre"]) != 1 {
+		t.Errorf("-load clobbered the existing go-bench label: %+v", back.Labels)
+	}
+	rs := back.Labels["baseline-4shard"]
+	if len(rs) != 1 || rs[0].Name != "Load/baseline/records" || rs[0].Metrics["ops/s"] != 10 {
+		t.Errorf("suite not merged: %+v", rs)
+	}
+}
+
+// TestLoadModeErrors: missing flags and unreadable suites fail cleanly.
+func TestLoadModeErrors(t *testing.T) {
+	if err := run("", "", "", true, []string{"x"}); err == nil {
+		t.Error("-load without -out accepted")
+	}
+	if err := run("", "out.json", "", true, nil); err == nil {
+		t.Error("-load without suite files accepted")
+	}
+	if err := run("", filepath.Join(t.TempDir(), "o.json"), "", true, []string{"/nonexistent.json"}); err == nil {
+		t.Error("unreadable suite accepted")
+	}
+	if err := run("", "", "", false, nil); err == nil {
+		t.Error("missing -label/-out accepted")
+	}
+}

@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# loadbench.sh — run the acdload scenario suite against an in-process
+# acdserve and fold the reports into a committed BENCH_N.json
+# trajectory file. Methodology: docs/serving.md.
+#
+# Usage:
+#   scripts/loadbench.sh [--smoke] [outfile]
+#
+#   --smoke  seconds-scale scenario variants (CI); default is full mode
+#   outfile  target JSON file (default: BENCH_7.json)
+#
+# Environment:
+#   SHARDS     shard counts to run, space-separated (default: "1 4";
+#              smoke default: "1 3")
+#   SCENARIOS  scenario selector passed to acdload -scenario
+#              (default: all)
+#   SEED       workload seed (default: 1)
+#   KEEP_SUITES  set non-empty to keep the per-shard suite JSONs next
+#              to the outfile instead of a temp dir
+set -eu
+
+smoke=""
+if [ "${1:-}" = "--smoke" ]; then
+    smoke="-smoke"
+    shift
+fi
+out="${1:-BENCH_7.json}"
+cd "$(dirname "$0")/.."
+
+if [ -n "$smoke" ]; then
+    shards_default="1 3"
+else
+    shards_default="1 4"
+fi
+shards_list="${SHARDS:-$shards_default}"
+scenario="${SCENARIOS:-all}"
+seed="${SEED:-1}"
+
+suitedir="$(mktemp -d)"
+trap 'rm -rf "$suitedir"' EXIT
+if [ -n "${KEEP_SUITES:-}" ]; then
+    suitedir="$(dirname "$out")"
+    trap - EXIT
+fi
+
+go build ./cmd/acdload ./internal/tools/benchjson
+
+suites=""
+for n in $shards_list; do
+    suite="$suitedir/loadsuite-${n}shard.json"
+    echo "== acdload -scenario $scenario -shards $n $smoke" >&2
+    go run ./cmd/acdload -scenario "$scenario" -shards "$n" $smoke \
+        -seed "$seed" -out "$suite"
+    suites="$suites $suite"
+done
+
+# shellcheck disable=SC2086 — suites is a deliberate word list
+go run ./internal/tools/benchjson -load -out "$out" $suites
+echo "loadbench: wrote $out" >&2
