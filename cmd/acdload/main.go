@@ -5,7 +5,10 @@
 // Poisson arrival process, and reports per-endpoint throughput and
 // latency percentiles. -scenario runs the curated benchmark suite
 // instead (baseline, high-load, bursty, read-heavy, degraded-crowd,
-// crash-restart). Reports are written as a suite JSON (-out) that
+// crash-restart, crash-restart-groupcommit). -commit-window and
+// -rotate-bytes turn on journal group commit and WAL segment rotation
+// on the servers acdload hosts itself, for before/after write-path
+// comparisons. Reports are written as a suite JSON (-out) that
 // `benchjson -load` folds into the committed BENCH_N.json trajectory.
 // The methodology handbook is docs/serving.md.
 package main
@@ -55,8 +58,11 @@ type options struct {
 	churnEnts    int
 	churnNoise   float64
 	seed         int64
+	commitWindow time.Duration
+	rotateBytes  int64
 	out          string
 	label        string
+	labelSuffix  string
 }
 
 // flags registers every acdload flag on a fresh FlagSet.
@@ -85,8 +91,11 @@ func flags(o *options, errw io.Writer) *flag.FlagSet {
 	fs.IntVar(&o.churnEnts, "churn-entities", 500, "ground-truth entities in the churn pool")
 	fs.Float64Var(&o.churnNoise, "churn-noise", 0.15, "per-token corruption probability of churned duplicates")
 	fs.Int64Var(&o.seed, "seed", 1, "seed for the request sequence (arrivals, op picks, churn, answer pairs)")
+	fs.DurationVar(&o.commitWindow, "commit-window", 0, "journal group-commit window on self-hosted/scenario servers (0 = fsync per event)")
+	fs.Int64Var(&o.rotateBytes, "rotate-bytes", 0, "WAL segment rotation size on self-hosted/scenario servers (0 = no rotation)")
 	fs.StringVar(&o.out, "out", "", "write the suite report JSON here (merge into BENCH files with benchjson -load)")
 	fs.StringVar(&o.label, "label", "adhoc", "scenario label for ad-hoc (non -scenario) runs")
+	fs.StringVar(&o.labelSuffix, "label-suffix", "", "string appended to every report's scenario label (keeps before/after runs distinct in one BENCH file)")
 	return fs
 }
 
@@ -115,6 +124,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	for _, rep := range reports {
+		rep.Scenario += o.labelSuffix
 		rep.Render(stdout)
 	}
 	if o.out != "" {
@@ -138,7 +148,11 @@ func runScenarios(o options, stdout, stderr io.Writer) ([]*load.Report, error) {
 		defer os.RemoveAll(tmp)
 		dir = tmp
 	}
-	opts := scenarios.Options{Dir: dir, Shards: o.shards, Smoke: o.smoke, Seed: o.seed, Log: stderr}
+	opts := scenarios.Options{
+		Dir: dir, Shards: o.shards, Smoke: o.smoke, Seed: o.seed,
+		CommitWindow: o.commitWindow, RotateBytes: o.rotateBytes,
+		Log: stderr,
+	}
 	var todo []scenarios.Scenario
 	if o.scenario == "all" {
 		todo = scenarios.All()
@@ -179,7 +193,10 @@ func runAdhoc(o options, stderr io.Writer) ([]*load.Report, error) {
 	target := o.target
 	shards := 0
 	if target == "" {
-		l, err := serve.StartLocal(serve.Config{Journal: o.journal, Shards: o.shards, Seed: o.seed})
+		l, err := serve.StartLocal(serve.Config{
+			Journal: o.journal, Shards: o.shards, Seed: o.seed,
+			CommitWindow: o.commitWindow, RotateBytes: o.rotateBytes,
+		})
 		if err != nil {
 			return nil, err
 		}

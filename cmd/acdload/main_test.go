@@ -20,7 +20,7 @@ func TestList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("-list exit %d, stderr: %s", code, errb.String())
 	}
-	for _, name := range []string{"baseline", "high-load", "bursty", "read-heavy", "degraded-crowd", "crash-restart"} {
+	for _, name := range []string{"baseline", "high-load", "bursty", "read-heavy", "degraded-crowd", "crash-restart", "crash-restart-groupcommit"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
@@ -200,5 +200,5 @@ func TestScenariosDocumented(t *testing.T) {
 // scenariosAll returns the scenario names (kept separate so the doc
 // test reads naturally).
 func scenariosAll() []string {
-	return []string{"baseline", "high-load", "bursty", "read-heavy", "degraded-crowd", "crash-restart"}
+	return []string{"baseline", "high-load", "bursty", "read-heavy", "degraded-crowd", "crash-restart", "crash-restart-groupcommit"}
 }

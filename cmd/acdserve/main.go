@@ -8,7 +8,11 @@
 // record, answer, and resolve effect is written ahead to per-shard WALs
 // (plus a router WAL for cross-shard state) with periodic compacted
 // checkpoints, and a restarted server recovers the exact clustering it
-// had before the crash.
+// had before the crash. With -commit-window the per-shard WALs group
+// commit: concurrent appends inside the window share a single fsync
+// and acknowledgments are pipelined, multiplying ingest throughput
+// while preserving the committed-prefix contract — an id is reported
+// only once its event's group is durable.
 //
 // The engine, handlers, and HTTP API live in internal/serve (so the
 // acdload scenario suite can embed the same server in-process); this
@@ -19,6 +23,8 @@
 //
 //	acdserve [-addr 127.0.0.1:8080] [-journal DIR] [-shards N] [-tau 0.3]
 //	         [-eps 0.1] [-x 8] [-seed 1] [-checkpoint-every N]
+//	         [-commit-window D] [-commit-events N] [-commit-bytes N]
+//	         [-rotate-bytes N]
 //	         [-crowd-sim] [-crowd-latency D] [-crowd-spike F] [-crowd-drop F]
 //	         [-crowd-error F] [-crowd-timeout D] [-crowd-retries N]
 //	         [-metrics] [-metrics-json] [-trace FILE] [-metrics-http ADDR]
@@ -88,6 +94,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	x := fs.Int("x", refine.DefaultX, "refinement budget divisor (T = N_m/x)")
 	seed := fs.Int64("seed", 1, "random seed for resolve permutations")
 	ckpt := fs.Int("checkpoint-every", 256, "journal events between automatic checkpoints (0 disables)")
+	commitWindow := fs.Duration("commit-window", 0, "journal group-commit window: concurrent appends within it share one fsync (0 = fsync per event)")
+	commitEvents := fs.Int("commit-events", 0, "max events per commit group before an early fsync (0 = 256; needs -commit-window)")
+	commitBytes := fs.Int64("commit-bytes", 0, "max WAL bytes per commit group before an early fsync (0 = 1 MiB; needs -commit-window)")
+	rotateBytes := fs.Int64("rotate-bytes", serve.DefaultRotateBytes, "rotate each live WAL segment past this size in bytes (0 disables rotation)")
 	crowdSim := fs.Bool("crowd-sim", false, "answer residual resolve questions from a simulated crowd (deterministic pseudo-answers with real injected latency) instead of machine scores")
 	crowdLatency := fs.Duration("crowd-latency", 500*time.Microsecond, "with -crowd-sim: median simulated answer latency per question")
 	crowdSpike := fs.Float64("crowd-spike", 0, "with -crowd-sim: probability a simulated answer's latency spikes 25x")
@@ -117,6 +127,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		Epsilon: *eps, RefineX: *x,
 		Seed:            *seed,
 		CheckpointEvery: *ckpt,
+		CommitWindow:    *commitWindow,
+		CommitEvents:    *commitEvents,
+		CommitBytes:     *commitBytes,
+		RotateBytes:     *rotateBytes,
 		Obs:             rec,
 	}
 	if *crowdSim {

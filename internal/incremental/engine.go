@@ -57,6 +57,13 @@ type Config struct {
 	// journal events; 0 disables automatic checkpoints. Ignored without
 	// a journal.
 	CheckpointEvery int
+	// Commit is the journal group-commit policy. The zero value keeps
+	// one fsync per event; a nonzero Window batches concurrent appends
+	// into a single fsync per group and pipelines acknowledgments.
+	Commit journal.GroupPolicy
+	// RotateBytes rotates the journal's live WAL segment once it grows
+	// past this size; 0 disables rotation.
+	RotateBytes int64
 }
 
 // EffectiveTau resolves the configured pruning threshold: Tau when set
@@ -82,9 +89,10 @@ func (c Config) effectiveEpsilon() float64 {
 // current clustering with Clusters. Engines are not safe for concurrent
 // use; callers (acdserve) serialize access.
 type Engine struct {
-	cfg   Config
-	tau   float64
-	store *journal.Store
+	cfg    Config
+	tau    float64
+	store  *journal.Store
+	commit *journal.Committer // non-nil exactly when store is
 
 	records []journal.RecordData
 	index   *blocking.IncrementalIndex
@@ -118,7 +126,10 @@ func New(cfg Config) *Engine {
 // start fresh) and attaches the journal so every subsequent state
 // transition is logged. Close the engine to release the journal.
 func Open(cfg Config, fs journal.FS) (*Engine, error) {
-	store, recovered, err := journal.Open(fs)
+	store, recovered, err := journal.OpenOptions(fs, journal.Options{
+		RotateBytes: cfg.RotateBytes,
+		Obs:         cfg.Obs,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -128,6 +139,7 @@ func Open(cfg Config, fs journal.FS) (*Engine, error) {
 		return nil, err
 	}
 	e.store = store
+	e.commit = journal.NewCommitter(store, cfg.Commit)
 	return e, nil
 }
 
@@ -150,14 +162,14 @@ func Rebuild(cfg Config, cp *journal.Checkpoint, events []journal.Event) (*Engin
 	return e, nil
 }
 
-// Close detaches and closes the journal, if any. The engine remains
-// readable but further mutations fail.
+// Close flushes outstanding commit groups and detaches and closes the
+// journal, if any. The engine remains readable but further mutations
+// fail.
 func (e *Engine) Close() error {
 	if e.store == nil {
 		return nil
 	}
-	err := e.store.Close()
-	return err
+	return e.commit.Close() // flushes, stops the flusher, closes the store
 }
 
 // Len returns the number of records the engine holds.
@@ -192,22 +204,45 @@ func (e *Engine) Record(id int) journal.RecordData { return e.records[id] }
 
 // Add appends records to the engine, assigns their dense ids, journals
 // them, and feeds them through the blocking index. It returns the
-// assigned ids.
+// assigned ids; on return every reported id is durable.
 func (e *Engine) Add(recs ...Record) ([]int, error) {
 	ids := make([]int, 0, len(recs))
 	for _, r := range recs {
-		data := journal.RecordData{ID: len(e.records), GID: r.GID, Fields: r.Fields, Entity: r.Entity}
-		if err := e.append(journal.Event{Type: journal.EventRecordAdded, Record: &data}); err != nil {
+		id, wait, err := e.AddBuffered(r)
+		if err != nil {
 			return ids, err
 		}
-		e.applyRecord(data)
-		e.cfg.Obs.Count(MetricRecordsAdded, 1)
-		ids = append(ids, data.ID)
-		if err := e.maybeCheckpoint(); err != nil {
+		if err := <-wait; err != nil {
 			return ids, err
 		}
+		ids = append(ids, id)
 	}
 	return ids, nil
+}
+
+// AddBuffered appends one record — id assignment, WAL write, in-memory
+// apply — without blocking on durability. The returned channel
+// resolves once the commit group holding the record's journal event
+// has synced; only then may the record be acknowledged. An immediate
+// error means nothing was applied. Without a journal (or with
+// batching disabled) the channel is already resolved on return.
+//
+// The record is applied to in-memory state before it is durable (local
+// id assignment is order-dependent, so apply cannot wait for the
+// fsync); if the commit later fails, the journal is poisoned and every
+// subsequent mutation fails — restart to recover a consistent state.
+func (e *Engine) AddBuffered(r Record) (int, <-chan error, error) {
+	data := journal.RecordData{ID: len(e.records), GID: r.GID, Fields: r.Fields, Entity: r.Entity}
+	wait, err := e.appendAsync(journal.Event{Type: journal.EventRecordAdded, Record: &data})
+	if err != nil {
+		return 0, nil, err
+	}
+	e.applyRecord(data)
+	e.cfg.Obs.Count(MetricRecordsAdded, 1)
+	if err := e.maybeCheckpoint(); err != nil {
+		return data.ID, wait, err
+	}
+	return data.ID, wait, nil
 }
 
 // ValidateAnswer checks whether (lo,hi,fc) is an answer AddAnswer would
@@ -236,6 +271,37 @@ func (e *Engine) AddAnswer(lo, hi int, fc float64, source string) error {
 		return nil
 	}
 	return e.cacheAnswer(p, fc, source, true)
+}
+
+// AddAnswerBuffered is AddAnswer without blocking on durability: the
+// answer is journaled and cached immediately, and the returned channel
+// resolves once its commit group syncs — only then may the answer be
+// acknowledged. Known pairs resolve instantly (idempotent no-op). An
+// immediate error means nothing was applied.
+func (e *Engine) AddAnswerBuffered(lo, hi int, fc float64, source string) (<-chan error, error) {
+	if err := e.ValidateAnswer(lo, hi, fc); err != nil {
+		return nil, err
+	}
+	p := record.MakePair(record.ID(lo), record.ID(hi))
+	if _, known := e.answers[p]; known {
+		ch := make(chan error, 1)
+		ch <- nil
+		return ch, nil
+	}
+	if source == crowd.DefaultSource {
+		source = ""
+	}
+	wait, err := e.appendAsync(journal.Event{Type: journal.EventAnswer, Answer: &journal.AnswerData{
+		Lo: int(p.Lo), Hi: int(p.Hi), FC: fc, Source: source,
+	}})
+	if err != nil {
+		return nil, err
+	}
+	e.applyAnswer(p, fc, source)
+	if err := e.maybeCheckpoint(); err != nil {
+		return wait, err
+	}
+	return wait, nil
 }
 
 // Answer returns the cached crowd answer for a pair, if any.
@@ -292,7 +358,7 @@ func (e *Engine) Checkpoint() error {
 	if e.store == nil {
 		return nil
 	}
-	if err := e.store.WriteCheckpoint(e.Snapshot()); err != nil {
+	if err := e.commit.WriteCheckpoint(e.Snapshot()); err != nil {
 		return err
 	}
 	e.sinceCheckpoint = 0
@@ -300,17 +366,46 @@ func (e *Engine) Checkpoint() error {
 	return nil
 }
 
-// append journals one event; a no-op without a journal.
+// Flush blocks until every buffered journal event is durable — the
+// barrier the shard layer takes before a resolve or checkpoint. No-op
+// without a journal or with batching disabled.
+func (e *Engine) Flush() error {
+	if e.store == nil {
+		return nil
+	}
+	return e.commit.Flush()
+}
+
+// append journals one event and waits for durability; a no-op without
+// a journal.
 func (e *Engine) append(ev journal.Event) error {
 	if e.store == nil {
 		return nil
 	}
-	if _, err := e.store.Append(ev); err != nil {
+	if _, err := e.commit.Append(ev); err != nil {
 		return err
 	}
 	e.sinceCheckpoint++
 	e.cfg.Obs.Count(MetricJournalEvents, 1)
 	return nil
+}
+
+// appendAsync journals one event without blocking on durability,
+// returning a channel resolved when its commit group syncs. Without a
+// journal the returned channel is already resolved.
+func (e *Engine) appendAsync(ev journal.Event) (<-chan error, error) {
+	if e.store == nil {
+		ch := make(chan error, 1)
+		ch <- nil
+		return ch, nil
+	}
+	_, wait, err := e.commit.AppendAsync(ev)
+	if err != nil {
+		return nil, err
+	}
+	e.sinceCheckpoint++
+	e.cfg.Obs.Count(MetricJournalEvents, 1)
+	return wait, nil
 }
 
 func (e *Engine) maybeCheckpoint() error {
@@ -342,16 +437,22 @@ func (e *Engine) cacheAnswer(p record.Pair, fc float64, source string, journalIt
 			return err
 		}
 	}
+	e.applyAnswer(p, fc, source)
+	if journalIt {
+		return e.maybeCheckpoint()
+	}
+	return nil
+}
+
+// applyAnswer is the journal-free half of answer caching. source must
+// already be normalized ("" for the default crowd source).
+func (e *Engine) applyAnswer(p record.Pair, fc float64, source string) {
 	e.answers[p] = fc
 	e.answerOrder = append(e.answerOrder, p)
 	if source != "" {
 		e.answerSrc[p] = source
 	}
 	e.cfg.Obs.Count(MetricAnswersCached, 1)
-	if journalIt {
-		return e.maybeCheckpoint()
-	}
-	return nil
 }
 
 // answerSource returns a pair's provenance label (crowd.DefaultSource

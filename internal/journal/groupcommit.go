@@ -1,0 +1,293 @@
+package journal
+
+import (
+	"sync"
+	"time"
+)
+
+// GroupPolicy configures group commit: how long and how large a commit
+// group may grow before its single fsync. The zero value disables
+// batching entirely (Window == 0), preserving one-fsync-per-event
+// behavior.
+type GroupPolicy struct {
+	// Window is the maximum time an appended event waits for its group
+	// to sync. 0 disables group commit: every append syncs inline.
+	Window time.Duration
+	// MaxEvents closes a group early once it holds this many events;
+	// 0 means DefaultMaxEvents.
+	MaxEvents int
+	// MaxBytes closes a group early once its events span this many WAL
+	// bytes; 0 means DefaultMaxBytes.
+	MaxBytes int64
+}
+
+// Default group-size caps, applied when the corresponding GroupPolicy
+// field is zero.
+const (
+	// DefaultMaxEvents is the default per-group event cap.
+	DefaultMaxEvents = 256
+	// DefaultMaxBytes is the default per-group byte cap (1 MiB).
+	DefaultMaxBytes = 1 << 20
+)
+
+// Enabled reports whether the policy batches at all.
+func (p GroupPolicy) Enabled() bool { return p.Window > 0 }
+
+func (p GroupPolicy) withDefaults() GroupPolicy {
+	if p.MaxEvents <= 0 {
+		p.MaxEvents = DefaultMaxEvents
+	}
+	if p.MaxBytes <= 0 {
+		p.MaxBytes = DefaultMaxBytes
+	}
+	return p
+}
+
+// Committer serializes all access to a Store and batches appends into
+// commit groups: concurrent AppendAsync calls accumulate in one group
+// that is flushed with a single fsync when the policy's window elapses
+// or a size cap fills, and every caller's channel resolves only once
+// the group holding its event is durable. With a disabled policy it
+// degrades to a plain pass-through (append + inline sync), so callers
+// need exactly one code path for both modes.
+//
+// The fsync runs on a background flusher goroutine outside the
+// committer lock, so appends of the NEXT group proceed while the
+// current group syncs — this is what pipelines acknowledgments instead
+// of stalling the writer behind every disk barrier.
+type Committer struct {
+	st  *Store
+	pol GroupPolicy
+
+	mu      sync.Mutex
+	ready   *sync.Cond     // signals the flusher: group due or closing
+	waiters []chan<- error // the open group, in append order
+	nev     int            // appended events in the open group (Flush joiners excluded)
+	bytes   int64          // WAL bytes spanned by the open group
+	due     bool           // window elapsed or size cap hit
+	closed  bool
+	timer   *time.Timer
+	done    chan struct{} // flusher exit
+}
+
+// NewCommitter wraps a store in a group-commit layer. With a disabled
+// policy (Window == 0) no goroutine is started and appends sync
+// inline. Callers must route every append and checkpoint through the
+// committer once it exists — it owns the store.
+func NewCommitter(st *Store, pol GroupPolicy) *Committer {
+	c := &Committer{st: st, pol: pol.withDefaults()}
+	if !pol.Enabled() {
+		return c
+	}
+	c.ready = sync.NewCond(&c.mu)
+	c.done = make(chan struct{})
+	c.timer = time.AfterFunc(time.Hour, c.windowUp)
+	c.timer.Stop()
+	go c.run()
+	return c
+}
+
+// Policy returns the (default-filled) policy the committer runs.
+func (c *Committer) Policy() GroupPolicy { return c.pol }
+
+// AppendAsync appends one event and returns its sequence number plus a
+// channel that resolves when the event is durable (or failed). The
+// append itself — id assignment, WAL write, in-order sequencing — has
+// happened by return time; only durability is deferred. An immediate
+// error means the event was NOT appended.
+func (c *Committer) AppendAsync(ev Event) (int64, <-chan error, error) {
+	ch := make(chan error, 1)
+	if !c.pol.Enabled() {
+		seq, err := c.st.Append(ev)
+		if err != nil {
+			return 0, nil, err
+		}
+		ch <- nil
+		return seq, ch, nil
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, nil, ErrClosed
+	}
+	before := c.st.curBytes
+	seq, err := c.st.AppendBuffered(ev)
+	if err != nil {
+		c.mu.Unlock()
+		return 0, nil, err
+	}
+	if len(c.waiters) == 0 {
+		c.due = false
+		c.timer.Reset(c.pol.Window)
+	}
+	c.waiters = append(c.waiters, ch)
+	c.nev++
+	c.bytes += c.st.curBytes - before
+	if c.nev >= c.pol.MaxEvents || c.bytes >= c.pol.MaxBytes {
+		c.due = true
+		c.ready.Signal()
+	}
+	c.mu.Unlock()
+	return seq, ch, nil
+}
+
+// Append appends one event and blocks until it is durable — the
+// synchronous convenience over AppendAsync. The open group is
+// expedited rather than waiting out the window (a sequential caller
+// gains nothing from the delay), but the fsync is still shared with
+// every concurrent appender in the group.
+func (c *Committer) Append(ev Event) (int64, error) {
+	seq, wait, err := c.AppendAsync(ev)
+	if err != nil {
+		return 0, err
+	}
+	c.expedite()
+	if err := <-wait; err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// expedite marks the open group due immediately.
+func (c *Committer) expedite() {
+	if !c.pol.Enabled() {
+		return
+	}
+	c.mu.Lock()
+	if len(c.waiters) > 0 {
+		c.due = true
+		c.ready.Signal()
+	}
+	c.mu.Unlock()
+}
+
+// Flush commits everything appended so far and blocks until it is
+// durable — the barrier resolve, checkpoint, and shutdown use.
+func (c *Committer) Flush() error {
+	if !c.pol.Enabled() {
+		return c.st.Commit()
+	}
+	c.mu.Lock()
+	if c.st.err != nil {
+		err := c.st.err
+		c.mu.Unlock()
+		return err
+	}
+	if c.closed || (len(c.waiters) == 0 && c.st.pending == 0) {
+		c.mu.Unlock()
+		return nil
+	}
+	ch := make(chan error, 1)
+	c.waiters = append(c.waiters, ch)
+	c.due = true
+	c.ready.Signal()
+	c.mu.Unlock()
+	return <-ch
+}
+
+// WriteCheckpoint installs a compacted snapshot through the committer
+// lock, so compaction never races the flusher's sync or rotation. The
+// checkpoint may cover buffered events — the snapshot itself is their
+// durable copy, and their acks still wait for the group sync.
+func (c *Committer) WriteCheckpoint(cp *Checkpoint) error {
+	if !c.pol.Enabled() {
+		return c.st.WriteCheckpoint(cp)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.WriteCheckpoint(cp)
+}
+
+// Close flushes outstanding events, stops the flusher, and closes the
+// underlying store.
+func (c *Committer) Close() error {
+	ferr := c.Flush()
+	if c.pol.Enabled() {
+		c.mu.Lock()
+		if !c.closed {
+			c.closed = true
+			c.timer.Stop()
+			c.ready.Signal()
+		}
+		c.mu.Unlock()
+		<-c.done
+	}
+	cerr := c.st.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// windowUp marks the open group due when its window timer fires.
+func (c *Committer) windowUp() {
+	c.mu.Lock()
+	c.due = true
+	c.ready.Signal()
+	c.mu.Unlock()
+}
+
+// run is the flusher: it waits for a due group, takes it, syncs the
+// live segment OUTSIDE the lock (appends into the next group proceed
+// meanwhile), rotates at the commit boundary if the segment is full,
+// and resolves the group's waiters in append order.
+func (c *Committer) run() {
+	defer close(c.done)
+	for {
+		c.mu.Lock()
+		for !c.closed && !(c.due && len(c.waiters) > 0) {
+			c.ready.Wait()
+		}
+		if len(c.waiters) == 0 && c.closed {
+			c.mu.Unlock()
+			return
+		}
+		group := c.waiters
+		nev := c.nev
+		c.waiters = nil
+		c.nev = 0
+		c.bytes = 0
+		c.due = false
+		err := c.st.err
+		f := c.st.cur
+		if f == nil && err == nil {
+			err = ErrClosed
+		}
+		c.mu.Unlock()
+
+		if err == nil {
+			// Concurrent writes to the live segment are safe against
+			// Sync for both os.File and MemFS; events appended after
+			// this group was captured may ride along early, which only
+			// makes them durable sooner than promised.
+			err = f.Sync()
+		}
+
+		c.mu.Lock()
+		if err != nil {
+			if c.st.err == nil {
+				c.st.err = err
+			}
+		} else {
+			if nev <= c.st.pending {
+				c.st.pending -= nev
+			} else {
+				c.st.pending = 0
+			}
+			if c.st.opt.RotateBytes > 0 && c.st.curBytes >= c.st.opt.RotateBytes {
+				if rerr := c.st.rotate(); rerr != nil {
+					// The group's events ARE durable (the sync above
+					// succeeded), so its waiters are still acked; the
+					// store is poisoned for future appends.
+					c.st.err = rerr
+				}
+			}
+			c.st.opt.Obs.Count(MetricGroupCommits, 1)
+			c.st.opt.Obs.Count(MetricGroupedEvents, int64(nev))
+		}
+		c.mu.Unlock()
+		for _, w := range group {
+			w <- err
+		}
+	}
+}

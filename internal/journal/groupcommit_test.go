@@ -1,0 +1,530 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"acd/internal/obs"
+)
+
+// TestCommitterPassthrough: a disabled policy (Window == 0) degrades to
+// the plain one-fsync-per-event store, through the same API the batched
+// mode uses.
+func TestCommitterPassthrough(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCommitter(s, GroupPolicy{})
+	seq, wait, err := c.AppendAsync(recordEv(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 1 {
+		t.Errorf("seq = %d", seq)
+	}
+	select {
+	case err := <-wait:
+		if err != nil {
+			t.Errorf("passthrough ack: %v", err)
+		}
+	default:
+		t.Error("passthrough append not immediately durable")
+	}
+	if seq, err = c.Append(recordEv(1)); err != nil || seq != 2 {
+		t.Fatalf("Append = (%d, %v)", seq, err)
+	}
+	// Both events survive a crash right now: they synced inline.
+	_, rec, err := Open(fs.CrashCopy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) != 2 {
+		t.Errorf("crash copy recovered %d events, want 2", len(rec.Events))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.AppendAsync(recordEv(2)); err == nil {
+		t.Error("append after close accepted")
+	}
+}
+
+// TestGroupCommitConcurrent: concurrent appends share fsyncs (measurably
+// fewer group commits than events), every ack arrives, and recovery
+// yields all events in sequence order.
+func TestGroupCommitConcurrent(t *testing.T) {
+	fs := NewMemFS()
+	rec := obs.New()
+	s, _, err := OpenOptions(fs, Options{Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCommitter(s, GroupPolicy{Window: 50 * time.Millisecond, MaxEvents: 8})
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, wait, err := c.AppendAsync(recordEv(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = <-wait
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	commits := rec.Counter(MetricGroupCommits)
+	events := rec.Counter(MetricGroupedEvents)
+	if events != n {
+		t.Errorf("grouped events = %d, want %d", events, n)
+	}
+	if commits == 0 || commits >= n {
+		t.Errorf("group commits = %d for %d events — no batching happened", commits, n)
+	}
+	_, got, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != n {
+		t.Fatalf("recovered %d events, want %d", len(got.Events), n)
+	}
+	for i, ev := range got.Events {
+		if ev.Seq != int64(i)+1 {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+}
+
+// TestTornGroupTail: a crash before the group's fsync loses exactly the
+// buffered (unacked) suffix — the committed prefix recovers intact and
+// the journal stays writable after recovery.
+func TestTornGroupTail(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.AppendBuffered(recordEv(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 5; i++ {
+		if _, err := s.AppendBuffered(recordEv(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	// The live file sees all five; the crash copy only the synced group.
+	if b, _ := fs.ReadFile(s.curName); bytes.Count(b, []byte("\n")) != 5 {
+		t.Fatalf("live segment holds %d lines", bytes.Count(b, []byte("\n")))
+	}
+	s2, rec, err := Open(fs.CrashCopy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) != 3 || s2.NextSeq() != 4 {
+		t.Fatalf("recovered %d events, next seq %d; want 3, 4", len(rec.Events), s2.NextSeq())
+	}
+	if _, err := s2.Append(recordEv(3)); err != nil {
+		t.Fatalf("append after torn-group recovery: %v", err)
+	}
+	s2.Close()
+}
+
+// TestGroupDurableBeforeAck: a crash between the group fsync and the
+// acks still recovers the whole group — recovered state may exceed the
+// acked floor, never undershoot it.
+func TestGroupDurableBeforeAck(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.AppendBuffered(recordEv(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Commit(); err != nil { // the group fsync; no ack ever delivered
+		t.Fatal(err)
+	}
+	_, rec, err := Open(fs.CrashCopy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) != 4 {
+		t.Fatalf("recovered %d events, want the whole synced group (4)", len(rec.Events))
+	}
+}
+
+// TestRotationSweep is the every-byte crash sweep extended across
+// segment rotation: groups of three events commit with RotateBytes low
+// enough to rotate repeatedly, then EVERY reachable disk state — all
+// earlier segments complete, any byte prefix of the segment the writer
+// was in, later segments absent — must recover exactly the durable
+// prefix.
+func TestRotationSweep(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := OpenOptions(fs, Options{RotateBytes: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for i := 0; i < n; i++ {
+		if _, err := s.AppendBuffered(recordEv(i)); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%3 == 0 {
+			if err := s.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	names, _ := fs.List()
+	var segs []string
+	for _, nm := range names {
+		if _, ok := parseName(nm, segPrefix, segSuffix); ok {
+			segs = append(segs, nm)
+		}
+	}
+	if len(segs) < 3 {
+		t.Fatalf("only %d segments; rotation did not happen (%v)", len(segs), segs)
+	}
+
+	prefixEvents := 0 // complete events in segments before the torn one
+	for si, seg := range segs {
+		full := fs.Bytes(seg)
+		for cut := 0; cut <= len(full); cut++ {
+			crash := NewMemFS()
+			for _, prev := range segs[:si] {
+				crash.Put(prev, fs.Bytes(prev))
+			}
+			crash.Put(seg, full[:cut])
+			s2, rec, err := Open(crash)
+			if err != nil {
+				t.Fatalf("segment %s cut %d: recovery failed: %v", seg, cut, err)
+			}
+			s2.Close()
+			wantN := prefixEvents + bytes.Count(full[:cut], []byte("\n"))
+			if tail := full[bytes.LastIndexByte(full[:cut], '\n')+1 : cut]; len(tail) > 0 && json.Valid(tail) {
+				wantN++
+			}
+			if len(rec.Events) != wantN {
+				t.Fatalf("segment %s cut %d: recovered %d events, want %d", seg, cut, len(rec.Events), wantN)
+			}
+			for i, ev := range rec.Events {
+				if ev.Seq != int64(i)+1 || ev.Record.ID != i {
+					t.Fatalf("segment %s cut %d: event %d = %+v", seg, cut, i, ev)
+				}
+			}
+		}
+		prefixEvents += bytes.Count(full, []byte("\n"))
+	}
+	if prefixEvents != n {
+		t.Fatalf("segments hold %d events total, want %d", prefixEvents, n)
+	}
+}
+
+// TestRotationNeverTearsMidGroup: a segment boundary always falls on a
+// commit boundary — no segment ends inside a commit group.
+func TestRotationNeverTearsMidGroup(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := OpenOptions(fs, Options{RotateBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if _, err := s.AppendBuffered(recordEv(i)); err != nil {
+			t.Fatal(err)
+		}
+		if (i+1)%3 == 0 {
+			if err := s.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s.Close()
+	names, _ := fs.List()
+	for _, nm := range names {
+		if _, ok := parseName(nm, segPrefix, segSuffix); !ok {
+			continue
+		}
+		lines := bytes.Count(fs.Bytes(nm), []byte("\n"))
+		if lines%3 != 0 {
+			t.Errorf("segment %s holds %d events — boundary inside a 3-event group", nm, lines)
+		}
+	}
+}
+
+// TestRotationRecoveryAndCompaction: rotated segments replay in order
+// across a restart, and a checkpoint compacts every rotated segment it
+// covers while the live one survives.
+func TestRotationRecoveryAndCompaction(t *testing.T) {
+	fs := NewMemFS()
+	rec := obs.New()
+	s, _, err := OpenOptions(fs, Options{RotateBytes: 1, Obs: rec}) // rotate after every commit
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, recordEv(0), recordEv(1), recordEv(2))
+	if got := rec.Counter(MetricSegmentsRotated); got != 3 {
+		t.Errorf("segments rotated = %d, want 3", got)
+	}
+	s.Close()
+
+	s2, got, err := OpenOptions(fs, Options{RotateBytes: 1, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 3 {
+		t.Fatalf("recovered %d events across rotated segments, want 3", len(got.Events))
+	}
+	if err := s2.WriteCheckpoint(&Checkpoint{Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.List()
+	var segs []string
+	for _, nm := range names {
+		if _, ok := parseName(nm, segPrefix, segSuffix); ok {
+			segs = append(segs, nm)
+		}
+	}
+	if len(segs) != 1 || segs[0] != s2.curName {
+		t.Errorf("segments after checkpoint: %v (live %s)", segs, s2.curName)
+	}
+	s2.Close()
+}
+
+// TestMidRotationCrash: a crash after the old segment closed but before
+// anything landed in the new one recovers the full committed history.
+func TestMidRotationCrash(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := OpenOptions(fs, Options{RotateBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, recordEv(0), recordEv(1)) // second append rotates; new segment empty
+	crash, recd, err := Open(fs.CrashCopy())
+	if err != nil {
+		t.Fatalf("mid-rotation recovery: %v", err)
+	}
+	defer crash.Close()
+	if len(recd.Events) != 2 || crash.NextSeq() != 3 {
+		t.Fatalf("recovered %d events, next seq %d", len(recd.Events), crash.NextSeq())
+	}
+	s.Close()
+}
+
+// TestCommitterSticky: a write failure poisons the store through the
+// committer — later appends and flushes fail instead of risking an ack
+// for an event whose durability is unknown.
+func TestCommitterSticky(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCommitter(s, GroupPolicy{Window: time.Millisecond})
+	fs.FailAfterWrites(0)
+	if _, _, err := c.AppendAsync(recordEv(0)); err == nil {
+		t.Fatal("failed write accepted")
+	}
+	if _, _, err := c.AppendAsync(recordEv(1)); err == nil {
+		t.Error("append after poison accepted")
+	}
+	if err := c.Flush(); err == nil {
+		t.Error("Flush after poison reported success")
+	}
+	if err := c.WriteCheckpoint(&Checkpoint{Seq: 0}); err == nil {
+		t.Error("checkpoint after poison accepted")
+	}
+	c.Close()
+}
+
+// TestCommitterWindowAck: an async append with no concurrent traffic is
+// acked once the window elapses — it does not wait for a size cap that
+// never fills.
+func TestCommitterWindowAck(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCommitter(s, GroupPolicy{Window: 5 * time.Millisecond})
+	defer c.Close()
+	_, wait, err := c.AppendAsync(recordEv(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-wait:
+		if err != nil {
+			t.Fatalf("window ack: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("append never acked after the window elapsed")
+	}
+}
+
+// TestCommitterCheckpointCoversBuffered: a checkpoint through the
+// committer may cover events whose group has not synced yet — the
+// snapshot is their durable copy, and recovery from a crash right after
+// the checkpoint still yields them.
+func TestCommitterCheckpointCoversBuffered(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCommitter(s, GroupPolicy{Window: time.Hour}) // group never due on its own
+	_, wait, err := c.AppendAsync(recordEv(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := &Checkpoint{Seq: 1, Records: []RecordData{{ID: 0, Fields: map[string]string{"name": "record 0"}}}}
+	if err := c.WriteCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	_, recd, err := Open(fs.CrashCopy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recd.Checkpoint == nil || recd.Checkpoint.Seq != 1 || len(recd.Checkpoint.Records) != 1 {
+		t.Fatalf("checkpoint did not carry the buffered event: %+v", recd.Checkpoint)
+	}
+	if err := c.Close(); err != nil { // flushes the still-buffered group
+		t.Fatal(err)
+	}
+	if err := <-wait; err != nil {
+		t.Fatalf("buffered event never acked: %v", err)
+	}
+}
+
+// flakyDirFS injects SyncDir failures: the n-th SyncDir call after
+// arming fails.
+type flakyDirFS struct {
+	*MemFS
+	failAt int
+}
+
+func (f *flakyDirFS) SyncDir() error {
+	if f.failAt > 0 {
+		f.failAt--
+		if f.failAt == 0 {
+			return fmt.Errorf("injected syncdir failure")
+		}
+	}
+	return f.MemFS.SyncDir()
+}
+
+// TestSyncDirErrorCounted: a failed directory barrier during compaction
+// is surfaced as the journal/syncdir_errors counter instead of
+// vanishing — and the checkpoint itself still succeeds (removals are
+// retried on the next one).
+func TestSyncDirErrorCounted(t *testing.T) {
+	fs := &flakyDirFS{MemFS: NewMemFS()}
+	rec := obs.New()
+	s, _, err := OpenOptions(fs, Options{Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, recordEv(0), recordEv(1))
+	s.Close()
+	s, _, err = OpenOptions(fs, Options{Obs: rec}) // old segment now compactable
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// WriteCheckpoint's SyncDir sequence from here: #1 installs the
+	// checkpoint rename (must succeed), #2 is compaction's best-effort
+	// barrier — fail that one.
+	fs.failAt = 2
+	if err := s.WriteCheckpoint(&Checkpoint{Seq: 2}); err != nil {
+		t.Fatalf("checkpoint failed on a compaction-side syncdir error: %v", err)
+	}
+	if got := rec.Counter(MetricSyncDirErrors); got != 1 {
+		t.Errorf("syncdir_errors = %d, want 1", got)
+	}
+}
+
+// TestGroupCommitDirFS drives the batched committer against a real
+// directory: concurrent appends, close, reopen, verify.
+func TestGroupCommitDirFS(t *testing.T) {
+	dir := t.TempDir() + "/journal"
+	dfs, err := NewDirFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := OpenOptions(dfs, Options{RotateBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCommitter(s, GroupPolicy{Window: time.Millisecond, MaxEvents: 4})
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, wait, err := c.AppendAsync(recordEv(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = <-wait
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dfs2, _ := NewDirFS(dir)
+	names, _ := dfs2.List()
+	segCount := 0
+	for _, nm := range names {
+		if strings.HasPrefix(nm, segPrefix) {
+			segCount++
+		}
+	}
+	if segCount < 2 {
+		t.Errorf("expected rotation on disk, found %d segments", segCount)
+	}
+	s2, recd, err := Open(dfs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(recd.Events) != n {
+		t.Fatalf("recovered %d events, want %d", len(recd.Events), n)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"acd/internal/obs"
 )
 
 // Event types. The journal is an effect log: resolve events carry the
@@ -93,24 +95,63 @@ const (
 	tmpSuffix  = ".tmp"
 )
 
+// Journal health metrics, reported through Options.Obs.
+const (
+	// MetricSyncDirErrors counts failed directory fsyncs during
+	// compaction garbage collection. Removals are retried on the next
+	// checkpoint, so a nonzero count is a disk-health warning, not data
+	// loss — but it must not vanish silently.
+	MetricSyncDirErrors = "journal/syncdir_errors"
+	// MetricSegmentsRotated counts WAL segment rotations.
+	MetricSegmentsRotated = "journal/segments_rotated"
+	// MetricGroupCommits counts commit groups synced by a Committer.
+	MetricGroupCommits = "journal/group_commits"
+	// MetricGroupedEvents counts events acknowledged through group
+	// commits; MetricGroupedEvents / MetricGroupCommits is the realized
+	// batching factor.
+	MetricGroupedEvents = "journal/grouped_events"
+)
+
+// Options tunes a Store beyond its filesystem. The zero value matches
+// the historical behavior: no rotation, no metrics.
+type Options struct {
+	// RotateBytes rotates the live WAL segment once its committed size
+	// reaches this many bytes; 0 disables rotation. Rotation happens
+	// only at commit boundaries, so a segment never ends mid-group.
+	RotateBytes int64
+	// Obs receives journal health metrics. Nil records nothing.
+	Obs *obs.Recorder
+}
+
 // Store is an open journal: an append-side WAL segment plus checkpoint
-// management. It is not safe for concurrent use; the engine serializes
-// access.
+// management. It is not safe for concurrent use; the engine (or a
+// Committer) serializes access.
 type Store struct {
 	fs      FS
+	opt     Options
 	cur     File
 	curName string
 	nextSeq int64
+
+	curBytes int64 // bytes written to the live segment
+	pending  int   // events written but not yet committed
+	err      error // sticky: a write/sync/rotate failure poisons the store
 }
 
 // Open recovers the journal in fs and opens a fresh WAL segment for
-// appending. The returned Recovered holds everything needed to rebuild
-// state: newest checkpoint plus post-checkpoint events. A torn final
-// line in any segment is dropped (crash mid-append — appends only ever
-// tear at the live segment's tail, and recovery leaves the torn bytes
-// behind when it opens the next segment); any other malformed content
-// is an error.
+// appending, with default Options (no rotation, no metrics).
 func Open(fs FS) (*Store, Recovered, error) {
+	return OpenOptions(fs, Options{})
+}
+
+// OpenOptions recovers the journal in fs and opens a fresh WAL segment
+// for appending. The returned Recovered holds everything needed to
+// rebuild state: newest checkpoint plus post-checkpoint events. A torn
+// final line in any segment is dropped (crash mid-append or mid-group —
+// appends only ever tear at the live segment's tail, and recovery
+// leaves the torn bytes behind when it opens the next segment); any
+// other malformed content is an error.
+func OpenOptions(fs FS, opt Options) (*Store, Recovered, error) {
 	var rec Recovered
 	names, err := fs.List()
 	if err != nil {
@@ -187,7 +228,7 @@ func Open(fs FS) (*Store, Recovered, error) {
 		}
 	}
 
-	s := &Store{fs: fs, nextSeq: lastSeq + 1}
+	s := &Store{fs: fs, opt: opt, nextSeq: lastSeq + 1}
 	if s.nextSeq < 1 {
 		s.nextSeq = 1
 	}
@@ -210,8 +251,29 @@ func (s *Store) NextSeq() int64 { return s.nextSeq }
 
 // Append assigns the event's sequence number, writes it to the current
 // segment and syncs it to stable storage before returning. On return
-// the event is durable.
+// the event is durable. Equivalent to AppendBuffered followed by
+// Commit — one fsync per event.
 func (s *Store) Append(ev Event) (int64, error) {
+	seq, err := s.AppendBuffered(ev)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.Commit(); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// AppendBuffered assigns the event's sequence number and writes it to
+// the current segment WITHOUT forcing it to stable storage. The event
+// becomes durable at the next Commit; until then a crash may lose it
+// (a torn tail recovery drops silently). A write failure poisons the
+// store: the buffered suffix's durability is unknown, so no further
+// appends are accepted.
+func (s *Store) AppendBuffered(ev Event) (int64, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
 	if s.cur == nil {
 		return 0, ErrClosed
 	}
@@ -222,13 +284,67 @@ func (s *Store) Append(ev Event) (int64, error) {
 	}
 	b = append(b, '\n')
 	if _, err := s.cur.Write(b); err != nil {
-		return 0, fmt.Errorf("journal: appending event: %w", err)
-	}
-	if err := s.cur.Sync(); err != nil {
-		return 0, fmt.Errorf("journal: syncing event: %w", err)
+		s.err = fmt.Errorf("journal: appending event: %w", err)
+		return 0, s.err
 	}
 	s.nextSeq++
+	s.curBytes += int64(len(b))
+	s.pending++
 	return ev.Seq, nil
+}
+
+// Pending returns the number of buffered events not yet committed.
+func (s *Store) Pending() int { return s.pending }
+
+// Commit syncs every buffered event to stable storage — the single
+// fsync a commit group shares — then rotates the live segment if it
+// has outgrown Options.RotateBytes. On a nil return every preceding
+// append is durable. A sync or rotation failure poisons the store.
+func (s *Store) Commit() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.cur == nil {
+		return ErrClosed
+	}
+	if s.pending == 0 {
+		return nil
+	}
+	if err := s.cur.Sync(); err != nil {
+		s.err = fmt.Errorf("journal: syncing commit group: %w", err)
+		return s.err
+	}
+	s.pending = 0
+	if s.opt.RotateBytes > 0 && s.curBytes >= s.opt.RotateBytes {
+		if err := s.rotate(); err != nil {
+			s.err = err
+			return s.err
+		}
+	}
+	return nil
+}
+
+// rotate closes the full live segment and opens a fresh one named after
+// the next sequence number. Called only at commit boundaries (the old
+// segment is synced), so a segment never ends inside a commit group.
+// The new segment's directory entry is made durable before any append
+// into it is acknowledged, mirroring Open.
+func (s *Store) rotate() error {
+	if err := s.cur.Close(); err != nil {
+		return fmt.Errorf("journal: closing rotated segment: %w", err)
+	}
+	name := segName(s.nextSeq)
+	f, err := s.fs.Create(name)
+	if err != nil {
+		s.cur = nil
+		return fmt.Errorf("journal: creating rotated segment: %w", err)
+	}
+	s.cur, s.curName, s.curBytes = f, name, 0
+	if err := s.fs.SyncDir(); err != nil {
+		return fmt.Errorf("journal: syncing dir after rotation: %w", err)
+	}
+	s.opt.Obs.Count(MetricSegmentsRotated, 1)
+	return nil
 }
 
 // WriteCheckpoint durably installs a compacted snapshot via
@@ -236,6 +352,9 @@ func (s *Store) Append(ev Event) (int64, error) {
 // redundant. cp.Seq must be the seq of the last event the snapshot
 // covers (its state is the fold of events 1..Seq).
 func (s *Store) WriteCheckpoint(cp *Checkpoint) error {
+	if s.err != nil {
+		return s.err
+	}
 	if cp.Seq >= s.nextSeq {
 		return fmt.Errorf("journal: checkpoint seq %d beyond journal head %d", cp.Seq, s.nextSeq-1)
 	}
@@ -303,26 +422,42 @@ func (s *Store) compact(seq int64) {
 			s.fs.Remove(segNames[i])
 		}
 	}
-	s.fs.SyncDir() // removals are garbage collection; durability is best-effort
+	// Removals are garbage collection; durability is best-effort and
+	// retried on the next checkpoint. A failed barrier is still a disk
+	// health signal, so it is counted rather than dropped.
+	if err := s.fs.SyncDir(); err != nil {
+		s.opt.Obs.Count(MetricSyncDirErrors, 1)
+	}
 }
 
 // Sync forces the current segment to stable storage. Appends already
 // sync; this exists for explicit barriers (e.g. before process exit).
 func (s *Store) Sync() error {
+	if s.err != nil {
+		return s.err
+	}
 	if s.cur == nil {
 		return ErrClosed
 	}
 	return s.cur.Sync()
 }
 
-// Close syncs and closes the current segment. The store is unusable
-// afterwards.
+// Close syncs and closes the current segment (committing any buffered
+// events on the way out). The store is unusable afterwards.
 func (s *Store) Close() error {
 	if s.cur == nil {
 		return nil
 	}
+	var serr error
+	if s.err == nil && s.pending > 0 {
+		serr = s.cur.Sync()
+		s.pending = 0
+	}
 	err := s.cur.Close()
 	s.cur = nil
+	if serr != nil {
+		return serr
+	}
 	return err
 }
 

@@ -38,13 +38,31 @@ import (
 // Extra metrics: the acked floors, the recovered occupancy, and the
 // recovery wall time.
 func runCrashRestart(o Options) (*load.Report, error) {
+	return crashDrill(o, "crash-restart")
+}
+
+// runCrashRestartGroupCommit is the same drill with the batched write
+// path on: a 2ms commit window (acks pipelined behind group fsyncs)
+// and small WAL segments so rotation happens repeatedly while the live
+// tree is being copied. The committed-prefix contract is identical —
+// an ack is only counted after the group holding its event synced, so
+// every acked event must still be in the image.
+func runCrashRestartGroupCommit(o Options) (*load.Report, error) {
+	o.CommitWindow = 2 * time.Millisecond
+	o.RotateBytes = 32 << 10
+	return crashDrill(o, "crash-restart-groupcommit")
+}
+
+// crashDrill is the shared body of the crash-restart scenarios; name
+// labels the report and the scratch directories.
+func crashDrill(o Options, name string) (*load.Report, error) {
 	o, err := o.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	liveDir := filepath.Join(o.Dir, "crash-live")
-	imageDir := filepath.Join(o.Dir, "crash-image")
-	l, err := startServer(o, "crash-live", nil)
+	liveDir := filepath.Join(o.Dir, name+"-live")
+	imageDir := filepath.Join(o.Dir, name+"-image")
+	l, err := startServer(o, name+"-live", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -85,7 +103,7 @@ func runCrashRestart(o Options) (*load.Report, error) {
 		if time.Now().After(deadline) {
 			cancel()
 			<-done
-			return nil, fmt.Errorf("crash-restart: only %d/%d records acked before deadline",
+			return nil, fmt.Errorf("%s: only %d/%d records acked before deadline", name,
 				g.Counters().AckedRecords, ackTarget)
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -96,49 +114,49 @@ func runCrashRestart(o Options) (*load.Report, error) {
 	// image. The ceiling is read AFTER the copy ends: nothing beyond it
 	// can appear in the image.
 	floor := g.Counters()
-	fmt.Fprintf(o.Log, "crash-restart: copying journal at %d acked records, %d acked answers (%d distinct pairs)\n",
+	fmt.Fprintf(o.Log, "%s: copying journal at %d acked records, %d acked answers (%d distinct pairs)\n", name,
 		floor.AckedRecords, floor.AckedAnswers, floor.DistinctPairs)
 	copyStart := time.Now()
 	if err := copyCrashImage(liveDir, imageDir); err != nil {
 		cancel()
 		<-done
-		return nil, fmt.Errorf("crash-restart: copying crash image: %w", err)
+		return nil, fmt.Errorf("%s: copying crash image: %w", name, err)
 	}
 	copyDur := time.Since(copyStart)
 	ceiling := g.Counters()
 
 	cancel()
 	if err := <-runErr; err != nil && ctx.Err() == nil {
-		return nil, fmt.Errorf("crash-restart: generator: %w", err)
+		return nil, fmt.Errorf("%s: generator: %w", name, err)
 	}
 	rep := <-done
 	// Kill the live server with no final checkpoint — its directory is
 	// now irrelevant; the image is the machine that "crashed".
 	if err := l.Abort(); err != nil {
-		return nil, fmt.Errorf("crash-restart: aborting live server: %w", err)
+		return nil, fmt.Errorf("%s: aborting live server: %w", name, err)
 	}
 
 	t0 := time.Now()
 	l2, err := serve.StartLocal(serve.Config{Journal: imageDir, Seed: o.Seed, Obs: nil})
 	if err != nil {
-		return nil, fmt.Errorf("crash-restart: recovering crash image: %w", err)
+		return nil, fmt.Errorf("%s: recovering crash image: %w", name, err)
 	}
 	recovery := time.Since(t0)
 	defer l2.Close()
 	snap := l2.Server.Snapshot()
-	fmt.Fprintf(o.Log, "crash-restart: recovered %d records, %d answers in %v\n",
+	fmt.Fprintf(o.Log, "%s: recovered %d records, %d answers in %v\n", name,
 		snap.Records, snap.Answers, recovery.Round(time.Millisecond))
 
 	if int64(snap.Records) < floor.AckedRecords {
-		return nil, fmt.Errorf("crash-restart: CONTRACT VIOLATION: %d records acked before the crash image, only %d recovered",
+		return nil, fmt.Errorf("%s: CONTRACT VIOLATION: %d records acked before the crash image, only %d recovered", name,
 			floor.AckedRecords, snap.Records)
 	}
 	if int64(snap.Records) > ceiling.IssuedRecords {
-		return nil, fmt.Errorf("crash-restart: CONTRACT VIOLATION: recovered %d records but only %d were ever issued",
+		return nil, fmt.Errorf("%s: CONTRACT VIOLATION: recovered %d records but only %d were ever issued", name,
 			snap.Records, ceiling.IssuedRecords)
 	}
 	if int64(snap.Answers) < floor.DistinctPairs {
-		return nil, fmt.Errorf("crash-restart: CONTRACT VIOLATION: %d distinct answer pairs acked before the crash image, only %d in the recovered cache",
+		return nil, fmt.Errorf("%s: CONTRACT VIOLATION: %d distinct answer pairs acked before the crash image, only %d in the recovered cache", name,
 			floor.DistinctPairs, snap.Answers)
 	}
 	// Exact partition: every recovered record in exactly one cluster.
@@ -150,23 +168,23 @@ func runCrashRestart(o Options) (*load.Report, error) {
 	for _, cluster := range snap.Clusters {
 		for _, id := range cluster {
 			if id < 0 || int64(id) >= ceiling.IssuedRecords {
-				return nil, fmt.Errorf("crash-restart: CONTRACT VIOLATION: cluster member %d was never issued (ceiling %d)", id, ceiling.IssuedRecords)
+				return nil, fmt.Errorf("%s: CONTRACT VIOLATION: cluster member %d was never issued (ceiling %d)", name, id, ceiling.IssuedRecords)
 			}
 			if seen[id] {
-				return nil, fmt.Errorf("crash-restart: CONTRACT VIOLATION: record %d appears in two clusters — event double-applied", id)
+				return nil, fmt.Errorf("%s: CONTRACT VIOLATION: record %d appears in two clusters — event double-applied", name, id)
 			}
 			seen[id] = true
 		}
 	}
 	if len(seen) != snap.Records {
-		return nil, fmt.Errorf("crash-restart: CONTRACT VIOLATION: clusters cover %d members but %d records recovered", len(seen), snap.Records)
+		return nil, fmt.Errorf("%s: CONTRACT VIOLATION: clusters cover %d members but %d records recovered", name, len(seen), snap.Records)
 	}
 	// The recovered server must still serve.
 	if err := probeRecovered(l2); err != nil {
-		return nil, fmt.Errorf("crash-restart: recovered server not functional: %w", err)
+		return nil, fmt.Errorf("%s: recovered server not functional: %w", name, err)
 	}
 
-	rep.Scenario = "crash-restart"
+	rep.Scenario = name
 	rep.Shards = o.Shards
 	rep.Extra = map[string]float64{
 		"acked_floor_records":  float64(floor.AckedRecords),
@@ -250,32 +268,55 @@ func copyCrashImage(src, dst string) error {
 // during the walk — the copy of each file is some prefix of its
 // eventual content, which is exactly what a hard kill leaves of an
 // append-only fsynced log.
+//
+// Within each directory the files are copied in REVERSE lexical order.
+// WAL segment names sort by starting sequence, so with rotation on the
+// writer appends to the lexically last segment and may open a newer one
+// mid-copy. Copying oldest-first could capture a prefix of the old tail
+// segment, then — after a rotation — the full new segment: a sequence
+// gap no crash can produce. Newest-first, every older segment the
+// writer has moved past is already complete, so each image is an intact
+// prefix of the event sequence. (Compaction, the one thing that mutates
+// old segments, is off in these drills: CheckpointEvery is unset.)
 func copyTree(src, dst string) error {
-	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
-		if err != nil {
+	info, err := os.Stat(src)
+	if err != nil {
+		return err
+	}
+	if !info.IsDir() {
+		return copyFile(src, dst)
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	for i := len(ents) - 1; i >= 0; i-- {
+		e := ents[i]
+		if err := copyTree(filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())); err != nil {
 			return err
 		}
-		rel, err := filepath.Rel(src, path)
-		if err != nil {
-			return err
-		}
-		target := filepath.Join(dst, rel)
-		if info.IsDir() {
-			return os.MkdirAll(target, 0o755)
-		}
-		in, err := os.Open(path)
-		if err != nil {
-			return err
-		}
-		defer in.Close()
-		out, err := os.Create(target)
-		if err != nil {
-			return err
-		}
-		if _, err := io.Copy(out, in); err != nil {
-			out.Close()
-			return err
-		}
-		return out.Close()
-	})
+	}
+	return nil
+}
+
+// copyFile copies one file; the result is a point-in-time prefix of a
+// concurrently growing source.
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }

@@ -37,6 +37,14 @@ type Options struct {
 	// Seed drives the server permutations and the workload sequence
 	// (default 1).
 	Seed int64
+	// CommitWindow enables journal group commit on the scenario
+	// servers: appends within the window share one fsync and acks are
+	// pipelined. 0 keeps one fsync per event. The
+	// crash-restart-groupcommit scenario forces it on.
+	CommitWindow time.Duration
+	// RotateBytes rotates scenario-server WAL segments past this size
+	// (0 = no rotation).
+	RotateBytes int64
 	// Log receives progress lines (nil = discard).
 	Log io.Writer
 }
@@ -123,6 +131,11 @@ func All() []Scenario {
 			Desc: "mid-ingest crash image; recovery checked against the committed-prefix contract",
 			Run:  runCrashRestart,
 		},
+		{
+			Name: "crash-restart-groupcommit",
+			Desc: "the crash drill with group commit and segment rotation on; same committed-prefix contract",
+			Run:  runCrashRestartGroupCommit,
+		},
 	}
 }
 
@@ -139,10 +152,12 @@ func Find(name string) (Scenario, bool) {
 // startServer boots a journaled in-process server for a scenario.
 func startServer(o Options, name string, src *serve.SimCrowdConfig) (*serve.Local, error) {
 	cfg := serve.Config{
-		Journal: filepath.Join(o.Dir, name),
-		Shards:  o.Shards,
-		Seed:    o.Seed,
-		Obs:     obs.New(),
+		Journal:      filepath.Join(o.Dir, name),
+		Shards:       o.Shards,
+		Seed:         o.Seed,
+		CommitWindow: o.CommitWindow,
+		RotateBytes:  o.RotateBytes,
+		Obs:          obs.New(),
 	}
 	if src != nil {
 		cfg.Source = serve.DegradedCrowd(*src)

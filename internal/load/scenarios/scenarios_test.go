@@ -7,11 +7,11 @@ import (
 	"acd/internal/load"
 )
 
-// TestRegistry: six scenarios, unique names, Find agrees with All.
+// TestRegistry: seven scenarios, unique names, Find agrees with All.
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 6 {
-		t.Fatalf("len(All()) = %d, want 6", len(all))
+	if len(all) != 7 {
+		t.Fatalf("len(All()) = %d, want 7", len(all))
 	}
 	seen := map[string]bool{}
 	for _, s := range all {
@@ -119,6 +119,41 @@ func TestCrashRestart(t *testing.T) {
 	}
 	if rep.Extra["recovery_ms"] <= 0 {
 		t.Error("recovery_ms not recorded")
+	}
+}
+
+// TestCrashRestartGroupCommit runs the drill with the batched write
+// path on (2ms commit window, 32 KiB segments): acks ride group fsyncs
+// and the live tree rotates segments while it is being copied, and the
+// committed-prefix contract must still hold in every image.
+func TestCrashRestartGroupCommit(t *testing.T) {
+	var logb strings.Builder
+	rep, err := runCrashRestartGroupCommit(Options{Dir: t.TempDir(), Smoke: true, Log: &logb})
+	if err != nil {
+		t.Fatalf("crash-restart-groupcommit: %v\nlog:\n%s", err, logb.String())
+	}
+	checkReport(t, rep, "crash-restart-groupcommit")
+	if rep.Extra["acked_floor_records"] < 150 {
+		t.Errorf("ack floor %v below the smoke target", rep.Extra["acked_floor_records"])
+	}
+	if rep.Extra["recovered_records"] < rep.Extra["acked_floor_records"] {
+		t.Errorf("recovered %v < floor %v — the scenario should have failed",
+			rep.Extra["recovered_records"], rep.Extra["acked_floor_records"])
+	}
+}
+
+// TestCrashRestartGroupCommitSharded repeats the batched drill at 3
+// shards: three group-committing shard WALs plus the per-event router
+// WAL, each rotating independently under the copy.
+func TestCrashRestartGroupCommitSharded(t *testing.T) {
+	var logb strings.Builder
+	rep, err := runCrashRestartGroupCommit(Options{Dir: t.TempDir(), Shards: 3, Smoke: true, Log: &logb})
+	if err != nil {
+		t.Fatalf("crash-restart-groupcommit -shards 3: %v\nlog:\n%s", err, logb.String())
+	}
+	checkReport(t, rep, "crash-restart-groupcommit")
+	if rep.Shards != 3 {
+		t.Errorf("report shards = %d, want 3", rep.Shards)
 	}
 }
 

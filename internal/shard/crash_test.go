@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"acd/internal/dataset"
 	"acd/internal/incremental"
@@ -329,6 +330,61 @@ func TestShardCrashSweepResolveFanOut(t *testing.T) {
 				t.Fatalf("shard %d cut %d: repair did not stick across reopen:\n got %s\nwant %s", s, cut, got, finalDigest)
 			}
 			g2.Close()
+		}
+	}
+}
+
+// TestGroupCommitWALBytesIdentical replays the crash fixture's script
+// with group commit enabled and asserts every journal — router and all
+// shards — is BYTE-identical to the unbatched run after a clean close.
+// Group commit changes when fsyncs happen, never what is written or in
+// what order; this is what keeps the whole crash battery's reachable
+// image space (and the recovery code) one and the same for both modes.
+func TestGroupCommitWALBytesIdentical(t *testing.T) {
+	run := func(cfg Config) *journal.MemTree {
+		tree := journal.NewMemTree()
+		g, err := Open(cfg, tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs := crashRecords()
+		if _, err := g.Add(recs[:12]...); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			if err := g.AddAnswer(i, i+4, float64(i%2), "client"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := g.Resolve(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := g.Add(recs[12:]...); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return tree
+	}
+
+	plain := run(crashCfg())
+	batched := crashCfg()
+	batched.Engine.Commit = journal.GroupPolicy{Window: 2 * time.Millisecond, MaxEvents: 16}
+	grouped := run(batched)
+
+	dirs := []string{journal.RouterDir}
+	for s := 0; s < crashCfg().Shards; s++ {
+		dirs = append(dirs, journal.ShardDirName(s))
+	}
+	for _, d := range dirs {
+		seg, want := walImage(t, plain.Dir(d))
+		segG, got := walImage(t, grouped.Dir(d))
+		if seg != segG {
+			t.Errorf("%s: segment name %q vs %q", d, segG, seg)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: WAL bytes differ under group commit (%d vs %d bytes)", d, len(got), len(want))
 		}
 	}
 }

@@ -6,10 +6,12 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"acd/internal/crowd"
 	"acd/internal/dataset"
 	"acd/internal/incremental"
+	"acd/internal/journal"
 	"acd/internal/obs"
 	"acd/internal/pruning"
 	"acd/internal/record"
@@ -187,6 +189,77 @@ func TestShardGolden(t *testing.T) {
 				if got.stats[w] != ref.stats[w] {
 					t.Errorf("wave %d resolve stats %+v, want %+v", w+1, got.stats[w], ref.stats[w])
 				}
+			}
+		})
+	}
+}
+
+// TestShardGoldenGroupCommit reruns the golden equivalence with the
+// batched write path fully on — journaled shards, a 2ms commit window,
+// and segment rotation — and additionally requires the journal to
+// recover the identical clustering after a clean close. Group commit
+// moves fsyncs around; it must never move what the crowd is asked or
+// what the clustering says.
+func TestShardGoldenGroupCommit(t *testing.T) {
+	recs, answers, half := goldenInput(t)
+	ref := runSingleGolden(t, recs, answers, half)
+
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		t.Run(strconv.Itoa(n)+"shards", func(t *testing.T) {
+			cap := newCapture(answers)
+			cfg := Config{Shards: n, Engine: incremental.Config{
+				Source: cap, Seed: goldenSeed, Obs: obs.New(),
+				Commit:      journal.GroupPolicy{Window: 2 * time.Millisecond, MaxEvents: 32},
+				RotateBytes: 16 << 10,
+			}}
+			tree := journal.NewMemTree()
+			g, err := Open(cfg, tree)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got goldenRun
+			waves := [2][2]int{{0, half}, {half, len(recs)}}
+			for w, span := range waves {
+				for _, r := range recs[span[0]:span[1]] {
+					if _, err := g.Add(r); err != nil {
+						t.Fatal(err)
+					}
+				}
+				before := askedTotal(cap)
+				st, err := g.Resolve(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				got.stats[w] = st
+				got.waveQ[w] = askedTotal(cap) - before
+			}
+			got.clusters = g.Snapshot().Clusters
+			got.questions = cap.multiset()
+			if err := g.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			if !reflect.DeepEqual(got.clusters, ref.clusters) {
+				t.Errorf("clustering differs from single engine (%d vs %d clusters)", len(got.clusters), len(ref.clusters))
+			}
+			if !reflect.DeepEqual(got.questions, ref.questions) {
+				t.Errorf("question multiset differs from single engine: asked %d distinct pairs, want %d",
+					len(got.questions), len(ref.questions))
+			}
+			if got.waveQ != ref.waveQ {
+				t.Errorf("per-wave question counts %v, want %v", got.waveQ, ref.waveQ)
+			}
+
+			// The rotated, group-committed journal must recover the exact
+			// clustering (no crowd needed: replay applies logged effects).
+			g2, err := Open(Config{Shards: n, Engine: incremental.Config{Seed: goldenSeed}}, tree)
+			if err != nil {
+				t.Fatalf("reopening group-committed journal: %v", err)
+			}
+			defer g2.Close()
+			if rec := g2.Snapshot().Clusters; !reflect.DeepEqual(rec, ref.clusters) {
+				t.Errorf("recovered clustering differs (%d vs %d clusters)", len(rec), len(ref.clusters))
 			}
 		})
 	}

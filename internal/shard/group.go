@@ -90,7 +90,8 @@ type Group struct {
 type shardState struct {
 	id  int
 	eng *incremental.Engine
-	q   *opQueue
+	q   *opQueue // single-owner op queue: the only goroutine touching eng
+	ack *opQueue // FIFO acknowledgment dispatcher for pipelined commits
 }
 
 // New returns a volatile group: shard state lives only in memory.
@@ -145,7 +146,7 @@ func newGroup(cfg Config, layout *journal.Layout) (*Group, error) {
 	g.gids = make([][]int, g.n)
 	g.stats = make([]ShardStats, g.n)
 	for i := range g.shards {
-		g.shards[i] = &shardState{id: i, q: newOpQueue()}
+		g.shards[i] = &shardState{id: i, q: newOpQueue(), ack: newOpQueue()}
 	}
 	if layout == nil {
 		for _, s := range g.shards {
@@ -180,10 +181,11 @@ func statsOf(e *incremental.Engine) ShardStats {
 	return ShardStats{Records: e.Len(), PendingPairs: e.PendingPairs(), Answers: e.AnswerCount()}
 }
 
-// start launches the shard queue goroutines.
+// start launches the shard queue and acknowledgment goroutines.
 func (g *Group) start() {
 	for _, s := range g.shards {
 		go s.q.run()
+		go s.ack.run()
 	}
 }
 
@@ -270,22 +272,34 @@ func (g *Group) Add(recs ...incremental.Record) ([]int, error) {
 		s := g.shards[sid]
 		done := make(chan error, 1)
 		acks = append(acks, ack{gid: gid, done: done})
+		// Two phases: the queue op appends + applies without blocking
+		// on the fsync, so the queue goroutine moves straight on to the
+		// next record and the journal's committer batches their events
+		// into one group. The ack op — FIFO on the shard's ack queue,
+		// so acknowledgment order matches append order — waits for the
+		// group sync and only then exposes the gid as live.
 		s.q.push(func() {
-			ids, err := s.eng.Add(r)
+			lid, wait, err := s.eng.AddBuffered(r)
 			st := statsOf(s.eng)
-			if len(ids) == 1 {
-				g.mu.Lock()
-				if ids[0] != len(g.gids[s.id]) {
-					err = fmt.Errorf("shard %d: local id %d out of order (expected %d)", s.id, ids[0], len(g.gids[s.id]))
-				} else {
-					g.local[gid] = ids[0]
-					g.gids[s.id] = append(g.gids[s.id], gid)
-					g.stats[s.id] = st
-					g.publishSnapshotLocked()
+			s.ack.push(func() {
+				aerr := err
+				if aerr == nil {
+					aerr = <-wait
 				}
-				g.mu.Unlock()
-			}
-			done <- err
+				if aerr == nil {
+					g.mu.Lock()
+					if lid != len(g.gids[s.id]) {
+						aerr = fmt.Errorf("shard %d: local id %d out of order (expected %d)", s.id, lid, len(g.gids[s.id]))
+					} else {
+						g.local[gid] = lid
+						g.gids[s.id] = append(g.gids[s.id], gid)
+						g.stats[s.id] = st
+						g.publishSnapshotLocked()
+					}
+					g.mu.Unlock()
+				}
+				done <- aerr
+			})
 		})
 	}
 	g.mu.Unlock()
@@ -346,16 +360,24 @@ func (g *Group) AddAnswer(lo, hi int, fc float64, source string) error {
 		s := g.shards[sLo]
 		llo, lhi := g.local[lo], g.local[hi]
 		done := make(chan error, 1)
+		// Same two-phase shape as Add: append + apply on the queue
+		// goroutine, acknowledgment after the commit group syncs.
 		s.q.push(func() {
-			err := s.eng.AddAnswer(llo, lhi, fc, source)
+			wait, err := s.eng.AddAnswerBuffered(llo, lhi, fc, source)
 			st := statsOf(s.eng)
-			if err == nil {
-				g.mu.Lock()
-				g.stats[s.id] = st
-				g.publishSnapshotLocked()
-				g.mu.Unlock()
-			}
-			done <- err
+			s.ack.push(func() {
+				aerr := err
+				if aerr == nil {
+					aerr = <-wait
+				}
+				if aerr == nil {
+					g.mu.Lock()
+					g.stats[s.id] = st
+					g.publishSnapshotLocked()
+					g.mu.Unlock()
+				}
+				done <- aerr
+			})
 		})
 		g.mu.Unlock()
 		return <-done
@@ -407,9 +429,14 @@ func (g *Group) globalPair(sid int, p record.Pair) record.Pair {
 	return record.MakePair(record.ID(g.gids[sid][int(p.Lo)]), record.ID(g.gids[sid][int(p.Hi)]))
 }
 
-// barrier blocks intake and waits for every shard queue to drain, then
-// takes mu. The caller must call release when done. While the barrier
-// holds, shard engines are quiescent and safe to touch directly.
+// barrier blocks intake, waits for every shard queue to drain, flushes
+// every engine's commit group, and waits for the ack queues to finish
+// their bookkeeping, then takes mu. The caller must call release when
+// done. While the barrier holds, shard engines are quiescent, every
+// applied event is durable, and every durable record is visible in the
+// gid maps — without the flush + ack drain, a resolve could see
+// records applied in an engine but still holes in g.local, and lift
+// their clusters out of range.
 func (g *Group) barrier() error {
 	g.mu.Lock()
 	for g.resolving && !g.closed {
@@ -424,7 +451,26 @@ func (g *Group) barrier() error {
 	for _, s := range g.shards {
 		s.q.waitIdle()
 	}
+	var flushErr error
+	for _, s := range g.shards {
+		if err := s.eng.Flush(); err != nil && flushErr == nil {
+			flushErr = fmt.Errorf("shard %d flush: %w", s.id, err)
+		}
+	}
+	for _, s := range g.shards {
+		s.ack.waitIdle()
+	}
 	g.mu.Lock()
+	if flushErr != nil {
+		// Some engine applied events whose durability failed: its
+		// in-memory state can no longer be trusted to match any
+		// journal. Fail sticky; restart recovers the durable prefix.
+		g.failed = flushErr
+		g.resolving = false
+		g.intakeOK.Broadcast()
+		g.mu.Unlock()
+		return flushErr
+	}
 	return nil
 }
 
@@ -670,9 +716,12 @@ func (g *Group) Close() error {
 	var first error
 	for _, s := range g.shards {
 		s.q.close() // drains queued ops, then the goroutine exits
+		// Closing the engine flushes its committer, resolving every
+		// outstanding ack wait — only then can the ack queue drain.
 		if err := s.eng.Close(); err != nil && first == nil {
 			first = err
 		}
+		s.ack.close()
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()

@@ -18,7 +18,11 @@
 # PC-Pivot, PC-Refine, the pruning-phase Jaccard join, the full-pipeline
 # scale run, and the sparse Λ computation. Other suites (e.g. the
 # sharded-engine mix feeding BENCH_6.json) select themselves via BENCH
-# and PKG.
+# and PKG. The journal group-commit ladder (events/sec and p99 append
+# latency at group sizes 1/16/256 over MemFS and DirFS) runs with:
+#
+#   BENCH='JournalAppend' PKG=./internal/journal \
+#       scripts/bench.sh journal BENCH_8_journal.json
 set -eu
 
 label="${1:-post}"

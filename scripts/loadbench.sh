@@ -7,7 +7,7 @@
 #   scripts/loadbench.sh [--smoke] [outfile]
 #
 #   --smoke  seconds-scale scenario variants (CI); default is full mode
-#   outfile  target JSON file (default: BENCH_7.json)
+#   outfile  target JSON file (default: BENCH_8.json)
 #
 # Environment:
 #   SHARDS     shard counts to run, space-separated (default: "1 4";
@@ -15,8 +15,20 @@
 #   SCENARIOS  scenario selector passed to acdload -scenario
 #              (default: all)
 #   SEED       workload seed (default: 1)
+#   COMMIT_WINDOW  journal group-commit window for the scenario
+#              servers, e.g. 2ms (default: empty = fsync per event)
+#   ROTATE_BYTES  WAL segment rotation size for the scenario servers
+#              (default: empty = no rotation)
+#   LABEL_SUFFIX  appended to every report label, so a batched run
+#              (e.g. -gc) can sit beside the unbatched one in the
+#              same BENCH file
 #   KEEP_SUITES  set non-empty to keep the per-shard suite JSONs next
 #              to the outfile instead of a temp dir
+#
+# The committed BENCH_8.json before/after pair is produced by:
+#   scripts/loadbench.sh BENCH_8.json
+#   COMMIT_WINDOW=2ms ROTATE_BYTES=4194304 LABEL_SUFFIX=-gc \
+#       scripts/loadbench.sh BENCH_8.json
 set -eu
 
 smoke=""
@@ -24,7 +36,7 @@ if [ "${1:-}" = "--smoke" ]; then
     smoke="-smoke"
     shift
 fi
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 cd "$(dirname "$0")/.."
 
 if [ -n "$smoke" ]; then
@@ -35,6 +47,20 @@ fi
 shards_list="${SHARDS:-$shards_default}"
 scenario="${SCENARIOS:-all}"
 seed="${SEED:-1}"
+commit_window="${COMMIT_WINDOW:-}"
+rotate_bytes="${ROTATE_BYTES:-}"
+label_suffix="${LABEL_SUFFIX:-}"
+
+extra=""
+if [ -n "$commit_window" ]; then
+    extra="$extra -commit-window $commit_window"
+fi
+if [ -n "$rotate_bytes" ]; then
+    extra="$extra -rotate-bytes $rotate_bytes"
+fi
+if [ -n "$label_suffix" ]; then
+    extra="$extra -label-suffix $label_suffix"
+fi
 
 suitedir="$(mktemp -d)"
 trap 'rm -rf "$suitedir"' EXIT
@@ -47,9 +73,10 @@ go build ./cmd/acdload ./internal/tools/benchjson
 
 suites=""
 for n in $shards_list; do
-    suite="$suitedir/loadsuite-${n}shard.json"
-    echo "== acdload -scenario $scenario -shards $n $smoke" >&2
-    go run ./cmd/acdload -scenario "$scenario" -shards "$n" $smoke \
+    suite="$suitedir/loadsuite${label_suffix}-${n}shard.json"
+    echo "== acdload -scenario $scenario -shards $n $smoke$extra" >&2
+    # shellcheck disable=SC2086 — extra is a deliberate word list
+    go run ./cmd/acdload -scenario "$scenario" -shards "$n" $smoke $extra \
         -seed "$seed" -out "$suite"
     suites="$suites $suite"
 done
