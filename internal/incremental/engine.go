@@ -107,6 +107,7 @@ type Engine struct {
 	answerSrc   map[record.Pair]string
 
 	sinceCheckpoint int
+	cpErr           error // latest automatic-checkpoint failure; cleared by a successful checkpoint
 }
 
 // New returns an engine with no journal: state lives only in memory.
@@ -203,21 +204,39 @@ func (e *Engine) AnsweredPairs() []record.Pair {
 func (e *Engine) Record(id int) journal.RecordData { return e.records[id] }
 
 // Add appends records to the engine, assigns their dense ids, journals
-// them, and feeds them through the blocking index. It returns the
-// assigned ids; on return every reported id is durable.
+// them, and feeds them through the blocking index. All records are
+// buffered into the journal's open commit group first and the group is
+// expedited once before blocking, so a multi-record Add shares one
+// fsync across the batch (and a single-record Add never waits out the
+// commit window). It returns the assigned ids; on return every
+// reported id is durable, and on error ids holds the durably committed
+// prefix.
 func (e *Engine) Add(recs ...Record) ([]int, error) {
-	ids := make([]int, 0, len(recs))
+	type pend struct {
+		id   int
+		wait <-chan error
+	}
+	pends := make([]pend, 0, len(recs))
+	var appendErr error
 	for _, r := range recs {
 		id, wait, err := e.AddBuffered(r)
 		if err != nil {
-			return ids, err
+			appendErr = err
+			break
 		}
-		if err := <-wait; err != nil {
-			return ids, err
-		}
-		ids = append(ids, id)
+		pends = append(pends, pend{id: id, wait: wait})
 	}
-	return ids, nil
+	if e.commit != nil {
+		e.commit.Expedite()
+	}
+	ids := make([]int, 0, len(pends))
+	for _, p := range pends {
+		if err := <-p.wait; err != nil {
+			return ids, err
+		}
+		ids = append(ids, p.id)
+	}
+	return ids, appendErr
 }
 
 // AddBuffered appends one record — id assignment, WAL write, in-memory
@@ -239,9 +258,7 @@ func (e *Engine) AddBuffered(r Record) (int, <-chan error, error) {
 	}
 	e.applyRecord(data)
 	e.cfg.Obs.Count(MetricRecordsAdded, 1)
-	if err := e.maybeCheckpoint(); err != nil {
-		return data.ID, wait, err
-	}
+	e.autoCheckpoint()
 	return data.ID, wait, nil
 }
 
@@ -298,9 +315,7 @@ func (e *Engine) AddAnswerBuffered(lo, hi int, fc float64, source string) (<-cha
 		return nil, err
 	}
 	e.applyAnswer(p, fc, source)
-	if err := e.maybeCheckpoint(); err != nil {
-		return wait, err
-	}
+	e.autoCheckpoint()
 	return wait, nil
 }
 
@@ -362,9 +377,20 @@ func (e *Engine) Checkpoint() error {
 		return err
 	}
 	e.sinceCheckpoint = 0
+	e.cpErr = nil
 	e.cfg.Obs.Count(MetricCheckpoints, 1)
 	return nil
 }
+
+// CheckpointErr returns the latest automatic-checkpoint failure, or nil.
+// Auto-checkpoints piggyback on mutations whose own append and apply
+// already succeeded, so their failure must not fail (or un-ack) the
+// mutation — the WAL still holds every event a missed snapshot would
+// have covered, and the checkpoint is retried on the next eligible
+// mutation. The error is held here (and counted as
+// MetricCheckpointErrors) instead of vanishing; a later successful
+// checkpoint clears it.
+func (e *Engine) CheckpointErr() error { return e.cpErr }
 
 // Flush blocks until every buffered journal event is durable — the
 // barrier the shard layer takes before a resolve or checkpoint. No-op
@@ -408,11 +434,21 @@ func (e *Engine) appendAsync(ev journal.Event) (<-chan error, error) {
 	return wait, nil
 }
 
-func (e *Engine) maybeCheckpoint() error {
+// autoCheckpoint writes the periodic compacted snapshot once enough
+// events have accumulated. Failures are demoted to CheckpointErr (plus
+// a metric): the caller's mutation is already journaled and applied, so
+// surfacing the failure as the mutation's error would make callers
+// treat a durable, applied event as failed (the shard group would skip
+// its gid registration and wedge the shard). sinceCheckpoint is left
+// untouched on failure, so the next eligible mutation retries.
+func (e *Engine) autoCheckpoint() {
 	if e.store == nil || e.cfg.CheckpointEvery <= 0 || e.sinceCheckpoint < e.cfg.CheckpointEvery {
-		return nil
+		return
 	}
-	return e.Checkpoint()
+	if err := e.Checkpoint(); err != nil {
+		e.cpErr = err
+		e.cfg.Obs.Count(MetricCheckpointErrors, 1)
+	}
 }
 
 // applyRecord is the journal-free half of Add, shared with replay.
@@ -439,7 +475,7 @@ func (e *Engine) cacheAnswer(p record.Pair, fc float64, source string, journalIt
 	}
 	e.applyAnswer(p, fc, source)
 	if journalIt {
-		return e.maybeCheckpoint()
+		e.autoCheckpoint()
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"acd/internal/dataset"
 	"acd/internal/journal"
+	"acd/internal/obs"
 	"acd/internal/record"
 )
 
@@ -249,6 +250,56 @@ func TestCheckpointRecovery(t *testing.T) {
 	defer e2.Close()
 	if got := snapJSON(t, e2); got != want {
 		t.Fatalf("checkpoint recovery differs:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestAutoCheckpointFailureKeepsMutationsAcked: an automatic-checkpoint
+// failure must not fail the mutation that triggered it — the record's
+// append and apply already succeeded, and callers (the shard group's
+// gid bookkeeping) must see it acked. The failure lands in
+// CheckpointErr and a counter instead, and the next eligible mutation
+// retries the checkpoint.
+func TestAutoCheckpointFailureKeepsMutationsAcked(t *testing.T) {
+	fs := journal.NewMemFS()
+	rec := obs.New()
+	e, err := Open(Config{Seed: 1, CheckpointEvery: 2, Obs: rec}, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	six := sixRecords()
+	if _, err := e.Add(six[0]); err != nil {
+		t.Fatal(err)
+	}
+	// The next write (record 1's WAL append) succeeds; the one after it
+	// (the checkpoint's tmp file) fails.
+	fs.FailAfterWrites(1)
+	id, wait, err := e.AddBuffered(six[1])
+	if err != nil {
+		t.Fatalf("AddBuffered surfaced the auto-checkpoint failure as an append error: %v", err)
+	}
+	if err := <-wait; err != nil {
+		t.Fatalf("durable record not acked: %v", err)
+	}
+	if id != 1 {
+		t.Fatalf("id = %d, want 1", id)
+	}
+	if e.CheckpointErr() == nil {
+		t.Error("auto-checkpoint failure vanished: CheckpointErr is nil")
+	}
+	if got := rec.Counter(MetricCheckpointErrors); got != 1 {
+		t.Errorf("checkpoint_errors = %d, want 1", got)
+	}
+	// The engine keeps accepting mutations; the retried checkpoint
+	// succeeds and clears the sticky error.
+	if _, err := e.Add(six[2]); err != nil {
+		t.Fatalf("add after auto-checkpoint failure: %v", err)
+	}
+	if err := e.CheckpointErr(); err != nil {
+		t.Errorf("sticky error survived a successful checkpoint: %v", err)
+	}
+	if got := rec.Counter(MetricCheckpoints); got < 1 {
+		t.Errorf("checkpoints = %d, want ≥ 1 (the retry)", got)
 	}
 }
 

@@ -30,4 +30,10 @@ const (
 	MetricJournalEvents = "incremental/journal_events"
 	// MetricCheckpoints counts compacted snapshots written.
 	MetricCheckpoints = "incremental/checkpoints"
+	// MetricCheckpointErrors counts failed automatic checkpoints. The
+	// triggering mutation is journaled and applied regardless (the WAL
+	// still covers the state a snapshot would have), and the checkpoint
+	// retries on the next eligible mutation — but the failure must not
+	// vanish; Engine.CheckpointErr holds the latest one.
+	MetricCheckpointErrors = "incremental/checkpoint_errors"
 )

@@ -290,5 +290,6 @@ func (e *Engine) commitResolve(round int, clusters [][]int) error {
 	e.round = round
 	e.resolvedUpTo = n
 	e.pending = nil
-	return e.maybeCheckpoint()
+	e.autoCheckpoint()
+	return nil
 }

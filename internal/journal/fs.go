@@ -272,9 +272,12 @@ func (f *memFile) Sync() error {
 }
 
 func (f *memFile) Close() error {
-	err := f.Sync() // mirror os.File on clean close: buffered data lands
+	// os.File.Close is NOT a durability barrier: written-but-unsynced
+	// bytes sit in the page cache and die with a power loss regardless
+	// of the close. Mirror that — the dirty tail stays unsynced (still
+	// visible to ReadFile, like the page cache) so CrashCopy drops it.
 	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
 	f.closed = true
-	f.fs.mu.Unlock()
-	return err
+	return nil
 }

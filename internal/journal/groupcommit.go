@@ -141,15 +141,18 @@ func (c *Committer) Append(ev Event) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	c.expedite()
+	c.Expedite()
 	if err := <-wait; err != nil {
 		return 0, err
 	}
 	return seq, nil
 }
 
-// expedite marks the open group due immediately.
-func (c *Committer) expedite() {
+// Expedite marks the open group due immediately, so its fsync starts
+// now instead of when the window elapses. Callers about to block on an
+// AppendAsync ack use it to trade batching for latency; it is a no-op
+// with batching disabled or no open group.
+func (c *Committer) Expedite() {
 	if !c.pol.Enabled() {
 		return
 	}
@@ -275,6 +278,11 @@ func (c *Committer) run() {
 				c.st.pending = 0
 			}
 			if c.st.opt.RotateBytes > 0 && c.st.curBytes >= c.st.opt.RotateBytes {
+				// rotate syncs the outgoing segment's tail before
+				// closing it, so events of the NEXT group that landed
+				// there during the out-of-lock fsync above survive a
+				// power loss (Close alone is no durability barrier);
+				// they are still acked only by their own group's sync.
 				if rerr := c.st.rotate(); rerr != nil {
 					// The group's events ARE durable (the sync above
 					// succeeded), so its waiters are still acked; the

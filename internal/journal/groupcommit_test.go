@@ -424,6 +424,91 @@ func TestCommitterCheckpointCoversBuffered(t *testing.T) {
 	}
 }
 
+// TestRotationSyncsPipelinedTail reproduces the committer's pipelined
+// interleaving at the store level: a group fsync runs outside the
+// committer lock, an append of the NEXT group lands in the old segment
+// meanwhile, and the segment rotates at the following commit boundary.
+// The rotated-away segment's tail must survive a crash even though its
+// own group has not synced — Close is not a durability barrier, so
+// rotate has to sync the outgoing segment first. Without that, the
+// tail event's ack would later ride the NEW segment's sync while its
+// bytes die with the old one: an acked event lost, plus a sequence gap
+// recovery refuses.
+func TestRotationSyncsPipelinedTail(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := OpenOptions(fs, Options{RotateBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendBuffered(recordEv(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil { // the group fsync, as the flusher runs it out of lock
+		t.Fatal(err)
+	}
+	if _, err := s.AppendBuffered(recordEv(1)); err != nil { // next group, same segment
+		t.Fatal(err)
+	}
+	if err := s.rotate(); err != nil { // flusher re-locks: segment over RotateBytes
+		t.Fatal(err)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("pending = %d after rotation synced the tail, want 0", s.Pending())
+	}
+	_, rec, err := Open(fs.CrashCopy())
+	if err != nil {
+		t.Fatalf("crash right after rotation: %v", err)
+	}
+	if len(rec.Events) != 2 {
+		t.Fatalf("recovered %d events, want 2 — rotated segment tail lost", len(rec.Events))
+	}
+	s.Close()
+}
+
+// TestGroupCommitRotationDurability: under the batched committer with
+// rotation on, acked ⟹ durable must hold at every moment — including
+// for groups that straddle a rotation. After all acks arrive, a power
+// loss (CrashCopy, before any Close) must recover every event.
+func TestGroupCommitRotationDurability(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := OpenOptions(fs, Options{RotateBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCommitter(s, GroupPolicy{Window: 100 * time.Microsecond, MaxEvents: 4})
+	const n = 48
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, wait, err := c.AppendAsync(recordEv(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = <-wait
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	_, rec, err := Open(fs.CrashCopy()) // crash NOW: no Close-side sync to hide behind
+	if err != nil {
+		t.Fatalf("crash recovery with all events acked: %v", err)
+	}
+	if len(rec.Events) != n {
+		t.Fatalf("recovered %d events, want all %d acked ones", len(rec.Events), n)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // flakyDirFS injects SyncDir failures: the n-th SyncDir call after
 // arming fails.
 type flakyDirFS struct {

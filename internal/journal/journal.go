@@ -117,7 +117,10 @@ const (
 type Options struct {
 	// RotateBytes rotates the live WAL segment once its committed size
 	// reaches this many bytes; 0 disables rotation. Rotation happens
-	// only at commit boundaries, so a segment never ends mid-group.
+	// only at commit boundaries and syncs the outgoing segment's tail,
+	// so every byte in a closed segment is durable (a pipelined
+	// committer's next group may straddle the boundary; its events are
+	// still acked only by their own group's sync).
 	RotateBytes int64
 	// Obs receives journal health metrics. Nil records nothing.
 	Obs *obs.Recorder
@@ -325,11 +328,19 @@ func (s *Store) Commit() error {
 }
 
 // rotate closes the full live segment and opens a fresh one named after
-// the next sequence number. Called only at commit boundaries (the old
-// segment is synced), so a segment never ends inside a commit group.
-// The new segment's directory entry is made durable before any append
-// into it is acknowledged, mirroring Open.
+// the next sequence number. The old segment is synced before it closes:
+// Close is not a durability barrier, and a pipelined committer may have
+// appended events of the NEXT group to this segment during its
+// out-of-lock group fsync — without the sync here, a power loss after
+// rotation could lose those events even though their acks later ride
+// the new segment's sync. After the sync nothing in the old segment is
+// pending. The new segment's directory entry is made durable before
+// any append into it is acknowledged, mirroring Open.
 func (s *Store) rotate() error {
+	if err := s.cur.Sync(); err != nil {
+		return fmt.Errorf("journal: syncing rotated segment: %w", err)
+	}
+	s.pending = 0
 	if err := s.cur.Close(); err != nil {
 		return fmt.Errorf("journal: closing rotated segment: %w", err)
 	}
