@@ -5,7 +5,9 @@
 // Poisson arrival process, and reports per-endpoint throughput and
 // latency percentiles. -scenario runs the curated benchmark suite
 // instead (baseline, high-load, bursty, read-heavy, degraded-crowd,
-// crash-restart, crash-restart-groupcommit). -commit-window and
+// crash-restart, crash-restart-groupcommit, replica-reads,
+// replica-failover). -read-targets fans the snapshot reads out over
+// follower replicas while writes stay on -target. -commit-window and
 // -rotate-bytes turn on journal group commit and WAL segment rotation
 // on the servers acdload hosts itself, for before/after write-path
 // comparisons. Reports are written as a suite JSON (-out) that
@@ -37,6 +39,7 @@ func main() {
 // the flag↔documentation parity test share it.
 type options struct {
 	target       string
+	readTargets  string
 	journal      string
 	shards       int
 	scenario     string
@@ -70,6 +73,7 @@ func flags(o *options, errw io.Writer) *flag.FlagSet {
 	fs := flag.NewFlagSet("acdload", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	fs.StringVar(&o.target, "target", "", "base URL of a running acdserve to drive (empty = self-host an in-process server)")
+	fs.StringVar(&o.readTargets, "read-targets", "", "comma-separated base URLs that take the snapshot reads round-robin (follower replicas; empty = reads go to -target)")
 	fs.StringVar(&o.journal, "journal", "", "journal directory for the self-hosted server, and scratch root for scenarios (empty = temp dir)")
 	fs.IntVar(&o.shards, "shards", 1, "shard count of the self-hosted server")
 	fs.StringVar(&o.scenario, "scenario", "", "run a named benchmark scenario, or \"all\" for the whole suite")
@@ -207,6 +211,7 @@ func runAdhoc(o options, stderr io.Writer) ([]*load.Report, error) {
 	}
 	cfg := load.Config{
 		Target:       target,
+		ReadTargets:  splitTargets(o.readTargets),
 		Mix:          mix,
 		Arrival:      load.ArrivalKind(o.arrival),
 		Rate:         o.rate,
@@ -233,6 +238,17 @@ func runAdhoc(o options, stderr io.Writer) ([]*load.Report, error) {
 	rep.Scenario = o.label
 	rep.Shards = shards
 	return []*load.Report{rep}, nil
+}
+
+// splitTargets parses the -read-targets comma list.
+func splitTargets(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // parseMix parses "records,answers,clusters,metrics" integer weights.

@@ -5,13 +5,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"testing"
-	"time"
 
 	"acd/internal/load"
 	"acd/internal/serve"
+	"acd/internal/testutil"
 )
 
 // TestList: -list prints every scenario and exits 0.
@@ -20,7 +19,7 @@ func TestList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("-list exit %d, stderr: %s", code, errb.String())
 	}
-	for _, name := range []string{"baseline", "high-load", "bursty", "read-heavy", "degraded-crowd", "crash-restart", "crash-restart-groupcommit"} {
+	for _, name := range scenariosAll() {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
@@ -49,7 +48,7 @@ func TestBadFlags(t *testing.T) {
 // in-process server produces a rendered report and a suite file, and
 // leaks no goroutines.
 func TestAdhocLoopback(t *testing.T) {
-	baseline := runtime.NumGoroutine()
+	baseline := testutil.Baseline()
 	dir := t.TempDir()
 	out := filepath.Join(dir, "suite.json")
 	var stdout, stderr strings.Builder
@@ -79,7 +78,7 @@ func TestAdhocLoopback(t *testing.T) {
 	if suite.Reports[0].Counters.AckedRecords == 0 {
 		t.Error("no records acked")
 	}
-	checkGoroutines(t, baseline)
+	testutil.CheckGoroutines(t, baseline)
 }
 
 // TestAdhocPoissonAgainstTarget: open-loop mode with bursts against an
@@ -124,22 +123,6 @@ func TestScenarioSmoke(t *testing.T) {
 	if len(suite.Reports) != 1 || suite.Reports[0].Scenario != "baseline" {
 		t.Fatalf("suite contents: %+v", suite.Reports)
 	}
-}
-
-// checkGoroutines gives background HTTP machinery a moment to wind
-// down, then compares against the baseline.
-func checkGoroutines(t *testing.T, baseline int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= baseline+2 {
-			return
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<20)
-	t.Errorf("goroutine leak: %d running, baseline %d\n%s",
-		runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
 }
 
 // docsPath locates docs/serving.md relative to this package.
@@ -200,5 +183,5 @@ func TestScenariosDocumented(t *testing.T) {
 // scenariosAll returns the scenario names (kept separate so the doc
 // test reads naturally).
 func scenariosAll() []string {
-	return []string{"baseline", "high-load", "bursty", "read-heavy", "degraded-crowd", "crash-restart", "crash-restart-groupcommit"}
+	return []string{"baseline", "high-load", "bursty", "read-heavy", "degraded-crowd", "crash-restart", "crash-restart-groupcommit", "replica-reads", "replica-failover"}
 }

@@ -24,7 +24,7 @@
 //	acdserve [-addr 127.0.0.1:8080] [-journal DIR] [-shards N] [-tau 0.3]
 //	         [-eps 0.1] [-x 8] [-seed 1] [-checkpoint-every N]
 //	         [-commit-window D] [-commit-events N] [-commit-bytes N]
-//	         [-rotate-bytes N]
+//	         [-rotate-bytes N] [-follow URL] [-replica-id NAME]
 //	         [-crowd-sim] [-crowd-latency D] [-crowd-spike F] [-crowd-drop F]
 //	         [-crowd-error F] [-crowd-timeout D] [-crowd-retries N]
 //	         [-metrics] [-metrics-json] [-trace FILE] [-metrics-http ADDR]
@@ -37,10 +37,19 @@
 //	GET  /clusters -> {"round":r,"resolved_up_to":n,"clusters":[[...]]}
 //	GET  /healthz  -> {"status":"ok","records":n,"round":r}
 //	GET  /metrics  -> observability snapshot (JSON)
+//	GET  /replica/stream   -> journal tail batches for followers (long-poll)
+//	GET  /replica/status   -> replication role, epoch, and lag
+//	POST /replica/promote  -> turn this follower into the leader
 //
 // GET /clusters and GET /healthz are served from an immutable snapshot
 // behind an atomic pointer: reads never take a write lock and return
 // immediately even while a resolve pass or an ingest burst is running.
+// With -follow the server is a read-only replica instead: it mirrors
+// the leader's journals, answers reads from a warm standby with an
+// X-Replication-Lag header, refuses writes with 503, and becomes the
+// leader on POST /replica/promote (fencing the deposed leader's epoch
+// and replaying its surviving tail when the body names its journal
+// directory). See docs/serving.md for the replication runbook.
 // Crowd answers are optional: /resolve primes every cached answer and
 // falls back to machine similarity scores for residual pairs, so the
 // service is useful standalone and gets strictly better as answers
@@ -98,6 +107,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	commitEvents := fs.Int("commit-events", 0, "max events per commit group before an early fsync (0 = 256; needs -commit-window)")
 	commitBytes := fs.Int64("commit-bytes", 0, "max WAL bytes per commit group before an early fsync (0 = 1 MiB; needs -commit-window)")
 	rotateBytes := fs.Int64("rotate-bytes", serve.DefaultRotateBytes, "rotate each live WAL segment past this size in bytes (0 disables rotation)")
+	follow := fs.String("follow", "", "leader replication stream URL (http://LEADER/replica/stream): start as a read-only follower mirroring that leader's journals")
+	replicaID := fs.String("replica-id", "", "replica name reported by GET /replica/status")
 	crowdSim := fs.Bool("crowd-sim", false, "answer residual resolve questions from a simulated crowd (deterministic pseudo-answers with real injected latency) instead of machine scores")
 	crowdLatency := fs.Duration("crowd-latency", 500*time.Microsecond, "with -crowd-sim: median simulated answer latency per question")
 	crowdSpike := fs.Float64("crowd-spike", 0, "with -crowd-sim: probability a simulated answer's latency spikes 25x")
@@ -132,6 +143,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		CommitBytes:     *commitBytes,
 		RotateBytes:     *rotateBytes,
 		Obs:             rec,
+		Follow:          *follow,
+		ReplicaID:       *replicaID,
 	}
 	if *crowdSim {
 		cfg.Source = serve.DegradedCrowd(serve.SimCrowdConfig{
@@ -149,7 +162,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		fmt.Fprintf(stderr, "acdserve: %v\n", err)
 		return 1
 	}
-	if srv.Recovered.FromJournal {
+	if *follow != "" {
+		fmt.Fprintf(stderr, "acdserve: following %s (%d shards): standby at %d records, round %d\n",
+			*follow, srv.Shards(), srv.Recovered.Records, srv.Recovered.Round)
+	} else if srv.Recovered.FromJournal {
 		fmt.Fprintf(stderr, "acdserve: journal %s (%d shards): recovered %d records, round %d\n",
 			*dir, srv.Shards(), srv.Recovered.Records, srv.Recovered.Round)
 	}

@@ -9,12 +9,13 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"acd/internal/testutil"
 )
 
 // testServer runs the real run() seam on an ephemeral port and gives
@@ -105,8 +106,7 @@ func TestServeRestart(t *testing.T) {
 }
 
 func testServeRestart(t *testing.T, shards int) {
-	runtime.GC()
-	baseline := runtime.NumGoroutine()
+	baseline := testutil.Baseline()
 	dir := t.TempDir()
 
 	ts := startServer(t, "-journal", dir, "-seed", "3", "-checkpoint-every", "0", "-shards", fmt.Sprint(shards))
@@ -195,17 +195,7 @@ func testServeRestart(t *testing.T, shards int) {
 	}
 
 	// Everything the two servers started must be gone.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		runtime.GC()
-		if runtime.NumGoroutine() <= baseline+2 {
-			return
-		}
-		time.Sleep(50 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<16)
-	t.Errorf("goroutine leak: %d running, baseline %d\n%s",
-		runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+	testutil.CheckGoroutines(t, baseline)
 }
 
 // copyTree copies a journal directory tree (one level of
@@ -349,6 +339,75 @@ func TestReshardRefused(t *testing.T) {
 	if !strings.Contains(errb.String(), "re-sharding") {
 		t.Errorf("re-shard error not surfaced; stderr:\n%s", errb.String())
 	}
+}
+
+// TestFollowAndFailover: the -follow flag end to end. A journaled
+// leader streams to a follower started with -follow/-replica-id; the
+// follower serves stale-ok reads with the lag header and refuses
+// writes; after the leader dies, POST /replica/promote with the old
+// journal directory turns the follower into a leader holding every
+// acknowledged record — and it takes writes.
+func TestFollowAndFailover(t *testing.T) {
+	baseline := testutil.Baseline()
+	leaderDir := filepath.Join(t.TempDir(), "leader")
+	leader := startServer(t, "-journal", leaderDir, "-shards", "2", "-seed", "3")
+	follower := startServer(t,
+		"-follow", leader.base+"/replica/stream",
+		"-replica-id", "dr-site",
+		"-journal", filepath.Join(t.TempDir(), "standby"),
+		"-seed", "3")
+
+	code, m := call(t, http.MethodPost, leader.base+"/records", recordsBody(
+		"golden dragon palace chinese broadway",
+		"golden dragon palace chinese broadway ave",
+		"harbor seafood grill market st",
+	))
+	if code != http.StatusOK || len(m["ids"].([]any)) != 3 {
+		t.Fatalf("leader ingest: %d %v", code, m)
+	}
+	if code, m = call(t, http.MethodPost, leader.base+"/resolve", ""); code != http.StatusOK {
+		t.Fatalf("leader resolve: %d %v", code, m)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, m = call(t, http.MethodGet, follower.base+"/replica/status", "")
+		if code == http.StatusOK && m["mode"] == "follower" && m["lag"] == float64(0) {
+			if code, cm := call(t, http.MethodGet, follower.base+"/clusters", ""); code == http.StatusOK && cm["records"] == float64(3) {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: %v", m)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if m["replica_id"] != "dr-site" {
+		t.Errorf("replica_id %v", m["replica_id"])
+	}
+	if code, m = call(t, http.MethodPost, follower.base+"/records", recordsBody("x")); code != http.StatusServiceUnavailable {
+		t.Errorf("follower write: %d %v, want 503", code, m)
+	}
+
+	if ec := leader.stop(); ec != 0 {
+		t.Fatalf("leader exit %d; stderr:\n%s", ec, leader.errb.String())
+	}
+	code, m = call(t, http.MethodPost, follower.base+"/replica/promote",
+		fmt.Sprintf(`{"source_journal":%q}`, leaderDir))
+	if code != http.StatusOK || m["mode"] != "leader" || m["records"] != float64(3) {
+		t.Fatalf("promote: %d %v", code, m)
+	}
+	if code, m = call(t, http.MethodPost, follower.base+"/records", recordsBody("chez olive bistro french sunset")); code != http.StatusOK {
+		t.Fatalf("promoted write: %d %v", code, m)
+	}
+	if code, m = call(t, http.MethodGet, follower.base+"/healthz", ""); code != http.StatusOK || m["records"] != float64(4) || m["status"] != "ok" {
+		t.Fatalf("promoted healthz: %d %v", code, m)
+	}
+
+	if ec := follower.stop(); ec != 0 {
+		t.Fatalf("follower exit %d; stderr:\n%s", ec, follower.errb.String())
+	}
+	testutil.CheckGoroutines(t, baseline)
 }
 
 // TestBadFlags: unknown flags exit 2 without touching the network.

@@ -1,0 +1,47 @@
+package incremental
+
+import (
+	"fmt"
+
+	"acd/internal/journal"
+)
+
+// This file is the engine's replication surface: a follower's warm
+// standby folds a leader's journal events into volatile engines through
+// these entry points, reusing exactly the recovery fold so standby
+// state is byte-identical to what a restart would rebuild.
+
+// ApplyLogged folds one replicated journal event into the engine — the
+// follower standby's apply-from-stream entry point, identical to
+// recovery's per-event fold. Only volatile engines (no attached
+// journal) accept it: applying a shipped event to a journaled engine
+// would mutate state the engine never logged.
+func (e *Engine) ApplyLogged(ev journal.Event) error {
+	if e.store != nil {
+		return fmt.Errorf("incremental: ApplyLogged on a journaled engine")
+	}
+	return e.applyEvent(ev)
+}
+
+// ApplyLoggedCheckpoint installs a shipped checkpoint into an empty
+// volatile engine — the follower standby's catch-up path when the
+// leader compacted past its cursor.
+func (e *Engine) ApplyLoggedCheckpoint(cp *journal.Checkpoint) error {
+	if e.store != nil {
+		return fmt.Errorf("incremental: ApplyLoggedCheckpoint on a journaled engine")
+	}
+	if len(e.records) != 0 || e.round != 0 || len(e.answers) != 0 {
+		return fmt.Errorf("incremental: checkpoint applied to a non-empty engine")
+	}
+	return e.applyCheckpoint(cp)
+}
+
+// DurableSeq returns the journal's durable watermark: every event at or
+// below it is on stable storage. 0 without a journal. Safe to call
+// concurrently with mutations — replication streamers poll it.
+func (e *Engine) DurableSeq() int64 {
+	if e.store == nil {
+		return 0
+	}
+	return e.store.DurableSeq()
+}

@@ -1,0 +1,140 @@
+package incremental
+
+import (
+	"testing"
+	"time"
+
+	"acd/internal/journal"
+)
+
+// TestReplicationSurface: the follower-facing entry points. A volatile
+// engine folds shipped events and checkpoints exactly like recovery; a
+// journaled engine refuses both (applying unlogged state would fork it
+// from its own journal) and exposes its durable watermark.
+func TestReplicationSurface(t *testing.T) {
+	// Produce a real event + checkpoint stream from a journaled leader.
+	fs := journal.NewMemFS()
+	leader, err := Open(Config{}, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Add(
+		Record{Fields: map[string]string{"title": "alpha beta"}},
+		Record{Fields: map[string]string{"title": "alpha beta gamma"}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if leader.DurableSeq() != 2 {
+		t.Fatalf("leader DurableSeq = %d after 2 logged adds", leader.DurableSeq())
+	}
+	if err := leader.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The journaled engine must refuse the volatile-only surface.
+	_, rec, err := journal.OpenOptions(fs.CrashCopy(), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.ApplyLogged(journal.Event{}); err == nil {
+		t.Fatal("ApplyLogged accepted on a journaled engine")
+	}
+	if err := leader.ApplyLoggedCheckpoint(rec.Checkpoint); err == nil {
+		t.Fatal("ApplyLoggedCheckpoint accepted on a journaled engine")
+	}
+	if err := leader.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A volatile standby installs the shipped checkpoint once, refuses a
+	// second (non-empty engine), and matches the leader's state.
+	standby := New(Config{})
+	if standby.DurableSeq() != 0 {
+		t.Fatalf("volatile DurableSeq = %d, want 0", standby.DurableSeq())
+	}
+	if err := standby.ApplyLoggedCheckpoint(rec.Checkpoint); err != nil {
+		t.Fatal(err)
+	}
+	if err := standby.ApplyLoggedCheckpoint(rec.Checkpoint); err == nil {
+		t.Fatal("checkpoint installed twice into the same standby")
+	}
+	if got, want := len(standby.Snapshot().Records), 2; got != want {
+		t.Fatalf("standby records = %d, want %d", got, want)
+	}
+
+	// Fold one more shipped event and reject garbage loudly.
+	if err := standby.ApplyLogged(journal.Event{
+		Seq:  3,
+		Type: journal.EventRecordAdded,
+		Record: &journal.RecordData{
+			ID:     2,
+			Fields: map[string]string{"title": "delta"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(standby.Snapshot().Records); got != 3 {
+		t.Fatalf("standby records = %d after folding a shipped add", got)
+	}
+	if err := standby.ApplyLogged(journal.Event{Seq: 4, Type: "no-such-type"}); err == nil {
+		t.Fatal("unknown shipped event type folded silently")
+	}
+}
+
+// TestRouterSurface: the accessors and fan-out entry points the shard
+// router drives — scored-pending snapshots, the answer ledger, stored
+// record lookup, buffered answers with the durability barrier, and an
+// externally computed resolve applied through ApplyResolve.
+func TestRouterSurface(t *testing.T) {
+	e, err := Open(Config{Commit: journal.GroupPolicy{Window: time.Millisecond}}, journal.NewMemFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ids, err := e.Add(
+		Record{Fields: map[string]string{"title": "alpha beta gamma"}},
+		Record{Fields: map[string]string{"title": "alpha beta gamma delta"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Record(ids[1]).Fields["title"]; got != "alpha beta gamma delta" {
+		t.Fatalf("Record(%d) title = %q", ids[1], got)
+	}
+	if got, want := len(e.PendingScored()), e.PendingPairs(); got != want {
+		t.Fatalf("PendingScored returned %d pairs, PendingPairs says %d", got, want)
+	}
+
+	ack, err := e.AddAnswerBuffered(ids[0], ids[1], 1.0, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-ack; err != nil {
+		t.Fatal(err)
+	}
+	// Re-answering a known pair is an idempotent instant ack.
+	ack2, err := e.AddAnswerBuffered(ids[0], ids[1], 0.0, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-ack2; err != nil {
+		t.Fatal(err)
+	}
+	if got := e.AnsweredPairs(); len(got) != 1 {
+		t.Fatalf("AnsweredPairs = %v, want exactly the one cached pair", got)
+	}
+
+	if err := e.ApplyResolve(1, [][]int{{ids[0], ids[1]}}); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	if snap.Round != 1 || len(snap.Clusters) != 1 || len(snap.Clusters[0]) != 2 {
+		t.Fatalf("after ApplyResolve: round %d clusters %v", snap.Round, snap.Clusters)
+	}
+	if e.PendingPairs() != 0 {
+		t.Fatalf("pending pairs survived a resolve: %d", e.PendingPairs())
+	}
+}

@@ -1,0 +1,77 @@
+package journal
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestDirTreeRoundTrip exercises the production on-disk Tree: layout
+// init over a real directory, an append/commit/reopen cycle through
+// DirFS, file removal, and the committer's default-filled policy.
+func TestDirTreeRoundTrip(t *testing.T) {
+	tree, err := NewDirTree(filepath.Join(t.TempDir(), "journals"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLayout(tree, 1); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := ReadEpoch(tree.Root()); err != nil || e != 0 {
+		t.Fatalf("fresh on-disk epoch = %d, %v", e, err)
+	}
+
+	sub, err := tree.Sub(ShardDirName(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := Open(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, recordEv(0))
+	c := NewCommitter(s, GroupPolicy{Window: time.Millisecond})
+	if p := c.Policy(); p.Window != time.Millisecond || p.MaxEvents <= 0 || p.MaxBytes <= 0 {
+		t.Fatalf("Policy() not default-filled: %+v", p)
+	}
+	if _, ack, err := c.AppendAsync(recordEv(1)); err != nil {
+		t.Fatal(err)
+	} else if err := <-ack; err != nil {
+		t.Fatal(err)
+	}
+	// Closing the committer flushes and closes the underlying store.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec, err := Open(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) != 2 {
+		t.Fatalf("recovered %d events from disk, want 2", len(rec.Events))
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remove is the compaction primitive; on DirFS it must actually
+	// delete from the directory listing.
+	names, err := sub.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatal("no files in the shard dir after appends")
+	}
+	if err := sub.Remove(names[0]); err != nil {
+		t.Fatal(err)
+	}
+	after, err := sub.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(names)-1 {
+		t.Fatalf("Remove left %d files, want %d", len(after), len(names)-1)
+	}
+}

@@ -277,6 +277,11 @@ func (c *Committer) run() {
 			} else {
 				c.st.pending = 0
 			}
+			// Everything appended before the sync is durable; events that
+			// arrived after the group was captured may or may not have
+			// ridden along, so the watermark conservatively excludes the
+			// still-pending suffix.
+			c.st.durable.Store(c.st.nextSeq - 1 - int64(c.st.pending))
 			if c.st.opt.RotateBytes > 0 && c.st.curBytes >= c.st.opt.RotateBytes {
 				// rotate syncs the outgoing segment's tail before
 				// closing it, so events of the NEXT group that landed

@@ -613,3 +613,146 @@ func TestGroupCommitDirFS(t *testing.T) {
 		t.Fatalf("recovered %d events, want %d", len(recd.Events), n)
 	}
 }
+
+// gatedFS wraps MemFS so file fsyncs can be held at a gate and
+// counted: the ack-ordering test below freezes the flusher mid-sync
+// and proves nothing is acknowledged until the group's one fsync
+// completes.
+type gatedFS struct {
+	*MemFS
+	mu    sync.Mutex
+	gate  chan struct{} // non-nil: Sync blocks until this closes
+	syncs int           // segment fsyncs issued
+}
+
+func (g *gatedFS) Create(name string) (File, error) {
+	f, err := g.MemFS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &gatedFile{File: f, fs: g}, nil
+}
+
+// hold installs a gate future Syncs block on; the returned func opens it.
+func (g *gatedFS) hold() func() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch := make(chan struct{})
+	g.gate = ch
+	return func() {
+		g.mu.Lock()
+		g.gate = nil
+		g.mu.Unlock()
+		close(ch)
+	}
+}
+
+func (g *gatedFS) syncCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.syncs
+}
+
+type gatedFile struct {
+	File
+	fs *gatedFS
+}
+
+func (f *gatedFile) Sync() error {
+	f.fs.mu.Lock()
+	f.fs.syncs++
+	gate := f.fs.gate
+	f.fs.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	return f.File.Sync()
+}
+
+// TestExpediteSharedSync: concurrent batched appends expedited into one
+// group share exactly one fsync, and no appender is acknowledged
+// before that fsync completes. The window is effectively infinite, so
+// Expedite is the only thing that can start the flush; the fsync is
+// held at a gate while the test confirms every ack is still pending.
+func TestExpediteSharedSync(t *testing.T) {
+	gfs := &gatedFS{MemFS: NewMemFS()}
+	s, _, err := Open(gfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCommitter(s, GroupPolicy{Window: time.Hour, MaxEvents: 1 << 20})
+
+	const n = 32
+	acks := make(chan int, n)
+	var appended, done sync.WaitGroup
+	appended.Add(n)
+	done.Add(n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer done.Done()
+			_, wait, err := c.AppendAsync(recordEv(i))
+			appended.Done()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = <-wait
+			acks <- i
+		}(i)
+	}
+	appended.Wait()
+	base := gfs.syncCount()
+
+	// Freeze the fsync path, then expedite: the flusher must take the
+	// whole group and start its single sync...
+	release := gfs.hold()
+	c.Expedite()
+	deadline := time.Now().Add(2 * time.Second)
+	for gfs.syncCount() == base {
+		if time.Now().After(deadline) {
+			t.Fatal("Expedite never started the group fsync")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...and with the sync still in flight, not one ack may have fired.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case i := <-acks:
+		t.Fatalf("append %d acknowledged while the group fsync was still in flight", i)
+	default:
+	}
+
+	release()
+	done.Wait()
+	close(acks)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	got := 0
+	for range acks {
+		got++
+	}
+	if got != n {
+		t.Fatalf("%d acks for %d appends", got, n)
+	}
+	if syncs := gfs.syncCount() - base; syncs != 1 {
+		t.Fatalf("%d fsyncs for one expedited group of %d events, want 1", syncs, n)
+	}
+	if d := s.DurableSeq(); d != n {
+		t.Fatalf("DurableSeq = %d after the group sync, want %d", d, n)
+	}
+	// Everything acked is on "disk": a crash now loses nothing.
+	_, rec, err := Open(gfs.MemFS.CrashCopy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Events) != n {
+		t.Fatalf("crash copy recovered %d events, want %d", len(rec.Events), n)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"acd/internal/obs"
 )
@@ -139,6 +140,13 @@ type Store struct {
 	curBytes int64 // bytes written to the live segment
 	pending  int   // events written but not yet committed
 	err      error // sticky: a write/sync/rotate failure poisons the store
+
+	// durable is the highest sequence number known to be on stable
+	// storage (fsynced, or covered by an installed checkpoint). It is
+	// the one Store field readable without external serialization:
+	// replication streamers poll it from other goroutines to bound what
+	// they ship.
+	durable atomic.Int64
 }
 
 // Open recovers the journal in fs and opens a fresh WAL segment for
@@ -235,6 +243,7 @@ func OpenOptions(fs FS, opt Options) (*Store, Recovered, error) {
 	if s.nextSeq < 1 {
 		s.nextSeq = 1
 	}
+	s.durable.Store(s.nextSeq - 1)
 	s.curName = segName(s.nextSeq)
 	if s.cur, err = fs.Create(s.curName); err != nil {
 		return nil, rec, fmt.Errorf("journal: opening segment: %w", err)
@@ -251,6 +260,13 @@ func OpenOptions(fs FS, opt Options) (*Store, Recovered, error) {
 
 // NextSeq returns the sequence number the next Append will assign.
 func (s *Store) NextSeq() int64 { return s.nextSeq }
+
+// DurableSeq returns the highest sequence number known to be on stable
+// storage. Events at or below it survive a power loss; events above it
+// may still be buffered. Unlike every other Store method it is safe to
+// call concurrently with appends — replication reads it to decide how
+// far it may ship.
+func (s *Store) DurableSeq() int64 { return s.durable.Load() }
 
 // Append assigns the event's sequence number, writes it to the current
 // segment and syncs it to stable storage before returning. On return
@@ -318,6 +334,7 @@ func (s *Store) Commit() error {
 		return s.err
 	}
 	s.pending = 0
+	s.durable.Store(s.nextSeq - 1)
 	if s.opt.RotateBytes > 0 && s.curBytes >= s.opt.RotateBytes {
 		if err := s.rotate(); err != nil {
 			s.err = err
@@ -341,6 +358,7 @@ func (s *Store) rotate() error {
 		return fmt.Errorf("journal: syncing rotated segment: %w", err)
 	}
 	s.pending = 0
+	s.durable.Store(s.nextSeq - 1)
 	if err := s.cur.Close(); err != nil {
 		return fmt.Errorf("journal: closing rotated segment: %w", err)
 	}
@@ -369,6 +387,16 @@ func (s *Store) WriteCheckpoint(cp *Checkpoint) error {
 	if cp.Seq >= s.nextSeq {
 		return fmt.Errorf("journal: checkpoint seq %d beyond journal head %d", cp.Seq, s.nextSeq-1)
 	}
+	if err := s.installSnapshot(cp); err != nil {
+		return err
+	}
+	s.compact(cp.Seq)
+	return nil
+}
+
+// installSnapshot durably writes the checkpoint file via tmp + sync +
+// rename + dir-sync. It does not compact or touch the live segment.
+func (s *Store) installSnapshot(cp *Checkpoint) error {
 	b, err := json.MarshalIndent(cp, "", " ")
 	if err != nil {
 		return fmt.Errorf("journal: marshaling checkpoint: %w", err)
@@ -399,7 +427,6 @@ func (s *Store) WriteCheckpoint(cp *Checkpoint) error {
 	if err := s.fs.SyncDir(); err != nil {
 		return fmt.Errorf("journal: syncing dir after checkpoint install: %w", err)
 	}
-	s.compact(cp.Seq)
 	return nil
 }
 
@@ -450,7 +477,11 @@ func (s *Store) Sync() error {
 	if s.cur == nil {
 		return ErrClosed
 	}
-	return s.cur.Sync()
+	if err := s.cur.Sync(); err != nil {
+		return err
+	}
+	s.durable.Store(s.nextSeq - 1)
+	return nil
 }
 
 // Close syncs and closes the current segment (committing any buffered
@@ -463,6 +494,9 @@ func (s *Store) Close() error {
 	if s.err == nil && s.pending > 0 {
 		serr = s.cur.Sync()
 		s.pending = 0
+		if serr == nil {
+			s.durable.Store(s.nextSeq - 1)
+		}
 	}
 	err := s.cur.Close()
 	s.cur = nil

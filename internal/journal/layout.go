@@ -103,6 +103,12 @@ type Meta struct {
 	// Legacy marks a pre-sharding single-engine journal whose shard 0
 	// lives at the tree root instead of shard-000/.
 	Legacy bool `json:"legacy,omitempty"`
+	// Epoch is the replication epoch stamped into the layout: it rises
+	// monotonically at every failover and never resets. A promoted
+	// follower fences the old leader by bumping the epoch in the OLD
+	// tree's meta (FenceEpoch) before taking writes, so a revenant
+	// process reopening that tree can see it has been superseded.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // MetaName is the layout descriptor's file name at the tree root.
@@ -132,6 +138,9 @@ type Layout struct {
 	// Legacy reports that shard 0 is a pre-sharding journal rooted at
 	// the tree root.
 	Legacy bool
+	// Epoch is the replication epoch recorded in meta.json at open time
+	// (0 when the layout predates replication or was never fenced).
+	Epoch int64
 }
 
 // OpenLayout opens (or initializes) the sharded layout in tree. shards
@@ -180,7 +189,7 @@ func OpenLayout(tree Tree, shards int) (*Layout, error) {
 		return nil, fmt.Errorf("journal: directory is laid out for %d shards, requested %d (re-sharding requires migration)", meta.Shards, shards)
 	}
 
-	l := &Layout{Shards: meta.Shards, Legacy: meta.Legacy}
+	l := &Layout{Shards: meta.Shards, Legacy: meta.Legacy, Epoch: meta.Epoch}
 	if meta.Legacy {
 		l.ShardFS = []FS{root}
 	} else {

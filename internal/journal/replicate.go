@@ -1,0 +1,279 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// This file is the journal's replication surface: reading a committed
+// tail without opening the journal for writing (the leader's stream
+// source), appending events that keep their leader-assigned sequence
+// numbers (the follower's write path), and the epoch stamp in meta.json
+// that fences a deposed leader at failover.
+
+// TailBatch is one chunk of a journal's event stream, as read by
+// ReadTail.
+type TailBatch struct {
+	// Checkpoint is non-nil when the requested start sequence has been
+	// compacted away: it is the newest checkpoint, and Events then
+	// continue from Checkpoint.Seq+1. The receiver must install the
+	// checkpoint before applying the events.
+	Checkpoint *Checkpoint
+	// Events are contiguous events ascending from the requested
+	// sequence (or from Checkpoint.Seq+1 when a checkpoint is shipped).
+	Events []Event
+}
+
+// errTailGap reports that the scan could not find a contiguous run
+// starting at the wanted sequence — either compaction removed the
+// prefix (ReadTail falls back to the checkpoint) or the journal is
+// genuinely damaged.
+type errTailGap struct {
+	want, found int64
+	file        string
+}
+
+func (e errTailGap) Error() string {
+	return fmt.Sprintf("journal: tail gap: wanted seq %d, found %d in %s", e.want, e.found, e.file)
+}
+
+// ReadTail reads the journal in fs starting at sequence from
+// (inclusive) without opening it for writing — the leader's streaming
+// read path, safe to run concurrently with an appender because it only
+// ever reads files the appender has already made durable. Only events
+// with seq <= limit are returned; callers pass the store's DurableSeq
+// so un-synced tail bytes are never shipped (limit <= 0 disables the
+// bound, which is only safe on a quiesced journal). maxEvents caps the
+// batch size (0 = unbounded). When events at from have been compacted
+// into a checkpoint, the newest checkpoint is returned and Events
+// resume after it. A torn final line in any segment is ignored,
+// mirroring recovery; any interior gap or corruption is an error.
+func ReadTail(fs FS, from, limit int64, maxEvents int) (TailBatch, error) {
+	var tb TailBatch
+	if from < 1 {
+		from = 1
+	}
+	if limit > 0 && limit < from {
+		return tb, nil
+	}
+	names, err := fs.List()
+	if err != nil {
+		return tb, fmt.Errorf("journal: listing dir: %w", err)
+	}
+	snapSeq := int64(-1)
+	snapFile := ""
+	var segs []string
+	for _, n := range names {
+		if seq, ok := parseName(n, snapPrefix, snapSuffix); ok && seq > snapSeq {
+			snapSeq, snapFile = seq, n
+		}
+		if _, ok := parseName(n, segPrefix, segSuffix); ok {
+			segs = append(segs, n)
+		}
+	}
+
+	evs, err := scanTail(fs, segs, from, limit, maxEvents)
+	if err == nil && (len(evs) > 0 || snapSeq < from) {
+		tb.Events = evs
+		return tb, nil
+	}
+	// The segments do not reach back to from. If the newest checkpoint
+	// covers the cursor, ship it and continue past it; otherwise the
+	// gap is real (or the error was I/O) and the caller must see it.
+	var gap errTailGap
+	if err != nil && !errors.As(err, &gap) {
+		return tb, err
+	}
+	if snapFile == "" || snapSeq < from {
+		if err != nil {
+			return tb, err
+		}
+		return tb, errTailGap{want: from, found: -1, file: "(no segment)"}
+	}
+	b, rerr := fs.ReadFile(snapFile)
+	if rerr != nil {
+		return tb, fmt.Errorf("journal: reading %s: %w", snapFile, rerr)
+	}
+	cp := new(Checkpoint)
+	if err := json.Unmarshal(b, cp); err != nil {
+		return tb, fmt.Errorf("journal: corrupt checkpoint %s: %w", snapFile, err)
+	}
+	if cp.Seq != snapSeq {
+		return tb, fmt.Errorf("journal: checkpoint %s claims seq %d", snapFile, cp.Seq)
+	}
+	evs, err = scanTail(fs, segs, snapSeq+1, limit, maxEvents)
+	if err != nil {
+		return tb, err
+	}
+	tb.Checkpoint = cp
+	tb.Events = evs
+	return tb, nil
+}
+
+// scanTail walks the named segments in order collecting the contiguous
+// event run [from, limit] (limit <= 0 unbounded), at most maxEvents
+// long. Finding an event beyond the expected next sequence is an
+// errTailGap; a torn final line in a segment is skipped.
+func scanTail(fs FS, segs []string, from, limit int64, maxEvents int) ([]Event, error) {
+	var evs []Event
+	next := from
+	for _, n := range segs {
+		b, err := fs.ReadFile(n)
+		if err != nil {
+			return nil, fmt.Errorf("journal: reading %s: %w", n, err)
+		}
+		lines := bytes.Split(b, []byte("\n"))
+		for li, line := range lines {
+			if len(line) == 0 {
+				continue
+			}
+			var ev Event
+			if err := json.Unmarshal(line, &ev); err != nil {
+				if li == len(lines)-1 {
+					break // torn tail, same as recovery
+				}
+				return nil, fmt.Errorf("journal: corrupt event at %s line %d: %w", n, li+1, err)
+			}
+			if ev.Seq < next {
+				continue
+			}
+			if limit > 0 && ev.Seq > limit {
+				return evs, nil
+			}
+			if ev.Seq != next {
+				return nil, errTailGap{want: next, found: ev.Seq, file: n}
+			}
+			evs = append(evs, ev)
+			next++
+			if maxEvents > 0 && len(evs) >= maxEvents {
+				return evs, nil
+			}
+		}
+	}
+	return evs, nil
+}
+
+// AppendShipped buffers one event replicated from a leader, keeping
+// its leader-assigned sequence number. The sequence must be exactly
+// the store's next one — followers skip already-applied events and
+// refuse to jump ahead, which makes replication idempotent under
+// duplicated or re-sent batches. Call Commit to make the batch durable
+// before acknowledging it upstream.
+func (s *Store) AppendShipped(ev Event) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.cur == nil {
+		return ErrClosed
+	}
+	if ev.Seq != s.nextSeq {
+		return fmt.Errorf("journal: shipped event seq %d, journal expects %d", ev.Seq, s.nextSeq)
+	}
+	_, err := s.AppendBuffered(ev)
+	return err
+}
+
+// InstallCheckpoint durably installs a checkpoint shipped from a
+// leader whose retained WAL no longer reaches this journal's cursor
+// (the follower fell behind a compaction). The live segment is closed
+// and a fresh one is opened just past the checkpoint, mirroring
+// rotation, and segments the checkpoint covers are compacted away.
+// The checkpoint must not regress the journal head, and no buffered
+// events may be outstanding.
+func (s *Store) InstallCheckpoint(cp *Checkpoint) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.cur == nil {
+		return ErrClosed
+	}
+	if s.pending > 0 {
+		return fmt.Errorf("journal: installing checkpoint over %d uncommitted events", s.pending)
+	}
+	if cp.Seq < s.nextSeq {
+		return fmt.Errorf("journal: shipped checkpoint seq %d behind journal head %d", cp.Seq, s.nextSeq-1)
+	}
+	if err := s.installSnapshot(cp); err != nil {
+		return err
+	}
+	if err := s.cur.Close(); err != nil {
+		s.err = fmt.Errorf("journal: closing segment before checkpoint jump: %w", err)
+		return s.err
+	}
+	s.nextSeq = cp.Seq + 1
+	name := segName(s.nextSeq)
+	f, err := s.fs.Create(name)
+	if err != nil {
+		s.cur = nil
+		s.err = fmt.Errorf("journal: creating segment after checkpoint jump: %w", err)
+		return s.err
+	}
+	s.cur, s.curName, s.curBytes = f, name, 0
+	if err := s.fs.SyncDir(); err != nil {
+		s.err = fmt.Errorf("journal: syncing dir after checkpoint jump: %w", err)
+		return s.err
+	}
+	s.durable.Store(cp.Seq)
+	s.compact(cp.Seq)
+	return nil
+}
+
+// ReadEpoch returns the replication epoch stamped in the layout's
+// meta.json (0 when the file or field is absent).
+func ReadEpoch(root FS) (int64, error) {
+	meta, found, err := readMeta(root)
+	if err != nil || !found {
+		return 0, err
+	}
+	return meta.Epoch, nil
+}
+
+// SetEpoch durably raises the stored epoch to at least epoch, leaving
+// it untouched if it is already as high — epochs only ever move
+// forward. It returns the stored value. The layout's meta.json must
+// already exist (epochs belong to initialized layouts).
+func SetEpoch(root FS, epoch int64) (int64, error) {
+	meta, found, err := readMeta(root)
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, fmt.Errorf("journal: no %s to stamp an epoch into", MetaName)
+	}
+	if meta.Epoch >= epoch {
+		return meta.Epoch, nil
+	}
+	meta.Epoch = epoch
+	if err := writeMeta(root, meta); err != nil {
+		return 0, err
+	}
+	return epoch, nil
+}
+
+// FenceEpoch durably bumps the epoch in root's meta.json past its
+// stored value, and to at least min, returning the new epoch. This is
+// the fsync fence a promotion drives into the OLD leader's tree before
+// the new leader takes writes: any process that later reopens that
+// tree sees an epoch above the one it led at and must stand down. The
+// write uses the same tmp + sync + rename + dir-sync discipline as
+// every meta install, so the fence itself survives a power loss.
+func FenceEpoch(root FS, min int64) (int64, error) {
+	meta, found, err := readMeta(root)
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, fmt.Errorf("journal: no %s to fence", MetaName)
+	}
+	e := meta.Epoch + 1
+	if e < min {
+		e = min
+	}
+	meta.Epoch = e
+	if err := writeMeta(root, meta); err != nil {
+		return 0, err
+	}
+	return e, nil
+}

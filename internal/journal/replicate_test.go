@@ -1,0 +1,423 @@
+package journal
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func tailSeqs(tb TailBatch) []int64 {
+	seqs := make([]int64, 0, len(tb.Events))
+	for _, ev := range tb.Events {
+		seqs = append(seqs, ev.Seq)
+	}
+	return seqs
+}
+
+func TestReadTailBasic(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, recordEv(0), recordEv(1), recordEv(2), answerEv(0, 1, 1.0))
+
+	tb, err := ReadTail(fs, 1, s.DurableSeq(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Checkpoint != nil {
+		t.Fatalf("unexpected checkpoint in tail: %+v", tb.Checkpoint)
+	}
+	got := tailSeqs(tb)
+	if len(got) != 4 || got[0] != 1 || got[3] != 4 {
+		t.Fatalf("tail seqs = %v, want [1 2 3 4]", got)
+	}
+
+	// Cursor mid-stream.
+	tb, err = ReadTail(fs, 3, s.DurableSeq(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tailSeqs(tb); len(got) != 2 || got[0] != 3 {
+		t.Fatalf("tail from 3 = %v, want [3 4]", got)
+	}
+
+	// Caught up: nothing past the durable watermark.
+	tb, err = ReadTail(fs, 5, s.DurableSeq(), 0)
+	if err != nil || len(tb.Events) != 0 {
+		t.Fatalf("caught-up tail = %v, %v", tailSeqs(tb), err)
+	}
+}
+
+func TestReadTailLimitAndBatch(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		mustAppend(t, s, recordEv(i))
+	}
+
+	// limit bounds the tail even though more events are on disk.
+	tb, err := ReadTail(fs, 1, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tailSeqs(tb); len(got) != 4 || got[3] != 4 {
+		t.Fatalf("limited tail = %v, want [1 2 3 4]", got)
+	}
+
+	// maxEvents caps the batch.
+	tb, err = ReadTail(fs, 1, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tailSeqs(tb); len(got) != 2 || got[1] != 2 {
+		t.Fatalf("capped tail = %v, want [1 2]", got)
+	}
+
+	// limit below the cursor ships nothing rather than everything.
+	tb, err = ReadTail(fs, 5, 3, 0)
+	if err != nil || len(tb.Events) != 0 || tb.Checkpoint != nil {
+		t.Fatalf("tail beyond limit = %+v, %v", tb, err)
+	}
+}
+
+func TestReadTailBufferedNotShipped(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, recordEv(0))
+	if _, err := s.AppendBuffered(recordEv(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DurableSeq(); got != 1 {
+		t.Fatalf("DurableSeq = %d with one buffered event, want 1", got)
+	}
+	tb, err := ReadTail(fs, 1, s.DurableSeq(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tailSeqs(tb); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("tail = %v, want only the committed [1]", got)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DurableSeq(); got != 2 {
+		t.Fatalf("DurableSeq after commit = %d, want 2", got)
+	}
+}
+
+func TestReadTailSpansRotation(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := OpenOptions(fs, Options{RotateBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		mustAppend(t, s, recordEv(i)) // every commit rotates
+	}
+	tb, err := ReadTail(fs, 1, s.DurableSeq(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tailSeqs(tb); len(got) != 5 || got[0] != 1 || got[4] != 5 {
+		t.Fatalf("tail across rotations = %v, want [1..5]", got)
+	}
+}
+
+func TestReadTailCompactedFallsBackToCheckpoint(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := OpenOptions(fs, Options{RotateBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		mustAppend(t, s, recordEv(i))
+	}
+	cp := &Checkpoint{Seq: 3}
+	if err := s.WriteCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, recordEv(4))
+
+	// A cursor before the compaction horizon gets the checkpoint plus
+	// the events after it.
+	tb, err := ReadTail(fs, 1, s.DurableSeq(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Checkpoint == nil || tb.Checkpoint.Seq != 3 {
+		t.Fatalf("expected checkpoint at seq 3, got %+v", tb.Checkpoint)
+	}
+	if got := tailSeqs(tb); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("post-checkpoint events = %v, want [4 5]", got)
+	}
+
+	// A cursor past the horizon still reads events directly.
+	tb, err = ReadTail(fs, 4, s.DurableSeq(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Checkpoint != nil || len(tb.Events) != 2 {
+		t.Fatalf("direct tail = %+v", tb)
+	}
+}
+
+func TestReadTailTornTailIgnored(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, recordEv(0), recordEv(1))
+	// Simulate a torn final line on the live segment.
+	b, err := fs.ReadFile(s.curName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Put(s.curName, append(b, []byte(`{"seq":3,"ty`)...))
+	tb, err := ReadTail(fs, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tailSeqs(tb); len(got) != 2 {
+		t.Fatalf("tail with torn line = %v, want [1 2]", got)
+	}
+}
+
+func TestReadTailGapIsLoud(t *testing.T) {
+	fs := NewMemFS()
+	fs.Put(segName(1), []byte(`{"seq":2,"type":"answer","answer":{"lo":0,"hi":1,"fc":1}}`+"\n"))
+	_, err := ReadTail(fs, 1, 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "tail gap") {
+		t.Fatalf("gap not detected: %v", err)
+	}
+}
+
+func TestAppendShipped(t *testing.T) {
+	leaderFS := NewMemFS()
+	leader, _, err := Open(leaderFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, leader, recordEv(0), answerEv(0, 1, 1.0), recordEv(1))
+	tb, err := ReadTail(leaderFS, 1, leader.DurableSeq(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	followerFS := NewMemFS()
+	fol, _, err := Open(followerFS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range tb.Events {
+		if err := fol.AppendShipped(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fol.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if fol.NextSeq() != leader.NextSeq() {
+		t.Fatalf("follower head %d, leader head %d", fol.NextSeq(), leader.NextSeq())
+	}
+
+	// A duplicated or future event is refused, not silently reordered.
+	if err := fol.AppendShipped(tb.Events[0]); err == nil {
+		t.Fatal("stale shipped event accepted")
+	}
+	future := recordEv(9)
+	future.Seq = 99
+	if err := fol.AppendShipped(future); err == nil {
+		t.Fatal("future shipped event accepted")
+	}
+
+	// The replicated journal recovers identically to the leader's.
+	lRec, fRec := reopen(t, leaderFS), reopen(t, followerFS)
+	if len(lRec.Events) != len(fRec.Events) {
+		t.Fatalf("leader recovered %d events, follower %d", len(lRec.Events), len(fRec.Events))
+	}
+}
+
+func reopen(t *testing.T, fs FS) Recovered {
+	t.Helper()
+	s, rec, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	return rec
+}
+
+func TestInstallCheckpointJumpsHead(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, s, recordEv(0))
+	cp := &Checkpoint{Seq: 10, Round: 2}
+	if err := s.InstallCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	if s.NextSeq() != 11 {
+		t.Fatalf("NextSeq after install = %d, want 11", s.NextSeq())
+	}
+	if s.DurableSeq() != 10 {
+		t.Fatalf("DurableSeq after install = %d, want 10", s.DurableSeq())
+	}
+	ev := recordEv(5)
+	ev.Seq = 11
+	if err := s.AppendShipped(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec.Checkpoint == nil || rec.Checkpoint.Seq != 10 || rec.Checkpoint.Round != 2 {
+		t.Fatalf("recovered checkpoint %+v", rec.Checkpoint)
+	}
+	if len(rec.Events) != 1 || rec.Events[0].Seq != 11 {
+		t.Fatalf("recovered events %+v", rec.Events)
+	}
+
+	// Regressing the head is refused.
+	if err := s2.InstallCheckpoint(&Checkpoint{Seq: 4}); err == nil {
+		t.Fatal("regressive checkpoint accepted")
+	}
+}
+
+// TestInstallCheckpointGuards: the preconditions that keep a shipped
+// checkpoint from corrupting a journal — no uncommitted buffered
+// events underneath it, and no installs into a closed store. Shipped
+// appends obey the same closed-store rule.
+func TestInstallCheckpointGuards(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendBuffered(recordEv(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InstallCheckpoint(&Checkpoint{Seq: 10}); err == nil {
+		t.Fatal("checkpoint installed over uncommitted buffered events")
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InstallCheckpoint(&Checkpoint{Seq: 10}); err != nil {
+		t.Fatalf("install after commit: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InstallCheckpoint(&Checkpoint{Seq: 20}); err == nil {
+		t.Fatal("checkpoint installed into a closed store")
+	}
+	ev := recordEv(1)
+	ev.Seq = 11
+	if err := s.AppendShipped(ev); err == nil {
+		t.Fatal("shipped event appended to a closed store")
+	}
+
+	// SetEpoch requires an initialized layout: a bare directory has no
+	// meta.json to stamp.
+	if _, err := SetEpoch(NewMemFS(), 1); err == nil {
+		t.Fatal("SetEpoch stamped an uninitialized dir")
+	}
+}
+
+func TestEpochStamp(t *testing.T) {
+	tree := NewMemTree()
+	if _, err := OpenLayout(tree, 2); err != nil {
+		t.Fatal(err)
+	}
+	root := tree.Root()
+	if e, err := ReadEpoch(root); err != nil || e != 0 {
+		t.Fatalf("fresh epoch = %d, %v", e, err)
+	}
+	if e, err := SetEpoch(root, 3); err != nil || e != 3 {
+		t.Fatalf("SetEpoch = %d, %v", e, err)
+	}
+	// Lower or equal stamps are no-ops.
+	if e, err := SetEpoch(root, 2); err != nil || e != 3 {
+		t.Fatalf("SetEpoch(2) after 3 = %d, %v", e, err)
+	}
+	if e, err := FenceEpoch(root, 0); err != nil || e != 4 {
+		t.Fatalf("FenceEpoch = %d, %v", e, err)
+	}
+	if e, err := FenceEpoch(root, 9); err != nil || e != 9 {
+		t.Fatalf("FenceEpoch(min 9) = %d, %v", e, err)
+	}
+
+	// The epoch survives reopen and rides the layout.
+	l, err := OpenLayout(tree, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Epoch != 9 {
+		t.Fatalf("layout epoch = %d, want 9", l.Epoch)
+	}
+	if l.Shards != 2 {
+		t.Fatalf("shard count lost across epoch writes: %d", l.Shards)
+	}
+
+	// The fence is durable: a crash copy still shows it.
+	crash := tree.CrashCopy()
+	if e, err := ReadEpoch(crash.Root()); err != nil || e != 9 {
+		t.Fatalf("epoch after crash = %d, %v", e, err)
+	}
+
+	// No meta.json means no epoch to fence.
+	if _, err := FenceEpoch(NewMemFS(), 1); err == nil {
+		t.Fatal("fencing an uninitialized dir succeeded")
+	}
+}
+
+func TestDurableSeqGroupCommit(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCommitter(s, GroupPolicy{Window: time.Hour})
+	var waits []<-chan error
+	for i := 0; i < 3; i++ {
+		_, ch, err := c.AppendAsync(recordEv(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waits = append(waits, ch)
+	}
+	if got := s.DurableSeq(); got != 0 {
+		t.Fatalf("DurableSeq before group sync = %d, want 0", got)
+	}
+	c.Expedite()
+	for _, ch := range waits {
+		if err := <-ch; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.DurableSeq(); got != 3 {
+		t.Fatalf("DurableSeq after group sync = %d, want 3", got)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -46,7 +46,13 @@ func (m Mix) total() int { return m.Records + m.Answers + m.Clusters + m.Metrics
 // Config parameterizes one load run against a live server.
 type Config struct {
 	// Target is the server's base URL ("http://127.0.0.1:8080").
+	// Writes (records, answers, resolve) always go here.
 	Target string
+	// ReadTargets optionally routes the snapshot reads (GET /clusters,
+	// GET /metrics) round-robin across these base URLs instead of
+	// Target — the replica topology, where writes go to the leader and
+	// stale-ok reads fan out over followers. Empty reads from Target.
+	ReadTargets []string
 	// Client issues the requests; nil builds one with a connection
 	// pool sized for Concurrency.
 	Client *http.Client
@@ -220,7 +226,8 @@ type Generator struct {
 	measuring atomic.Bool
 	stats     map[string]*epStats // fixed key set after New; values are atomic
 
-	cursor   atomic.Int64 // churn pool position
+	cursor     atomic.Int64 // churn pool position
+	readCursor atomic.Int64 // ReadTargets round-robin position
 	known    atomic.Int64 // contiguous acked-record prefix (see ackIDs)
 	ackMu    sync.Mutex
 	ackedIDs map[int64]struct{} // acked ids at or beyond the known prefix
@@ -431,9 +438,9 @@ func (g *Generator) execute(ctx context.Context, spec opSpec) {
 	case opAnswers:
 		err = g.doAnswers(ctx, spec.pairs)
 	case opClusters:
-		err = g.get(ctx, "/clusters")
+		err = g.get(ctx, g.readTarget(), "/clusters")
 	case opMetrics:
-		err = g.get(ctx, "/metrics")
+		err = g.get(ctx, g.readTarget(), "/metrics")
 	}
 	if ctx.Err() != nil && err != nil {
 		return // shutdown race, not a server error
@@ -564,9 +571,18 @@ func (g *Generator) post(ctx context.Context, path string, body any, out any) er
 	return g.send(req, out)
 }
 
-// get issues one GET and drains the response.
-func (g *Generator) get(ctx context.Context, path string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, g.cfg.Target+path, nil)
+// readTarget picks the base URL for the next snapshot read.
+func (g *Generator) readTarget() string {
+	if len(g.cfg.ReadTargets) == 0 {
+		return g.cfg.Target
+	}
+	n := g.readCursor.Add(1) - 1
+	return g.cfg.ReadTargets[int(n%int64(len(g.cfg.ReadTargets)))]
+}
+
+// get issues one GET against base and drains the response.
+func (g *Generator) get(ctx context.Context, base, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
 	if err != nil {
 		return err
 	}

@@ -4,8 +4,11 @@
 // and returns the load report. The suite covers steady state
 // (baseline), saturation (high-load), flash crowds (bursty), snapshot
 // read stress (read-heavy), a slow faulty crowd behind /resolve
-// (degraded-crowd), and a mid-ingest crash image whose recovery is
-// checked against the committed-prefix contract (crash-restart). Every
+// (degraded-crowd), a mid-ingest crash image whose recovery is
+// checked against the committed-prefix contract (crash-restart), and
+// the replication topology: followers absorbing snapshot reads
+// (replica-reads) and a leader kill with follower promotion
+// (replica-failover). Every
 // scenario runs in a seconds-scale smoke mode (CI) and a full mode
 // (committed BENCH numbers); scripts/loadbench.sh orchestrates both,
 // and docs/serving.md maps each scenario to the question it answers.
@@ -135,6 +138,16 @@ func All() []Scenario {
 			Name: "crash-restart-groupcommit",
 			Desc: "the crash drill with group commit and segment rotation on; same committed-prefix contract",
 			Run:  runCrashRestartGroupCommit,
+		},
+		{
+			Name: "replica-reads",
+			Desc: "leader takes writes while two followers absorb every snapshot read",
+			Run:  runReplicaReads,
+		},
+		{
+			Name: "replica-failover",
+			Desc: "leader killed mid-ingest; follower promoted over its journals, committed-prefix contract checked",
+			Run:  runReplicaFailover,
 		},
 	}
 }

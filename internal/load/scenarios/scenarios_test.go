@@ -7,11 +7,11 @@ import (
 	"acd/internal/load"
 )
 
-// TestRegistry: seven scenarios, unique names, Find agrees with All.
+// TestRegistry: nine scenarios, unique names, Find agrees with All.
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 7 {
-		t.Fatalf("len(All()) = %d, want 7", len(all))
+	if len(all) != 9 {
+		t.Fatalf("len(All()) = %d, want 9", len(all))
 	}
 	seen := map[string]bool{}
 	for _, s := range all {
@@ -152,6 +152,61 @@ func TestCrashRestartGroupCommitSharded(t *testing.T) {
 		t.Fatalf("crash-restart-groupcommit -shards 3: %v\nlog:\n%s", err, logb.String())
 	}
 	checkReport(t, rep, "crash-restart-groupcommit")
+	if rep.Shards != 3 {
+		t.Errorf("report shards = %d, want 3", rep.Shards)
+	}
+}
+
+// TestReplicaReadsSmoke runs the replicated read topology end to end:
+// leader plus two followers, reads drained through the followers, and
+// both followers settling to the leader's exact state afterwards.
+func TestReplicaReadsSmoke(t *testing.T) {
+	var logb strings.Builder
+	rep, err := runReplicaReads(Options{Dir: t.TempDir(), Smoke: true, Log: &logb})
+	if err != nil {
+		t.Fatalf("replica-reads: %v\nlog:\n%s", err, logb.String())
+	}
+	checkReport(t, rep, "replica-reads")
+	if rep.Endpoints[load.EndpointClusters].Ops == 0 {
+		t.Error("replica-reads measured no cluster reads")
+	}
+	if rep.Extra["leader_records"] == 0 {
+		t.Error("replica-reads ingested nothing")
+	}
+}
+
+// TestReplicaFailoverSmoke runs the failover drill for real: leader
+// killed mid-ingest, follower promoted over its journals, and the
+// committed-prefix contract checked inside the scenario (CI repeats it
+// under -race and at 3 shards).
+func TestReplicaFailoverSmoke(t *testing.T) {
+	var logb strings.Builder
+	rep, err := runReplicaFailover(Options{Dir: t.TempDir(), Smoke: true, Log: &logb})
+	if err != nil {
+		t.Fatalf("replica-failover: %v\nlog:\n%s", err, logb.String())
+	}
+	checkReport(t, rep, "replica-failover")
+	if rep.Extra["acked_floor_records"] < 150 {
+		t.Errorf("ack floor %v below the smoke target", rep.Extra["acked_floor_records"])
+	}
+	if rep.Extra["promoted_records"] < rep.Extra["acked_floor_records"] {
+		t.Errorf("promoted %v < floor %v — the scenario should have failed",
+			rep.Extra["promoted_records"], rep.Extra["acked_floor_records"])
+	}
+	if rep.Extra["promote_ms"] <= 0 {
+		t.Error("promote_ms not recorded")
+	}
+}
+
+// TestReplicaFailoverSharded repeats the failover drill at 3 shards:
+// three shard journals plus the router stream, promoted together.
+func TestReplicaFailoverSharded(t *testing.T) {
+	var logb strings.Builder
+	rep, err := runReplicaFailover(Options{Dir: t.TempDir(), Shards: 3, Smoke: true, Log: &logb})
+	if err != nil {
+		t.Fatalf("replica-failover -shards 3: %v\nlog:\n%s", err, logb.String())
+	}
+	checkReport(t, rep, "replica-failover")
 	if rep.Shards != 3 {
 		t.Errorf("report shards = %d, want 3", rep.Shards)
 	}

@@ -1,0 +1,124 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// ErrInjected is the failure a ChaosLink injects in place of a real
+// fetch — what a dropped connection or partitioned network surfaces.
+var ErrInjected = errors.New("replica: injected link failure")
+
+// ChaosConfig tunes a ChaosLink's fault mix. All probabilities are per
+// fetch and drawn from one seeded stream, so a given (seed, workload)
+// pair replays identically.
+type ChaosConfig struct {
+	// Seed seeds the fault stream.
+	Seed int64
+	// Drop is the probability a fetch fails outright.
+	Drop float64
+	// Duplicate is the probability a fetch is answered with the
+	// previous batch served for that journal — a retransmitted or
+	// reordered response the follower must skip idempotently.
+	Duplicate float64
+	// Truncate is the probability a fetch returns only a prefix of its
+	// events — a slow follower draining in dribbles.
+	Truncate float64
+	// Partition is the probability a fetch starts a partition: this
+	// and the next PartitionLen-1 fetches all fail.
+	Partition float64
+	// PartitionLen is the partition length in fetches; 0 means 4.
+	PartitionLen int
+}
+
+// ChaosLink wraps a Source with seeded fault injection: drops,
+// duplicated (stale) batches, truncated batches, and multi-fetch
+// partitions. Faults never corrupt payloads — the protocol's job is to
+// survive loss, staleness, and reordering, not byte flips (the journal
+// fuzzer owns those).
+type ChaosLink struct {
+	inner Source
+	cfg   ChaosConfig
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	prev      map[string]Batch // last real batch served per journal
+	partition int              // remaining fetches to fail
+	injected  int              // total faults injected, for test visibility
+}
+
+// NewChaosLink wraps source with the configured fault mix.
+func NewChaosLink(source Source, cfg ChaosConfig) *ChaosLink {
+	if cfg.PartitionLen <= 0 {
+		cfg.PartitionLen = 4
+	}
+	return &ChaosLink{
+		inner: source,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		prev:  make(map[string]Batch),
+	}
+}
+
+// Injected returns how many faults the link has injected so far.
+func (c *ChaosLink) Injected() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injected
+}
+
+// Info implements Source, passing through unharmed: layout discovery
+// failures are a connection-level concern the follower's caller owns.
+func (c *ChaosLink) Info(ctx context.Context) (Info, error) {
+	return c.inner.Info(ctx)
+}
+
+// Fetch implements Source with faults injected per ChaosConfig.
+func (c *ChaosLink) Fetch(ctx context.Context, name string, from int64, max int) (Batch, error) {
+	c.mu.Lock()
+	if c.partition > 0 {
+		c.partition--
+		c.injected++
+		c.mu.Unlock()
+		return Batch{}, fmt.Errorf("%w: partitioned", ErrInjected)
+	}
+	roll := c.rng.Float64()
+	switch {
+	case roll < c.cfg.Drop:
+		c.injected++
+		c.mu.Unlock()
+		return Batch{}, fmt.Errorf("%w: dropped", ErrInjected)
+	case roll < c.cfg.Drop+c.cfg.Partition:
+		c.partition = c.cfg.PartitionLen - 1
+		c.injected++
+		c.mu.Unlock()
+		return Batch{}, fmt.Errorf("%w: partition start", ErrInjected)
+	case roll < c.cfg.Drop+c.cfg.Partition+c.cfg.Duplicate:
+		if b, ok := c.prev[name]; ok {
+			c.injected++
+			c.mu.Unlock()
+			return b, nil
+		}
+	}
+	truncate := roll >= 1-c.cfg.Truncate
+	c.mu.Unlock()
+
+	b, err := c.inner.Fetch(ctx, name, from, max)
+	if err != nil {
+		return b, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if truncate && len(b.Events) > 1 {
+		keep := 1 + c.rng.Intn(len(b.Events))
+		if keep < len(b.Events) {
+			b.Events = b.Events[:keep]
+			c.injected++
+		}
+	}
+	c.prev[name] = b
+	return b, nil
+}

@@ -1,0 +1,162 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Handler serves a leader's replication stream over HTTP — the
+// server-side half of HTTPSource. Without a journal parameter it
+// answers layout discovery (Info); with one it serves a Batch,
+// long-polling up to the requested wait when the follower is caught
+// up so idle links cost one open request instead of a poll storm.
+type Handler struct {
+	// Source is the leader's local source.
+	Source *LocalSource
+	// MaxWait caps the client-requested long-poll wait; 0 means 10s.
+	MaxWait time.Duration
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q := r.URL.Query()
+	name := q.Get("journal")
+	if name == "" {
+		info, err := h.Source.Info(r.Context())
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		httpJSON(w, info)
+		return
+	}
+	from := parseInt64(q.Get("from"), 1)
+	max := int(parseInt64(q.Get("max"), DefaultMaxBatch))
+	maxWait := h.MaxWait
+	if maxWait <= 0 {
+		maxWait = 10 * time.Second
+	}
+	wait := time.Duration(parseInt64(q.Get("wait"), 0)) * time.Millisecond
+	if wait > maxWait {
+		wait = maxWait
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		b, err := h.Source.Fetch(r.Context(), name, from, max)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if len(b.Events) > 0 || b.Checkpoint != nil || !time.Now().Before(deadline) {
+			httpJSON(w, b)
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			httpError(w, http.StatusRequestTimeout, "client gone")
+			return
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// HTTPSource pulls a leader's replication stream over HTTP — the
+// follower-side half of Handler.
+type HTTPSource struct {
+	// Base is the stream endpoint URL, e.g.
+	// http://leader:8080/replica/stream.
+	Base string
+	// Client is the HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+	// Wait is the server-side long-poll wait plain Fetch calls request;
+	// 0 disables long-polling. FetchWait callers (the Follower) choose
+	// the wait per fetch and bypass this default.
+	Wait time.Duration
+}
+
+func (s *HTTPSource) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return http.DefaultClient
+}
+
+// Info implements Source.
+func (s *HTTPSource) Info(ctx context.Context) (Info, error) {
+	var info Info
+	err := s.getJSON(ctx, s.Base, &info)
+	return info, err
+}
+
+// Fetch implements Source with the configured default Wait.
+func (s *HTTPSource) Fetch(ctx context.Context, name string, from int64, max int) (Batch, error) {
+	return s.FetchWait(ctx, name, from, max, s.Wait)
+}
+
+// FetchWait implements WaitSource: one fetch with an explicit
+// server-side long-poll wait (0 = return immediately).
+func (s *HTTPSource) FetchWait(ctx context.Context, name string, from int64, max int, wait time.Duration) (Batch, error) {
+	q := url.Values{}
+	q.Set("journal", name)
+	q.Set("from", strconv.FormatInt(from, 10))
+	q.Set("max", strconv.Itoa(max))
+	if wait > 0 {
+		q.Set("wait", strconv.FormatInt(wait.Milliseconds(), 10))
+	}
+	var b Batch
+	err := s.getJSON(ctx, s.Base+"?"+q.Encode(), &b)
+	return b, err
+}
+
+// getJSON runs one GET and decodes the JSON response into out.
+func (s *HTTPSource) getJSON(ctx context.Context, u string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("replica: %s: status %d: %s", u, resp.StatusCode, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func parseInt64(s string, def int64) int64 {
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func httpJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,254 @@
+package replica
+
+// The HTTP transport's own battery: Handler and HTTPSource round-trip
+// a real leader over a live httptest server, the Run loop drains it
+// with long-polling on, and the error surfaces (bad methods, unknown
+// journals, dead leaders, epoch regressions) behave as documented.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"acd/internal/incremental"
+	"acd/internal/journal"
+	"acd/internal/shard"
+)
+
+// startHTTPLeader boots a journaled leader group and serves its
+// replication stream over a real HTTP server.
+func startHTTPLeader(t *testing.T, shards int) (*shard.Group, *httptest.Server) {
+	t.Helper()
+	cfg := shard.Config{Shards: shards, Engine: simEngineCfg(1)}
+	g, err := shard.Open(cfg, journal.NewMemTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	src, err := NewLocalSource(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(&Handler{Source: src})
+	t.Cleanup(srv.Close)
+	return g, srv
+}
+
+// TestHTTPTransport: a follower over HTTPSource replicates a live
+// leader through the long-poll protocol — layout discovery, batch
+// fetches, checkpoint shipping — and its drained standby matches the
+// leader's snapshot exactly.
+func TestHTTPTransport(t *testing.T) {
+	leader, srv := startHTTPLeader(t, 2)
+	src := &HTTPSource{Base: srv.URL}
+
+	info, err := src.Info(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shards != 2 || len(info.Journals) != 3 {
+		t.Fatalf("Info = %+v", info)
+	}
+
+	fol, err := NewFollower(context.Background(), Config{
+		Tree:   journal.NewMemTree(),
+		Source: src,
+		Wait:   200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+	if fol.Shards() != 2 {
+		t.Fatalf("Shards() = %d, want 2 (adopted from the leader)", fol.Shards())
+	}
+	if fol.Epoch() != leader.Epoch() {
+		t.Fatalf("Epoch() = %d, leader at %d", fol.Epoch(), leader.Epoch())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- fol.Run(ctx) }()
+
+	var acked []int
+	for i := 0; i < 30; i++ {
+		gids, err := leader.Add(incremental.Record{Fields: map[string]string{
+			"name": fmt.Sprintf("entity %03d common token", i%7),
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acked = append(acked, gids...)
+	}
+	if err := leader.AddAnswer(acked[0], acked[1], 0.9, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leader.Resolve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := leader.Snapshot()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got := fol.Standby().Snapshot()
+		if got.Records == want.Records && got.Round == want.Round && fol.Lag() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never drained: %+v vs leader %+v (lag %d)", got, want, fol.Lag())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-runDone; err != nil {
+		t.Fatalf("Run returned %v on context cancel", err)
+	}
+}
+
+// TestHTTPHandlerEdges: method and parameter policing on the stream
+// endpoint, and the long-poll wait actually holding an empty fetch
+// open instead of busy-answering.
+func TestHTTPHandlerEdges(t *testing.T) {
+	_, srv := startHTTPLeader(t, 1)
+
+	resp, err := http.Post(srv.URL, "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST to stream = %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "?journal=no-such-journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("unknown journal = %d, want 500", resp.StatusCode)
+	}
+
+	// Caught-up fetch with a wait: the response must be held open for
+	// roughly the wait, not answered immediately.
+	src := &HTTPSource{Base: srv.URL}
+	t0 := time.Now()
+	b, err := src.FetchWait(context.Background(), journal.ShardDirName(0), 1, 10, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Events) != 0 || b.Checkpoint != nil {
+		t.Fatalf("empty journal served a batch: %+v", b)
+	}
+	if d := time.Since(t0); d < 100*time.Millisecond {
+		t.Fatalf("long-poll returned after %v, want ~150ms", d)
+	}
+
+	// Garbage parameters fall back to defaults rather than erroring.
+	resp, err = http.Get(srv.URL + "?journal=" + journal.ShardDirName(0) + "&from=bogus&max=&wait=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("garbage params = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestHTTPSourceErrors: non-200 responses and dead leaders surface as
+// errors, not zero batches.
+func TestHTTPSourceErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	src := &HTTPSource{Base: srv.URL, Client: srv.Client()}
+	if _, err := src.Info(context.Background()); err == nil || !strings.Contains(err.Error(), "500") {
+		t.Fatalf("Info against a 500 server: %v", err)
+	}
+	if _, err := src.Fetch(context.Background(), "shard-000", 1, 10); err == nil {
+		t.Fatal("Fetch against a 500 server succeeded")
+	}
+	srv.Close()
+	if _, err := src.Fetch(context.Background(), "shard-000", 1, 10); err == nil {
+		t.Fatal("Fetch against a closed server succeeded")
+	}
+}
+
+// regressingSource serves one batch at a raised epoch, then batches
+// claiming an older epoch — the deposed-leader signature Run must
+// treat as fatal. Early fetches inject transient errors to walk the
+// retry/backoff path first.
+type regressingSource struct {
+	inner     Source
+	transient int
+	fetches   int
+}
+
+func (s *regressingSource) Info(ctx context.Context) (Info, error) { return s.inner.Info(ctx) }
+
+func (s *regressingSource) Fetch(ctx context.Context, name string, from int64, max int) (Batch, error) {
+	if s.transient > 0 {
+		s.transient--
+		return Batch{}, fmt.Errorf("flaky link")
+	}
+	b, err := s.inner.Fetch(ctx, name, from, max)
+	if err != nil {
+		return b, err
+	}
+	s.fetches++
+	if s.fetches == 1 {
+		b.Epoch = 7 // a newer leader generation appears...
+	} else {
+		b.Epoch = 3 // ...then an older one comes back: forked history
+	}
+	return b, nil
+}
+
+// TestRunFatalOnEpochRegression: Run retries transient fetch errors
+// but stops permanently — returning the wrapped fatal error — when a
+// batch arrives from an epoch below one the follower durably recorded.
+func TestRunFatalOnEpochRegression(t *testing.T) {
+	cfg := shard.Config{Shards: 1, Engine: simEngineCfg(1)}
+	g, err := shard.Open(cfg, journal.NewMemTree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := g.Add(incremental.Record{Fields: map[string]string{"name": "a"}}); err != nil {
+		t.Fatal(err)
+	}
+	local, err := NewLocalSource(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &regressingSource{inner: local, transient: 2}
+	fol, err := NewFollower(context.Background(), Config{
+		Tree:     journal.NewMemTree(),
+		Source:   src,
+		Interval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = fol.Run(ctx)
+	if err == nil || !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("Run = %v, want ErrStaleEpoch", err)
+	}
+	if !isFatal(err) {
+		t.Fatalf("epoch regression not classified fatal: %v", err)
+	}
+	if fol.Epoch() != 7 {
+		t.Fatalf("follower epoch %d, want the raised 7", fol.Epoch())
+	}
+}

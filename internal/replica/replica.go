@@ -1,0 +1,143 @@
+// Package replica replicates a journaled shard.Group across processes
+// by shipping its journals: a leader exposes each journal's committed
+// tail (per shard plus the router, respecting group-commit boundaries
+// and segment rotation) through a Source, and a Follower pulls those
+// tails, persists them verbatim into its own journal tree, and folds
+// every event into a warm standby through exactly the recovery fold —
+// so follower state is byte-identical to what the leader would rebuild
+// at the same sequences. Followers serve stale-ok reads from the
+// standby; Promote fences the deposed leader's epoch, replays whatever
+// tail its disk still holds, and re-opens the follower's journals as a
+// full read-write group.
+//
+// The protocol is pull-based and idempotent: cursors live on the
+// follower (its own journal head), duplicated batches are skipped,
+// reordered batches are refused and re-fetched, and only events at or
+// below the leader's durable watermark are ever shipped — a follower
+// can never be ahead of what the leader would itself recover.
+package replica
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"acd/internal/journal"
+	"acd/internal/shard"
+)
+
+// Info describes a leader's replicated layout: what a follower must
+// mirror before it can pull.
+type Info struct {
+	// Shards is the leader's pinned shard count.
+	Shards int `json:"shards"`
+	// Epoch is the leader's replication epoch.
+	Epoch int64 `json:"epoch"`
+	// Journals names every journal in the layout (shard dirs plus the
+	// router), in the canonical order followers iterate.
+	Journals []string `json:"journals"`
+}
+
+// Batch is one fetched chunk of a journal's committed tail.
+type Batch struct {
+	// Journal names the journal the batch belongs to.
+	Journal string `json:"journal"`
+	// Epoch is the leader's epoch at fetch time. Followers refuse
+	// batches from epochs below the highest they have seen.
+	Epoch int64 `json:"epoch"`
+	// From is the first sequence the fetch asked for.
+	From int64 `json:"from"`
+	// Checkpoint is non-nil when the leader compacted past From: the
+	// follower must install it, then apply Events after it.
+	Checkpoint *journal.Checkpoint `json:"checkpoint,omitempty"`
+	// Events are contiguous committed events from From (or from
+	// Checkpoint.Seq+1).
+	Events []journal.Event `json:"events,omitempty"`
+	// Durable is the leader journal's durable watermark at fetch time;
+	// Durable minus the follower's applied sequence is its lag.
+	Durable int64 `json:"durable"`
+}
+
+// Source is a follower's view of a leader: layout discovery plus
+// per-journal tail fetches. Implementations must never return events
+// beyond the leader's durable watermark.
+type Source interface {
+	// Info reports the leader's layout.
+	Info(ctx context.Context) (Info, error)
+	// Fetch reads the named journal's committed tail starting at from,
+	// returning at most max events (0 = unbounded). An empty batch
+	// means the follower is caught up.
+	Fetch(ctx context.Context, name string, from int64, max int) (Batch, error)
+}
+
+// WaitSource is implemented by sources whose fetches can block
+// server-side until events arrive (long-poll). Followers use it to
+// wait only when a pull round has found nothing so far: a journal with
+// a backlog is still served immediately, so one idle journal never
+// throttles the others' replay throughput.
+type WaitSource interface {
+	Source
+	// FetchWait is Fetch with an explicit long-poll wait; 0 returns
+	// immediately.
+	FetchWait(ctx context.Context, name string, from int64, max int, wait time.Duration) (Batch, error)
+}
+
+// LocalSource serves a leader group's journals in-process — the
+// leader-side half of the HTTP transport, and the direct source the
+// deterministic simulation drives.
+type LocalSource struct {
+	group *shard.Group
+	feeds map[string]shard.Feed
+	names []string
+}
+
+// NewLocalSource wraps a journaled group as a replication source.
+// Volatile groups have no journals to ship and are refused.
+func NewLocalSource(g *shard.Group) (*LocalSource, error) {
+	feeds := g.Feeds()
+	if feeds == nil {
+		return nil, fmt.Errorf("replica: group has no journal layout to replicate")
+	}
+	s := &LocalSource{group: g, feeds: make(map[string]shard.Feed, len(feeds))}
+	for _, f := range feeds {
+		s.feeds[f.Name] = f
+		s.names = append(s.names, f.Name)
+	}
+	return s, nil
+}
+
+// Info implements Source.
+func (s *LocalSource) Info(ctx context.Context) (Info, error) {
+	return Info{
+		Shards:   s.group.Shards(),
+		Epoch:    s.group.Epoch(),
+		Journals: append([]string(nil), s.names...),
+	}, nil
+}
+
+// Fetch implements Source. Only events at or below the journal's
+// durable watermark are read, so a batch never contains an event the
+// leader could lose in a crash.
+func (s *LocalSource) Fetch(ctx context.Context, name string, from int64, max int) (Batch, error) {
+	feed, ok := s.feeds[name]
+	if !ok {
+		return Batch{}, fmt.Errorf("replica: unknown journal %q", name)
+	}
+	durable := feed.Durable()
+	b := Batch{Journal: name, Epoch: s.group.Epoch(), From: from, Durable: durable}
+	if durable < from {
+		return b, nil // caught up: nothing committed past the cursor
+	}
+	tb, err := journal.ReadTail(feed.FS, from, durable, max)
+	if err != nil {
+		return Batch{}, fmt.Errorf("replica: tailing %s: %w", name, err)
+	}
+	b.Checkpoint = tb.Checkpoint
+	b.Events = tb.Events
+	return b, nil
+}
+
+// ErrStaleEpoch reports a batch (or leader) at an epoch below the
+// highest the follower has durably seen — a deposed leader still
+// serving. Followers stop rather than fold its events.
+var ErrStaleEpoch = fmt.Errorf("replica: stale leader epoch")

@@ -13,12 +13,15 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"sync"
 	"time"
 
 	"acd/internal/crowd"
 	"acd/internal/incremental"
 	"acd/internal/journal"
 	"acd/internal/obs"
+	"acd/internal/replica"
 	"acd/internal/shard"
 )
 
@@ -67,6 +70,19 @@ type Config struct {
 	// simulated source with injected latency and faults for the
 	// degraded-crowd load scenarios.
 	Source crowd.Source
+	// Follow is a leader's replication stream URL (its
+	// GET /replica/stream endpoint). Non-empty starts the server as a
+	// read-only follower: it mirrors the leader's journals into Journal
+	// (or memory when Journal is empty), serves stale-ok reads from a
+	// warm standby, and refuses writes until POST /replica/promote.
+	Follow string
+	// ReplicaID names this process in GET /replica/status (optional).
+	ReplicaID string
+	// ReplicaSource overrides the follower's leader link — tests and
+	// scenarios inject an in-process or chaos-wrapped source. Nil uses
+	// HTTP long-polling against Follow. Setting it implies follower
+	// mode even when Follow is empty.
+	ReplicaSource replica.Source
 }
 
 // DefaultRotateBytes is the WAL segment rotation size acdserve
@@ -77,17 +93,26 @@ type Config struct {
 // group-commit measurements behind it.
 const DefaultRotateBytes = 4 << 20
 
-// Server owns a shard group and serves the acdserve HTTP API over it.
-// The group is internally synchronized — writes route through per-shard
-// queues and reads load an immutable snapshot pointer — so Server
-// itself holds no lock anywhere and its handlers are safe under any
-// request concurrency.
+// Server owns either a shard group (leader) or a replication follower
+// and serves the acdserve HTTP API over it. The group is internally
+// synchronized — writes route through per-shard queues and reads load
+// an immutable snapshot pointer — so on the hot paths Server adds no
+// locking of its own; the mutex only guards the leader/follower role,
+// which changes exactly once (at promotion).
 type Server struct {
-	group *shard.Group
-	rec   *obs.Recorder
+	rec *obs.Recorder
+	cfg Config
 	// Recovered describes what Open replayed from the journal (zero
 	// struct for a fresh or volatile server).
 	Recovered RecoveryInfo
+
+	mu       sync.Mutex
+	group    *shard.Group      // non-nil when leading
+	follower *replica.Follower // non-nil when following
+	src      *replica.LocalSource
+	runStop  context.CancelFunc
+	runDone  chan struct{}
+	runErr   error // fatal replication error that stopped the run loop
 }
 
 // RecoveryInfo summarizes a journal recovery at Open time.
@@ -125,6 +150,9 @@ func Open(cfg Config) (*Server, error) {
 			RotateBytes: cfg.RotateBytes,
 		},
 	}
+	if cfg.Follow != "" || cfg.ReplicaSource != nil {
+		return openFollower(cfg, rec, scfg)
+	}
 	var group *shard.Group
 	if cfg.Journal != "" {
 		tree, err := journal.NewDirTree(cfg.Journal)
@@ -136,32 +164,96 @@ func Open(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("recovering journal: %w", err)
 		}
 		snap := group.Snapshot()
-		return &Server{group: group, rec: rec, Recovered: RecoveryInfo{
+		s := &Server{group: group, rec: rec, cfg: cfg, Recovered: RecoveryInfo{
 			FromJournal: true, Records: snap.Records, Round: snap.Round,
-		}}, nil
+		}}
+		// Volatile groups have nothing to ship; journaled leaders always do.
+		s.src, _ = replica.NewLocalSource(group)
+		return s, nil
 	}
 	group, err := shard.New(scfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{group: group, rec: rec}, nil
+	return &Server{group: group, rec: rec, cfg: cfg}, nil
 }
 
-// Group exposes the underlying shard group (tests and scenarios).
-func (s *Server) Group() *shard.Group { return s.group }
+// state returns the server's current role under the mutex: exactly one
+// of group/follower is non-nil.
+func (s *Server) state() (*shard.Group, *replica.Follower) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.group, s.follower
+}
+
+// Group exposes the underlying shard group (tests and scenarios); nil
+// while following.
+func (s *Server) Group() *shard.Group {
+	g, _ := s.state()
+	return g
+}
+
+// Follower exposes the replication follower; nil when leading.
+func (s *Server) Follower() *replica.Follower {
+	_, f := s.state()
+	return f
+}
 
 // Shards returns the group's shard count.
-func (s *Server) Shards() int { return s.group.Shards() }
+func (s *Server) Shards() int {
+	g, f := s.state()
+	if f != nil {
+		return f.Shards()
+	}
+	return g.Shards()
+}
 
-// Snapshot returns the group's current immutable snapshot.
-func (s *Server) Snapshot() *shard.Snapshot { return s.group.Snapshot() }
+// Snapshot returns the current immutable snapshot — the group's when
+// leading, the warm standby's when following.
+func (s *Server) Snapshot() *shard.Snapshot {
+	g, f := s.state()
+	if f != nil {
+		return f.Standby().Snapshot()
+	}
+	return g.Snapshot()
+}
 
-// Checkpoint writes a compacted checkpoint in every journal.
-func (s *Server) Checkpoint() error { return s.group.Checkpoint() }
+// Checkpoint writes a compacted checkpoint in every journal. Followers
+// no-op: their journals must stay a verbatim copy of the shipped
+// stream, and compaction is the leader's call (shipped checkpoints
+// install here on their own).
+func (s *Server) Checkpoint() error {
+	g, f := s.state()
+	if f != nil {
+		return nil
+	}
+	return g.Checkpoint()
+}
 
-// Close releases the group and its journals (without checkpointing;
-// call Checkpoint first for a compact next start).
-func (s *Server) Close() error { return s.group.Close() }
+// Close stops replication (when following) and releases the group or
+// follower journals (without checkpointing; call Checkpoint first for a
+// compact next start).
+func (s *Server) Close() error {
+	s.stopRun()
+	g, f := s.state()
+	if f != nil {
+		return f.Close()
+	}
+	return g.Close()
+}
+
+// stopRun cancels the follower run loop and waits it out. Safe to call
+// in any role, any number of times.
+func (s *Server) stopRun() {
+	s.mu.Lock()
+	stop, done := s.runStop, s.runDone
+	s.runStop = nil
+	s.mu.Unlock()
+	if stop != nil {
+		stop()
+		<-done
+	}
+}
 
 // Endpoints lists every HTTP route the Handler serves, in display
 // order. docs/serving.md must document each of these; a parity test
@@ -174,6 +266,9 @@ func Endpoints() []string {
 		"GET /clusters",
 		"GET /healthz",
 		"GET /metrics",
+		"GET /replica/stream",
+		"GET /replica/status",
+		"POST /replica/promote",
 	}
 }
 
@@ -196,7 +291,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/resolve", s.handleResolve)
 	mux.HandleFunc("/clusters", s.handleClusters)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.Handle("/metrics", s.rec)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/replica/stream", s.handleReplicaStream)
+	mux.HandleFunc("/replica/status", s.handleReplicaStatus)
+	mux.HandleFunc("/replica/promote", s.handleReplicaPromote)
 	return mux
 }
 
@@ -230,11 +328,15 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "no records")
 		return
 	}
+	g, ok := s.writable(w)
+	if !ok {
+		return
+	}
 	recs := make([]incremental.Record, len(body.Records))
 	for i, p := range body.Records {
 		recs[i] = incremental.Record{Fields: p.Fields, Entity: p.Entity}
 	}
-	ids, err := s.group.Add(recs...)
+	ids, err := g.Add(recs...)
 	if err != nil {
 		// A mid-batch journal failure leaves a durable prefix applied;
 		// tell the client exactly which records made it in.
@@ -243,7 +345,7 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "pending_pairs": s.group.Snapshot().PendingPairs})
+	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "pending_pairs": g.Snapshot().PendingPairs})
 }
 
 func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
@@ -258,18 +360,22 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
 		return
 	}
+	g, ok := s.writable(w)
+	if !ok {
+		return
+	}
 	// Validate the whole batch up front: a 400 means nothing was
 	// applied. Records are never removed, so a validated answer cannot
 	// become invalid before it is applied below.
 	for i, a := range body.Answers {
-		if err := s.group.ValidateAnswer(a.Lo, a.Hi, a.FC); err != nil {
+		if err := g.ValidateAnswer(a.Lo, a.Hi, a.FC); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("answer %d: %v", i, err))
 			return
 		}
 	}
 	accepted := 0
 	for i, a := range body.Answers {
-		if err := s.group.AddAnswer(a.Lo, a.Hi, a.FC, a.Source); err != nil {
+		if err := g.AddAnswer(a.Lo, a.Hi, a.FC, a.Source); err != nil {
 			// Validation passed, so this is a journal failure; the first
 			// `accepted` answers are already durable.
 			writeJSON(w, http.StatusInternalServerError, map[string]any{
@@ -279,7 +385,7 @@ func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) {
 		}
 		accepted++
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"accepted": accepted, "known": s.group.Snapshot().Answers})
+	writeJSON(w, http.StatusOK, map[string]any{"accepted": accepted, "known": g.Snapshot().Answers})
 }
 
 func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
@@ -287,7 +393,11 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	st, err := s.group.Resolve(r.Context())
+	g, ok := s.writable(w)
+	if !ok {
+		return
+	}
+	st, err := g.Resolve(r.Context())
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -304,7 +414,7 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	snap := s.group.Snapshot()
+	snap := s.readSnapshot(w)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"round":          snap.Round,
 		"resolved_up_to": snap.ResolvedUpTo,
@@ -315,14 +425,26 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	snap := s.group.Snapshot()
+	_, f := s.state()
+	status := "ok"
+	if f != nil {
+		status = "following"
+	}
+	snap := s.readSnapshot(w)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
+		"status":  status,
 		"records": snap.Records,
 		"round":   snap.Round,
 		"pending": snap.PendingPairs,
 		"shards":  snap.Shards,
 	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if _, f := s.state(); f != nil {
+		w.Header().Set(LagHeader, strconv.FormatInt(f.Lag(), 10))
+	}
+	s.rec.ServeHTTP(w, r)
 }
 
 // writeJSON writes v as the JSON response body with the given status.

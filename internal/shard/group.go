@@ -79,6 +79,7 @@ type Group struct {
 
 	router       *journal.Store // cross answers + global resolve effects; nil when n==1 or volatile
 	routerEvents int            // events since the last router checkpoint
+	layout       *journal.Layout // the opened journal layout; nil when volatile
 
 	clusters     *unionfind.Growable // global clustering, gid space (n>1)
 	round        int
@@ -148,6 +149,7 @@ func newGroup(cfg Config, layout *journal.Layout) (*Group, error) {
 	for i := range g.shards {
 		g.shards[i] = &shardState{id: i, q: newOpQueue(), ack: newOpQueue()}
 	}
+	g.layout = layout
 	if layout == nil {
 		for _, s := range g.shards {
 			s.eng = incremental.New(cfg.Engine)

@@ -1,0 +1,38 @@
+// Package testutil holds small helpers shared across the repo's test
+// suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Baseline snapshots the goroutine count for a later CheckGoroutines —
+// take it before starting the servers, pools, or followers under test.
+// A GC first reaps finalizer-driven goroutines left by earlier tests.
+func Baseline() int {
+	runtime.GC()
+	return runtime.NumGoroutine()
+}
+
+// CheckGoroutines fails t when the goroutine count has not returned to
+// the baseline after everything the test started was shut down.
+// Background machinery (idle HTTP keep-alive connections, timer
+// goroutines) takes a moment to wind down, so it polls up to 5 seconds
+// and tolerates a slack of 2 before declaring a leak, dumping all
+// stacks so the leaked goroutine is identifiable.
+func CheckGoroutines(t testing.TB, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Errorf("goroutine leak: %d running, baseline %d\n%s",
+		runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+}

@@ -1,0 +1,51 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCheckGoroutines covers both verdicts: a clean baseline passes
+// immediately, and goroutines still running past the deadline are
+// reported as a leak (observed through a recording TB so the failure
+// doesn't fail this test).
+func TestCheckGoroutines(t *testing.T) {
+	base := Baseline()
+	CheckGoroutines(t, base)
+
+	// Park goroutines past the slack and watch the check trip. The
+	// 5-second poll keeps this case slow, so gate it behind -short.
+	if testing.Short() {
+		t.Skip("leak-detection negative case polls for 5s")
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	for i := 0; i < 4; i++ {
+		go func() { <-stop }()
+	}
+	rec := &recordingTB{TB: t}
+	CheckGoroutines(rec, base)
+	if !rec.failed {
+		t.Fatal("CheckGoroutines missed 4 leaked goroutines")
+	}
+}
+
+// recordingTB captures Errorf instead of failing the enclosing test.
+type recordingTB struct {
+	testing.TB
+	failed bool
+}
+
+func (r *recordingTB) Errorf(string, ...any) { r.failed = true }
+func (r *recordingTB) Helper()               {}
+
+// TestBaselineStable: back-to-back baselines agree when nothing was
+// started in between (within the same slack the checker allows).
+func TestBaselineStable(t *testing.T) {
+	a := Baseline()
+	time.Sleep(10 * time.Millisecond)
+	b := Baseline()
+	if b > a+2 || a > b+2 {
+		t.Fatalf("baselines drifted with no work in between: %d then %d", a, b)
+	}
+}

@@ -7,7 +7,7 @@
 #   scripts/loadbench.sh [--smoke] [outfile]
 #
 #   --smoke  seconds-scale scenario variants (CI); default is full mode
-#   outfile  target JSON file (default: BENCH_8.json)
+#   outfile  target JSON file (default: BENCH_9.json)
 #
 # Environment:
 #   SHARDS     shard counts to run, space-separated (default: "1 4";
@@ -25,10 +25,12 @@
 #   KEEP_SUITES  set non-empty to keep the per-shard suite JSONs next
 #              to the outfile instead of a temp dir
 #
-# The committed BENCH_8.json before/after pair is produced by:
-#   scripts/loadbench.sh BENCH_8.json
+# The committed BENCH_9.json replication before/after pair (leader-only
+#   vs leader+2 followers taking the reads) is produced by
+#   scripts/replicabench.sh; the plain suite trajectory is:
+#   scripts/loadbench.sh BENCH_9.json
 #   COMMIT_WINDOW=2ms ROTATE_BYTES=4194304 LABEL_SUFFIX=-gc \
-#       scripts/loadbench.sh BENCH_8.json
+#       scripts/loadbench.sh BENCH_9.json
 set -eu
 
 smoke=""
@@ -36,7 +38,7 @@ if [ "${1:-}" = "--smoke" ]; then
     smoke="-smoke"
     shift
 fi
-out="${1:-BENCH_8.json}"
+out="${1:-BENCH_9.json}"
 cd "$(dirname "$0")/.."
 
 if [ -n "$smoke" ]; then

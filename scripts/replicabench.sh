@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# replicabench.sh — produce the replication before/after serving
+# numbers committed as BENCH_9.json. "Before" is the read-heavy
+# scenario (one leader serves every read beside its write path);
+# "after" is replica-reads (same mix and concurrency, but two
+# followers absorb every snapshot read while the leader keeps the
+# writes). The replica-failover drill rides along so the promotion
+# wall time and lag-at-kill are part of the committed trajectory.
+# Methodology: docs/serving.md section 3 and 5.
+#
+# Usage:
+#   scripts/replicabench.sh [--smoke] [outfile]    # default BENCH_9.json
+#
+# Environment:
+#   SHARDS  shard counts, space-separated (default "1 4"; smoke "1 3")
+#   SEED    workload seed (default 1)
+set -eu
+
+smoke=""
+if [ "${1:-}" = "--smoke" ]; then
+    smoke="-smoke"
+    shift
+fi
+out="${1:-BENCH_9.json}"
+cd "$(dirname "$0")/.."
+
+if [ -n "$smoke" ]; then
+    shards_default="1 3"
+else
+    shards_default="1 4"
+fi
+shards_list="${SHARDS:-$shards_default}"
+seed="${SEED:-1}"
+
+suitedir="$(mktemp -d)"
+trap 'rm -rf "$suitedir"' EXIT
+
+go build ./cmd/acdload ./internal/tools/benchjson
+
+suites=""
+for n in $shards_list; do
+    for s in read-heavy replica-reads replica-failover; do
+        suite="$suitedir/replica-$s-${n}shard.json"
+        echo "== acdload -scenario $s -shards $n $smoke" >&2
+        go run ./cmd/acdload -scenario "$s" -shards "$n" $smoke \
+            -seed "$seed" -out "$suite"
+        suites="$suites $suite"
+    done
+done
+
+# shellcheck disable=SC2086 — suites is a deliberate word list
+go run ./internal/tools/benchjson -load -out "$out" $suites
+echo "replicabench: wrote $out" >&2
