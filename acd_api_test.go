@@ -196,6 +196,52 @@ func TestDeduplicateParallelismInvariant(t *testing.T) {
 	}
 }
 
+// TestDeduplicateMarket runs the facade through a simulated
+// marketplace: clustering stays correct with an accurate fleet, the
+// spend is booked through the market (not the uniform rate), and the
+// market/* metric family lands in the result snapshot.
+func TestDeduplicateMarket(t *testing.T) {
+	records, entities := brandRecords()
+	res, err := acd.Deduplicate(records, perfectCrowd(entities), acd.Options{
+		Seed:   1,
+		Market: "fast:1:20:0;careful:6:10:0;machine:0:0:0.45:machine",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, f1 := res.F1(entities); f1 != 1 {
+		t.Errorf("error-free marketplace fleet should yield F1 1, got %v (clusters %v)", f1, res.Clusters)
+	}
+	spend, ok := res.Metrics.Counters["market/spend_cents"]
+	if !ok {
+		t.Fatal("market/spend_cents missing from the metrics snapshot")
+	}
+	if int(spend) != res.Cents {
+		t.Errorf("session booked %d cents, market spent %d", res.Cents, spend)
+	}
+	if res.Metrics.Counters["market/routed"] == 0 {
+		t.Error("market/routed never incremented")
+	}
+
+	if _, err := acd.Deduplicate(records, perfectCrowd(entities), acd.Options{
+		Market: "bad spec",
+	}); err == nil {
+		t.Error("bad fleet spec accepted")
+	}
+
+	capped, err := acd.Deduplicate(records, perfectCrowd(entities), acd.Options{
+		Seed:         1,
+		Market:       "careful:6:10:0.02",
+		MarketBudget: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Cents > 6 {
+		t.Errorf("budget 6 overspent: %d cents", capped.Cents)
+	}
+}
+
 func TestDeduplicateDeterminism(t *testing.T) {
 	records, entities := brandRecords()
 	a, err := acd.Deduplicate(records, perfectCrowd(entities), acd.Options{Seed: 9})

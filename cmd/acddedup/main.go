@@ -10,6 +10,7 @@
 //	acddedup -in records.csv [-mode acd|machine] [-tau 0.3] [-parallel N]
 //	         [-workers 3|5] [-error 0.1] [-eps 0.1] [-x 8] [-seed 1]
 //	         [-answers FILE] [-save-answers FILE]
+//	         [-market SPEC|default] [-market-budget CENTS]
 //	         [-crowd-timeout 1m] [-crowd-retries 2] [-chaos-drop P]
 //	         [-chaos-error P] [-chaos-dup P] [-chaos-spike P]
 //	         [-chaos-seed N] [-chaos-burst N] [-chaos-burst-len N]
@@ -21,6 +22,17 @@
 // stderr. With -metrics, a per-phase observability snapshot follows the
 // summary on stderr; see internal/obs and the README's metrics
 // reference.
+//
+// With -market, the simulated crowd becomes a heterogeneous
+// marketplace: the spec (internal/market's fleet grammar, or the
+// keyword "default" for the reference mixed fleet) describes backends
+// with per-HIT prices, batch sizes, and calibrated error rates, and
+// every question is routed to the backend with the best information
+// value per cent under the optional -market-budget spend ceiling.
+// -save-answers then writes a v3 answer file carrying each answer's
+// backend and price. -market is incompatible with -answers, and the
+// global -chaos-*/-crowd-* flags are ignored in favor of per-backend
+// drop=/fault= spec options.
 //
 // The -chaos-* flags inject deterministic, seeded crowd faults (dropped
 // answers, transient errors, duplicated deliveries, latency spikes,
@@ -44,6 +56,7 @@ import (
 	"acd/internal/crowd"
 	"acd/internal/dataset"
 	"acd/internal/machine"
+	"acd/internal/market"
 	"acd/internal/obs"
 	"acd/internal/pruning"
 	"acd/internal/refine"
@@ -69,6 +82,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "random seed")
 	answersIn := fs.String("answers", "", "replay crowd answers from this file (crowd.SaveAnswers format)")
 	answersOut := fs.String("save-answers", "", "write the simulated crowd answers to this file for later replay")
+	marketSpec := fs.String("market", "", "route questions through a marketplace fleet spec (internal/market grammar; \"default\" = reference mixed fleet)")
+	marketBudget := fs.Int("market-budget", 0, "marketplace spend ceiling in cents (0 = unlimited; needs -market)")
 	faultFlags := crowd.RegisterFaultFlags(fs)
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -126,6 +141,58 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		rng := rand.New(rand.NewSource(*seed))
 		result = machine.BOEMObs(machine.BestPivotObs(cands.N, cands.Machine, 10, rng, rec), cands.Machine, rec)
+	case *mode == "acd" && *marketSpec != "":
+		if *answersIn != "" {
+			fmt.Fprintln(stderr, "acddedup: -market and -answers are mutually exclusive")
+			return 2
+		}
+		if faultFlags.Enabled() {
+			fmt.Fprintln(stderr, "acddedup: note: -chaos-*/-crowd-* flags are ignored with -market; use per-backend drop=/fault= spec options")
+		}
+		spec := *marketSpec
+		if spec == "default" {
+			spec = market.DefaultFleetSpec
+		}
+		specs, err := market.ParseFleet(spec)
+		if err != nil {
+			fmt.Fprintf(stderr, "acddedup: %v\n", err)
+			return 2
+		}
+		backends := make([]market.Backend, len(specs))
+		for i, s := range specs {
+			backends[i] = s.AnswerBackend(cands.PairList(), d.TruthFn(), *seed)
+		}
+		budget := market.Unlimited
+		if *marketBudget > 0 {
+			budget = *marketBudget
+		}
+		mkt := market.New(market.Config{
+			Backends:     backends,
+			BudgetCents:  budget,
+			Order:        market.OrderConfidence,
+			ShortCircuit: true,
+			Prior:        cands.Score,
+			Seed:         *seed,
+		})
+		mkt.SetRecorder(rec)
+		out := core.ACD(cands, mkt, core.Config{Epsilon: *eps, RefineX: *x, Seed: *seed})
+		result = out.Clusters
+		stats = out.Stats
+		if *answersOut != "" {
+			// Saved after the run, so the v3 file carries the charge
+			// provenance (backend id + price) of every answer the
+			// marketplace actually sold.
+			if !saveAnswers(*answersOut, mkt.AnswerSet(), stderr) {
+				return 1
+			}
+		}
+		m := rec.Snapshot()
+		fmt.Fprintf(stderr, "acddedup: market: %d cents spent, %d routed, %d inferred free, %d budget fallbacks\n",
+			mkt.Spent(), m.Counters[market.MetricRouted],
+			m.Counters[market.MetricShortCircuited], m.Counters[market.MetricFallbacks])
+		if mkt.Exhausted() {
+			fmt.Fprintln(stderr, "acddedup: market: budget exhausted; remaining questions degraded to the machine prior")
+		}
 	case *mode == "acd":
 		var answers *crowd.AnswerSet
 		if *answersIn != "" {
@@ -145,17 +212,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			answers = crowd.BuildAnswers(cands.PairList(), d.TruthFn(), crowd.UniformDifficulty(*errRate), cfg)
 		}
 		if *answersOut != "" {
-			af, err := os.Create(*answersOut)
-			if err != nil {
-				fmt.Fprintf(stderr, "acddedup: %v\n", err)
+			if !saveAnswers(*answersOut, answers, stderr) {
 				return 1
 			}
-			if err := crowd.SaveAnswers(af, answers); err != nil {
-				fmt.Fprintf(stderr, "acddedup: %v\n", err)
-				af.Close()
-				return 1
-			}
-			af.Close()
 		}
 		answers.SetRecorder(rec)
 		var src crowd.Source = answers
@@ -204,4 +263,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			e.Precision, e.Recall, e.F1)
 	}
 	return 0
+}
+
+// saveAnswers writes an answer set to path, reporting failure on stderr.
+func saveAnswers(path string, a *crowd.AnswerSet, stderr io.Writer) bool {
+	af, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "acddedup: %v\n", err)
+		return false
+	}
+	defer af.Close()
+	if err := crowd.SaveAnswers(af, a); err != nil {
+		fmt.Fprintf(stderr, "acddedup: %v\n", err)
+		return false
+	}
+	return true
 }

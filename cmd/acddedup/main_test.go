@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"acd/internal/crowd"
 	"acd/internal/dataset"
 )
 
@@ -145,5 +146,72 @@ func TestRunChaosFlags(t *testing.T) {
 	}, &out2, &errb2)
 	if out.String() != out2.String() {
 		t.Errorf("same chaos seed produced different clusterings")
+	}
+}
+
+// TestRunMarket smoke-tests the marketplace path: the run completes
+// with every record assigned, the spend summary appears, a saved
+// answer file round-trips with charge provenance, and bad
+// spec/flag combinations are rejected.
+func TestRunMarket(t *testing.T) {
+	path := writeTinyCSV(t)
+	saved := filepath.Join(t.TempDir(), "answers.v3")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-in", path, "-mode", "acd", "-seed", "1",
+		"-market", "default", "-save-answers", saved,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 80 {
+		t.Errorf("stdout has %d assignment lines, want 80", len(lines))
+	}
+	for _, want := range []string{"market:", "cents spent", "F1"} {
+		if !strings.Contains(errb.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, errb.String())
+		}
+	}
+	raw, err := os.ReadFile(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), ",fast,") && !strings.Contains(string(raw), ",careful,") {
+		t.Error("saved answer file carries no backend charge provenance")
+	}
+	af, err := os.Open(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, err := crowd.LoadAnswers(af)
+	af.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answers.Len() == 0 {
+		t.Error("saved answer file is empty")
+	}
+
+	errb.Reset()
+	if code := run([]string{"-in", path, "-market", "nonsense"}, &out, &errb); code != 2 {
+		t.Errorf("bad fleet spec: exit %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-in", path, "-market", "default", "-answers", saved}, &out, &errb); code != 2 {
+		t.Errorf("-market with -answers: exit %d, want 2", code)
+	}
+
+	// A tight budget must cap the spend and still assign every record.
+	var out3, errb3 bytes.Buffer
+	code = run([]string{
+		"-in", path, "-mode", "acd", "-seed", "1",
+		"-market", "careful:6:10:0.02", "-market-budget", "12",
+	}, &out3, &errb3)
+	if code != 0 {
+		t.Fatalf("budgeted run: exit %d, stderr: %s", code, errb3.String())
+	}
+	if lines := strings.Split(strings.TrimSpace(out3.String()), "\n"); len(lines) != 80 {
+		t.Errorf("budgeted run assigned %d records, want 80", len(lines))
 	}
 }

@@ -183,5 +183,5 @@ func TestScenariosDocumented(t *testing.T) {
 // scenariosAll returns the scenario names (kept separate so the doc
 // test reads naturally).
 func scenariosAll() []string {
-	return []string{"baseline", "high-load", "bursty", "read-heavy", "degraded-crowd", "crash-restart", "crash-restart-groupcommit", "replica-reads", "replica-failover"}
+	return []string{"baseline", "high-load", "bursty", "read-heavy", "degraded-crowd", "crash-restart", "crash-restart-groupcommit", "replica-reads", "replica-failover", "mixed-fleet", "backend-outage"}
 }

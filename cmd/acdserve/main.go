@@ -27,6 +27,7 @@
 //	         [-rotate-bytes N] [-follow URL] [-replica-id NAME]
 //	         [-crowd-sim] [-crowd-latency D] [-crowd-spike F] [-crowd-drop F]
 //	         [-crowd-error F] [-crowd-timeout D] [-crowd-retries N]
+//	         [-fleet SPEC] [-fleet-budget CENTS]
 //	         [-metrics] [-metrics-json] [-trace FILE] [-metrics-http ADDR]
 //
 // Endpoints:
@@ -56,7 +57,14 @@
 // stream in. With -crowd-sim the residual questions go to a simulated
 // crowd instead (deterministic pseudo-answers with real injected
 // latency and faults per the -crowd-* knobs) — the degraded-crowd
-// configuration the load scenarios exercise. On SIGINT/SIGTERM the
+// configuration the load scenarios exercise. With -fleet the residual
+// questions instead route through the heterogeneous crowd marketplace
+// (internal/market): each backend in the spec answers from the same
+// pseudo-crowd with its own price, latency, and calibrated noise, and
+// the router buys each answer from whichever backend offers the best
+// information value per cent under the -fleet-budget cap; per-backend
+// spend and accuracy appear under market/* and crowd/backend/* in
+// GET /metrics. On SIGINT/SIGTERM the
 // server drains in-flight requests, writes a final checkpoint, and
 // closes the journals.
 package main
@@ -74,6 +82,7 @@ import (
 	"time"
 
 	"acd/internal/core"
+	"acd/internal/market"
 	"acd/internal/obs"
 	"acd/internal/pruning"
 	"acd/internal/refine"
@@ -116,6 +125,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 	crowdError := fs.Float64("crowd-error", 0, "with -crowd-sim: probability of a transient simulated platform error")
 	crowdTimeout := fs.Duration("crowd-timeout", 50*time.Millisecond, "with -crowd-sim: per-question deadline before retry/fallback")
 	crowdRetries := fs.Int("crowd-retries", 1, "with -crowd-sim: re-issues after a failed question")
+	fleet := fs.String("fleet", "", "marketplace fleet spec (\"default\" = the built-in mixed fleet): route residual resolve questions across heterogeneous crowd backends by information value per cent")
+	fleetBudget := fs.Int("fleet-budget", 0, "with -fleet: total marketplace spend cap in cents (0 = unlimited)")
 	obsFlags := obs.RegisterFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -145,6 +156,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer, ready cha
 		Obs:             rec,
 		Follow:          *follow,
 		ReplicaID:       *replicaID,
+	}
+	if *fleet != "" {
+		if *crowdSim {
+			fmt.Fprintln(stderr, "acdserve: -fleet and -crowd-sim are mutually exclusive")
+			return 2
+		}
+		spec := *fleet
+		if spec == "default" {
+			spec = market.DefaultFleetSpec
+		}
+		cfg.Fleet, cfg.FleetBudget = spec, *fleetBudget
 	}
 	if *crowdSim {
 		cfg.Source = serve.DegradedCrowd(serve.SimCrowdConfig{

@@ -36,12 +36,14 @@ func FiveWorker(seed int64) Config {
 // AnswerSet is the simulated equivalent of the paper's answer file F: a
 // fixed crowd score f_c for every candidate pair, drawn once.
 type AnswerSet struct {
-	fc     map[record.Pair]float64
-	truth  map[record.Pair]bool
-	votes  map[record.Pair]int    // per-pair vote counts; nil = config.Workers
-	source map[record.Pair]string // per-pair provenance; nil = DefaultSource
-	config Config
-	rec    *obs.Recorder
+	fc      map[record.Pair]float64
+	truth   map[record.Pair]bool
+	votes   map[record.Pair]int     // per-pair vote counts; nil = config.Workers
+	source  map[record.Pair]string  // per-pair provenance; nil = DefaultSource
+	backend map[record.Pair]string  // per-pair marketplace backend; nil = none
+	price   map[record.Pair]float64 // per-pair price paid in cents; nil = 0
+	config  Config
+	rec     *obs.Recorder
 }
 
 // DefaultSource is the provenance recorded for answers that never had an
@@ -75,6 +77,40 @@ func (a *AnswerSet) Source(p record.Pair) string {
 		}
 	}
 	return DefaultSource
+}
+
+// SetCharge records marketplace provenance for a pair's answer: the id
+// of the backend that sold it and the price paid in cents (fractional —
+// a pair's share of its HIT's reward). The zero charge (empty backend,
+// zero cents) resets the pair to unpriced, dropping it from the
+// serialized form; answer files persist charges as the v3 backend and
+// price columns.
+func (a *AnswerSet) SetCharge(p record.Pair, backend string, cents float64) {
+	if backend == "" && cents == 0 {
+		if a.backend != nil {
+			delete(a.backend, p)
+		}
+		if a.price != nil {
+			delete(a.price, p)
+		}
+		return
+	}
+	if a.backend == nil {
+		a.backend = make(map[record.Pair]string)
+		a.price = make(map[record.Pair]float64)
+	}
+	a.backend[p] = backend
+	a.price[p] = cents
+}
+
+// Charge returns the recorded marketplace provenance of a pair's answer:
+// the backend id and the cents paid, or ("", 0) for a pair that never
+// went through a marketplace.
+func (a *AnswerSet) Charge(p record.Pair) (backend string, cents float64) {
+	if a.backend == nil {
+		return "", 0
+	}
+	return a.backend[p], a.price[p]
 }
 
 // BuildAnswers simulates the one-time posting of all candidate pairs to
@@ -242,6 +278,23 @@ type Source interface {
 	Config() Config
 }
 
+// Biller is implemented by sources that do their own HIT and cost
+// accounting — the marketplace packs each batch into per-backend HITs
+// with per-backend prices, so the session's uniform Config()-derived
+// math (ceil(fresh/PairsPerHIT) × CentsPerHIT) would be wrong for it.
+// After resolving a batch the session drains the bill and books it
+// verbatim into Stats and the crowd/hits and crowd/cents metrics.
+// Wrappers that delegate Score to an inner source (the incremental
+// engine's sink, the progress adapter) should forward Bill to the inner
+// source so billing survives wrapping.
+type Biller interface {
+	// Bill returns the HITs posted and cents spent since the last call
+	// and resets both. ok=false means the source has no billing
+	// information for the interval and the caller must fall back to
+	// Config()-derived accounting.
+	Bill() (hits, cents int, ok bool)
+}
+
 // SourceFunc adapts a function to the Source interface, for live-crowd
 // adapters and tests.
 type SourceFunc struct {
@@ -391,15 +444,25 @@ func (s *Session) Ask(pairs []record.Pair) []float64 {
 		s.stats.Votes += votes
 		s.stats.Pairs += len(fresh)
 		s.stats.Iterations++
-		cfg := s.answers.Config()
-		hits := (len(fresh) + cfg.PairsPerHIT - 1) / cfg.PairsPerHIT
+		// A self-billing source (the marketplace) reports the HITs and
+		// cents this batch actually cost across its backends; everything
+		// else is billed at the uniform Config() rate.
+		hits, cents, billed := 0, 0, false
+		if b, ok := s.answers.(Biller); ok {
+			hits, cents, billed = b.Bill()
+		}
+		if !billed {
+			cfg := s.answers.Config()
+			hits = (len(fresh) + cfg.PairsPerHIT - 1) / cfg.PairsPerHIT
+			cents = hits * cfg.CentsPerHIT
+		}
 		s.stats.HITs += hits
-		s.stats.Cents += hits * cfg.CentsPerHIT
+		s.stats.Cents += cents
 
 		s.rec.Count(MetricQuestionsAnswered, int64(len(fresh)))
 		s.rec.Count(MetricIterations, 1)
 		s.rec.Count(MetricHITs, int64(hits))
-		s.rec.Count(MetricCents, int64(hits*cfg.CentsPerHIT))
+		s.rec.Count(MetricCents, int64(cents))
 		s.rec.Count(MetricVotes, int64(votes))
 		s.rec.Observe(MetricBatchSize, float64(len(fresh)))
 		if s.rec.Tracing() {

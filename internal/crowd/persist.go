@@ -21,18 +21,28 @@ import (
 // answer set serialized as CSV so a collection (simulated or real) can
 // be replayed across runs, tools, and machines.
 //
-// Two formats exist. v1 (the original) has an 8-field header
+// Three formats exist. v1 (the original) has an 8-field header
 // lo,hi,fc,votes,truth,<workers>,<pairsPerHIT>,<centsPerHIT> and 5-field
 // rows. v2 adds a per-pair provenance column and an explicit version tag
 // as the final header field, so future format changes are detectable
 // instead of silently misparsed: the header is
 // lo,hi,fc,votes,truth,source,<workers>,<pairsPerHIT>,<centsPerHIT>,<version>
-// with 6-field rows. LoadAnswers reads both; SaveAnswers writes v2.
+// with 6-field rows. v3 adds marketplace charge provenance — which
+// backend sold each answer and the price paid in cents — as two more
+// columns: the header is
+// lo,hi,fc,votes,truth,source,backend,price,<workers>,<pairsPerHIT>,<centsPerHIT>,<version>
+// with 8-field rows, both columns omit-default (empty backend, empty
+// price) for answers that never went through a marketplace. LoadAnswers
+// reads all three; SaveAnswers writes v3.
 
 // FormatVersion is the version tag SaveAnswers writes as the final
 // header field. Readers reject files tagged with a later version
 // (ErrUnsupportedVersion) rather than misreading them.
-const FormatVersion = "acd-answers-v2"
+const FormatVersion = "acd-answers-v3"
+
+// formatVersionV2 tags the previous format generation, which
+// LoadAnswers still accepts.
+const formatVersionV2 = "acd-answers-v2"
 
 // formatVersionPrefix identifies a version tag from any format
 // generation, so an unknown future version is distinguishable from a
@@ -43,15 +53,16 @@ const formatVersionPrefix = "acd-answers-v"
 // generation than this reader understands.
 var ErrUnsupportedVersion = errors.New("crowd: unsupported answer-file version")
 
-// SaveAnswers writes an answer set as CSV in the v2 format: a versioned
+// SaveAnswers writes an answer set as CSV in the v3 format: a versioned
 // header describing the collection setting (the RNG seed is
 // collection-time state and is not persisted), then one row per pair
-// with its crowd score, vote count, ground-truth flag, and answer
-// provenance. Rows are sorted canonically so output is reproducible.
+// with its crowd score, vote count, ground-truth flag, answer
+// provenance, and marketplace charge (backend id and price paid). Rows
+// are sorted canonically so output is reproducible.
 func SaveAnswers(w io.Writer, a *AnswerSet) error {
 	cw := csv.NewWriter(w)
 	header := []string{
-		"lo", "hi", "fc", "votes", "truth", "source",
+		"lo", "hi", "fc", "votes", "truth", "source", "backend", "price",
 		// The collection setting rides along in the header row's tail so
 		// a single file is self-describing; the version tag closes it.
 		strconv.Itoa(a.config.Workers),
@@ -81,6 +92,11 @@ func SaveAnswers(w io.Writer, a *AnswerSet) error {
 		if s := a.Source(p); s != DefaultSource {
 			src = s // DefaultSource is omit-default, keeping diffs small
 		}
+		backend, cents := a.Charge(p)
+		price := ""
+		if cents != 0 {
+			price = strconv.FormatFloat(cents, 'g', -1, 64)
+		}
 		row := []string{
 			strconv.Itoa(int(p.Lo)),
 			strconv.Itoa(int(p.Hi)),
@@ -88,6 +104,8 @@ func SaveAnswers(w io.Writer, a *AnswerSet) error {
 			strconv.Itoa(a.VoteCount(p)),
 			truth,
 			src,
+			backend,
+			price,
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("crowd: writing pair %v: %w", p, err)
@@ -97,14 +115,15 @@ func SaveAnswers(w io.Writer, a *AnswerSet) error {
 	return cw.Error()
 }
 
-// LoadAnswers reads an answer set written by SaveAnswers, accepting both
-// the current v2 format and the original unversioned v1 format (whose
-// rows lack the source column; their provenance defaults to
-// DefaultSource). Malformed input is an explicit error, never a silent
-// zero: a truncated or unrecognized header, a row with the wrong field
-// count, non-numeric ids or votes, a non-finite or out-of-range crowd
-// score, a non-canonical or duplicate pair, and a truth flag outside
-// {0, 1} are all rejected with the offending line number.
+// LoadAnswers reads an answer set written by SaveAnswers, accepting the
+// current v3 format, the v2 format (no charge columns), and the original
+// unversioned v1 format (whose rows also lack the source column; their
+// provenance defaults to DefaultSource). Malformed input is an explicit
+// error, never a silent zero: a truncated or unrecognized header, a row
+// with the wrong field count, non-numeric ids or votes, a non-finite or
+// out-of-range crowd score, a non-canonical or duplicate pair, a truth
+// flag outside {0, 1}, and a non-finite or negative price are all
+// rejected with the offending line number.
 func LoadAnswers(r io.Reader) (*AnswerSet, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
@@ -118,12 +137,14 @@ func LoadAnswers(r io.Reader) (*AnswerSet, error) {
 
 	var rowFields, cfgAt int
 	switch {
+	case len(header) == 12 && headerNamed(header, "lo", "hi", "fc", "votes", "truth", "source", "backend", "price"):
+		if err := checkVersion(header[11], FormatVersion); err != nil {
+			return nil, err
+		}
+		rowFields, cfgAt = 8, 8
 	case len(header) == 10 && headerNamed(header, "lo", "hi", "fc", "votes", "truth", "source"):
-		if header[9] != FormatVersion {
-			if strings.HasPrefix(header[9], formatVersionPrefix) {
-				return nil, fmt.Errorf("%w: %q (this reader understands up to %q)", ErrUnsupportedVersion, header[9], FormatVersion)
-			}
-			return nil, fmt.Errorf("crowd: unrecognized answer-file version field %q", header[9])
+		if err := checkVersion(header[9], formatVersionV2); err != nil {
+			return nil, err
 		}
 		rowFields, cfgAt = 6, 6
 	case len(header) == 8 && headerNamed(header, "lo", "hi", "fc", "votes", "truth"):
@@ -200,11 +221,39 @@ func LoadAnswers(r io.Reader) (*AnswerSet, error) {
 		a.fc[p] = fc
 		a.truth[p] = row[4] == "1"
 		a.votes[p] = votes
-		if rowFields == 6 && row[5] != "" {
+		if rowFields >= 6 && row[5] != "" {
 			a.SetSource(p, row[5])
+		}
+		if rowFields == 8 {
+			cents := 0.0
+			if row[7] != "" {
+				cents, err = strconv.ParseFloat(row[7], 64)
+				if err != nil {
+					return nil, fmt.Errorf("crowd: line %d: bad price: %w", line, err)
+				}
+				if math.IsNaN(cents) || math.IsInf(cents, 0) || cents < 0 {
+					return nil, fmt.Errorf("crowd: line %d: bad price %q (want a finite non-negative cent amount)", line, row[7])
+				}
+			}
+			if row[6] != "" || cents != 0 {
+				a.SetCharge(p, row[6], cents)
+			}
 		}
 	}
 	return a, nil
+}
+
+// checkVersion validates one header shape's version tag: want is the
+// only version that ships this shape, any other tagged version is
+// explicitly unsupported, and anything else is a corrupt header.
+func checkVersion(got, want string) error {
+	if got == want {
+		return nil
+	}
+	if strings.HasPrefix(got, formatVersionPrefix) {
+		return fmt.Errorf("%w: %q (this reader understands up to %q)", ErrUnsupportedVersion, got, FormatVersion)
+	}
+	return fmt.Errorf("crowd: unrecognized answer-file version field %q", got)
 }
 
 // headerNamed reports whether the header's leading fields carry exactly

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -66,7 +67,8 @@ func TestSaveDeterministic(t *testing.T) {
 }
 
 func TestLoadAnswersErrors(t *testing.T) {
-	v2 := "lo,hi,fc,votes,truth,source,3,20,2," + FormatVersion + "\n"
+	v2 := "lo,hi,fc,votes,truth,source,3,20,2," + formatVersionV2 + "\n"
+	v3 := "lo,hi,fc,votes,truth,source,backend,price,3,20,2," + FormatVersion + "\n"
 	cases := []struct {
 		name  string
 		input string
@@ -77,8 +79,11 @@ func TestLoadAnswersErrors(t *testing.T) {
 		{"truncated header", "lo,hi,fc\n", "truncated"},
 		{"truncated v1 header", "lo,hi,fc,votes,truth,3,20\n", "truncated"},
 		{"non-numeric workers v1", "lo,hi,fc,votes,truth,x,20,2\n", "workers"},
-		{"non-numeric workers v2", "lo,hi,fc,votes,truth,source,x,20,2," + FormatVersion + "\n", "workers"},
+		{"non-numeric workers v2", "lo,hi,fc,votes,truth,source,x,20,2," + formatVersionV2 + "\n", "workers"},
+		{"non-numeric workers v3", "lo,hi,fc,votes,truth,source,backend,price,x,20,2," + FormatVersion + "\n", "workers"},
 		{"future version", "lo,hi,fc,votes,truth,source,3,20,2,acd-answers-v99\n", "unsupported"},
+		{"future version v3 shape", "lo,hi,fc,votes,truth,source,backend,price,3,20,2,acd-answers-v99\n", "unsupported"},
+		{"v3 tag on v2 shape", "lo,hi,fc,votes,truth,source,3,20,2," + FormatVersion + "\n", "unsupported"},
 		{"garbage version field", "lo,hi,fc,votes,truth,source,3,20,2,not-a-version\n", "version"},
 		{"bad fc v1", "lo,hi,fc,votes,truth,3,20,2\n1,2,notafloat,3,1\n", "bad fc"},
 		{"bad lo", "lo,hi,fc,votes,truth,3,20,2\nx,2,0.5,3,1\n", "bad lo"},
@@ -93,7 +98,11 @@ func TestLoadAnswersErrors(t *testing.T) {
 		{"duplicate pair", v2 + "1,2,0.5,3,1,\n1,2,0.7,3,1,\n", "duplicate pair"},
 		{"bad truth flag", v2 + "1,2,0.5,3,2,\n", "truth flag"},
 		{"short row v2", v2 + "1,2,0.5,3,1\n", "fields"},
+		{"short row v3", v3 + "1,2,0.5,3,1,\n", "fields"},
 		{"long row v1", "lo,hi,fc,votes,truth,3,20,2\n1,2,0.5,3,1,crowd\n", "fields"},
+		{"bad price", v3 + "1,2,0.5,3,1,,fast,notaprice\n", "bad price"},
+		{"negative price", v3 + "1,2,0.5,3,1,,fast,-0.1\n", "bad price"},
+		{"nan price", v3 + "1,2,0.5,3,1,,fast,NaN\n", "bad price"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -174,6 +183,70 @@ func TestSaveLoadSourceProvenance(t *testing.T) {
 	}
 }
 
+// TestLoadAnswersV2 pins backward compatibility for the previous
+// versioned format: a v2 file (source column, no charge columns) still
+// loads, with every pair's charge defaulting to ("", 0).
+func TestLoadAnswersV2(t *testing.T) {
+	in := "lo,hi,fc,votes,truth,source,3,20,2," + formatVersionV2 + "\n" +
+		"0,2,0.6666666666666666,3,1,\n" +
+		"1,3,0.2,5,0,machine\n"
+	a, err := LoadAnswers(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("LoadAnswers(v2): %v", err)
+	}
+	if a.Len() != 2 {
+		t.Fatalf("loaded %d pairs, want 2", a.Len())
+	}
+	p := record.MakePair(1, 3)
+	if got := a.Source(p); got != "machine" {
+		t.Errorf("Source(%v) = %q, want machine", p, got)
+	}
+	if backend, cents := a.Charge(p); backend != "" || cents != 0 {
+		t.Errorf("Charge(%v) = (%q, %v), want zero charge", p, backend, cents)
+	}
+}
+
+// TestSaveLoadChargeProvenance checks the v3 backend and price columns
+// round-trip, with the zero charge omitted from the serialized form.
+func TestSaveLoadChargeProvenance(t *testing.T) {
+	a := FixedAnswers(map[record.Pair]float64{
+		{Lo: 0, Hi: 1}: 1,
+		{Lo: 0, Hi: 2}: 0.2,
+		{Lo: 1, Hi: 3}: 0.8,
+	}, ThreeWorker(1))
+	a.SetCharge(record.Pair{Lo: 0, Hi: 2}, "fast", 0.05)
+	a.SetCharge(record.Pair{Lo: 1, Hi: 3}, "careful", 0.6)
+
+	var buf bytes.Buffer
+	if err := SaveAnswers(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), FormatVersion) {
+		t.Errorf("serialized form missing version tag %q:\n%s", FormatVersion, buf.String())
+	}
+	got, err := LoadAnswers(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, want := range map[record.Pair]struct {
+		backend string
+		cents   float64
+	}{
+		{Lo: 0, Hi: 1}: {"", 0},
+		{Lo: 0, Hi: 2}: {"fast", 0.05},
+		{Lo: 1, Hi: 3}: {"careful", 0.6},
+	} {
+		if backend, cents := got.Charge(p); backend != want.backend || cents != want.cents {
+			t.Errorf("Charge(%v) = (%q, %v), want (%q, %v)", p, backend, cents, want.backend, want.cents)
+		}
+	}
+	// Resetting to the zero charge drops the explicit entry again.
+	got.SetCharge(record.Pair{Lo: 0, Hi: 2}, "", 0)
+	if backend, cents := got.Charge(record.Pair{Lo: 0, Hi: 2}); backend != "" || cents != 0 {
+		t.Errorf("after reset, Charge = (%q, %v), want zero", backend, cents)
+	}
+}
+
 // TestSaveLoadProperty is a seeded round-trip property test: random
 // answer sets (random pairs, scores, truth, vote escalation, sources)
 // survive Save -> Load -> Save with identical bytes and identical
@@ -200,6 +273,10 @@ func TestSaveLoadProperty(t *testing.T) {
 			case 1:
 				a.SetSource(p, "client")
 			}
+			if rng.Intn(2) == 0 {
+				// Quantized prices so the g-format float round-trips exactly.
+				a.SetCharge(p, "b"+strconv.Itoa(rng.Intn(3)), float64(rng.Intn(8))/4)
+			}
 		}
 
 		var b1 bytes.Buffer
@@ -224,6 +301,11 @@ func TestSaveLoadProperty(t *testing.T) {
 			if loaded.fc[p] != a.fc[p] || loaded.truth[p] != a.truth[p] ||
 				loaded.VoteCount(p) != a.VoteCount(p) || loaded.Source(p) != a.Source(p) {
 				t.Errorf("seed %d: pair %v changed across round trip", seed, p)
+			}
+			lb, lc := loaded.Charge(p)
+			ab, ac := a.Charge(p)
+			if lb != ab || lc != ac {
+				t.Errorf("seed %d: charge for %v changed across round trip: (%q,%v) -> (%q,%v)", seed, p, ab, ac, lb, lc)
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"acd/internal/dataset"
@@ -102,6 +103,31 @@ func RenderAggregation(w io.Writer, dataset string, rows []AggregationResult) {
 	fmt.Fprintf(w, "%-13s %12s %8s\n", "aggregation", "error rate", "ACD F1")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-13s %11.2f%% %8.3f\n", r.Aggregation, 100*r.ErrorRate, r.F1)
+	}
+}
+
+// RenderCostPerF1 prints one dataset's marketplace comparison: each
+// arm's quality, spend, cost per F1 point, and where the money went.
+func RenderCostPerF1(w io.Writer, row CostPerF1Row) {
+	fmt.Fprintf(w, "Marketplace cost per F1 on %s (err: fast %.1f%%, careful %.1f%%, machine %.1f%%)\n",
+		row.Dataset, 100*row.FastErr, 100*row.CarefulErr, 100*row.MachineErr)
+	fmt.Fprintf(w, "%-13s %8s %10s %10s %10s %10s  %s\n",
+		"arm", "F1", "cents", "cents/F1", "pairs", "inferred", "spend by backend")
+	for _, a := range row.Arms {
+		ids := make([]string, 0, len(a.Spend))
+		for id := range a.Spend {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		var split strings.Builder
+		for i, id := range ids {
+			if i > 0 {
+				split.WriteByte(' ')
+			}
+			fmt.Fprintf(&split, "%s=%.1f", id, a.Spend[id])
+		}
+		fmt.Fprintf(w, "%-13s %8.3f %10.1f %10.1f %10.1f %10.1f  %s\n",
+			a.Name, a.F1, a.Cents, a.CostPerF1, a.Pairs, a.ShortCircuited, split.String())
 	}
 }
 

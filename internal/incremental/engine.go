@@ -586,6 +586,16 @@ func (j *sinkSource) VoteCount(p record.Pair) int {
 	return j.inner.Config().Workers
 }
 
+// Bill implements crowd.Biller, forwarding to the inner source so a
+// self-billing marketplace's per-backend accounting survives the sink
+// wrapper instead of being re-derived from the uniform Config() rate.
+func (j *sinkSource) Bill() (hits, cents int, ok bool) {
+	if b, ok := j.inner.(crowd.Biller); ok {
+		return b.Bill()
+	}
+	return 0, 0, false
+}
+
 // SetRecorder implements crowd.RecorderSetter, pushing the session's
 // recorder down to the wrapped source.
 func (j *sinkSource) SetRecorder(rec *obs.Recorder) {
@@ -617,6 +627,7 @@ func (m machineSource) Config() crowd.Config { return crowd.ThreeWorker(0) }
 
 var _ crowd.BatchSource = (*sinkSource)(nil)
 var _ crowd.VoteCounter = (*sinkSource)(nil)
+var _ crowd.Biller = (*sinkSource)(nil)
 
 // Evaluate scores the engine's current clustering against the journaled
 // ground-truth entity labels (records with empty labels are each their

@@ -5,10 +5,12 @@
 // (baseline), saturation (high-load), flash crowds (bursty), snapshot
 // read stress (read-heavy), a slow faulty crowd behind /resolve
 // (degraded-crowd), a mid-ingest crash image whose recovery is
-// checked against the committed-prefix contract (crash-restart), and
-// the replication topology: followers absorbing snapshot reads
+// checked against the committed-prefix contract (crash-restart), the
+// replication topology: followers absorbing snapshot reads
 // (replica-reads) and a leader kill with follower promotion
-// (replica-failover). Every
+// (replica-failover), and the crowd marketplace: budget-aware routing
+// under a mid-run price spike (mixed-fleet) and the preferred
+// backend dropping every question (backend-outage). Every
 // scenario runs in a seconds-scale smoke mode (CI) and a full mode
 // (committed BENCH numbers); scripts/loadbench.sh orchestrates both,
 // and docs/serving.md maps each scenario to the question it answers.
@@ -148,6 +150,16 @@ func All() []Scenario {
 			Name: "replica-failover",
 			Desc: "leader killed mid-ingest; follower promoted over its journals, committed-prefix contract checked",
 			Run:  runReplicaFailover,
+		},
+		{
+			Name: "mixed-fleet",
+			Desc: "resolves buy answers across a heterogeneous crowd fleet; the cheap backend's price spikes mid-run",
+			Run:  runMixedFleet,
+		},
+		{
+			Name: "backend-outage",
+			Desc: "the router's preferred backend drops every question; retry/degrade keeps resolves flowing",
+			Run:  runBackendOutage,
 		},
 	}
 }

@@ -7,11 +7,11 @@ import (
 	"acd/internal/load"
 )
 
-// TestRegistry: nine scenarios, unique names, Find agrees with All.
+// TestRegistry: eleven scenarios, unique names, Find agrees with All.
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 9 {
-		t.Fatalf("len(All()) = %d, want 9", len(all))
+	if len(all) != 11 {
+		t.Fatalf("len(All()) = %d, want 11", len(all))
 	}
 	seen := map[string]bool{}
 	for _, s := range all {
@@ -97,6 +97,46 @@ func TestDegradedCrowdSmoke(t *testing.T) {
 	checkReport(t, rep, "degraded-crowd")
 	if rep.Endpoints[load.EndpointResolve].Ops == 0 {
 		t.Error("degraded-crowd never resolved")
+	}
+}
+
+// TestMixedFleetSmoke exercises the marketplace wiring end to end:
+// resolves buy answers across the default heterogeneous fleet under a
+// mid-run price spike, and the router's spend accounting lands in the
+// report.
+func TestMixedFleetSmoke(t *testing.T) {
+	var logb strings.Builder
+	rep, err := runMixedFleet(Options{Dir: t.TempDir(), Smoke: true, Log: &logb})
+	if err != nil {
+		t.Fatalf("mixed-fleet: %v\nlog:\n%s", err, logb.String())
+	}
+	checkReport(t, rep, "mixed-fleet")
+	if rep.Endpoints[load.EndpointResolve].Ops == 0 {
+		t.Error("mixed-fleet never resolved")
+	}
+	if rep.Extra["routed"] == 0 {
+		t.Error("mixed-fleet routed no questions through the marketplace")
+	}
+	if rep.Extra["spend_cents"] == 0 {
+		t.Error("mixed-fleet spent nothing — the paid backends were never used")
+	}
+}
+
+// TestBackendOutageSmoke exercises the marketplace fault drill: the
+// preferred backend drops every question, yet resolves complete with
+// zero request errors and the market still routes and spends.
+func TestBackendOutageSmoke(t *testing.T) {
+	var logb strings.Builder
+	rep, err := runBackendOutage(Options{Dir: t.TempDir(), Smoke: true, Log: &logb})
+	if err != nil {
+		t.Fatalf("backend-outage: %v\nlog:\n%s", err, logb.String())
+	}
+	checkReport(t, rep, "backend-outage")
+	if rep.Endpoints[load.EndpointResolve].Ops == 0 {
+		t.Error("backend-outage never resolved")
+	}
+	if rep.Extra["routed"] == 0 {
+		t.Error("backend-outage routed no questions")
 	}
 }
 

@@ -1,0 +1,121 @@
+package market
+
+import (
+	"testing"
+
+	"acd/internal/crowd"
+	"acd/internal/record"
+)
+
+// FuzzHITPack fuzzes the batch → HIT packing → answer unpacking round
+// trip. The fuzzer drives the HIT size, the ordering policy, the
+// short-circuit switch, and a batch boundary; the invariants are the
+// marketplace's packing contract: no question dropped, none consulted
+// twice, every answer lands back on its own input index, arrival
+// ordering never reorders consults across a HIT or batch boundary, and
+// the per-pair ledger prices always sum to the total spend.
+func FuzzHITPack(f *testing.F) {
+	f.Add([]byte("\x05\x00\x03\x00\x01\x02\x03\x04\x05\x06\x07\x08"))
+	f.Add([]byte("\x01\x01\x00\x01" + "abcdefghij"))
+	f.Add([]byte("\x07\x00\xff\x01\x00\x01\x01\x02\x00\x02\x03\x04"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 6 {
+			return
+		}
+		pairsPerHIT := 1 + int(data[0]%8)
+		order := Order(data[1] % 2)
+		split := int(data[2])
+		shortCircuit := data[3]%2 == 1
+
+		// Decode the remaining bytes into a deduped pair sequence (the
+		// form the session hands the marketplace).
+		var pairs []record.Pair
+		seen := make(map[record.Pair]bool)
+		for i := 4; i+1 < len(data); i += 2 {
+			lo, hi := record.ID(data[i]%32), record.ID(data[i+1]%32)
+			if lo == hi {
+				continue
+			}
+			p := record.MakePair(lo, hi)
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			pairs = append(pairs, p)
+		}
+		if len(pairs) == 0 {
+			return
+		}
+
+		answer := func(p record.Pair) float64 {
+			return float64((int(p.Lo)*7+int(p.Hi)*13)%10) / 10
+		}
+		cs := newCounting(crowd.SourceFunc{
+			Fn:      answer,
+			Setting: crowd.Config{Workers: 1, PairsPerHIT: pairsPerHIT, CentsPerHIT: 2},
+		})
+		m := New(Config{
+			Backends:     []Backend{{ID: "b", Source: cs, CentsPerHIT: 2, PairsPerHIT: pairsPerHIT, ErrorRate: 0.1}},
+			BudgetCents:  Unlimited,
+			Order:        order,
+			ShortCircuit: shortCircuit,
+		})
+
+		cut := split % (len(pairs) + 1)
+		out := m.ScoreBatch(pairs[:cut])
+		out = append(out, m.ScoreBatch(pairs[cut:])...)
+		if len(out) != len(pairs) {
+			t.Fatalf("%d answers for %d questions", len(out), len(pairs))
+		}
+
+		ledger := m.Ledger()
+		consulted := 0
+		for i, p := range pairs {
+			c, ok := ledger[p]
+			if !ok {
+				t.Fatalf("pair %v dropped: no ledger entry", p)
+			}
+			switch c.Backend {
+			case ChargeInferred:
+				if out[i] != 1 {
+					t.Errorf("inferred answer for %v = %v, want 1", p, out[i])
+				}
+				if n := cs.asked[p]; n != 0 {
+					t.Errorf("inferred pair %v still consulted %d times", p, n)
+				}
+			case "b":
+				consulted++
+				if n := cs.asked[p]; n != 1 {
+					t.Errorf("pair %v consulted %d times, want exactly once", p, n)
+				}
+				if want := answer(p); out[i] != want {
+					t.Errorf("answer for %v landed as %v on index %d, want %v", p, out[i], i, want)
+				}
+			default:
+				t.Errorf("pair %v charged to unexpected backend %q", p, c.Backend)
+			}
+		}
+		if len(cs.order) != consulted {
+			t.Errorf("backend saw %d consults, ledger says %d paid answers", len(cs.order), consulted)
+		}
+
+		// Arrival ordering without inference is a strict passthrough:
+		// the backend must see the input sequence verbatim, across every
+		// HIT and batch boundary.
+		if order == OrderArrival && !shortCircuit {
+			for i, p := range cs.order {
+				if p != pairs[i] {
+					t.Fatalf("arrival order broken: consult %d = %v, want %v", i, p, pairs[i])
+				}
+			}
+		}
+
+		var ledgerCents float64
+		for _, c := range ledger {
+			ledgerCents += c.Cents
+		}
+		if spent := float64(m.Spent()); ledgerCents < spent-1e-6 || ledgerCents > spent+1e-6 {
+			t.Errorf("ledger prices sum to %v cents, marketplace spent %v", ledgerCents, spent)
+		}
+	})
+}

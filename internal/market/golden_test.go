@@ -1,0 +1,85 @@
+package market
+
+import (
+	"reflect"
+	"testing"
+
+	"acd/internal/core"
+	"acd/internal/crowd"
+	"acd/internal/dataset"
+	"acd/internal/pruning"
+)
+
+// goldenSeed matches the seed the repo's other golden gates pin.
+const goldenSeed = 42
+
+// TestMarketGolden is the marketplace's gate: a one-backend fleet with
+// arrival ordering, no short-circuiting, and an unlimited budget must be
+// a pure passthrough. On the Restaurant golden it reproduces the direct
+// pipeline's clustering, question multiset, and HIT/cents accounting
+// exactly — the marketplace changes who answers and what it costs only
+// when configured to, never as a side effect of being in the path.
+func TestMarketGolden(t *testing.T) {
+	ds := dataset.Restaurant(1)
+	cands := pruning.Prune(ds.Records, pruning.Options{})
+	answers := crowd.BuildAnswers(cands.PairList(), ds.TruthFn(), crowd.UniformDifficulty(0), crowd.ThreeWorker(7))
+	cfg := answers.Config()
+
+	// Reference: the direct pipeline over the raw answer set.
+	refCap := newCounting(answers)
+	ref := core.ACD(cands, refCap, core.Config{Seed: goldenSeed})
+	if ref.Err != nil {
+		t.Fatal(ref.Err)
+	}
+	if len(refCap.asked) == 0 {
+		t.Fatal("reference run asked no questions — the golden is vacuous")
+	}
+
+	// Marketplace passthrough: the same answer set behind a one-backend
+	// fleet in golden mode.
+	mktCap := newCounting(answers)
+	m := New(Config{
+		Backends: []Backend{{
+			ID:          "crowd",
+			Source:      mktCap,
+			CentsPerHIT: cfg.CentsPerHIT,
+			PairsPerHIT: cfg.PairsPerHIT,
+			ErrorRate:   0.1,
+			Workers:     cfg.Workers,
+		}},
+		BudgetCents: Unlimited,
+		Order:       OrderArrival,
+	})
+	got := core.ACD(cands, m, core.Config{Seed: goldenSeed})
+	if got.Err != nil {
+		t.Fatal(got.Err)
+	}
+
+	if !reflect.DeepEqual(got.Clusters.Sets(), ref.Clusters.Sets()) {
+		t.Errorf("clustering differs from the direct pipeline (%d vs %d clusters)",
+			len(got.Clusters.Sets()), len(ref.Clusters.Sets()))
+	}
+	if !reflect.DeepEqual(mktCap.asked, refCap.asked) {
+		t.Errorf("question multiset differs: asked %d distinct pairs, want %d",
+			len(mktCap.asked), len(refCap.asked))
+	}
+	if got.Stats != ref.Stats {
+		t.Errorf("crowd accounting differs: %+v, want %+v", got.Stats, ref.Stats)
+	}
+
+	// Passthrough means consult-once: no pair may be asked twice, and
+	// the marketplace's own spend must agree with the session's books.
+	for p, n := range mktCap.asked {
+		if n != 1 {
+			t.Errorf("pair %v consulted %d times through the marketplace", p, n)
+		}
+	}
+	if m.Spent() != got.Stats.Cents {
+		t.Errorf("marketplace spent %d cents, session booked %d", m.Spent(), got.Stats.Cents)
+	}
+	for p, c := range m.Ledger() {
+		if c.Backend != "crowd" {
+			t.Errorf("pair %v charged to %q in passthrough mode", p, c.Backend)
+		}
+	}
+}

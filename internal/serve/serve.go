@@ -70,6 +70,20 @@ type Config struct {
 	// simulated source with injected latency and faults for the
 	// degraded-crowd load scenarios.
 	Source crowd.Source
+	// Fleet is a marketplace fleet spec (internal/market.ParseFleet
+	// grammar: "id:centsPerHIT:pairsPerHIT:errorRate[:opt...]" entries
+	// joined by ';'). When non-empty and Source is nil, residual
+	// resolve questions route through a budget-aware marketplace over
+	// the specified backends, each answering from the same
+	// deterministic pseudo-crowd DegradedCrowd simulates; faulty
+	// backends ("drop=", "fault=" options) go through the chaos and
+	// retry machinery. Per-backend spend, latency, and accuracy land
+	// in the Obs recorder's market/* and crowd/backend/* metrics.
+	Fleet string
+	// FleetBudget caps total marketplace spend in cents; 0 or negative
+	// means unlimited. Once exhausted, questions fall back to the
+	// cheapest machine backend (or the machine score prior).
+	FleetBudget int
 	// Follow is a leader's replication stream URL (its
 	// GET /replica/stream endpoint). Non-empty starts the server as a
 	// read-only follower: it mirrors the leader's journals into Journal
@@ -133,6 +147,13 @@ func Open(cfg Config) (*Server, error) {
 	rec := cfg.Obs
 	if rec == nil {
 		rec = obs.New()
+	}
+	if cfg.Source == nil && cfg.Fleet != "" {
+		src, err := marketSource(cfg.Fleet, cfg.FleetBudget, cfg.Seed, rec)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		cfg.Source = src
 	}
 	scfg := shard.Config{
 		Shards: cfg.Shards,

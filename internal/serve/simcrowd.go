@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"acd/internal/crowd"
+	"acd/internal/market"
+	"acd/internal/obs"
 	"acd/internal/record"
 )
 
@@ -71,6 +73,32 @@ func DegradedCrowd(cfg SimCrowdConfig) crowd.Source {
 		Fallback:   answer,
 		// Clock nil = wall clock: the injected latency is real.
 	})
+}
+
+// marketSource builds the marketplace source behind Config.Fleet: the
+// parsed fleet's backends all answer from the same deterministic
+// pseudo-crowd DegradedCrowd simulates (each with its own calibrated
+// noise), and the router's spend and per-backend accounting flow into
+// rec as market/* and crowd/backend/* metrics, which GET /metrics then
+// serves. budget <= 0 means unlimited.
+func marketSource(spec string, budget int, seed int64, rec *obs.Recorder) (crowd.Source, error) {
+	backends, err := market.Fleet(spec, PairScore(seed), seed)
+	if err != nil {
+		return nil, err
+	}
+	b := market.Unlimited
+	if budget > 0 {
+		b = budget
+	}
+	m := market.New(market.Config{
+		Backends:     backends,
+		BudgetCents:  b,
+		Order:        market.OrderConfidence,
+		ShortCircuit: true,
+		Seed:         seed,
+	})
+	m.SetRecorder(rec)
+	return m, nil
 }
 
 // PairScore returns the deterministic pseudo-crowd answer function: a

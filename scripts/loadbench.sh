@@ -7,7 +7,7 @@
 #   scripts/loadbench.sh [--smoke] [outfile]
 #
 #   --smoke  seconds-scale scenario variants (CI); default is full mode
-#   outfile  target JSON file (default: BENCH_9.json)
+#   outfile  target JSON file (default: BENCH_10.json)
 #
 # Environment:
 #   SHARDS     shard counts to run, space-separated (default: "1 4";
@@ -25,12 +25,13 @@
 #   KEEP_SUITES  set non-empty to keep the per-shard suite JSONs next
 #              to the outfile instead of a temp dir
 #
-# The committed BENCH_9.json replication before/after pair (leader-only
-#   vs leader+2 followers taking the reads) is produced by
-#   scripts/replicabench.sh; the plain suite trajectory is:
-#   scripts/loadbench.sh BENCH_9.json
-#   COMMIT_WINDOW=2ms ROTATE_BYTES=4194304 LABEL_SUFFIX=-gc \
-#       scripts/loadbench.sh BENCH_9.json
+# The suite now includes the marketplace scenarios (mixed-fleet,
+# backend-outage); their per-backend spend lands in each report's
+# Load/<scenario>/scenario metrics. The committed BENCH_10.json adds
+# the offline cost-per-F1 comparison on top of the suite:
+#   scripts/loadbench.sh BENCH_10.json
+#   go run ./cmd/acdbench -exp market -bench-out BENCH_10.json
+# (Replication before/after pairs come from scripts/replicabench.sh.)
 set -eu
 
 smoke=""
@@ -38,7 +39,7 @@ if [ "${1:-}" = "--smoke" ]; then
     smoke="-smoke"
     shift
 fi
-out="${1:-BENCH_9.json}"
+out="${1:-BENCH_10.json}"
 cd "$(dirname "$0")/.."
 
 if [ -n "$smoke" ]; then
